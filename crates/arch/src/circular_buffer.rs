@@ -1,0 +1,255 @@
+//! The window-combining circular buffer (Figure 7a).
+//!
+//! One entry per *currently tracked* PMO:
+//!
+//! | field | width | meaning |
+//! |---|---|---|
+//! | `PMOID` | 10 b | pool id |
+//! | `TS` | timer units | time of the last real attach (or randomization) |
+//! | `Ctr` | 14 b | threads that currently hold an open attach window |
+//! | `DD` | 1 b | a detach has been delayed (window-combining candidate) |
+//!
+//! The hardware structure is tiny (32 entries; see [`crate::cost`]); the
+//! functional model here uses native integers but enforces the 32-entry
+//! capacity so the pressure behaviour (fallback to untracked syscalls when
+//! full) is faithful.
+
+use serde::{Deserialize, Serialize};
+
+use terp_pmo::PmoId;
+use terp_sim::Cycles;
+
+/// Hardware capacity of the circular buffer (paper Section V-B).
+pub const CB_CAPACITY: usize = 32;
+
+/// One circular-buffer entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CbEntry {
+    /// Tracked pool.
+    pub pmo: PmoId,
+    /// Time (cycles) of the last real attach or randomization: the start of
+    /// the current process-level exposure window.
+    pub ts: Cycles,
+    /// Number of threads that made an attach call and have not detached.
+    pub ctr: u32,
+    /// Delayed-detach status: the last thread detached but the window was
+    /// left open for possible combining.
+    pub dd: bool,
+}
+
+/// The fixed-capacity buffer of tracked PMOs.
+///
+/// ```
+/// use terp_arch::CircularBuffer;
+/// use terp_pmo::PmoId;
+/// let pmo = PmoId::new(1).unwrap();
+/// let mut cb = CircularBuffer::new();
+/// assert!(cb.find(pmo).is_none());
+/// cb.insert(pmo, 100).unwrap();
+/// assert_eq!(cb.find(pmo).unwrap().ctr, 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CircularBuffer {
+    entries: Vec<CbEntry>,
+    capacity: usize,
+    capacity_overflows: u64,
+}
+
+impl Default for CircularBuffer {
+    fn default() -> Self {
+        Self::with_capacity(CB_CAPACITY)
+    }
+}
+
+/// Error: the buffer is full and holds no reclaimable (idle delayed-detach)
+/// entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CbFull;
+
+impl std::fmt::Display for CbFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("circular buffer full")
+    }
+}
+
+impl std::error::Error for CbFull {}
+
+impl CircularBuffer {
+    /// Creates an empty buffer with the hardware capacity of 32 entries.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a buffer with a non-default capacity (for design-space
+    /// ablations of the hardware budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "degenerate circular buffer");
+        CircularBuffer {
+            entries: Vec::new(),
+            capacity,
+            capacity_overflows: 0,
+        }
+    }
+
+    /// The configured entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Finds the entry tracking `pmo`.
+    pub fn find(&self, pmo: PmoId) -> Option<&CbEntry> {
+        self.entries.iter().find(|e| e.pmo == pmo)
+    }
+
+    /// Mutable access to the entry tracking `pmo`.
+    pub fn find_mut(&mut self, pmo: PmoId) -> Option<&mut CbEntry> {
+        self.entries.iter_mut().find(|e| e.pmo == pmo)
+    }
+
+    /// Inserts a fresh entry at the tail for a first attach (`Ctr = 1`,
+    /// `DD = 0`, `TS = now`).
+    ///
+    /// # Errors
+    ///
+    /// [`CbFull`] if all 32 slots hold entries that cannot be displaced
+    /// (entries with live windows). Idle delayed-detach entries are *not*
+    /// silently evicted here; the caller decides (it must issue the real
+    /// detach first) via [`Self::reclaim_candidate`].
+    pub fn insert(&mut self, pmo: PmoId, now: Cycles) -> Result<&mut CbEntry, CbFull> {
+        debug_assert!(self.find(pmo).is_none(), "duplicate circular-buffer entry");
+        if self.entries.len() >= self.capacity {
+            self.capacity_overflows += 1;
+            return Err(CbFull);
+        }
+        self.entries.push(CbEntry {
+            pmo,
+            ts: now,
+            ctr: 1,
+            dd: false,
+        });
+        Ok(self.entries.last_mut().expect("just pushed"))
+    }
+
+    /// Removes the entry for `pmo` (a real detach). Returns it if present.
+    pub fn remove(&mut self, pmo: PmoId) -> Option<CbEntry> {
+        let pos = self.entries.iter().position(|e| e.pmo == pmo)?;
+        Some(self.entries.remove(pos))
+    }
+
+    /// Oldest idle entry (delayed detach pending, no live threads) — the
+    /// candidate the hardware would retire to make room when the buffer
+    /// fills.
+    pub fn reclaim_candidate(&self) -> Option<PmoId> {
+        self.entries
+            .iter()
+            .filter(|e| e.dd && e.ctr == 0)
+            .min_by_key(|e| e.ts)
+            .map(|e| e.pmo)
+    }
+
+    /// Entries whose exposure window has been open for at least `max_ew`
+    /// cycles at time `now` — the sweep's work list (head-to-tail order).
+    pub fn expired(&self, now: Cycles, max_ew: Cycles) -> Vec<CbEntry> {
+        self.entries
+            .iter()
+            .filter(|e| now.saturating_sub(e.ts) >= max_ew)
+            .copied()
+            .collect()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no PMO is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Times an insert was refused because the buffer was full.
+    pub fn capacity_overflows(&self) -> u64 {
+        self.capacity_overflows
+    }
+
+    /// Iterates over entries in insertion (head-to-tail) order.
+    pub fn iter(&self) -> impl Iterator<Item = &CbEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pmo(n: u16) -> PmoId {
+        PmoId::new(n).unwrap()
+    }
+
+    #[test]
+    fn insert_initializes_per_figure_7b_case_1() {
+        let mut cb = CircularBuffer::new();
+        let e = cb.insert(pmo(5), 123).unwrap();
+        assert_eq!(e.ctr, 1);
+        assert!(!e.dd);
+        assert_eq!(e.ts, 123);
+    }
+
+    #[test]
+    fn capacity_is_32_entries() {
+        let mut cb = CircularBuffer::new();
+        for i in 1..=32 {
+            cb.insert(pmo(i), 0).unwrap();
+        }
+        assert_eq!(cb.len(), CB_CAPACITY);
+        assert_eq!(cb.insert(pmo(33), 0).unwrap_err(), CbFull);
+        assert_eq!(cb.capacity_overflows(), 1);
+    }
+
+    #[test]
+    fn remove_frees_a_slot() {
+        let mut cb = CircularBuffer::new();
+        for i in 1..=32 {
+            cb.insert(pmo(i), 0).unwrap();
+        }
+        let removed = cb.remove(pmo(7)).unwrap();
+        assert_eq!(removed.pmo, pmo(7));
+        assert!(cb.insert(pmo(33), 0).is_ok());
+        assert!(cb.remove(pmo(7)).is_none());
+    }
+
+    #[test]
+    fn reclaim_candidate_prefers_oldest_idle() {
+        let mut cb = CircularBuffer::new();
+        cb.insert(pmo(1), 10).unwrap();
+        cb.insert(pmo(2), 5).unwrap();
+        cb.insert(pmo(3), 1).unwrap();
+        // Only 1 and 2 are idle (dd set, ctr 0); 3 is old but live.
+        for id in [1, 2] {
+            let e = cb.find_mut(pmo(id)).unwrap();
+            e.ctr = 0;
+            e.dd = true;
+        }
+        assert_eq!(cb.reclaim_candidate(), Some(pmo(2)));
+    }
+
+    #[test]
+    fn expired_matches_figure_7a_example() {
+        // Figure 7a: entries (pmo, ts, ctr, dd) = (1,3,0,1) (2,5,3,0)
+        // (3,12,1,0) (4,15,2,0); now = 15, max EW = 10.
+        let mut cb = CircularBuffer::new();
+        for (id, ts, ctr, dd) in [(1u16, 3u64, 0u32, true), (2, 5, 3, false), (3, 12, 1, false), (4, 15, 2, false)] {
+            cb.insert(pmo(id), ts).unwrap();
+            let e = cb.find_mut(pmo(id)).unwrap();
+            e.ctr = ctr;
+            e.dd = dd;
+        }
+        let expired = cb.expired(15, 10);
+        let ids: Vec<_> = expired.iter().map(|e| e.pmo).collect();
+        assert_eq!(ids, vec![pmo(1), pmo(2)], "PMO3/PMO4 are left alone");
+    }
+}

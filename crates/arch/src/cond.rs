@@ -1,0 +1,524 @@
+//! `CONDAT`/`CONDDT` execution logic and the periodic sweep
+//! (Figures 6 and 7 of the paper).
+//!
+//! The engine decides, per conditional instruction, whether a real system
+//! call is needed or the operation *lowers* to a thread-permission update.
+//! The six cases:
+//!
+//! **CONDAT(pmo, perm)** (Figure 7b)
+//! 1. not in buffer → allocate entry (`Ctr=1, DD=0`), set thread permission,
+//!    full `attach()` syscall (**first attach**);
+//! 2. in buffer, `DD=0` → set thread permission, `Ctr += 1`, no syscall
+//!    (**subsequent attach**);
+//! 3. in buffer, `DD=1` → reset `DD`, `Ctr = 1`, set thread permission, no
+//!    syscall — a detach+attach syscall *pair* elided (**silent attach**,
+//!    window combining).
+//!
+//! **CONDDT(pmo)** (Figure 7c)
+//! 4. other threads still attached → revoke thread permission, `Ctr -= 1`
+//!    (**partial detach**);
+//! 5. last thread out and the max EW already met/exceeded → full `detach()`
+//!    syscall, remove entry (**full detach**);
+//! 6. last thread out, EW not yet met → set `DD`, revoke thread permission;
+//!    the sweep will detach it when the EW expires, or a future CONDAT will
+//!    combine windows (**delayed detach**).
+//!
+//! **Sweep** (Figure 7a): every timer tick, entries whose window has been
+//! open ≥ max EW are processed: `Ctr == 0` → full detach (close the combined
+//! window, Figure 6b); `Ctr > 0` → randomize in place and restart the window
+//! (partial combining, Figure 6c).
+
+use serde::{Deserialize, Serialize};
+
+use terp_pmo::PmoId;
+use terp_sim::Cycles;
+
+use crate::circular_buffer::CircularBuffer;
+
+/// Result of executing a `CONDAT` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttachOutcome {
+    /// Case 1: first attach — a real `attach()` system call is required.
+    FirstAttach,
+    /// Case 2: the PMO is attached by other threads — lowered to a
+    /// thread-permission grant.
+    SubsequentAttach,
+    /// Case 3: delayed-detach state cleared — a detach/attach syscall pair
+    /// was elided (windows combined).
+    SilentAttach,
+    /// The buffer was full and nothing could be reclaimed; the attach
+    /// executes as an untracked full syscall (degraded mode).
+    UntrackedAttach,
+}
+
+impl AttachOutcome {
+    /// Whether this outcome requires a full attach system call.
+    pub fn needs_syscall(self) -> bool {
+        matches!(self, AttachOutcome::FirstAttach | AttachOutcome::UntrackedAttach)
+    }
+}
+
+/// Result of executing a `CONDDT` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetachOutcome {
+    /// Case 4: other threads still hold windows — lowered to a
+    /// thread-permission revoke.
+    PartialDetach,
+    /// Case 5: last thread out with the EW met/exceeded — a real `detach()`
+    /// system call is required.
+    FullDetach,
+    /// Case 6: last thread out before the EW target — detach delayed (DD
+    /// set); the sweep or a combining CONDAT will finish the job.
+    DelayedDetach,
+    /// The PMO was not tracked (untracked attach earlier, or spurious
+    /// detach); executes as a full syscall.
+    UntrackedDetach,
+}
+
+impl DetachOutcome {
+    /// Whether this outcome requires a full detach system call.
+    pub fn needs_syscall(self) -> bool {
+        matches!(self, DetachOutcome::FullDetach | DetachOutcome::UntrackedDetach)
+    }
+}
+
+/// Action the sweep asks the runtime to perform on an expired entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepAction {
+    /// No thread holds the PMO: issue the real `detach()` now (Figure 6b).
+    Detach(PmoId),
+    /// Threads still hold the PMO: randomize its location in place and
+    /// restart its window (Figure 6c partial combining).
+    Randomize(PmoId),
+}
+
+/// Counters describing how often each case fired; the source of the paper's
+/// "Silent %" and "Cond. freq." columns (Tables III/IV).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CondStats {
+    /// Case 1 count (real attach syscalls from CONDAT).
+    pub first_attach: u64,
+    /// Case 2 count.
+    pub subsequent_attach: u64,
+    /// Case 3 count (elided detach+attach pairs).
+    pub silent_attach: u64,
+    /// Untracked attaches (buffer pressure fallback).
+    pub untracked_attach: u64,
+    /// Case 4 count.
+    pub partial_detach: u64,
+    /// Case 5 count (real detach syscalls from CONDDT).
+    pub full_detach: u64,
+    /// Case 6 count.
+    pub delayed_detach: u64,
+    /// Untracked detaches.
+    pub untracked_detach: u64,
+    /// Sweep-issued real detaches.
+    pub sweep_detach: u64,
+    /// Sweep-issued randomizations.
+    pub sweep_randomize: u64,
+}
+
+impl CondStats {
+    /// Total conditional instructions executed.
+    pub fn total_cond(&self) -> u64 {
+        self.first_attach
+            + self.subsequent_attach
+            + self.silent_attach
+            + self.untracked_attach
+            + self.partial_detach
+            + self.full_detach
+            + self.delayed_detach
+            + self.untracked_detach
+    }
+
+    /// Conditional instructions that were *lowered* (no system call): the
+    /// paper's "Silent" percentage numerator.
+    pub fn silent(&self) -> u64 {
+        self.subsequent_attach + self.silent_attach + self.partial_detach + self.delayed_detach
+    }
+
+    /// Fraction of conditional instructions lowered to thread-permission
+    /// updates (Tables III/IV "Silent (%)"), 0 if none executed.
+    pub fn silent_fraction(&self) -> f64 {
+        let total = self.total_cond();
+        if total == 0 {
+            0.0
+        } else {
+            self.silent() as f64 / total as f64
+        }
+    }
+}
+
+/// The conditional attach/detach engine: circular buffer + max-EW policy.
+///
+/// ```
+/// use terp_arch::{AttachOutcome, CondEngine, DetachOutcome};
+/// use terp_pmo::PmoId;
+/// let pmo = PmoId::new(1).unwrap();
+/// let mut eng = CondEngine::new(88_000); // 40 µs at 2.2 GHz
+///
+/// assert_eq!(eng.condat(pmo, 0), AttachOutcome::FirstAttach);
+/// // A second thread attaches while the first still holds the window:
+/// assert_eq!(eng.condat(pmo, 100), AttachOutcome::SubsequentAttach);
+/// assert_eq!(eng.conddt(pmo, 200), DetachOutcome::PartialDetach);
+/// // Last thread out, long before 40 µs → the detach is delayed:
+/// assert_eq!(eng.conddt(pmo, 300), DetachOutcome::DelayedDetach);
+/// // Re-attach combines the two windows, eliding a syscall pair:
+/// assert_eq!(eng.condat(pmo, 400), AttachOutcome::SilentAttach);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CondEngine {
+    buffer: CircularBuffer,
+    max_ew: Cycles,
+    stats: CondStats,
+}
+
+impl CondEngine {
+    /// Creates an engine with the given maximum exposure window (cycles).
+    pub fn new(max_ew: Cycles) -> Self {
+        Self::with_capacity(max_ew, crate::circular_buffer::CB_CAPACITY)
+    }
+
+    /// Creates an engine with a non-default circular-buffer capacity (for
+    /// hardware-budget ablations).
+    pub fn with_capacity(max_ew: Cycles, capacity: usize) -> Self {
+        CondEngine {
+            buffer: CircularBuffer::with_capacity(capacity),
+            max_ew,
+            stats: CondStats::default(),
+        }
+    }
+
+    /// The configured maximum exposure window in cycles.
+    pub fn max_ew(&self) -> Cycles {
+        self.max_ew
+    }
+
+    /// Read-only view of the circular buffer.
+    pub fn buffer(&self) -> &CircularBuffer {
+        &self.buffer
+    }
+
+    /// Case statistics accumulated so far.
+    pub fn stats(&self) -> CondStats {
+        self.stats
+    }
+
+    /// Executes `CONDAT(pmo, perm)` at time `now`.
+    ///
+    /// The returned outcome tells the runtime what to do: perform a real
+    /// attach (+ add permission-matrix entry) for
+    /// [`AttachOutcome::FirstAttach`]/[`AttachOutcome::UntrackedAttach`], or
+    /// only update the calling thread's permission otherwise. The thread
+    /// permission update itself always happens (all four cases set it).
+    pub fn condat(&mut self, pmo: PmoId, now: Cycles) -> AttachOutcome {
+        if let Some(entry) = self.buffer.find_mut(pmo) {
+            if entry.dd {
+                // Case 3: combine windows; the pending detach never happens.
+                entry.dd = false;
+                entry.ctr = 1;
+                self.stats.silent_attach += 1;
+                AttachOutcome::SilentAttach
+            } else {
+                // Case 2: another thread's window is already open.
+                entry.ctr += 1;
+                self.stats.subsequent_attach += 1;
+                AttachOutcome::SubsequentAttach
+            }
+        } else {
+            // Case 1 (or buffer-pressure fallback).
+            match self.buffer.insert(pmo, now) {
+                Ok(_) => {
+                    self.stats.first_attach += 1;
+                    AttachOutcome::FirstAttach
+                }
+                Err(_) => {
+                    self.stats.untracked_attach += 1;
+                    AttachOutcome::UntrackedAttach
+                }
+            }
+        }
+    }
+
+    /// Executes `CONDDT(pmo)` at time `now`.
+    pub fn conddt(&mut self, pmo: PmoId, now: Cycles) -> DetachOutcome {
+        let max_ew = self.max_ew;
+        let Some(entry) = self.buffer.find_mut(pmo) else {
+            self.stats.untracked_detach += 1;
+            return DetachOutcome::UntrackedDetach;
+        };
+        if entry.ctr > 1 {
+            // Case 4: not the last thread.
+            entry.ctr -= 1;
+            self.stats.partial_detach += 1;
+            DetachOutcome::PartialDetach
+        } else if now.saturating_sub(entry.ts) >= max_ew {
+            // Case 5: EW met/exceeded — really detach.
+            self.buffer.remove(pmo);
+            self.stats.full_detach += 1;
+            DetachOutcome::FullDetach
+        } else {
+            // Case 6: delay the detach for possible combining.
+            entry.ctr = 0;
+            entry.dd = true;
+            self.stats.delayed_detach += 1;
+            DetachOutcome::DelayedDetach
+        }
+    }
+
+    /// Runs the periodic sweep at time `now`, returning the actions the
+    /// runtime must perform. Detached entries are removed from the buffer;
+    /// randomized entries get a fresh window start (`TS = now`).
+    pub fn sweep(&mut self, now: Cycles) -> Vec<SweepAction> {
+        let expired = self.buffer.expired(now, self.max_ew);
+        let mut actions = Vec::with_capacity(expired.len());
+        for entry in expired {
+            if entry.ctr == 0 {
+                self.buffer.remove(entry.pmo);
+                self.stats.sweep_detach += 1;
+                actions.push(SweepAction::Detach(entry.pmo));
+            } else {
+                let e = self.buffer.find_mut(entry.pmo).expect("expired entry vanished");
+                e.ts = now;
+                self.stats.sweep_randomize += 1;
+                actions.push(SweepAction::Randomize(entry.pmo));
+            }
+        }
+        actions
+    }
+
+    /// Forces removal of a PMO's entry (e.g. the runtime decided to retire an
+    /// idle entry to relieve buffer pressure). Returns whether it existed.
+    pub fn evict(&mut self, pmo: PmoId) -> bool {
+        self.buffer.remove(pmo).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pmo(n: u16) -> PmoId {
+        PmoId::new(n).unwrap()
+    }
+
+    const EW: Cycles = 88_000; // 40 µs at 2.2 GHz
+
+    #[test]
+    fn case_1_first_attach_needs_syscall() {
+        let mut e = CondEngine::new(EW);
+        let out = e.condat(pmo(1), 0);
+        assert_eq!(out, AttachOutcome::FirstAttach);
+        assert!(out.needs_syscall());
+        assert_eq!(e.buffer().find(pmo(1)).unwrap().ctr, 1);
+    }
+
+    #[test]
+    fn case_2_subsequent_attach_increments_ctr() {
+        let mut e = CondEngine::new(EW);
+        e.condat(pmo(1), 0);
+        let out = e.condat(pmo(1), 10);
+        assert_eq!(out, AttachOutcome::SubsequentAttach);
+        assert!(!out.needs_syscall());
+        assert_eq!(e.buffer().find(pmo(1)).unwrap().ctr, 2);
+        // TS must still be the FIRST real attach: the window start.
+        assert_eq!(e.buffer().find(pmo(1)).unwrap().ts, 0);
+    }
+
+    #[test]
+    fn case_3_silent_attach_combines_windows() {
+        let mut e = CondEngine::new(EW);
+        e.condat(pmo(1), 0);
+        e.conddt(pmo(1), 100); // delayed (case 6)
+        let out = e.condat(pmo(1), 200);
+        assert_eq!(out, AttachOutcome::SilentAttach);
+        let entry = e.buffer().find(pmo(1)).unwrap();
+        assert!(!entry.dd);
+        assert_eq!(entry.ctr, 1);
+        assert_eq!(entry.ts, 0, "combined window keeps the original start");
+    }
+
+    #[test]
+    fn case_4_partial_detach_keeps_window_open() {
+        let mut e = CondEngine::new(EW);
+        e.condat(pmo(1), 0);
+        e.condat(pmo(1), 10);
+        let out = e.conddt(pmo(1), 20);
+        assert_eq!(out, DetachOutcome::PartialDetach);
+        assert!(!out.needs_syscall());
+        assert_eq!(e.buffer().find(pmo(1)).unwrap().ctr, 1);
+    }
+
+    #[test]
+    fn case_5_full_detach_when_ew_exceeded() {
+        let mut e = CondEngine::new(EW);
+        e.condat(pmo(1), 0);
+        let out = e.conddt(pmo(1), EW + 1);
+        assert_eq!(out, DetachOutcome::FullDetach);
+        assert!(out.needs_syscall());
+        assert!(e.buffer().find(pmo(1)).is_none());
+    }
+
+    #[test]
+    fn case_6_delayed_detach_before_ew() {
+        let mut e = CondEngine::new(EW);
+        e.condat(pmo(1), 0);
+        let out = e.conddt(pmo(1), EW / 2);
+        assert_eq!(out, DetachOutcome::DelayedDetach);
+        assert!(!out.needs_syscall());
+        let entry = e.buffer().find(pmo(1)).unwrap();
+        assert!(entry.dd);
+        assert_eq!(entry.ctr, 0);
+    }
+
+    #[test]
+    fn sweep_detaches_idle_and_randomizes_live_entries() {
+        // Reproduces the Figure 7a walk-through (now=15, EW=10).
+        let mut e = CondEngine::new(10);
+        e.condat(pmo(1), 3);
+        e.conddt(pmo(1), 4); // → dd=1, ctr=0
+        e.condat(pmo(2), 5);
+        e.condat(pmo(2), 6);
+        e.condat(pmo(2), 7); // ctr=3
+        e.condat(pmo(3), 12);
+        e.condat(pmo(4), 15);
+        e.condat(pmo(4), 15); // ctr=2
+
+        let actions = e.sweep(15);
+        assert_eq!(
+            actions,
+            vec![SweepAction::Detach(pmo(1)), SweepAction::Randomize(pmo(2))]
+        );
+        assert!(e.buffer().find(pmo(1)).is_none());
+        // PMO2's window restarted at the randomization.
+        assert_eq!(e.buffer().find(pmo(2)).unwrap().ts, 15);
+        // PMO3/PMO4 untouched.
+        assert_eq!(e.buffer().find(pmo(3)).unwrap().ts, 12);
+        assert_eq!(e.buffer().find(pmo(4)).unwrap().ts, 15);
+    }
+
+    #[test]
+    fn untracked_fallbacks_when_buffer_full() {
+        let mut e = CondEngine::new(EW);
+        for i in 1..=32 {
+            e.condat(pmo(i), 0);
+        }
+        let out = e.condat(pmo(100), 1);
+        assert_eq!(out, AttachOutcome::UntrackedAttach);
+        assert!(out.needs_syscall());
+        let out = e.conddt(pmo(100), 2);
+        assert_eq!(out, DetachOutcome::UntrackedDetach);
+        assert!(out.needs_syscall());
+    }
+
+    #[test]
+    fn stats_track_silent_fraction() {
+        let mut e = CondEngine::new(EW);
+        e.condat(pmo(1), 0); // first (syscall)
+        e.conddt(pmo(1), 10); // delayed (silent)
+        e.condat(pmo(1), 20); // silent attach
+        e.conddt(pmo(1), 30); // delayed (silent)
+        let s = e.stats();
+        assert_eq!(s.total_cond(), 4);
+        assert_eq!(s.silent(), 3);
+        assert!((s.silent_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interleaved_threads_round_trip() {
+        // Two threads, disjoint attach windows on the same PMO, combined by
+        // the engine into one long process-level window.
+        let mut e = CondEngine::new(EW);
+        assert_eq!(e.condat(pmo(1), 0), AttachOutcome::FirstAttach);
+        assert_eq!(e.conddt(pmo(1), 1_000), DetachOutcome::DelayedDetach);
+        assert_eq!(e.condat(pmo(1), 2_000), AttachOutcome::SilentAttach);
+        assert_eq!(e.conddt(pmo(1), 3_000), DetachOutcome::DelayedDetach);
+        // Sweep long after: the combined window is closed by hardware.
+        let actions = e.sweep(EW + 3_000);
+        assert_eq!(actions, vec![SweepAction::Detach(pmo(1))]);
+        // Exactly one real attach happened over the whole episode.
+        assert_eq!(e.stats().first_attach, 1);
+        assert_eq!(e.stats().full_detach, 0);
+        assert_eq!(e.stats().sweep_detach, 1);
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pmo(n: u16) -> PmoId {
+        PmoId::new(n).unwrap()
+    }
+
+    proptest! {
+        /// Under arbitrary CONDAT/CONDDT/sweep interleavings, the buffer
+        /// invariants hold: `dd` implies `ctr == 0`; no `dd = 0` entry has
+        /// `ctr == 0` unless just created; stats components sum to totals;
+        /// and every tracked window start is in the past.
+        #[test]
+        fn engine_invariants_under_random_streams(
+            ops in proptest::collection::vec((0u8..3, 1u16..6, 1u64..5000), 1..400),
+        ) {
+            let mut engine = CondEngine::new(10_000);
+            let mut now = 0u64;
+            for (kind, pool, dt) in ops {
+                now += dt;
+                match kind {
+                    0 => {
+                        engine.condat(pmo(pool), now);
+                    }
+                    1 => {
+                        engine.conddt(pmo(pool), now);
+                    }
+                    _ => {
+                        engine.sweep(now);
+                    }
+                }
+                for e in engine.buffer().iter() {
+                    prop_assert!(e.ts <= now, "window start in the future");
+                    if e.dd {
+                        prop_assert_eq!(e.ctr, 0, "delayed detach with live holders");
+                    } else {
+                        prop_assert!(e.ctr >= 1, "live entry without holders");
+                    }
+                }
+                let s = engine.stats();
+                prop_assert_eq!(
+                    s.total_cond(),
+                    s.first_attach + s.subsequent_attach + s.silent_attach
+                        + s.untracked_attach + s.partial_detach + s.full_detach
+                        + s.delayed_detach + s.untracked_detach
+                );
+            }
+            // A final far-future sweep must clear every idle entry.
+            let actions = engine.sweep(now + 1_000_000);
+            for e in engine.buffer().iter() {
+                prop_assert!(e.ctr > 0, "idle entry survived the sweep");
+            }
+            let _ = actions;
+        }
+
+        /// Balanced per-thread streams leave zero net holders: after every
+        /// thread detaches, a far sweep empties the buffer entirely.
+        #[test]
+        fn balanced_streams_drain(threads in 1usize..5, rounds in 1u64..30) {
+            let mut engine = CondEngine::new(5_000);
+            let mut now = 0;
+            for r in 0..rounds {
+                for t in 0..threads {
+                    now += 100;
+                    let _ = (t, engine.condat(pmo(1), now));
+                }
+                for _ in 0..threads {
+                    now += 100;
+                    engine.conddt(pmo(1), now);
+                }
+                let _ = r;
+            }
+            engine.sweep(now + 100_000);
+            prop_assert!(engine.buffer().is_empty(), "{:?}", engine.buffer());
+        }
+    }
+}

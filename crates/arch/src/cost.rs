@@ -1,0 +1,105 @@
+//! Hardware cost model for the TERP additions (paper Section V-B, last
+//! paragraph).
+//!
+//! The only sizeable structure is the circular buffer: 32 entries × 34 bits
+//! ≈ 140 bytes (the paper quotes "140 bytes" and "0.006 % of the die area"
+//! of a 45 nm Nehalem-class processor, evaluated with Cacti). The per-field
+//! widths shown in Figure 7a are PMOID 10 b, TS 10 b, Ctr 14 b, DD 1 b —
+//! note these sum to 35 b while the text says 34 b per entry; we follow the
+//! text's 34-bit figure for the headline byte count and expose both.
+
+use serde::{Deserialize, Serialize};
+
+/// Field widths and totals of the circular buffer hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HardwareCost {
+    /// Entries in the circular buffer.
+    pub entries: u32,
+    /// Bits per entry (paper text: 34).
+    pub entry_bits: u32,
+    /// Width of the PMO-id field (Figure 7a).
+    pub pmoid_bits: u32,
+    /// Width of the timestamp field (Figure 7a).
+    pub ts_bits: u32,
+    /// Width of the thread-counter field (Figure 7a).
+    pub ctr_bits: u32,
+    /// Width of the delayed-detach field (Figure 7a).
+    pub dd_bits: u32,
+    /// Width of the global timer counter incremented every 1 µs.
+    pub timer_bits: u32,
+}
+
+impl Default for HardwareCost {
+    fn default() -> Self {
+        HardwareCost {
+            entries: 32,
+            entry_bits: 34,
+            pmoid_bits: 10,
+            ts_bits: 10,
+            ctr_bits: 14,
+            dd_bits: 1,
+            timer_bits: 32,
+        }
+    }
+}
+
+impl HardwareCost {
+    /// Total on-chip storage in bits (buffer + timer).
+    pub fn total_bits(&self) -> u64 {
+        u64::from(self.entries) * u64::from(self.entry_bits) + u64::from(self.timer_bits)
+    }
+
+    /// Total on-chip storage in bytes, rounded up.
+    ///
+    /// ```
+    /// use terp_arch::cost::HardwareCost;
+    /// let c = HardwareCost::default();
+    /// // 32 × 34 b + 32 b timer = 1120 b = 140 B: the paper's "140 bytes".
+    /// assert_eq!(c.total_bytes(), 140);
+    /// ```
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bits().div_ceil(8)
+    }
+
+    /// Die-area fraction on the reference 45 nm Nehalem-class processor,
+    /// matching the paper's Cacti-derived estimate.
+    pub fn die_area_fraction(&self) -> f64 {
+        // The paper reports 140 bytes ↦ 0.006 % of the die. Scale linearly
+        // in storage for non-default configurations.
+        0.00006 * (self.total_bytes() as f64 / 140.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_totals() {
+        let c = HardwareCost::default();
+        assert_eq!(c.entries, 32);
+        assert_eq!(c.entry_bits, 34);
+        assert_eq!(c.total_bytes(), 140);
+        assert!((c.die_area_fraction() - 0.00006).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure_7a_field_widths() {
+        let c = HardwareCost::default();
+        assert_eq!(c.pmoid_bits, 10);
+        assert_eq!(c.ts_bits, 10);
+        assert_eq!(c.ctr_bits, 14);
+        assert_eq!(c.dd_bits, 1);
+        // Documented discrepancy: figure widths sum to 35, text says 34.
+        assert_eq!(c.pmoid_bits + c.ts_bits + c.ctr_bits + c.dd_bits, 35);
+    }
+
+    #[test]
+    fn area_scales_with_entries() {
+        let c = HardwareCost {
+            entries: 64,
+            ..Default::default()
+        };
+        assert!(c.die_area_fraction() > 0.00006);
+    }
+}

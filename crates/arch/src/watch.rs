@@ -1,0 +1,221 @@
+//! The paper's *first* design option for conditional attach/detach
+//! (Section V-B): instead of new `CONDAT`/`CONDDT` instructions, "register
+//! the PC addresses of attach and detach system calls in special registers.
+//! When the program counter points to any of them, the hardware intercepts
+//! it and directs the instruction fetch only if a certain condition is met."
+//!
+//! The paper chooses the instruction variant "for simpler illustration" and
+//! notes "either design is equally possible". This module implements the
+//! watch-register variant over the same circular-buffer logic so the
+//! design-space claim can be validated: both front-ends must produce
+//! identical decisions on identical operation streams (see the
+//! equivalence tests).
+
+use serde::{Deserialize, Serialize};
+
+use terp_pmo::PmoId;
+use terp_sim::Cycles;
+
+use crate::cond::{AttachOutcome, CondEngine, CondStats, DetachOutcome, SweepAction};
+
+/// Virtual addresses of the protected syscall stubs.
+pub type Pc = u64;
+
+/// The pair of architectural watch registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchRegisters {
+    /// PC of the `attach()` syscall stub.
+    pub attach_pc: Pc,
+    /// PC of the `detach()` syscall stub.
+    pub detach_pc: Pc,
+}
+
+/// What the fetch-stage interception decides for a watched PC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FetchDecision {
+    /// The PC is not watched: fetch proceeds normally.
+    NotWatched,
+    /// Watched attach PC: the syscall must actually execute (first attach /
+    /// untracked).
+    ExecuteAttach(AttachOutcome),
+    /// Watched attach PC: the call is suppressed; hardware applied the
+    /// thread-permission update instead.
+    SuppressAttach(AttachOutcome),
+    /// Watched detach PC: the syscall must execute.
+    ExecuteDetach(DetachOutcome),
+    /// Watched detach PC: suppressed (lowered/delayed).
+    SuppressDetach(DetachOutcome),
+}
+
+impl FetchDecision {
+    /// Whether the intercepted call still enters the kernel.
+    pub fn executes_syscall(self) -> bool {
+        matches!(
+            self,
+            FetchDecision::ExecuteAttach(_) | FetchDecision::ExecuteDetach(_)
+        )
+    }
+}
+
+/// The watch-register front-end: same decision engine, different trigger.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WatchUnit {
+    registers: WatchRegisters,
+    engine: CondEngine,
+    intercepts: u64,
+}
+
+impl WatchUnit {
+    /// Programs the watch registers and the EW target.
+    pub fn new(registers: WatchRegisters, max_ew: Cycles) -> Self {
+        WatchUnit {
+            registers,
+            engine: CondEngine::new(max_ew),
+            intercepts: 0,
+        }
+    }
+
+    /// The programmed registers.
+    pub fn registers(&self) -> WatchRegisters {
+        self.registers
+    }
+
+    /// Handles an instruction fetch at `pc` whose (would-be) syscall operand
+    /// names `pmo`, at time `now`.
+    pub fn on_fetch(&mut self, pc: Pc, pmo: PmoId, now: Cycles) -> FetchDecision {
+        if pc == self.registers.attach_pc {
+            self.intercepts += 1;
+            let outcome = self.engine.condat(pmo, now);
+            if outcome.needs_syscall() {
+                FetchDecision::ExecuteAttach(outcome)
+            } else {
+                FetchDecision::SuppressAttach(outcome)
+            }
+        } else if pc == self.registers.detach_pc {
+            self.intercepts += 1;
+            let outcome = self.engine.conddt(pmo, now);
+            if outcome.needs_syscall() {
+                FetchDecision::ExecuteDetach(outcome)
+            } else {
+                FetchDecision::SuppressDetach(outcome)
+            }
+        } else {
+            FetchDecision::NotWatched
+        }
+    }
+
+    /// Runs the periodic sweep (same hardware as the instruction design).
+    pub fn sweep(&mut self, now: Cycles) -> Vec<SweepAction> {
+        self.engine.sweep(now)
+    }
+
+    /// Decision statistics (shared semantics with [`CondEngine::stats`]).
+    pub fn stats(&self) -> CondStats {
+        self.engine.stats()
+    }
+
+    /// Number of fetches intercepted at watched PCs.
+    pub fn intercepts(&self) -> u64 {
+        self.intercepts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ATTACH_PC: Pc = 0x40_1000;
+    const DETACH_PC: Pc = 0x40_2000;
+    const EW: Cycles = 88_000;
+
+    fn unit() -> WatchUnit {
+        WatchUnit::new(
+            WatchRegisters {
+                attach_pc: ATTACH_PC,
+                detach_pc: DETACH_PC,
+            },
+            EW,
+        )
+    }
+
+    fn pmo(n: u16) -> PmoId {
+        PmoId::new(n).unwrap()
+    }
+
+    #[test]
+    fn unwatched_pcs_pass_through() {
+        let mut w = unit();
+        assert_eq!(w.on_fetch(0xdead, pmo(1), 0), FetchDecision::NotWatched);
+        assert_eq!(w.intercepts(), 0);
+    }
+
+    #[test]
+    fn first_attach_executes_subsequent_suppressed() {
+        let mut w = unit();
+        assert_eq!(
+            w.on_fetch(ATTACH_PC, pmo(1), 0),
+            FetchDecision::ExecuteAttach(AttachOutcome::FirstAttach)
+        );
+        assert_eq!(
+            w.on_fetch(ATTACH_PC, pmo(1), 10),
+            FetchDecision::SuppressAttach(AttachOutcome::SubsequentAttach)
+        );
+        assert_eq!(
+            w.on_fetch(DETACH_PC, pmo(1), 20),
+            FetchDecision::SuppressDetach(DetachOutcome::PartialDetach)
+        );
+        assert_eq!(w.intercepts(), 3);
+    }
+
+    #[test]
+    fn equivalence_with_instruction_design() {
+        // The paper's claim: "either design is equally possible" — the two
+        // front-ends make identical decisions on identical streams.
+        let mut watch = unit();
+        let mut instr = CondEngine::new(EW);
+
+        // A long pseudo-random stream of attach/detach over 4 pools.
+        let mut state = 0x1234_5678u64;
+        let mut now = 0u64;
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let p = pmo(1 + (state >> 33) as u16 % 4);
+            now += (state >> 40) % 3000;
+            if (state >> 20).is_multiple_of(2) {
+                let a = instr.condat(p, now);
+                let d = watch.on_fetch(ATTACH_PC, p, now);
+                match d {
+                    FetchDecision::ExecuteAttach(x) | FetchDecision::SuppressAttach(x) => {
+                        assert_eq!(a, x)
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+                assert_eq!(a.needs_syscall(), d.executes_syscall());
+            } else {
+                let a = instr.conddt(p, now);
+                let d = watch.on_fetch(DETACH_PC, p, now);
+                match d {
+                    FetchDecision::ExecuteDetach(x) | FetchDecision::SuppressDetach(x) => {
+                        assert_eq!(a, x)
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+                assert_eq!(a.needs_syscall(), d.executes_syscall());
+            }
+            // Periodic sweeps must match too.
+            if now.is_multiple_of(7) {
+                assert_eq!(instr.sweep(now), watch.sweep(now));
+            }
+        }
+        assert_eq!(instr.stats(), watch.stats());
+    }
+
+    #[test]
+    fn sweep_behaviour_matches_engine() {
+        let mut w = unit();
+        w.on_fetch(ATTACH_PC, pmo(1), 0);
+        w.on_fetch(DETACH_PC, pmo(1), 100); // delayed
+        let actions = w.sweep(EW + 200);
+        assert_eq!(actions, vec![SweepAction::Detach(pmo(1))]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Criterion end-to-end experiment benches: one target per paper artifact,
+//! at reduced scale so `cargo bench` completes quickly. These measure the
+//! wall-clock cost of *running the experiment pipeline* and double as a
+//! regression guard that every configuration still executes; the actual
+//! table/figure numbers come from the `terp-bench` binaries (see DESIGN.md
+//! §4).
+//!
+//! Also holds the DESIGN.md §5 ablation benches: window-combining on/off,
+//! conditional-instruction cost, semantics choice, EW sweep, and the
+//! circular-buffer sweep-period sensitivity.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use terp_core::config::{ProtectionConfig, Scheme};
+use terp_core::runtime::Executor;
+use terp_sim::SimParams;
+use terp_workloads::spec::{mcf, SpecScale};
+use terp_workloads::whisper::{redis, WhisperScale};
+use terp_workloads::{Variant, Workload};
+
+const TINY_WHISPER: WhisperScale = WhisperScale { batches: 8 };
+const TINY_SPEC: SpecScale = SpecScale {
+    phase_repeats: 1,
+    batches_per_phase: 4,
+};
+
+fn run(workload: &Workload, scheme: Scheme, ew: f64, params: &SimParams) -> terp_core::RunReport {
+    let variant = match scheme {
+        Scheme::Unprotected => Variant::Unprotected,
+        Scheme::Merr => Variant::Manual,
+        _ => Variant::Auto {
+            let_threshold: params.us_to_cycles(2.0),
+        },
+    };
+    let mut reg = workload.build_registry();
+    let traces = workload.traces(variant, 42);
+    let config = ProtectionConfig::new(scheme, ew, 2.0);
+    Executor::new(params.clone(), config)
+        .run(&mut reg, traces)
+        .expect("bench run")
+}
+
+/// Table III / Figure 9 pipeline: WHISPER under each scheme.
+fn bench_whisper_schemes(c: &mut Criterion) {
+    let params = SimParams::default();
+    let workload = redis(TINY_WHISPER);
+    let mut group = c.benchmark_group("whisper_redis");
+    for (label, scheme) in [
+        ("unprotected", Scheme::Unprotected),
+        ("MM", Scheme::Merr),
+        ("TM", Scheme::TerpSoftware),
+        ("TT", Scheme::terp_full()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(run(&workload, scheme, 40.0, &params)))
+        });
+    }
+    group.finish();
+}
+
+/// Table IV / Figure 10 pipeline: SPEC single-thread.
+fn bench_spec_schemes(c: &mut Criterion) {
+    let params = SimParams::default();
+    let workload = mcf(TINY_SPEC);
+    let mut group = c.benchmark_group("spec_mcf");
+    for (label, scheme) in [
+        ("MM", Scheme::Merr),
+        ("TM", Scheme::TerpSoftware),
+        ("TT", Scheme::terp_full()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(run(&workload, scheme, 40.0, &params)))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 11 pipeline: 4-thread ablation (semantics, +Cond, +CB).
+fn bench_multithread_ablation(c: &mut Criterion) {
+    let params = SimParams::default();
+    let workload = mcf(TINY_SPEC).with_threads(4);
+    let mut group = c.benchmark_group("spec_mcf_4t");
+    for (label, scheme) in [
+        ("basic", Scheme::BasicSemantics),
+        (
+            "cond_only",
+            Scheme::TerpFull {
+                window_combining: false,
+            },
+        ),
+        ("full", Scheme::terp_full()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(run(&workload, scheme, 40.0, &params)))
+        });
+    }
+    group.finish();
+}
+
+/// EW-target sweep (Figures 9–11 x-axis).
+fn bench_ew_sweep(c: &mut Criterion) {
+    let params = SimParams::default();
+    let workload = redis(TINY_WHISPER);
+    let mut group = c.benchmark_group("ew_sweep_tt");
+    for ew in [40.0f64, 80.0, 160.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(ew as u64), &ew, |b, &ew| {
+            b.iter(|| black_box(run(&workload, Scheme::terp_full(), ew, &params)))
+        });
+    }
+    group.finish();
+}
+
+/// DESIGN.md §5 item 5: sweep-period sensitivity of the circular buffer.
+fn bench_sweep_period(c: &mut Criterion) {
+    let workload = redis(TINY_WHISPER);
+    let mut group = c.benchmark_group("sweep_period");
+    for period_us in [0.5f64, 1.0, 4.0] {
+        let mut params = SimParams::default();
+        params.sweep_period_cycles = params.us_to_cycles(period_us);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{period_us}us")),
+            &params,
+            |b, params| {
+                b.iter(|| black_box(run(&workload, Scheme::terp_full(), 40.0, params)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_whisper_schemes,
+        bench_spec_schemes,
+        bench_multithread_ablation,
+        bench_ew_sweep,
+        bench_sweep_period,
+);
+criterion_main!(experiments);

@@ -1,0 +1,145 @@
+//! Criterion micro-benchmarks for the substrate hot paths: the conditional
+//! attach/detach engine, the circular-buffer sweep, the permission hardware,
+//! the pool allocator, the cache/TLB models, address-space attach with
+//! randomization, and the compiler's insertion pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use terp_arch::CondEngine;
+use terp_compiler::insertion::{insert_protection, InsertionConfig};
+use terp_compiler::lower::{lower, LowerConfig};
+use terp_core::poset::terp_protection_poset;
+use terp_pmo::alloc::PoolAllocator;
+use terp_pmo::{OpenMode, Permission, PmoId, PmoRegistry, ProcessAddressSpace};
+use terp_sim::cache::SetAssocCache;
+use terp_sim::tlb::Tlb;
+use terp_sim::{PermissionMatrix, SimParams, ThreadPermissionTable};
+use terp_workloads::whisper::{redis, WhisperScale};
+
+fn pmo(n: u16) -> PmoId {
+    PmoId::new(n).unwrap()
+}
+
+fn bench_cond_engine(c: &mut Criterion) {
+    c.bench_function("condat_conddt_silent_pair", |b| {
+        let mut engine = CondEngine::new(88_000);
+        engine.condat(pmo(1), 0);
+        let mut t = 1u64;
+        b.iter(|| {
+            // Steady-state combining: delayed detach + silent attach.
+            black_box(engine.conddt(pmo(1), t));
+            black_box(engine.condat(pmo(1), t + 1));
+            t += 2;
+        });
+    });
+
+    c.bench_function("sweep_32_entries", |b| {
+        let mut engine = CondEngine::new(10);
+        for i in 1..=32u16 {
+            engine.condat(pmo(i), 0);
+        }
+        b.iter(|| {
+            // No entry expires (timestamps refreshed), measuring scan cost.
+            black_box(engine.sweep(black_box(5)));
+        });
+    });
+}
+
+fn bench_permission_hardware(c: &mut Criterion) {
+    c.bench_function("permission_matrix_check", |b| {
+        let mut m = PermissionMatrix::new();
+        for i in 1..=6u16 {
+            m.insert(pmo(i), (0x1000 * u64::from(i)) << 16, 1 << 16, Permission::ReadWrite);
+        }
+        b.iter(|| black_box(m.check(black_box(0x3000 << 16), terp_pmo::AccessKind::Read)));
+    });
+
+    c.bench_function("thread_permission_grant_revoke", |b| {
+        let mut t = ThreadPermissionTable::new();
+        b.iter(|| {
+            t.grant(0, pmo(1), Permission::ReadWrite);
+            black_box(t.check(0, pmo(1), terp_pmo::AccessKind::Write));
+            t.revoke(0, pmo(1));
+        });
+    });
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    c.bench_function("pmalloc_pfree_cycle", |b| {
+        let mut a = PoolAllocator::new(1 << 24);
+        b.iter(|| {
+            let x = a.alloc(black_box(256)).unwrap();
+            let y = a.alloc(black_box(1024)).unwrap();
+            a.free(x).unwrap();
+            a.free(y).unwrap();
+        });
+    });
+}
+
+fn bench_cache_tlb(c: &mut Criterion) {
+    c.bench_function("l1d_access_stream", |b| {
+        let mut cache = SetAssocCache::new(64, 8, 64);
+        let mut addr = 0u64;
+        b.iter(|| {
+            black_box(cache.access(black_box(addr)));
+            addr = addr.wrapping_add(64) & 0xFFFF;
+        });
+    });
+
+    c.bench_function("tlb_translate_warm", |b| {
+        let mut tlb = Tlb::new(&SimParams::default());
+        tlb.translate(0x1000);
+        b.iter(|| black_box(tlb.translate(black_box(0x1000))));
+    });
+}
+
+fn bench_address_space(c: &mut Criterion) {
+    c.bench_function("attach_randomized_detach", |b| {
+        let mut reg = PmoRegistry::new();
+        let id = reg.create("bench", 1 << 30, OpenMode::ReadWrite).unwrap();
+        let mut space = ProcessAddressSpace::with_seed(1);
+        b.iter(|| {
+            let h = space.attach(reg.pool_mut(id).unwrap(), Permission::ReadWrite).unwrap();
+            black_box(h.base_va());
+            space.detach(reg.pool_mut(id).unwrap()).unwrap();
+        });
+    });
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let workload = redis(WhisperScale { batches: 5 });
+    c.bench_function("insertion_pass_redis", |b| {
+        b.iter(|| {
+            black_box(insert_protection(
+                black_box(&workload.program),
+                &InsertionConfig::default(),
+            ))
+        });
+    });
+
+    let inserted = insert_protection(&workload.program, &InsertionConfig::default());
+    c.bench_function("lowering_redis_5_batches", |b| {
+        b.iter(|| black_box(lower(&inserted.function, &LowerConfig::default()).unwrap()));
+    });
+}
+
+fn bench_poset(c: &mut Criterion) {
+    c.bench_function("terp_poset_hasse_edges", |b| {
+        let p = terp_protection_poset(4, 2);
+        b.iter(|| black_box(p.hasse_edges()));
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets =
+        bench_cond_engine,
+        bench_permission_hardware,
+        bench_allocator,
+        bench_cache_tlb,
+        bench_address_space,
+        bench_compiler,
+        bench_poset,
+);
+criterion_main!(micro);

@@ -1,0 +1,208 @@
+//! Design-choice ablations (DESIGN.md §5) beyond the paper's own figures:
+//!
+//! 1. **Sweep period** — how often the circular buffer is scanned bounds
+//!    how far a combined window can overshoot the EW target.
+//! 2. **Circular-buffer capacity** — fewer entries than live PMOs forces
+//!    untracked (full-syscall) fallbacks.
+//! 3. **TEW insertion budget** — coarser compiler windows trade fewer
+//!    conditional ops against longer thread exposure.
+//! 4. **Loop-bound assumption** — a wrong static trip-count guess must not
+//!    break the EW guarantee (the hardware timer backstop catches it).
+
+use terp_bench::{Scale, TEW_TARGET_US};
+use terp_compiler::insertion::{insert_protection, InsertionConfig};
+use terp_compiler::lower::{lower, LowerConfig};
+use terp_compiler::FunctionBuilder;
+use terp_core::config::ProtectionConfig;
+use terp_core::runtime::Executor;
+use terp_pmo::{AccessKind, OpenMode, PmoId, PmoRegistry};
+use terp_sim::SimParams;
+use terp_workloads::{whisper, Variant};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Design ablations ({scale:?} scale)\n");
+
+    sweep_period(scale);
+    cb_capacity();
+    tew_budget();
+    loop_bound_backstop();
+}
+
+/// Ablation 1: sweep period vs achieved max EW.
+fn sweep_period(scale: Scale) {
+    println!("1. circular-buffer sweep period (workload: redis, EW target 40 µs)");
+    let workload = whisper::redis(scale.whisper());
+    for period_us in [0.5, 1.0, 4.0, 16.0] {
+        let mut params = SimParams::default();
+        params.sweep_period_cycles = params.us_to_cycles(period_us);
+        let mut reg = workload.build_registry();
+        let traces = workload.traces(
+            Variant::Auto {
+                let_threshold: params.us_to_cycles(TEW_TARGET_US),
+            },
+            42,
+        );
+        let config = ProtectionConfig::terp_default();
+        let r = Executor::new(params, config).run(&mut reg, traces).expect("run");
+        println!(
+            "   period {:>5.1} µs: EW avg/max {:>5.1}/{:>5.1} µs, overhead {:>5.2} %, randomizations {}",
+            period_us,
+            r.ew_avg_us(),
+            r.ew_max_us(),
+            r.overhead_fraction() * 100.0,
+            r.randomizations
+        );
+    }
+    println!("   → coarser sweeps let combined windows overshoot the 40 µs target.\n");
+}
+
+/// Ablation 2: circular-buffer capacity vs untracked fallbacks.
+///
+/// The workload round-robins tight windows over 8 pools within one EW, so
+/// up to 8 delayed-detach entries coexist in the buffer; capacities below
+/// that force untracked (full-syscall) fallbacks.
+fn cb_capacity() {
+    println!("2. circular-buffer capacity (synthetic: 8 PMOs round-robin within one EW)");
+    let pools = 8u16;
+    let mut b = FunctionBuilder::new("cb-pressure");
+    b.loop_(Some(400), |round| {
+        for p in 1..=pools {
+            let pmo = PmoId::new(p).expect("valid id");
+            round.attach(pmo, terp_pmo::Permission::ReadWrite);
+            round.pmo_access(pmo, AccessKind::Write, 2);
+            round.detach(pmo);
+            round.compute(500);
+        }
+    });
+    let program = b.finish();
+    let trace = lower(&program, &LowerConfig::default()).expect("lowering");
+
+    for capacity in [2, 4, 8, 32] {
+        let mut reg = PmoRegistry::new();
+        for p in 0..pools {
+            reg.create(&format!("cb{p}"), 1 << 20, OpenMode::ReadWrite)
+                .expect("pool");
+        }
+        let config = ProtectionConfig::terp_default().with_cb_capacity(capacity);
+        let r = Executor::new(SimParams::default(), config)
+            .run(&mut reg, vec![trace.clone()])
+            .expect("run");
+        println!(
+            "   capacity {:>2}: overhead {:>6.2} %, untracked attaches {:>5}, attach syscalls {:>5}, silent {:>5.1} %",
+            capacity,
+            r.overhead_fraction() * 100.0,
+            r.cond.untracked_attach,
+            r.attach_syscalls,
+            r.silent_fraction() * 100.0
+        );
+    }
+    println!("   → below the live-PMO count the buffer degrades gracefully to untracked");
+    println!("     syscalls; the paper's 32 entries leave ample headroom.\n");
+}
+
+/// Ablation 3: compiler TEW budget sweep.
+///
+/// The workload is a chain of short access bursts separated by ~1 µs of
+/// compute: a small budget brackets each burst separately; a large budget
+/// lets the region grow over several bursts, so the constructs get rarer
+/// and the thread windows longer.
+fn tew_budget() {
+    println!("3. compiler TEW budget (synthetic: burst chain, ~1 µs gaps)");
+    let pmo = PmoId::new(1).expect("valid id");
+    let params = SimParams::default();
+    let mut b = FunctionBuilder::new("budget");
+    b.loop_(Some(300), |round| {
+        for _ in 0..6 {
+            // One burst in its own diamond, then a gap.
+            round.if_else(
+                1.0,
+                |burst| {
+                    burst.pmo_access(pmo, AccessKind::Read, 3);
+                },
+                |_| {},
+            );
+            round.compute(4400); // ~1 µs
+        }
+    });
+    let program = b.finish();
+
+    for tew_us in [0.5, 2.0, 8.0, 32.0] {
+        let inserted = insert_protection(
+            &program,
+            &InsertionConfig {
+                let_threshold: params.us_to_cycles(tew_us),
+                ..Default::default()
+            },
+        );
+        let trace = lower(&inserted.function, &LowerConfig::default()).expect("lowering");
+        let mut reg = PmoRegistry::new();
+        reg.create("budget", 1 << 20, OpenMode::ReadWrite).expect("pool");
+        let mut config = ProtectionConfig::terp_default();
+        config.tew_target_us = tew_us;
+        let r = Executor::new(params.clone(), config)
+            .run(&mut reg, vec![trace])
+            .expect("run");
+        println!(
+            "   budget {:>4.1} µs: TEW avg {:>5.2} µs, TER {:>5.1} %, cond ops {:>7}, overhead {:>5.2} %",
+            tew_us,
+            r.tew_avg_us(),
+            r.thread_exposure_rate * 100.0,
+            r.cond.total_cond(),
+            r.overhead_fraction() * 100.0
+        );
+    }
+    println!("   → smaller budgets shrink thread exposure at the cost of more cond ops.\n");
+}
+
+/// Ablation 4: the 1k loop-bound assumption vs the timer backstop.
+fn loop_bound_backstop() {
+    println!("4. loop-bound assumption (LET guesses 1k iterations; actual loop runs 100x longer)");
+    use terp_compiler::insertion::{insert_protection, InsertionConfig};
+    use terp_compiler::lower::{lower, LowerConfig};
+    use terp_compiler::FunctionBuilder;
+    use terp_pmo::{AccessKind, OpenMode, PmoId, PmoRegistry};
+
+    let pmo = PmoId::new(1).expect("valid id");
+    let mut b = FunctionBuilder::new("backstop");
+    // Statically unknown trip count: LET assumes 1000; we lower 100k
+    // iterations — the static window estimate is 100× too small.
+    b.loop_(None, |body| {
+        body.pmo_access(pmo, AccessKind::Read, 1);
+        body.if_else(
+            1.0,
+            |t| {
+                t.compute(100);
+            },
+            |_| {},
+        );
+    });
+    let mut program = b.finish();
+    // Override the latch to actually run 100k iterations at lowering time.
+    for block in &mut program.blocks {
+        if let terp_compiler::Terminator::LoopLatch { trips, .. } = &mut block.terminator {
+            *trips = Some(100_000);
+        }
+    }
+    let inserted = insert_protection(&program, &InsertionConfig::default());
+    let trace = lower(
+        &inserted.function,
+        &LowerConfig {
+            max_ops: 8 << 20,
+            ..Default::default()
+        },
+    )
+    .expect("lowering");
+    let mut reg = PmoRegistry::new();
+    reg.create("backstop", 1 << 20, OpenMode::ReadWrite).expect("pool");
+    let r = Executor::new(SimParams::default(), ProtectionConfig::terp_default())
+        .run(&mut reg, vec![trace])
+        .expect("run");
+    println!(
+        "   run {:.0} µs total: EW max {:.1} µs stays near the 40 µs target (randomizations {})",
+        r.total_us(),
+        r.ew_max_us(),
+        r.randomizations
+    );
+    println!("   → even a 100x static misestimate cannot blow the window: the sweep closes it.");
+}

@@ -1,0 +1,87 @@
+//! Regenerates **Figure 10**: single-thread, multi-PMO SPEC execution-time
+//! overheads for MM(40 µs), TM(40 µs), TT(40/80/160 µs), with the
+//! Attach/Detach/Rand/Cond/Other breakdown.
+//!
+//! Paper shape: TM blows past 300 % (every conditional op is a syscall);
+//! MM ≈ 156 %; TT collapses to 14.8 % at 40 µs and 7.6 % at 160 µs —
+//! "more than an order of magnitude reduction". lbm (both pools always
+//! live) is the most expensive benchmark.
+
+use terp_bench::{mean, rule, run_scheme, Scale};
+use terp_core::config::Scheme;
+use terp_core::RunReport;
+use terp_sim::OverheadCategory;
+use terp_workloads::spec;
+
+fn breakdown_row(label: &str, name: &str, r: &RunReport) {
+    println!(
+        "{:8} {:12} | {:8.2}% = at {:6.2}% + dt {:6.2}% + rand {:5.2}% + cond {:5.2}% + other {:5.2}%",
+        name,
+        label,
+        r.overhead_fraction() * 100.0,
+        r.category_fraction(OverheadCategory::Attach) * 100.0,
+        r.category_fraction(OverheadCategory::Detach) * 100.0,
+        r.category_fraction(OverheadCategory::Rand) * 100.0,
+        r.category_fraction(OverheadCategory::Cond) * 100.0,
+        r.category_fraction(OverheadCategory::Other) * 100.0,
+    );
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Figure 10 — SPEC single-thread overhead breakdown ({scale:?} scale)\n");
+
+    let configs: [(&str, Scheme, f64); 5] = [
+        ("MM (40us)", Scheme::Merr, 40.0),
+        ("TM (40us)", Scheme::TerpSoftware, 40.0),
+        ("TT (40us)", Scheme::terp_full(), 40.0),
+        ("TT (80us)", Scheme::terp_full(), 80.0),
+        ("TT (160us)", Scheme::terp_full(), 160.0),
+    ];
+
+    let mut averages: Vec<(String, Vec<f64>)> =
+        configs.iter().map(|(l, _, _)| (l.to_string(), vec![])).collect();
+    let mut worst = ("", 0.0f64);
+
+    for workload in spec::all(scale.spec()) {
+        for (i, (label, scheme, ew)) in configs.iter().enumerate() {
+            let r = run_scheme(&workload, *scheme, *ew, 42);
+            breakdown_row(label, &workload.name, &r);
+            averages[i].1.push(r.overhead_fraction());
+            if i == 2 && r.overhead_fraction() > worst.1 {
+                worst = (
+                    match workload.name.as_str() {
+                        "mcf" => "mcf",
+                        "lbm" => "lbm",
+                        "imagick" => "imagick",
+                        "nab" => "nab",
+                        _ => "xz",
+                    },
+                    r.overhead_fraction(),
+                );
+            }
+        }
+        rule(110);
+    }
+
+    println!("\nAverages:");
+    for (label, values) in &averages {
+        println!("  {:12} {:8.2}%", label, mean(values) * 100.0);
+    }
+    let mm = mean(&averages[0].1);
+    let tm = mean(&averages[1].1);
+    let tt40 = mean(&averages[2].1);
+    let tt160 = mean(&averages[4].1);
+    println!(
+        "\nheadline: MM {:.0}% (paper 156%), TM {:.0}% (paper >300%), TT {:.1}% @40us (paper 14.8%) -> {:.1}% @160us (paper 7.6%)",
+        mm * 100.0,
+        tm * 100.0,
+        tt40 * 100.0,
+        tt160 * 100.0
+    );
+    println!(
+        "most expensive TT benchmark: {} at {:.1}% (paper: lbm, both pools live)",
+        worst.0,
+        worst.1 * 100.0
+    );
+}

@@ -1,0 +1,71 @@
+//! Regenerates **Figure 11**: four-thread SPEC results with the benefits
+//! breakdown — Basic semantics (threads serialize on every PMO), "+Cond"
+//! (conditional instructions / EW-conscious semantics, no window
+//! combining), and "+CB" (the full TERP design) over EW ∈ {40, 80, 160} µs.
+//!
+//! Paper shape: Basic semantics incurs enormous overheads (threads wait for
+//! each other's windows — up to ~1000 %); +Cond drops it dramatically by
+//! letting threads share windows; +CB shaves the remaining syscalls via
+//! combining; randomization cost is higher than single-thread because all
+//! threads suspend during a relocation.
+
+use terp_bench::{mean, rule, run_scheme, Scale};
+use terp_core::config::Scheme;
+use terp_core::RunReport;
+use terp_sim::OverheadCategory;
+use terp_workloads::spec;
+
+fn breakdown_row(label: &str, name: &str, r: &RunReport) {
+    println!(
+        "{:8} {:14} | {:8.2}% = at {:7.2}% + dt {:6.2}% + rand {:5.2}% + cond {:5.2}% + other {:5.2}% (blocked {:.1} µs)",
+        name,
+        label,
+        r.overhead_fraction() * 100.0,
+        r.category_fraction(OverheadCategory::Attach) * 100.0,
+        r.category_fraction(OverheadCategory::Detach) * 100.0,
+        r.category_fraction(OverheadCategory::Rand) * 100.0,
+        r.category_fraction(OverheadCategory::Cond) * 100.0,
+        r.category_fraction(OverheadCategory::Other) * 100.0,
+        r.blocked_cycles as f64 / r.cycles_per_us,
+    );
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Figure 11 — 4-thread SPEC benefits breakdown ({scale:?} scale)\n");
+
+    let configs: [(&str, Scheme, f64); 5] = [
+        ("basic (40us)", Scheme::BasicSemantics, 40.0),
+        ("+Cond (40us)", Scheme::TerpFull { window_combining: false }, 40.0),
+        ("+CB (40us)", Scheme::terp_full(), 40.0),
+        ("+CB (80us)", Scheme::terp_full(), 80.0),
+        ("+CB (160us)", Scheme::terp_full(), 160.0),
+    ];
+
+    let mut averages: Vec<(String, Vec<f64>)> =
+        configs.iter().map(|(l, _, _)| (l.to_string(), vec![])).collect();
+
+    for workload in spec::all(scale.spec()) {
+        let workload = workload.with_threads(4);
+        for (i, (label, scheme, ew)) in configs.iter().enumerate() {
+            let r = run_scheme(&workload, *scheme, *ew, 42);
+            breakdown_row(label, &workload.name, &r);
+            averages[i].1.push(r.overhead_fraction());
+        }
+        rule(128);
+    }
+
+    println!("\nAverages:");
+    for (label, values) in &averages {
+        println!("  {:14} {:8.2}%", label, mean(values) * 100.0);
+    }
+    let basic = mean(&averages[0].1);
+    let cond = mean(&averages[1].1);
+    let cb = mean(&averages[2].1);
+    println!(
+        "\nheadline: basic {:.0}% -> +Cond {:.0}% -> +CB {:.1}% (each optimization must cut overhead substantially)",
+        basic * 100.0,
+        cond * 100.0,
+        cb * 100.0
+    );
+}

@@ -1,0 +1,76 @@
+//! Regenerates **Figure 9**: WHISPER execution-time overheads over the
+//! unprotected baseline, broken into Attach / Detach / Rand / Cond / Other,
+//! for MM(40 µs), TM(40 µs), and TT(40/80/160 µs).
+//!
+//! Also prints the §V-B hardware-cost table (circular buffer ≈ 140 bytes,
+//! ≈0.006 % die area).
+//!
+//! Paper shape: MM ≈ 20 %, TM ≈ 1.5× MM, TT ≈ 6 % at 40 µs and lower at
+//! wider windows — TERP cuts overhead ≈ 70 % versus MERR.
+
+use terp_arch::cost::HardwareCost;
+use terp_bench::{mean, rule, run_scheme, Scale};
+use terp_core::config::Scheme;
+use terp_core::RunReport;
+use terp_sim::OverheadCategory;
+use terp_workloads::whisper;
+
+fn breakdown_row(label: &str, name: &str, r: &RunReport) {
+    println!(
+        "{:8} {:14} | {:7.2}% = at {:5.2}% + dt {:5.2}% + rand {:5.2}% + cond {:5.2}% + other {:5.2}%",
+        name,
+        label,
+        r.overhead_fraction() * 100.0,
+        r.category_fraction(OverheadCategory::Attach) * 100.0,
+        r.category_fraction(OverheadCategory::Detach) * 100.0,
+        r.category_fraction(OverheadCategory::Rand) * 100.0,
+        r.category_fraction(OverheadCategory::Cond) * 100.0,
+        r.category_fraction(OverheadCategory::Other) * 100.0,
+    );
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Figure 9 — WHISPER overhead breakdown ({scale:?} scale)\n");
+
+    let configs: [(&str, Scheme, f64); 5] = [
+        ("MM (40us)", Scheme::Merr, 40.0),
+        ("TM (40us)", Scheme::TerpSoftware, 40.0),
+        ("TT (40us)", Scheme::terp_full(), 40.0),
+        ("TT (80us)", Scheme::terp_full(), 80.0),
+        ("TT (160us)", Scheme::terp_full(), 160.0),
+    ];
+
+    let mut averages: Vec<(String, Vec<f64>)> =
+        configs.iter().map(|(l, _, _)| (l.to_string(), vec![])).collect();
+
+    for workload in whisper::all(scale.whisper()) {
+        for (i, (label, scheme, ew)) in configs.iter().enumerate() {
+            let r = run_scheme(&workload, *scheme, *ew, 42);
+            breakdown_row(label, &workload.name, &r);
+            averages[i].1.push(r.overhead_fraction());
+        }
+        rule(104);
+    }
+
+    println!("\nAverages:");
+    for (label, values) in &averages {
+        println!("  {:12} {:7.2}%", label, mean(values) * 100.0);
+    }
+    let mm = mean(&averages[0].1);
+    let tt = mean(&averages[2].1);
+    println!(
+        "\nheadline: TT cuts overhead {:.0} % vs MM (paper: 70 %, 20 % -> 6 %)",
+        (1.0 - tt / mm) * 100.0
+    );
+
+    let hw = HardwareCost::default();
+    println!(
+        "\n§V-B hardware cost: {} entries x {} b + {} b timer = {} bytes, {:.4} % die area (paper: 140 bytes, 0.006 %)",
+        hw.entries,
+        hw.entry_bits,
+        hw.timer_bits,
+        hw.total_bytes(),
+        hw.die_area_fraction() * 100.0
+    );
+}

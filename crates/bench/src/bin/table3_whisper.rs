@@ -1,0 +1,100 @@
+//! Regenerates **Table III**: WHISPER results with target EW = 40 µs.
+//!
+//! Columns per benchmark: MERR (MM) exposure-window average/max, exposure
+//! rate; TERP (TT) silent fraction, EW average/max, ER, TEW, TER.
+//!
+//! Paper reference values (for the shape comparison, recorded in
+//! EXPERIMENTS.md): MM EW avg/max 14.5/34.3 µs, ER 24.5 %; TT silent
+//! 88.8 %, EW 39.4/40.0 µs, ER 53.2 %, TEW 1.2 µs, TER 3.4 %.
+
+use terp_bench::{pct, rule, run_scheme, Scale};
+use terp_core::config::Scheme;
+use terp_workloads::whisper;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Table III — WHISPER results, target EW 40 µs, TEW 2 µs ({scale:?} scale)\n");
+    println!(
+        "{:8} | {:>9} {:>6} | {:>7} {:>9} {:>6} {:>6} {:>6}",
+        "Prog.", "MM EW a/m", "ER%", "Silent%", "TT EW a/m", "ER%", "TEW", "TER%"
+    );
+    rule(78);
+
+    let mut acc = Acc::default();
+    for workload in whisper::all(scale.whisper()) {
+        let mm = run_scheme(&workload, Scheme::Merr, 40.0, 42);
+        let tt = run_scheme(&workload, Scheme::terp_full(), 40.0, 42);
+        println!(
+            "{:8} | {:>4.1}/{:>4.1} {:>6} | {:>7} {:>4.1}/{:>4.1} {:>6} {:>6.2} {:>6}",
+            workload.name,
+            mm.ew_avg_us(),
+            mm.ew_max_us(),
+            pct(mm.exposure_rate),
+            pct(tt.silent_fraction()),
+            tt.ew_avg_us(),
+            tt.ew_max_us(),
+            pct(tt.exposure_rate),
+            tt.tew_avg_us(),
+            pct(tt.thread_exposure_rate),
+        );
+        acc.add(&mm, &tt);
+    }
+    rule(78);
+    acc.print();
+}
+
+#[derive(Default)]
+struct Acc {
+    n: f64,
+    mm_ew: f64,
+    mm_max: f64,
+    mm_er: f64,
+    silent: f64,
+    tt_ew: f64,
+    tt_max: f64,
+    tt_er: f64,
+    tew: f64,
+    ter: f64,
+}
+
+impl Acc {
+    fn add(&mut self, mm: &terp_core::RunReport, tt: &terp_core::RunReport) {
+        self.n += 1.0;
+        self.mm_ew += mm.ew_avg_us();
+        self.mm_max += mm.ew_max_us();
+        self.mm_er += mm.exposure_rate;
+        self.silent += tt.silent_fraction();
+        self.tt_ew += tt.ew_avg_us();
+        self.tt_max += tt.ew_max_us();
+        self.tt_er += tt.exposure_rate;
+        self.tew += tt.tew_avg_us();
+        self.ter += tt.thread_exposure_rate;
+    }
+
+    fn print(&self) {
+        let n = self.n.max(1.0);
+        println!(
+            "{:8} | {:>4.1}/{:>4.1} {:>6} | {:>7} {:>4.1}/{:>4.1} {:>6} {:>6.2} {:>6}",
+            "Avg.",
+            self.mm_ew / n,
+            self.mm_max / n,
+            pct(self.mm_er / n),
+            pct(self.silent / n),
+            self.tt_ew / n,
+            self.tt_max / n,
+            pct(self.tt_er / n),
+            self.tew / n,
+            pct(self.ter / n),
+        );
+        println!(
+            "\npaper:   | 14.5/34.3   24.5 |    88.8 39.4/40.0   53.2   1.20    3.4"
+        );
+        let reduction_ew = 1.0 - (self.tew / n) / (self.mm_ew / n);
+        let reduction_er = 1.0 - (self.ter / n) / (self.mm_er / n);
+        println!(
+            "headline: exposure window reduced {} % (paper 92 %), exposure rate reduced {} % (paper 86 %)",
+            pct(reduction_ew),
+            pct(reduction_er)
+        );
+    }
+}

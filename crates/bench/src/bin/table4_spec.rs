@@ -1,0 +1,71 @@
+//! Regenerates **Table IV**: SPEC results at 40 µs EW (averages over all
+//! PMOs): pool counts, MM vs TT exposure statistics.
+//!
+//! Paper reference: pools 4/2/3/3/6; MM EW 4.4/25.4 µs avg/max, ER 27.2 %;
+//! TT silent 96.8 %, EW 39.7/40.0 µs, ER 38.1 %, TEW ≈ 1.0 µs, TER 10.0 %;
+//! xz (most pools) shows the lowest exposure rate.
+
+use terp_bench::{pct, rule, run_scheme, Scale};
+use terp_core::config::Scheme;
+use terp_workloads::spec;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Table IV — SPEC results, target EW 40 µs, TEW 2 µs ({scale:?} scale)\n");
+    println!(
+        "{:8} {:>5} | {:>9} {:>6} | {:>7} {:>9} {:>6} {:>6} {:>6}",
+        "Prog.", "#PMO", "MM EW a/m", "ER%", "Silent%", "TT EW a/m", "ER%", "TEW", "TER%"
+    );
+    rule(84);
+
+    let mut sums = [0.0f64; 9];
+    let mut n = 0.0;
+    for workload in spec::all(scale.spec()) {
+        let mm = run_scheme(&workload, Scheme::Merr, 40.0, 42);
+        let tt = run_scheme(&workload, Scheme::terp_full(), 40.0, 42);
+        println!(
+            "{:8} {:>5} | {:>4.1}/{:>4.1} {:>6} | {:>7} {:>4.1}/{:>4.1} {:>6} {:>6.2} {:>6}",
+            workload.name,
+            workload.pools.len(),
+            mm.ew_avg_us(),
+            mm.ew_max_us(),
+            pct(mm.exposure_rate),
+            pct(tt.silent_fraction()),
+            tt.ew_avg_us(),
+            tt.ew_max_us(),
+            pct(tt.exposure_rate),
+            tt.tew_avg_us(),
+            pct(tt.thread_exposure_rate),
+        );
+        n += 1.0;
+        for (slot, v) in sums.iter_mut().zip([
+            workload.pools.len() as f64,
+            mm.ew_avg_us(),
+            mm.ew_max_us(),
+            mm.exposure_rate,
+            tt.silent_fraction(),
+            tt.ew_avg_us(),
+            tt.ew_max_us(),
+            tt.exposure_rate,
+            tt.thread_exposure_rate,
+        ]) {
+            *slot += v;
+        }
+    }
+    rule(84);
+    println!(
+        "{:8} {:>5.1} | {:>4.1}/{:>4.1} {:>6} | {:>7} {:>4.1}/{:>4.1} {:>6} {:>6} {:>6}",
+        "Avg.",
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n,
+        pct(sums[3] / n),
+        pct(sums[4] / n),
+        sums[5] / n,
+        sums[6] / n,
+        pct(sums[7] / n),
+        "-",
+        pct(sums[8] / n),
+    );
+    println!("\npaper:     3.6 |  4.4/25.4   27.2 |    96.8 39.7/40.0   38.1   1.02   10.0");
+}

@@ -1,0 +1,70 @@
+//! Regenerates **Table V**: quantitative attack-success comparison between
+//! MERR (40 µs EW) and TERP (40 µs EW + 2 µs TEW) for a 1 GiB PMO, plus a
+//! Monte-Carlo cross-check of the closed forms and the §VII-A EW-selection
+//! criterion.
+//!
+//! Paper values: MERR success = 0.015/x % (x = probe time in µs), TERP =
+//! 0.0005/x % — a ~30× reduction; probes longer than the TEW cannot succeed
+//! at all.
+
+use terp_bench::Scale;
+use terp_security::attack::{run_merr, run_terp, AttackConfig};
+use terp_security::probability::ProbabilityModel;
+
+fn main() {
+    let scale = Scale::from_env();
+    let windows = match scale {
+        Scale::Test => 200_000,
+        Scale::Paper => 5_000_000,
+    };
+    println!("Table V — attack success probability, 1 GiB PMO ({scale:?} scale)\n");
+    let model = ProbabilityModel::default();
+    println!(
+        "model: {} bits of page entropy, EW {} µs, TER {:.1} %, TEW {} µs\n",
+        model.entropy_bits(),
+        model.ew_us,
+        model.ter * 100.0,
+        model.tew_us
+    );
+
+    println!(
+        "{:>10} | {:>14} {:>14} | {:>14} {:>14} | {:>8}",
+        "x (µs)", "MERR analytic", "MERR MC", "TERP analytic", "TERP MC", "factor"
+    );
+    for x in [1.0, 0.1] {
+        let config = AttackConfig {
+            probe_us: x,
+            windows,
+            ..Default::default()
+        };
+        let merr_mc = run_merr(&config);
+        let terp_mc = run_terp(&config);
+        println!(
+            "{:>10} | {:>13.5}% {:>13.5}% | {:>13.6}% {:>13.6}% | {:>7.1}x",
+            x,
+            model.merr_percent(x),
+            merr_mc.empirical_percent,
+            model.terp_percent(x),
+            terp_mc.empirical_percent,
+            model.improvement_factor(x)
+        );
+    }
+    println!(
+        "\npaper:  x=1 µs: MERR 0.015 %, TERP 0.0005 % (30x); x=0.1 µs: MERR 0.15 %, TERP 0.005 %"
+    );
+    println!(
+        "probes longer than the TEW fail outright: x=3 µs -> TERP {:.4} %",
+        model.terp_percent(3.0)
+    );
+
+    println!("\n§VII-A EW selection: per-window ASLR-break probability at x = 1 µs");
+    for ew in [40.0, 80.0, 160.0] {
+        let m = ProbabilityModel { ew_us: ew, ..model };
+        println!(
+            "  EW {:>4} µs: {:.4} % {}",
+            ew,
+            m.merr_percent(1.0),
+            if m.merr_percent(1.0) < 0.1 { "(< 0.1 %, acceptable)" } else { "(too large)" }
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! # terp-bench — experiment harness
+//!
+//! Shared machinery for the binaries that regenerate every table and figure
+//! of the paper's evaluation (see DESIGN.md §4 for the experiment index):
+//!
+//! | target | artifact |
+//! |---|---|
+//! | `fig8_deadtime` | Figure 8 dead-time distribution |
+//! | `table3_whisper` | Table III WHISPER exposure statistics |
+//! | `fig9_whisper_overhead` | Figure 9 overhead breakdown (+ §V-B hardware cost) |
+//! | `table4_spec` | Table IV SPEC exposure statistics |
+//! | `fig10_spec_overhead` | Figure 10 single-thread SPEC overheads |
+//! | `fig11_multithread` | Figure 11 four-thread ablation |
+//! | `table5_security` | Table V attack-success probabilities |
+//! | `table6_gadgets` | Table VI gadget scenarios |
+//!
+//! Scale: binaries run at the evaluation scale by default; set
+//! `TERP_SCALE=test` for a fast smoke pass (used by integration tests).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use terp_core::config::{ProtectionConfig, Scheme};
+use terp_core::report::RunReport;
+use terp_core::runtime::Executor;
+use terp_sim::SimParams;
+use terp_workloads::{spec::SpecScale, whisper::WhisperScale, Variant, Workload};
+
+/// Suite scale selected via the `TERP_SCALE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast smoke scale (CI / tests).
+    Test,
+    /// Full evaluation scale.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `TERP_SCALE` (`test` → [`Scale::Test`], anything else or unset
+    /// → [`Scale::Paper`]).
+    pub fn from_env() -> Self {
+        match std::env::var("TERP_SCALE").as_deref() {
+            Ok("test") => Scale::Test,
+            _ => Scale::Paper,
+        }
+    }
+
+    /// WHISPER scale for this suite scale.
+    pub fn whisper(self) -> WhisperScale {
+        match self {
+            Scale::Test => WhisperScale::test(),
+            Scale::Paper => WhisperScale::paper(),
+        }
+    }
+
+    /// SPEC scale for this suite scale.
+    pub fn spec(self) -> SpecScale {
+        match self {
+            Scale::Test => SpecScale::test(),
+            Scale::Paper => SpecScale::paper(),
+        }
+    }
+}
+
+/// The evaluated thread-exposure-window target, µs.
+pub const TEW_TARGET_US: f64 = 2.0;
+
+/// Runs `workload` under `scheme` with the matching insertion variant.
+///
+/// * MM / unprotected → the workload's own constructs (manual) or none;
+/// * TM / TT / Basic-semantics ablation → compiler insertion at the TEW
+///   budget.
+///
+/// # Panics
+///
+/// Panics on executor errors: harness workloads are well-formed by
+/// construction, so an error is a harness bug worth crashing on.
+pub fn run_scheme(workload: &Workload, scheme: Scheme, ew_us: f64, seed: u64) -> RunReport {
+    let params = SimParams::default();
+    let variant = match scheme {
+        Scheme::Unprotected => Variant::Unprotected,
+        Scheme::Merr => Variant::Manual,
+        Scheme::TerpSoftware | Scheme::TerpFull { .. } | Scheme::BasicSemantics => Variant::Auto {
+            let_threshold: params.us_to_cycles(TEW_TARGET_US),
+        },
+    };
+    let mut registry = workload.build_registry();
+    let traces = workload.traces(variant, seed);
+    let config = ProtectionConfig::new(scheme, ew_us, TEW_TARGET_US).with_seed(seed);
+    Executor::new(params, config)
+        .run(&mut registry, traces)
+        .unwrap_or_else(|e| panic!("{} under {scheme}: {e}", workload.name))
+}
+
+/// Formats a fraction as a percent with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+/// Prints a horizontal rule sized for our tables.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Geometric-mean helper for summarizing overheads.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use terp_workloads::whisper;
+
+    #[test]
+    fn scale_env_parsing() {
+        // Can't set env safely in parallel tests; just exercise the default.
+        let s = Scale::from_env();
+        assert!(matches!(s, Scale::Test | Scale::Paper));
+        assert_eq!(Scale::Test.whisper(), WhisperScale::test());
+        assert_eq!(Scale::Paper.spec(), SpecScale::paper());
+    }
+
+    #[test]
+    fn run_scheme_selects_matching_variant() {
+        let w = whisper::redis(WhisperScale::test());
+        let mm = run_scheme(&w, Scheme::Merr, 40.0, 1);
+        let tt = run_scheme(&w, Scheme::terp_full(), 40.0, 1);
+        assert_eq!(mm.cond.total_cond(), 0);
+        assert!(tt.cond.total_cond() > 0);
+    }
+
+    #[test]
+    fn mean_and_pct_helpers() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(pct(0.345), "34.5");
+    }
+}

@@ -1,0 +1,168 @@
+//! Control-flow-graph queries: predecessors, reachability, reverse postorder.
+
+use crate::ir::{BlockId, Function};
+
+/// Precomputed CFG adjacency for a function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// `succs[b]` = successor blocks of `b`.
+    pub succs: Vec<Vec<BlockId>>,
+    /// `preds[b]` = predecessor blocks of `b`.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Blocks in reverse postorder from the entry (unreachable blocks absent).
+    pub rpo: Vec<BlockId>,
+    /// `rpo_index[b]` = position of `b` in `rpo`, or `usize::MAX` if
+    /// unreachable.
+    pub rpo_index: Vec<usize>,
+    entry: BlockId,
+}
+
+impl Cfg {
+    /// Builds the CFG maps for `func`.
+    pub fn new(func: &Function) -> Self {
+        let n = func.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (b, block) in func.blocks.iter().enumerate() {
+            for s in block.terminator.successors() {
+                succs[b].push(s);
+                preds[s].push(b);
+            }
+        }
+        // Iterative DFS postorder.
+        let mut post = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        let mut stack: Vec<(BlockId, usize)> = vec![(func.entry, 0)];
+        visited[func.entry] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < succs[b].len() {
+                let next = succs[b][*i];
+                *i += 1;
+                if !visited[next] {
+                    visited[next] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b] = i;
+        }
+        Cfg {
+            succs,
+            preds,
+            rpo,
+            rpo_index,
+            entry: func.entry,
+        }
+    }
+
+    /// The function entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Number of blocks (including unreachable ones).
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the graph has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b] != usize::MAX
+    }
+
+    /// Blocks with no successors (function exits).
+    pub fn exits(&self) -> Vec<BlockId> {
+        (0..self.len())
+            .filter(|&b| self.is_reachable(b) && self.succs[b].is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BasicBlock, Terminator};
+
+    fn diamond() -> Function {
+        // 0 → {1, 2} → 3 → return
+        Function {
+            name: "d".into(),
+            entry: 0,
+            blocks: vec![
+                BasicBlock::empty(Terminator::Branch {
+                    taken_prob: 0.5,
+                    then_b: 1,
+                    else_b: 2,
+                }),
+                BasicBlock::empty(Terminator::Jump(3)),
+                BasicBlock::empty(Terminator::Jump(3)),
+                BasicBlock::empty(Terminator::Return),
+            ],
+        }
+    }
+
+    #[test]
+    fn preds_and_succs_are_consistent() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.succs[0], vec![1, 2]);
+        assert_eq!(cfg.preds[3], vec![1, 2]);
+        assert!(cfg.preds[0].is_empty());
+        assert_eq!(cfg.exits(), vec![3]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_respects_order() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.rpo[0], 0);
+        // Entry precedes both branches; branches precede the join.
+        assert!(cfg.rpo_index[0] < cfg.rpo_index[1]);
+        assert!(cfg.rpo_index[0] < cfg.rpo_index[2]);
+        assert!(cfg.rpo_index[1] < cfg.rpo_index[3]);
+        assert!(cfg.rpo_index[2] < cfg.rpo_index[3]);
+    }
+
+    #[test]
+    fn unreachable_blocks_are_flagged() {
+        let mut f = diamond();
+        f.blocks.push(BasicBlock::empty(Terminator::Return)); // orphan
+        let cfg = Cfg::new(&f);
+        assert!(!cfg.is_reachable(4));
+        assert!(cfg.is_reachable(3));
+        assert_eq!(cfg.exits(), vec![3], "unreachable exit not reported");
+    }
+
+    #[test]
+    fn loop_back_edge_appears_in_preds() {
+        // 0 → 1 (body) → latch 2 → {1, 3}
+        let f = Function {
+            name: "l".into(),
+            entry: 0,
+            blocks: vec![
+                BasicBlock::empty(Terminator::Jump(1)),
+                BasicBlock::empty(Terminator::Jump(2)),
+                BasicBlock::empty(Terminator::LoopLatch {
+                    header: 1,
+                    exit: 3,
+                    trips: Some(10),
+                }),
+                BasicBlock::empty(Terminator::Return),
+            ],
+        };
+        let cfg = Cfg::new(&f);
+        assert!(cfg.preds[1].contains(&0));
+        assert!(cfg.preds[1].contains(&2), "back edge recorded");
+    }
+}

@@ -1,0 +1,151 @@
+//! Graphviz (DOT) export for CFGs and PMO-WFGs — handy for inspecting what
+//! the region analysis and insertion pass decided (pipe into `dot -Tsvg`).
+
+use std::fmt::Write as _;
+
+use crate::ir::{Function, Instr, Terminator};
+use crate::wfg::WfgRegion;
+
+/// Renders a function's CFG as a DOT digraph. Blocks show their instruction
+/// summaries; protection constructs are highlighted.
+pub fn function_to_dot(func: &Function) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", func.name);
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for (i, block) in func.blocks.iter().enumerate() {
+        let mut label = format!("bb{i}\\n");
+        for instr in &block.instrs {
+            let line = match instr {
+                Instr::Compute { instrs } => format!("compute {instrs}"),
+                Instr::PmoAccess { pmo, kind, count, .. } => {
+                    format!("{pmo} {kind:?} x{count}")
+                }
+                Instr::PmoAccessMay { a, b, kind, count, .. } => {
+                    format!("{a}|{b} {kind:?} x{count}")
+                }
+                Instr::DramAccess { count, .. } => format!("dram x{count}"),
+                Instr::Attach { pmo, perm } => format!("ATTACH {pmo} {perm}"),
+                Instr::Detach { pmo } => format!("DETACH {pmo}"),
+            };
+            let _ = write!(label, "{line}\\l");
+        }
+        let has_protection = block.instrs.iter().any(Instr::is_protection);
+        let style = if has_protection {
+            ", style=filled, fillcolor=lightyellow"
+        } else if block.instrs.iter().any(|x| x.accessed_pmo().is_some()) {
+            ", style=filled, fillcolor=lightgrey"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  bb{i} [label=\"{label}\"{style}];");
+        match block.terminator {
+            Terminator::Jump(t) => {
+                let _ = writeln!(out, "  bb{i} -> bb{t};");
+            }
+            Terminator::Branch { then_b, else_b, taken_prob } => {
+                let _ = writeln!(out, "  bb{i} -> bb{then_b} [label=\"p={taken_prob:.2}\"];");
+                let _ = writeln!(out, "  bb{i} -> bb{else_b} [style=dashed];");
+            }
+            Terminator::LoopLatch { header, exit, trips } => {
+                let t = trips.map_or("?".to_string(), |t| t.to_string());
+                let _ = writeln!(out, "  bb{i} -> bb{header} [label=\"x{t}\", color=blue];");
+                let _ = writeln!(out, "  bb{i} -> bb{exit};");
+            }
+            Terminator::Return => {
+                let _ = writeln!(out, "  bb{i} -> exit;");
+            }
+        }
+    }
+    let _ = writeln!(out, "  exit [shape=doublecircle, label=\"ret\"];");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a function plus its WFG regions: each region becomes a DOT
+/// cluster labelled with its pool and LET estimate.
+pub fn wfg_to_dot(func: &Function, regions: &[WfgRegion]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}-wfg\" {{", func.name);
+    let _ = writeln!(out, "  node [shape=box];");
+    for (r, region) in regions.iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_{r} {{");
+        let _ = writeln!(
+            out,
+            "    label=\"{} LET={}cyc\"; color=red;",
+            region.pmo, region.let_cycles
+        );
+        for &b in &region.blocks {
+            let _ = writeln!(out, "    bb{b};");
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for (i, block) in func.blocks.iter().enumerate() {
+        for s in block.terminator.successors() {
+            let _ = writeln!(out, "  bb{i} -> bb{s};");
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::insertion::{insert_protection, InsertionConfig};
+    use terp_pmo::{AccessKind, PmoId};
+
+    fn sample() -> Function {
+        let pmo = PmoId::new(1).unwrap();
+        let mut b = FunctionBuilder::new("dot-demo");
+        b.pmo_access(pmo, AccessKind::Read, 2);
+        b.if_else(
+            0.25,
+            |t| {
+                t.pmo_access(pmo, AccessKind::Write, 1);
+            },
+            |e| {
+                e.compute(100);
+            },
+        );
+        b.loop_(Some(3), |body| {
+            body.compute(10);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn cfg_dot_contains_every_block_and_edge_kind() {
+        let f = sample();
+        let dot = function_to_dot(&f);
+        assert!(dot.starts_with("digraph"));
+        for i in 0..f.blocks.len() {
+            assert!(dot.contains(&format!("bb{i}")), "missing bb{i}");
+        }
+        assert!(dot.contains("p=0.25"), "branch probability rendered");
+        assert!(dot.contains("color=blue"), "back edge rendered");
+        assert!(dot.contains("doublecircle"), "exit rendered");
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn instrumented_cfg_highlights_constructs() {
+        let f = sample();
+        let inserted = insert_protection(&f, &InsertionConfig::default());
+        let dot = function_to_dot(&inserted.function);
+        assert!(dot.contains("ATTACH"));
+        assert!(dot.contains("DETACH"));
+        assert!(dot.contains("lightyellow"));
+    }
+
+    #[test]
+    fn wfg_dot_clusters_regions() {
+        let f = sample();
+        let inserted = insert_protection(&f, &InsertionConfig::default());
+        let dot = wfg_to_dot(&f, &inserted.regions);
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("LET="));
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

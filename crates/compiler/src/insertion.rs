@@ -1,0 +1,522 @@
+//! Localized path-sensitive insertion of attach/detach constructs
+//! (Algorithm 1, lines 11–15).
+//!
+//! Each PMO-WFG region is bracketed: a granting construct on every edge
+//! entering the region (so only paths that actually reach the PMO accesses
+//! pay for a window) and a depriving construct on every edge leaving it.
+//! Placing constructs **on edges** — splitting critical edges when needed —
+//! rather than inside existing blocks is what makes the insertion
+//! path-sensitive: a block that both continues a loop and exits it must
+//! detach only along the exiting edge.
+//!
+//! The inserted program satisfies the EW-conscious well-formedness
+//! requirement (checked by [`crate::verify`]): within a thread, pairs are
+//! matched and non-overlapping on every path, and every PMO access happens
+//! inside a window.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use terp_pmo::{AccessKind, Permission, PmoId};
+
+use crate::ir::{BlockId, Function, Instr};
+use crate::let_est::{LetEstimator, LetModel};
+use crate::regions::RegionHierarchy;
+use crate::wfg::{build_wfg, WfgRegion};
+
+/// Configuration of the insertion pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InsertionConfig {
+    /// LET budget per region, cycles. Set near the thread-exposure-window
+    /// target; the paper's evaluation uses 2 µs (= 4400 cycles at 2.2 GHz).
+    pub let_threshold: u64,
+    /// The LET cost model.
+    pub let_model: LetModel,
+}
+
+impl Default for InsertionConfig {
+    fn default() -> Self {
+        InsertionConfig {
+            let_threshold: 4400, // 2 µs at 2.2 GHz
+            let_model: LetModel::default(),
+        }
+    }
+}
+
+/// Output of [`insert_protection`].
+#[derive(Debug, Clone)]
+pub struct InsertionResult {
+    /// The instrumented function (protection stripped first, then
+    /// re-inserted; block ids of the input are preserved, split-edge blocks
+    /// are appended).
+    pub function: Function,
+    /// The WFG regions that were bracketed, across all pools.
+    pub regions: Vec<WfgRegion>,
+    /// Number of granting constructs inserted.
+    pub attaches_inserted: usize,
+    /// Number of depriving constructs inserted.
+    pub detaches_inserted: usize,
+}
+
+#[derive(Debug, Default)]
+struct PlacementPlan {
+    /// Constructs to place at the very start of a block.
+    at_start: BTreeMap<BlockId, Vec<Instr>>,
+    /// Constructs to place at the very end of a block (before `Return`).
+    at_end: BTreeMap<BlockId, Vec<Instr>>,
+    /// Constructs to place on an edge `(from, to)`. Detaches are emitted
+    /// before attaches when both land on one edge.
+    on_edge: BTreeMap<(BlockId, BlockId), EdgeInstrs>,
+    /// Single-block regions tightened to instruction granularity: the pair
+    /// wraps exactly the pool's first-to-last access inside the block.
+    within: Vec<(BlockId, PmoId, Permission)>,
+}
+
+#[derive(Debug, Default)]
+struct EdgeInstrs {
+    detaches: Vec<Instr>,
+    attaches: Vec<Instr>,
+}
+
+/// Runs the full Algorithm 1 pipeline on `func`: strip any existing
+/// constructs, build per-PMO WFGs, and bracket every region.
+///
+/// The returned function passes [`crate::verify::verify_protection`] by
+/// construction; tests assert this for every workload program.
+pub fn insert_protection(func: &Function, config: &InsertionConfig) -> InsertionResult {
+    let stripped = func.strip_protection();
+    let est = LetEstimator::new(&stripped, config.let_model);
+    let hierarchy = RegionHierarchy::build(&stripped);
+    let crate::cfg::Cfg { succs, preds, .. } = crate::cfg::Cfg::new(&stripped);
+
+    let mut plan = PlacementPlan::default();
+    let mut all_regions = Vec::new();
+    let mut attaches = 0usize;
+    let mut detaches = 0usize;
+
+    for pmo in stripped.accessed_pmos() {
+        let wfg = build_wfg(&stripped, pmo, &est, &hierarchy, config.let_threshold);
+        for region in &wfg {
+            let perm = region_permission(&stripped, region);
+            // Single-block region: tighten to instruction granularity — the
+            // window wraps the block's first-to-last access to this pool,
+            // so unrelated computation in the same block stays outside the
+            // window (and outside the exposure clock).
+            if region.blocks.len() == 1 {
+                plan.within.push((region.header, pmo, perm));
+                attaches += 1;
+                detaches += 1;
+                continue;
+            }
+            // Granting construct on every entering edge (or at the entry
+            // block start when the region begins the function).
+            if region.header == stripped.entry
+                && preds[region.header].iter().all(|p| region.contains(*p))
+            {
+                plan.at_start
+                    .entry(region.header)
+                    .or_default()
+                    .push(Instr::Attach { pmo, perm });
+                attaches += 1;
+            }
+            for &p in &preds[region.header] {
+                if !region.contains(p) {
+                    plan.on_edge
+                        .entry((p, region.header))
+                        .or_default()
+                        .attaches
+                        .push(Instr::Attach { pmo, perm });
+                    attaches += 1;
+                }
+            }
+            // Depriving construct on every leaving edge; return blocks in
+            // the region detach at block end.
+            for &b in &region.blocks {
+                if succs[b].is_empty() {
+                    plan.at_end
+                        .entry(b)
+                        .or_default()
+                        .push(Instr::Detach { pmo });
+                    detaches += 1;
+                    continue;
+                }
+                for &s in &succs[b] {
+                    if !region.contains(s) {
+                        plan.on_edge
+                            .entry((b, s))
+                            .or_default()
+                            .detaches
+                            .push(Instr::Detach { pmo });
+                        detaches += 1;
+                    }
+                }
+            }
+        }
+        all_regions.extend(wfg);
+    }
+
+    // Apply the plan. Per-block insertions (start / within / end) are
+    // gathered as (position, instruction) pairs computed against the
+    // original block and applied back-to-front so indices stay valid.
+    let mut out = stripped;
+    let mut per_block: BTreeMap<BlockId, Vec<(usize, Instr)>> = BTreeMap::new();
+    for (b, instrs) in &plan.at_start {
+        for instr in instrs {
+            per_block.entry(*b).or_default().push((0, *instr));
+        }
+    }
+    for (b, instrs) in &plan.at_end {
+        let len = out.blocks[*b].instrs.len();
+        for instr in instrs {
+            per_block.entry(*b).or_default().push((len, *instr));
+        }
+    }
+    for (b, pmo, perm) in &plan.within {
+        let block = &out.blocks[*b];
+        let accesses: Vec<usize> = block
+            .instrs
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.may_access_pmos().contains(pmo))
+            .map(|(idx, _)| idx)
+            .collect();
+        let first = *accesses.first().expect("single-block region without access");
+        let last = *accesses.last().expect("nonempty");
+        let entry = per_block.entry(*b).or_default();
+        entry.push((first, Instr::Attach { pmo: *pmo, perm: *perm }));
+        entry.push((last + 1, Instr::Detach { pmo: *pmo }));
+    }
+    for (b, inserts) in &mut per_block {
+        // Stable back-to-front application preserves each (pos, instr)'s
+        // intended anchor.
+        inserts.sort_by_key(|(pos, _)| *pos);
+        for (pos, instr) in inserts.iter().rev() {
+            out.blocks[*b].instrs.insert(*pos, *instr);
+        }
+    }
+    for ((from, to), instrs) in &plan.on_edge {
+        let mid = out.split_edge(*from, *to);
+        let block = &mut out.blocks[mid];
+        block.instrs.extend(instrs.detaches.iter().copied());
+        block.instrs.extend(instrs.attaches.iter().copied());
+    }
+    debug_assert!(out.validate().is_ok());
+
+    InsertionResult {
+        function: out,
+        regions: all_regions,
+        attaches_inserted: attaches,
+        detaches_inserted: detaches,
+    }
+}
+
+/// R or RW, inferred from the access kinds inside the region (the CONDAT
+/// permission operand).
+fn region_permission(func: &Function, region: &WfgRegion) -> Permission {
+    let mut perm = Permission::Read;
+    for &b in &region.blocks {
+        for instr in &func.blocks[b].instrs {
+            let (pmos, kind) = match instr {
+                Instr::PmoAccess { pmo, kind, .. } => (vec![*pmo], *kind),
+                Instr::PmoAccessMay { a, b, kind, .. } => (vec![*a, *b], *kind),
+                _ => continue,
+            };
+            if pmos.contains(&region.pmo) && kind == AccessKind::Write {
+                perm = Permission::ReadWrite;
+            }
+        }
+    }
+    perm
+}
+
+/// Convenience: which pools does the function touch and how many constructs
+/// would be inserted — used by reports.
+pub fn insertion_summary(result: &InsertionResult) -> BTreeMap<PmoId, usize> {
+    let mut per_pmo = BTreeMap::new();
+    for r in &result.regions {
+        *per_pmo.entry(r.pmo).or_insert(0) += 1;
+    }
+    per_pmo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::verify::verify_protection;
+    use terp_pmo::AccessKind;
+
+    fn pmo(n: u16) -> PmoId {
+        PmoId::new(n).unwrap()
+    }
+
+    #[test]
+    fn straight_line_gets_one_pair() {
+        let mut b = FunctionBuilder::new("s");
+        b.compute(10);
+        b.pmo_access(pmo(1), AccessKind::Write, 4);
+        b.compute(10);
+        let f = b.finish();
+        let r = insert_protection(&f, &InsertionConfig::default());
+        assert_eq!(r.attaches_inserted, 1);
+        assert_eq!(r.detaches_inserted, 1);
+        verify_protection(&r.function).unwrap();
+        // Write access inferred RW permission.
+        let has_rw_attach = r.function.blocks.iter().any(|blk| {
+            blk.instrs.iter().any(|i| {
+                matches!(i, Instr::Attach { perm: Permission::ReadWrite, .. })
+            })
+        });
+        assert!(has_rw_attach);
+    }
+
+    #[test]
+    fn read_only_region_requests_read_permission() {
+        let mut b = FunctionBuilder::new("ro");
+        b.pmo_access(pmo(1), AccessKind::Read, 4);
+        let f = b.finish();
+        let r = insert_protection(&f, &InsertionConfig::default());
+        let perms: Vec<Permission> = r
+            .function
+            .blocks
+            .iter()
+            .flat_map(|blk| blk.instrs.iter())
+            .filter_map(|i| match i {
+                Instr::Attach { perm, .. } => Some(*perm),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(perms, vec![Permission::Read]);
+    }
+
+    #[test]
+    fn branchy_function_is_path_sensitive() {
+        // Only the then-branch touches the PMO; the else path must stay
+        // construct-free.
+        let mut b = FunctionBuilder::new("br");
+        b.compute(5);
+        let (then_blocks, else_blocks) = b.if_else(
+            0.5,
+            |t| {
+                t.pmo_access(pmo(1), AccessKind::Read, 2);
+            },
+            |e| {
+                e.compute(1_000_000);
+            },
+        );
+        b.compute(5);
+        let f = b.finish();
+        let r = insert_protection(&f, &InsertionConfig::default());
+        verify_protection(&r.function).unwrap();
+        // No constructs inside (or on edges of) the else branch blocks.
+        for &eb in &else_blocks {
+            assert!(
+                r.function.blocks[eb].instrs.iter().all(|i| !i.is_protection()),
+                "else branch must be construct-free"
+            );
+        }
+        let _ = then_blocks;
+    }
+
+    #[test]
+    fn loop_with_small_body_keeps_constructs_inside_or_outside_consistently() {
+        let mut b = FunctionBuilder::new("loop");
+        b.compute(10);
+        b.loop_(Some(50), |body| {
+            body.pmo_access(pmo(1), AccessKind::Write, 1);
+            body.compute(100);
+        });
+        b.compute(10);
+        let f = b.finish();
+        let r = insert_protection(&f, &InsertionConfig::default());
+        verify_protection(&r.function).unwrap();
+        assert!(r.attaches_inserted >= 1);
+    }
+
+    #[test]
+    fn big_loop_splits_windows_per_iteration() {
+        // The PMO access and a huge compute live in separate blocks of the
+        // loop body: the window must bracket only the access block (per
+        // iteration), never the whole loop.
+        let mut b = FunctionBuilder::new("bigloop");
+        b.loop_(Some(10), |body| {
+            body.pmo_access(pmo(1), AccessKind::Read, 1);
+            body.if_else(
+                1.0,
+                |t| {
+                    t.compute(10_000_000);
+                },
+                |_| {},
+            );
+        });
+        let f = b.finish();
+        let r = insert_protection(&f, &InsertionConfig::default());
+        verify_protection(&r.function).unwrap();
+        // The chosen region's LET must stay below one loop iteration's cost.
+        for region in &r.regions {
+            assert!(
+                region.let_cycles < 10_000_000,
+                "region spans the heavy compute: {region:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_block_loop_brackets_outside() {
+        // When the whole loop is one basic block, windows cannot split
+        // within it: the region is the loop and its LET carries the trip
+        // multiplier (the hardware timer backstop bounds the real window).
+        let mut b = FunctionBuilder::new("monoloop");
+        b.loop_(Some(10), |body| {
+            body.pmo_access(pmo(1), AccessKind::Read, 1);
+            body.compute(10_000_000);
+        });
+        let f = b.finish();
+        let r = insert_protection(&f, &InsertionConfig::default());
+        verify_protection(&r.function).unwrap();
+        assert_eq!(r.regions.len(), 1);
+        assert!(r.regions[0].let_cycles >= 10 * 10_000_000);
+    }
+
+    #[test]
+    fn multi_pmo_insertion_is_independent_and_verified() {
+        let mut b = FunctionBuilder::new("multi");
+        b.pmo_access(pmo(1), AccessKind::Write, 2);
+        b.compute(1_000_000);
+        b.pmo_access(pmo(2), AccessKind::Read, 2);
+        let f = b.finish();
+        let r = insert_protection(&f, &InsertionConfig::default());
+        verify_protection(&r.function).unwrap();
+        let summary = insertion_summary(&r);
+        assert_eq!(summary.len(), 2);
+        assert!(summary.values().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn existing_constructs_are_stripped_before_insertion() {
+        let mut b = FunctionBuilder::new("manual");
+        b.attach(pmo(1), Permission::ReadWrite);
+        b.pmo_access(pmo(1), AccessKind::Write, 2);
+        b.detach(pmo(1));
+        let f = b.finish();
+        let r = insert_protection(&f, &InsertionConfig::default());
+        verify_protection(&r.function).unwrap();
+        // Exactly one pair remains (the inserted one, not the manual one).
+        let (a, d) = count_constructs(&r.function);
+        assert_eq!((a, d), (1, 1));
+    }
+
+    fn count_constructs(f: &Function) -> (usize, usize) {
+        let mut a = 0;
+        let mut d = 0;
+        for blk in &f.blocks {
+            for i in &blk.instrs {
+                match i {
+                    Instr::Attach { .. } => a += 1,
+                    Instr::Detach { .. } => d += 1,
+                    _ => {}
+                }
+            }
+        }
+        (a, d)
+    }
+}
+
+#[cfg(test)]
+mod alias_tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::lower::{lower, LowerConfig};
+    use crate::verify::verify_protection;
+    use terp_pmo::AccessKind;
+
+    fn pmo(n: u16) -> PmoId {
+        PmoId::new(n).unwrap()
+    }
+
+    #[test]
+    fn aliased_access_opens_windows_for_both_candidates() {
+        let mut b = FunctionBuilder::new("alias");
+        b.compute(10);
+        b.pmo_access_may(pmo(1), pmo(2), AccessKind::Write, 4);
+        b.compute(10);
+        let f = b.finish();
+        let r = insert_protection(&f, &InsertionConfig::default());
+        // The verifier enforces that BOTH candidates are attached at the
+        // access — so a pass here proves conservative coverage.
+        verify_protection(&r.function).unwrap();
+        let summary = insertion_summary(&r);
+        assert_eq!(summary.len(), 2, "one region per alias candidate");
+        // Both attaches request RW (the access may write either pool).
+        let rw_attaches = r
+            .function
+            .blocks
+            .iter()
+            .flat_map(|blk| blk.instrs.iter())
+            .filter(|i| matches!(i, Instr::Attach { perm: Permission::ReadWrite, .. }))
+            .count();
+        assert_eq!(rw_attaches, 2);
+    }
+
+    #[test]
+    fn lowering_resolves_aliases_to_concrete_pools() {
+        let mut b = FunctionBuilder::new("alias-lower");
+        b.attach(pmo(1), Permission::ReadWrite);
+        b.attach(pmo(2), Permission::ReadWrite);
+        b.pmo_access_may(pmo(1), pmo(2), AccessKind::Read, 200);
+        b.detach(pmo(1));
+        b.detach(pmo(2));
+        let f = b.finish();
+        let trace = lower(&f, &LowerConfig::default()).unwrap();
+        let mut to_1 = 0;
+        let mut to_2 = 0;
+        for op in &trace.ops {
+            if let terp_sim::TraceOp::PmoAccess { oid, .. } = op {
+                if oid.pmo() == pmo(1) {
+                    to_1 += 1;
+                } else if oid.pmo() == pmo(2) {
+                    to_2 += 1;
+                }
+            }
+        }
+        assert_eq!(to_1 + to_2, 200);
+        // Roughly even split (runtime resolution of the unknown pointer).
+        assert!((60..=140).contains(&to_1), "split {to_1}/{to_2}");
+    }
+
+    #[test]
+    fn uncovered_alias_candidate_fails_verification() {
+        // Manually protect only ONE candidate: the verifier must object.
+        let mut b = FunctionBuilder::new("alias-bad");
+        b.attach(pmo(1), Permission::ReadWrite);
+        b.pmo_access_may(pmo(1), pmo(2), AccessKind::Read, 1);
+        b.detach(pmo(1));
+        let err = verify_protection(&b.finish()).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::verify::ProtectionError::UnprotectedAccess { .. }
+        ));
+    }
+
+    #[test]
+    fn aliased_pipeline_executes_end_to_end() {
+        let mut b = FunctionBuilder::new("alias-e2e");
+        b.loop_(Some(20), |body| {
+            body.if_else(
+                1.0,
+                |arm| {
+                    arm.pmo_access_may(pmo(1), pmo(2), AccessKind::Write, 2);
+                },
+                |_| {},
+            );
+            body.compute(2000);
+        });
+        let f = b.finish();
+        let r = insert_protection(&f, &InsertionConfig::default());
+        verify_protection(&r.function).unwrap();
+        let trace = lower(&r.function, &crate::lower::LowerConfig::default()).unwrap();
+        assert!(trace.pmo_access_count() > 0);
+        assert!(trace.protection_op_count() > 0);
+    }
+}

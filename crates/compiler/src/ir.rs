@@ -1,0 +1,433 @@
+//! The compiler's intermediate representation: a function is a control-flow
+//! graph of basic blocks; instructions are coarse-grained cost carriers plus
+//! the PMO accesses and protection constructs the analyses care about.
+
+use serde::{Deserialize, Serialize};
+
+use terp_pmo::{AccessKind, Permission, PmoId};
+
+/// Index of a basic block within its [`Function`].
+pub type BlockId = usize;
+
+/// Loop trip count assumed when a bound is statically unknown (the paper:
+/// "we follow the common practice in static analysis to assume it to be a
+/// large number (e.g., 1k)").
+pub const DEFAULT_TRIP_COUNT: u64 = 1000;
+
+/// How a memory-access instruction generates addresses when lowered.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AddrPattern {
+    /// Always the same offset.
+    Fixed(u64),
+    /// A streaming walk: `base + i*stride` (mod `len`), continuing across
+    /// executions of the instruction.
+    Seq {
+        /// Start offset of the walked window.
+        base: u64,
+        /// Stride between consecutive accesses, bytes.
+        stride: u64,
+        /// Window length, bytes (wraps).
+        len: u64,
+    },
+    /// Uniformly random offsets within `[base, base + len)`.
+    Rand {
+        /// Start offset of the window.
+        base: u64,
+        /// Window length, bytes.
+        len: u64,
+    },
+}
+
+impl AddrPattern {
+    /// A whole-pool random pattern.
+    pub fn rand(len: u64) -> Self {
+        AddrPattern::Rand { base: 0, len }
+    }
+
+    /// A streaming pattern over `[0, len)` with the given stride.
+    pub fn stream(stride: u64, len: u64) -> Self {
+        AddrPattern::Seq {
+            base: 0,
+            stride,
+            len,
+        }
+    }
+}
+
+/// One IR instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Instr {
+    /// `instrs` non-memory instructions.
+    Compute {
+        /// Instruction count.
+        instrs: u64,
+    },
+    /// `count` accesses to a PMO with the given address pattern.
+    PmoAccess {
+        /// Target pool.
+        pmo: PmoId,
+        /// Load or store.
+        kind: AccessKind,
+        /// Address generator.
+        pattern: AddrPattern,
+        /// Number of accesses issued per execution of this instruction.
+        count: u64,
+    },
+    /// `count` accesses through a pointer the (paper's) pointer analysis
+    /// could not resolve to a single pool: it *may* target either `a` or
+    /// `b`. The insertion pass must conservatively open windows for both;
+    /// at run time each access resolves to one of them.
+    PmoAccessMay {
+        /// First alias candidate.
+        a: PmoId,
+        /// Second alias candidate.
+        b: PmoId,
+        /// Load or store.
+        kind: AccessKind,
+        /// Address generator.
+        pattern: AddrPattern,
+        /// Number of accesses issued per execution.
+        count: u64,
+    },
+    /// `count` accesses to volatile memory.
+    DramAccess {
+        /// Address generator (offsets into a thread-private DRAM arena).
+        pattern: AddrPattern,
+        /// Number of accesses issued per execution.
+        count: u64,
+    },
+    /// A granting construct (manual or compiler-inserted).
+    Attach {
+        /// Pool to attach.
+        pmo: PmoId,
+        /// Requested permission.
+        perm: Permission,
+    },
+    /// A depriving construct (manual or compiler-inserted).
+    Detach {
+        /// Pool to detach.
+        pmo: PmoId,
+    },
+}
+
+impl Instr {
+    /// The pool this instruction accesses, if it is a PMO access resolved
+    /// to a single pool (`None` for aliased accesses — use
+    /// [`Self::may_access_pmos`]).
+    pub fn accessed_pmo(&self) -> Option<PmoId> {
+        match self {
+            Instr::PmoAccess { pmo, .. } => Some(*pmo),
+            _ => None,
+        }
+    }
+
+    /// Every pool this instruction may access (the may-alias set: one pool
+    /// for resolved accesses, two candidates for aliased ones).
+    pub fn may_access_pmos(&self) -> Vec<PmoId> {
+        match self {
+            Instr::PmoAccess { pmo, .. } => vec![*pmo],
+            Instr::PmoAccessMay { a, b, .. } => {
+                if a == b {
+                    vec![*a]
+                } else {
+                    vec![*a, *b]
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Whether this is an `Attach` or `Detach` construct.
+    pub fn is_protection(&self) -> bool {
+        matches!(self, Instr::Attach { .. } | Instr::Detach { .. })
+    }
+}
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// Instructions in program order.
+    pub instrs: Vec<Instr>,
+    /// Control transfer out of the block.
+    pub terminator: Terminator,
+}
+
+impl BasicBlock {
+    /// A block with no instructions and the given terminator.
+    pub fn empty(terminator: Terminator) -> Self {
+        BasicBlock {
+            instrs: Vec::new(),
+            terminator,
+        }
+    }
+
+    /// Pools accessed by this block's instructions.
+    pub fn accessed_pmos(&self) -> Vec<PmoId> {
+        let mut out = Vec::new();
+        for i in &self.instrs {
+            for p in i.may_access_pmos() {
+                if !out.contains(&p) {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Block terminators. Loops are expressed with an explicit latch terminator
+/// so both the static analyses (trip counts) and the lowerer (bounded
+/// iteration) see the same structure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch; `taken_prob` is the lowering-time probability of
+    /// taking `then_b` (static analyses treat both sides as possible).
+    Branch {
+        /// Probability of branching to `then_b` when lowered.
+        taken_prob: f64,
+        /// Taken target.
+        then_b: BlockId,
+        /// Fall-through target.
+        else_b: BlockId,
+    },
+    /// Loop back-edge: jump to `header` while iterations remain, then to
+    /// `exit`. `trips` of `None` means statically unknown (analyses assume
+    /// [`DEFAULT_TRIP_COUNT`]; the lowerer also uses it).
+    LoopLatch {
+        /// Loop header (back-edge target).
+        header: BlockId,
+        /// Loop exit block.
+        exit: BlockId,
+        /// Iterations per loop entry; `None` = statically unknown.
+        trips: Option<u64>,
+    },
+    /// Function return.
+    Return,
+}
+
+impl Terminator {
+    /// Successor blocks in CFG order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match *self {
+            Terminator::Jump(t) => vec![t],
+            Terminator::Branch { then_b, else_b, .. } => vec![then_b, else_b],
+            Terminator::LoopLatch { header, exit, .. } => vec![header, exit],
+            Terminator::Return => vec![],
+        }
+    }
+
+    /// Rewrites every successor equal to `from` into `to` (edge redirection
+    /// used by critical-edge splitting).
+    pub fn replace_successor(&mut self, from: BlockId, to: BlockId) {
+        match self {
+            Terminator::Jump(t) => {
+                if *t == from {
+                    *t = to;
+                }
+            }
+            Terminator::Branch { then_b, else_b, .. } => {
+                if *then_b == from {
+                    *then_b = to;
+                }
+                if *else_b == from {
+                    *else_b = to;
+                }
+            }
+            Terminator::LoopLatch { header, exit, .. } => {
+                if *header == from {
+                    *header = to;
+                }
+                if *exit == from {
+                    *exit = to;
+                }
+            }
+            Terminator::Return => {}
+        }
+    }
+}
+
+/// A function: the unit of analysis and insertion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Human-readable name (used in reports).
+    pub name: String,
+    /// Blocks; [`Self::entry`] indexes into this.
+    pub blocks: Vec<BasicBlock>,
+    /// Entry block id.
+    pub entry: BlockId,
+}
+
+impl Function {
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the function has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Every distinct pool accessed anywhere in the function.
+    pub fn accessed_pmos(&self) -> Vec<PmoId> {
+        let mut out = Vec::new();
+        for b in &self.blocks {
+            for p in b.accessed_pmos() {
+                if !out.contains(&p) {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Blocks containing at least one access to `pmo`.
+    pub fn blocks_accessing(&self, pmo: PmoId) -> Vec<BlockId> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.accessed_pmos().contains(&pmo))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Removes every `Attach`/`Detach` instruction — recovers the
+    /// unprotected program (used to re-insert with a different policy).
+    pub fn strip_protection(&self) -> Function {
+        let mut f = self.clone();
+        for b in &mut f.blocks {
+            b.instrs.retain(|i| !i.is_protection());
+        }
+        f
+    }
+
+    /// Splits the edge `from → to`, interposing a fresh empty block, and
+    /// returns its id. Used to place constructs on a specific edge without
+    /// affecting other paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` has no successor `to`.
+    pub fn split_edge(&mut self, from: BlockId, to: BlockId) -> BlockId {
+        assert!(
+            self.blocks[from].terminator.successors().contains(&to),
+            "no edge {from} -> {to}"
+        );
+        let new_id = self.blocks.len();
+        self.blocks.push(BasicBlock::empty(Terminator::Jump(to)));
+        self.blocks[from].terminator.replace_successor(to, new_id);
+        new_id
+    }
+
+    /// Structural sanity check: every successor id is in range and the entry
+    /// exists. Returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.entry >= self.blocks.len() {
+            return Err(format!("entry {} out of range", self.entry));
+        }
+        for (i, b) in self.blocks.iter().enumerate() {
+            for s in b.terminator.successors() {
+                if s >= self.blocks.len() {
+                    return Err(format!("block {i} has dangling successor {s}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pmo(n: u16) -> PmoId {
+        PmoId::new(n).unwrap()
+    }
+
+    fn linear_function() -> Function {
+        Function {
+            name: "t".into(),
+            entry: 0,
+            blocks: vec![
+                BasicBlock {
+                    instrs: vec![Instr::Compute { instrs: 10 }],
+                    terminator: Terminator::Jump(1),
+                },
+                BasicBlock {
+                    instrs: vec![Instr::PmoAccess {
+                        pmo: pmo(1),
+                        kind: AccessKind::Read,
+                        pattern: AddrPattern::Fixed(0),
+                        count: 1,
+                    }],
+                    terminator: Terminator::Return,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn accessed_pmos_deduplicates() {
+        let f = linear_function();
+        assert_eq!(f.accessed_pmos(), vec![pmo(1)]);
+        assert_eq!(f.blocks_accessing(pmo(1)), vec![1]);
+        assert!(f.blocks_accessing(pmo(2)).is_empty());
+    }
+
+    #[test]
+    fn strip_protection_removes_constructs() {
+        let mut f = linear_function();
+        f.blocks[0].instrs.push(Instr::Attach {
+            pmo: pmo(1),
+            perm: Permission::Read,
+        });
+        f.blocks[1].instrs.push(Instr::Detach { pmo: pmo(1) });
+        let stripped = f.strip_protection();
+        assert!(stripped
+            .blocks
+            .iter()
+            .all(|b| b.instrs.iter().all(|i| !i.is_protection())));
+        // Non-protection instructions survive.
+        assert_eq!(stripped.blocks[0].instrs.len(), 1);
+    }
+
+    #[test]
+    fn split_edge_interposes_block() {
+        let mut f = linear_function();
+        let mid = f.split_edge(0, 1);
+        assert_eq!(f.blocks[0].terminator.successors(), vec![mid]);
+        assert_eq!(f.blocks[mid].terminator.successors(), vec![1]);
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn replace_successor_covers_all_terminators() {
+        let mut t = Terminator::Branch {
+            taken_prob: 0.5,
+            then_b: 1,
+            else_b: 2,
+        };
+        t.replace_successor(2, 9);
+        assert_eq!(t.successors(), vec![1, 9]);
+
+        let mut t = Terminator::LoopLatch {
+            header: 0,
+            exit: 3,
+            trips: Some(4),
+        };
+        t.replace_successor(3, 7);
+        assert_eq!(t.successors(), vec![0, 7]);
+    }
+
+    #[test]
+    fn validate_catches_dangling_edges() {
+        let f = Function {
+            name: "bad".into(),
+            entry: 0,
+            blocks: vec![BasicBlock::empty(Terminator::Jump(5))],
+        };
+        assert!(f.validate().is_err());
+    }
+}

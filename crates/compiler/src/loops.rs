@@ -1,0 +1,201 @@
+//! Natural-loop detection and trip-count estimation.
+//!
+//! Loops matter twice in Algorithm 1: a loop's LET multiplies its body by the
+//! trip count (assumed 1000 when statically unknown), and "a loop always
+//! forms a code region with attach added at the confluence point", so the
+//! insertion pass must know loop membership to avoid placing constructs on
+//! back edges.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::ir::{BlockId, Function, Terminator, DEFAULT_TRIP_COUNT};
+
+/// One natural loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// Loop header (target of the back edge, dominates the body).
+    pub header: BlockId,
+    /// The latch (source of the back edge).
+    pub latch: BlockId,
+    /// All blocks in the loop, header included, ascending.
+    pub body: Vec<BlockId>,
+    /// Static trip-count estimate (explicit bound or the 1k assumption).
+    pub trips: u64,
+}
+
+impl NaturalLoop {
+    /// Whether `b` belongs to this loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.binary_search(&b).is_ok()
+    }
+}
+
+/// All natural loops of a function, discovered from back edges
+/// (`latch → header` where `header` dominates `latch`).
+#[derive(Debug, Clone, Default)]
+pub struct LoopForest {
+    /// Loops, innermost-first is NOT guaranteed; use [`Self::innermost_containing`].
+    pub loops: Vec<NaturalLoop>,
+}
+
+impl LoopForest {
+    /// Finds the natural loops of `func`.
+    pub fn find(func: &Function) -> Self {
+        let cfg = Cfg::new(func);
+        let dom = DomTree::dominators(func);
+        let mut loops = Vec::new();
+        for (b, block) in func.blocks.iter().enumerate() {
+            if !cfg.is_reachable(b) {
+                continue;
+            }
+            for s in block.terminator.successors() {
+                if dom.dominates(s, b) {
+                    // Back edge b → s; collect the natural loop.
+                    let mut body = vec![s];
+                    let mut stack = vec![b];
+                    while let Some(x) = stack.pop() {
+                        if !body.contains(&x) {
+                            body.push(x);
+                            for &p in &cfg.preds[x] {
+                                stack.push(p);
+                            }
+                        }
+                    }
+                    body.sort_unstable();
+                    let trips = match block.terminator {
+                        Terminator::LoopLatch { trips, .. } => trips.unwrap_or(DEFAULT_TRIP_COUNT),
+                        _ => DEFAULT_TRIP_COUNT,
+                    };
+                    loops.push(NaturalLoop {
+                        header: s,
+                        latch: b,
+                        body,
+                        trips,
+                    });
+                }
+            }
+        }
+        LoopForest { loops }
+    }
+
+    /// The innermost (smallest) loop containing `b`, if any.
+    pub fn innermost_containing(&self, b: BlockId) -> Option<&NaturalLoop> {
+        self.loops
+            .iter()
+            .filter(|l| l.contains(b))
+            .min_by_key(|l| l.body.len())
+    }
+
+    /// Loops directly or transitively containing `b`, smallest first.
+    pub fn containing(&self, b: BlockId) -> Vec<&NaturalLoop> {
+        let mut v: Vec<&NaturalLoop> = self.loops.iter().filter(|l| l.contains(b)).collect();
+        v.sort_by_key(|l| l.body.len());
+        v
+    }
+
+    /// Product of the trip counts of every loop containing `b` — the factor
+    /// by which `b`'s single-execution cost multiplies in LET estimates.
+    /// Saturates to avoid overflow on deep nests.
+    pub fn trip_product(&self, b: BlockId) -> u64 {
+        self.containing(b)
+            .iter()
+            .fold(1u64, |acc, l| acc.saturating_mul(l.trips))
+    }
+
+    /// Whether the edge `from → to` is a loop back edge.
+    pub fn is_back_edge(&self, from: BlockId, to: BlockId) -> bool {
+        self.loops.iter().any(|l| l.latch == from && l.header == to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::BasicBlock;
+
+    /// 0 → 1(header) → 2(latch → {1, 3}) ; 3 exit.
+    fn simple_loop(trips: Option<u64>) -> Function {
+        Function {
+            name: "l".into(),
+            entry: 0,
+            blocks: vec![
+                BasicBlock::empty(Terminator::Jump(1)),
+                BasicBlock::empty(Terminator::Jump(2)),
+                BasicBlock::empty(Terminator::LoopLatch {
+                    header: 1,
+                    exit: 3,
+                    trips,
+                }),
+                BasicBlock::empty(Terminator::Return),
+            ],
+        }
+    }
+
+    #[test]
+    fn finds_simple_loop() {
+        let forest = LoopForest::find(&simple_loop(Some(25)));
+        assert_eq!(forest.loops.len(), 1);
+        let l = &forest.loops[0];
+        assert_eq!(l.header, 1);
+        assert_eq!(l.latch, 2);
+        assert_eq!(l.body, vec![1, 2]);
+        assert_eq!(l.trips, 25);
+        assert!(forest.is_back_edge(2, 1));
+        assert!(!forest.is_back_edge(1, 2));
+    }
+
+    #[test]
+    fn unknown_trips_assume_1k() {
+        let forest = LoopForest::find(&simple_loop(None));
+        assert_eq!(forest.loops[0].trips, DEFAULT_TRIP_COUNT);
+    }
+
+    #[test]
+    fn nested_loops_multiply_trip_products() {
+        // 0 → 1(outer hdr) → 2(inner hdr) → 3(inner latch →{2,4})
+        //   → 4(outer latch →{1,5}) → 5 exit.
+        let f = Function {
+            name: "n".into(),
+            entry: 0,
+            blocks: vec![
+                BasicBlock::empty(Terminator::Jump(1)),
+                BasicBlock::empty(Terminator::Jump(2)),
+                BasicBlock::empty(Terminator::Jump(3)),
+                BasicBlock::empty(Terminator::LoopLatch {
+                    header: 2,
+                    exit: 4,
+                    trips: Some(10),
+                }),
+                BasicBlock::empty(Terminator::LoopLatch {
+                    header: 1,
+                    exit: 5,
+                    trips: Some(20),
+                }),
+                BasicBlock::empty(Terminator::Return),
+            ],
+        };
+        let forest = LoopForest::find(&f);
+        assert_eq!(forest.loops.len(), 2);
+        // Block 3 (inner latch) is in both loops: 10 × 20.
+        assert_eq!(forest.trip_product(3), 200);
+        // Block 4 (outer latch) only in the outer loop.
+        assert_eq!(forest.trip_product(4), 20);
+        // Block 0 in none.
+        assert_eq!(forest.trip_product(0), 1);
+        let inner = forest.innermost_containing(2).unwrap();
+        assert_eq!(inner.header, 2);
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let f = Function {
+            name: "s".into(),
+            entry: 0,
+            blocks: vec![
+                BasicBlock::empty(Terminator::Jump(1)),
+                BasicBlock::empty(Terminator::Return),
+            ],
+        };
+        assert!(LoopForest::find(&f).loops.is_empty());
+    }
+}

@@ -1,0 +1,347 @@
+//! Lowering: deterministic execution of an IR function into a flat
+//! [`ThreadTrace`] for the timing simulator.
+//!
+//! This is the analogue of the paper's LLVM pass emitting "magic
+//! instructions" into Sniper-ready binaries: branch decisions are drawn from
+//! a seeded PRNG, loops iterate their trip counts, and every `Attach`/
+//! `Detach` IR construct becomes a protection trace op whose interpretation
+//! (syscall vs conditional instruction) the runtime decides.
+
+use std::collections::HashMap;
+
+use terp_pmo::ObjectId;
+use terp_sim::{ThreadTrace, TraceOp};
+
+use crate::ir::{AddrPattern, BlockId, Function, Instr, Terminator, DEFAULT_TRIP_COUNT};
+use crate::rng::SplitMix64;
+
+/// Lowering parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LowerConfig {
+    /// PRNG seed for branch decisions and random address draws.
+    pub seed: u64,
+    /// Hard cap on emitted trace operations (guards against runaway loops).
+    pub max_ops: usize,
+    /// Base virtual address of the thread's volatile (DRAM) arena.
+    pub dram_arena_base: u64,
+}
+
+impl Default for LowerConfig {
+    fn default() -> Self {
+        LowerConfig {
+            seed: 0x7e2f,
+            max_ops: 64 << 20,
+            dram_arena_base: 0x10_0000_0000,
+        }
+    }
+}
+
+/// Error: the op cap was reached before the function returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceTooLong {
+    /// The configured cap that was hit.
+    pub max_ops: usize,
+}
+
+impl std::fmt::Display for TraceTooLong {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lowering exceeded {} trace ops", self.max_ops)
+    }
+}
+
+impl std::error::Error for TraceTooLong {}
+
+#[derive(Debug, Default)]
+struct PatternState {
+    /// Per-instruction sequential counters, keyed by (block, instr index).
+    seq: HashMap<(BlockId, usize), u64>,
+}
+
+/// Lowers `func` to a single thread's trace.
+///
+/// # Errors
+///
+/// [`TraceTooLong`] if `config.max_ops` is reached — usually a missing or
+/// enormous loop bound.
+pub fn lower(func: &Function, config: &LowerConfig) -> Result<ThreadTrace, TraceTooLong> {
+    let mut trace = ThreadTrace::new();
+    let mut rng = SplitMix64::new(config.seed);
+    let mut pattern_state = PatternState::default();
+    let mut loop_remaining: HashMap<BlockId, u64> = HashMap::new();
+
+    let mut block = func.entry;
+    loop {
+        for (idx, instr) in func.blocks[block].instrs.iter().enumerate() {
+            emit_instr(
+                &mut trace,
+                instr,
+                block,
+                idx,
+                &mut rng,
+                &mut pattern_state,
+                config,
+            );
+            if trace.len() > config.max_ops {
+                return Err(TraceTooLong {
+                    max_ops: config.max_ops,
+                });
+            }
+        }
+        match func.blocks[block].terminator {
+            Terminator::Jump(t) => block = t,
+            Terminator::Branch {
+                taken_prob,
+                then_b,
+                else_b,
+            } => {
+                block = if rng.chance(taken_prob) { then_b } else { else_b };
+            }
+            Terminator::LoopLatch {
+                header,
+                exit,
+                trips,
+            } => {
+                let trips = trips.unwrap_or(DEFAULT_TRIP_COUNT).max(1);
+                let remaining = loop_remaining.entry(block).or_insert(trips);
+                *remaining -= 1;
+                if *remaining > 0 {
+                    block = header;
+                } else {
+                    loop_remaining.remove(&block);
+                    block = exit;
+                }
+            }
+            Terminator::Return => return Ok(trace),
+        }
+    }
+}
+
+fn emit_instr(
+    trace: &mut ThreadTrace,
+    instr: &Instr,
+    block: BlockId,
+    idx: usize,
+    rng: &mut SplitMix64,
+    state: &mut PatternState,
+    config: &LowerConfig,
+) {
+    match *instr {
+        Instr::Compute { instrs } => trace.push(TraceOp::Compute { instrs }),
+        Instr::PmoAccess {
+            pmo,
+            kind,
+            pattern,
+            count,
+        } => {
+            for _ in 0..count {
+                let offset = next_offset(pattern, block, idx, rng, state);
+                trace.push(TraceOp::PmoAccess {
+                    oid: ObjectId::new(pmo, offset),
+                    kind,
+                    tag: None,
+                });
+            }
+        }
+        Instr::DramAccess { pattern, count } => {
+            for _ in 0..count {
+                let offset = next_offset(pattern, block, idx, rng, state);
+                trace.push(TraceOp::DramAccess {
+                    addr: config.dram_arena_base + offset,
+                    kind: terp_pmo::AccessKind::Read,
+                });
+            }
+        }
+        Instr::PmoAccessMay {
+            a,
+            b,
+            kind,
+            pattern,
+            count,
+        } => {
+            // The unresolved pointer resolves at run time; model an even
+            // split between the alias candidates.
+            for _ in 0..count {
+                let target = if rng.chance(0.5) { a } else { b };
+                let offset = next_offset(pattern, block, idx, rng, state);
+                trace.push(TraceOp::PmoAccess {
+                    oid: ObjectId::new(target, offset),
+                    kind,
+                    tag: None,
+                });
+            }
+        }
+        Instr::Attach { pmo, perm } => trace.push(TraceOp::Attach { pmo, perm }),
+        Instr::Detach { pmo } => trace.push(TraceOp::Detach { pmo }),
+    }
+}
+
+/// Draws the next offset for an access pattern, 8-byte aligned.
+fn next_offset(
+    pattern: AddrPattern,
+    block: BlockId,
+    idx: usize,
+    rng: &mut SplitMix64,
+    state: &mut PatternState,
+) -> u64 {
+    let raw = match pattern {
+        AddrPattern::Fixed(o) => o,
+        AddrPattern::Seq { base, stride, len } => {
+            let counter = state.seq.entry((block, idx)).or_insert(0);
+            let o = base + (*counter * stride) % len.max(1);
+            *counter += 1;
+            o
+        }
+        AddrPattern::Rand { base, len } => base + rng.below(len.max(1)),
+    };
+    raw & !7
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use terp_pmo::{AccessKind, Permission, PmoId};
+
+    fn pmo(n: u16) -> PmoId {
+        PmoId::new(n).unwrap()
+    }
+
+    #[test]
+    fn straight_line_lowering_preserves_order() {
+        let mut b = FunctionBuilder::new("s");
+        b.compute(10);
+        b.attach(pmo(1), Permission::Read);
+        b.pmo_access(pmo(1), AccessKind::Read, 2);
+        b.detach(pmo(1));
+        let trace = lower(&b.finish(), &LowerConfig::default()).unwrap();
+        assert_eq!(trace.len(), 5);
+        assert!(matches!(trace.ops[0], TraceOp::Compute { instrs: 10 }));
+        assert!(matches!(trace.ops[1], TraceOp::Attach { .. }));
+        assert!(matches!(trace.ops[2], TraceOp::PmoAccess { .. }));
+        assert!(matches!(trace.ops[4], TraceOp::Detach { .. }));
+    }
+
+    #[test]
+    fn loop_iterates_trip_count_times() {
+        let mut b = FunctionBuilder::new("l");
+        b.loop_(Some(7), |body| {
+            body.compute(1);
+        });
+        let trace = lower(&b.finish(), &LowerConfig::default()).unwrap();
+        let computes = trace
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::Compute { .. }))
+            .count();
+        assert_eq!(computes, 7);
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let mut b = FunctionBuilder::new("n");
+        b.loop_(Some(3), |outer| {
+            outer.loop_(Some(4), |inner| {
+                inner.compute(1);
+            });
+        });
+        let trace = lower(&b.finish(), &LowerConfig::default()).unwrap();
+        let computes = trace
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::Compute { .. }))
+            .count();
+        assert_eq!(computes, 12);
+    }
+
+    #[test]
+    fn branch_probability_zero_and_one_are_deterministic() {
+        for (p, expect) in [(0.0, 2u64), (1.0, 1u64)] {
+            let mut b = FunctionBuilder::new("br");
+            b.if_else(
+                p,
+                |t| {
+                    t.compute(1);
+                },
+                |e| {
+                    e.compute(2);
+                },
+            );
+            let trace = lower(&b.finish(), &LowerConfig::default()).unwrap();
+            let instrs: Vec<u64> = trace
+                .ops
+                .iter()
+                .filter_map(|o| match o {
+                    TraceOp::Compute { instrs } => Some(*instrs),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(instrs, vec![expect]);
+        }
+    }
+
+    #[test]
+    fn seq_pattern_strides_and_wraps() {
+        let mut b = FunctionBuilder::new("seq");
+        b.pmo_access_with(
+            pmo(1),
+            AccessKind::Read,
+            AddrPattern::Seq {
+                base: 0,
+                stride: 64,
+                len: 192,
+            },
+            5,
+        );
+        let trace = lower(&b.finish(), &LowerConfig::default()).unwrap();
+        let offs: Vec<u64> = trace
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                TraceOp::PmoAccess { oid, .. } => Some(oid.offset()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(offs, vec![0, 64, 128, 0, 64]);
+    }
+
+    #[test]
+    fn offsets_are_8_byte_aligned() {
+        let mut b = FunctionBuilder::new("al");
+        b.pmo_access_with(pmo(1), AccessKind::Read, AddrPattern::rand(1 << 20), 100);
+        let trace = lower(&b.finish(), &LowerConfig::default()).unwrap();
+        for op in &trace.ops {
+            if let TraceOp::PmoAccess { oid, .. } = op {
+                assert_eq!(oid.offset() % 8, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace_different_seed_differs() {
+        let mut b = FunctionBuilder::new("det");
+        b.pmo_access(pmo(1), AccessKind::Read, 50);
+        let f = b.finish();
+        let t1 = lower(&f, &LowerConfig { seed: 1, ..Default::default() }).unwrap();
+        let t2 = lower(&f, &LowerConfig { seed: 1, ..Default::default() }).unwrap();
+        let t3 = lower(&f, &LowerConfig { seed: 2, ..Default::default() }).unwrap();
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn op_cap_guards_against_runaway() {
+        let mut b = FunctionBuilder::new("big");
+        b.loop_(Some(1_000_000), |body| {
+            body.compute(1);
+        });
+        let err = lower(
+            &b.finish(),
+            &LowerConfig {
+                max_ops: 1000,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.max_ops, 1000);
+    }
+}

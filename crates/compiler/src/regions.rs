@@ -1,0 +1,324 @@
+//! Single-entry single-exit (SESE) region hierarchy — the "classic code
+//! region analysis" Algorithm 1 builds its PMO-WFG on.
+//!
+//! A region `R(h, x)` satisfies the paper's three structural conditions:
+//!
+//! 1. the header `h` dominates every block in `R`;
+//! 2. a block `x` post-dominates every block in `R` (the confluence point;
+//!    `x` itself lies outside `R`);
+//! 3. (checked later, in [`crate::wfg`]) the region's LET is under the
+//!    exposure-window threshold.
+//!
+//! Additionally we require proper single-entry/single-exit shape: every edge
+//! into `R` lands on `h` and every edge out of `R` goes to `x`, so that
+//! constructs placed on entry/exit edges execute exactly once per pass
+//! through the region. The whole function body is always a region (with the
+//! virtual exit as its confluence point).
+//!
+//! CFGs in this pipeline are small (tens to low hundreds of blocks), so the
+//! O(n²·E) enumeration is more than fast enough and keeps the code obvious.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::ir::{BlockId, Function};
+
+/// One SESE region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Entry block (dominates all of [`Self::blocks`]).
+    pub header: BlockId,
+    /// Confluence point: the block every path through the region reaches
+    /// next. `None` means the virtual function exit (whole-body regions).
+    pub exit: Option<BlockId>,
+    /// Member blocks, ascending; includes the header, excludes the exit.
+    pub blocks: Vec<BlockId>,
+}
+
+impl Region {
+    /// Whether `b` is inside the region.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.binary_search(&b).is_ok()
+    }
+
+    /// Number of member blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Regions are never empty (they contain at least the header).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// The set of SESE regions of a function, queryable by containment.
+#[derive(Debug, Clone)]
+pub struct RegionHierarchy {
+    regions: Vec<Region>,
+}
+
+impl RegionHierarchy {
+    /// Enumerates the SESE regions of `func`.
+    pub fn build(func: &Function) -> Self {
+        let cfg = Cfg::new(func);
+        let dom = DomTree::dominators(func);
+        let pdom = DomTree::post_dominators(func);
+        let n = func.blocks.len();
+        let mut regions = Vec::new();
+
+        let reachable: Vec<BlockId> = (0..n).filter(|&b| cfg.is_reachable(b)).collect();
+
+        // Candidate (header, exit) pairs.
+        for &h in &reachable {
+            for &x in &reachable {
+                if h == x {
+                    continue;
+                }
+                // The exit must post-dominate the header, and the header must
+                // dominate the exit (the region sits between them).
+                if !pdom.dominates(x, h) || !dom.dominates(h, x) {
+                    continue;
+                }
+                // Membership: blocks dominated by h and post-dominated by x,
+                // excluding x.
+                let blocks: Vec<BlockId> = reachable
+                    .iter()
+                    .copied()
+                    .filter(|&b| b != x && dom.dominates(h, b) && pdom.dominates(x, b))
+                    .collect();
+                if blocks.is_empty() || !blocks.contains(&h) {
+                    continue;
+                }
+                if Self::is_sese(&cfg, h, Some(x), &blocks) {
+                    regions.push(Region {
+                        header: h,
+                        exit: Some(x),
+                        blocks,
+                    });
+                }
+            }
+            // Trivial single-block region for every block whose successors
+            // all leave it (always true) — used as the WFG seed.
+            let single = vec![h];
+            if Self::is_sese(&cfg, h, None, &single) || !cfg.succs[h].is_empty() {
+                // Single blocks are always acceptable seeds; side entries
+                // cannot exist (the only member is the header).
+                regions.push(Region {
+                    header: h,
+                    exit: Self::single_exit(&cfg, &single),
+                    blocks: single,
+                });
+            }
+        }
+
+        // Regions that run to the (virtual) function exit: for each header
+        // h, the set of blocks h dominates. Valid when no member has an edge
+        // leaving the set and no non-header member is entered from outside —
+        // i.e. once control passes h it stays in the set until return.
+        for &h in &reachable {
+            let blocks: Vec<BlockId> = reachable
+                .iter()
+                .copied()
+                .filter(|&b| dom.dominates(h, b))
+                .collect();
+            if blocks.contains(&h) && Self::is_sese(&cfg, h, None, &blocks) {
+                regions.push(Region {
+                    header: h,
+                    exit: None,
+                    blocks,
+                });
+            }
+        }
+
+        // Whole-function region.
+        regions.push(Region {
+            header: func.entry,
+            exit: None,
+            blocks: reachable.clone(),
+        });
+
+        // Deduplicate identical block sets (keep the first).
+        regions.sort_by(|a, b| a.blocks.len().cmp(&b.blocks.len()).then(a.blocks.cmp(&b.blocks)));
+        regions.dedup_by(|a, b| a.blocks == b.blocks);
+
+        RegionHierarchy { regions }
+    }
+
+    /// If all out-edges of the block set lead to one block, that block.
+    fn single_exit(cfg: &Cfg, blocks: &[BlockId]) -> Option<BlockId> {
+        let mut exit = None;
+        for &b in blocks {
+            for &s in &cfg.succs[b] {
+                if blocks.contains(&s) {
+                    continue;
+                }
+                match exit {
+                    None => exit = Some(s),
+                    Some(e) if e == s => {}
+                    _ => return None,
+                }
+            }
+        }
+        exit
+    }
+
+    /// Single-entry (all external edges land on `h`) and single-exit (all
+    /// out-edges go to `x`).
+    fn is_sese(cfg: &Cfg, h: BlockId, x: Option<BlockId>, blocks: &[BlockId]) -> bool {
+        for &b in blocks {
+            if b != h {
+                for &p in &cfg.preds[b] {
+                    if !blocks.contains(&p) {
+                        return false; // side entry
+                    }
+                }
+            }
+            for &s in &cfg.succs[b] {
+                if !blocks.contains(&s) && Some(s) != x {
+                    return false; // side exit
+                }
+            }
+        }
+        true
+    }
+
+    /// All regions, smallest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Region> {
+        self.regions.iter()
+    }
+
+    /// Number of regions found.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether no regions were found (only possible for empty functions).
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Regions containing `b`, smallest first — the "next-level region"
+    /// chain Algorithm 1 climbs.
+    pub fn enclosing(&self, b: BlockId) -> Vec<&Region> {
+        self.regions.iter().filter(|r| r.contains(b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BasicBlock, Terminator};
+
+    fn diamond() -> Function {
+        Function {
+            name: "d".into(),
+            entry: 0,
+            blocks: vec![
+                BasicBlock::empty(Terminator::Branch {
+                    taken_prob: 0.5,
+                    then_b: 1,
+                    else_b: 2,
+                }),
+                BasicBlock::empty(Terminator::Jump(3)),
+                BasicBlock::empty(Terminator::Jump(3)),
+                BasicBlock::empty(Terminator::Return),
+            ],
+        }
+    }
+
+    #[test]
+    fn diamond_has_fork_to_join_region() {
+        let h = RegionHierarchy::build(&diamond());
+        // Expect region {0,1,2} with exit 3.
+        let r = h
+            .iter()
+            .find(|r| r.blocks == vec![0, 1, 2])
+            .expect("fork region present");
+        assert_eq!(r.header, 0);
+        assert_eq!(r.exit, Some(3));
+        // Branch arms are NOT single-entry regions paired with exit 3? They
+        // are: {1} with exit 3, {2} with exit 3 (each trivially SESE).
+        assert!(h.iter().any(|r| r.blocks == vec![1] && r.exit == Some(3)));
+    }
+
+    #[test]
+    fn whole_function_region_exists() {
+        let h = RegionHierarchy::build(&diamond());
+        let whole = h.iter().max_by_key(|r| r.len()).unwrap();
+        assert_eq!(whole.blocks, vec![0, 1, 2, 3]);
+        assert_eq!(whole.exit, None);
+    }
+
+    #[test]
+    fn enclosing_is_sorted_smallest_first() {
+        let h = RegionHierarchy::build(&diamond());
+        let chain = h.enclosing(1);
+        assert!(chain.len() >= 2);
+        for w in chain.windows(2) {
+            assert!(w[0].len() <= w[1].len());
+        }
+        assert_eq!(chain[0].blocks, vec![1]);
+    }
+
+    #[test]
+    fn loop_is_a_region() {
+        // 0 → 1(hdr) → 2(latch →{1,3}) → 3.
+        let f = Function {
+            name: "l".into(),
+            entry: 0,
+            blocks: vec![
+                BasicBlock::empty(Terminator::Jump(1)),
+                BasicBlock::empty(Terminator::Jump(2)),
+                BasicBlock::empty(Terminator::LoopLatch {
+                    header: 1,
+                    exit: 3,
+                    trips: Some(5),
+                }),
+                BasicBlock::empty(Terminator::Return),
+            ],
+        };
+        let h = RegionHierarchy::build(&f);
+        let r = h
+            .iter()
+            .find(|r| r.blocks == vec![1, 2])
+            .expect("loop region present");
+        assert_eq!(r.header, 1);
+        assert_eq!(r.exit, Some(3));
+    }
+
+    #[test]
+    fn side_entry_disqualifies_region() {
+        // 0 → {1, 2}; 1 → 2; 2 → 3. Block 2 has preds {0, 1}: the set {1, 2}
+        // has a side entry (0 → 2) so it must not be a region with header 1.
+        let f = Function {
+            name: "s".into(),
+            entry: 0,
+            blocks: vec![
+                BasicBlock::empty(Terminator::Branch {
+                    taken_prob: 0.5,
+                    then_b: 1,
+                    else_b: 2,
+                }),
+                BasicBlock::empty(Terminator::Jump(2)),
+                BasicBlock::empty(Terminator::Jump(3)),
+                BasicBlock::empty(Terminator::Return),
+            ],
+        };
+        let h = RegionHierarchy::build(&f);
+        assert!(
+            !h.iter().any(|r| r.header == 1 && r.contains(2)),
+            "side-entered set must be rejected"
+        );
+    }
+
+    #[test]
+    fn single_block_regions_exist_for_every_reachable_block() {
+        let h = RegionHierarchy::build(&diamond());
+        for b in 0..4 {
+            assert!(
+                h.iter().any(|r| r.blocks == vec![b]),
+                "missing single-block region for {b}"
+            );
+        }
+    }
+}

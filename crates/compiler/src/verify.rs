@@ -1,0 +1,307 @@
+//! Static verification of inserted protection — the well-formedness
+//! contract EW-conscious semantics requires from the compiler
+//! (Section IV-C: "within a thread, no overlap of attach-detach pairs is
+//! allowed", and every PMO access must fall inside a window).
+//!
+//! A forward dataflow analysis tracks the set of attached pools along every
+//! path. Because well-formed insertion must be *path-insensitive at joins*
+//! (all paths reaching a block carry the same window state — otherwise some
+//! path either leaks or double-detaches), the analysis demands state
+//! equality at merges and reports the first violation otherwise.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::Cfg;
+use crate::ir::{BlockId, Function, Instr};
+
+use terp_pmo::PmoId;
+
+/// A protection well-formedness violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtectionError {
+    /// `Attach` while the pool is already attached on this path
+    /// (overlapping pairs within a thread).
+    OverlappingAttach {
+        /// Block containing the offending construct.
+        block: BlockId,
+        /// Pool attached twice.
+        pmo: PmoId,
+    },
+    /// `Detach` with no matching open window on this path.
+    UnmatchedDetach {
+        /// Block containing the offending construct.
+        block: BlockId,
+        /// Pool detached while closed.
+        pmo: PmoId,
+    },
+    /// A PMO access outside any window (would fault or silently bypass
+    /// protection).
+    UnprotectedAccess {
+        /// Block containing the access.
+        block: BlockId,
+        /// Pool accessed without a window.
+        pmo: PmoId,
+    },
+    /// Two paths reach `block` with different window states.
+    InconsistentJoin {
+        /// The join block.
+        block: BlockId,
+    },
+    /// A path returns with windows still open (missing detach → unbounded
+    /// exposure window).
+    LeakedWindow {
+        /// The returning block.
+        block: BlockId,
+        /// Pools left attached.
+        open: Vec<PmoId>,
+    },
+}
+
+impl std::fmt::Display for ProtectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtectionError::OverlappingAttach { block, pmo } => {
+                write!(f, "block {block}: attach of already-attached {pmo}")
+            }
+            ProtectionError::UnmatchedDetach { block, pmo } => {
+                write!(f, "block {block}: detach of unattached {pmo}")
+            }
+            ProtectionError::UnprotectedAccess { block, pmo } => {
+                write!(f, "block {block}: access to {pmo} outside any window")
+            }
+            ProtectionError::InconsistentJoin { block } => {
+                write!(f, "block {block}: paths join with different window states")
+            }
+            ProtectionError::LeakedWindow { block, open } => {
+                write!(f, "block {block}: return with open windows {open:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtectionError {}
+
+/// Proof object returned by a successful verification.
+#[derive(Debug, Clone)]
+pub struct VerifiedProtection {
+    /// Window state (attached pools) at the *entry* of each reachable block.
+    pub entry_state: Vec<Option<BTreeSet<PmoId>>>,
+}
+
+impl VerifiedProtection {
+    /// Whether `pmo` is attached at the entry of `block` on all paths.
+    pub fn attached_at_entry(&self, block: BlockId, pmo: PmoId) -> bool {
+        self.entry_state
+            .get(block)
+            .and_then(|s| s.as_ref())
+            .is_some_and(|s| s.contains(&pmo))
+    }
+}
+
+/// Verifies that `func`'s attach/detach constructs are matched,
+/// non-overlapping, and cover every PMO access on every path.
+///
+/// # Errors
+///
+/// The first [`ProtectionError`] discovered, in worklist order.
+pub fn verify_protection(func: &Function) -> Result<VerifiedProtection, ProtectionError> {
+    let cfg = Cfg::new(func);
+    let n = func.blocks.len();
+    let mut entry_state: Vec<Option<BTreeSet<PmoId>>> = vec![None; n];
+    entry_state[func.entry] = Some(BTreeSet::new());
+    let mut worklist = vec![func.entry];
+
+    while let Some(b) = worklist.pop() {
+        let mut state = entry_state[b].clone().expect("scheduled without state");
+        for instr in &func.blocks[b].instrs {
+            match instr {
+                Instr::Attach { pmo, .. } => {
+                    if !state.insert(*pmo) {
+                        return Err(ProtectionError::OverlappingAttach { block: b, pmo: *pmo });
+                    }
+                }
+                Instr::Detach { pmo } => {
+                    if !state.remove(pmo) {
+                        return Err(ProtectionError::UnmatchedDetach { block: b, pmo: *pmo });
+                    }
+                }
+                Instr::PmoAccess { pmo, .. } => {
+                    if !state.contains(pmo) {
+                        return Err(ProtectionError::UnprotectedAccess { block: b, pmo: *pmo });
+                    }
+                }
+                Instr::PmoAccessMay { a, b: bb, .. } => {
+                    // Conservative: both alias candidates must be covered.
+                    for pmo in [a, bb] {
+                        if !state.contains(pmo) {
+                            return Err(ProtectionError::UnprotectedAccess {
+                                block: b,
+                                pmo: *pmo,
+                            });
+                        }
+                    }
+                }
+                Instr::Compute { .. } | Instr::DramAccess { .. } => {}
+            }
+        }
+        let succs = &cfg.succs[b];
+        if succs.is_empty() {
+            if !state.is_empty() {
+                return Err(ProtectionError::LeakedWindow {
+                    block: b,
+                    open: state.into_iter().collect(),
+                });
+            }
+            continue;
+        }
+        for &s in succs {
+            match &entry_state[s] {
+                None => {
+                    entry_state[s] = Some(state.clone());
+                    worklist.push(s);
+                }
+                Some(existing) => {
+                    if existing != &state {
+                        return Err(ProtectionError::InconsistentJoin { block: s });
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(VerifiedProtection { entry_state })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use terp_pmo::{AccessKind, Permission};
+
+    fn pmo(n: u16) -> PmoId {
+        PmoId::new(n).unwrap()
+    }
+
+    #[test]
+    fn well_formed_program_verifies() {
+        let mut b = FunctionBuilder::new("ok");
+        b.attach(pmo(1), Permission::ReadWrite);
+        b.pmo_access(pmo(1), AccessKind::Write, 2);
+        b.detach(pmo(1));
+        let proof = verify_protection(&b.finish()).unwrap();
+        assert!(proof.attached_at_entry(0, pmo(1)) || !proof.entry_state.is_empty());
+    }
+
+    #[test]
+    fn missing_detach_is_a_leak() {
+        let mut b = FunctionBuilder::new("leak");
+        b.attach(pmo(1), Permission::Read);
+        b.pmo_access(pmo(1), AccessKind::Read, 1);
+        let err = verify_protection(&b.finish()).unwrap_err();
+        assert!(matches!(err, ProtectionError::LeakedWindow { .. }));
+    }
+
+    #[test]
+    fn double_attach_is_overlap() {
+        let mut b = FunctionBuilder::new("dbl");
+        b.attach(pmo(1), Permission::Read);
+        b.attach(pmo(1), Permission::Read);
+        let err = verify_protection(&b.finish()).unwrap_err();
+        assert!(matches!(err, ProtectionError::OverlappingAttach { .. }));
+    }
+
+    #[test]
+    fn detach_without_attach_is_unmatched() {
+        let mut b = FunctionBuilder::new("un");
+        b.detach(pmo(1));
+        let err = verify_protection(&b.finish()).unwrap_err();
+        assert!(matches!(err, ProtectionError::UnmatchedDetach { .. }));
+    }
+
+    #[test]
+    fn access_outside_window_detected() {
+        let mut b = FunctionBuilder::new("out");
+        b.attach(pmo(1), Permission::Read);
+        b.detach(pmo(1));
+        b.pmo_access(pmo(1), AccessKind::Read, 1);
+        let err = verify_protection(&b.finish()).unwrap_err();
+        assert_eq!(
+            err,
+            ProtectionError::UnprotectedAccess { block: 0, pmo: pmo(1) }
+        );
+    }
+
+    #[test]
+    fn one_armed_attach_fails_at_join() {
+        // attach only on the then-path: the join sees two different states.
+        let mut b = FunctionBuilder::new("join");
+        b.if_else(
+            0.5,
+            |t| {
+                t.attach(pmo(1), Permission::Read);
+            },
+            |_| {},
+        );
+        let err = verify_protection(&b.finish()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ProtectionError::InconsistentJoin { .. } | ProtectionError::LeakedWindow { .. }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn balanced_branch_windows_verify() {
+        // Both arms open and close their own windows: fine.
+        let mut b = FunctionBuilder::new("bal");
+        b.if_else(
+            0.5,
+            |t| {
+                t.attach(pmo(1), Permission::Read);
+                t.pmo_access(pmo(1), AccessKind::Read, 1);
+                t.detach(pmo(1));
+            },
+            |e| {
+                e.attach(pmo(2), Permission::ReadWrite);
+                e.pmo_access(pmo(2), AccessKind::Write, 1);
+                e.detach(pmo(2));
+            },
+        );
+        verify_protection(&b.finish()).unwrap();
+    }
+
+    #[test]
+    fn loop_spanning_window_verifies_when_balanced() {
+        let mut b = FunctionBuilder::new("loopwin");
+        b.attach(pmo(1), Permission::Read);
+        b.loop_(Some(10), |body| {
+            body.pmo_access(pmo(1), AccessKind::Read, 1);
+        });
+        b.detach(pmo(1));
+        verify_protection(&b.finish()).unwrap();
+    }
+
+    #[test]
+    fn attach_inside_loop_without_detach_overlaps_next_iteration() {
+        let mut b = FunctionBuilder::new("loopbad");
+        b.loop_(Some(10), |body| {
+            body.attach(pmo(1), Permission::Read);
+            body.pmo_access(pmo(1), AccessKind::Read, 1);
+            // no detach: second iteration re-attaches → overlap (reported as
+            // an inconsistent join at the header, whose two predecessor
+            // paths disagree).
+        });
+        let err = verify_protection(&b.finish()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ProtectionError::InconsistentJoin { .. }
+                    | ProtectionError::OverlappingAttach { .. }
+                    | ProtectionError::LeakedWindow { .. }
+            ),
+            "got {err:?}"
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! PMO window-flow-graph (PMO-WFG) construction — Algorithm 1, lines 1–10.
+//!
+//! For one pool, the WFG is a set of disjoint code regions covering every
+//! block that accesses the pool. Each region starts from an unvisited
+//! accessing block and grows along its enclosing-region chain while the
+//! next-level region's LET stays under the exposure-window threshold,
+//! absorbing further accessing blocks as it grows. The insertion pass then
+//! brackets each WFG region with attach/detach.
+
+use terp_pmo::PmoId;
+
+use crate::ir::{BlockId, Function};
+use crate::let_est::LetEstimator;
+use crate::regions::{Region, RegionHierarchy};
+
+/// One element of the PMO-WFG: a region to bracket with attach/detach.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WfgRegion {
+    /// The pool this region protects.
+    pub pmo: PmoId,
+    /// Region entry block.
+    pub header: BlockId,
+    /// Region confluence point (`None` = virtual function exit).
+    pub exit: Option<BlockId>,
+    /// Member blocks, ascending.
+    pub blocks: Vec<BlockId>,
+    /// LET estimate of the region, cycles.
+    pub let_cycles: u64,
+}
+
+impl WfgRegion {
+    /// Whether `b` belongs to the region.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.binary_search(&b).is_ok()
+    }
+}
+
+/// Builds the PMO-WFG of `func` for `pmo`.
+///
+/// `threshold` is the LET budget per region in cycles — set it near the
+/// thread-exposure-window target (the compiler-visible knob of Section V-A).
+/// Returns disjoint regions covering all blocks that access `pmo`.
+pub fn build_wfg(
+    func: &Function,
+    pmo: PmoId,
+    est: &LetEstimator<'_>,
+    hierarchy: &RegionHierarchy,
+    threshold: u64,
+) -> Vec<WfgRegion> {
+    let accessing = func.blocks_accessing(pmo);
+    let mut unvisited: Vec<BlockId> = accessing.clone();
+    let mut wfg: Vec<WfgRegion> = Vec::new();
+
+    // Deterministic order: lowest block id first.
+    let mut seeds = accessing.clone();
+    seeds.sort_unstable();
+
+    for seed in seeds {
+        if !unvisited.contains(&seed) {
+            continue; // already covered by an earlier region's growth
+        }
+        // Climb the enclosing-region chain, smallest first, keeping the
+        // largest nested level whose LET is under threshold. The single-block
+        // region of the seed is always present as the floor and is accepted
+        // even if its own LET busts the threshold — an accessing block must
+        // be covered; the hardware timer backstop bounds the actual window.
+        // Candidate levels that are not supersets of the current choice (the
+        // chain can contain incomparable same-size regions), that exceed the
+        // LET budget, or that collide with an already-emitted region are
+        // skipped rather than ending the climb.
+        let chain = hierarchy.enclosing(seed);
+        let mut chosen: Option<&Region> = None;
+        for region in &chain {
+            let overlaps = wfg
+                .iter()
+                .any(|w| region.blocks.iter().any(|&b| w.contains(b)));
+            if overlaps {
+                continue;
+            }
+            match chosen {
+                None => chosen = Some(region),
+                Some(cur) => {
+                    let l = est.region_let(&region.blocks);
+                    let nests = cur.blocks.iter().all(|&b| region.contains(b));
+                    if l < threshold && nests {
+                        chosen = Some(region);
+                    }
+                }
+            }
+        }
+        let region = chosen.expect("enclosing chain contains at least the single block");
+        let let_cycles = est.region_let(&region.blocks);
+        unvisited.retain(|b| !region.contains(*b));
+        wfg.push(WfgRegion {
+            pmo,
+            header: region.header,
+            exit: region.exit,
+            blocks: region.blocks.clone(),
+            let_cycles,
+        });
+    }
+
+    debug_assert!(unvisited.is_empty(), "uncovered accessing blocks: {unvisited:?}");
+    wfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{AddrPattern, BasicBlock, Instr, Terminator};
+    use crate::let_est::LetModel;
+    use terp_pmo::{AccessKind, PmoId};
+
+    fn pmo(n: u16) -> PmoId {
+        PmoId::new(n).unwrap()
+    }
+
+    fn access(p: PmoId) -> Instr {
+        Instr::PmoAccess {
+            pmo: p,
+            kind: AccessKind::Read,
+            pattern: AddrPattern::Fixed(0),
+            count: 1,
+        }
+    }
+
+    /// Figure-5-like shape: two PMO-access clusters separated by a detach
+    /// point; a diamond in each half.
+    fn two_cluster_function() -> Function {
+        Function {
+            name: "fig5".into(),
+            entry: 0,
+            blocks: vec![
+                // Region 1: 0 → {1,2} → 3
+                BasicBlock {
+                    instrs: vec![access(pmo(1))],
+                    terminator: Terminator::Branch {
+                        taken_prob: 0.5,
+                        then_b: 1,
+                        else_b: 2,
+                    },
+                },
+                BasicBlock {
+                    instrs: vec![access(pmo(1))],
+                    terminator: Terminator::Jump(3),
+                },
+                BasicBlock::empty(Terminator::Jump(3)),
+                // Confluence, long compute (the "detach here" point).
+                BasicBlock {
+                    instrs: vec![Instr::Compute { instrs: 1_000_000 }],
+                    terminator: Terminator::Jump(4),
+                },
+                // Region 2: 4 → 5 → return
+                BasicBlock {
+                    instrs: vec![access(pmo(1))],
+                    terminator: Terminator::Jump(5),
+                },
+                BasicBlock {
+                    instrs: vec![access(pmo(1))],
+                    terminator: Terminator::Return,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn splits_at_expensive_confluence() {
+        let f = two_cluster_function();
+        let est = LetEstimator::new(&f, LetModel::default());
+        let h = RegionHierarchy::build(&f);
+        // Threshold far below the 1M-instruction block: the two clusters
+        // must be separate WFG regions.
+        let wfg = build_wfg(&f, pmo(1), &est, &h, 10_000);
+        assert_eq!(wfg.len(), 2, "got {wfg:?}");
+        // Every accessing block covered exactly once.
+        let covered: Vec<BlockId> = wfg.iter().flat_map(|r| r.blocks.clone()).collect();
+        for b in f.blocks_accessing(pmo(1)) {
+            assert_eq!(covered.iter().filter(|&&x| x == b).count(), 1);
+        }
+        // Regions are disjoint.
+        let mut all = covered.clone();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), covered.len());
+    }
+
+    #[test]
+    fn merges_whole_function_when_budget_allows() {
+        let f = two_cluster_function();
+        let est = LetEstimator::new(&f, LetModel::default());
+        let h = RegionHierarchy::build(&f);
+        // Huge threshold: one region covering everything.
+        let wfg = build_wfg(&f, pmo(1), &est, &h, u64::MAX);
+        assert_eq!(wfg.len(), 1);
+        assert_eq!(wfg[0].header, 0);
+        assert_eq!(wfg[0].exit, None);
+    }
+
+    #[test]
+    fn oversized_single_block_still_covered() {
+        // One accessing block whose own LET exceeds the threshold: it must
+        // still get a (single-block) region — the timer backstop handles the
+        // window size at run time.
+        let f = Function {
+            name: "big".into(),
+            entry: 0,
+            blocks: vec![BasicBlock {
+                instrs: vec![
+                    access(pmo(1)),
+                    Instr::Compute { instrs: 10_000_000 },
+                ],
+                terminator: Terminator::Return,
+            }],
+        };
+        let est = LetEstimator::new(&f, LetModel::default());
+        let h = RegionHierarchy::build(&f);
+        let wfg = build_wfg(&f, pmo(1), &est, &h, 100);
+        assert_eq!(wfg.len(), 1);
+        assert_eq!(wfg[0].blocks, vec![0]);
+        assert!(wfg[0].let_cycles > 100);
+    }
+
+    #[test]
+    fn per_pmo_wfgs_are_independent() {
+        let mut f = two_cluster_function();
+        // Add a second pool's access in block 3.
+        f.blocks[3].instrs.push(access(pmo(2)));
+        let est = LetEstimator::new(&f, LetModel::default());
+        let h = RegionHierarchy::build(&f);
+        let wfg1 = build_wfg(&f, pmo(1), &est, &h, 10_000);
+        let wfg2 = build_wfg(&f, pmo(2), &est, &h, 10_000);
+        assert_eq!(wfg1.len(), 2);
+        assert_eq!(wfg2.len(), 1);
+        assert!(wfg2[0].contains(3));
+    }
+
+    #[test]
+    fn no_accesses_no_regions() {
+        let f = Function {
+            name: "none".into(),
+            entry: 0,
+            blocks: vec![BasicBlock::empty(Terminator::Return)],
+        };
+        let est = LetEstimator::new(&f, LetModel::default());
+        let h = RegionHierarchy::build(&f);
+        assert!(build_wfg(&f, pmo(1), &est, &h, 1000).is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Protection configurations evaluated by the paper (Section VI) and the
+//! Figure 11 ablations.
+
+use serde::{Deserialize, Serialize};
+
+use terp_sim::{Cycles, SimParams};
+
+/// Which protection scheme interprets the trace's attach/detach ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// No protection: constructs are ignored, PMOs stay mapped, no checks.
+    /// The baseline all overheads are measured against.
+    Unprotected,
+    /// **MM** — MERR insertion + MERR architecture: every construct is a full
+    /// system call with process-wide Basic semantics; randomized placement at
+    /// each attach.
+    Merr,
+    /// **TM** — TERP (compiler) insertion on the MERR architecture:
+    /// EW-conscious decisions, but every conditional op traps into a system
+    /// call.
+    TerpSoftware,
+    /// **TT** — TERP insertion + TERP architecture: CONDAT/CONDDT
+    /// instructions with the circular buffer. `window_combining = false`
+    /// gives the Figure 11 "+Cond" ablation (conditional instructions, no
+    /// delayed detach); `true` is the full "+CB" design.
+    TerpFull {
+        /// Enable delayed detach / window combining (the circular buffer).
+        window_combining: bool,
+    },
+    /// Figure 11 "basic semantics" ablation: TERP-inserted constructs
+    /// executed as syscalls under process-wide Basic semantics — at most one
+    /// thread can hold a PMO; other threads block on attach.
+    BasicSemantics,
+}
+
+impl Scheme {
+    /// The full TERP design (TT with window combining).
+    pub fn terp_full() -> Self {
+        Scheme::TerpFull {
+            window_combining: true,
+        }
+    }
+
+    /// Whether this scheme charges the permission-matrix check per access.
+    pub fn checks_permissions(self) -> bool {
+        !matches!(self, Scheme::Unprotected)
+    }
+
+    /// Whether conditional decisions execute as full system calls.
+    pub fn cond_is_syscall(self) -> bool {
+        matches!(
+            self,
+            Scheme::Merr | Scheme::TerpSoftware | Scheme::BasicSemantics
+        )
+    }
+
+    /// Whether per-thread permissions (TEW) are in play.
+    pub fn has_thread_permissions(self) -> bool {
+        matches!(self, Scheme::TerpSoftware | Scheme::TerpFull { .. })
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scheme::Unprotected => f.write_str("unprotected"),
+            Scheme::Merr => f.write_str("MM"),
+            Scheme::TerpSoftware => f.write_str("TM"),
+            Scheme::TerpFull {
+                window_combining: true,
+            } => f.write_str("TT"),
+            Scheme::TerpFull {
+                window_combining: false,
+            } => f.write_str("TT(+Cond only)"),
+            Scheme::BasicSemantics => f.write_str("basic-semantics"),
+        }
+    }
+}
+
+/// Full protection configuration for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProtectionConfig {
+    /// The scheme in force.
+    pub scheme: Scheme,
+    /// Maximum (process) exposure-window target, µs — 40/80/160 in the
+    /// evaluation.
+    pub ew_target_us: f64,
+    /// Thread exposure-window target, µs — 2 in the evaluation. Informs
+    /// compiler insertion; the runtime reports achieved TEWs against it.
+    pub tew_target_us: f64,
+    /// Seed for address-space randomization.
+    pub seed: u64,
+    /// Circular-buffer entry capacity (hardware budget; paper default 32).
+    pub cb_capacity: usize,
+}
+
+impl ProtectionConfig {
+    /// Creates a configuration with the given scheme and window targets.
+    pub fn new(scheme: Scheme, ew_target_us: f64, tew_target_us: f64) -> Self {
+        ProtectionConfig {
+            scheme,
+            ew_target_us,
+            tew_target_us,
+            seed: 0x7e2f,
+            cb_capacity: 32,
+        }
+    }
+
+    /// The paper's default TT configuration: 40 µs EW, 2 µs TEW.
+    pub fn terp_default() -> Self {
+        Self::new(Scheme::terp_full(), 40.0, 2.0)
+    }
+
+    /// EW target converted to cycles under `params`.
+    pub fn ew_target_cycles(&self, params: &SimParams) -> Cycles {
+        params.us_to_cycles(self.ew_target_us)
+    }
+
+    /// TEW target converted to cycles under `params`.
+    pub fn tew_target_cycles(&self, params: &SimParams) -> Cycles {
+        params.us_to_cycles(self.tew_target_us)
+    }
+
+    /// Returns a copy with a different randomization seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different circular-buffer capacity.
+    pub fn with_cb_capacity(mut self, cb_capacity: usize) -> Self {
+        self.cb_capacity = cb_capacity;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_properties() {
+        assert!(!Scheme::Unprotected.checks_permissions());
+        assert!(Scheme::Merr.checks_permissions());
+        assert!(Scheme::Merr.cond_is_syscall());
+        assert!(Scheme::TerpSoftware.cond_is_syscall());
+        assert!(!Scheme::terp_full().cond_is_syscall());
+        assert!(Scheme::terp_full().has_thread_permissions());
+        assert!(!Scheme::Merr.has_thread_permissions());
+    }
+
+    #[test]
+    fn targets_convert_to_cycles() {
+        let p = SimParams::default();
+        let c = ProtectionConfig::terp_default();
+        assert_eq!(c.ew_target_cycles(&p), 88_000);
+        assert_eq!(c.tew_target_cycles(&p), 4_400);
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(Scheme::Merr.to_string(), "MM");
+        assert_eq!(Scheme::TerpSoftware.to_string(), "TM");
+        assert_eq!(Scheme::terp_full().to_string(), "TT");
+    }
+}

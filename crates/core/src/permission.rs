@@ -1,0 +1,228 @@
+//! Permission sets and permission groups (Definitions 1 and 2).
+//!
+//! A *permission set* assigns read/write/execute bits to data objects (here:
+//! pools). A *permission group* `G(P)` is a set of agents that share a
+//! permission set `P` — i.e. `P` is contained in the intersection of the
+//! members' permission sets. TERP protections are defined *against* a
+//! permission group (Definition 3): a mechanism that reduces the time a
+//! region is accessible by that group.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use terp_pmo::PmoId;
+
+/// The three access rights of Definition 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Right {
+    /// Read permission bit.
+    Read,
+    /// Write permission bit.
+    Write,
+    /// Execute permission bit.
+    Execute,
+}
+
+/// An agent that can hold permissions (a permission-group member).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Agent {
+    /// A thread, identified by index, within the modelled process.
+    Thread(usize),
+    /// A whole process.
+    Process(u32),
+    /// A named user.
+    User(String),
+}
+
+impl fmt::Display for Agent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Agent::Thread(t) => write!(f, "thread#{t}"),
+            Agent::Process(p) => write!(f, "process#{p}"),
+            Agent::User(u) => write!(f, "user:{u}"),
+        }
+    }
+}
+
+/// Definition 1: a set of binary access rights over data objects.
+///
+/// ```
+/// use terp_core::permission::{PermissionSet, Right};
+/// use terp_pmo::PmoId;
+/// let pmo = PmoId::new(1).unwrap();
+/// let mut p = PermissionSet::new();
+/// p.grant(pmo, Right::Read);
+/// assert!(p.has(pmo, Right::Read));
+/// assert!(!p.has(pmo, Right::Write));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PermissionSet {
+    rights: BTreeMap<PmoId, BTreeSet<Right>>,
+}
+
+impl PermissionSet {
+    /// Empty set: no rights on anything.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grants a right on an object.
+    pub fn grant(&mut self, pmo: PmoId, right: Right) {
+        self.rights.entry(pmo).or_default().insert(right);
+    }
+
+    /// Revokes a right; returns whether it was present.
+    pub fn revoke(&mut self, pmo: PmoId, right: Right) -> bool {
+        self.rights.get_mut(&pmo).is_some_and(|s| s.remove(&right))
+    }
+
+    /// Whether the set contains `right` on `pmo` (the `a(O_i) = 1` test).
+    pub fn has(&self, pmo: PmoId, right: Right) -> bool {
+        self.rights.get(&pmo).is_some_and(|s| s.contains(&right))
+    }
+
+    /// Set-containment: every right in `self` is also in `other`
+    /// (`P ⊆ p(g)` from Definition 2).
+    pub fn is_subset_of(&self, other: &PermissionSet) -> bool {
+        self.rights.iter().all(|(pmo, rights)| {
+            rights.iter().all(|r| other.has(*pmo, *r))
+        })
+    }
+
+    /// Intersection of two permission sets.
+    pub fn intersection(&self, other: &PermissionSet) -> PermissionSet {
+        let mut out = PermissionSet::new();
+        for (pmo, rights) in &self.rights {
+            for r in rights {
+                if other.has(*pmo, *r) {
+                    out.grant(*pmo, *r);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of (object, right) pairs granted.
+    pub fn len(&self) -> usize {
+        self.rights.values().map(|s| s.len()).sum()
+    }
+
+    /// Whether no rights are granted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Definition 2: a set of agents sharing a permission set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PermissionGroup {
+    /// Human-readable label (used in poset/Hasse displays).
+    pub name: String,
+    /// Group members.
+    pub members: BTreeSet<Agent>,
+    /// The shared permission set `P`.
+    pub shared: PermissionSet,
+}
+
+impl PermissionGroup {
+    /// Creates a group; validity against per-agent permissions is checked by
+    /// [`Self::is_valid_for`].
+    pub fn new(name: &str, members: impl IntoIterator<Item = Agent>, shared: PermissionSet) -> Self {
+        PermissionGroup {
+            name: name.to_string(),
+            members: members.into_iter().collect(),
+            shared,
+        }
+    }
+
+    /// Definition 2's side condition: `P ⊆ ⋂_{g∈G} p(g)` — the shared set
+    /// must be contained in every member's actual permission set.
+    pub fn is_valid_for(&self, agent_perms: &BTreeMap<Agent, PermissionSet>) -> bool {
+        self.members.iter().all(|m| {
+            agent_perms
+                .get(m)
+                .is_some_and(|p| self.shared.is_subset_of(p))
+        })
+    }
+
+    /// Whether `other`'s members are a subset of this group's members — one
+    /// axis of the Figure 2 partial order.
+    pub fn contains_group(&self, other: &PermissionGroup) -> bool {
+        other.members.is_subset(&self.members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pmo(n: u16) -> PmoId {
+        PmoId::new(n).unwrap()
+    }
+
+    #[test]
+    fn grant_revoke_round_trip() {
+        let mut p = PermissionSet::new();
+        p.grant(pmo(1), Right::Write);
+        assert!(p.has(pmo(1), Right::Write));
+        assert!(p.revoke(pmo(1), Right::Write));
+        assert!(!p.has(pmo(1), Right::Write));
+        assert!(!p.revoke(pmo(1), Right::Write));
+    }
+
+    #[test]
+    fn subset_and_intersection_laws() {
+        let mut a = PermissionSet::new();
+        a.grant(pmo(1), Right::Read);
+        let mut b = a.clone();
+        b.grant(pmo(1), Right::Write);
+        b.grant(pmo(2), Right::Read);
+
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(PermissionSet::new().is_subset_of(&a));
+
+        let i = a.intersection(&b);
+        assert_eq!(i, a, "a ⊆ b ⇒ a ∩ b = a");
+        assert!(i.is_subset_of(&a) && i.is_subset_of(&b));
+    }
+
+    #[test]
+    fn group_validity_requires_containment_in_every_member() {
+        let mut shared = PermissionSet::new();
+        shared.grant(pmo(1), Right::Read);
+
+        let mut rich = PermissionSet::new();
+        rich.grant(pmo(1), Right::Read);
+        rich.grant(pmo(1), Right::Write);
+        let poor = PermissionSet::new();
+
+        let mut perms = BTreeMap::new();
+        perms.insert(Agent::Thread(0), rich.clone());
+        perms.insert(Agent::Thread(1), rich);
+        let g = PermissionGroup::new(
+            "threads",
+            [Agent::Thread(0), Agent::Thread(1)],
+            shared.clone(),
+        );
+        assert!(g.is_valid_for(&perms));
+
+        perms.insert(Agent::Thread(1), poor);
+        assert!(!g.is_valid_for(&perms), "member lacking the shared right");
+    }
+
+    #[test]
+    fn group_containment_is_by_members() {
+        let shared = PermissionSet::new();
+        let small = PermissionGroup::new("one", [Agent::Thread(0)], shared.clone());
+        let big = PermissionGroup::new(
+            "both",
+            [Agent::Thread(0), Agent::Thread(1)],
+            shared,
+        );
+        assert!(big.contains_group(&small));
+        assert!(!small.contains_group(&big));
+    }
+}

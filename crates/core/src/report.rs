@@ -1,0 +1,231 @@
+//! Run reports: everything the paper's tables and figures read off a run.
+
+use serde::{Deserialize, Serialize};
+
+use terp_arch::CondStats;
+use terp_sim::{Cycles, OverheadBreakdown, OverheadCategory};
+
+use crate::config::ProtectionConfig;
+use crate::window::WindowStats;
+
+/// Lifetime of one tagged persistent object, recorded from `Alloc`/`Free`
+/// metadata ops and tagged accesses (the Figure 8 dead-time measurement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectLifetime {
+    /// Workload-assigned object tag.
+    pub tag: u32,
+    /// Allocation time, cycles.
+    pub alloc: Cycles,
+    /// Time of the last write observed before the free, cycles.
+    pub last_write: Cycles,
+    /// Deallocation time, cycles.
+    pub free: Cycles,
+}
+
+impl ObjectLifetime {
+    /// The object's *dead time*: last write → deallocation. The window in
+    /// which a corruption would persist undetected (Section VII-A).
+    pub fn dead_cycles(&self) -> Cycles {
+        self.free.saturating_sub(self.last_write)
+    }
+}
+
+/// The measured outcome of executing a workload under a protection
+/// configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// The configuration that produced this report.
+    pub config: ProtectionConfig,
+    /// Wall-clock of the run in cycles (max core clock).
+    pub total_cycles: Cycles,
+    /// Cycles per microsecond used for the conversions below.
+    pub cycles_per_us: f64,
+    /// Per-category cycle accounting.
+    pub breakdown: OverheadBreakdown,
+    /// Process exposure-window statistics.
+    pub ew: WindowStats,
+    /// Thread exposure-window statistics.
+    pub tew: WindowStats,
+    /// ER: exposed time / total time, averaged over pools.
+    pub exposure_rate: f64,
+    /// TER: thread-exposed time / total time, averaged over pools.
+    pub thread_exposure_rate: f64,
+    /// Conditional-instruction statistics (zeroed for non-TERP schemes).
+    pub cond: CondStats,
+    /// Full attach system calls performed.
+    pub attach_syscalls: u64,
+    /// Full detach system calls performed.
+    pub detach_syscalls: u64,
+    /// In-place randomizations performed.
+    pub randomizations: u64,
+    /// Cycles threads spent blocked on Basic-semantics attach serialization.
+    pub blocked_cycles: Cycles,
+    /// Number of distinct pools the run touched.
+    pub pmo_count: usize,
+    /// Lifetimes of tagged objects (empty unless the workload emits
+    /// `Alloc`/`Free` metadata; feeds the Figure 8 dead-time histogram).
+    pub lifetimes: Vec<ObjectLifetime>,
+}
+
+impl RunReport {
+    /// Execution-time overhead over the unprotected baseline
+    /// (`protection cycles / base cycles`), the y-axis of Figures 9–11.
+    pub fn overhead_fraction(&self) -> f64 {
+        self.breakdown.overhead_fraction()
+    }
+
+    /// One stacked-bar component (a category's cycles / base cycles).
+    pub fn category_fraction(&self, category: OverheadCategory) -> f64 {
+        self.breakdown.category_fraction(category)
+    }
+
+    /// Mean EW in microseconds (Tables III/IV "EW avg").
+    pub fn ew_avg_us(&self) -> f64 {
+        self.ew.avg_cycles / self.cycles_per_us
+    }
+
+    /// Max EW in microseconds (Tables III/IV "EW max").
+    pub fn ew_max_us(&self) -> f64 {
+        self.ew.max_cycles as f64 / self.cycles_per_us
+    }
+
+    /// Mean TEW in microseconds (Tables III/IV "TEW").
+    pub fn tew_avg_us(&self) -> f64 {
+        self.tew.avg_cycles / self.cycles_per_us
+    }
+
+    /// Fraction of conditional ops lowered to thread-permission updates
+    /// (Tables III/IV "Silent %").
+    pub fn silent_fraction(&self) -> f64 {
+        self.cond.silent_fraction()
+    }
+
+    /// Conditional ops per simulated second (Table III "Cond. freq.").
+    pub fn cond_per_second(&self) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        let seconds = self.total_cycles as f64 / (self.cycles_per_us * 1e6);
+        self.cond.total_cond() as f64 / seconds
+    }
+
+    /// Total run time in microseconds.
+    pub fn total_us(&self) -> f64 {
+        self.total_cycles as f64 / self.cycles_per_us
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "[{}] {:.1} µs total, overhead {:.1}%",
+            self.config.scheme,
+            self.total_us(),
+            self.overhead_fraction() * 100.0
+        )?;
+        writeln!(
+            f,
+            "  EW avg/max {:.1}/{:.1} µs, ER {:.1}%, TEW {:.2} µs, TER {:.1}%",
+            self.ew_avg_us(),
+            self.ew_max_us(),
+            self.exposure_rate * 100.0,
+            self.tew_avg_us(),
+            self.thread_exposure_rate * 100.0
+        )?;
+        write!(
+            f,
+            "  silent {:.1}%, syscalls {}/{} (attach/detach), randomizations {}",
+            self.silent_fraction() * 100.0,
+            self.attach_syscalls,
+            self.detach_syscalls,
+            self.randomizations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::WindowStats;
+
+    fn sample() -> RunReport {
+        let mut breakdown = OverheadBreakdown::default();
+        breakdown.charge(OverheadCategory::Base, 1_000_000);
+        breakdown.charge(OverheadCategory::Attach, 30_000);
+        breakdown.charge(OverheadCategory::Cond, 30_000);
+        RunReport {
+            config: ProtectionConfig::terp_default(),
+            total_cycles: 1_060_000,
+            cycles_per_us: 2200.0,
+            breakdown,
+            ew: WindowStats {
+                count: 10,
+                avg_cycles: 86_000.0,
+                max_cycles: 88_000,
+                total_cycles: 860_000,
+            },
+            tew: WindowStats {
+                count: 100,
+                avg_cycles: 2_200.0,
+                max_cycles: 4_400,
+                total_cycles: 220_000,
+            },
+            exposure_rate: 0.5,
+            thread_exposure_rate: 0.04,
+            cond: CondStats {
+                first_attach: 10,
+                silent_attach: 45,
+                delayed_detach: 45,
+                ..Default::default()
+            },
+            attach_syscalls: 10,
+            detach_syscalls: 10,
+            randomizations: 2,
+            blocked_cycles: 0,
+            pmo_count: 1,
+            lifetimes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn dead_time_is_last_write_to_free() {
+        let l = ObjectLifetime {
+            tag: 1,
+            alloc: 100,
+            last_write: 500,
+            free: 2700,
+        };
+        assert_eq!(l.dead_cycles(), 2200);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let r = sample();
+        assert!((r.ew_avg_us() - 39.09).abs() < 0.01);
+        assert!((r.ew_max_us() - 40.0).abs() < 1e-9);
+        assert!((r.tew_avg_us() - 1.0).abs() < 1e-9);
+        assert!((r.overhead_fraction() - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn silent_fraction_from_cond_stats() {
+        let r = sample();
+        assert!((r.silent_fraction() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cond_frequency_is_per_second() {
+        let r = sample();
+        // 100 cond ops in 1_060_000 cycles at 2.2 GHz.
+        let secs = 1_060_000.0 / 2.2e9;
+        assert!((r.cond_per_second() - 100.0 / secs).abs() / (100.0 / secs) < 1e-9);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = sample().to_string();
+        assert!(s.contains("TT"));
+        assert!(s.contains("EW avg/max"));
+    }
+}

@@ -1,0 +1,852 @@
+//! The protection runtime: interprets per-thread traces under a
+//! [`ProtectionConfig`], driving the timing machine, the address space, the
+//! permission hardware, and (for TERP schemes) the conditional-instruction
+//! engine with its periodic sweep.
+//!
+//! Scheduling: threads are pinned one-per-core and the executor always
+//! advances the thread with the smallest local clock — a conservative
+//! discrete-event interleave that makes multi-threaded runs deterministic.
+//!
+//! Scheme semantics implemented here:
+//!
+//! * **Unprotected** — pools are mapped once at start; constructs cost
+//!   nothing; no checks.
+//! * **MM / BasicSemantics** — process-wide Basic semantics; every construct
+//!   is a full syscall. Under contention a thread's attach *blocks* until
+//!   the holder detaches ("with [basic semantics], at most one thread can
+//!   attach a PMO ... they need to wait", Section VII-C). A detected
+//!   deadlock is resolved by letting the youngest waiter proceed without
+//!   ownership (recorded in the report's `blocked_cycles`/conflict stats).
+//! * **TM** — EW-conscious decisions via the conditional engine, but every
+//!   conditional op traps (full syscall cost).
+//! * **TT** — CONDAT/CONDDT at 27 cycles, real syscalls only when the engine
+//!   demands them; the circular-buffer sweep closes or randomizes expired
+//!   windows. With `window_combining = false` (Figure 11 "+Cond"), delayed
+//!   detach is disabled: the last thread's detach always unmaps.
+
+use std::collections::{HashMap, HashSet};
+
+use terp_arch::{AttachOutcome, CondEngine, DetachOutcome, MerrArch, SweepAction};
+use terp_pmo::{
+    AccessKind, ObjectId, Permission, PmoError, PmoId, PmoRegistry, ProcessAddressSpace,
+};
+use terp_sim::machine::MemoryRegion;
+use terp_sim::{
+    Cycles, Machine, OverheadCategory, PermissionMatrix, SimParams, ThreadPermissionTable,
+    ThreadTrace, TraceOp,
+};
+
+use crate::config::{ProtectionConfig, Scheme};
+use crate::report::{ObjectLifetime, RunReport};
+use crate::window::WindowTracker;
+
+/// Errors surfaced by a run — almost always a malformed trace (the compiler
+/// inserts constructs precisely to make these impossible).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// More threads than simulated cores.
+    TooManyThreads {
+        /// Requested thread count.
+        threads: usize,
+        /// Available cores.
+        cores: usize,
+    },
+    /// A single-threaded double attach under Basic semantics.
+    DoubleAttach {
+        /// Offending thread.
+        thread: usize,
+        /// Pool attached twice.
+        pmo: PmoId,
+    },
+    /// Detach of a pool that is not attached.
+    DetachUnattached {
+        /// Offending thread.
+        thread: usize,
+        /// Pool.
+        pmo: PmoId,
+    },
+    /// A PMO access while the pool is unmapped (segmentation fault).
+    AccessUnmapped {
+        /// Offending thread.
+        thread: usize,
+        /// Target object.
+        oid: ObjectId,
+    },
+    /// A PMO access denied by thread permission.
+    AccessDenied {
+        /// Offending thread.
+        thread: usize,
+        /// Target object.
+        oid: ObjectId,
+    },
+    /// The underlying PMO substrate rejected an operation.
+    Substrate(PmoError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::TooManyThreads { threads, cores } => {
+                write!(f, "{threads} threads exceed {cores} cores")
+            }
+            RunError::DoubleAttach { thread, pmo } => {
+                write!(f, "thread {thread}: double attach of {pmo}")
+            }
+            RunError::DetachUnattached { thread, pmo } => {
+                write!(f, "thread {thread}: detach of unattached {pmo}")
+            }
+            RunError::AccessUnmapped { thread, oid } => {
+                write!(f, "thread {thread}: segmentation fault accessing {oid}")
+            }
+            RunError::AccessDenied { thread, oid } => {
+                write!(f, "thread {thread}: permission denied accessing {oid}")
+            }
+            RunError::Substrate(e) => write!(f, "substrate error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Substrate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PmoError> for RunError {
+    fn from(e: PmoError) -> Self {
+        RunError::Substrate(e)
+    }
+}
+
+/// Executes traces under a protection configuration.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    params: SimParams,
+    config: ProtectionConfig,
+}
+
+impl Executor {
+    /// Creates an executor.
+    pub fn new(params: SimParams, config: ProtectionConfig) -> Self {
+        Executor { params, config }
+    }
+
+    /// Runs one trace per thread against the pools in `registry`.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError`] on malformed traces (unbalanced constructs, accesses
+    /// outside windows) or substrate failures.
+    pub fn run(
+        &self,
+        registry: &mut PmoRegistry,
+        traces: Vec<ThreadTrace>,
+    ) -> Result<RunReport, RunError> {
+        if traces.len() > self.params.cores {
+            return Err(RunError::TooManyThreads {
+                threads: traces.len(),
+                cores: self.params.cores,
+            });
+        }
+        let mut st = RunState::new(self.params.clone(), self.config, registry, traces)?;
+        st.run_to_completion()?;
+        Ok(st.into_report())
+    }
+}
+
+struct RunState<'r> {
+    params: SimParams,
+    config: ProtectionConfig,
+    registry: &'r mut PmoRegistry,
+    traces: Vec<ThreadTrace>,
+
+    machine: Machine,
+    space: ProcessAddressSpace,
+    matrix: PermissionMatrix,
+    thread_perms: ThreadPermissionTable,
+    engine: Option<CondEngine>,
+    merr: MerrArch,
+    windows: WindowTracker,
+
+    pcs: Vec<usize>,
+    blocked: Vec<bool>,
+    /// (thread, pmo) pairs that proceeded without ownership after deadlock
+    /// resolution under Basic semantics.
+    borrowed: HashSet<(usize, PmoId)>,
+
+    next_sweep: Cycles,
+    attach_syscalls: u64,
+    detach_syscalls: u64,
+    randomizations: u64,
+    blocked_cycles: Cycles,
+    pmos_touched: HashSet<PmoId>,
+    /// tag → (alloc time, last write time) for live tagged objects.
+    live_objects: HashMap<u32, (Cycles, Cycles)>,
+    lifetimes: Vec<ObjectLifetime>,
+}
+
+impl<'r> RunState<'r> {
+    fn new(
+        params: SimParams,
+        config: ProtectionConfig,
+        registry: &'r mut PmoRegistry,
+        traces: Vec<ThreadTrace>,
+    ) -> Result<Self, RunError> {
+        let n = traces.len();
+        let machine = Machine::new(params.clone());
+        let mut space = ProcessAddressSpace::with_seed(config.seed);
+        let engine = if matches!(config.scheme, Scheme::TerpSoftware | Scheme::TerpFull { .. }) {
+            Some(CondEngine::with_capacity(
+                config.ew_target_cycles(&params),
+                config.cb_capacity,
+            ))
+        } else {
+            None
+        };
+
+        // Unprotected baseline: map every pool once, up front, free.
+        if config.scheme == Scheme::Unprotected {
+            let ids: Vec<PmoId> = registry.iter().map(|p| p.id()).collect();
+            for id in ids {
+                let perm = registry.pool(id)?.mode().max_permission();
+                space.attach(registry.pool_mut(id)?, perm)?;
+            }
+        }
+
+        let sweep_period = params.sweep_period_cycles;
+        Ok(RunState {
+            params,
+            config,
+            registry,
+            traces,
+            machine,
+            space,
+            matrix: PermissionMatrix::new(),
+            thread_perms: ThreadPermissionTable::new(),
+            engine,
+            merr: MerrArch::new(),
+            windows: WindowTracker::new(),
+            pcs: vec![0; n],
+            blocked: vec![false; n],
+            borrowed: HashSet::new(),
+            next_sweep: sweep_period,
+            attach_syscalls: 0,
+            detach_syscalls: 0,
+            randomizations: 0,
+            blocked_cycles: 0,
+            pmos_touched: HashSet::new(),
+            live_objects: HashMap::new(),
+            lifetimes: Vec::new(),
+        })
+    }
+
+    fn run_to_completion(&mut self) -> Result<(), RunError> {
+        while let Some(thread) = self.next_thread() {
+            self.run_due_sweeps(self.machine.now(thread))?;
+            let op = self.traces[thread].ops[self.pcs[thread]];
+            if self.execute(thread, op)? {
+                self.pcs[thread] += 1;
+            }
+        }
+        // Drain sweeps that fall before the end of the run, then close any
+        // still-open windows at the final time.
+        self.run_due_sweeps(self.machine.global_time())?;
+        self.windows.finalize(self.machine.global_time());
+        Ok(())
+    }
+
+    /// The unfinished thread with the smallest clock.
+    fn next_thread(&self) -> Option<usize> {
+        (0..self.traces.len())
+            .filter(|&t| self.pcs[t] < self.traces[t].ops.len())
+            .min_by_key(|&t| self.machine.now(t))
+    }
+
+    /// Executes one op; returns whether the pc advances (false = retry, used
+    /// by Basic-semantics blocking).
+    fn execute(&mut self, thread: usize, op: TraceOp) -> Result<bool, RunError> {
+        match op {
+            TraceOp::Compute { instrs } => {
+                self.machine.compute(thread, instrs);
+                Ok(true)
+            }
+            TraceOp::DramAccess { addr, kind } => {
+                self.machine.mem_access(
+                    thread,
+                    addr,
+                    kind,
+                    MemoryRegion::Dram,
+                    OverheadCategory::Base,
+                );
+                Ok(true)
+            }
+            TraceOp::PmoAccess { oid, kind, tag } => {
+                self.pmos_touched.insert(oid.pmo());
+                self.pmo_access(thread, oid, kind)?;
+                if let (Some(tag), AccessKind::Write) = (tag, kind) {
+                    if let Some(rec) = self.live_objects.get_mut(&tag) {
+                        rec.1 = self.machine.now(thread);
+                    }
+                }
+                Ok(true)
+            }
+            TraceOp::Attach { pmo, perm } => {
+                self.pmos_touched.insert(pmo);
+                self.attach_op(thread, pmo, perm)
+            }
+            TraceOp::Detach { pmo } => {
+                self.detach_op(thread, pmo)?;
+                Ok(true)
+            }
+            TraceOp::Alloc { tag, .. } => {
+                let now = self.machine.now(thread);
+                self.live_objects.insert(tag, (now, now));
+                Ok(true)
+            }
+            TraceOp::Free { tag } => {
+                if let Some((alloc, last_write)) = self.live_objects.remove(&tag) {
+                    self.lifetimes.push(ObjectLifetime {
+                        tag,
+                        alloc,
+                        last_write,
+                        free: self.machine.now(thread),
+                    });
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    fn pmo_access(&mut self, thread: usize, oid: ObjectId, kind: AccessKind) -> Result<(), RunError> {
+        let va = self
+            .space
+            .oid_direct(oid)
+            .map_err(|_| RunError::AccessUnmapped { thread, oid })?;
+        if self.config.scheme.checks_permissions() {
+            self.machine.charge_permission_check(thread);
+            if self.config.scheme.has_thread_permissions()
+                && !self.thread_perms.check(thread, oid.pmo(), kind)
+            {
+                return Err(RunError::AccessDenied { thread, oid });
+            }
+            if !self.matrix.check(va, kind) {
+                return Err(RunError::AccessDenied { thread, oid });
+            }
+        }
+        self.machine.mem_access(
+            thread,
+            va,
+            kind,
+            MemoryRegion::Nvm,
+            OverheadCategory::Base,
+        );
+        Ok(())
+    }
+
+    fn attach_op(&mut self, thread: usize, pmo: PmoId, perm: Permission) -> Result<bool, RunError> {
+        match self.config.scheme {
+            Scheme::Unprotected => Ok(true),
+            Scheme::Merr | Scheme::BasicSemantics => self.attach_basic(thread, pmo, perm),
+            Scheme::TerpSoftware | Scheme::TerpFull { .. } => {
+                self.attach_terp(thread, pmo, perm)?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Process-wide Basic-semantics attach (MM and the Figure 11 ablation).
+    fn attach_basic(&mut self, thread: usize, pmo: PmoId, perm: Permission) -> Result<bool, RunError> {
+        if self.merr.attach(pmo).is_ok() {
+            self.blocked[thread] = false;
+            self.machine.charge_attach_syscall(thread);
+            // MERR randomizes the PMO location at every attach; the
+            // placement work is charged to the Rand category (Figure 9's MM
+            // bars include a Rand component).
+            self.machine.advance(
+                thread,
+                self.params.randomization_cycles,
+                OverheadCategory::Rand,
+            );
+            self.attach_syscalls += 1;
+            let handle = self.space.attach(self.registry.pool_mut(pmo)?, perm)?;
+            self.matrix.insert(pmo, handle.base_va(), handle.size(), perm);
+            self.windows.open_ew(pmo, self.machine.now(thread));
+            return Ok(true);
+        }
+        // The PMO is attached: this thread must wait for the detach.
+        let other_clock = (0..self.traces.len())
+            .filter(|&t| t != thread && self.pcs[t] < self.traces[t].ops.len())
+            .map(|t| self.machine.now(t))
+            .min();
+        match other_clock {
+            None => Err(RunError::DoubleAttach { thread, pmo }),
+            Some(_) if self.all_runnable_blocked_except(thread) => {
+                // Deadlock: every other runnable thread is also waiting.
+                // Resolve by proceeding without ownership.
+                self.blocked[thread] = false;
+                self.borrowed.insert((thread, pmo));
+                self.machine.charge_attach_syscall(thread);
+                Ok(true)
+            }
+            Some(clock) => {
+                let now = self.machine.now(thread);
+                let delta = clock.saturating_sub(now) + 1;
+                self.machine.advance(thread, delta, OverheadCategory::Attach);
+                self.blocked_cycles += delta;
+                self.blocked[thread] = true;
+                Ok(false) // retry the attach
+            }
+        }
+    }
+
+    fn all_runnable_blocked_except(&self, thread: usize) -> bool {
+        (0..self.traces.len())
+            .filter(|&t| t != thread && self.pcs[t] < self.traces[t].ops.len())
+            .all(|t| self.blocked[t])
+    }
+
+    /// EW-conscious attach via the conditional engine (TM and TT).
+    fn attach_terp(&mut self, thread: usize, pmo: PmoId, perm: Permission) -> Result<(), RunError> {
+        let engine = self.engine.as_mut().expect("TERP scheme without engine");
+        let now = self.machine.now(thread);
+        let outcome = engine.condat(pmo, now);
+
+        // Cost of the conditional op itself.
+        if self.config.scheme.cond_is_syscall() {
+            self.machine.charge_attach_syscall(thread);
+        } else {
+            self.machine.charge_silent_cond(thread);
+        }
+
+        if outcome.needs_syscall() {
+            if !self.config.scheme.cond_is_syscall() {
+                // TT pays the real syscall on top of the conditional op.
+                self.machine.charge_attach_syscall(thread);
+            }
+            if !self.space.is_attached(pmo) {
+                // Map with full process permission; the per-thread table is
+                // what enforces the requested level.
+                let handle = self
+                    .space
+                    .attach(self.registry.pool_mut(pmo)?, Permission::ReadWrite)?;
+                self.matrix
+                    .insert(pmo, handle.base_va(), handle.size(), Permission::ReadWrite);
+                self.windows.open_ew(pmo, self.machine.now(thread));
+            }
+            if matches!(outcome, AttachOutcome::FirstAttach | AttachOutcome::UntrackedAttach) {
+                self.attach_syscalls += 1;
+            }
+        }
+
+        // All CONDAT cases set the calling thread's permission.
+        self.thread_perms.grant(thread, pmo, perm);
+        self.windows.open_tew(thread, pmo, self.machine.now(thread));
+        Ok(())
+    }
+
+    fn detach_op(&mut self, thread: usize, pmo: PmoId) -> Result<(), RunError> {
+        match self.config.scheme {
+            Scheme::Unprotected => Ok(()),
+            Scheme::Merr | Scheme::BasicSemantics => self.detach_basic(thread, pmo),
+            Scheme::TerpSoftware | Scheme::TerpFull { .. } => self.detach_terp(thread, pmo),
+        }
+    }
+
+    fn detach_basic(&mut self, thread: usize, pmo: PmoId) -> Result<(), RunError> {
+        if self.borrowed.remove(&(thread, pmo)) {
+            // Deadlock-resolved attach: the matching detach is a no-op
+            // beyond its syscall cost.
+            self.machine.charge_detach_syscall(thread);
+            return Ok(());
+        }
+        self.merr
+            .detach(pmo)
+            .map_err(|_| RunError::DetachUnattached { thread, pmo })?;
+        self.machine.charge_detach_syscall(thread);
+        self.detach_syscalls += 1;
+        self.space.detach(self.registry.pool_mut(pmo)?)?;
+        self.matrix.remove(pmo);
+        self.windows.close_ew(pmo, self.machine.now(thread));
+        Ok(())
+    }
+
+    fn detach_terp(&mut self, thread: usize, pmo: PmoId) -> Result<(), RunError> {
+        let combining = matches!(
+            self.config.scheme,
+            Scheme::TerpFull {
+                window_combining: true
+            } | Scheme::TerpSoftware
+        );
+        let engine = self.engine.as_mut().expect("TERP scheme without engine");
+        let now = self.machine.now(thread);
+        let mut outcome = engine.conddt(pmo, now);
+        if !combining && outcome == DetachOutcome::DelayedDetach {
+            // "+Cond" ablation: no circular buffer, the last thread's detach
+            // always really detaches.
+            engine.evict(pmo);
+            outcome = DetachOutcome::FullDetach;
+        }
+
+        if self.config.scheme.cond_is_syscall() {
+            self.machine.charge_detach_syscall(thread);
+        } else {
+            self.machine.charge_silent_cond(thread);
+        }
+
+        // The calling thread's permission closes in every case.
+        self.thread_perms.revoke(thread, pmo);
+        self.windows.close_tew(thread, pmo, self.machine.now(thread));
+
+        if outcome.needs_syscall() && self.space.is_attached(pmo) {
+            if !self.config.scheme.cond_is_syscall() {
+                self.machine.charge_detach_syscall(thread);
+            }
+            self.space.detach(self.registry.pool_mut(pmo)?)?;
+            self.matrix.remove(pmo);
+            self.windows.close_ew(pmo, self.machine.now(thread));
+            self.detach_syscalls += 1;
+        }
+        Ok(())
+    }
+
+    /// Runs every sweep due at or before `now` (TM/TT only).
+    fn run_due_sweeps(&mut self, now: Cycles) -> Result<(), RunError> {
+        if self.engine.is_none() {
+            return Ok(());
+        }
+        while self.next_sweep <= now {
+            let ts = self.next_sweep;
+            let actions = self
+                .engine
+                .as_mut()
+                .expect("checked above")
+                .sweep(ts);
+            for action in actions {
+                match action {
+                    SweepAction::Detach(pmo) => {
+                        if self.space.is_attached(pmo) {
+                            // Charge to the thread whose clock triggered the
+                            // sweep window (the earliest core).
+                            let core = self.machine.earliest_core();
+                            self.machine.charge_detach_syscall(core);
+                            self.space.detach(self.registry.pool_mut(pmo)?)?;
+                            self.matrix.remove(pmo);
+                            self.thread_perms.revoke_all(pmo);
+                            self.windows.close_ew(pmo, ts);
+                            self.detach_syscalls += 1;
+                        }
+                    }
+                    SweepAction::Randomize(pmo) => {
+                        if self.space.is_attached(pmo) {
+                            let core = self.machine.earliest_core();
+                            self.machine.charge_randomization(core);
+                            let handle = self.space.randomize(self.registry.pool_mut(pmo)?)?;
+                            self.matrix.relocate(pmo, handle.base_va());
+                            self.windows.split_ew(pmo, ts);
+                            self.randomizations += 1;
+                        }
+                    }
+                }
+            }
+            self.next_sweep += self.params.sweep_period_cycles;
+        }
+        Ok(())
+    }
+
+    fn into_report(self) -> RunReport {
+        let total = self.machine.global_time();
+        RunReport {
+            config: self.config,
+            total_cycles: total,
+            cycles_per_us: self.params.cycles_per_us(),
+            breakdown: self.machine.breakdown(),
+            ew: self.windows.ew_stats(),
+            tew: self.windows.tew_stats(),
+            exposure_rate: self.windows.exposure_rate(total),
+            thread_exposure_rate: self.windows.thread_exposure_rate(total),
+            cond: self.engine.map(|e| e.stats()).unwrap_or_default(),
+            attach_syscalls: self.attach_syscalls,
+            detach_syscalls: self.detach_syscalls,
+            randomizations: self.randomizations,
+            blocked_cycles: self.blocked_cycles,
+            pmo_count: self.pmos_touched.len(),
+            lifetimes: self.lifetimes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use terp_pmo::OpenMode;
+
+    fn setup(pools: usize) -> (PmoRegistry, Vec<PmoId>) {
+        let mut reg = PmoRegistry::new();
+        let ids = (0..pools)
+            .map(|i| {
+                reg.create(&format!("p{i}"), 1 << 20, OpenMode::ReadWrite)
+                    .unwrap()
+            })
+            .collect();
+        (reg, ids)
+    }
+
+    fn simple_trace(pmo: PmoId, windows: usize, accesses: u64) -> ThreadTrace {
+        let mut t = ThreadTrace::new();
+        for _ in 0..windows {
+            t.push(TraceOp::Attach {
+                pmo,
+                perm: Permission::ReadWrite,
+            });
+            for i in 0..accesses {
+                t.push(TraceOp::PmoAccess {
+                    oid: ObjectId::new(pmo, (i * 64) % (1 << 18)),
+                    kind: if i % 4 == 0 {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    },
+                    tag: None,
+                });
+            }
+            t.push(TraceOp::Compute { instrs: 2000 });
+            t.push(TraceOp::Detach { pmo });
+            t.push(TraceOp::Compute { instrs: 2000 });
+        }
+        t
+    }
+
+    fn run(scheme: Scheme, reg: &mut PmoRegistry, traces: Vec<ThreadTrace>) -> RunReport {
+        let config = ProtectionConfig::new(scheme, 40.0, 2.0);
+        Executor::new(SimParams::default(), config)
+            .run(reg, traces)
+            .unwrap()
+    }
+
+    #[test]
+    fn unprotected_run_has_zero_protection_overhead() {
+        let (mut reg, ids) = setup(1);
+        let r = run(Scheme::Unprotected, &mut reg, vec![simple_trace(ids[0], 10, 20)]);
+        assert_eq!(r.overhead_fraction(), 0.0);
+        assert_eq!(r.attach_syscalls, 0);
+        assert!(r.total_cycles > 0);
+    }
+
+    #[test]
+    fn merr_charges_full_syscalls_per_pair() {
+        let (mut reg, ids) = setup(1);
+        let r = run(Scheme::Merr, &mut reg, vec![simple_trace(ids[0], 10, 20)]);
+        assert_eq!(r.attach_syscalls, 10);
+        assert_eq!(r.detach_syscalls, 10);
+        assert_eq!(r.ew.count, 10);
+        assert!(r.overhead_fraction() > 0.0);
+        assert_eq!(r.cond.total_cond(), 0, "MERR has no conditional ops");
+    }
+
+    #[test]
+    fn tt_elides_most_syscalls_via_window_combining() {
+        let (mut reg, ids) = setup(1);
+        let r = run(
+            Scheme::terp_full(),
+            &mut reg,
+            vec![simple_trace(ids[0], 50, 20)],
+        );
+        // 50 windows, but closely spaced: almost all combine.
+        assert!(r.attach_syscalls < 10, "attaches: {}", r.attach_syscalls);
+        assert!(r.silent_fraction() > 0.8, "silent: {}", r.silent_fraction());
+        assert_eq!(r.tew.count, 50, "every pair yields a TEW");
+        // TT must be far cheaper than MM on the same trace.
+        let (mut reg2, ids2) = setup(1);
+        let mm = run(Scheme::Merr, &mut reg2, vec![simple_trace(ids2[0], 50, 20)]);
+        assert!(r.overhead_fraction() < mm.overhead_fraction());
+        let _ = ids;
+    }
+
+    #[test]
+    fn tm_pays_syscall_per_conditional_op() {
+        let (mut reg, ids) = setup(1);
+        let r = run(
+            Scheme::TerpSoftware,
+            &mut reg,
+            vec![simple_trace(ids[0], 50, 20)],
+        );
+        // Same decisions as TT (mostly silent) but each op costs a syscall:
+        // overhead must exceed the TT run's.
+        let (mut reg2, ids2) = setup(1);
+        let tt = run(
+            Scheme::terp_full(),
+            &mut reg2,
+            vec![simple_trace(ids2[0], 50, 20)],
+        );
+        assert!(r.overhead_fraction() > 2.0 * tt.overhead_fraction());
+        let _ = (ids, r.cond);
+    }
+
+    #[test]
+    fn sweep_closes_expired_combined_windows() {
+        let (mut reg, ids) = setup(1);
+        // One window, then compute long past the 40 µs EW target: the sweep
+        // must detach the delayed window.
+        let mut t = ThreadTrace::new();
+        t.push(TraceOp::Attach {
+            pmo: ids[0],
+            perm: Permission::Read,
+        });
+        t.push(TraceOp::PmoAccess {
+            oid: ObjectId::new(ids[0], 0),
+            kind: AccessKind::Read,
+            tag: None,
+        });
+        t.push(TraceOp::Detach { pmo: ids[0] }); // delayed (case 6)
+        t.push(TraceOp::Compute { instrs: 1_000_000 }); // ≫ 40 µs
+        let r = run(Scheme::terp_full(), &mut reg, vec![t]);
+        assert_eq!(r.detach_syscalls, 1, "sweep performed the real detach");
+        assert_eq!(r.ew.count, 1);
+        // The window is bounded near the EW target, far below the run time.
+        assert!(r.ew_max_us() < 50.0, "EW {} µs", r.ew_max_us());
+        assert!(r.total_us() > 200.0);
+    }
+
+    #[test]
+    fn multithreaded_tt_overlapping_windows_randomize() {
+        let (mut reg, ids) = setup(1);
+        // Two threads alternating long windows so the PMO is never fully
+        // idle: expired windows must be randomized in place.
+        let mk = |seed: u64| {
+            let mut t = ThreadTrace::new();
+            for i in 0..40 {
+                t.push(TraceOp::Attach {
+                    pmo: ids[0],
+                    perm: Permission::ReadWrite,
+                });
+                for j in 0..50u64 {
+                    t.push(TraceOp::PmoAccess {
+                        oid: ObjectId::new(ids[0], ((seed + i * 50 + j) * 64) % (1 << 18)),
+                        kind: AccessKind::Read,
+                        tag: None,
+                    });
+                }
+                t.push(TraceOp::Compute { instrs: 20_000 });
+                t.push(TraceOp::Detach { pmo: ids[0] });
+            }
+            t
+        };
+        let r = run(Scheme::terp_full(), &mut reg, vec![mk(0), mk(1_000_000)]);
+        assert!(r.randomizations > 0, "no randomizations: {r}");
+        // Window sizes stay near the 40 µs target despite combining.
+        assert!(r.ew_max_us() < 80.0, "EW max {} µs", r.ew_max_us());
+    }
+
+    #[test]
+    fn basic_semantics_serializes_threads() {
+        let (mut reg, ids) = setup(1);
+        let traces = vec![simple_trace(ids[0], 20, 10), simple_trace(ids[0], 20, 10)];
+        let r = run(Scheme::BasicSemantics, &mut reg, traces);
+        assert!(r.blocked_cycles > 0, "threads must have waited");
+        // All constructs were real syscalls.
+        assert_eq!(r.attach_syscalls + r.detach_syscalls, 80);
+
+        // EW-conscious TT on the same workload never blocks.
+        let (mut reg2, ids2) = setup(1);
+        let traces = vec![simple_trace(ids2[0], 20, 10), simple_trace(ids2[0], 20, 10)];
+        let tt = run(Scheme::terp_full(), &mut reg2, traces);
+        assert_eq!(tt.blocked_cycles, 0);
+        assert!(tt.overhead_fraction() < r.overhead_fraction());
+    }
+
+    #[test]
+    fn access_outside_window_faults() {
+        let (mut reg, ids) = setup(1);
+        let mut t = ThreadTrace::new();
+        t.push(TraceOp::PmoAccess {
+            oid: ObjectId::new(ids[0], 0),
+            kind: AccessKind::Read,
+            tag: None,
+        });
+        let config = ProtectionConfig::new(Scheme::terp_full(), 40.0, 2.0);
+        let err = Executor::new(SimParams::default(), config)
+            .run(&mut reg, vec![t])
+            .unwrap_err();
+        assert!(matches!(err, RunError::AccessUnmapped { .. }));
+    }
+
+    #[test]
+    fn single_thread_double_attach_is_an_error_under_merr() {
+        let (mut reg, ids) = setup(1);
+        let mut t = ThreadTrace::new();
+        for _ in 0..2 {
+            t.push(TraceOp::Attach {
+                pmo: ids[0],
+                perm: Permission::Read,
+            });
+        }
+        let config = ProtectionConfig::new(Scheme::Merr, 40.0, 2.0);
+        let err = Executor::new(SimParams::default(), config)
+            .run(&mut reg, vec![t])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RunError::DoubleAttach {
+                thread: 0,
+                pmo: ids[0]
+            }
+        );
+    }
+
+    #[test]
+    fn too_many_threads_rejected() {
+        let (mut reg, _) = setup(1);
+        let traces = vec![ThreadTrace::new(); 5];
+        let config = ProtectionConfig::terp_default();
+        let err = Executor::new(SimParams::default(), config)
+            .run(&mut reg, traces)
+            .unwrap_err();
+        assert!(matches!(err, RunError::TooManyThreads { threads: 5, cores: 4 }));
+    }
+
+    #[test]
+    fn thread_permission_enforced_under_tt() {
+        let (mut reg, ids) = setup(1);
+        // Thread attaches READ then writes: must be denied.
+        let mut t = ThreadTrace::new();
+        t.push(TraceOp::Attach {
+            pmo: ids[0],
+            perm: Permission::Read,
+        });
+        t.push(TraceOp::PmoAccess {
+            oid: ObjectId::new(ids[0], 0),
+            kind: AccessKind::Write,
+            tag: None,
+        });
+        let config = ProtectionConfig::terp_default();
+        let err = Executor::new(SimParams::default(), config)
+            .run(&mut reg, vec![t])
+            .unwrap_err();
+        assert!(matches!(err, RunError::AccessDenied { .. }));
+    }
+
+    #[test]
+    fn cond_only_ablation_detaches_eagerly() {
+        let (mut reg, ids) = setup(1);
+        let r = run(
+            Scheme::TerpFull {
+                window_combining: false,
+            },
+            &mut reg,
+            vec![simple_trace(ids[0], 20, 10)],
+        );
+        // Without combining every last-thread detach is real.
+        assert_eq!(r.detach_syscalls, 20);
+        assert_eq!(r.attach_syscalls, 20);
+        let (mut reg2, ids2) = setup(1);
+        let full = run(
+            Scheme::terp_full(),
+            &mut reg2,
+            vec![simple_trace(ids2[0], 20, 10)],
+        );
+        assert!(full.detach_syscalls < r.detach_syscalls);
+    }
+}

@@ -1,0 +1,120 @@
+//! Basic semantics (Section IV-A): strict pair matching, process-wide.
+//!
+//! "Each attach() must be followed by a detach(), and every detach() must
+//! follow an attach(). Any other attach or detach is considered invalid."
+//! After an invalid construct, subsequent behaviour is *undefined* (the
+//! Figure 3 example marks later lines `undef`); the machine models that with
+//! a poisoned flag.
+//!
+//! Multi-threaded behaviour: the state is process-wide, so one thread's open
+//! window makes another thread's attach invalid — in a blocking execution
+//! model (Figure 11's "basic semantics" bars) the second thread must wait.
+
+use super::{AccessOutcome, CallOutcome};
+
+/// The Basic semantics state machine for one PMO.
+#[derive(Debug, Clone, Default)]
+pub struct BasicSemantics {
+    attached: bool,
+    poisoned: bool,
+}
+
+impl BasicSemantics {
+    /// Fresh, detached state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An `attach()` call.
+    pub fn attach(&mut self) -> CallOutcome {
+        if self.poisoned {
+            return CallOutcome::Invalid;
+        }
+        if self.attached {
+            self.poisoned = true;
+            CallOutcome::Invalid
+        } else {
+            self.attached = true;
+            CallOutcome::Performed
+        }
+    }
+
+    /// A `detach()` call.
+    pub fn detach(&mut self) -> CallOutcome {
+        if self.poisoned {
+            return CallOutcome::Invalid;
+        }
+        if self.attached {
+            self.attached = false;
+            CallOutcome::Performed
+        } else {
+            self.poisoned = true;
+            CallOutcome::Invalid
+        }
+    }
+
+    /// A load/store to the PMO.
+    pub fn access(&mut self) -> AccessOutcome {
+        if self.poisoned {
+            AccessOutcome::Undefined
+        } else if self.attached {
+            AccessOutcome::Valid
+        } else {
+            AccessOutcome::Invalid
+        }
+    }
+
+    /// Whether the PMO is currently mapped.
+    pub fn is_attached(&self) -> bool {
+        self.attached
+    }
+
+    /// Whether an earlier construct already errored.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formed_pairs_work() {
+        let mut s = BasicSemantics::new();
+        for _ in 0..3 {
+            assert_eq!(s.attach(), CallOutcome::Performed);
+            assert_eq!(s.access(), AccessOutcome::Valid);
+            assert_eq!(s.detach(), CallOutcome::Performed);
+        }
+        assert!(!s.is_poisoned());
+    }
+
+    #[test]
+    fn double_attach_poisons() {
+        let mut s = BasicSemantics::new();
+        s.attach();
+        assert_eq!(s.attach(), CallOutcome::Invalid);
+        assert!(s.is_poisoned());
+        assert_eq!(s.access(), AccessOutcome::Undefined);
+        assert_eq!(s.detach(), CallOutcome::Invalid);
+        assert_eq!(s.attach(), CallOutcome::Invalid);
+    }
+
+    #[test]
+    fn detach_first_poisons() {
+        let mut s = BasicSemantics::new();
+        assert_eq!(s.detach(), CallOutcome::Invalid);
+        assert!(s.is_poisoned());
+    }
+
+    #[test]
+    fn access_outside_window_faults() {
+        let mut s = BasicSemantics::new();
+        assert_eq!(s.access(), AccessOutcome::Invalid);
+        s.attach();
+        s.detach();
+        assert_eq!(s.access(), AccessOutcome::Invalid);
+        assert!(!s.is_poisoned(), "a faulting access does not poison");
+    }
+}

@@ -1,0 +1,111 @@
+//! First-come first-serve (FCFS) semantics (Section IV-B).
+//!
+//! "An outermost attach is valid and performed, whereas inner attach calls
+//! are silent. The first detach encountered after an attach() is performed,
+//! other detaches are silent. Any access prior to the outermost detach
+//! triggers an automatic PMO reattach."
+//!
+//! The rejected-design lesson: the automatic reattach cannot distinguish a
+//! benign access (the program legitimately continuing) from an invalid one
+//! (an attacker probing a supposedly-closed window) — every stray access
+//! silently re-exposes the PMO.
+
+use super::{AccessOutcome, CallOutcome};
+
+/// The FCFS semantics state machine for one PMO.
+#[derive(Debug, Clone, Default)]
+pub struct FcfsSemantics {
+    attached: bool,
+    reattaches: u64,
+}
+
+impl FcfsSemantics {
+    /// Fresh, detached state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An `attach()` call: performed when detached, silent otherwise.
+    pub fn attach(&mut self) -> CallOutcome {
+        if self.attached {
+            CallOutcome::Silent
+        } else {
+            self.attached = true;
+            CallOutcome::Performed
+        }
+    }
+
+    /// A `detach()` call: the first after an attach is performed; further
+    /// detaches are silent.
+    pub fn detach(&mut self) -> CallOutcome {
+        if self.attached {
+            self.attached = false;
+            CallOutcome::Performed
+        } else {
+            CallOutcome::Silent
+        }
+    }
+
+    /// A load/store: accesses while detached silently reattach.
+    pub fn access(&mut self) -> AccessOutcome {
+        if self.attached {
+            AccessOutcome::Valid
+        } else {
+            self.attached = true;
+            self.reattaches += 1;
+            AccessOutcome::TriggersReattach
+        }
+    }
+
+    /// Whether the PMO is currently mapped.
+    pub fn is_attached(&self) -> bool {
+        self.attached
+    }
+
+    /// Number of automatic reattaches — each one is a potential
+    /// attacker-triggered re-exposure.
+    pub fn reattach_count(&self) -> u64 {
+        self.reattaches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inner_calls_are_silent() {
+        let mut s = FcfsSemantics::new();
+        assert_eq!(s.attach(), CallOutcome::Performed);
+        assert_eq!(s.attach(), CallOutcome::Silent);
+        assert_eq!(s.detach(), CallOutcome::Performed);
+        assert_eq!(s.detach(), CallOutcome::Silent);
+    }
+
+    #[test]
+    fn stray_access_reattaches() {
+        let mut s = FcfsSemantics::new();
+        s.attach();
+        s.detach();
+        assert!(!s.is_attached());
+        assert_eq!(s.access(), AccessOutcome::TriggersReattach);
+        assert!(s.is_attached(), "the window silently reopened");
+        assert_eq!(s.reattach_count(), 1);
+    }
+
+    #[test]
+    fn attacker_probe_model() {
+        // The security flaw: an attacker access outside any window just
+        // reopens it — every probe succeeds after the automatic reattach.
+        let mut s = FcfsSemantics::new();
+        for i in 0..10 {
+            let out = s.access();
+            if i == 0 {
+                assert_eq!(out, AccessOutcome::TriggersReattach);
+            } else {
+                assert_eq!(out, AccessOutcome::Valid);
+            }
+        }
+        assert_eq!(s.reattach_count(), 1);
+    }
+}

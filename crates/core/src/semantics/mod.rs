@@ -1,0 +1,134 @@
+//! The attach/detach semantics design space (Section IV, Figure 3).
+//!
+//! Four executable state machines over a *single PMO* (the paper's
+//! discussion is per-PMO; multi-PMO programs use one instance per pool):
+//!
+//! | semantics | module | verdict |
+//! |---|---|---|
+//! | Basic | [`basic`] | simple, but not composable: double attach errors, manual pair matching |
+//! | Outermost | [`outermost`] | nests silently, but windows grow unboundedly |
+//! | FCFS | [`fcfs`] | auto-reattach can't tell benign from malicious accesses |
+//! | EW-Conscious | [`ew_conscious`] | the chosen semantics: thread-composable, lowers to thread permissions |
+//!
+//! Each machine reports a [`CallOutcome`] per construct call and an
+//! [`AccessOutcome`] per access, matching the verdict legend of Figure 3
+//! (valid / invalid / silent / undefined / reattach).
+
+pub mod basic;
+pub mod ew_conscious;
+pub mod fcfs;
+pub mod outermost;
+
+use serde::{Deserialize, Serialize};
+
+pub use basic::BasicSemantics;
+pub use ew_conscious::EwConsciousSemantics;
+pub use fcfs::FcfsSemantics;
+pub use outermost::OutermostSemantics;
+
+/// Verdict for one attach or detach call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CallOutcome {
+    /// The construct is valid and fully performed (real map/unmap).
+    Performed,
+    /// The construct is valid but made silent (no effect; Outermost/FCFS
+    /// inner calls).
+    Silent,
+    /// The construct is valid and lowered to a thread-permission update
+    /// (EW-conscious).
+    Lowered,
+    /// The construct violates the semantics (Basic double attach, unmatched
+    /// detach, intra-thread overlap).
+    Invalid,
+}
+
+impl CallOutcome {
+    /// Whether the call was accepted (anything but `Invalid`).
+    pub fn is_valid(self) -> bool {
+        self != CallOutcome::Invalid
+    }
+}
+
+/// Verdict for one memory access to the PMO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessOutcome {
+    /// The access proceeds.
+    Valid,
+    /// The access faults (outside every window / no permission).
+    Invalid,
+    /// Behaviour is undefined because an earlier construct already errored
+    /// (Figure 3's "undef" rows under Basic).
+    Undefined,
+    /// FCFS only: the access triggered an automatic PMO reattach and then
+    /// proceeds.
+    TriggersReattach,
+}
+
+impl AccessOutcome {
+    /// Whether the access ultimately reads/writes the PMO.
+    pub fn proceeds(self) -> bool {
+        matches!(self, AccessOutcome::Valid | AccessOutcome::TriggersReattach)
+    }
+}
+
+#[cfg(test)]
+mod figure3_tests {
+    //! Reproduces the verdict table of Figure 3: the same single-thread call
+    //! sequence evaluated under Basic, Outermost, and FCFS.
+    //!
+    //! The example code (lines numbered as in the figure):
+    //! 1. attach()      2. x = a       3. detach()     4. x = a
+    //! 5. attach()      6. x = a       7. attach()     8. x = a
+    //! 9. detach()
+
+    use super::*;
+
+    #[test]
+    fn basic_column() {
+        let mut s = BasicSemantics::new();
+        assert_eq!(s.attach(), CallOutcome::Performed); // 1
+        assert_eq!(s.access(), AccessOutcome::Valid); // 2
+        assert_eq!(s.detach(), CallOutcome::Performed); // 3
+        assert_eq!(s.access(), AccessOutcome::Invalid); // 4: outside EW
+        assert_eq!(s.attach(), CallOutcome::Performed); // 5
+        assert_eq!(s.access(), AccessOutcome::Valid); // 6
+        assert_eq!(s.attach(), CallOutcome::Invalid); // 7: double attach
+        assert_eq!(s.access(), AccessOutcome::Undefined); // 8: undef after error
+        assert_eq!(s.detach(), CallOutcome::Invalid); // 9: undef after error
+    }
+
+    #[test]
+    fn outermost_column() {
+        let mut s = OutermostSemantics::new();
+        assert_eq!(s.attach(), CallOutcome::Performed); // 1: outermost
+        assert_eq!(s.access(), AccessOutcome::Valid); // 2
+        assert_eq!(s.detach(), CallOutcome::Performed); // 3: outermost
+        assert_eq!(s.access(), AccessOutcome::Invalid); // 4
+        assert_eq!(s.attach(), CallOutcome::Performed); // 5: outermost again
+        assert_eq!(s.access(), AccessOutcome::Valid); // 6
+        assert_eq!(s.attach(), CallOutcome::Silent); // 7: inner → silent
+        assert_eq!(s.access(), AccessOutcome::Valid); // 8
+        assert_eq!(s.detach(), CallOutcome::Silent); // 9: inner detach silent
+        // The outer window is STILL open — the unbounded-window problem.
+        assert_eq!(s.access(), AccessOutcome::Valid);
+    }
+
+    #[test]
+    fn fcfs_column() {
+        let mut s = FcfsSemantics::new();
+        assert_eq!(s.attach(), CallOutcome::Performed); // 1
+        assert_eq!(s.access(), AccessOutcome::Valid); // 2
+        assert_eq!(s.detach(), CallOutcome::Performed); // 3: first detach performed
+        // 4: access while detached auto-reattaches — "valid (trigger
+        // reattach)" in Figure 3, and exactly why FCFS cannot tell a benign
+        // access from an attacker-triggered one.
+        assert_eq!(s.access(), AccessOutcome::TriggersReattach);
+        assert_eq!(s.attach(), CallOutcome::Silent); // 5: already (re)attached
+        assert_eq!(s.access(), AccessOutcome::Valid); // 6
+        assert_eq!(s.attach(), CallOutcome::Silent); // 7: inner → silent
+        assert_eq!(s.access(), AccessOutcome::Valid); // 8
+        assert_eq!(s.detach(), CallOutcome::Performed); // 9: first detach after attach
+        // And again: the next access would silently re-expose the PMO.
+        assert_eq!(s.access(), AccessOutcome::TriggersReattach);
+    }
+}

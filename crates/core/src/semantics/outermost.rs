@@ -1,0 +1,109 @@
+//! Outermost semantics (Section IV-B): perfect nesting, inner calls silent.
+//!
+//! "Attach-detach pairs must form perfect nesting relations if they overlap;
+//! only the outermost attach or detach is performed and inner attaches and
+//! detaches are all made silent."
+//!
+//! The rejected-design lesson: because inner pairs are silent, the *actual*
+//! attached time is governed by the outermost pair alone and "can be
+//! arbitrarily long" — no temporal protection guarantee survives nesting.
+
+use super::{AccessOutcome, CallOutcome};
+
+/// The Outermost semantics state machine for one PMO.
+#[derive(Debug, Clone, Default)]
+pub struct OutermostSemantics {
+    depth: u32,
+}
+
+impl OutermostSemantics {
+    /// Fresh, detached state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An `attach()` call: performed at depth 0, silent when nested.
+    pub fn attach(&mut self) -> CallOutcome {
+        self.depth += 1;
+        if self.depth == 1 {
+            CallOutcome::Performed
+        } else {
+            CallOutcome::Silent
+        }
+    }
+
+    /// A `detach()` call: performed when it closes the outermost pair,
+    /// silent when nested, invalid when unmatched.
+    pub fn detach(&mut self) -> CallOutcome {
+        if self.depth == 0 {
+            return CallOutcome::Invalid;
+        }
+        self.depth -= 1;
+        if self.depth == 0 {
+            CallOutcome::Performed
+        } else {
+            CallOutcome::Silent
+        }
+    }
+
+    /// A load/store to the PMO.
+    pub fn access(&self) -> AccessOutcome {
+        if self.depth > 0 {
+            AccessOutcome::Valid
+        } else {
+            AccessOutcome::Invalid
+        }
+    }
+
+    /// Current nesting depth.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Whether the PMO is mapped (any depth > 0).
+    pub fn is_attached(&self) -> bool {
+        self.depth > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_keeps_window_open() {
+        let mut s = OutermostSemantics::new();
+        assert_eq!(s.attach(), CallOutcome::Performed);
+        assert_eq!(s.attach(), CallOutcome::Silent);
+        assert_eq!(s.attach(), CallOutcome::Silent);
+        assert_eq!(s.detach(), CallOutcome::Silent);
+        assert_eq!(s.detach(), CallOutcome::Silent);
+        assert_eq!(s.access(), AccessOutcome::Valid, "still attached");
+        assert_eq!(s.detach(), CallOutcome::Performed);
+        assert_eq!(s.access(), AccessOutcome::Invalid);
+    }
+
+    #[test]
+    fn unmatched_detach_is_invalid() {
+        let mut s = OutermostSemantics::new();
+        assert_eq!(s.detach(), CallOutcome::Invalid);
+        // A later valid pair still works (no poisoning in this semantics).
+        assert_eq!(s.attach(), CallOutcome::Performed);
+        assert_eq!(s.detach(), CallOutcome::Performed);
+    }
+
+    #[test]
+    fn unbounded_window_problem() {
+        // The design flaw the paper calls out: the exposure window spans the
+        // outermost pair no matter how small the inner pairs are.
+        let mut s = OutermostSemantics::new();
+        s.attach();
+        for _ in 0..1000 {
+            s.attach();
+            assert_eq!(s.access(), AccessOutcome::Valid);
+            s.detach();
+        }
+        // After all inner pairs the PMO is STILL exposed.
+        assert!(s.is_attached());
+    }
+}

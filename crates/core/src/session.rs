@@ -1,0 +1,344 @@
+//! A *functional* TERP protection layer for library users (not the timing
+//! simulator): data accesses actually read and write pool bytes, and every
+//! access is gated by the EW-conscious semantics — unauthorized reads or
+//! writes return errors instead of data.
+//!
+//! This is the API a downstream application would adopt: wrap a
+//! [`PmoRegistry`] in a [`PmoSession`], bracket work in
+//! [`PmoSession::attach`]/[`PmoSession::detach`] per thread, and use
+//! [`PmoSession::read`]/[`PmoSession::write`] which enforce the three data
+//! states of the paper's Section VII-D (detached / attached without thread
+//! permission / attached with permission) and re-randomize placement when a
+//! window expires.
+//!
+//! Time is a logical clock: the caller advances it with
+//! [`PmoSession::advance`] (e.g. once per unit of work); the window constant
+//! `L` is expressed in those ticks.
+
+use std::collections::HashMap;
+
+use terp_pmo::{
+    AccessKind, ObjectId, Permission, PmoError, PmoId, PmoRegistry, ProcessAddressSpace,
+};
+
+use crate::semantics::ew_conscious::EwConsciousSemantics;
+use crate::semantics::{AccessOutcome, CallOutcome};
+
+/// Error from a protected session operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// The calling thread already holds a window on this pool (intra-thread
+    /// overlap — forbidden by EW-conscious semantics).
+    OverlappingAttach(PmoId),
+    /// Detach without a matching open window on this thread.
+    UnmatchedDetach(PmoId),
+    /// The pool is not mapped (detached state) — a segmentation fault in
+    /// the paper's model.
+    Unmapped(PmoId),
+    /// The thread lacks (sufficient) permission for this access.
+    PermissionDenied {
+        /// Thread that attempted the access.
+        thread: usize,
+        /// Target pool.
+        pmo: PmoId,
+        /// Kind attempted.
+        access: AccessKind,
+    },
+    /// The underlying substrate failed.
+    Substrate(PmoError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::OverlappingAttach(p) => write!(f, "overlapping attach of {p}"),
+            SessionError::UnmatchedDetach(p) => write!(f, "unmatched detach of {p}"),
+            SessionError::Unmapped(p) => write!(f, "{p} is not mapped (segfault)"),
+            SessionError::PermissionDenied { thread, pmo, access } => {
+                write!(f, "thread {thread}: {access} to {pmo} denied")
+            }
+            SessionError::Substrate(e) => write!(f, "substrate: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<PmoError> for SessionError {
+    fn from(e: PmoError) -> Self {
+        SessionError::Substrate(e)
+    }
+}
+
+/// A live protected session over a registry of pools.
+#[derive(Debug)]
+pub struct PmoSession {
+    registry: PmoRegistry,
+    space: ProcessAddressSpace,
+    semantics: HashMap<PmoId, EwConsciousSemantics>,
+    l_ticks: u64,
+    clock: u64,
+    randomizations: u64,
+}
+
+impl PmoSession {
+    /// Wraps a registry; `l_ticks` is the EW constant `L` in logical ticks.
+    pub fn new(registry: PmoRegistry, l_ticks: u64) -> Self {
+        PmoSession {
+            registry,
+            space: ProcessAddressSpace::with_seed(0x5e55),
+            semantics: HashMap::new(),
+            l_ticks,
+            clock: 0,
+            randomizations: 0,
+        }
+    }
+
+    /// Wraps with an explicit randomization seed (reproducible layouts).
+    pub fn with_seed(registry: PmoRegistry, l_ticks: u64, seed: u64) -> Self {
+        PmoSession {
+            space: ProcessAddressSpace::with_seed(seed),
+            ..Self::new(registry, l_ticks)
+        }
+    }
+
+    /// The wrapped registry (e.g. for `pmalloc`).
+    pub fn registry_mut(&mut self) -> &mut PmoRegistry {
+        &mut self.registry
+    }
+
+    /// Shared registry access.
+    pub fn registry(&self) -> &PmoRegistry {
+        &self.registry
+    }
+
+    /// Advances the logical clock (call once per unit of work).
+    pub fn advance(&mut self, ticks: u64) {
+        self.clock += ticks;
+    }
+
+    /// The current logical time.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Times the mapping moved due to expired windows.
+    pub fn randomizations(&self) -> u64 {
+        self.randomizations
+    }
+
+    /// Opens `thread`'s window on `pmo` with the requested permission.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::OverlappingAttach`] on intra-thread overlap;
+    /// substrate errors if mapping fails.
+    pub fn attach(
+        &mut self,
+        thread: usize,
+        pmo: PmoId,
+        perm: Permission,
+    ) -> Result<(), SessionError> {
+        let l = self.l_ticks;
+        let sem = self
+            .semantics
+            .entry(pmo)
+            .or_insert_with(|| EwConsciousSemantics::new(l));
+        match sem.attach(thread, perm, self.clock) {
+            CallOutcome::Performed => {
+                // Real attach: map at a fresh randomized base. Full process
+                // permission; the per-thread grants enforce `perm`.
+                self.space
+                    .attach(self.registry.pool_mut(pmo)?, Permission::ReadWrite)?;
+                Ok(())
+            }
+            CallOutcome::Lowered => Ok(()),
+            CallOutcome::Invalid => Err(SessionError::OverlappingAttach(pmo)),
+            CallOutcome::Silent => Ok(()),
+        }
+    }
+
+    /// Closes `thread`'s window on `pmo`; unmaps or re-randomizes per the
+    /// EW-conscious rules.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::UnmatchedDetach`] when the thread holds no window.
+    pub fn detach(&mut self, thread: usize, pmo: PmoId) -> Result<(), SessionError> {
+        let Some(sem) = self.semantics.get_mut(&pmo) else {
+            return Err(SessionError::UnmatchedDetach(pmo));
+        };
+        let effect = sem.detach(thread, self.clock);
+        match effect.outcome {
+            CallOutcome::Performed => {
+                self.space.detach(self.registry.pool_mut(pmo)?)?;
+                Ok(())
+            }
+            CallOutcome::Lowered => {
+                if effect.randomize {
+                    self.space.randomize(self.registry.pool_mut(pmo)?)?;
+                    sem.note_randomized(self.clock);
+                    self.randomizations += 1;
+                }
+                Ok(())
+            }
+            CallOutcome::Invalid => Err(SessionError::UnmatchedDetach(pmo)),
+            CallOutcome::Silent => Ok(()),
+        }
+    }
+
+    /// Protected read: `thread` must hold at least read permission.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Unmapped`] in the detached state,
+    /// [`SessionError::PermissionDenied`] without a sufficient grant.
+    pub fn read(&mut self, thread: usize, oid: ObjectId, buf: &mut [u8]) -> Result<(), SessionError> {
+        self.check(thread, oid.pmo(), AccessKind::Read)?;
+        self.registry.pool(oid.pmo())?.read_bytes(oid.offset(), buf)?;
+        Ok(())
+    }
+
+    /// Protected write: `thread` must hold read-write permission.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::read`], requiring the write level.
+    pub fn write(&mut self, thread: usize, oid: ObjectId, data: &[u8]) -> Result<(), SessionError> {
+        self.check(thread, oid.pmo(), AccessKind::Write)?;
+        self.registry
+            .pool_mut(oid.pmo())?
+            .write_bytes(oid.offset(), data)?;
+        Ok(())
+    }
+
+    /// Current virtual address of an object (what a raw-pointer user would
+    /// hold — stale after randomization, which is the point).
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors when the pool is unmapped.
+    pub fn va_of(&self, oid: ObjectId) -> Result<u64, SessionError> {
+        Ok(self.space.oid_direct(oid)?)
+    }
+
+    fn check(&mut self, thread: usize, pmo: PmoId, access: AccessKind) -> Result<(), SessionError> {
+        let Some(sem) = self.semantics.get(&pmo) else {
+            return Err(SessionError::Unmapped(pmo));
+        };
+        match sem.access(thread, access) {
+            AccessOutcome::Valid => Ok(()),
+            _ if !sem.is_mapped() => Err(SessionError::Unmapped(pmo)),
+            _ => Err(SessionError::PermissionDenied { thread, pmo, access }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use terp_pmo::OpenMode;
+
+    fn session() -> (PmoSession, PmoId, ObjectId) {
+        let mut reg = PmoRegistry::new();
+        let pmo = reg.create("sess", 1 << 20, OpenMode::ReadWrite).unwrap();
+        let oid = reg.pool_mut(pmo).unwrap().pmalloc(64).unwrap();
+        (PmoSession::new(reg, 1000), pmo, oid)
+    }
+
+    #[test]
+    fn read_write_inside_window() {
+        let (mut s, pmo, oid) = session();
+        s.attach(0, pmo, Permission::ReadWrite).unwrap();
+        s.write(0, oid, b"guarded").unwrap();
+        let mut buf = [0u8; 7];
+        s.read(0, oid, &mut buf).unwrap();
+        assert_eq!(&buf, b"guarded");
+        s.advance(2000);
+        s.detach(0, pmo).unwrap();
+    }
+
+    #[test]
+    fn detached_state_is_a_segfault() {
+        let (mut s, pmo, oid) = session();
+        let mut buf = [0u8; 4];
+        assert_eq!(
+            s.read(0, oid, &mut buf).unwrap_err(),
+            SessionError::Unmapped(pmo)
+        );
+    }
+
+    #[test]
+    fn attached_without_grant_is_denied() {
+        let (mut s, pmo, oid) = session();
+        s.attach(0, pmo, Permission::ReadWrite).unwrap();
+        // Thread 1 never attached: the pool is mapped but its access fails.
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            s.read(1, oid, &mut buf).unwrap_err(),
+            SessionError::PermissionDenied { thread: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn read_only_grant_blocks_writes() {
+        let (mut s, pmo, oid) = session();
+        s.attach(0, pmo, Permission::Read).unwrap();
+        let mut buf = [0u8; 4];
+        s.read(0, oid, &mut buf).unwrap();
+        assert!(matches!(
+            s.write(0, oid, b"nope").unwrap_err(),
+            SessionError::PermissionDenied { .. }
+        ));
+    }
+
+    #[test]
+    fn expired_shared_window_randomizes_in_place() {
+        let (mut s, pmo, oid) = session();
+        s.attach(0, pmo, Permission::ReadWrite).unwrap();
+        s.attach(1, pmo, Permission::Read).unwrap();
+        let va_before = s.va_of(oid).unwrap();
+        s.advance(5000); // beyond L = 1000
+        s.detach(0, pmo).unwrap(); // thread 1 still holds → randomize
+        assert_eq!(s.randomizations(), 1);
+        let va_after = s.va_of(oid).unwrap();
+        assert_ne!(va_before, va_after, "mapping must have moved");
+        // Thread 1's ObjectID-based access still works (relocatable).
+        let mut buf = [0u8; 4];
+        s.read(1, oid, &mut buf).unwrap();
+        s.advance(5000);
+        s.detach(1, pmo).unwrap();
+        assert!(matches!(
+            s.read(1, oid, &mut buf).unwrap_err(),
+            SessionError::Unmapped(_)
+        ));
+    }
+
+    #[test]
+    fn overlap_and_unmatched_errors() {
+        let (mut s, pmo, _) = session();
+        s.attach(0, pmo, Permission::Read).unwrap();
+        assert_eq!(
+            s.attach(0, pmo, Permission::Read).unwrap_err(),
+            SessionError::OverlappingAttach(pmo)
+        );
+        assert_eq!(
+            s.detach(3, pmo).unwrap_err(),
+            SessionError::UnmatchedDetach(pmo)
+        );
+    }
+
+    #[test]
+    fn data_survives_across_windows_and_relocations() {
+        let (mut s, pmo, oid) = session();
+        s.attach(0, pmo, Permission::ReadWrite).unwrap();
+        s.write(0, oid, b"persist").unwrap();
+        s.advance(5000);
+        s.detach(0, pmo).unwrap(); // real detach (last holder, expired)
+
+        s.attach(0, pmo, Permission::Read).unwrap(); // fresh random base
+        let mut buf = [0u8; 7];
+        s.read(0, oid, &mut buf).unwrap();
+        assert_eq!(&buf, b"persist");
+    }
+}

@@ -1,0 +1,247 @@
+//! Exposure-window tracking (Definition 5) and the ER/TER metrics of
+//! Tables III and IV.
+//!
+//! * **EW** (exposure window): a contiguous interval during which a PMO is
+//!   mapped in the process address space. A randomization *splits* the
+//!   window for size statistics — the PMO moved, so an attacker's knowledge
+//!   resets — while the exposure *time* continues (ER counts both halves).
+//! * **TEW** (thread exposure window): the interval during which one thread
+//!   holds access permission to the PMO — the finer-grained window TERP adds.
+//! * **ER** = exposed time / total time, averaged over pools;
+//!   **TER** = thread-exposed time / total time, averaged over pools.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use terp_pmo::PmoId;
+use terp_sim::Cycles;
+
+/// Aggregate statistics for a set of closed windows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Number of windows observed.
+    pub count: u64,
+    /// Mean window length, cycles.
+    pub avg_cycles: f64,
+    /// Longest window, cycles.
+    pub max_cycles: Cycles,
+    /// Sum of window lengths, cycles.
+    pub total_cycles: Cycles,
+}
+
+/// Tracks open/closed EWs and TEWs over a run.
+///
+/// ```
+/// use terp_core::WindowTracker;
+/// use terp_pmo::PmoId;
+/// let pmo = PmoId::new(1).unwrap();
+/// let mut w = WindowTracker::new();
+/// w.open_ew(pmo, 100);
+/// w.close_ew(pmo, 400);
+/// let stats = w.ew_stats();
+/// assert_eq!(stats.count, 1);
+/// assert_eq!(stats.max_cycles, 300);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WindowTracker {
+    open_ew: HashMap<PmoId, Cycles>,
+    closed_ew: Vec<(PmoId, Cycles)>,
+    open_tew: HashMap<(usize, PmoId), Cycles>,
+    closed_tew: Vec<(PmoId, Cycles)>,
+}
+
+impl WindowTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks a real attach: the pool's exposure window opens at `now`.
+    ///
+    /// Opening an already-open window is a logic error upstream and panics
+    /// in debug builds.
+    pub fn open_ew(&mut self, pmo: PmoId, now: Cycles) {
+        let prev = self.open_ew.insert(pmo, now);
+        debug_assert!(prev.is_none(), "double EW open for {pmo}");
+    }
+
+    /// Marks a real detach: closes the exposure window at `now`.
+    pub fn close_ew(&mut self, pmo: PmoId, now: Cycles) {
+        if let Some(start) = self.open_ew.remove(&pmo) {
+            self.closed_ew.push((pmo, now.saturating_sub(start)));
+        } else {
+            debug_assert!(false, "EW close without open for {pmo}");
+        }
+    }
+
+    /// Marks an in-place randomization: the window is split at `now` (closed
+    /// and immediately reopened), since the location knowledge resets.
+    pub fn split_ew(&mut self, pmo: PmoId, now: Cycles) {
+        if let Some(start) = self.open_ew.remove(&pmo) {
+            self.closed_ew.push((pmo, now.saturating_sub(start)));
+            self.open_ew.insert(pmo, now);
+        }
+    }
+
+    /// Whether an EW is currently open for `pmo`.
+    pub fn ew_open(&self, pmo: PmoId) -> bool {
+        self.open_ew.contains_key(&pmo)
+    }
+
+    /// Opens a thread exposure window (`thread` gains permission) at `now`.
+    pub fn open_tew(&mut self, thread: usize, pmo: PmoId, now: Cycles) {
+        let prev = self.open_tew.insert((thread, pmo), now);
+        debug_assert!(prev.is_none(), "double TEW open for t{thread}/{pmo}");
+    }
+
+    /// Closes a thread exposure window at `now`.
+    pub fn close_tew(&mut self, thread: usize, pmo: PmoId, now: Cycles) {
+        if let Some(start) = self.open_tew.remove(&(thread, pmo)) {
+            self.closed_tew.push((pmo, now.saturating_sub(start)));
+        }
+    }
+
+    /// Force-closes every window at end of run (`now` = final time) so the
+    /// statistics include still-open tails.
+    pub fn finalize(&mut self, now: Cycles) {
+        let open: Vec<PmoId> = self.open_ew.keys().copied().collect();
+        for pmo in open {
+            self.close_ew(pmo, now);
+        }
+        let open_t: Vec<(usize, PmoId)> = self.open_tew.keys().copied().collect();
+        for (t, pmo) in open_t {
+            self.close_tew(t, pmo, now);
+        }
+    }
+
+    /// Statistics over all closed EWs.
+    pub fn ew_stats(&self) -> WindowStats {
+        Self::stats(self.closed_ew.iter().map(|&(_, d)| d))
+    }
+
+    /// Statistics over all closed TEWs.
+    pub fn tew_stats(&self) -> WindowStats {
+        Self::stats(self.closed_tew.iter().map(|&(_, d)| d))
+    }
+
+    /// Exposure rate: per-pool exposed time / `total`, averaged over the
+    /// pools that appear in the data. Zero when no windows closed.
+    pub fn exposure_rate(&self, total: Cycles) -> f64 {
+        Self::rate(&self.closed_ew, total)
+    }
+
+    /// Thread exposure rate (TER), same convention as [`Self::exposure_rate`].
+    pub fn thread_exposure_rate(&self, total: Cycles) -> f64 {
+        Self::rate(&self.closed_tew, total)
+    }
+
+    fn rate(closed: &[(PmoId, Cycles)], total: Cycles) -> f64 {
+        if total == 0 || closed.is_empty() {
+            return 0.0;
+        }
+        let mut per_pool: HashMap<PmoId, Cycles> = HashMap::new();
+        for &(pmo, d) in closed {
+            *per_pool.entry(pmo).or_insert(0) += d;
+        }
+        let sum: f64 = per_pool
+            .values()
+            .map(|&t| t as f64 / total as f64)
+            .sum();
+        sum / per_pool.len() as f64
+    }
+
+    fn stats(durations: impl Iterator<Item = Cycles>) -> WindowStats {
+        let mut count = 0u64;
+        let mut total = 0u64;
+        let mut max = 0u64;
+        for d in durations {
+            count += 1;
+            total += d;
+            max = max.max(d);
+        }
+        WindowStats {
+            count,
+            avg_cycles: if count == 0 { 0.0 } else { total as f64 / count as f64 },
+            max_cycles: max,
+            total_cycles: total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pmo(n: u16) -> PmoId {
+        PmoId::new(n).unwrap()
+    }
+
+    #[test]
+    fn ew_open_close_measures_duration() {
+        let mut w = WindowTracker::new();
+        w.open_ew(pmo(1), 1000);
+        w.close_ew(pmo(1), 5000);
+        let s = w.ew_stats();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.total_cycles, 4000);
+        assert_eq!(s.max_cycles, 4000);
+        assert_eq!(s.avg_cycles, 4000.0);
+    }
+
+    #[test]
+    fn split_preserves_total_but_caps_max() {
+        let mut w = WindowTracker::new();
+        w.open_ew(pmo(1), 0);
+        w.split_ew(pmo(1), 40_000); // randomization at 40k
+        w.close_ew(pmo(1), 70_000);
+        let s = w.ew_stats();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_cycles, 70_000, "exposure time unaffected by split");
+        assert_eq!(s.max_cycles, 40_000, "window size capped at split point");
+    }
+
+    #[test]
+    fn exposure_rate_averages_over_pools() {
+        let mut w = WindowTracker::new();
+        // Pool 1 exposed 50% of a 1000-cycle run; pool 2 exposed 10%.
+        w.open_ew(pmo(1), 0);
+        w.close_ew(pmo(1), 500);
+        w.open_ew(pmo(2), 100);
+        w.close_ew(pmo(2), 200);
+        let er = w.exposure_rate(1000);
+        assert!((er - 0.3).abs() < 1e-12, "mean of 0.5 and 0.1, got {er}");
+    }
+
+    #[test]
+    fn tew_is_tracked_per_thread() {
+        let mut w = WindowTracker::new();
+        w.open_tew(0, pmo(1), 0);
+        w.open_tew(1, pmo(1), 100);
+        w.close_tew(0, pmo(1), 300);
+        w.close_tew(1, pmo(1), 150);
+        let s = w.tew_stats();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_cycles, 300 + 50);
+        assert_eq!(s.max_cycles, 300);
+    }
+
+    #[test]
+    fn finalize_closes_dangling_windows() {
+        let mut w = WindowTracker::new();
+        w.open_ew(pmo(1), 100);
+        w.open_tew(3, pmo(1), 200);
+        w.finalize(1100);
+        assert_eq!(w.ew_stats().total_cycles, 1000);
+        assert_eq!(w.tew_stats().total_cycles, 900);
+        assert!(!w.ew_open(pmo(1)));
+    }
+
+    #[test]
+    fn empty_tracker_reports_zeroes() {
+        let w = WindowTracker::new();
+        assert_eq!(w.ew_stats(), WindowStats::default());
+        assert_eq!(w.exposure_rate(100), 0.0);
+        assert_eq!(w.thread_exposure_rate(0), 0.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! File-like namespace permissions for pools: owners, users, groups, ACLs.
+//!
+//! Section II: PMOs "can be managed by the OS similar to files (in terms of
+//! namespace and permission)". This module supplies that OS layer — the
+//! *top* levels of the Figure 2 TERP poset (per-user and per-group
+//! permission sits above process attach/detach, which sits above per-thread
+//! permission). Revoking a user's ACL entry is the coarsest, strongest
+//! depriving construct: no process of that user can attach the pool at all.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::PmoError;
+use crate::id::PmoId;
+use crate::perm::OpenMode;
+
+/// A user identity in the namespace.
+pub type UserId = u32;
+/// A group identity.
+pub type GroupId = u32;
+
+/// Per-pool access-control list.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolAcl {
+    /// The owning user (always allowed `ReadWrite`).
+    pub owner: UserId,
+    /// Explicit per-user grants.
+    users: BTreeMap<UserId, OpenMode>,
+    /// Per-group grants (a user in the group inherits the mode).
+    groups: BTreeMap<GroupId, OpenMode>,
+}
+
+impl PoolAcl {
+    /// New ACL owned by `owner`; nobody else has access yet.
+    pub fn new(owner: UserId) -> Self {
+        PoolAcl {
+            owner,
+            users: BTreeMap::new(),
+            groups: BTreeMap::new(),
+        }
+    }
+
+    /// Grants `user` the given mode.
+    pub fn grant_user(&mut self, user: UserId, mode: OpenMode) {
+        self.users.insert(user, mode);
+    }
+
+    /// Grants every member of `group` the given mode.
+    pub fn grant_group(&mut self, group: GroupId, mode: OpenMode) {
+        self.groups.insert(group, mode);
+    }
+
+    /// Revokes `user`'s explicit grant. Returns whether one existed.
+    pub fn revoke_user(&mut self, user: UserId) -> bool {
+        self.users.remove(&user).is_some()
+    }
+
+    /// Revokes a group grant.
+    pub fn revoke_group(&mut self, group: GroupId) -> bool {
+        self.groups.remove(&group).is_some()
+    }
+
+    /// The strongest mode `user` (with `memberships`) may open the pool
+    /// with, or `None` for no access. The owner always gets `ReadWrite`.
+    pub fn effective_mode(
+        &self,
+        user: UserId,
+        memberships: &BTreeSet<GroupId>,
+    ) -> Option<OpenMode> {
+        if user == self.owner {
+            return Some(OpenMode::ReadWrite);
+        }
+        let mut best: Option<OpenMode> = self.users.get(&user).copied();
+        for (g, mode) in &self.groups {
+            if memberships.contains(g) {
+                best = Some(match (best, *mode) {
+                    (Some(OpenMode::ReadWrite), _) | (_, OpenMode::ReadWrite) => {
+                        OpenMode::ReadWrite
+                    }
+                    _ => OpenMode::ReadOnly,
+                });
+            }
+        }
+        best
+    }
+}
+
+/// The namespace permission layer over pool ids.
+///
+/// ```
+/// use std::collections::BTreeSet;
+/// use terp_pmo::acl::{AclRegistry, PoolAcl};
+/// use terp_pmo::{OpenMode, PmoId};
+///
+/// let pool = PmoId::new(1).unwrap();
+/// let mut acls = AclRegistry::new();
+/// acls.set(pool, PoolAcl::new(/*owner*/ 100));
+///
+/// // Owner: full access. Stranger: none. Granted user: read-only.
+/// let none = BTreeSet::new();
+/// assert!(acls.check_open(pool, 100, &none, OpenMode::ReadWrite).is_ok());
+/// assert!(acls.check_open(pool, 200, &none, OpenMode::ReadOnly).is_err());
+/// acls.acl_mut(pool).unwrap().grant_user(200, OpenMode::ReadOnly);
+/// assert!(acls.check_open(pool, 200, &none, OpenMode::ReadOnly).is_ok());
+/// assert!(acls.check_open(pool, 200, &none, OpenMode::ReadWrite).is_err());
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AclRegistry {
+    acls: BTreeMap<PmoId, PoolAcl>,
+}
+
+impl AclRegistry {
+    /// Empty ACL store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or replaces) a pool's ACL.
+    pub fn set(&mut self, pmo: PmoId, acl: PoolAcl) {
+        self.acls.insert(pmo, acl);
+    }
+
+    /// The pool's ACL, if one is installed.
+    pub fn acl(&self, pmo: PmoId) -> Option<&PoolAcl> {
+        self.acls.get(&pmo)
+    }
+
+    /// Mutable ACL access.
+    pub fn acl_mut(&mut self, pmo: PmoId) -> Option<&mut PoolAcl> {
+        self.acls.get_mut(&pmo)
+    }
+
+    /// Checks whether `user` may open `pmo` with `requested` mode.
+    ///
+    /// # Errors
+    ///
+    /// [`PmoError::PermissionDenied`]-style failure expressed as
+    /// [`PmoError::ModeMismatch`] when the effective mode is insufficient;
+    /// [`PmoError::UnknownPmo`] when no ACL is installed (closed-world:
+    /// unlisted pools are private).
+    pub fn check_open(
+        &self,
+        pmo: PmoId,
+        user: UserId,
+        memberships: &BTreeSet<GroupId>,
+        requested: OpenMode,
+    ) -> Result<(), PmoError> {
+        let acl = self.acls.get(&pmo).ok_or(PmoError::UnknownPmo(pmo))?;
+        match acl.effective_mode(user, memberships) {
+            Some(OpenMode::ReadWrite) => Ok(()),
+            Some(OpenMode::ReadOnly) if requested == OpenMode::ReadOnly => Ok(()),
+            _ => Err(PmoError::ModeMismatch(pmo)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pmo(n: u16) -> PmoId {
+        PmoId::new(n).unwrap()
+    }
+
+    fn no_groups() -> BTreeSet<GroupId> {
+        BTreeSet::new()
+    }
+
+    #[test]
+    fn owner_has_full_access() {
+        let acl = PoolAcl::new(7);
+        assert_eq!(acl.effective_mode(7, &no_groups()), Some(OpenMode::ReadWrite));
+        assert_eq!(acl.effective_mode(8, &no_groups()), None);
+    }
+
+    #[test]
+    fn user_grant_and_revoke() {
+        let mut acl = PoolAcl::new(1);
+        acl.grant_user(2, OpenMode::ReadOnly);
+        assert_eq!(acl.effective_mode(2, &no_groups()), Some(OpenMode::ReadOnly));
+        assert!(acl.revoke_user(2));
+        assert_eq!(acl.effective_mode(2, &no_groups()), None);
+        assert!(!acl.revoke_user(2));
+    }
+
+    #[test]
+    fn group_grant_applies_to_members_only() {
+        let mut acl = PoolAcl::new(1);
+        acl.grant_group(10, OpenMode::ReadWrite);
+        let in_group: BTreeSet<GroupId> = [10].into_iter().collect();
+        let other_group: BTreeSet<GroupId> = [11].into_iter().collect();
+        assert_eq!(acl.effective_mode(5, &in_group), Some(OpenMode::ReadWrite));
+        assert_eq!(acl.effective_mode(5, &other_group), None);
+    }
+
+    #[test]
+    fn strongest_grant_wins() {
+        let mut acl = PoolAcl::new(1);
+        acl.grant_user(5, OpenMode::ReadOnly);
+        acl.grant_group(10, OpenMode::ReadWrite);
+        let groups: BTreeSet<GroupId> = [10].into_iter().collect();
+        assert_eq!(acl.effective_mode(5, &groups), Some(OpenMode::ReadWrite));
+    }
+
+    #[test]
+    fn registry_check_open_enforces_modes() {
+        let mut reg = AclRegistry::new();
+        reg.set(pmo(1), PoolAcl::new(100));
+        reg.acl_mut(pmo(1)).unwrap().grant_user(200, OpenMode::ReadOnly);
+
+        assert!(reg
+            .check_open(pmo(1), 200, &no_groups(), OpenMode::ReadOnly)
+            .is_ok());
+        assert_eq!(
+            reg.check_open(pmo(1), 200, &no_groups(), OpenMode::ReadWrite)
+                .unwrap_err(),
+            PmoError::ModeMismatch(pmo(1))
+        );
+        // Unknown pool: closed world.
+        assert_eq!(
+            reg.check_open(pmo(2), 100, &no_groups(), OpenMode::ReadOnly)
+                .unwrap_err(),
+            PmoError::UnknownPmo(pmo(2))
+        );
+    }
+
+    #[test]
+    fn revoking_user_is_the_coarsest_depriving_construct() {
+        // The Figure 2 poset in action: a user-level revoke removes access
+        // regardless of any process- or thread-level state.
+        let mut reg = AclRegistry::new();
+        reg.set(pmo(1), PoolAcl::new(1));
+        reg.acl_mut(pmo(1)).unwrap().grant_user(2, OpenMode::ReadWrite);
+        assert!(reg
+            .check_open(pmo(1), 2, &no_groups(), OpenMode::ReadWrite)
+            .is_ok());
+        reg.acl_mut(pmo(1)).unwrap().revoke_user(2);
+        assert!(reg
+            .check_open(pmo(1), 2, &no_groups(), OpenMode::ReadOnly)
+            .is_err());
+    }
+}

@@ -1,0 +1,449 @@
+//! Pointer-rich persistent data structures over relocatable ObjectIDs.
+//!
+//! The PMO model exists to host "pointer-rich" structures directly in
+//! persistent memory (Section II). These two containers demonstrate the
+//! discipline downstream code follows: **every** inter-object reference is
+//! a packed [`ObjectId`], never a virtual address, so the structure
+//! survives detach/re-attach at randomized locations — the property TERP's
+//! per-window randomization depends on.
+//!
+//! * [`PVec`] — a growable array of `u64` elements (header + data block,
+//!   doubling reallocation).
+//! * [`PList`] — a singly-linked list of `u64` values (the shape of the
+//!   paper's data-only-attack example target).
+//!
+//! Containers borrow the pool per operation rather than holding it, so one
+//! pool can host many structures.
+
+use crate::error::PmoError;
+use crate::id::{ObjectId, PmoId};
+use crate::pool::Pmo;
+
+/// A persistent growable vector of `u64` values.
+///
+/// Header layout (24 bytes): `[len | capacity | packed data ObjectId]`.
+///
+/// ```
+/// use terp_pmo::collections::PVec;
+/// use terp_pmo::{OpenMode, PmoRegistry};
+/// # fn main() -> Result<(), terp_pmo::PmoError> {
+/// let mut reg = PmoRegistry::new();
+/// let id = reg.create("vec", 1 << 20, OpenMode::ReadWrite)?;
+/// let v = PVec::create(reg.pool_mut(id)?)?;
+/// v.push(reg.pool_mut(id)?, 7)?;
+/// v.push(reg.pool_mut(id)?, 11)?;
+/// assert_eq!(v.get(reg.pool(id)?, 1)?, Some(11));
+/// assert_eq!(v.len(reg.pool(id)?)?, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PVec {
+    header: ObjectId,
+}
+
+const PVEC_HEADER: u64 = 24;
+const INITIAL_CAP: u64 = 8;
+
+impl PVec {
+    /// Allocates an empty vector in `pool`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures.
+    pub fn create(pool: &mut Pmo) -> Result<Self, PmoError> {
+        let header = pool.pmalloc(PVEC_HEADER)?;
+        let data = pool.pmalloc(INITIAL_CAP * 8)?;
+        pool.write_bytes(header.offset(), &0u64.to_le_bytes())?;
+        pool.write_bytes(header.offset() + 8, &INITIAL_CAP.to_le_bytes())?;
+        pool.write_bytes(header.offset() + 16, &data.to_packed().to_le_bytes())?;
+        Ok(PVec { header })
+    }
+
+    /// Reopens a vector from its persistent header id (e.g. after a process
+    /// restart).
+    pub fn from_header(header: ObjectId) -> Self {
+        PVec { header }
+    }
+
+    /// The persistent header id — store this to find the vector again.
+    pub fn header(&self) -> ObjectId {
+        self.header
+    }
+
+    /// The pool this vector lives in.
+    pub fn pmo(&self) -> PmoId {
+        self.header.pmo()
+    }
+
+    fn read_u64(pool: &Pmo, offset: u64) -> Result<u64, PmoError> {
+        let mut buf = [0u8; 8];
+        pool.read_bytes(offset, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn state(&self, pool: &Pmo) -> Result<(u64, u64, ObjectId), PmoError> {
+        let len = Self::read_u64(pool, self.header.offset())?;
+        let cap = Self::read_u64(pool, self.header.offset() + 8)?;
+        let packed = Self::read_u64(pool, self.header.offset() + 16)?;
+        let data = ObjectId::from_packed(packed).ok_or(PmoError::OutOfBounds {
+            pmo: self.pmo(),
+            offset: self.header.offset() + 16,
+        })?;
+        Ok((len, cap, data))
+    }
+
+    /// Number of elements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool read failures.
+    pub fn len(&self, pool: &Pmo) -> Result<u64, PmoError> {
+        Ok(self.state(pool)?.0)
+    }
+
+    /// Whether the vector is empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool read failures.
+    pub fn is_empty(&self, pool: &Pmo) -> Result<bool, PmoError> {
+        Ok(self.len(pool)? == 0)
+    }
+
+    /// Appends a value, growing (doubling) the data block when full.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/IO failures.
+    pub fn push(&self, pool: &mut Pmo, value: u64) -> Result<(), PmoError> {
+        let (len, cap, data) = self.state(pool)?;
+        let data = if len == cap {
+            // Grow: allocate double, copy, free old, update header.
+            let new_cap = cap * 2;
+            let new_data = pool.pmalloc(new_cap * 8)?;
+            let mut buf = vec![0u8; (cap * 8) as usize];
+            pool.read_bytes(data.offset(), &mut buf)?;
+            pool.write_bytes(new_data.offset(), &buf)?;
+            pool.pfree(data)?;
+            pool.write_bytes(self.header.offset() + 8, &new_cap.to_le_bytes())?;
+            pool.write_bytes(
+                self.header.offset() + 16,
+                &new_data.to_packed().to_le_bytes(),
+            )?;
+            new_data
+        } else {
+            data
+        };
+        pool.write_bytes(data.offset() + len * 8, &value.to_le_bytes())?;
+        pool.write_bytes(self.header.offset(), &(len + 1).to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Reads the element at `index`, or `None` past the end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool read failures.
+    pub fn get(&self, pool: &Pmo, index: u64) -> Result<Option<u64>, PmoError> {
+        let (len, _, data) = self.state(pool)?;
+        if index >= len {
+            return Ok(None);
+        }
+        Ok(Some(Self::read_u64(pool, data.offset() + index * 8)?))
+    }
+
+    /// Overwrites the element at `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`PmoError::OutOfBounds`] when `index >= len`.
+    pub fn set(&self, pool: &mut Pmo, index: u64, value: u64) -> Result<(), PmoError> {
+        let (len, _, data) = self.state(pool)?;
+        if index >= len {
+            return Err(PmoError::OutOfBounds {
+                pmo: self.pmo(),
+                offset: index,
+            });
+        }
+        pool.write_bytes(data.offset() + index * 8, &value.to_le_bytes())
+    }
+
+    /// Byte offset (within the pool) of the element slot at `index` —
+    /// exposed so transactional updates ([`crate::txn::Transaction::write`])
+    /// can log-and-write vector elements atomically.
+    ///
+    /// # Errors
+    ///
+    /// [`PmoError::OutOfBounds`] when `index >= len`.
+    pub fn slot_offset(&self, pool: &Pmo, index: u64) -> Result<u64, PmoError> {
+        let (len, _, data) = self.state(pool)?;
+        if index >= len {
+            return Err(PmoError::OutOfBounds {
+                pmo: self.pmo(),
+                offset: index,
+            });
+        }
+        Ok(data.offset() + index * 8)
+    }
+
+    /// Collects all elements into a `Vec` (test/debug helper).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool read failures.
+    pub fn to_vec(&self, pool: &Pmo) -> Result<Vec<u64>, PmoError> {
+        let (len, _, data) = self.state(pool)?;
+        let mut out = Vec::with_capacity(len as usize);
+        for i in 0..len {
+            out.push(Self::read_u64(pool, data.offset() + i * 8)?);
+        }
+        Ok(out)
+    }
+}
+
+/// A persistent singly-linked list of `u64` values (push-front).
+///
+/// Node layout (16 bytes): `[packed next ObjectId | value]`. The head slot
+/// is an 8-byte packed ObjectId (0 = empty list) — the same linked shape as
+/// the data-only-attack target of the paper's Figure 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PList {
+    head_slot: ObjectId,
+}
+
+impl PList {
+    /// Allocates an empty list in `pool`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures.
+    pub fn create(pool: &mut Pmo) -> Result<Self, PmoError> {
+        let head_slot = pool.pmalloc(8)?;
+        pool.write_bytes(head_slot.offset(), &0u64.to_le_bytes())?;
+        Ok(PList { head_slot })
+    }
+
+    /// Reopens a list from its persistent head-slot id.
+    pub fn from_head_slot(head_slot: ObjectId) -> Self {
+        PList { head_slot }
+    }
+
+    /// The persistent head-slot id.
+    pub fn head_slot(&self) -> ObjectId {
+        self.head_slot
+    }
+
+    fn read_packed(pool: &Pmo, offset: u64) -> Result<Option<ObjectId>, PmoError> {
+        let mut buf = [0u8; 8];
+        pool.read_bytes(offset, &mut buf)?;
+        Ok(ObjectId::from_packed(u64::from_le_bytes(buf)))
+    }
+
+    /// Pushes a value at the front.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/IO failures.
+    pub fn push_front(&self, pool: &mut Pmo, value: u64) -> Result<(), PmoError> {
+        let old_head = {
+            let mut buf = [0u8; 8];
+            pool.read_bytes(self.head_slot.offset(), &mut buf)?;
+            u64::from_le_bytes(buf)
+        };
+        let node = pool.pmalloc(16)?;
+        pool.write_bytes(node.offset(), &old_head.to_le_bytes())?;
+        pool.write_bytes(node.offset() + 8, &value.to_le_bytes())?;
+        pool.write_bytes(self.head_slot.offset(), &node.to_packed().to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Pops the front value, freeing its node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO failures.
+    pub fn pop_front(&self, pool: &mut Pmo) -> Result<Option<u64>, PmoError> {
+        let Some(head) = Self::read_packed(pool, self.head_slot.offset())? else {
+            return Ok(None);
+        };
+        let mut buf = [0u8; 16];
+        pool.read_bytes(head.offset(), &mut buf)?;
+        let next = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
+        let value = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+        pool.write_bytes(self.head_slot.offset(), &next.to_le_bytes())?;
+        pool.pfree(head)?;
+        Ok(Some(value))
+    }
+
+    /// Walks the chain into a `Vec` (front first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO failures.
+    pub fn to_vec(&self, pool: &Pmo) -> Result<Vec<u64>, PmoError> {
+        let mut out = Vec::new();
+        let mut cursor = Self::read_packed(pool, self.head_slot.offset())?;
+        while let Some(node) = cursor {
+            let mut buf = [0u8; 16];
+            pool.read_bytes(node.offset(), &mut buf)?;
+            out.push(u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")));
+            cursor = ObjectId::from_packed(u64::from_le_bytes(
+                buf[0..8].try_into().expect("8 bytes"),
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Number of nodes (walks the chain).
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO failures.
+    pub fn len(&self, pool: &Pmo) -> Result<usize, PmoError> {
+        Ok(self.to_vec(pool)?.len())
+    }
+
+    /// Whether the list has no nodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO failures.
+    pub fn is_empty(&self, pool: &Pmo) -> Result<bool, PmoError> {
+        Ok(Self::read_packed(pool, self.head_slot.offset())?.is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perm::OpenMode;
+    use crate::registry::PmoRegistry;
+    use proptest::prelude::*;
+
+    fn setup() -> (PmoRegistry, PmoId) {
+        let mut reg = PmoRegistry::new();
+        let id = reg.create("coll", 1 << 20, OpenMode::ReadWrite).unwrap();
+        (reg, id)
+    }
+
+    #[test]
+    fn pvec_push_get_set() {
+        let (mut reg, id) = setup();
+        let v = PVec::create(reg.pool_mut(id).unwrap()).unwrap();
+        for i in 0..100u64 {
+            v.push(reg.pool_mut(id).unwrap(), i * 3).unwrap();
+        }
+        assert_eq!(v.len(reg.pool(id).unwrap()).unwrap(), 100);
+        assert_eq!(v.get(reg.pool(id).unwrap(), 33).unwrap(), Some(99));
+        assert_eq!(v.get(reg.pool(id).unwrap(), 100).unwrap(), None);
+        v.set(reg.pool_mut(id).unwrap(), 33, 7).unwrap();
+        assert_eq!(v.get(reg.pool(id).unwrap(), 33).unwrap(), Some(7));
+        assert!(v.set(reg.pool_mut(id).unwrap(), 100, 0).is_err());
+    }
+
+    #[test]
+    fn pvec_growth_preserves_contents() {
+        let (mut reg, id) = setup();
+        let v = PVec::create(reg.pool_mut(id).unwrap()).unwrap();
+        // Push across several doublings (8 → 16 → 32 → 64).
+        for i in 0..50u64 {
+            v.push(reg.pool_mut(id).unwrap(), i).unwrap();
+        }
+        let expect: Vec<u64> = (0..50).collect();
+        assert_eq!(v.to_vec(reg.pool(id).unwrap()).unwrap(), expect);
+    }
+
+    #[test]
+    fn pvec_survives_close_reopen() {
+        let (mut reg, id) = setup();
+        let v = PVec::create(reg.pool_mut(id).unwrap()).unwrap();
+        v.push(reg.pool_mut(id).unwrap(), 42).unwrap();
+        let header = v.header();
+        reg.close(id).unwrap();
+        reg.open("coll", OpenMode::ReadWrite).unwrap();
+        let reopened = PVec::from_header(header);
+        assert_eq!(reopened.to_vec(reg.pool(id).unwrap()).unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn plist_lifo_order_and_pop() {
+        let (mut reg, id) = setup();
+        let l = PList::create(reg.pool_mut(id).unwrap()).unwrap();
+        assert!(l.is_empty(reg.pool(id).unwrap()).unwrap());
+        for i in 1..=5u64 {
+            l.push_front(reg.pool_mut(id).unwrap(), i).unwrap();
+        }
+        assert_eq!(l.to_vec(reg.pool(id).unwrap()).unwrap(), vec![5, 4, 3, 2, 1]);
+        assert_eq!(l.pop_front(reg.pool_mut(id).unwrap()).unwrap(), Some(5));
+        assert_eq!(l.len(reg.pool(id).unwrap()).unwrap(), 4);
+        // Nodes are freed: live count shrinks back as we drain.
+        while l.pop_front(reg.pool_mut(id).unwrap()).unwrap().is_some() {}
+        assert!(l.is_empty(reg.pool(id).unwrap()).unwrap());
+        assert_eq!(l.pop_front(reg.pool_mut(id).unwrap()).unwrap(), None);
+    }
+
+    #[test]
+    fn structures_survive_relocation() {
+        // The headline property: attach at two different addresses, the
+        // ObjectID-linked structures are oblivious.
+        use crate::space::ProcessAddressSpace;
+        let (mut reg, id) = setup();
+        let l = PList::create(reg.pool_mut(id).unwrap()).unwrap();
+        l.push_front(reg.pool_mut(id).unwrap(), 77).unwrap();
+
+        let mut space = ProcessAddressSpace::with_seed(5);
+        let h1 = space
+            .attach(reg.pool_mut(id).unwrap(), crate::Permission::ReadWrite)
+            .unwrap();
+        space.detach(reg.pool_mut(id).unwrap()).unwrap();
+        let h2 = space
+            .attach(reg.pool_mut(id).unwrap(), crate::Permission::ReadWrite)
+            .unwrap();
+        assert_ne!(h1.base_va(), h2.base_va());
+        assert_eq!(l.to_vec(reg.pool(id).unwrap()).unwrap(), vec![77]);
+    }
+
+    proptest! {
+        /// PVec behaves exactly like Vec<u64> under random push/set.
+        #[test]
+        fn pvec_matches_model(ops in proptest::collection::vec((any::<bool>(), any::<u64>()), 1..80)) {
+            let (mut reg, id) = setup();
+            let v = PVec::create(reg.pool_mut(id).unwrap()).unwrap();
+            let mut model: Vec<u64> = Vec::new();
+            for (push, value) in ops {
+                if push || model.is_empty() {
+                    v.push(reg.pool_mut(id).unwrap(), value).unwrap();
+                    model.push(value);
+                } else {
+                    let idx = (value as usize) % model.len();
+                    v.set(reg.pool_mut(id).unwrap(), idx as u64, value).unwrap();
+                    model[idx] = value;
+                }
+            }
+            prop_assert_eq!(v.to_vec(reg.pool(id).unwrap()).unwrap(), model);
+        }
+
+        /// PList behaves exactly like VecDeque front ops.
+        #[test]
+        fn plist_matches_model(ops in proptest::collection::vec(proptest::option::of(any::<u64>()), 1..80)) {
+            let (mut reg, id) = setup();
+            let l = PList::create(reg.pool_mut(id).unwrap()).unwrap();
+            let mut model: Vec<u64> = Vec::new();
+            for op in ops {
+                match op {
+                    Some(v) => {
+                        l.push_front(reg.pool_mut(id).unwrap(), v).unwrap();
+                        model.insert(0, v);
+                    }
+                    None => {
+                        let got = l.pop_front(reg.pool_mut(id).unwrap()).unwrap();
+                        let want = if model.is_empty() { None } else { Some(model.remove(0)) };
+                        prop_assert_eq!(got, want);
+                    }
+                }
+            }
+            prop_assert_eq!(l.to_vec(reg.pool(id).unwrap()).unwrap(), model);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Error type shared by all PMO substrate operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::id::{ObjectId, PmoId};
+use crate::perm::{AccessKind, Permission};
+
+/// Errors produced by PMO pool, registry, and address-space operations.
+///
+/// Every fallible public function in this crate returns `Result<_, PmoError>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PmoError {
+    /// A pool with this name already exists in the registry.
+    NameExists(String),
+    /// No pool with this name is registered.
+    NameNotFound(String),
+    /// The pool id does not refer to a live pool.
+    UnknownPmo(PmoId),
+    /// The pool has been closed and may not be used until reopened.
+    Closed(PmoId),
+    /// Requested size is zero or exceeds the maximum pool size.
+    InvalidSize(u64),
+    /// The pool's data area cannot satisfy the allocation request.
+    OutOfMemory {
+        /// Pool on which the allocation was attempted.
+        pmo: PmoId,
+        /// Number of bytes requested.
+        requested: u64,
+    },
+    /// `pfree` was called on an id that is not the start of a live allocation.
+    InvalidFree(ObjectId),
+    /// An offset lies outside the pool's data area.
+    OutOfBounds {
+        /// Pool being accessed.
+        pmo: PmoId,
+        /// Offending offset.
+        offset: u64,
+    },
+    /// The PMO is already attached to this address space.
+    AlreadyAttached(PmoId),
+    /// The PMO is not attached to this address space.
+    NotAttached(PmoId),
+    /// A virtual address does not fall in any attached PMO mapping.
+    UnmappedAddress(u64),
+    /// The address space region is exhausted (cannot place a new mapping).
+    AddressSpaceExhausted,
+    /// An access was denied by the effective permission.
+    PermissionDenied {
+        /// Pool being accessed.
+        pmo: PmoId,
+        /// Kind of access attempted.
+        access: AccessKind,
+        /// Permission in force at the time of the access.
+        granted: Permission,
+    },
+    /// The open mode of the pool does not allow the requested attach permission.
+    ModeMismatch(PmoId),
+    /// Pool id space (10 bits in the packed ObjectId format) is exhausted.
+    PoolIdsExhausted,
+}
+
+impl fmt::Display for PmoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmoError::NameExists(name) => write!(f, "pool name {name:?} already exists"),
+            PmoError::NameNotFound(name) => write!(f, "no pool named {name:?}"),
+            PmoError::UnknownPmo(id) => write!(f, "unknown pmo {id}"),
+            PmoError::Closed(id) => write!(f, "pmo {id} is closed"),
+            PmoError::InvalidSize(size) => write!(f, "invalid pool size {size}"),
+            PmoError::OutOfMemory { pmo, requested } => {
+                write!(f, "pmo {pmo} cannot allocate {requested} bytes")
+            }
+            PmoError::InvalidFree(oid) => write!(f, "invalid free of {oid}"),
+            PmoError::OutOfBounds { pmo, offset } => {
+                write!(f, "offset {offset:#x} out of bounds for pmo {pmo}")
+            }
+            PmoError::AlreadyAttached(id) => write!(f, "pmo {id} is already attached"),
+            PmoError::NotAttached(id) => write!(f, "pmo {id} is not attached"),
+            PmoError::UnmappedAddress(va) => write!(f, "virtual address {va:#x} is not mapped"),
+            PmoError::AddressSpaceExhausted => write!(f, "pmo address-space region exhausted"),
+            PmoError::PermissionDenied {
+                pmo,
+                access,
+                granted,
+            } => write!(
+                f,
+                "{access} access to pmo {pmo} denied (granted permission: {granted})"
+            ),
+            PmoError::ModeMismatch(id) => {
+                write!(f, "open mode of pmo {id} does not allow the requested permission")
+            }
+            PmoError::PoolIdsExhausted => write!(f, "pool id space exhausted"),
+        }
+    }
+}
+
+impl Error for PmoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let samples = [
+            PmoError::NameExists("kv".into()),
+            PmoError::NameNotFound("kv".into()),
+            PmoError::UnknownPmo(PmoId::new(3).unwrap()),
+            PmoError::Closed(PmoId::new(3).unwrap()),
+            PmoError::InvalidSize(0),
+            PmoError::OutOfMemory {
+                pmo: PmoId::new(1).unwrap(),
+                requested: 64,
+            },
+            PmoError::AddressSpaceExhausted,
+            PmoError::PoolIdsExhausted,
+        ];
+        for err in samples {
+            let text = err.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase() || text.starts_with(char::is_numeric));
+            assert!(!text.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PmoError>();
+    }
+
+    #[test]
+    fn error_trait_object_usable() {
+        let err: Box<dyn Error + Send + Sync + 'static> = Box::new(PmoError::InvalidSize(0));
+        assert!(err.downcast_ref::<PmoError>().is_some());
+    }
+}

@@ -1,0 +1,196 @@
+//! Pool identifiers and relocatable object identifiers.
+//!
+//! The paper's PMO model (Section II) requires *relocatability*: pointers
+//! stored inside persistent data structures must stay valid even though the
+//! pool maps at a different virtual address on every attach. Each pointer is
+//! therefore a 64-bit [`ObjectId`] composed of a pool id and an offset within
+//! the pool, translated to a virtual address on use (`oid_direct`).
+//!
+//! The packed layout follows the paper's hardware structures, which reserve
+//! 10 bits for the PMO id (the circular buffer in Figure 7 stores 10-bit PMO
+//! ids), leaving 54 bits of offset — far more than the 1 GiB pools used in
+//! the evaluation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of bits in a packed [`ObjectId`] reserved for the pool id.
+pub const POOL_ID_BITS: u32 = 10;
+/// Number of bits in a packed [`ObjectId`] reserved for the intra-pool offset.
+pub const OFFSET_BITS: u32 = 64 - POOL_ID_BITS;
+/// Exclusive upper bound on raw pool id values (10-bit id space).
+pub const MAX_POOL_ID: u16 = (1 << POOL_ID_BITS) as u16;
+/// Exclusive upper bound on intra-pool offsets representable in an [`ObjectId`].
+pub const MAX_OFFSET: u64 = 1 << OFFSET_BITS;
+
+/// Identifier of a persistent memory object (pool).
+///
+/// Pool id 0 is reserved as a niche for "null" object ids, matching the
+/// common PM-library convention that an all-zero pointer is null; valid ids
+/// are `1..MAX_POOL_ID`.
+///
+/// ```
+/// use terp_pmo::PmoId;
+/// let id = PmoId::new(42).unwrap();
+/// assert_eq!(id.raw(), 42);
+/// assert!(PmoId::new(0).is_none());
+/// assert!(PmoId::new(1024).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PmoId(u16);
+
+impl PmoId {
+    /// Creates a pool id from a raw value.
+    ///
+    /// Returns `None` if `raw` is 0 (reserved for null) or does not fit in
+    /// the 10-bit id space.
+    pub fn new(raw: u16) -> Option<Self> {
+        if raw == 0 || raw >= MAX_POOL_ID {
+            None
+        } else {
+            Some(PmoId(raw))
+        }
+    }
+
+    /// Returns the raw 10-bit id value.
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Returns this id as a zero-based dense index (`raw - 1`), useful for
+    /// array-backed per-pool state.
+    pub fn index(self) -> usize {
+        usize::from(self.0) - 1
+    }
+}
+
+impl fmt::Display for PmoId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pmo#{}", self.0)
+    }
+}
+
+/// A relocatable pointer into a PMO: a (pool, offset) pair.
+///
+/// `ObjectId` is the persistent representation of pointers stored inside PMO
+/// data structures (Table I's `OID`). It survives detach/re-attach and
+/// address-layout randomization because it carries no virtual address; use
+/// [`crate::ProcessAddressSpace::oid_direct`] to translate it to the current
+/// mapping.
+///
+/// ```
+/// use terp_pmo::{ObjectId, PmoId};
+/// let pool = PmoId::new(9).unwrap();
+/// let oid = ObjectId::new(pool, 0x1234);
+/// let packed = oid.to_packed();
+/// assert_eq!(ObjectId::from_packed(packed), Some(oid));
+/// assert_eq!(oid.pmo(), pool);
+/// assert_eq!(oid.offset(), 0x1234);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId {
+    pmo: PmoId,
+    offset: u64,
+}
+
+impl ObjectId {
+    /// Creates an object id from a pool id and an intra-pool byte offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` does not fit in the 54-bit offset field.
+    pub fn new(pmo: PmoId, offset: u64) -> Self {
+        assert!(offset < MAX_OFFSET, "offset {offset:#x} exceeds 54-bit field");
+        ObjectId { pmo, offset }
+    }
+
+    /// Pool containing the object.
+    pub fn pmo(self) -> PmoId {
+        self.pmo
+    }
+
+    /// Byte offset of the object within the pool.
+    pub fn offset(self) -> u64 {
+        self.offset
+    }
+
+    /// Packs this id into the canonical 64-bit persistent representation
+    /// (`[10-bit pool | 54-bit offset]`).
+    pub fn to_packed(self) -> u64 {
+        (u64::from(self.pmo.raw()) << OFFSET_BITS) | self.offset
+    }
+
+    /// Unpacks a 64-bit persistent pointer.
+    ///
+    /// Returns `None` for the null representation (pool id 0).
+    pub fn from_packed(raw: u64) -> Option<Self> {
+        let pool = (raw >> OFFSET_BITS) as u16;
+        let offset = raw & (MAX_OFFSET - 1);
+        PmoId::new(pool).map(|pmo| ObjectId { pmo, offset })
+    }
+
+    /// Returns a new id displaced by `delta` bytes within the same pool.
+    ///
+    /// Mirrors pointer arithmetic on persistent pointers: the result still
+    /// refers to the same pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting offset overflows the 54-bit offset field.
+    pub fn wrapping_add(self, delta: u64) -> Self {
+        ObjectId::new(self.pmo, self.offset + delta)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{:#x}", self.pmo, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmo_id_rejects_reserved_and_overflow() {
+        assert!(PmoId::new(0).is_none());
+        assert!(PmoId::new(MAX_POOL_ID).is_none());
+        assert!(PmoId::new(MAX_POOL_ID - 1).is_some());
+        assert_eq!(PmoId::new(1).unwrap().index(), 0);
+    }
+
+    #[test]
+    fn object_id_round_trips_through_packed_form() {
+        let oid = ObjectId::new(PmoId::new(1023).unwrap(), MAX_OFFSET - 1);
+        assert_eq!(ObjectId::from_packed(oid.to_packed()), Some(oid));
+    }
+
+    #[test]
+    fn null_packed_pointer_is_none() {
+        assert_eq!(ObjectId::from_packed(0), None);
+        // Pool bits zero with nonzero offset is still null.
+        assert_eq!(ObjectId::from_packed(0x1234), None);
+    }
+
+    #[test]
+    fn wrapping_add_stays_in_pool() {
+        let base = ObjectId::new(PmoId::new(7).unwrap(), 0x100);
+        let next = base.wrapping_add(0x40);
+        assert_eq!(next.pmo(), base.pmo());
+        assert_eq!(next.offset(), 0x140);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 54-bit field")]
+    fn oversized_offset_panics() {
+        let _ = ObjectId::new(PmoId::new(1).unwrap(), MAX_OFFSET);
+    }
+
+    #[test]
+    fn display_formats() {
+        let oid = ObjectId::new(PmoId::new(3).unwrap(), 0x40);
+        assert_eq!(oid.to_string(), "pmo#3+0x40");
+    }
+}

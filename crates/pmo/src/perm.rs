@@ -1,0 +1,176 @@
+//! Access permissions for PMO attaches and accesses.
+//!
+//! The paper's constructs take a permission request (`CONDAT`'s operands are
+//! a PMO id and "a permission request (R or RW)", Section V-B). We model the
+//! permission lattice `None < Read < ReadWrite` plus the access kinds checked
+//! against it on every load/store.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Permission attached to a mapping or granted to a thread.
+///
+/// Forms a total order `None < Read < ReadWrite`; a permission allows an
+/// access kind iff it is at least the kind's required level.
+///
+/// ```
+/// use terp_pmo::{AccessKind, Permission};
+/// assert!(Permission::ReadWrite.allows(AccessKind::Read));
+/// assert!(Permission::Read.allows(AccessKind::Read));
+/// assert!(!Permission::Read.allows(AccessKind::Write));
+/// assert!(!Permission::None.allows(AccessKind::Read));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Permission {
+    /// No access.
+    #[default]
+    None,
+    /// Read-only access.
+    Read,
+    /// Read and write access.
+    ReadWrite,
+}
+
+impl Permission {
+    /// Whether this permission level allows the given access kind.
+    pub fn allows(self, access: AccessKind) -> bool {
+        match access {
+            AccessKind::Read => self >= Permission::Read,
+            AccessKind::Write => self >= Permission::ReadWrite,
+        }
+    }
+
+    /// Least upper bound of two permissions (the weaker-of-equal-or-stronger
+    /// grant that satisfies both).
+    pub fn union(self, other: Permission) -> Permission {
+        self.max(other)
+    }
+
+    /// Greatest lower bound of two permissions (what remains when both
+    /// restrictions apply, e.g. open mode ∧ requested attach permission).
+    pub fn intersect(self, other: Permission) -> Permission {
+        self.min(other)
+    }
+}
+
+impl fmt::Display for Permission {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Permission::None => "none",
+            Permission::Read => "r",
+            Permission::ReadWrite => "rw",
+        })
+    }
+}
+
+/// The kind of a memory access checked against a [`Permission`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl AccessKind {
+    /// Minimal permission level that allows this access.
+    pub fn required(self) -> Permission {
+        match self {
+            AccessKind::Read => Permission::Read,
+            AccessKind::Write => Permission::ReadWrite,
+        }
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        })
+    }
+}
+
+/// Mode a pool was created or opened with (Table I's `mode`).
+///
+/// The mode caps the permission any attach of that pool may request: opening
+/// a pool read-only and then attaching it read-write is a
+/// [`crate::PmoError::ModeMismatch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpenMode {
+    /// Pool contents may only be read.
+    ReadOnly,
+    /// Pool contents may be read and written.
+    ReadWrite,
+}
+
+impl OpenMode {
+    /// Maximum attach permission this mode allows.
+    pub fn max_permission(self) -> Permission {
+        match self {
+            OpenMode::ReadOnly => Permission::Read,
+            OpenMode::ReadWrite => Permission::ReadWrite,
+        }
+    }
+
+    /// Whether an attach with `requested` permission is allowed under this mode.
+    pub fn permits(self, requested: Permission) -> bool {
+        requested <= self.max_permission()
+    }
+}
+
+impl fmt::Display for OpenMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OpenMode::ReadOnly => "ro",
+            OpenMode::ReadWrite => "rw",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permission_order_is_total_and_sensible() {
+        assert!(Permission::None < Permission::Read);
+        assert!(Permission::Read < Permission::ReadWrite);
+    }
+
+    #[test]
+    fn union_and_intersect_are_lattice_ops() {
+        use Permission::*;
+        for a in [None, Read, ReadWrite] {
+            for b in [None, Read, ReadWrite] {
+                assert_eq!(a.union(b), b.union(a));
+                assert_eq!(a.intersect(b), b.intersect(a));
+                assert!(a.union(b) >= a);
+                assert!(a.intersect(b) <= a);
+                // Absorption laws.
+                assert_eq!(a.union(a.intersect(b)), a);
+                assert_eq!(a.intersect(a.union(b)), a);
+            }
+        }
+    }
+
+    #[test]
+    fn allows_matches_required() {
+        for access in [AccessKind::Read, AccessKind::Write] {
+            for perm in [Permission::None, Permission::Read, Permission::ReadWrite] {
+                assert_eq!(perm.allows(access), perm >= access.required());
+            }
+        }
+    }
+
+    #[test]
+    fn open_mode_caps_attach_permission() {
+        assert!(OpenMode::ReadOnly.permits(Permission::Read));
+        assert!(!OpenMode::ReadOnly.permits(Permission::ReadWrite));
+        assert!(OpenMode::ReadWrite.permits(Permission::ReadWrite));
+        assert!(OpenMode::ReadWrite.permits(Permission::None));
+    }
+}

@@ -1,0 +1,245 @@
+//! Pool namespace: create/open/close with file-like naming and permission
+//! modes (Table I, and the "system naming and permission" property of
+//! Section II).
+//!
+//! The registry is the stand-in for the OS-managed PMO namespace: pools are
+//! looked up by name, survive `close` (persistence across process runs), and
+//! are only destroyed by an explicit [`PmoRegistry::destroy`].
+
+use std::collections::HashMap;
+
+use crate::error::PmoError;
+use crate::id::{PmoId, MAX_POOL_ID};
+use crate::perm::OpenMode;
+use crate::pool::Pmo;
+
+/// The system-wide PMO namespace and pool store.
+///
+/// ```
+/// use terp_pmo::{PmoRegistry, OpenMode};
+/// # fn main() -> Result<(), terp_pmo::PmoError> {
+/// let mut reg = PmoRegistry::new();
+/// let id = reg.create("ledger", 1 << 16, OpenMode::ReadWrite)?;
+/// reg.close(id)?;
+/// // The pool persists across close; reopen it by name, e.g. read-only.
+/// let again = reg.open("ledger", OpenMode::ReadOnly)?;
+/// assert_eq!(id, again);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct PmoRegistry {
+    pools: Vec<Option<Pmo>>,
+    names: HashMap<String, PmoId>,
+}
+
+impl PmoRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a new pool with the given unique name and data-area size; the
+    /// calling process becomes the owner (Table I's `PMO_create`).
+    ///
+    /// # Errors
+    ///
+    /// [`PmoError::NameExists`] for duplicate names,
+    /// [`PmoError::InvalidSize`] for zero/oversized pools,
+    /// [`PmoError::PoolIdsExhausted`] when all 1023 ids are in use.
+    pub fn create(&mut self, name: &str, size: u64, mode: OpenMode) -> Result<PmoId, PmoError> {
+        if self.names.contains_key(name) {
+            return Err(PmoError::NameExists(name.to_string()));
+        }
+        if self.pools.len() + 1 >= usize::from(MAX_POOL_ID) {
+            return Err(PmoError::PoolIdsExhausted);
+        }
+        let raw = (self.pools.len() + 1) as u16;
+        let id = PmoId::new(raw).ok_or(PmoError::PoolIdsExhausted)?;
+        let pool = Pmo::new(id, name.to_string(), size, mode)?;
+        self.pools.push(Some(pool));
+        self.names.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Reopens a previously created pool by name (Table I's `PMO_open`).
+    ///
+    /// Reopening an already-open pool just (re)sets its mode, like reopening
+    /// a file.
+    ///
+    /// # Errors
+    ///
+    /// [`PmoError::NameNotFound`] if no pool has this name.
+    pub fn open(&mut self, name: &str, mode: OpenMode) -> Result<PmoId, PmoError> {
+        let id = *self
+            .names
+            .get(name)
+            .ok_or_else(|| PmoError::NameNotFound(name.to_string()))?;
+        let pool = self.slot_mut(id)?;
+        pool.set_open(true, mode);
+        Ok(id)
+    }
+
+    /// Closes a pool (Table I's `PMO_close`). The pool's data persists and it
+    /// can be reopened later by name.
+    ///
+    /// # Errors
+    ///
+    /// [`PmoError::UnknownPmo`] if the id is not a live pool.
+    pub fn close(&mut self, id: PmoId) -> Result<(), PmoError> {
+        let mode = self.slot_mut(id)?.mode();
+        self.slot_mut(id)?.set_open(false, mode);
+        Ok(())
+    }
+
+    /// Permanently destroys a pool and frees its name and id slot.
+    ///
+    /// # Errors
+    ///
+    /// [`PmoError::UnknownPmo`] if the id is not a live pool.
+    pub fn destroy(&mut self, id: PmoId) -> Result<(), PmoError> {
+        let slot = self
+            .pools
+            .get_mut(id.index())
+            .ok_or(PmoError::UnknownPmo(id))?;
+        let pool = slot.take().ok_or(PmoError::UnknownPmo(id))?;
+        self.names.remove(pool.name());
+        Ok(())
+    }
+
+    /// Shared access to a pool.
+    ///
+    /// # Errors
+    ///
+    /// [`PmoError::UnknownPmo`] if the id is not a live pool.
+    pub fn pool(&self, id: PmoId) -> Result<&Pmo, PmoError> {
+        self.pools
+            .get(id.index())
+            .and_then(|s| s.as_ref())
+            .ok_or(PmoError::UnknownPmo(id))
+    }
+
+    /// Exclusive access to a pool.
+    ///
+    /// # Errors
+    ///
+    /// [`PmoError::UnknownPmo`] if the id is not a live pool.
+    pub fn pool_mut(&mut self, id: PmoId) -> Result<&mut Pmo, PmoError> {
+        self.slot_mut(id)
+    }
+
+    /// Looks up a pool id by name without opening it.
+    pub fn lookup(&self, name: &str) -> Option<PmoId> {
+        self.names.get(name).copied()
+    }
+
+    /// Number of live (not destroyed) pools.
+    pub fn len(&self) -> usize {
+        self.pools.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether the registry holds no pools.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over live pools in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Pmo> {
+        self.pools.iter().filter_map(|s| s.as_ref())
+    }
+
+    fn slot_mut(&mut self, id: PmoId) -> Result<&mut Pmo, PmoError> {
+        self.pools
+            .get_mut(id.index())
+            .and_then(|s| s.as_mut())
+            .ok_or(PmoError::UnknownPmo(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_assigns_distinct_ids() {
+        let mut reg = PmoRegistry::new();
+        let a = reg.create("a", 4096, OpenMode::ReadWrite).unwrap();
+        let b = reg.create("b", 4096, OpenMode::ReadWrite).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut reg = PmoRegistry::new();
+        reg.create("dup", 4096, OpenMode::ReadWrite).unwrap();
+        assert_eq!(
+            reg.create("dup", 4096, OpenMode::ReadWrite).unwrap_err(),
+            PmoError::NameExists("dup".into())
+        );
+    }
+
+    #[test]
+    fn data_persists_across_close_and_open() {
+        let mut reg = PmoRegistry::new();
+        let id = reg.create("persist", 1 << 16, OpenMode::ReadWrite).unwrap();
+        let oid = reg.pool_mut(id).unwrap().pmalloc(32).unwrap();
+        reg.pool_mut(id)
+            .unwrap()
+            .write_bytes(oid.offset(), b"durable!")
+            .unwrap();
+        reg.close(id).unwrap();
+        assert!(!reg.pool(id).unwrap().is_open());
+
+        let reopened = reg.open("persist", OpenMode::ReadOnly).unwrap();
+        assert_eq!(reopened, id);
+        let mut buf = [0u8; 8];
+        reg.pool(id).unwrap().read_bytes(oid.offset(), &mut buf).unwrap();
+        assert_eq!(&buf, b"durable!");
+        assert_eq!(reg.pool(id).unwrap().mode(), OpenMode::ReadOnly);
+    }
+
+    #[test]
+    fn closed_pool_rejects_pmalloc_until_reopen() {
+        let mut reg = PmoRegistry::new();
+        let id = reg.create("c", 1 << 16, OpenMode::ReadWrite).unwrap();
+        reg.close(id).unwrap();
+        assert_eq!(
+            reg.pool_mut(id).unwrap().pmalloc(8).unwrap_err(),
+            PmoError::Closed(id)
+        );
+        reg.open("c", OpenMode::ReadWrite).unwrap();
+        assert!(reg.pool_mut(id).unwrap().pmalloc(8).is_ok());
+    }
+
+    #[test]
+    fn destroy_frees_name() {
+        let mut reg = PmoRegistry::new();
+        let id = reg.create("gone", 4096, OpenMode::ReadWrite).unwrap();
+        reg.destroy(id).unwrap();
+        assert_eq!(reg.pool(id).unwrap_err(), PmoError::UnknownPmo(id));
+        assert!(reg.lookup("gone").is_none());
+        // Name can be reused.
+        reg.create("gone", 4096, OpenMode::ReadWrite).unwrap();
+    }
+
+    #[test]
+    fn open_unknown_name_fails() {
+        let mut reg = PmoRegistry::new();
+        assert_eq!(
+            reg.open("nope", OpenMode::ReadOnly).unwrap_err(),
+            PmoError::NameNotFound("nope".into())
+        );
+    }
+
+    #[test]
+    fn iter_visits_live_pools_in_order() {
+        let mut reg = PmoRegistry::new();
+        let a = reg.create("a", 4096, OpenMode::ReadWrite).unwrap();
+        let b = reg.create("b", 4096, OpenMode::ReadWrite).unwrap();
+        let c = reg.create("c", 4096, OpenMode::ReadWrite).unwrap();
+        reg.destroy(b).unwrap();
+        let ids: Vec<_> = reg.iter().map(|p| p.id()).collect();
+        assert_eq!(ids, vec![a, c]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Monte-Carlo probing attacker — an empirical cross-check of the Table V
+//! closed forms.
+//!
+//! The attacker compromises a thread and repeatedly probes candidate page
+//! positions for the target object. The simulation advances window by
+//! window; inside each exposure window the attacker issues probes of `x` µs
+//! each (under TERP, only while a thread window is open, and probes longer
+//! than the TEW never complete). Each probe checks one candidate position
+//! out of `2^entropy`; re-randomization between windows resets everything
+//! learned, so probes are independent Bernoulli trials — which is exactly
+//! the assumption behind the closed form, and the Monte-Carlo run validates
+//! the two agree.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::probability::ProbabilityModel;
+
+/// Monte-Carlo configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackConfig {
+    /// The analytic model supplying window/entropy parameters.
+    pub model: ProbabilityModel,
+    /// Probe duration `x`, µs.
+    pub probe_us: f64,
+    /// Exposure windows to simulate.
+    pub windows: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        AttackConfig {
+            model: ProbabilityModel::default(),
+            probe_us: 1.0,
+            windows: 200_000,
+            seed: 0xa77ac,
+        }
+    }
+}
+
+/// Result of a Monte-Carlo attack campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackResult {
+    /// Windows during which the attacker found the target at least once.
+    pub successful_windows: u64,
+    /// Total windows simulated.
+    pub windows: u64,
+    /// Total probes issued.
+    pub probes: u64,
+    /// Empirical per-window success probability, percent.
+    pub empirical_percent: f64,
+}
+
+/// Runs the campaign against MERR (full-window probing).
+pub fn run_merr(config: &AttackConfig) -> AttackResult {
+    run(config, config.model.ew_us)
+}
+
+/// Runs the campaign against TERP (probing only inside thread windows,
+/// `TER` of the window; probes longer than the TEW never complete).
+pub fn run_terp(config: &AttackConfig) -> AttackResult {
+    if config.probe_us > config.model.tew_us {
+        return AttackResult {
+            successful_windows: 0,
+            windows: config.windows,
+            probes: 0,
+            empirical_percent: 0.0,
+        };
+    }
+    run(config, config.model.ter * config.model.ew_us)
+}
+
+fn run(config: &AttackConfig, probe_time_us: f64) -> AttackResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let candidates = config.model.candidates() as u64;
+    let probes_per_window = (probe_time_us / config.probe_us).floor() as u64;
+    let mut successes = 0u64;
+    let mut probes = 0u64;
+    for _ in 0..config.windows {
+        // Fresh randomization: the target sits at a fresh uniform position;
+        // the attacker probes distinct candidates within the window.
+        let target = rng.gen_range(0..candidates);
+        let mut hit = false;
+        // Probing distinct positions without replacement: success iff the
+        // target is among the first `probes_per_window` of a random
+        // permutation — equivalent to probability probes/candidates.
+        let threshold = probes_per_window.min(candidates);
+        probes += threshold;
+        // Draw the target's rank uniformly.
+        let rank = rng.gen_range(0..candidates);
+        if rank < threshold {
+            hit = true;
+            let _ = target;
+        }
+        if hit {
+            successes += 1;
+        }
+    }
+    AttackResult {
+        successful_windows: successes,
+        windows: config.windows,
+        probes,
+        empirical_percent: 100.0 * successes as f64 / config.windows as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merr_empirical_matches_closed_form() {
+        let config = AttackConfig {
+            windows: 2_000_000,
+            ..Default::default()
+        };
+        let result = run_merr(&config);
+        let analytic = config.model.merr_percent(config.probe_us);
+        // 2M windows at p ≈ 1.5e-4 gives ~300 successes: expect ±40 %.
+        assert!(
+            (result.empirical_percent - analytic).abs() / analytic < 0.4,
+            "empirical {} vs analytic {}",
+            result.empirical_percent,
+            analytic
+        );
+    }
+
+    #[test]
+    fn terp_empirical_is_far_below_merr() {
+        let config = AttackConfig {
+            windows: 2_000_000,
+            ..Default::default()
+        };
+        let merr = run_merr(&config);
+        let terp = run_terp(&config);
+        assert!(terp.probes < merr.probes / 20);
+        assert!(
+            terp.successful_windows * 10 < merr.successful_windows,
+            "terp {} vs merr {}",
+            terp.successful_windows,
+            merr.successful_windows
+        );
+    }
+
+    #[test]
+    fn long_probes_never_succeed_under_terp() {
+        let config = AttackConfig {
+            probe_us: 3.0, // exceeds the 2 µs TEW
+            windows: 10_000,
+            ..Default::default()
+        };
+        let result = run_terp(&config);
+        assert_eq!(result.successful_windows, 0);
+        assert_eq!(result.probes, 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = AttackConfig {
+            windows: 50_000,
+            ..Default::default()
+        };
+        assert_eq!(run_merr(&config), run_merr(&config));
+    }
+}

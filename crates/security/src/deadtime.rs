@@ -1,0 +1,230 @@
+//! The Figure 8 dead-time study: distribution of the time from an object's
+//! last write to its deallocation.
+//!
+//! A corruption planted after the victim's last write persists until the
+//! object dies, so the dead time is the attack surface for persistent
+//! corruption. The paper measures it over SPEC 2017 and Heap Layers
+//! workloads and finds 95 % of dead times ≥ 2 µs — the basis for the 2 µs
+//! TEW target (cover 95 % of the surface with thread windows shorter than
+//! almost every dead time).
+//!
+//! [`DeadTimeHistogram`] consumes the [`terp_core::report::ObjectLifetime`]
+//! records an executor run produces for churn workloads and reproduces the
+//! figure's bucketed distribution.
+
+use serde::{Deserialize, Serialize};
+
+use terp_core::report::ObjectLifetime;
+
+/// Figure 8's x-axis bucket edges in µs (the final bucket is open-ended).
+pub const DEFAULT_BUCKETS_US: [f64; 12] = [
+    0.8, 1.6, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+];
+
+/// A bucketed dead-time distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeadTimeHistogram {
+    /// Bucket upper edges, µs; the last bucket collects everything above.
+    pub edges_us: Vec<f64>,
+    /// Counts per bucket (`edges_us.len() + 1` entries; the first bucket is
+    /// `< edges_us[0]`).
+    pub counts: Vec<u64>,
+    /// Total samples.
+    pub total: u64,
+}
+
+impl DeadTimeHistogram {
+    /// Builds a histogram with the Figure 8 bucket edges.
+    pub fn new() -> Self {
+        Self::with_edges(DEFAULT_BUCKETS_US.to_vec())
+    }
+
+    /// Builds a histogram with custom edges (ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges_us` is empty or not strictly ascending.
+    pub fn with_edges(edges_us: Vec<f64>) -> Self {
+        assert!(!edges_us.is_empty(), "no bucket edges");
+        assert!(
+            edges_us.windows(2).all(|w| w[0] < w[1]),
+            "edges must ascend"
+        );
+        let buckets = edges_us.len() + 1;
+        DeadTimeHistogram {
+            edges_us,
+            counts: vec![0; buckets],
+            total: 0,
+        }
+    }
+
+    /// Adds one dead-time sample in µs.
+    pub fn record_us(&mut self, dead_us: f64) {
+        let idx = self
+            .edges_us
+            .iter()
+            .position(|&e| dead_us < e)
+            .unwrap_or(self.edges_us.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Adds every lifetime from an executor run, converting cycles to µs at
+    /// `cycles_per_us`.
+    pub fn record_lifetimes(&mut self, lifetimes: &[ObjectLifetime], cycles_per_us: f64) {
+        for l in lifetimes {
+            self.record_us(l.dead_cycles() as f64 / cycles_per_us);
+        }
+    }
+
+    /// Fraction (0–1) of samples in each bucket.
+    pub fn fractions(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Fraction of dead times at or above `threshold_us` — the paper's
+    /// "in 95 % of the cases, the dead time is 2 µs or larger".
+    pub fn fraction_at_least(&self, threshold_us: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        // Buckets whose entire range is ≥ threshold: those starting at an
+        // edge ≥ threshold.
+        let mut count = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let lo = if i == 0 { 0.0 } else { self.edges_us[i - 1] };
+            if lo >= threshold_us {
+                count += c;
+            }
+        }
+        count as f64 / self.total as f64
+    }
+
+    /// Merges another histogram with identical edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edges differ.
+    pub fn merge(&mut self, other: &DeadTimeHistogram) {
+        assert_eq!(self.edges_us, other.edges_us, "incompatible histograms");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Human-readable bucket labels ("0.8-1.6", ..., ">1024").
+    pub fn labels(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.counts.len());
+        out.push(format!("<{}", self.edges_us[0]));
+        for w in self.edges_us.windows(2) {
+            out.push(format!("{}-{}", w[0], w[1]));
+        }
+        out.push(format!(">{}", self.edges_us.last().expect("nonempty")));
+        out
+    }
+}
+
+impl Default for DeadTimeHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_assign_correctly() {
+        let mut h = DeadTimeHistogram::with_edges(vec![1.0, 10.0]);
+        h.record_us(0.5); // bucket 0
+        h.record_us(5.0); // bucket 1
+        h.record_us(50.0); // bucket 2 (overflow)
+        h.record_us(10.0); // exactly at edge → bucket 2
+        assert_eq!(h.counts, vec![1, 1, 2]);
+        assert_eq!(h.total, 4);
+    }
+
+    #[test]
+    fn fraction_at_least_counts_upper_buckets() {
+        let mut h = DeadTimeHistogram::with_edges(vec![2.0, 8.0]);
+        for v in [1.0, 3.0, 9.0, 10.0] {
+            h.record_us(v);
+        }
+        assert!((h.fraction_at_least(2.0) - 0.75).abs() < 1e-12);
+        assert!((h.fraction_at_least(8.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_match_bucket_count() {
+        let h = DeadTimeHistogram::new();
+        let labels = h.labels();
+        assert_eq!(labels.len(), h.counts.len());
+        assert_eq!(labels[0], "<0.8");
+        assert_eq!(labels.last().unwrap(), ">1024");
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a = DeadTimeHistogram::new();
+        let mut b = DeadTimeHistogram::new();
+        a.record_us(5.0);
+        b.record_us(5.0);
+        b.record_us(500.0);
+        a.merge(&b);
+        assert_eq!(a.total, 3);
+    }
+
+    #[test]
+    fn lifetimes_convert_cycles() {
+        let mut h = DeadTimeHistogram::new();
+        let l = ObjectLifetime {
+            tag: 0,
+            alloc: 0,
+            last_write: 0,
+            free: 22_000, // 10 µs at 2.2 GHz
+        };
+        h.record_lifetimes(&[l], 2200.0);
+        // 10 µs lands in the 8–16 bucket (index 5: <0.8,0.8-1.6,1.6-2,2-4,4-8,8-16).
+        assert_eq!(h.counts[5], 1);
+    }
+
+    #[test]
+    fn churn_workloads_give_95_percent_over_2us() {
+        // End-to-end: run one churn workload through the executor and check
+        // the Figure 8 headline property.
+        use terp_core::config::{ProtectionConfig, Scheme};
+        use terp_core::runtime::Executor;
+        use terp_pmo::{OpenMode, PmoRegistry};
+        use terp_sim::SimParams;
+        use terp_workloads::heaplayers::{all, ChurnScale};
+
+        let mut hist = DeadTimeHistogram::new();
+        let params = SimParams::default();
+        for (i, w) in all().iter().take(3).enumerate() {
+            let mut reg = PmoRegistry::new();
+            let pmo = reg
+                .create(&format!("churn{i}"), 1 << 30, OpenMode::ReadWrite)
+                .unwrap();
+            let trace = w.trace(pmo, ChurnScale::test(), 17 + i as u64);
+            let config = ProtectionConfig::new(Scheme::Unprotected, 40.0, 2.0);
+            let report = Executor::new(params.clone(), config)
+                .run(&mut reg, vec![trace])
+                .unwrap();
+            hist.record_lifetimes(&report.lifetimes, params.cycles_per_us());
+        }
+        assert!(hist.total >= 900);
+        let frac = hist.fraction_at_least(2.0);
+        assert!(
+            (0.90..=0.99).contains(&frac),
+            "expected ≈95 % of dead times ≥ 2 µs, got {frac}"
+        );
+    }
+}

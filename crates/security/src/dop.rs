@@ -1,0 +1,307 @@
+//! The Figure 12 data-only attack, executed: a gadget machine modelled on
+//! the paper's vulnerable FTP server, driven against a persistent linked
+//! list under different protections.
+//!
+//! The victim loop processes "requests"; a buffer overflow in `readData`
+//! lets the attacker set every local (`type`, `size`, `srv`, and the loop
+//! counter), turning three benign statements into gadgets:
+//!
+//! * `srv->typ = *type` — controllable **assignment**,
+//! * `*size = *(srv->cur_max)` — controllable **dereference**,
+//! * `srv->total += *size` — controllable **addition**,
+//!
+//! chained by the request loop (the *gadget dispatcher*). The attack goal
+//! (Figure 12b): walk a target linked list and add a chosen value to every
+//! node — odd rounds perform the addition, even rounds advance the cursor.
+//!
+//! What protection changes is whether each round's PMO dereference is
+//! *possible*: the gadget only fires while the attacker-controlled thread
+//! can access the pool, and the address it learned stays valid only until
+//! the next randomization. [`DopCampaign`] plays the rounds against a
+//! window/randomization schedule and reports how far the chain got.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Protection environment the attack runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DopProtection {
+    /// No protection: the pool is always mapped at a fixed address.
+    Unprotected,
+    /// MERR: the pool is mapped an `er` fraction of time; each full window
+    /// ends with a relocation (address knowledge resets).
+    Merr {
+        /// Exposure rate (fraction of time mapped).
+        er: f64,
+        /// Exposure-window length, µs.
+        ew_us: f64,
+    },
+    /// TERP: the compromised thread holds permission only a `ter` fraction
+    /// of time, in windows of `tew_us`; relocation happens at least every
+    /// `ew_us`.
+    Terp {
+        /// Thread exposure rate.
+        ter: f64,
+        /// Thread-window length, µs.
+        tew_us: f64,
+        /// Process window (relocation period), µs.
+        ew_us: f64,
+    },
+}
+
+/// Parameters of one attack campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DopCampaign {
+    /// Nodes in the target list (the chain needs 2 rounds per node).
+    pub list_nodes: u32,
+    /// Wall-clock per attack round, µs (≈1000 for interactive/network
+    /// attacks, ≈1 for a local non-interactive chain).
+    pub round_us: f64,
+    /// Campaign attempts (each restarts the chain from scratch).
+    pub attempts: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DopCampaign {
+    fn default() -> Self {
+        DopCampaign {
+            list_nodes: 4,
+            round_us: 1000.0, // interactive: network-latency spaced requests
+            attempts: 2000,
+            seed: 0xd0b,
+        }
+    }
+}
+
+/// Result of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DopResult {
+    /// Attempts whose full gadget chain completed (every node corrupted).
+    pub full_corruptions: u32,
+    /// Attempts where at least one gadget round fired.
+    pub partial: u32,
+    /// Total attempts.
+    pub attempts: u32,
+    /// Gadget rounds that faulted on a closed window.
+    pub faulted_rounds: u64,
+    /// Gadget rounds that fired but against a *stale* (re-randomized)
+    /// address — corrupting garbage, not the target.
+    pub stale_rounds: u64,
+}
+
+impl DopResult {
+    /// Fraction of attempts that achieved the full attack goal.
+    pub fn success_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            f64::from(self.full_corruptions) / f64::from(self.attempts)
+        }
+    }
+}
+
+/// Accessibility/relocation schedule derived from a protection.
+#[derive(Debug, Clone, Copy)]
+struct Schedule {
+    /// Accessibility window length, µs (∞ when unprotected).
+    window_us: f64,
+    /// Accessibility period (window + closed gap), µs.
+    period_us: f64,
+    /// Relocation period (address epoch length), µs.
+    reloc_us: f64,
+}
+
+impl Schedule {
+    fn of(protection: DopProtection) -> Schedule {
+        match protection {
+            DopProtection::Unprotected => Schedule {
+                window_us: f64::INFINITY,
+                period_us: f64::INFINITY,
+                reloc_us: f64::INFINITY,
+            },
+            DopProtection::Merr { er, ew_us } => Schedule {
+                window_us: ew_us,
+                period_us: ew_us / er.max(1e-9),
+                // MERR randomizes placement at every (re)attach.
+                reloc_us: ew_us / er.max(1e-9),
+            },
+            DopProtection::Terp { ter, tew_us, ew_us } => Schedule {
+                window_us: tew_us,
+                period_us: tew_us / ter.max(1e-9),
+                // TERP randomizes at least every EW target.
+                reloc_us: ew_us,
+            },
+        }
+    }
+
+    fn accessible(&self, t: f64) -> bool {
+        if self.period_us.is_infinite() {
+            return true;
+        }
+        t.rem_euclid(self.period_us) < self.window_us
+    }
+
+    fn epoch(&self, t: f64) -> u64 {
+        if self.reloc_us.is_infinite() {
+            0
+        } else {
+            (t / self.reloc_us) as u64
+        }
+    }
+}
+
+/// Runs the Figure 12 campaign under the given protection.
+///
+/// Each attempt samples a random phase (where in the window schedule the
+/// chain starts); the chain then plays `2 × list_nodes` gadget rounds
+/// `round_us` apart. A round faults if the pool (or the thread permission)
+/// is closed at that instant, and corrupts garbage (breaking the chain) if
+/// a relocation happened since the chain learned the address.
+pub fn run_campaign(protection: DopProtection, campaign: &DopCampaign) -> DopResult {
+    let mut rng = StdRng::seed_from_u64(campaign.seed);
+    let schedule = Schedule::of(protection);
+    let rounds_needed = campaign.list_nodes * 2; // add + advance per node
+    let mut result = DopResult {
+        full_corruptions: 0,
+        partial: 0,
+        attempts: campaign.attempts,
+        faulted_rounds: 0,
+        stale_rounds: 0,
+    };
+
+    for _ in 0..campaign.attempts {
+        // Random phase within the accessibility and relocation schedules.
+        let phase = if schedule.period_us.is_finite() {
+            rng.gen_range(0.0..schedule.period_us)
+        } else {
+            0.0
+        };
+        let start_epoch = schedule.epoch(phase);
+        let mut fired_any = false;
+        let mut chain_alive = true;
+
+        for round in 0..rounds_needed {
+            let t = phase + f64::from(round) * campaign.round_us;
+            if !schedule.accessible(t) {
+                result.faulted_rounds += 1;
+                chain_alive = false;
+                break; // a faulting access kills the exploited request loop
+            }
+            if schedule.epoch(t) != start_epoch {
+                result.stale_rounds += 1;
+                chain_alive = false;
+                break; // address re-randomized: corrupted the wrong bytes
+            }
+            fired_any = true;
+        }
+
+        if chain_alive {
+            result.full_corruptions += 1;
+        } else if fired_any {
+            result.partial += 1;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unprotected_always_succeeds() {
+        let r = run_campaign(DopProtection::Unprotected, &DopCampaign::default());
+        assert_eq!(r.full_corruptions, r.attempts);
+        assert_eq!(r.success_rate(), 1.0);
+    }
+
+    #[test]
+    fn interactive_attack_dies_under_terp() {
+        // Network-spaced rounds (1 ms) against 40 µs windows: the paper's
+        // "interactive data-only attacks are impossible" cell.
+        let r = run_campaign(
+            DopProtection::Terp {
+                ter: 0.034,
+                tew_us: 2.0,
+                ew_us: 40.0,
+            },
+            &DopCampaign::default(),
+        );
+        assert_eq!(r.full_corruptions, 0);
+        assert!(r.faulted_rounds + r.stale_rounds > 0);
+    }
+
+    #[test]
+    fn interactive_attack_also_dies_under_merr_but_fires_more_gadgets() {
+        let campaign = DopCampaign::default();
+        let merr = run_campaign(
+            DopProtection::Merr {
+                er: 0.245,
+                ew_us: 40.0,
+            },
+            &campaign,
+        );
+        let terp = run_campaign(
+            DopProtection::Terp {
+                ter: 0.034,
+                tew_us: 2.0,
+                ew_us: 40.0,
+            },
+            &campaign,
+        );
+        assert_eq!(merr.full_corruptions, 0, "relocation still kills the chain");
+        // But MERR lets ~7x more first-round gadgets fire (ER vs TER).
+        assert!(
+            merr.partial > 3 * terp.partial,
+            "merr {} vs terp {}",
+            merr.partial,
+            terp.partial
+        );
+    }
+
+    #[test]
+    fn fast_local_chain_is_the_dangerous_case() {
+        // Non-interactive chain at 1 µs per round: under MERR, a chain that
+        // starts inside a window can finish before the relocation — some
+        // full corruptions occur. TERP's thread windows (2 µs) cut the
+        // window an order of magnitude tighter.
+        let campaign = DopCampaign {
+            round_us: 1.0,
+            ..Default::default()
+        };
+        let merr = run_campaign(
+            DopProtection::Merr {
+                er: 0.245,
+                ew_us: 40.0,
+            },
+            &campaign,
+        );
+        let terp = run_campaign(
+            DopProtection::Terp {
+                ter: 0.034,
+                tew_us: 2.0,
+                ew_us: 40.0,
+            },
+            &campaign,
+        );
+        assert!(merr.full_corruptions > 0, "fast chains threaten MERR");
+        assert!(
+            f64::from(terp.full_corruptions) < 0.05 * f64::from(merr.full_corruptions).max(1.0),
+            "terp {} vs merr {}",
+            terp.full_corruptions,
+            merr.full_corruptions
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = DopCampaign::default();
+        let p = DopProtection::Merr {
+            er: 0.3,
+            ew_us: 40.0,
+        };
+        assert_eq!(run_campaign(p, &c), run_campaign(p, &c));
+    }
+}

@@ -1,0 +1,37 @@
+//! # terp-security — security analysis of TERP vs MERR
+//!
+//! The quantitative security machinery of the paper's Section VII:
+//!
+//! * [`probability`] — the Temporal Protection Theorem (Theorem 6) and the
+//!   closed-form attack-success probabilities of Table V: an attacker
+//!   probing a randomized 1 GiB PMO gets `EW/x` probes per window against
+//!   18 bits of page entropy under MERR, and only `TER·EW/x` effective
+//!   probes under TERP's thread windows.
+//! * [`attack`] — a Monte-Carlo probing attacker cross-checking the closed
+//!   forms: probes are launched at random times; a probe "hits" when it
+//!   lands inside a window (a thread window for TERP) *and* guesses the
+//!   page; randomization resets learned state between windows.
+//! * [`deadtime`] — the Figure 8 dead-time study: histogram of last-write →
+//!   free gaps over the churn workloads, and the percentage at or above the
+//!   2 µs TEW target.
+//! * [`dop`] — the Figure 12 data-only attack played as a gadget-chain
+//!   campaign against each protection's window/randomization schedule.
+//! * [`gadgets`] — the Table VI analysis: a static census of data-only
+//!   gadgets (PMO-access sites) in workload programs, combined with the
+//!   temporal disarm rates (1 − TER for TERP, 1 − ER for MERR) measured by
+//!   runs.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod attack;
+pub mod deadtime;
+pub mod dop;
+pub mod gadgets;
+pub mod probability;
+
+pub use attack::{AttackConfig, AttackResult};
+pub use deadtime::{DeadTimeHistogram, DEFAULT_BUCKETS_US};
+pub use dop::{run_campaign, DopCampaign, DopProtection, DopResult};
+pub use gadgets::{GadgetCensus, GadgetScenario};
+pub use probability::{merr_success_percent, terp_success_percent, ProbabilityModel};

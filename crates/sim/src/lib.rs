@@ -1,0 +1,42 @@
+//! # terp-sim — timing simulator substrate
+//!
+//! A deterministic, discrete-event, multi-core timing model standing in for
+//! the Sniper-based simulator of the TERP paper (HPCA 2022, Section VI). It
+//! reproduces the simulation parameters of the paper's Table II:
+//!
+//! * 4 cores at 2.2 GHz (configurable), x86-64-like instruction cost model,
+//! * private L1D (32 KiB, 8-way, 1 cycle), shared L2 (1 MiB, 16-way, 8 cycles),
+//! * DRAM 120 cycles, NVM 360 cycles,
+//! * L1 dTLB (64-entry, 4-way, 1 cycle), L2 TLB (1536-entry, 6-way, 4 cycles),
+//!   30-cycle miss penalty,
+//! * permission-matrix check/update 1 cycle; silent conditional attach/detach
+//!   27 cycles; `attach()` 4422 cycles; `detach()` 3058 cycles;
+//!   randomization 3718 cycles; TLB invalidation 550 cycles.
+//!
+//! The crate deliberately models *event timing*, not microarchitectural
+//! pipeline state: the TERP evaluation is governed by how many protection
+//! events occur and what each costs, so a per-event cost model with the
+//! paper's measured latencies reproduces the overhead structure (see
+//! DESIGN.md §1 for the substitution argument).
+//!
+//! Layering: this crate knows nothing about protection *semantics*. The
+//! TERP/MERR state machines live in `terp-arch` and `terp-core`; they call
+//! into [`Machine`] to charge costs and into [`PermissionMatrix`] /
+//! [`ThreadPermissionTable`] to model the checking hardware.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod machine;
+pub mod overhead;
+pub mod params;
+pub mod permission_matrix;
+pub mod tlb;
+pub mod trace;
+
+pub use machine::{CoreId, Machine};
+pub use overhead::{OverheadBreakdown, OverheadCategory};
+pub use params::{Cycles, SimParams};
+pub use permission_matrix::{PermissionMatrix, ThreadPermissionTable};
+pub use trace::{ThreadTrace, TraceOp};

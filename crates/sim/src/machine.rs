@@ -1,0 +1,331 @@
+//! The multi-core machine: per-core clocks, private L1D/TLB, shared L2, and
+//! cost charging with overhead attribution.
+//!
+//! The machine is a *passive* timing substrate: protection layers call its
+//! charging methods; it never decides what an attach or detach means. Each
+//! core has an independent cycle clock; a multi-threaded run is interleaved
+//! by the executor, which always advances the core with the smallest local
+//! clock (a conservative discrete-event schedule).
+
+use std::fmt;
+
+use crate::cache::SetAssocCache;
+use crate::overhead::{OverheadBreakdown, OverheadCategory};
+use crate::params::{Cycles, SimParams};
+use crate::tlb::Tlb;
+
+use terp_pmo::AccessKind;
+
+/// Index of a simulated core (also used as the thread id in single-thread-
+/// per-core runs).
+pub type CoreId = usize;
+
+/// Whether an access targets volatile DRAM or persistent NVM; decides the
+/// memory latency charged on a last-level-cache miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryRegion {
+    /// Ordinary volatile memory (stack, DRAM heap): 120-cycle miss latency.
+    Dram,
+    /// Persistent memory (PMO data): 360-cycle miss latency.
+    Nvm,
+}
+
+#[derive(Debug)]
+struct CoreState {
+    clock: Cycles,
+    l1d: SetAssocCache,
+    tlb: Tlb,
+    breakdown: OverheadBreakdown,
+}
+
+/// The simulated machine.
+///
+/// ```
+/// use terp_sim::{Machine, SimParams, OverheadCategory};
+/// use terp_sim::machine::MemoryRegion;
+/// use terp_pmo::AccessKind;
+///
+/// let mut m = Machine::new(SimParams::default());
+/// m.compute(0, 1000);                                   // app instructions
+/// m.mem_access(0, 0x6000_0000_0000, AccessKind::Read,
+///              MemoryRegion::Nvm, OverheadCategory::Base);
+/// assert!(m.now(0) > 0);
+/// assert_eq!(m.now(1), 0); // other cores untouched
+/// ```
+pub struct Machine {
+    params: SimParams,
+    cores: Vec<CoreState>,
+    l2: SetAssocCache,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("cores", &self.cores.len())
+            .field("global_time", &self.global_time())
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Builds a machine from simulation parameters.
+    pub fn new(params: SimParams) -> Self {
+        let cores = (0..params.cores)
+            .map(|_| CoreState {
+                clock: 0,
+                l1d: SetAssocCache::new(params.l1d_sets(), params.l1d_ways, params.line_bytes),
+                tlb: Tlb::new(&params),
+                breakdown: OverheadBreakdown::default(),
+            })
+            .collect();
+        let l2 = SetAssocCache::new(params.l2_sets(), params.l2_ways, params.line_bytes);
+        Machine { params, cores, l2 }
+    }
+
+    /// The simulation parameters in force.
+    pub fn params(&self) -> &SimParams {
+        &self.params
+    }
+
+    /// Number of cores.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Local clock of a core.
+    pub fn now(&self, core: CoreId) -> Cycles {
+        self.cores[core].clock
+    }
+
+    /// Global time: the maximum core clock (wall-clock of the parallel run).
+    pub fn global_time(&self) -> Cycles {
+        self.cores.iter().map(|c| c.clock).max().unwrap_or(0)
+    }
+
+    /// Earliest core clock; the executor advances this core next.
+    pub fn earliest_core(&self) -> CoreId {
+        self.cores
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.clock)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Advances a core's clock by `cycles`, attributing them to `category`.
+    pub fn advance(&mut self, core: CoreId, cycles: Cycles, category: OverheadCategory) {
+        let c = &mut self.cores[core];
+        c.clock += cycles;
+        c.breakdown.charge(category, cycles);
+    }
+
+    /// Charges `instrs` application instructions on a core (Base category).
+    pub fn compute(&mut self, core: CoreId, instrs: u64) {
+        let cycles = self.params.compute_cycles(instrs);
+        self.advance(core, cycles, OverheadCategory::Base);
+    }
+
+    /// Performs a timed memory access through the core's TLB and cache
+    /// hierarchy, charging the resulting latency to `category`.
+    ///
+    /// Returns the latency charged.
+    pub fn mem_access(
+        &mut self,
+        core: CoreId,
+        va: u64,
+        _kind: AccessKind,
+        region: MemoryRegion,
+        category: OverheadCategory,
+    ) -> Cycles {
+        let mem_latency = match region {
+            MemoryRegion::Dram => self.params.dram_latency,
+            MemoryRegion::Nvm => self.params.nvm_latency,
+        };
+        let c = &mut self.cores[core];
+        let mut cycles = c.tlb.translate(va).cycles();
+        if c.l1d.access(va) {
+            cycles += self.params.l1d_latency;
+        } else if self.l2.access(va) {
+            cycles += self.params.l1d_latency + self.params.l2_latency;
+        } else {
+            cycles += self.params.l1d_latency + self.params.l2_latency + mem_latency;
+        }
+        let c = &mut self.cores[core];
+        c.clock += cycles;
+        c.breakdown.charge(category, cycles);
+        cycles
+    }
+
+    /// Charges the fixed permission-matrix check cost (1 cycle) on a core.
+    pub fn charge_permission_check(&mut self, core: CoreId) {
+        self.advance(core, self.params.permission_matrix_cycles, OverheadCategory::Other);
+    }
+
+    /// Charges a full attach system call on a core.
+    pub fn charge_attach_syscall(&mut self, core: CoreId) {
+        self.advance(core, self.params.attach_syscall_cycles, OverheadCategory::Attach);
+    }
+
+    /// Charges a full detach system call on a core, including the TLB
+    /// invalidation it triggers (all cores' TLBs are flushed; the fixed
+    /// shootdown cost is charged to the invoking core's Detach category).
+    pub fn charge_detach_syscall(&mut self, core: CoreId) {
+        self.advance(
+            core,
+            self.params.detach_syscall_cycles + self.params.tlb_invalidation_cycles,
+            OverheadCategory::Detach,
+        );
+        self.shootdown_all_tlbs();
+    }
+
+    /// Charges a silent (lowered) conditional attach/detach on a core.
+    pub fn charge_silent_cond(&mut self, core: CoreId) {
+        self.advance(core, self.params.silent_cond_cycles, OverheadCategory::Cond);
+    }
+
+    /// Charges a PMO re-randomization triggered from `core`.
+    ///
+    /// Randomization "requires all threads to be suspended and appropriate
+    /// structures invalidated or updated (e.g., TLB shootdowns and page
+    /// table update)" (Section V-B). All cores are stalled to the completion
+    /// time of the randomization; stall cycles are attributed to `Rand`.
+    pub fn charge_randomization(&mut self, core: CoreId) {
+        let cost = self.params.randomization_cycles + self.params.tlb_invalidation_cycles;
+        self.advance(core, cost, OverheadCategory::Rand);
+        let barrier = self.cores[core].clock;
+        for c in &mut self.cores {
+            if c.clock < barrier {
+                let stall = barrier - c.clock;
+                c.clock = barrier;
+                c.breakdown.charge(OverheadCategory::Rand, stall);
+            }
+        }
+        self.shootdown_all_tlbs();
+    }
+
+    /// Flushes every core's TLB (mapping change).
+    pub fn shootdown_all_tlbs(&mut self) {
+        for c in &mut self.cores {
+            c.tlb.shootdown();
+        }
+    }
+
+    /// Per-core overhead breakdown.
+    pub fn core_breakdown(&self, core: CoreId) -> OverheadBreakdown {
+        self.cores[core].breakdown
+    }
+
+    /// Machine-wide overhead breakdown (sum over cores).
+    pub fn breakdown(&self) -> OverheadBreakdown {
+        self.cores
+            .iter()
+            .fold(OverheadBreakdown::default(), |acc, c| acc + c.breakdown)
+    }
+
+    /// Total TLB shootdowns on core 0 (all cores see the same count since
+    /// shootdowns broadcast).
+    pub fn tlb_shootdown_count(&self) -> u64 {
+        self.cores.first().map(|c| c.tlb.shootdowns()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(SimParams::default())
+    }
+
+    #[test]
+    fn clocks_are_per_core() {
+        let mut m = machine();
+        m.compute(0, 100);
+        m.compute(2, 400);
+        assert!(m.now(0) > 0);
+        assert_eq!(m.now(1), 0);
+        assert_eq!(m.global_time(), m.now(2));
+        assert_eq!(m.earliest_core(), 1);
+    }
+
+    #[test]
+    fn first_nvm_access_pays_full_hierarchy() {
+        let mut m = machine();
+        let p = m.params().clone();
+        let va = 0x6000_0000_0000u64;
+        let cold = m.mem_access(0, va, AccessKind::Read, MemoryRegion::Nvm, OverheadCategory::Base);
+        // Cold: TLB full miss + L1 miss + L2 miss + NVM.
+        let expected = (p.l1_tlb_latency + p.l2_tlb_latency + p.tlb_miss_penalty)
+            + p.l1d_latency
+            + p.l2_latency
+            + p.nvm_latency;
+        assert_eq!(cold, expected);
+        // Warm: TLB L1 hit + L1D hit.
+        let warm = m.mem_access(0, va, AccessKind::Read, MemoryRegion::Nvm, OverheadCategory::Base);
+        assert_eq!(warm, p.l1_tlb_latency + p.l1d_latency);
+    }
+
+    #[test]
+    fn dram_is_cheaper_than_nvm_on_miss() {
+        let mut m = machine();
+        let d = m.mem_access(0, 0x1000, AccessKind::Read, MemoryRegion::Dram, OverheadCategory::Base);
+        let n = m.mem_access(0, 0x9000_0000, AccessKind::Read, MemoryRegion::Nvm, OverheadCategory::Base);
+        assert_eq!(n - d, 360 - 120);
+    }
+
+    #[test]
+    fn syscall_charges_land_in_their_categories() {
+        let mut m = machine();
+        m.charge_attach_syscall(0);
+        m.charge_detach_syscall(0);
+        m.charge_silent_cond(0);
+        let b = m.core_breakdown(0);
+        assert_eq!(b.get(OverheadCategory::Attach), 4422);
+        assert_eq!(b.get(OverheadCategory::Detach), 3058 + 550);
+        assert_eq!(b.get(OverheadCategory::Cond), 27);
+    }
+
+    #[test]
+    fn detach_shoots_down_all_tlbs() {
+        let mut m = machine();
+        // Warm core 1's TLB.
+        m.mem_access(1, 0x5000, AccessKind::Read, MemoryRegion::Dram, OverheadCategory::Base);
+        let warm = m.mem_access(1, 0x5000, AccessKind::Read, MemoryRegion::Dram, OverheadCategory::Base);
+        m.charge_detach_syscall(0);
+        let after = m.mem_access(1, 0x5000, AccessKind::Read, MemoryRegion::Dram, OverheadCategory::Base);
+        assert!(after > warm, "shootdown must cold the TLB on every core");
+        assert_eq!(m.tlb_shootdown_count(), 1);
+    }
+
+    #[test]
+    fn randomization_stalls_all_cores_to_a_barrier() {
+        let mut m = machine();
+        m.compute(0, 10_000); // core 0 far ahead
+        m.charge_randomization(0);
+        let t = m.now(0);
+        for core in 0..m.core_count() {
+            assert_eq!(m.now(core), t, "core {core} must sit at the barrier");
+        }
+        // The stalled cores' cycles are attributed to Rand.
+        assert!(m.core_breakdown(1).get(OverheadCategory::Rand) > 0);
+    }
+
+    #[test]
+    fn breakdown_sums_over_cores() {
+        let mut m = machine();
+        m.compute(0, 100);
+        m.compute(1, 100);
+        let total = m.breakdown();
+        let per: u64 = (0..m.core_count())
+            .map(|c| m.core_breakdown(c).total())
+            .sum();
+        assert_eq!(total.total(), per);
+    }
+
+    #[test]
+    fn permission_check_costs_one_cycle_as_other() {
+        let mut m = machine();
+        m.charge_permission_check(0);
+        assert_eq!(m.core_breakdown(0).get(OverheadCategory::Other), 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! Overhead accounting in the categories of the paper's Figures 9–11.
+//!
+//! Every simulated cycle is attributed to either the application baseline
+//! ([`OverheadCategory::Base`]) or one of the protection-overhead categories
+//! the paper breaks out: attach syscalls, detach syscalls, re-randomization,
+//! conditional-instruction execution, and "other" (permission-matrix checks,
+//! TLB shootdown fallout, bookkeeping).
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::Cycles;
+
+/// Attribution category for a charged cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OverheadCategory {
+    /// Application work that would exist without any protection.
+    Base,
+    /// Full `attach()` system calls.
+    Attach,
+    /// Full `detach()` system calls.
+    Detach,
+    /// PMO layout re-randomization (including its TLB shootdowns).
+    Rand,
+    /// Conditional attach/detach instructions executed silently.
+    Cond,
+    /// Everything else: permission-matrix checks, extra TLB misses charged to
+    /// protection, sweep bookkeeping.
+    Other,
+}
+
+impl OverheadCategory {
+    /// All categories, baseline first.
+    pub const ALL: [OverheadCategory; 6] = [
+        OverheadCategory::Base,
+        OverheadCategory::Attach,
+        OverheadCategory::Detach,
+        OverheadCategory::Rand,
+        OverheadCategory::Cond,
+        OverheadCategory::Other,
+    ];
+}
+
+impl fmt::Display for OverheadCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OverheadCategory::Base => "base",
+            OverheadCategory::Attach => "attach",
+            OverheadCategory::Detach => "detach",
+            OverheadCategory::Rand => "rand",
+            OverheadCategory::Cond => "cond",
+            OverheadCategory::Other => "other",
+        })
+    }
+}
+
+/// Cycle totals per category, with derived overhead percentages.
+///
+/// ```
+/// use terp_sim::{OverheadBreakdown, OverheadCategory};
+/// let mut b = OverheadBreakdown::default();
+/// b.charge(OverheadCategory::Base, 1000);
+/// b.charge(OverheadCategory::Attach, 50);
+/// b.charge(OverheadCategory::Cond, 50);
+/// assert_eq!(b.total(), 1100);
+/// assert!((b.overhead_fraction() - 0.10).abs() < 1e-12);
+/// assert!((b.category_fraction(OverheadCategory::Attach) - 0.05).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverheadBreakdown {
+    base: Cycles,
+    attach: Cycles,
+    detach: Cycles,
+    rand: Cycles,
+    cond: Cycles,
+    other: Cycles,
+}
+
+impl OverheadBreakdown {
+    /// Adds `cycles` to a category.
+    pub fn charge(&mut self, category: OverheadCategory, cycles: Cycles) {
+        *self.slot(category) += cycles;
+    }
+
+    /// Cycles recorded in a category.
+    pub fn get(&self, category: OverheadCategory) -> Cycles {
+        match category {
+            OverheadCategory::Base => self.base,
+            OverheadCategory::Attach => self.attach,
+            OverheadCategory::Detach => self.detach,
+            OverheadCategory::Rand => self.rand,
+            OverheadCategory::Cond => self.cond,
+            OverheadCategory::Other => self.other,
+        }
+    }
+
+    /// Total cycles across all categories (simulated execution time).
+    pub fn total(&self) -> Cycles {
+        OverheadCategory::ALL.iter().map(|&c| self.get(c)).sum()
+    }
+
+    /// Total protection cycles (everything but `Base`).
+    pub fn protection_total(&self) -> Cycles {
+        self.total() - self.base
+    }
+
+    /// Protection overhead as a fraction of the baseline
+    /// (`protection / base`), the paper's "execution time overhead over the
+    /// unprotected execution". Returns 0 when no baseline was recorded.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.base == 0 {
+            0.0
+        } else {
+            self.protection_total() as f64 / self.base as f64
+        }
+    }
+
+    /// A single category's cycles as a fraction of the baseline, matching
+    /// how the stacked bars of Figures 9–11 are normalized.
+    pub fn category_fraction(&self, category: OverheadCategory) -> f64 {
+        if self.base == 0 {
+            0.0
+        } else {
+            self.get(category) as f64 / self.base as f64
+        }
+    }
+
+    fn slot(&mut self, category: OverheadCategory) -> &mut Cycles {
+        match category {
+            OverheadCategory::Base => &mut self.base,
+            OverheadCategory::Attach => &mut self.attach,
+            OverheadCategory::Detach => &mut self.detach,
+            OverheadCategory::Rand => &mut self.rand,
+            OverheadCategory::Cond => &mut self.cond,
+            OverheadCategory::Other => &mut self.other,
+        }
+    }
+}
+
+impl Add for OverheadBreakdown {
+    type Output = OverheadBreakdown;
+
+    fn add(mut self, rhs: OverheadBreakdown) -> OverheadBreakdown {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for OverheadBreakdown {
+    fn add_assign(&mut self, rhs: OverheadBreakdown) {
+        for c in OverheadCategory::ALL {
+            self.charge(c, rhs.get(c));
+        }
+    }
+}
+
+impl fmt::Display for OverheadBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "overhead {:.1}% (attach {:.1}%, detach {:.1}%, rand {:.1}%, cond {:.1}%, other {:.1}%)",
+            self.overhead_fraction() * 100.0,
+            self.category_fraction(OverheadCategory::Attach) * 100.0,
+            self.category_fraction(OverheadCategory::Detach) * 100.0,
+            self.category_fraction(OverheadCategory::Rand) * 100.0,
+            self.category_fraction(OverheadCategory::Cond) * 100.0,
+            self.category_fraction(OverheadCategory::Other) * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_categories() {
+        let mut b = OverheadBreakdown::default();
+        for (i, c) in OverheadCategory::ALL.into_iter().enumerate() {
+            b.charge(c, (i as u64 + 1) * 10);
+        }
+        assert_eq!(b.total(), 10 + 20 + 30 + 40 + 50 + 60);
+        assert_eq!(b.protection_total(), b.total() - 10);
+    }
+
+    #[test]
+    fn zero_base_gives_zero_fractions() {
+        let mut b = OverheadBreakdown::default();
+        b.charge(OverheadCategory::Attach, 100);
+        assert_eq!(b.overhead_fraction(), 0.0);
+        assert_eq!(b.category_fraction(OverheadCategory::Attach), 0.0);
+    }
+
+    #[test]
+    fn addition_merges_per_category() {
+        let mut a = OverheadBreakdown::default();
+        a.charge(OverheadCategory::Base, 100);
+        a.charge(OverheadCategory::Cond, 5);
+        let mut b = OverheadBreakdown::default();
+        b.charge(OverheadCategory::Base, 50);
+        b.charge(OverheadCategory::Rand, 7);
+        let sum = a + b;
+        assert_eq!(sum.get(OverheadCategory::Base), 150);
+        assert_eq!(sum.get(OverheadCategory::Cond), 5);
+        assert_eq!(sum.get(OverheadCategory::Rand), 7);
+    }
+
+    #[test]
+    fn fractions_are_relative_to_base() {
+        let mut b = OverheadBreakdown::default();
+        b.charge(OverheadCategory::Base, 200);
+        b.charge(OverheadCategory::Detach, 20);
+        b.charge(OverheadCategory::Other, 30);
+        assert!((b.overhead_fraction() - 0.25).abs() < 1e-12);
+        assert!((b.category_fraction(OverheadCategory::Detach) - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_all_categories() {
+        let b = OverheadBreakdown::default();
+        let s = b.to_string();
+        for c in ["attach", "detach", "rand", "cond", "other"] {
+            assert!(s.contains(c), "missing {c} in {s}");
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Simulation parameters (the paper's Table II) and time-unit conversions.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulated clock cycles. All simulator time is kept in cycles and converted
+/// to microseconds only at reporting boundaries.
+pub type Cycles = u64;
+
+/// The full simulation parameter set, defaulting to the paper's Table II.
+///
+/// ```
+/// use terp_sim::SimParams;
+/// let p = SimParams::default();
+/// assert_eq!(p.attach_syscall_cycles, 4422);
+/// assert_eq!(p.detach_syscall_cycles, 3058);
+/// // 2.2 GHz: 1 µs is 2200 cycles.
+/// assert_eq!(p.us_to_cycles(40.0), 88_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimParams {
+    /// Number of simulated cores.
+    pub cores: usize,
+    /// Core clock in GHz (cycles per nanosecond).
+    pub clock_ghz: f64,
+    /// Average cycles per non-memory instruction (models the 4-way OoO core's
+    /// sustained throughput on compute code).
+    pub compute_cpi: f64,
+
+    /// L1D hit latency, cycles.
+    pub l1d_latency: Cycles,
+    /// L1D capacity, bytes (32 KiB, 8-way in the paper).
+    pub l1d_bytes: u64,
+    /// L1D associativity.
+    pub l1d_ways: usize,
+    /// Shared L2 hit latency, cycles.
+    pub l2_latency: Cycles,
+    /// L2 capacity, bytes (1 MiB, 16-way in the paper).
+    pub l2_bytes: u64,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// Cache line size, bytes.
+    pub line_bytes: u64,
+
+    /// DRAM access latency, cycles.
+    pub dram_latency: Cycles,
+    /// NVM (persistent memory) access latency, cycles.
+    pub nvm_latency: Cycles,
+
+    /// L1 dTLB entries (4 KiB pages).
+    pub l1_tlb_entries: usize,
+    /// L1 dTLB associativity.
+    pub l1_tlb_ways: usize,
+    /// L1 dTLB hit latency, cycles.
+    pub l1_tlb_latency: Cycles,
+    /// L2 TLB entries.
+    pub l2_tlb_entries: usize,
+    /// L2 TLB associativity.
+    pub l2_tlb_ways: usize,
+    /// L2 TLB hit latency, cycles.
+    pub l2_tlb_latency: Cycles,
+    /// Page-walk penalty on full TLB miss, cycles.
+    pub tlb_miss_penalty: Cycles,
+
+    /// Permission-matrix check or update, cycles (charged per PMO access).
+    pub permission_matrix_cycles: Cycles,
+    /// Silent (lowered) conditional attach/detach — the cost of setting Intel
+    /// MPK-style thread permission including fences, cycles.
+    pub silent_cond_cycles: Cycles,
+    /// Full `attach()` system call, cycles.
+    pub attach_syscall_cycles: Cycles,
+    /// Full `detach()` system call, cycles.
+    pub detach_syscall_cycles: Cycles,
+    /// PMO layout re-randomization, cycles.
+    pub randomization_cycles: Cycles,
+    /// TLB invalidation (shootdown) broadcast, cycles.
+    pub tlb_invalidation_cycles: Cycles,
+
+    /// Circular-buffer sweep period, in cycles (the paper increments the
+    /// hardware timer every 1 µs and sweeps periodically; we sweep at timer
+    /// granularity).
+    pub sweep_period_cycles: Cycles,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams {
+            cores: 4,
+            clock_ghz: 2.2,
+            compute_cpi: 0.5, // 4-way OoO sustains > 1 IPC on compute code
+
+            l1d_latency: 1,
+            l1d_bytes: 32 << 10,
+            l1d_ways: 8,
+            l2_latency: 8,
+            l2_bytes: 1 << 20,
+            l2_ways: 16,
+            line_bytes: 64,
+
+            dram_latency: 120,
+            nvm_latency: 360,
+
+            l1_tlb_entries: 64,
+            l1_tlb_ways: 4,
+            l1_tlb_latency: 1,
+            l2_tlb_entries: 1536,
+            l2_tlb_ways: 6,
+            l2_tlb_latency: 4,
+            tlb_miss_penalty: 30,
+
+            permission_matrix_cycles: 1,
+            silent_cond_cycles: 27,
+            attach_syscall_cycles: 4422,
+            detach_syscall_cycles: 3058,
+            randomization_cycles: 3718,
+            tlb_invalidation_cycles: 550,
+
+            sweep_period_cycles: 2200, // 1 µs at 2.2 GHz
+        }
+    }
+}
+
+impl SimParams {
+    /// Cycles per microsecond at the configured clock.
+    pub fn cycles_per_us(&self) -> f64 {
+        self.clock_ghz * 1000.0
+    }
+
+    /// Converts microseconds to cycles (rounded to nearest).
+    pub fn us_to_cycles(&self, us: f64) -> Cycles {
+        (us * self.cycles_per_us()).round() as Cycles
+    }
+
+    /// Converts cycles to microseconds.
+    pub fn cycles_to_us(&self, cycles: Cycles) -> f64 {
+        cycles as f64 / self.cycles_per_us()
+    }
+
+    /// Cycles charged for `instrs` non-memory instructions.
+    pub fn compute_cycles(&self, instrs: u64) -> Cycles {
+        (instrs as f64 * self.compute_cpi).ceil() as Cycles
+    }
+
+    /// Number of L1D sets implied by size/ways/line.
+    pub fn l1d_sets(&self) -> usize {
+        (self.l1d_bytes / self.line_bytes) as usize / self.l1d_ways
+    }
+
+    /// Number of L2 sets implied by size/ways/line.
+    pub fn l2_sets(&self) -> usize {
+        (self.l2_bytes / self.line_bytes) as usize / self.l2_ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_ii() {
+        let p = SimParams::default();
+        assert_eq!(p.cores, 4);
+        assert_eq!(p.l1d_bytes, 32 << 10);
+        assert_eq!(p.l1d_ways, 8);
+        assert_eq!(p.l1d_latency, 1);
+        assert_eq!(p.l2_bytes, 1 << 20);
+        assert_eq!(p.l2_ways, 16);
+        assert_eq!(p.l2_latency, 8);
+        assert_eq!(p.dram_latency, 120);
+        assert_eq!(p.nvm_latency, 360);
+        assert_eq!(p.l1_tlb_entries, 64);
+        assert_eq!(p.l2_tlb_entries, 1536);
+        assert_eq!(p.tlb_miss_penalty, 30);
+        assert_eq!(p.permission_matrix_cycles, 1);
+        assert_eq!(p.silent_cond_cycles, 27);
+        assert_eq!(p.attach_syscall_cycles, 4422);
+        assert_eq!(p.detach_syscall_cycles, 3058);
+        assert_eq!(p.randomization_cycles, 3718);
+        assert_eq!(p.tlb_invalidation_cycles, 550);
+    }
+
+    #[test]
+    fn unit_conversions_round_trip() {
+        let p = SimParams::default();
+        assert_eq!(p.us_to_cycles(1.0), 2200);
+        assert_eq!(p.us_to_cycles(2.0), 4400);
+        assert!((p.cycles_to_us(88_000) - 40.0).abs() < 1e-9);
+        for us in [0.5, 2.0, 40.0, 160.0] {
+            let rt = p.cycles_to_us(p.us_to_cycles(us));
+            assert!((rt - us).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn geometry_is_consistent() {
+        let p = SimParams::default();
+        assert_eq!(p.l1d_sets(), 64);
+        assert_eq!(p.l2_sets(), 1024);
+        assert_eq!(p.l1d_sets() * p.l1d_ways * p.line_bytes as usize, 32 << 10);
+    }
+
+    #[test]
+    fn compute_cycles_scale_with_cpi() {
+        let mut p = SimParams {
+            compute_cpi: 2.0,
+            ..Default::default()
+        };
+        assert_eq!(p.compute_cycles(10), 20);
+        p.compute_cpi = 0.5;
+        assert_eq!(p.compute_cycles(10), 5);
+        assert_eq!(p.compute_cycles(0), 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! The executable operation vocabulary.
+//!
+//! Workload programs (after compiler lowering) become one [`ThreadTrace`]
+//! per thread: a flat sequence of [`TraceOp`]s. The protection runtime in
+//! `terp-core` interprets the trace, turning `Attach`/`Detach` ops into
+//! whatever the active configuration dictates (full syscalls under MERR,
+//! conditional instructions under TERP) and charging costs on the
+//! [`crate::Machine`].
+//!
+//! `Alloc`/`Free` are zero-cost *metadata* events used by the Figure 8
+//! dead-time study: they let the security crate reconstruct object lifetimes
+//! (allocation → last write → free) from an executed trace.
+
+use serde::{Deserialize, Serialize};
+
+use terp_pmo::{AccessKind, ObjectId, Permission, PmoId};
+
+/// One operation of a thread's instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceOp {
+    /// `instrs` non-memory instructions of application compute.
+    Compute {
+        /// Number of instructions.
+        instrs: u64,
+    },
+    /// A load or store to persistent memory through the current mapping of
+    /// the object's pool.
+    PmoAccess {
+        /// Target object (pool + offset); translated via the live mapping.
+        oid: ObjectId,
+        /// Load or store.
+        kind: AccessKind,
+        /// Optional object tag linking this access to an `Alloc` event for
+        /// lifetime (dead-time) tracking.
+        tag: Option<u32>,
+    },
+    /// A load or store to ordinary volatile memory (stack, DRAM heap).
+    DramAccess {
+        /// Virtual address accessed.
+        addr: u64,
+        /// Load or store.
+        kind: AccessKind,
+    },
+    /// A TERP/MERR granting construct: request access to a PMO. Interpreted
+    /// per the active configuration (syscall, conditional instruction, ...).
+    Attach {
+        /// Pool to attach.
+        pmo: PmoId,
+        /// Requested permission (R or RW, the CONDAT operand).
+        perm: Permission,
+    },
+    /// A TERP/MERR depriving construct: give up access to a PMO.
+    Detach {
+        /// Pool to detach.
+        pmo: PmoId,
+    },
+    /// Metadata: a persistent object was allocated (no cost).
+    Alloc {
+        /// Workload-unique object tag.
+        tag: u32,
+        /// Object size in bytes.
+        size: u64,
+    },
+    /// Metadata: a persistent object was freed (no cost).
+    Free {
+        /// Tag from the matching `Alloc`.
+        tag: u32,
+    },
+}
+
+impl TraceOp {
+    /// Whether this op is a pure metadata event (no simulated cost).
+    pub fn is_metadata(&self) -> bool {
+        matches!(self, TraceOp::Alloc { .. } | TraceOp::Free { .. })
+    }
+
+    /// Whether this op is a protection construct (attach or detach).
+    pub fn is_protection(&self) -> bool {
+        matches!(self, TraceOp::Attach { .. } | TraceOp::Detach { .. })
+    }
+}
+
+/// A full per-thread operation stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadTrace {
+    /// Operations in program order.
+    pub ops: Vec<TraceOp>,
+}
+
+impl ThreadTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a trace from the given operations.
+    pub fn from_ops(ops: Vec<TraceOp>) -> Self {
+        ThreadTrace { ops }
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: TraceOp) {
+        self.ops.push(op);
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of PMO accesses in the trace.
+    pub fn pmo_access_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, TraceOp::PmoAccess { .. }))
+            .count()
+    }
+
+    /// Number of attach+detach constructs in the trace.
+    pub fn protection_op_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.is_protection()).count()
+    }
+
+    /// Iterates over distinct pools referenced by accesses or constructs.
+    pub fn referenced_pmos(&self) -> Vec<PmoId> {
+        let mut seen = Vec::new();
+        for op in &self.ops {
+            let pmo = match op {
+                TraceOp::PmoAccess { oid, .. } => Some(oid.pmo()),
+                TraceOp::Attach { pmo, .. } | TraceOp::Detach { pmo } => Some(*pmo),
+                _ => None,
+            };
+            if let Some(p) = pmo {
+                if !seen.contains(&p) {
+                    seen.push(p);
+                }
+            }
+        }
+        seen
+    }
+}
+
+impl FromIterator<TraceOp> for ThreadTrace {
+    fn from_iter<I: IntoIterator<Item = TraceOp>>(iter: I) -> Self {
+        ThreadTrace {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<TraceOp> for ThreadTrace {
+    fn extend<I: IntoIterator<Item = TraceOp>>(&mut self, iter: I) {
+        self.ops.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pmo(n: u16) -> PmoId {
+        PmoId::new(n).unwrap()
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(TraceOp::Alloc { tag: 1, size: 64 }.is_metadata());
+        assert!(TraceOp::Free { tag: 1 }.is_metadata());
+        assert!(!TraceOp::Compute { instrs: 5 }.is_metadata());
+        assert!(TraceOp::Attach {
+            pmo: pmo(1),
+            perm: Permission::Read
+        }
+        .is_protection());
+        assert!(TraceOp::Detach { pmo: pmo(1) }.is_protection());
+        assert!(!TraceOp::Compute { instrs: 5 }.is_protection());
+    }
+
+    #[test]
+    fn counting_and_pmo_discovery() {
+        let oid = ObjectId::new(pmo(2), 0x10);
+        let trace: ThreadTrace = vec![
+            TraceOp::Attach {
+                pmo: pmo(2),
+                perm: Permission::ReadWrite,
+            },
+            TraceOp::PmoAccess {
+                oid,
+                kind: AccessKind::Write,
+                tag: None,
+            },
+            TraceOp::PmoAccess {
+                oid,
+                kind: AccessKind::Read,
+                tag: None,
+            },
+            TraceOp::Detach { pmo: pmo(2) },
+            TraceOp::Attach {
+                pmo: pmo(3),
+                perm: Permission::Read,
+            },
+            TraceOp::Detach { pmo: pmo(3) },
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(trace.pmo_access_count(), 2);
+        assert_eq!(trace.protection_op_count(), 4);
+        assert_eq!(trace.referenced_pmos(), vec![pmo(2), pmo(3)]);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut t = ThreadTrace::new();
+        assert!(t.is_empty());
+        t.extend([TraceOp::Compute { instrs: 1 }, TraceOp::Compute { instrs: 2 }]);
+        t.push(TraceOp::Compute { instrs: 3 });
+        assert_eq!(t.len(), 3);
+    }
+}

@@ -1,0 +1,257 @@
+//! Allocation-churn workloads for the Figure 8 dead-time study.
+//!
+//! The paper measures, over eight SPEC 2017 benchmarks and five Heap Layers
+//! allocator benchmarks, the distribution of *object dead time* — the gap
+//! between an object's last write and its deallocation, which is the attack
+//! surface for persistent corruption (corrupt after the last write and the
+//! damage survives until the object dies).
+//!
+//! We synthesize each benchmark as a mixture of allocation classes
+//! (ephemeral temporaries through long-lived caches), with per-class write
+//! counts, inter-write gaps, and post-last-write tails. The traces carry
+//! `Alloc`/`Free` metadata and tagged writes, so the *measurement machinery*
+//! — executor timestamps and the histogram — is exactly what the paper runs;
+//! the class mixes are the synthetic stand-in for the apps' allocators (see
+//! DESIGN.md §1).
+
+use terp_compiler::rng::SplitMix64;
+use terp_pmo::{AccessKind, ObjectId, PmoId};
+use terp_sim::{ThreadTrace, TraceOp};
+
+use crate::us_to_instrs;
+
+/// Pool size for the churn arena.
+pub const POOL_SIZE: u64 = 1 << 30;
+
+/// One allocation class of a churn workload.
+#[derive(Debug, Clone, Copy)]
+pub struct AllocClass {
+    /// Relative weight of this class in the mix.
+    pub weight: f64,
+    /// Writes per object (min, max inclusive).
+    pub writes: (u64, u64),
+    /// Gap between writes, µs (log-uniform in \[min, max\]).
+    pub write_gap_us: (f64, f64),
+    /// Post-last-write tail before the free, µs (log-uniform).
+    pub dead_us: (f64, f64),
+}
+
+/// Scale knob: objects per workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnScale {
+    /// Number of objects allocated (and freed).
+    pub objects: u32,
+}
+
+impl ChurnScale {
+    /// Small scale for tests.
+    pub fn test() -> Self {
+        ChurnScale { objects: 300 }
+    }
+
+    /// Evaluation scale for the Figure 8 harness.
+    pub fn paper() -> Self {
+        ChurnScale { objects: 4000 }
+    }
+}
+
+/// A named churn workload definition.
+#[derive(Debug, Clone)]
+pub struct ChurnWorkload {
+    /// Benchmark label (Figure 8 legend).
+    pub name: String,
+    /// Allocation-class mixture.
+    pub classes: Vec<AllocClass>,
+}
+
+impl ChurnWorkload {
+    /// Generates the workload trace: a single thread allocating, writing,
+    /// and freeing `scale.objects` tagged objects in one pool (`pmo`).
+    pub fn trace(&self, pmo: PmoId, scale: ChurnScale, seed: u64) -> ThreadTrace {
+        let mut rng = SplitMix64::new(seed);
+        let mut trace = ThreadTrace::new();
+        let total_weight: f64 = self.classes.iter().map(|c| c.weight).sum();
+        let mut next_offset = 0u64;
+
+        for tag in 0..scale.objects {
+            // Pick a class by weight.
+            let mut draw = rng.unit() * total_weight;
+            let mut class = self.classes[0];
+            for c in &self.classes {
+                if draw < c.weight {
+                    class = *c;
+                    break;
+                }
+                draw -= c.weight;
+            }
+
+            let size = 64 + rng.below(4096 - 64);
+            let offset = next_offset % (POOL_SIZE - 8192);
+            next_offset += size.div_ceil(64) * 64;
+            let oid = ObjectId::new(pmo, offset & !7);
+
+            trace.push(TraceOp::Alloc { tag, size });
+            let writes = class.writes.0 + rng.below(class.writes.1 - class.writes.0 + 1);
+            for w in 0..writes.max(1) {
+                trace.push(TraceOp::PmoAccess {
+                    oid,
+                    kind: AccessKind::Write,
+                    tag: Some(tag),
+                });
+                if w + 1 < writes.max(1) {
+                    let gap = log_uniform(&mut rng, class.write_gap_us);
+                    trace.push(TraceOp::Compute {
+                        instrs: us_to_instrs(gap),
+                    });
+                }
+            }
+            // The dead tail: reads may continue, writes do not.
+            let dead = log_uniform(&mut rng, class.dead_us);
+            trace.push(TraceOp::Compute {
+                instrs: us_to_instrs(dead),
+            });
+            trace.push(TraceOp::Free { tag });
+        }
+        trace
+    }
+}
+
+fn log_uniform(rng: &mut SplitMix64, (min, max): (f64, f64)) -> f64 {
+    let (lo, hi) = (min.max(1e-3).ln(), max.max(1e-3).ln());
+    (lo + rng.unit() * (hi - lo)).exp()
+}
+
+/// The default class mixture: ~5 % of objects die within 2 µs of their last
+/// write; the bulk sits in the tens-to-hundreds of µs (the Figure 8 shape
+/// that motivates the 2 µs TEW target).
+fn default_classes(ephemeral_weight: f64, long_weight: f64) -> Vec<AllocClass> {
+    vec![
+        AllocClass {
+            weight: ephemeral_weight,
+            writes: (1, 3),
+            write_gap_us: (0.1, 0.5),
+            dead_us: (0.3, 2.0),
+        },
+        AllocClass {
+            weight: 0.25,
+            writes: (2, 6),
+            write_gap_us: (0.2, 2.0),
+            dead_us: (2.0, 16.0),
+        },
+        AllocClass {
+            weight: 0.40,
+            writes: (2, 8),
+            write_gap_us: (0.5, 4.0),
+            dead_us: (16.0, 128.0),
+        },
+        AllocClass {
+            weight: long_weight,
+            writes: (4, 12),
+            write_gap_us: (1.0, 8.0),
+            dead_us: (128.0, 1024.0),
+        },
+        AllocClass {
+            weight: 0.06,
+            writes: (4, 16),
+            write_gap_us: (2.0, 16.0),
+            dead_us: (1024.0, 8192.0),
+        },
+    ]
+}
+
+/// The thirteen measured benchmarks: eight SPEC 2017 programs and five Heap
+/// Layers allocator benchmarks, with mildly different mixes (allocator
+/// benchmarks churn more ephemeral objects).
+pub fn all() -> Vec<ChurnWorkload> {
+    let spec_names = [
+        "perlbench", "gcc", "mcf", "omnetpp", "xalancbmk", "x264", "deepsjeng", "leela",
+    ];
+    let heap_names = ["cfrac", "espresso", "lindsay", "roboop", "shbench"];
+    let mut out = Vec::new();
+    for (i, name) in spec_names.iter().enumerate() {
+        out.push(ChurnWorkload {
+            name: name.to_string(),
+            classes: default_classes(0.04 + 0.005 * i as f64, 0.25),
+        });
+    }
+    for (i, name) in heap_names.iter().enumerate() {
+        out.push(ChurnWorkload {
+            name: name.to_string(),
+            classes: default_classes(0.06 + 0.004 * i as f64, 0.20),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pmo() -> PmoId {
+        PmoId::new(1).unwrap()
+    }
+
+    #[test]
+    fn thirteen_benchmarks() {
+        let w = all();
+        assert_eq!(w.len(), 13);
+    }
+
+    #[test]
+    fn trace_allocs_and_frees_balance() {
+        let w = &all()[0];
+        let t = w.trace(pmo(), ChurnScale::test(), 9);
+        let allocs = t
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::Alloc { .. }))
+            .count();
+        let frees = t
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::Free { .. }))
+            .count();
+        assert_eq!(allocs, 300);
+        assert_eq!(frees, 300);
+    }
+
+    #[test]
+    fn every_object_is_written_before_free() {
+        let w = &all()[3];
+        let t = w.trace(pmo(), ChurnScale::test(), 4);
+        let mut last: Option<u32> = None;
+        for op in &t.ops {
+            match op {
+                TraceOp::Alloc { tag, .. } => last = Some(*tag),
+                TraceOp::PmoAccess { tag: Some(tag), kind, .. } => {
+                    assert_eq!(Some(*tag), last);
+                    assert_eq!(*kind, AccessKind::Write);
+                }
+                TraceOp::Free { tag } => assert_eq!(Some(*tag), last),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn log_uniform_respects_bounds() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..1000 {
+            let v = log_uniform(&mut rng, (2.0, 16.0));
+            assert!((2.0..=16.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = &all()[7];
+        assert_eq!(
+            w.trace(pmo(), ChurnScale::test(), 5),
+            w.trace(pmo(), ChurnScale::test(), 5)
+        );
+        assert_ne!(
+            w.trace(pmo(), ChurnScale::test(), 5),
+            w.trace(pmo(), ChurnScale::test(), 6)
+        );
+    }
+}

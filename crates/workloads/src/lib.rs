@@ -1,0 +1,233 @@
+//! # terp-workloads — synthetic evaluation workloads
+//!
+//! Stand-ins for the benchmark suites of the TERP evaluation (Section VI):
+//!
+//! * [`whisper`] — six single-PMO, single-thread transaction workloads with
+//!   the operation mix, access density, and duty-cycle structure of the
+//!   WHISPER benchmarks (Echo, YCSB, TPCC, ctree, hashmap, Redis). Each
+//!   executes a stream of operations over one 1 GiB pool.
+//! * [`spec`] — five multi-PMO kernels mirroring the evaluated SPEC CPU 2017
+//!   subset (mcf, lbm, imagick, nab, xz): per-benchmark pool counts of
+//!   4/2/3/3/6, high PMO-access fraction, and phase behaviour in which only
+//!   1–2 pools are active at a time. Runnable with 1 or 4 threads.
+//! * [`heaplayers`] — allocation-churn trace generators (the Heap Layers
+//!   suite of the Figure 8 dead-time study): tagged objects are allocated,
+//!   written over their lifetime, and freed, so the executor can measure
+//!   the last-write → free gap of every object.
+//!
+//! Workloads are authored as IR programs ([`terp_compiler::Function`]) with
+//! two protection variants:
+//!
+//! * **manual** — MERR-style hand-inserted attach/detach around operation
+//!   batches (the MM configuration);
+//! * **automatic** — protection stripped, then re-inserted by the compiler
+//!   pass (the TM/TT configurations).
+//!
+//! [`Workload::traces`] lowers the selected variant to per-thread
+//! [`terp_sim::ThreadTrace`]s ready for `terp_core::Executor`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod heaplayers;
+pub mod spec;
+pub mod whisper;
+
+use serde::{Deserialize, Serialize};
+
+use terp_compiler::insertion::{insert_protection, InsertionConfig};
+use terp_compiler::lower::{lower, LowerConfig};
+use terp_compiler::verify::verify_protection;
+use terp_compiler::Function;
+use terp_pmo::{OpenMode, PmoRegistry};
+use terp_sim::ThreadTrace;
+
+/// A pool the workload uses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolSpec {
+    /// Registry name.
+    pub name: String,
+    /// Pool size in bytes.
+    pub size: u64,
+}
+
+/// Which protection variant of the program to lower.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Variant {
+    /// No constructs at all (the unprotected baseline).
+    Unprotected,
+    /// The hand-inserted MERR-style constructs (for MM runs).
+    Manual,
+    /// Compiler-inserted constructs with the given LET budget in cycles
+    /// (for TM/TT runs; use the TEW target, e.g. 4400 cycles = 2 µs).
+    Auto {
+        /// Region LET budget, cycles.
+        let_threshold: u64,
+    },
+}
+
+/// A complete benchmark: pools + per-thread program with both protection
+/// variants derivable.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark name (matches the paper's tables).
+    pub name: String,
+    /// Pools to create. Pool *i* here receives registry id *i+1* when built
+    /// through [`Workload::build_registry`] on a fresh registry.
+    pub pools: Vec<PoolSpec>,
+    /// The per-thread program, including manual (MM) constructs.
+    pub program: Function,
+    /// Number of threads the workload is meant to run with.
+    pub threads: usize,
+}
+
+impl Workload {
+    /// Creates the workload's pools in a fresh registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pool creation fails (duplicate names, zero sizes) — the
+    /// built-in workloads never do.
+    pub fn build_registry(&self) -> PmoRegistry {
+        let mut reg = PmoRegistry::new();
+        for p in &self.pools {
+            reg.create(&p.name, p.size, OpenMode::ReadWrite)
+                .expect("workload pool creation");
+        }
+        reg
+    }
+
+    /// The program in the requested protection variant.
+    ///
+    /// For [`Variant::Auto`] the result is checked by the static verifier —
+    /// a panic here means a bug in the insertion pass, not in the workload.
+    pub fn program_variant(&self, variant: Variant) -> Function {
+        match variant {
+            Variant::Unprotected => self.program.strip_protection(),
+            Variant::Manual => self.program.clone(),
+            Variant::Auto { let_threshold } => {
+                let config = InsertionConfig {
+                    let_threshold,
+                    ..Default::default()
+                };
+                let result = insert_protection(&self.program, &config);
+                verify_protection(&result.function)
+                    .expect("compiler-inserted protection must verify");
+                result.function
+            }
+        }
+    }
+
+    /// Lowers the chosen variant to one trace per thread. Threads get
+    /// distinct lowering seeds derived from `seed` so their access streams
+    /// differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lowering exceeds the trace-length guard (a workload sizing
+    /// bug).
+    pub fn traces(&self, variant: Variant, seed: u64) -> Vec<ThreadTrace> {
+        let program = self.program_variant(variant);
+        (0..self.threads)
+            .map(|t| {
+                let config = LowerConfig {
+                    seed: seed ^ (0x9E37_79B9 * (t as u64 + 1)),
+                    dram_arena_base: 0x10_0000_0000 + ((t as u64) << 32),
+                    ..Default::default()
+                };
+                lower(&program, &config).expect("workload trace lowering")
+            })
+            .collect()
+    }
+
+    /// Returns a copy configured for a different thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// Converts a microsecond figure to compute-instruction count such that the
+/// instructions take that long on the default core (2.2 GHz, CPI 0.5).
+pub(crate) fn us_to_instrs(us: f64) -> u64 {
+    (us * 2200.0 / 0.5).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use terp_sim::TraceOp;
+
+    #[test]
+    fn us_to_instrs_matches_default_core() {
+        // 1 µs at 2.2 GHz is 2200 cycles; at CPI 0.5 that is 4400 instrs.
+        assert_eq!(us_to_instrs(1.0), 4400);
+        assert_eq!(us_to_instrs(0.5), 2200);
+    }
+
+    #[test]
+    fn variants_differ_in_constructs() {
+        let w = whisper::echo(whisper::WhisperScale::test());
+        let un = w.program_variant(Variant::Unprotected);
+        let manual = w.program_variant(Variant::Manual);
+        let auto = w.program_variant(Variant::Auto { let_threshold: 4400 });
+        let count = |f: &Function| {
+            f.blocks
+                .iter()
+                .flat_map(|b| b.instrs.iter())
+                .filter(|i| i.is_protection())
+                .count()
+        };
+        assert_eq!(count(&un), 0);
+        assert!(count(&manual) > 0);
+        assert!(count(&auto) > 0);
+    }
+
+    #[test]
+    fn traces_are_seed_deterministic() {
+        let w = whisper::redis(whisper::WhisperScale::test());
+        let a = w.traces(Variant::Manual, 1);
+        let b = w.traces(Variant::Manual, 1);
+        let c = w.traces(Variant::Manual, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn registry_matches_pool_specs() {
+        let w = spec::mcf(spec::SpecScale::test());
+        let reg = w.build_registry();
+        assert_eq!(reg.len(), w.pools.len());
+        for p in &w.pools {
+            assert!(reg.lookup(&p.name).is_some());
+        }
+    }
+
+    #[test]
+    fn unprotected_traces_have_no_protection_ops() {
+        let w = whisper::hashmap(whisper::WhisperScale::test());
+        for t in w.traces(Variant::Unprotected, 3) {
+            assert!(t.ops.iter().all(|o| !o.is_protection()));
+            assert!(t.pmo_access_count() > 0);
+        }
+    }
+
+    #[test]
+    fn auto_traces_carry_conditional_constructs() {
+        let w = whisper::tpcc(whisper::WhisperScale::test());
+        for t in w.traces(Variant::Auto { let_threshold: 4400 }, 3) {
+            let attaches = t
+                .ops
+                .iter()
+                .filter(|o| matches!(o, TraceOp::Attach { .. }))
+                .count();
+            let detaches = t
+                .ops
+                .iter()
+                .filter(|o| matches!(o, TraceOp::Detach { .. }))
+                .count();
+            assert!(attaches > 0);
+            assert_eq!(attaches, detaches, "pairs must balance in the trace");
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Security demo: a probing attacker against MERR and TERP.
+//!
+//! Replays the Table V scenario — an attacker who compromised one thread
+//! probes a 1 GiB PMO for a target object — analytically and by Monte-Carlo
+//! simulation, then shows the dead-time attack surface (Figure 8) that the
+//! 2 µs TEW closes.
+//!
+//! ```sh
+//! cargo run --release --example attack_simulation
+//! ```
+
+use terp_suite::prelude::*;
+use terp_suite::terp_security::attack::{run_merr, run_terp, AttackConfig};
+use terp_suite::terp_security::probability::ProbabilityModel;
+use terp_suite::terp_security::DeadTimeHistogram;
+use terp_suite::terp_workloads::heaplayers::{all, ChurnScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = ProbabilityModel::default();
+    println!(
+        "threat model: 1 GiB PMO ({} bits page entropy), EW {} µs, TEW {} µs, TER {:.1} %\n",
+        model.entropy_bits(),
+        model.ew_us,
+        model.tew_us,
+        model.ter * 100.0
+    );
+
+    for probe_us in [1.0, 0.5, 0.1] {
+        let config = AttackConfig {
+            probe_us,
+            windows: 500_000,
+            ..Default::default()
+        };
+        let merr = run_merr(&config);
+        let terp = run_terp(&config);
+        println!(
+            "probe {probe_us:>4} µs: MERR {:>8.5} % ({} hits), TERP {:>9.6} % ({} hits) — {:>5.1}x stronger",
+            merr.empirical_percent,
+            merr.successful_windows,
+            terp.empirical_percent,
+            terp.successful_windows,
+            model.improvement_factor(probe_us)
+        );
+    }
+    println!(
+        "probe  3.0 µs: impossible under TERP — it exceeds the {} µs TEW\n",
+        model.tew_us
+    );
+
+    // The dead-time surface the TEW is sized against.
+    let params = SimParams::default();
+    let mut hist = DeadTimeHistogram::new();
+    for (i, workload) in all().iter().take(4).enumerate() {
+        let mut reg = PmoRegistry::new();
+        let pmo = reg.create(&format!("arena{i}"), 1 << 30, OpenMode::ReadWrite)?;
+        let trace = workload.trace(pmo, ChurnScale::test(), 99 + i as u64);
+        let report = Executor::new(
+            params.clone(),
+            ProtectionConfig::new(Scheme::Unprotected, 40.0, 2.0),
+        )
+        .run(&mut reg, vec![trace])?;
+        hist.record_lifetimes(&report.lifetimes, params.cycles_per_us());
+    }
+    println!(
+        "dead-time study over {} objects: {:.1} % of last-write->free gaps are >= 2 µs,",
+        hist.total,
+        hist.fraction_at_least(2.0) * 100.0
+    );
+    println!("so a 2 µs TEW covers ~95 % of the persistent-corruption attack surface (paper Figure 8).");
+    Ok(())
+}

@@ -1,0 +1,206 @@
+//! End-to-end pipeline tests: workload program → compiler insertion →
+//! static verification → lowering → protected execution → report, with the
+//! paper's qualitative claims asserted across schemes.
+
+use terp_suite::prelude::*;
+use terp_suite::terp_compiler::verify::verify_protection;
+use terp_suite::terp_workloads::{spec, whisper};
+
+const TEW_CYCLES: u64 = 4400; // 2 µs at 2.2 GHz
+
+fn run(workload: &Workload, scheme: Scheme, variant: Variant, ew_us: f64) -> RunReport {
+    let mut reg = workload.build_registry();
+    let traces = workload.traces(variant, 42);
+    let config = ProtectionConfig::new(scheme, ew_us, 2.0);
+    Executor::new(SimParams::default(), config)
+        .run(&mut reg, traces)
+        .unwrap_or_else(|e| panic!("{} under {scheme}: {e}", workload.name))
+}
+
+fn auto() -> Variant {
+    Variant::Auto {
+        let_threshold: TEW_CYCLES,
+    }
+}
+
+#[test]
+fn every_workload_program_verifies_after_insertion() {
+    for w in whisper::all(whisper::WhisperScale::test())
+        .into_iter()
+        .chain(spec::all(spec::SpecScale::test()))
+    {
+        let inserted = w.program_variant(auto());
+        verify_protection(&inserted).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        // Manual (MM) variants are well-formed too.
+        verify_protection(&w.program).unwrap_or_else(|e| panic!("{} manual: {e}", w.name));
+    }
+}
+
+#[test]
+fn overhead_ordering_tm_exceeds_mm_exceeds_tt() {
+    // The core performance claim of Figures 9–10: TERP insertion without
+    // hardware support (TM) is the most expensive, MERR (MM) sits in the
+    // middle, full TERP (TT) is cheapest.
+    for w in [
+        whisper::redis(whisper::WhisperScale::test()),
+        spec::mcf(spec::SpecScale::test()),
+    ] {
+        let mm = run(&w, Scheme::Merr, Variant::Manual, 40.0);
+        let tm = run(&w, Scheme::TerpSoftware, auto(), 40.0);
+        let tt = run(&w, Scheme::terp_full(), auto(), 40.0);
+        assert!(
+            tm.overhead_fraction() > mm.overhead_fraction(),
+            "{}: TM {} must exceed MM {}",
+            w.name,
+            tm.overhead_fraction(),
+            mm.overhead_fraction()
+        );
+        assert!(
+            tt.overhead_fraction() < mm.overhead_fraction(),
+            "{}: TT {} must undercut MM {}",
+            w.name,
+            tt.overhead_fraction(),
+            mm.overhead_fraction()
+        );
+    }
+}
+
+#[test]
+fn tt_exposure_windows_are_pinned_near_target() {
+    // Table III/IV: TERP's combining produces stable EWs close to (and
+    // never wildly beyond) the target, unlike MERR's erratic windows.
+    for w in whisper::all(whisper::WhisperScale::test()) {
+        let tt = run(&w, Scheme::terp_full(), auto(), 40.0);
+        assert!(
+            tt.ew_avg_us() > 30.0 && tt.ew_avg_us() < 41.0,
+            "{}: TT EW avg {} µs",
+            w.name,
+            tt.ew_avg_us()
+        );
+        // Hardware backstop: max window bounded by target + sweep slack.
+        assert!(
+            tt.ew_max_us() < 45.0,
+            "{}: TT EW max {} µs",
+            w.name,
+            tt.ew_max_us()
+        );
+    }
+}
+
+#[test]
+fn tt_thread_windows_meet_tew_target() {
+    for w in whisper::all(whisper::WhisperScale::test()) {
+        let tt = run(&w, Scheme::terp_full(), auto(), 40.0);
+        assert!(
+            tt.tew_avg_us() < 2.0,
+            "{}: TEW avg {} µs exceeds the 2 µs target",
+            w.name,
+            tt.tew_avg_us()
+        );
+        assert!(
+            tt.thread_exposure_rate < tt.exposure_rate,
+            "{}: TER must undercut ER",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn silent_fraction_matches_paper_range() {
+    // "nearly 90 % of system calls can be avoided".
+    let mut total = 0.0;
+    let mut n = 0.0;
+    for w in whisper::all(whisper::WhisperScale::test())
+        .into_iter()
+        .chain(spec::all(spec::SpecScale::test()))
+    {
+        let tt = run(&w, Scheme::terp_full(), auto(), 40.0);
+        assert!(
+            tt.silent_fraction() > 0.8,
+            "{}: silent fraction {}",
+            w.name,
+            tt.silent_fraction()
+        );
+        total += tt.silent_fraction();
+        n += 1.0;
+    }
+    assert!(total / n > 0.85, "suite average silent fraction {}", total / n);
+}
+
+#[test]
+fn wider_ew_targets_lower_tt_overhead() {
+    // Figures 9–10: TT overhead decreases monotonically-ish from 40 → 160 µs.
+    let w = spec::xz(spec::SpecScale::test());
+    let tt40 = run(&w, Scheme::terp_full(), auto(), 40.0);
+    let tt160 = run(&w, Scheme::terp_full(), auto(), 160.0);
+    assert!(
+        tt160.overhead_fraction() < tt40.overhead_fraction(),
+        "160 µs {} vs 40 µs {}",
+        tt160.overhead_fraction(),
+        tt40.overhead_fraction()
+    );
+}
+
+#[test]
+fn spec_pool_counts_and_exposure_correlation() {
+    // Table IV: more pools → lower per-pool exposure; xz (6 pools) has the
+    // lowest ER of the suite.
+    let reports: Vec<(String, usize, f64)> = spec::all(spec::SpecScale::test())
+        .into_iter()
+        .map(|w| {
+            let r = run(&w, Scheme::terp_full(), auto(), 40.0);
+            (w.name.clone(), w.pools.len(), r.exposure_rate)
+        })
+        .collect();
+    let xz = reports.iter().find(|(n, _, _)| n == "xz").expect("xz present");
+    assert_eq!(xz.1, 6);
+    for (name, _, er) in &reports {
+        if name != "xz" {
+            assert!(
+                *er > xz.2,
+                "{name} ER {er} should exceed xz's {}",
+                xz.2
+            );
+        }
+    }
+}
+
+#[test]
+fn four_thread_ablation_ordering() {
+    // Figure 11: basic semantics ≫ +Cond > +CB.
+    let w = spec::imagick(spec::SpecScale::test()).with_threads(4);
+    let basic = run(&w, Scheme::BasicSemantics, auto(), 40.0);
+    let cond = run(
+        &w,
+        Scheme::TerpFull {
+            window_combining: false,
+        },
+        auto(),
+        40.0,
+    );
+    let full = run(&w, Scheme::terp_full(), auto(), 40.0);
+    assert!(basic.overhead_fraction() > 2.0 * cond.overhead_fraction());
+    assert!(cond.overhead_fraction() > full.overhead_fraction());
+    assert!(basic.blocked_cycles > 0, "threads must serialize under basic");
+    assert_eq!(full.blocked_cycles, 0, "EW-conscious never blocks");
+}
+
+#[test]
+fn unprotected_baseline_is_cheapest_and_unprotected() {
+    let w = whisper::ctree(whisper::WhisperScale::test());
+    let un = run(&w, Scheme::Unprotected, Variant::Unprotected, 40.0);
+    let tt = run(&w, Scheme::terp_full(), auto(), 40.0);
+    assert_eq!(un.overhead_fraction(), 0.0);
+    assert_eq!(un.attach_syscalls, 0);
+    assert!(un.total_cycles < tt.total_cycles);
+}
+
+#[test]
+fn reports_are_deterministic() {
+    let w = whisper::ycsb(whisper::WhisperScale::test());
+    let a = run(&w, Scheme::terp_full(), auto(), 40.0);
+    let b = run(&w, Scheme::terp_full(), auto(), 40.0);
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.attach_syscalls, b.attach_syscalls);
+    assert_eq!(a.randomizations, b.randomizations);
+}

@@ -1,0 +1,174 @@
+//! Cross-crate property tests: randomly generated programs and traces must
+//! uphold the pipeline's invariants — insertion always verifies, lowered
+//! protected programs always execute, and exposure accounting stays sane.
+
+use proptest::prelude::*;
+
+use terp_suite::prelude::*;
+use terp_suite::terp_compiler::insertion::{insert_protection, InsertionConfig};
+use terp_suite::terp_compiler::lower::{lower, LowerConfig};
+use terp_suite::terp_compiler::verify::verify_protection;
+use terp_suite::terp_compiler::FunctionBuilder;
+
+/// A recipe for one random structured program.
+#[derive(Debug, Clone)]
+enum Piece {
+    Compute(u64),
+    Access { pool: u16, write: bool, count: u64 },
+    Branch { prob: u8, then_access: Option<u16>, else_access: Option<u16> },
+    Loop { trips: u64, access: u16, heavy: bool },
+}
+
+fn piece_strategy() -> impl Strategy<Value = Piece> {
+    prop_oneof![
+        (1u64..100_000).prop_map(Piece::Compute),
+        (1u16..4, any::<bool>(), 1u64..8).prop_map(|(pool, write, count)| Piece::Access {
+            pool,
+            write,
+            count
+        }),
+        (0u8..=100, proptest::option::of(1u16..4), proptest::option::of(1u16..4)).prop_map(
+            |(prob, then_access, else_access)| Piece::Branch {
+                prob,
+                then_access,
+                else_access
+            }
+        ),
+        (1u64..20, 1u16..4, any::<bool>()).prop_map(|(trips, access, heavy)| Piece::Loop {
+            trips,
+            access,
+            heavy
+        }),
+    ]
+}
+
+fn build_program(pieces: &[Piece]) -> terp_suite::terp_compiler::Function {
+    let mut b = FunctionBuilder::new("prop");
+    b.compute(100);
+    for piece in pieces {
+        match piece {
+            Piece::Compute(n) => {
+                b.compute(*n);
+            }
+            Piece::Access { pool, write, count } => {
+                let pmo = PmoId::new(*pool).expect("small id");
+                let kind = if *write { AccessKind::Write } else { AccessKind::Read };
+                b.pmo_access(pmo, kind, *count);
+            }
+            Piece::Branch {
+                prob,
+                then_access,
+                else_access,
+            } => {
+                let (t, e) = (*then_access, *else_access);
+                b.if_else(
+                    f64::from(*prob) / 100.0,
+                    |bb| {
+                        if let Some(p) = t {
+                            bb.pmo_access(PmoId::new(p).expect("id"), AccessKind::Read, 2);
+                        } else {
+                            bb.compute(500);
+                        }
+                    },
+                    |bb| {
+                        if let Some(p) = e {
+                            bb.pmo_access(PmoId::new(p).expect("id"), AccessKind::Write, 2);
+                        } else {
+                            bb.compute(500);
+                        }
+                    },
+                );
+            }
+            Piece::Loop { trips, access, heavy } => {
+                let pmo = PmoId::new(*access).expect("id");
+                let extra = if *heavy { 50_000 } else { 200 };
+                b.loop_(Some(*trips), |body| {
+                    body.pmo_access(pmo, AccessKind::Read, 1);
+                    body.if_else(
+                        0.5,
+                        |t| {
+                            t.compute(extra);
+                        },
+                        |_| {},
+                    );
+                });
+            }
+        }
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Insertion on arbitrary structured programs always yields a verified
+    /// protection layout.
+    #[test]
+    fn insertion_always_verifies(pieces in proptest::collection::vec(piece_strategy(), 1..12)) {
+        let program = build_program(&pieces);
+        prop_assert!(program.validate().is_ok());
+        let inserted = insert_protection(&program, &InsertionConfig::default());
+        prop_assert!(
+            verify_protection(&inserted.function).is_ok(),
+            "insertion produced invalid protection: {:?}",
+            verify_protection(&inserted.function)
+        );
+    }
+
+    /// Lowered instrumented programs execute to completion under TT and TM
+    /// with balanced windows and bounded exposure.
+    #[test]
+    fn protected_execution_succeeds(pieces in proptest::collection::vec(piece_strategy(), 1..8)) {
+        let program = build_program(&pieces);
+        let inserted = insert_protection(&program, &InsertionConfig::default());
+        let trace = lower(&inserted.function, &LowerConfig { max_ops: 1 << 20, ..Default::default() });
+        let Ok(trace) = trace else {
+            return Ok(()); // oversized loop nest; the guard fired, fine
+        };
+        let mut reg = PmoRegistry::new();
+        for i in 1..4u16 {
+            reg.create(&format!("p{i}"), 1 << 20, OpenMode::ReadWrite).unwrap();
+        }
+        for scheme in [Scheme::terp_full(), Scheme::TerpSoftware] {
+            let config = ProtectionConfig::new(scheme, 40.0, 2.0);
+            let report = Executor::new(SimParams::default(), config)
+                .run(&mut reg, vec![trace.clone()]);
+            let report = report.expect("well-formed program must execute");
+            // Exposure accounting sanity.
+            prop_assert!(report.exposure_rate <= 1.0 + 1e-9);
+            prop_assert!(report.thread_exposure_rate <= 1.0 + 1e-9);
+            prop_assert!(report.ew.total_cycles <= report.total_cycles.saturating_mul(4));
+        }
+    }
+
+    /// MERR-style manual wrapping of whole programs also executes, and its
+    /// window count matches its syscall count.
+    #[test]
+    fn manual_wrapping_executes(pools in proptest::collection::btree_set(1u16..4, 1..3),
+                                 bursts in 1u64..6) {
+        let mut b = FunctionBuilder::new("manual");
+        for &p in &pools {
+            b.attach(PmoId::new(p).expect("id"), Permission::ReadWrite);
+        }
+        for &p in &pools {
+            b.pmo_access(PmoId::new(p).expect("id"), AccessKind::Write, bursts);
+        }
+        for &p in &pools {
+            b.detach(PmoId::new(p).expect("id"));
+        }
+        let program = b.finish();
+        verify_protection(&program).expect("manual program well-formed");
+        let trace = lower(&program, &LowerConfig::default()).expect("small program");
+        let mut reg = PmoRegistry::new();
+        for i in 1..4u16 {
+            reg.create(&format!("p{i}"), 1 << 20, OpenMode::ReadWrite).unwrap();
+        }
+        let config = ProtectionConfig::new(Scheme::Merr, 40.0, 2.0);
+        let report = Executor::new(SimParams::default(), config)
+            .run(&mut reg, vec![trace])
+            .expect("merr run");
+        prop_assert_eq!(report.attach_syscalls as usize, pools.len());
+        prop_assert_eq!(report.detach_syscalls as usize, pools.len());
+        prop_assert_eq!(report.ew.count as usize, pools.len());
+    }
+}

@@ -1,0 +1,129 @@
+//! Cross-crate security tests: the quantitative claims of Section VII
+//! verified end-to-end through the runtime and analysis crates.
+
+use terp_suite::prelude::*;
+use terp_suite::terp_security::attack::{run_merr, run_terp, AttackConfig};
+use terp_suite::terp_security::gadgets::{scenarios, GadgetCensus};
+use terp_suite::terp_security::probability::ProbabilityModel;
+use terp_suite::terp_security::DeadTimeHistogram;
+use terp_suite::terp_workloads::heaplayers::{all as churn_all, ChurnScale};
+use terp_suite::terp_workloads::{whisper, Variant};
+
+#[test]
+fn table_v_closed_forms_and_monte_carlo_agree() {
+    let model = ProbabilityModel::default();
+    let config = AttackConfig {
+        windows: 1_000_000,
+        ..Default::default()
+    };
+    let merr = run_merr(&config);
+    let terp = run_terp(&config);
+    // MERR ≈ 0.015 %, TERP ≈ 0.0005 %, factor ≈ 30.
+    assert!((model.merr_percent(1.0) - 0.0153).abs() < 0.001);
+    assert!((model.terp_percent(1.0) - 0.00052).abs() < 0.0001);
+    assert!((model.improvement_factor(1.0) - 29.4).abs() < 1.0);
+    // Monte-Carlo within 3σ-ish of analytic.
+    assert!((merr.empirical_percent - model.merr_percent(1.0)).abs() < 0.01);
+    assert!(terp.successful_windows <= merr.successful_windows);
+}
+
+#[test]
+fn figure_8_attack_surface_headline() {
+    let params = SimParams::default();
+    let mut hist = DeadTimeHistogram::new();
+    for (i, w) in churn_all().iter().enumerate() {
+        let mut reg = PmoRegistry::new();
+        let pmo = reg
+            .create(&format!("c{i}"), 1 << 30, OpenMode::ReadWrite)
+            .unwrap();
+        let trace = w.trace(pmo, ChurnScale::test(), 7 + i as u64);
+        let config = ProtectionConfig::new(Scheme::Unprotected, 40.0, 2.0);
+        let report = Executor::new(params.clone(), config)
+            .run(&mut reg, vec![trace])
+            .unwrap();
+        hist.record_lifetimes(&report.lifetimes, params.cycles_per_us());
+    }
+    let frac = hist.fraction_at_least(2.0);
+    assert!(
+        (0.90..=0.99).contains(&frac),
+        "≈95 % of dead times should be ≥ 2 µs, got {frac}"
+    );
+    // The 2 µs TEW target is exactly the attack-surface cut point.
+    assert!(hist.fraction_at_least(1024.0) < 0.2, "tail stays a minority");
+}
+
+#[test]
+fn table_vi_disarm_rates_follow_measured_exposure() {
+    // Run one WHISPER benchmark under TT and MM; the scenario table must be
+    // consistent with the measured rates.
+    let w = whisper::tpcc(whisper::WhisperScale::test());
+    let auto = Variant::Auto { let_threshold: 4400 };
+
+    let mut reg = w.build_registry();
+    let tt = Executor::new(
+        SimParams::default(),
+        ProtectionConfig::new(Scheme::terp_full(), 40.0, 2.0),
+    )
+    .run(&mut reg, w.traces(auto, 42))
+    .unwrap();
+
+    let mut reg = w.build_registry();
+    let mm = Executor::new(
+        SimParams::default(),
+        ProtectionConfig::new(Scheme::Merr, 40.0, 2.0),
+    )
+    .run(&mut reg, w.traces(Variant::Manual, 42))
+    .unwrap();
+
+    let rows = scenarios(tt.thread_exposure_rate, mm.exposure_rate);
+    assert_eq!(rows[0].terp_disarmed, 1.0, "non-overlapping gadgets fully prevented");
+    assert!(
+        rows[1].terp_disarmed > rows[1].merr_disarmed,
+        "TERP must disarm more than MERR"
+    );
+    assert!((rows[1].terp_disarmed - (1.0 - tt.thread_exposure_rate)).abs() < 1e-12);
+
+    // Static census: compiler coverage is total.
+    let census = GadgetCensus::analyze(&w.program_variant(auto)).unwrap();
+    assert!(census.pmo_gadgets > 0);
+    assert_eq!(census.spatial_armed_fraction(), 1.0);
+}
+
+#[test]
+fn randomization_changes_attack_target_between_windows() {
+    // Theorem 6's mechanism, demonstrated on the live address space: the
+    // same ObjectID resolves to different VAs across windows, so location
+    // knowledge cannot carry over.
+    let mut reg = PmoRegistry::new();
+    let pmo = reg.create("target", 1 << 30, OpenMode::ReadWrite).unwrap();
+    let oid = reg.pool_mut(pmo).unwrap().pmalloc(64).unwrap();
+    let mut space = ProcessAddressSpace::with_seed(3);
+
+    let mut addresses = std::collections::HashSet::new();
+    for _ in 0..32 {
+        space
+            .attach(reg.pool_mut(pmo).unwrap(), Permission::ReadWrite)
+            .unwrap();
+        addresses.insert(space.oid_direct(oid).unwrap());
+        space.detach(reg.pool_mut(pmo).unwrap()).unwrap();
+    }
+    assert!(
+        addresses.len() >= 31,
+        "32 windows must use (nearly) 32 distinct addresses, got {}",
+        addresses.len()
+    );
+}
+
+#[test]
+fn tew_bound_rules_out_slow_probes_in_simulation() {
+    let model = ProbabilityModel::default();
+    for x in [2.1, 3.0, 10.0] {
+        assert_eq!(model.terp_percent(x), 0.0, "probe of {x} µs must fail");
+        let config = AttackConfig {
+            probe_us: x,
+            windows: 10_000,
+            ..Default::default()
+        };
+        assert_eq!(run_terp(&config).successful_windows, 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Cross-crate semantics tests: composability scenarios from Section IV —
+//! function nesting (library calls), thread interleavings, and the
+//! contrast between the four semantics on identical call sequences.
+
+use terp_suite::prelude::*;
+use terp_suite::terp_core::semantics::{
+    AccessOutcome, BasicSemantics, CallOutcome, EwConsciousSemantics, FcfsSemantics,
+    OutermostSemantics,
+};
+
+const L: u64 = 88_000;
+
+/// A "library function" that brackets its own PMO work — the function
+/// composability scenario: a caller holding a window calls a library that
+/// also attaches.
+fn library_call_basic(sem: &mut BasicSemantics) -> CallOutcome {
+    let outcome = sem.attach();
+    if outcome.is_valid() {
+        sem.access();
+        sem.detach();
+    }
+    outcome
+}
+
+fn library_call_ew(sem: &mut EwConsciousSemantics, thread: usize, now: u64) -> CallOutcome {
+    // EW-conscious forbids intra-thread overlap, so a well-formed library
+    // runs on its own thread or outside the caller's window; here the
+    // caller passes a dedicated worker thread id.
+    let outcome = sem.attach(thread, Permission::Read, now);
+    if outcome.is_valid() {
+        assert!(sem.access(thread, AccessKind::Read).proceeds());
+        sem.detach(thread, now + 10);
+    }
+    outcome
+}
+
+#[test]
+fn basic_semantics_breaks_function_composability() {
+    // The caller opens a window, then calls a well-formed library: under
+    // Basic semantics the library's attach is invalid and the program is
+    // poisoned — the paper's key criticism.
+    let mut sem = BasicSemantics::new();
+    assert_eq!(sem.attach(), CallOutcome::Performed);
+    let lib = library_call_basic(&mut sem);
+    assert_eq!(lib, CallOutcome::Invalid);
+    assert!(sem.is_poisoned());
+    assert_eq!(sem.access(), AccessOutcome::Undefined);
+}
+
+#[test]
+fn ew_conscious_preserves_function_composability() {
+    // The same nesting under EW-conscious semantics: the inner attach
+    // lowers to a thread grant, nothing breaks, the caller's window
+    // continues.
+    let mut sem = EwConsciousSemantics::new(L);
+    assert_eq!(sem.attach(0, Permission::ReadWrite, 0), CallOutcome::Performed);
+    let lib = library_call_ew(&mut sem, 1, 10);
+    assert_eq!(lib, CallOutcome::Lowered);
+    assert!(sem.is_mapped());
+    assert!(sem.access(0, AccessKind::Write).proceeds());
+    let d = sem.detach(0, L + 100);
+    assert_eq!(d.outcome, CallOutcome::Performed);
+}
+
+#[test]
+fn outermost_nesting_never_errors_but_never_closes_early() {
+    let mut sem = OutermostSemantics::new();
+    sem.attach();
+    for _ in 0..100 {
+        assert!(library_call_outermost(&mut sem).is_valid());
+    }
+    // Still exposed: the outer window absorbed every inner pair.
+    assert!(sem.is_attached());
+    sem.detach();
+    assert!(!sem.is_attached());
+}
+
+fn library_call_outermost(sem: &mut OutermostSemantics) -> CallOutcome {
+    let outcome = sem.attach();
+    sem.detach();
+    outcome
+}
+
+#[test]
+fn fcfs_reattach_blurs_attacker_and_program() {
+    let mut sem = FcfsSemantics::new();
+    sem.attach();
+    sem.detach();
+    // A stray (possibly attacker-triggered) access silently re-exposes.
+    assert_eq!(sem.access(), AccessOutcome::TriggersReattach);
+    assert!(sem.is_attached());
+}
+
+#[test]
+fn interleaved_threads_compose_only_under_ew_conscious() {
+    // Thread A and thread B both run well-formed attach/access/detach
+    // sequences, interleaved. Basic semantics errors at B's attach; the
+    // EW-conscious machine performs/lowers them all.
+    let mut basic = BasicSemantics::new();
+    assert_eq!(basic.attach(), CallOutcome::Performed); // A
+    assert_eq!(basic.attach(), CallOutcome::Invalid); // B — crash in real life
+
+    let mut ew = EwConsciousSemantics::new(L);
+    assert!(ew.attach(0, Permission::Read, 0).is_valid()); // A
+    assert!(ew.attach(1, Permission::Read, 1).is_valid()); // B (lowered)
+    assert!(ew.access(0, AccessKind::Read).proceeds());
+    assert!(ew.access(1, AccessKind::Read).proceeds());
+    assert!(ew.detach(0, 2).outcome.is_valid());
+    assert!(ew.detach(1, 3).outcome.is_valid());
+}
+
+#[test]
+fn recursion_under_ew_conscious_is_detected_per_thread() {
+    // Recursive attach on the SAME thread is an intra-thread overlap —
+    // EW-conscious rejects it deterministically instead of undefined
+    // behaviour.
+    let mut ew = EwConsciousSemantics::new(L);
+    assert_eq!(ew.attach(0, Permission::Read, 0), CallOutcome::Performed);
+    assert_eq!(ew.attach(0, Permission::Read, 1), CallOutcome::Invalid);
+    // The original window is untouched by the failed attach.
+    assert!(ew.access(0, AccessKind::Read).proceeds());
+}
+
+#[test]
+fn runtime_enforces_ew_conscious_distinctions_end_to_end() {
+    // The three PMO data states of Section VII-D, driven through the full
+    // executor: detached (segfault), attached without thread permission
+    // (denied), attached with permission (works).
+    let mut reg = PmoRegistry::new();
+    let pmo = reg.create("states", 1 << 20, OpenMode::ReadWrite).unwrap();
+
+    // Thread 0 opens a window and holds it; thread 1 accesses without ever
+    // attaching → denied by thread permission even though the PMO is mapped.
+    let t0 = ThreadTrace::from_ops(vec![
+        TraceOp::Attach {
+            pmo,
+            perm: Permission::ReadWrite,
+        },
+        TraceOp::Compute { instrs: 200_000 },
+        TraceOp::PmoAccess {
+            oid: ObjectId::new(pmo, 0),
+            kind: AccessKind::Write,
+            tag: None,
+        },
+        TraceOp::Detach { pmo },
+    ]);
+    let t1 = ThreadTrace::from_ops(vec![
+        TraceOp::Compute { instrs: 50_000 },
+        TraceOp::PmoAccess {
+            oid: ObjectId::new(pmo, 64),
+            kind: AccessKind::Read,
+            tag: None,
+        },
+    ]);
+    let config = ProtectionConfig::terp_default();
+    let err = Executor::new(SimParams::default(), config)
+        .run(&mut reg, vec![t0, t1])
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            terp_suite::terp_core::runtime::RunError::AccessDenied { thread: 1, .. }
+        ),
+        "got {err:?}"
+    );
+}

@@ -1,0 +1,194 @@
+//! Cross-crate substrate tests: the PMO properties of Section II working
+//! *together* — crash consistency, pointer-rich persistent structures,
+//! namespace permissions, and the functional protection session.
+
+use std::collections::BTreeSet;
+
+use terp_suite::prelude::*;
+use terp_suite::terp_core::session::{PmoSession, SessionError};
+use terp_suite::terp_pmo::acl::{AclRegistry, PoolAcl};
+use terp_suite::terp_pmo::collections::{PList, PVec};
+use terp_suite::terp_pmo::txn::{recover, Transaction};
+
+#[test]
+fn transactional_updates_to_a_persistent_vector_survive_crashes() {
+    // A PVec updated through undo-log transactions: a committed transfer
+    // sticks, a crashed one rolls back — through the *collection's* slots.
+    let mut reg = PmoRegistry::new();
+    let pmo = reg.create("txvec", 1 << 20, OpenMode::ReadWrite).unwrap();
+    let v = PVec::create(reg.pool_mut(pmo).unwrap()).unwrap();
+    for i in 0..8u64 {
+        v.push(reg.pool_mut(pmo).unwrap(), i * 10).unwrap();
+    }
+
+    // Committed: swap slots 2 and 5 atomically.
+    {
+        let s2 = v.slot_offset(reg.pool(pmo).unwrap(), 2).unwrap();
+        let s5 = v.slot_offset(reg.pool(pmo).unwrap(), 5).unwrap();
+        let mut tx = Transaction::begin(reg.pool_mut(pmo).unwrap()).unwrap();
+        tx.write(s2, &50u64.to_le_bytes()).unwrap();
+        tx.write(s5, &20u64.to_le_bytes()).unwrap();
+        tx.commit().unwrap();
+    }
+    assert_eq!(v.get(reg.pool(pmo).unwrap(), 2).unwrap(), Some(50));
+    assert_eq!(v.get(reg.pool(pmo).unwrap(), 5).unwrap(), Some(20));
+
+    // Crashed: half-applied swap must disappear after recovery.
+    let before = v.to_vec(reg.pool(pmo).unwrap()).unwrap();
+    {
+        let s0 = v.slot_offset(reg.pool(pmo).unwrap(), 0).unwrap();
+        let mut tx = Transaction::begin(reg.pool_mut(pmo).unwrap()).unwrap();
+        tx.write(s0, &999u64.to_le_bytes()).unwrap();
+        tx.crash();
+    }
+    assert_eq!(recover(reg.pool_mut(pmo).unwrap()).unwrap(), 1);
+    assert_eq!(v.to_vec(reg.pool(pmo).unwrap()).unwrap(), before);
+}
+
+#[test]
+fn linked_list_survives_close_reopen_and_relocation() {
+    let mut reg = PmoRegistry::new();
+    let pmo = reg.create("plist", 1 << 20, OpenMode::ReadWrite).unwrap();
+    let list = PList::create(reg.pool_mut(pmo).unwrap()).unwrap();
+    for i in 0..16u64 {
+        list.push_front(reg.pool_mut(pmo).unwrap(), i).unwrap();
+    }
+    let head_slot = list.head_slot();
+
+    // "Process restart": close, reopen by name, rebuild the handle from the
+    // persistent head-slot id.
+    reg.close(pmo).unwrap();
+    reg.open("plist", OpenMode::ReadWrite).unwrap();
+    let reopened = PList::from_head_slot(head_slot);
+    let walked = reopened.to_vec(reg.pool(pmo).unwrap()).unwrap();
+    assert_eq!(walked.len(), 16);
+    assert_eq!(walked[0], 15, "LIFO order preserved across reopen");
+
+    // And across randomized re-mapping.
+    let mut space = ProcessAddressSpace::with_seed(9);
+    space
+        .attach(reg.pool_mut(pmo).unwrap(), Permission::ReadWrite)
+        .unwrap();
+    space.randomize(reg.pool_mut(pmo).unwrap()).unwrap();
+    assert_eq!(reopened.to_vec(reg.pool(pmo).unwrap()).unwrap(), walked);
+}
+
+#[test]
+fn acl_gates_the_namespace_before_any_window_exists() {
+    // The Figure 2 poset top level: a user without an ACL grant cannot even
+    // open the pool, regardless of attach/thread state below.
+    let mut reg = PmoRegistry::new();
+    let pmo = reg.create("classified", 1 << 16, OpenMode::ReadWrite).unwrap();
+
+    let mut acls = AclRegistry::new();
+    acls.set(pmo, PoolAcl::new(1000));
+    acls.acl_mut(pmo).unwrap().grant_group(77, OpenMode::ReadOnly);
+
+    let analysts: BTreeSet<u32> = [77].into_iter().collect();
+    let nobody: BTreeSet<u32> = BTreeSet::new();
+
+    // Owner: read-write. Group member: read-only. Stranger: nothing.
+    assert!(acls.check_open(pmo, 1000, &nobody, OpenMode::ReadWrite).is_ok());
+    assert!(acls.check_open(pmo, 2000, &analysts, OpenMode::ReadOnly).is_ok());
+    assert!(acls
+        .check_open(pmo, 2000, &analysts, OpenMode::ReadWrite)
+        .is_err());
+    assert!(acls.check_open(pmo, 3000, &nobody, OpenMode::ReadOnly).is_err());
+
+    // Revoking the group is the coarsest depriving construct.
+    acls.acl_mut(pmo).unwrap().revoke_group(77);
+    assert!(acls
+        .check_open(pmo, 2000, &analysts, OpenMode::ReadOnly)
+        .is_err());
+}
+
+#[test]
+fn session_protected_kv_round_trip_with_expiring_windows() {
+    // A miniature protected application: a session-guarded counter array
+    // updated across many short windows, with a long-lived reader thread
+    // forcing in-place randomizations.
+    let mut reg = PmoRegistry::new();
+    let pmo = reg.create("counters", 1 << 20, OpenMode::ReadWrite).unwrap();
+    let counters = PVec::create(reg.pool_mut(pmo).unwrap()).unwrap();
+    for _ in 0..4 {
+        counters.push(reg.pool_mut(pmo).unwrap(), 0).unwrap();
+    }
+    let mut session = PmoSession::with_seed(reg, 500, 0xfeed);
+
+    // Reader thread holds a long window; writer opens short ones.
+    session.attach(1, pmo, Permission::Read).unwrap();
+    for round in 0..20u64 {
+        session.attach(0, pmo, Permission::ReadWrite).unwrap();
+        let idx = round % 4;
+        let slot = {
+            let pool = session.registry().pool(pmo).unwrap();
+            let current = counters.get(pool, idx).unwrap().unwrap();
+            let off = counters.slot_offset(pool, idx).unwrap();
+            (off, current)
+        };
+        session
+            .write(0, ObjectId::new(pmo, slot.0), &(slot.1 + 1).to_le_bytes())
+            .unwrap();
+        session.advance(600); // beyond L=500: every detach wants to close
+        session.detach(0, pmo).unwrap(); // reader still holds → randomize
+    }
+    assert!(
+        session.randomizations() >= 10,
+        "expired shared windows must randomize (got {})",
+        session.randomizations()
+    );
+
+    // The reader sees the accumulated counts; each counter hit 5 times.
+    let mut buf = [0u8; 8];
+    for idx in 0..4u64 {
+        let off = counters
+            .slot_offset(session.registry().pool(pmo).unwrap(), idx)
+            .unwrap();
+        session.read(1, ObjectId::new(pmo, off), &mut buf).unwrap();
+        assert_eq!(u64::from_le_bytes(buf), 5, "counter {idx}");
+    }
+    session.advance(600);
+    session.detach(1, pmo).unwrap();
+
+    // All windows closed: the data is now unreachable (three-state model).
+    assert!(matches!(
+        session.read(1, ObjectId::new(pmo, 0), &mut buf).unwrap_err(),
+        SessionError::Unmapped(_)
+    ));
+}
+
+#[test]
+fn transaction_inside_a_session_window() {
+    // Crash consistency and temporal protection compose: the transaction
+    // runs against the pool while the session window is open; recovery
+    // works in a later window.
+    let mut reg = PmoRegistry::new();
+    let pmo = reg.create("combo", 1 << 20, OpenMode::ReadWrite).unwrap();
+    let cell = reg.pool_mut(pmo).unwrap().pmalloc(16).unwrap();
+    reg.pool_mut(pmo)
+        .unwrap()
+        .write_bytes(cell.offset(), b"stable!!")
+        .unwrap();
+    let mut session = PmoSession::new(reg, 1000);
+
+    // Window 1: a transaction crashes mid-update.
+    session.attach(0, pmo, Permission::ReadWrite).unwrap();
+    {
+        let pool = session.registry_mut().pool_mut(pmo).unwrap();
+        let mut tx = Transaction::begin(pool).unwrap();
+        tx.write(cell.offset(), b"torn....").unwrap();
+        tx.crash();
+    }
+    session.advance(2000);
+    session.detach(0, pmo).unwrap();
+
+    // Window 2: recover, then read through the protected path.
+    session.attach(0, pmo, Permission::ReadWrite).unwrap();
+    let rolled = recover(session.registry_mut().pool_mut(pmo).unwrap()).unwrap();
+    assert_eq!(rolled, 1);
+    let mut buf = [0u8; 8];
+    session.read(0, cell, &mut buf).unwrap();
+    assert_eq!(&buf, b"stable!!");
+    session.advance(2000);
+    session.detach(0, pmo).unwrap();
+}
