@@ -1,0 +1,552 @@
+//! The diagnostics engine: structured findings with stable lint codes,
+//! severities, and IR locations, rendered rustc-style for humans or as JSON
+//! for machines.
+//!
+//! Every analysis in this crate (and the per-function verifier in
+//! `terp-compiler`, through [`Diagnostic::from_protection_error`]) reports
+//! through this engine, so CI and editors see one uniform format. Lint codes
+//! are stable identifiers: the `TERP-E0xx` band is the per-function
+//! well-formedness contract, `TERP-E1xx` its interprocedural extension, and
+//! `TERP-W0xx`/`TERP-N0xx` are advisory findings.
+
+use serde::{Deserialize, Serialize};
+
+use terp_compiler::ir::BlockId;
+use terp_compiler::verify::ProtectionError;
+
+use crate::json::{Json, JsonError};
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Contract violation: the program is not well-formed TERP.
+    Error,
+    /// Suspicious but not necessarily wrong (e.g. a LET budget the timer
+    /// backstop will absorb).
+    Warning,
+    /// Informational finding (e.g. gadget census entries).
+    Note,
+}
+
+impl Severity {
+    /// Lowercase label used in rendering ("error" / "warning" / "note").
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+
+    /// Parses a rendering label back into a severity.
+    pub fn from_label(label: &str) -> Option<Severity> {
+        match label {
+            "error" => Some(Severity::Error),
+            "warning" => Some(Severity::Warning),
+            "note" => Some(Severity::Note),
+            _ => None,
+        }
+    }
+}
+
+/// An IR location: function plus optional block and instruction index.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Span {
+    /// Function name.
+    pub function: String,
+    /// Block within the function, if the finding is that precise.
+    pub block: Option<BlockId>,
+    /// Instruction index within the block, if that precise.
+    pub instr: Option<usize>,
+}
+
+impl Span {
+    /// Function-level span.
+    pub fn function(name: impl Into<String>) -> Span {
+        Span {
+            function: name.into(),
+            block: None,
+            instr: None,
+        }
+    }
+
+    /// Block-level span.
+    pub fn block(name: impl Into<String>, block: BlockId) -> Span {
+        Span {
+            function: name.into(),
+            block: Some(block),
+            instr: None,
+        }
+    }
+
+    /// Instruction-level span.
+    pub fn instr(name: impl Into<String>, block: BlockId, instr: usize) -> Span {
+        Span {
+            function: name.into(),
+            block: Some(block),
+            instr: Some(instr),
+        }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.function)?;
+        if let Some(b) = self.block {
+            write!(f, ":bb{b}")?;
+            if let Some(i) = self.instr {
+                write!(f, ":{i}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable lint code, e.g. `TERP-E105`.
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// One-line description of the finding.
+    pub message: String,
+    /// Primary location.
+    pub span: Span,
+    /// Secondary context lines ("window opened here: …").
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Builds a finding; the code must come from [`LINTS`].
+    pub fn new(
+        code: &'static str,
+        severity: Severity,
+        span: Span,
+        message: impl Into<String>,
+    ) -> Self {
+        debug_assert!(
+            lint_description(code).is_some(),
+            "unregistered lint code {code}"
+        );
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a secondary note line.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Lifts a per-function [`ProtectionError`] into the shared diagnostics
+    /// vocabulary — same codes, same rendering as the interprocedural lints.
+    pub fn from_protection_error(function: &str, err: &ProtectionError) -> Diagnostic {
+        Diagnostic::new(
+            // The verifier's code() strings are the registered TERP-E00x
+            // entries; map back to the canonical &'static str.
+            canonical_code(err.code()).expect("verifier codes are registered"),
+            Severity::Error,
+            Span::block(function, err.block()),
+            err.message(),
+        )
+    }
+
+    /// Renders this finding rustc-style, e.g.:
+    ///
+    /// ```text
+    /// error[TERP-E005]: return with open windows [pmo1]
+    ///   --> redis:bb4
+    ///   note: window opened here: redis:bb0:2
+    /// ```
+    pub fn render_human(&self) -> String {
+        let mut out = format!(
+            "{}[{}]: {}\n  --> {}\n",
+            self.severity.label(),
+            self.code,
+            self.message,
+            self.span
+        );
+        for note in &self.notes {
+            out.push_str("  note: ");
+            out.push_str(note);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Converts to a JSON tree.
+    pub fn to_json(&self) -> Json {
+        let mut span = vec![("function", Json::Str(self.span.function.clone()))];
+        if let Some(b) = self.span.block {
+            span.push(("block", Json::Num(b as f64)));
+        }
+        if let Some(i) = self.span.instr {
+            span.push(("instr", Json::Num(i as f64)));
+        }
+        Json::obj([
+            ("code", Json::Str(self.code.to_string())),
+            ("severity", Json::Str(self.severity.label().to_string())),
+            ("message", Json::Str(self.message.clone())),
+            ("span", Json::obj(span)),
+            (
+                "notes",
+                Json::Arr(self.notes.iter().cloned().map(Json::Str).collect()),
+            ),
+        ])
+    }
+
+    /// Rebuilds a finding from [`Diagnostic::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] naming the missing or ill-typed field.
+    pub fn from_json(v: &Json) -> Result<Diagnostic, JsonError> {
+        let field_err = |m: &str| JsonError {
+            offset: 0,
+            message: m.to_string(),
+        };
+        let code_str = v
+            .get("code")
+            .and_then(Json::as_str)
+            .ok_or_else(|| field_err("missing code"))?;
+        let code = canonical_code(code_str).ok_or_else(|| field_err("unknown lint code"))?;
+        let severity = v
+            .get("severity")
+            .and_then(Json::as_str)
+            .and_then(Severity::from_label)
+            .ok_or_else(|| field_err("missing or bad severity"))?;
+        let message = v
+            .get("message")
+            .and_then(Json::as_str)
+            .ok_or_else(|| field_err("missing message"))?
+            .to_string();
+        let span_v = v.get("span").ok_or_else(|| field_err("missing span"))?;
+        let span = Span {
+            function: span_v
+                .get("function")
+                .and_then(Json::as_str)
+                .ok_or_else(|| field_err("missing span.function"))?
+                .to_string(),
+            block: span_v
+                .get("block")
+                .and_then(Json::as_num)
+                .map(|n| n as BlockId),
+            instr: span_v
+                .get("instr")
+                .and_then(Json::as_num)
+                .map(|n| n as usize),
+        };
+        let notes = match v.get("notes") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|n| {
+                    n.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| field_err("non-string note"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => Vec::new(),
+        };
+        Ok(Diagnostic {
+            code,
+            severity,
+            message,
+            span,
+            notes,
+        })
+    }
+}
+
+/// The lint registry: every stable code with its one-line description.
+pub const LINTS: &[(&str, &str)] = &[
+    (
+        "TERP-E001",
+        "attach of an already-attached pool (overlapping pairs)",
+    ),
+    ("TERP-E002", "detach with no matching open window"),
+    ("TERP-E003", "PMO access outside any window"),
+    ("TERP-E004", "paths join with different window states"),
+    (
+        "TERP-E005",
+        "return with windows still open (leaked window)",
+    ),
+    (
+        "TERP-E101",
+        "call attaches a pool the caller already holds open",
+    ),
+    ("TERP-E102", "call detaches a pool closed on this path"),
+    (
+        "TERP-E103",
+        "whole-program path reaches a PMO access with no window",
+    ),
+    ("TERP-E104", "call-return paths disagree on window state"),
+    (
+        "TERP-E105",
+        "window leaks across function returns to program exit",
+    ),
+    ("TERP-E106", "malformed call graph (dangling callee index)"),
+    (
+        "TERP-W001",
+        "region worst-case LET exceeds the exposure budget",
+    ),
+    (
+        "TERP-W002",
+        "two threads can hold concurrent writable windows on one pool",
+    ),
+    (
+        "TERP-W003",
+        "recursive call cycle: window analysis is conservative here",
+    ),
+    (
+        "TERP-N001",
+        "gadget census: armed PMO-access sites inside windows",
+    ),
+];
+
+/// Description for a lint code, or `None` if unregistered.
+pub fn lint_description(code: &str) -> Option<&'static str> {
+    LINTS.iter().find(|(c, _)| *c == code).map(|(_, d)| *d)
+}
+
+/// Maps a code string to its canonical `&'static str` from [`LINTS`].
+pub fn canonical_code(code: &str) -> Option<&'static str> {
+    LINTS.iter().find(|(c, _)| *c == code).map(|(c, _)| *c)
+}
+
+/// An ordered collection of findings with counting, rendering, and JSON I/O.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiagnosticBag {
+    diags: Vec<Diagnostic>,
+}
+
+impl DiagnosticBag {
+    /// An empty bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    /// Adds many findings.
+    pub fn extend(&mut self, other: DiagnosticBag) {
+        self.diags.extend(other.diags);
+    }
+
+    /// All findings, in insertion order (sort with [`Self::sort`]).
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter()
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// Whether the bag holds no findings.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// Whether any error-severity finding is present.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Sorts by severity (errors first), then location, then code — the
+    /// order both renderers emit.
+    pub fn sort(&mut self) {
+        self.diags.sort_by(|a, b| {
+            (
+                a.severity,
+                &a.span.function,
+                a.span.block,
+                a.span.instr,
+                a.code,
+            )
+                .cmp(&(
+                    b.severity,
+                    &b.span.function,
+                    b.span.block,
+                    b.span.instr,
+                    b.code,
+                ))
+        });
+    }
+
+    /// Renders every finding rustc-style plus a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diags {
+            out.push_str(&d.render_human());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} note(s)\n",
+            self.error_count(),
+            self.warning_count(),
+            self.count(Severity::Note),
+        ));
+        out
+    }
+
+    /// Serializes the bag as a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "diagnostics",
+                Json::Arr(self.diags.iter().map(Diagnostic::to_json).collect()),
+            ),
+            ("errors", Json::Num(self.error_count() as f64)),
+            ("warnings", Json::Num(self.warning_count() as f64)),
+        ])
+    }
+
+    /// Rebuilds a bag from [`Self::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] if the document shape or any entry is invalid.
+    pub fn from_json(v: &Json) -> Result<DiagnosticBag, JsonError> {
+        let items = v
+            .get("diagnostics")
+            .and_then(Json::as_arr)
+            .ok_or(JsonError {
+                offset: 0,
+                message: "missing diagnostics array".to_string(),
+            })?;
+        let diags = items
+            .iter()
+            .map(Diagnostic::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(DiagnosticBag { diags })
+    }
+}
+
+impl FromIterator<Diagnostic> for DiagnosticBag {
+    fn from_iter<I: IntoIterator<Item = Diagnostic>>(iter: I) -> Self {
+        DiagnosticBag {
+            diags: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic::new(
+            "TERP-E105",
+            Severity::Error,
+            Span::instr("leaf", 2, 1),
+            "window leaks to program exit",
+        )
+        .with_note("window opened here: util:bb0:0")
+    }
+
+    #[test]
+    fn human_rendering_is_rustc_shaped() {
+        let text = sample().render_human();
+        assert!(text.starts_with("error[TERP-E105]: window leaks"));
+        assert!(text.contains("--> leaf:bb2:1"));
+        assert!(text.contains("note: window opened here"));
+    }
+
+    #[test]
+    fn diagnostic_json_round_trips() {
+        let d = sample();
+        let back = Diagnostic::from_json(&d.to_json()).unwrap();
+        assert_eq!(back, d);
+        // And through actual text, not just the tree.
+        let text = d.to_json().render();
+        let reparsed = Diagnostic::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(reparsed, d);
+    }
+
+    #[test]
+    fn bag_json_round_trips_and_counts() {
+        let mut bag = DiagnosticBag::new();
+        bag.push(sample());
+        bag.push(Diagnostic::new(
+            "TERP-W001",
+            Severity::Warning,
+            Span::function("main"),
+            "LET 9000 over budget 4400",
+        ));
+        let text = bag.to_json().render();
+        let back = DiagnosticBag::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, bag);
+        assert_eq!(bag.error_count(), 1);
+        assert_eq!(bag.warning_count(), 1);
+        assert!(bag.has_errors());
+    }
+
+    #[test]
+    fn sort_orders_errors_first() {
+        let mut bag = DiagnosticBag::new();
+        bag.push(Diagnostic::new(
+            "TERP-N001",
+            Severity::Note,
+            Span::function("a"),
+            "note",
+        ));
+        bag.push(sample());
+        bag.sort();
+        assert_eq!(bag.iter().next().unwrap().severity, Severity::Error);
+    }
+
+    #[test]
+    fn protection_errors_map_to_registered_codes() {
+        use terp_pmo::PmoId;
+        let err = ProtectionError::LeakedWindow {
+            block: 3,
+            open: vec![PmoId::new(1).unwrap()],
+        };
+        let d = Diagnostic::from_protection_error("f", &err);
+        assert_eq!(d.code, "TERP-E005");
+        assert_eq!(d.span, Span::block("f", 3));
+        assert!(lint_description(d.code).is_some());
+    }
+
+    #[test]
+    fn every_lint_code_is_unique_and_banded() {
+        let mut seen = std::collections::BTreeSet::new();
+        for (code, desc) in LINTS {
+            assert!(seen.insert(code), "duplicate {code}");
+            assert!(code.starts_with("TERP-"), "{code}");
+            assert!(!desc.is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_codes_fail_json_decoding() {
+        let mut j = sample().to_json();
+        if let Json::Obj(m) = &mut j {
+            m.insert("code".into(), Json::Str("TERP-X999".into()));
+        }
+        assert!(Diagnostic::from_json(&j).is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! Shared tolerant window dataflow: per-block open-pool sets.
+//!
+//! Unlike the verifying passes, this analysis never reports — it computes,
+//! for each block, the set of pools that *may* be open at block entry,
+//! joining with set union so malformed programs still get a usable
+//! over-approximation. The LET-budget checker and the static gadget census
+//! both consume it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use terp_compiler::cfg::Cfg;
+use terp_compiler::ir::{FuncId, Function, Instr};
+use terp_pmo::PmoId;
+
+use crate::interproc::Summary;
+
+/// Applies one instruction's effect to an open-pool set, using `summaries`
+/// for call effects (missing or cyclic callees are window-neutral).
+pub(crate) fn transfer(
+    instr: &Instr,
+    open: &mut BTreeSet<PmoId>,
+    summaries: &BTreeMap<FuncId, Summary>,
+) {
+    match instr {
+        Instr::Attach { pmo, .. } => {
+            open.insert(*pmo);
+        }
+        Instr::Detach { pmo } => {
+            open.remove(pmo);
+        }
+        Instr::Call { callee } => {
+            if let Some(s) = summaries.get(callee) {
+                for (pmo, is_open) in &s.exit_open {
+                    if *is_open {
+                        open.insert(*pmo);
+                    } else {
+                        open.remove(pmo);
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// May-open pool set at the entry of every block of `func`, to a union-join
+/// fixpoint. `entry_open` seeds the function's entry block (pools the
+/// function's summary assumes open at entry).
+pub(crate) fn block_open_sets(
+    func: &Function,
+    entry_open: &BTreeSet<PmoId>,
+    summaries: &BTreeMap<FuncId, Summary>,
+) -> Vec<BTreeSet<PmoId>> {
+    let cfg = Cfg::new(func);
+    let n = func.blocks.len();
+    let mut entry: Vec<BTreeSet<PmoId>> = vec![BTreeSet::new(); n];
+    entry[func.entry] = entry_open.clone();
+    let mut dirty = vec![func.entry];
+    let mut seen = vec![false; n];
+    seen[func.entry] = true;
+
+    while let Some(b) = dirty.pop() {
+        let mut open = entry[b].clone();
+        for instr in &func.blocks[b].instrs {
+            transfer(instr, &mut open, summaries);
+        }
+        for &s in &cfg.succs[b] {
+            let before = entry[s].len();
+            entry[s].extend(open.iter().copied());
+            if entry[s].len() != before || !seen[s] {
+                seen[s] = true;
+                dirty.push(s);
+            }
+        }
+    }
+    entry
+}

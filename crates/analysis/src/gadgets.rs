@@ -1,0 +1,226 @@
+//! Static gadget-reachability census (`TERP-N001`, Table VI).
+//!
+//! `terp-security`'s [`GadgetCensus`] counts data-only gadget sites in one
+//! verified function by replaying the per-function verifier's proof. This
+//! pass ports that census onto whole programs without requiring a proof or
+//! a simulation run: it walks every reachable function with the tolerant
+//! may-open window dataflow, classifies each PMO-access site as armed
+//! (inside a window, reachable by an attacker holding the thread's
+//! permission) or spatially disarmed, and additionally weights each site by
+//! its static execution-count estimate (loop trip products × access count)
+//! — the static analogue of the paper's gadget-opportunity measurement.
+//!
+//! For single-function programs the unweighted counts agree exactly with
+//! `terp_security::GadgetCensus::analyze`; a cross-validation test pins
+//! that equivalence.
+//!
+//! [`GadgetCensus`]: https://docs.rs/terp-security
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use terp_compiler::ir::{FuncId, Instr};
+use terp_compiler::loops::LoopForest;
+
+use crate::diag::{Diagnostic, DiagnosticBag, Severity, Span};
+use crate::flow::{block_open_sets, transfer};
+use crate::interproc::Summary;
+use crate::program::Program;
+
+/// Whole-program gadget counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticGadgetCensus {
+    /// PMO-access instructions (potential data-only gadgets on PMO data).
+    pub pmo_sites: usize,
+    /// Of those, inside a window on every pool they may touch (armed while
+    /// the window is open; the temporal attack surface).
+    pub armed_sites: usize,
+    /// Volatile-memory access instructions (outside TERP's scope, counted
+    /// for Table VI context).
+    pub volatile_sites: usize,
+    /// PMO accesses weighted by static execution count: loop trip products
+    /// times per-execution access count.
+    pub weighted_pmo: u64,
+    /// The weighted count for armed sites only.
+    pub weighted_armed: u64,
+}
+
+impl StaticGadgetCensus {
+    /// Fraction of PMO gadget sites that sit inside a window — 1.0 for
+    /// compiler-inserted programs by construction.
+    pub fn spatial_armed_fraction(&self) -> f64 {
+        if self.pmo_sites == 0 {
+            0.0
+        } else {
+            self.armed_sites as f64 / self.pmo_sites as f64
+        }
+    }
+}
+
+/// Runs the census over every function reachable from the root and emits
+/// one `TERP-N001` note summarizing the counts.
+pub fn gadget_census(
+    program: &Program,
+    summaries: &BTreeMap<FuncId, Summary>,
+) -> (StaticGadgetCensus, DiagnosticBag) {
+    let mut census = StaticGadgetCensus::default();
+    for f in program.reachable() {
+        let func = &program.functions[f];
+        let forest = LoopForest::find(func);
+        let entry_open: BTreeSet<_> = summaries
+            .get(&f)
+            .map(|s| {
+                s.requires
+                    .iter()
+                    .filter(|(_, r)| r.req.entry_open())
+                    .map(|(p, _)| *p)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let open_sets = block_open_sets(func, &entry_open, summaries);
+
+        for (b, block) in func.blocks.iter().enumerate() {
+            let trips = forest.trip_product(b);
+            let mut open = open_sets[b].clone();
+            for instr in &block.instrs {
+                match instr {
+                    Instr::PmoAccess { count, .. } | Instr::PmoAccessMay { count, .. } => {
+                        let weight = count.saturating_mul(trips);
+                        census.pmo_sites += 1;
+                        census.weighted_pmo = census.weighted_pmo.saturating_add(weight);
+                        if instr.may_access_pmos().iter().all(|p| open.contains(p)) {
+                            census.armed_sites += 1;
+                            census.weighted_armed = census.weighted_armed.saturating_add(weight);
+                        }
+                    }
+                    Instr::DramAccess { .. } => census.volatile_sites += 1,
+                    _ => transfer(instr, &mut open, summaries),
+                }
+            }
+        }
+    }
+
+    let mut bag = DiagnosticBag::new();
+    bag.push(
+        Diagnostic::new(
+            "TERP-N001",
+            Severity::Note,
+            Span::function(&program.root_fn().name),
+            format!(
+                "gadget census: {}/{} PMO-access sites armed inside windows \
+                 ({:.1}% spatially armed); trip-weighted {}/{} accesses",
+                census.armed_sites,
+                census.pmo_sites,
+                100.0 * census.spatial_armed_fraction(),
+                census.weighted_armed,
+                census.weighted_pmo,
+            ),
+        )
+        .with_note(format!(
+            "{} volatile-memory gadget sites are outside TERP's scope",
+            census.volatile_sites
+        )),
+    );
+    (census, bag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interproc::check_interprocedural;
+    use terp_compiler::builder::FunctionBuilder;
+    use terp_compiler::insertion::{insert_protection, InsertionConfig};
+    use terp_pmo::{AccessKind, Permission, PmoId};
+
+    fn pmo(n: u16) -> PmoId {
+        PmoId::new(n).unwrap()
+    }
+
+    fn census_of(program: &Program) -> StaticGadgetCensus {
+        let r = check_interprocedural(program);
+        gadget_census(program, &r.summaries).0
+    }
+
+    #[test]
+    fn covered_and_uncovered_sites_are_distinguished() {
+        // One access inside a window, one after the window closes.
+        let mut b = FunctionBuilder::new("mix");
+        b.attach(pmo(1), Permission::ReadWrite);
+        b.pmo_access(pmo(1), AccessKind::Write, 3);
+        b.detach(pmo(1));
+        b.pmo_access(pmo(1), AccessKind::Read, 5);
+        let c = census_of(&Program::single(b.finish()));
+        assert_eq!(c.pmo_sites, 2);
+        assert_eq!(c.armed_sites, 1);
+        assert_eq!(c.weighted_pmo, 8);
+        assert_eq!(c.weighted_armed, 3);
+        assert_eq!(c.spatial_armed_fraction(), 0.5);
+    }
+
+    #[test]
+    fn loop_trips_weight_the_census() {
+        let mut b = FunctionBuilder::new("looped");
+        b.attach(pmo(1), Permission::Read);
+        b.loop_(Some(10), |body| {
+            body.pmo_access(pmo(1), AccessKind::Read, 2);
+        });
+        b.detach(pmo(1));
+        b.dram_access(terp_compiler::AddrPattern::Fixed(0), 1);
+        let c = census_of(&Program::single(b.finish()));
+        assert_eq!(c.pmo_sites, 1);
+        assert_eq!(c.weighted_pmo, 20, "2 accesses x 10 trips");
+        assert_eq!(c.weighted_armed, 20);
+        assert_eq!(c.volatile_sites, 1);
+    }
+
+    #[test]
+    fn windows_opened_by_callees_arm_caller_sites() {
+        let mut root = FunctionBuilder::new("root");
+        root.call(1);
+        root.pmo_access(pmo(1), AccessKind::Read, 1); // armed via callee's attach
+        root.call(2);
+        let mut opener = FunctionBuilder::new("opener");
+        opener.attach(pmo(1), Permission::Read);
+        let mut closer = FunctionBuilder::new("closer");
+        closer.detach(pmo(1));
+        let p = Program::new(vec![root.finish(), opener.finish(), closer.finish()], 0);
+        let c = census_of(&p);
+        assert_eq!(c.pmo_sites, 1);
+        assert_eq!(c.armed_sites, 1);
+    }
+
+    /// Unweighted counts must agree with the simulation-side census on the
+    /// programs both can analyze (verified single functions).
+    #[test]
+    fn matches_security_census_on_inserted_programs() {
+        let mut b = FunctionBuilder::new("x");
+        b.pmo_access(pmo(1), AccessKind::Write, 3);
+        b.compute(100_000);
+        b.loop_(Some(7), |body| {
+            body.pmo_access(pmo(2), AccessKind::Read, 2);
+        });
+        b.dram_access(terp_compiler::AddrPattern::Fixed(0), 4);
+        let inserted = insert_protection(&b.finish(), &InsertionConfig::default());
+        let reference = terp_security::gadgets::GadgetCensus::analyze(&inserted.function)
+            .expect("inserted programs verify");
+        let c = census_of(&Program::single(inserted.function));
+        assert_eq!(c.pmo_sites, reference.pmo_gadgets);
+        assert_eq!(c.armed_sites, reference.in_window);
+        assert_eq!(c.volatile_sites, reference.volatile_gadgets);
+        assert_eq!(c.spatial_armed_fraction(), 1.0);
+    }
+
+    #[test]
+    fn census_note_is_emitted() {
+        let mut b = FunctionBuilder::new("n");
+        b.attach(pmo(1), Permission::Read);
+        b.pmo_access(pmo(1), AccessKind::Read, 1);
+        b.detach(pmo(1));
+        let p = Program::single(b.finish());
+        let r = check_interprocedural(&p);
+        let (_, bag) = gadget_census(&p, &r.summaries);
+        let d = bag.iter().next().unwrap();
+        assert_eq!(d.code, "TERP-N001");
+        assert_eq!(d.severity, Severity::Note);
+        assert!(d.message.contains("1/1"));
+    }
+}

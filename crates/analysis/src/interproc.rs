@@ -1,0 +1,704 @@
+//! Interprocedural exposure-window verification.
+//!
+//! The per-function verifier (`terp_compiler::verify`) checks Algorithm 1's
+//! well-formedness contract inside one function and treats `Call` as
+//! window-neutral. This pass discharges that assumption: it computes a
+//! *window summary* for every function — what entry state each pool must be
+//! in, and what state the function leaves it in — and propagates summaries
+//! bottom-up over the call graph, so windows that open in one function and
+//! close (or leak) in another are verified whole-program.
+//!
+//! Each intraprocedural error class has an interprocedural counterpart one
+//! hundred codes up: `TERP-E001..E005` become `TERP-E101..E105` (overlap,
+//! unmatched detach, unprotected access, inconsistent join, leaked window).
+//! A single-function program run through this pass therefore reproduces the
+//! per-function verdicts, just in the whole-program band.
+//!
+//! ## The summary domain
+//!
+//! A function is analyzed symbolically: the entry state of a pool is unknown
+//! until the first construct or access that touches it, which pins a
+//! [`Requirement`] — `Closed` (first touch is an attach), `OpenForAccess`,
+//! or `OpenForDetach`. From then on the pool's state is tracked concretely
+//! relative to that assumption. At call sites the callee's requirements are
+//! matched against the caller's current state (propagating upward when the
+//! caller has not touched the pool) and the callee's exit effects are
+//! applied. Join points demand equal window state on all inbound paths —
+//! the same path-insensitivity rule the intraprocedural verifier enforces.
+//!
+//! Recursive cycles get a neutral summary and a `TERP-W003` warning: the
+//! analysis stays sound for programs whose recursive functions are
+//! window-balanced, which the insertion pass guarantees.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use terp_compiler::cfg::Cfg;
+use terp_compiler::ir::{FuncId, Instr, Terminator};
+use terp_pmo::PmoId;
+
+use crate::diag::{Diagnostic, DiagnosticBag, Severity, Span};
+use crate::program::Program;
+
+/// The entry-state constraint a function places on one pool, pinned at the
+/// pool's first touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Requirement {
+    /// First touch is an attach: the pool must arrive closed.
+    Closed,
+    /// First touch is a PMO access: a caller must already hold a window.
+    OpenForAccess,
+    /// First touch is a detach: the function closes a caller's window.
+    OpenForDetach,
+}
+
+impl Requirement {
+    /// Whether the requirement means "open at entry".
+    pub fn entry_open(self) -> bool {
+        !matches!(self, Requirement::Closed)
+    }
+}
+
+/// One pool's requirement with the location that pinned it and the call
+/// chain it was propagated through.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Require {
+    /// The constraint.
+    pub req: Requirement,
+    /// Where the first touch happened (in this function; for propagated
+    /// requirements, the call site).
+    pub span: Span,
+    /// Human-readable propagation chain, innermost last.
+    pub via: Vec<String>,
+}
+
+/// A function's window summary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    /// Entry-state requirement per touched pool.
+    pub requires: BTreeMap<PmoId, Require>,
+    /// Exit state per touched pool: `true` = open when the function returns.
+    pub exit_open: BTreeMap<PmoId, bool>,
+    /// For pools open at exit, where the surviving window was opened.
+    pub opened_at: BTreeMap<PmoId, Span>,
+}
+
+/// Result of [`check_interprocedural`].
+#[derive(Debug, Default)]
+pub struct InterprocResult {
+    /// All findings.
+    pub diagnostics: DiagnosticBag,
+    /// Per-function summaries (reachable functions only).
+    pub summaries: BTreeMap<FuncId, Summary>,
+}
+
+/// Runs the whole-program window analysis.
+pub fn check_interprocedural(program: &Program) -> InterprocResult {
+    let mut result = InterprocResult {
+        diagnostics: program.validate(),
+        ..Default::default()
+    };
+    if result.diagnostics.has_errors() {
+        return result;
+    }
+
+    let (order, cyclic) = program.analysis_order();
+    for f in order {
+        let name = &program.functions[f].name;
+        if cyclic.contains(&f) {
+            result.diagnostics.push(
+                Diagnostic::new(
+                    "TERP-W003",
+                    Severity::Warning,
+                    Span::function(name),
+                    format!(
+                        "`{name}` is part of a recursive call cycle; its window \
+                         effects are assumed neutral"
+                    ),
+                )
+                .with_note(
+                    "the analysis is sound only if every cycle member is \
+                     window-balanced (as compiler insertion guarantees)",
+                ),
+            );
+            result.summaries.insert(f, Summary::default());
+            continue;
+        }
+        let summary = FnAnalyzer::run(program, f, &result.summaries, &mut result.diagnostics);
+        result.summaries.insert(f, summary);
+    }
+
+    root_checks(program, &result.summaries, &mut result.diagnostics);
+    result
+}
+
+/// Program-entry obligations: at the root every pool starts closed and must
+/// end closed.
+fn root_checks(program: &Program, summaries: &BTreeMap<FuncId, Summary>, bag: &mut DiagnosticBag) {
+    let Some(summary) = summaries.get(&program.root) else {
+        return; // root was cyclic: W003 already covers it
+    };
+    let root_fn = program.root_fn();
+    for (pmo, r) in &summary.requires {
+        let (code, what) = match r.req {
+            Requirement::Closed => continue, // satisfied: all pools start closed
+            Requirement::OpenForAccess => (
+                "TERP-E103",
+                format!("a whole-program path reaches an access to {pmo} with no window open"),
+            ),
+            Requirement::OpenForDetach => (
+                "TERP-E102",
+                format!("a whole-program path detaches {pmo} while no window is open"),
+            ),
+        };
+        let mut d = Diagnostic::new(code, Severity::Error, r.span.clone(), what);
+        for note in &r.via {
+            d = d.with_note(note.clone());
+        }
+        bag.push(d);
+    }
+    for (pmo, open) in &summary.exit_open {
+        // Pools the program net-opens leak at exit. Pools that were
+        // entry-assumed open already produced E102/E103 above.
+        let net_opened = summary
+            .requires
+            .get(pmo)
+            .is_some_and(|r| r.req == Requirement::Closed);
+        if *open && net_opened {
+            let exit_block = root_fn
+                .blocks
+                .iter()
+                .position(|b| matches!(b.terminator, Terminator::Return))
+                .unwrap_or(root_fn.entry);
+            let mut d = Diagnostic::new(
+                "TERP-E105",
+                Severity::Error,
+                Span::block(&root_fn.name, exit_block),
+                format!("window on {pmo} is still open when the program exits"),
+            );
+            if let Some(at) = summary.opened_at.get(pmo) {
+                d = d.with_note(format!("window opened here: {at}"));
+            }
+            bag.push(d);
+        }
+    }
+}
+
+/// Per-pool window state override; pools absent from the map are in their
+/// entry-assumed state.
+type State = BTreeMap<PmoId, bool>;
+
+struct FnAnalyzer<'a> {
+    program: &'a Program,
+    fid: FuncId,
+    summaries: &'a BTreeMap<FuncId, Summary>,
+    requires: BTreeMap<PmoId, Require>,
+    opened_at: BTreeMap<PmoId, Span>,
+}
+
+impl<'a> FnAnalyzer<'a> {
+    fn run(
+        program: &'a Program,
+        fid: FuncId,
+        summaries: &'a BTreeMap<FuncId, Summary>,
+        bag: &mut DiagnosticBag,
+    ) -> Summary {
+        let mut a = FnAnalyzer {
+            program,
+            fid,
+            summaries,
+            requires: BTreeMap::new(),
+            opened_at: BTreeMap::new(),
+        };
+        let exit_open = a.walk(bag);
+        let opened_at = a
+            .opened_at
+            .into_iter()
+            .filter(|(p, _)| exit_open.get(p).copied().unwrap_or(false))
+            .collect();
+        Summary {
+            requires: a.requires,
+            exit_open,
+            opened_at,
+        }
+    }
+
+    fn func(&self) -> &'a terp_compiler::ir::Function {
+        &self.program.functions[self.fid]
+    }
+
+    fn name(&self) -> &'a str {
+        &self.program.functions[self.fid].name
+    }
+
+    /// The pool's state at this point, or `None` if untouched so far.
+    fn resolved(&self, state: &State, pmo: PmoId) -> Option<bool> {
+        state
+            .get(&pmo)
+            .copied()
+            .or_else(|| self.requires.get(&pmo).map(|r| r.req.entry_open()))
+    }
+
+    fn require(&mut self, pmo: PmoId, req: Requirement, span: Span, via: Vec<String>) {
+        self.requires
+            .entry(pmo)
+            .or_insert(Require { req, span, via });
+    }
+
+    /// Entry-state map with all requirement assumptions and overrides
+    /// resolved — the representation compared at joins and exits.
+    fn canonical(&self, state: &State) -> BTreeMap<PmoId, bool> {
+        let mut m: BTreeMap<PmoId, bool> = self
+            .requires
+            .iter()
+            .map(|(p, r)| (*p, r.req.entry_open()))
+            .collect();
+        for (p, v) in state {
+            m.insert(*p, *v);
+        }
+        m
+    }
+
+    /// Forward worklist over the CFG; returns the canonical exit state.
+    fn walk(&mut self, bag: &mut DiagnosticBag) -> BTreeMap<PmoId, bool> {
+        let func = self.func();
+        let cfg = Cfg::new(func);
+        let n = func.blocks.len();
+        let mut entry: Vec<Option<State>> = vec![None; n];
+        entry[func.entry] = Some(State::new());
+        let mut worklist = vec![func.entry];
+        let mut reported_joins = BTreeSet::new();
+        let mut exit: Option<BTreeMap<PmoId, bool>> = None;
+
+        while let Some(b) = worklist.pop() {
+            let mut state = entry[b].clone().expect("scheduled without state");
+            for (i, instr) in func.blocks[b].instrs.iter().enumerate() {
+                self.transfer(instr, &mut state, b, i, bag);
+            }
+            if cfg.succs[b].is_empty() {
+                let here = self.canonical(&state);
+                match &exit {
+                    None => exit = Some(here),
+                    Some(first) => {
+                        if *first != here {
+                            bag.push(
+                                Diagnostic::new(
+                                    "TERP-E104",
+                                    Severity::Error,
+                                    Span::block(self.name(), b),
+                                    "return paths leave pools in different window states",
+                                )
+                                .with_note(
+                                    "callers cannot be verified against a function whose \
+                                     exits disagree",
+                                ),
+                            );
+                        }
+                    }
+                }
+                continue;
+            }
+            for &s in &cfg.succs[b] {
+                match &entry[s] {
+                    None => {
+                        entry[s] = Some(state.clone());
+                        worklist.push(s);
+                    }
+                    Some(existing) => {
+                        if self.canonical(existing) != self.canonical(&state)
+                            && reported_joins.insert(s)
+                        {
+                            bag.push(Diagnostic::new(
+                                "TERP-E104",
+                                Severity::Error,
+                                Span::block(self.name(), s),
+                                "paths join with different window states on an \
+                                 interprocedural analysis",
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        exit.unwrap_or_default()
+    }
+
+    fn transfer(
+        &mut self,
+        instr: &Instr,
+        state: &mut State,
+        b: usize,
+        i: usize,
+        bag: &mut DiagnosticBag,
+    ) {
+        let span = Span::instr(self.name(), b, i);
+        match instr {
+            Instr::Attach { pmo, .. } => match self.resolved(state, *pmo) {
+                None => {
+                    self.require(*pmo, Requirement::Closed, span.clone(), Vec::new());
+                    state.insert(*pmo, true);
+                    self.opened_at.insert(*pmo, span);
+                }
+                Some(false) => {
+                    state.insert(*pmo, true);
+                    self.opened_at.insert(*pmo, span);
+                }
+                Some(true) => {
+                    let mut d = Diagnostic::new(
+                        "TERP-E101",
+                        Severity::Error,
+                        span,
+                        format!("attach of {pmo} while a window is already open on this path"),
+                    );
+                    if let Some(at) = self.opened_at.get(pmo) {
+                        d = d.with_note(format!("existing window opened here: {at}"));
+                    }
+                    bag.push(d);
+                }
+            },
+            Instr::Detach { pmo } => match self.resolved(state, *pmo) {
+                None => {
+                    self.require(*pmo, Requirement::OpenForDetach, span, Vec::new());
+                    state.insert(*pmo, false);
+                }
+                Some(true) => {
+                    state.insert(*pmo, false);
+                }
+                Some(false) => {
+                    bag.push(Diagnostic::new(
+                        "TERP-E102",
+                        Severity::Error,
+                        span,
+                        format!("detach of {pmo} while no window is open on this path"),
+                    ));
+                }
+            },
+            Instr::PmoAccess { .. } | Instr::PmoAccessMay { .. } => {
+                for pmo in instr.may_access_pmos() {
+                    match self.resolved(state, pmo) {
+                        None => {
+                            self.require(pmo, Requirement::OpenForAccess, span.clone(), Vec::new());
+                        }
+                        Some(true) => {}
+                        Some(false) => {
+                            bag.push(Diagnostic::new(
+                                "TERP-E103",
+                                Severity::Error,
+                                span.clone(),
+                                format!("access to {pmo} with no window open on this path"),
+                            ));
+                        }
+                    }
+                }
+            }
+            Instr::Call { callee } => self.apply_call(*callee, state, span, bag),
+            Instr::Compute { .. } | Instr::DramAccess { .. } => {}
+        }
+    }
+
+    /// Matches the callee's requirements against the current state, then
+    /// applies its exit effects.
+    fn apply_call(
+        &mut self,
+        callee: FuncId,
+        state: &mut State,
+        span: Span,
+        bag: &mut DiagnosticBag,
+    ) {
+        let Some(summary) = self.summaries.get(&callee) else {
+            return; // dangling index (E106 already reported) or cyclic (W003)
+        };
+        let callee_name = self.program.functions[callee].name.clone();
+        for (pmo, r) in &summary.requires {
+            match self.resolved(state, *pmo) {
+                None => {
+                    let mut via = vec![format!(
+                        "required by callee `{callee_name}`: first touch at {}",
+                        r.span
+                    )];
+                    via.extend(r.via.iter().cloned());
+                    self.require(*pmo, r.req, span.clone(), via);
+                }
+                Some(open) => {
+                    if r.req == Requirement::Closed && open {
+                        let mut d = Diagnostic::new(
+                            "TERP-E101",
+                            Severity::Error,
+                            span.clone(),
+                            format!(
+                                "call to `{callee_name}` attaches {pmo}, but the caller \
+                                 already holds a window on it"
+                            ),
+                        )
+                        .with_note(format!("callee attaches at {}", r.span));
+                        if let Some(at) = self.opened_at.get(pmo) {
+                            d = d.with_note(format!("caller's window opened here: {at}"));
+                        }
+                        bag.push(d);
+                    } else if r.req.entry_open() && !open {
+                        let (code, what) = match r.req {
+                            Requirement::OpenForDetach => (
+                                "TERP-E102",
+                                format!(
+                                    "call to `{callee_name}` detaches {pmo}, which is \
+                                     closed on this path"
+                                ),
+                            ),
+                            _ => (
+                                "TERP-E103",
+                                format!(
+                                    "call to `{callee_name}` accesses {pmo} with no \
+                                     window open on this path"
+                                ),
+                            ),
+                        };
+                        bag.push(
+                            Diagnostic::new(code, Severity::Error, span.clone(), what)
+                                .with_note(format!("callee's first touch at {}", r.span)),
+                        );
+                    }
+                }
+            }
+        }
+        for (pmo, open) in &summary.exit_open {
+            state.insert(*pmo, *open);
+            if *open {
+                let at = summary
+                    .opened_at
+                    .get(pmo)
+                    .cloned()
+                    .unwrap_or_else(|| span.clone());
+                self.opened_at.insert(*pmo, at);
+            } else {
+                self.opened_at.remove(pmo);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use terp_compiler::builder::FunctionBuilder;
+    use terp_pmo::{AccessKind, Permission};
+
+    fn pmo(n: u16) -> PmoId {
+        PmoId::new(n).unwrap()
+    }
+
+    fn codes(r: &InterprocResult) -> Vec<&'static str> {
+        r.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    /// root() { call open_leak(); }  — the seeded interprocedural leak.
+    #[test]
+    fn interprocedural_leaked_window_is_e105() {
+        let mut root = FunctionBuilder::new("root");
+        root.call(1);
+        let mut leaf = FunctionBuilder::new("open_leak");
+        leaf.attach(pmo(1), Permission::ReadWrite);
+        leaf.pmo_access(pmo(1), AccessKind::Write, 2);
+        // no detach: the window survives the return and leaks at program exit
+        let p = Program::new(vec![root.finish(), leaf.finish()], 0);
+        let r = check_interprocedural(&p);
+        assert!(codes(&r).contains(&"TERP-E105"), "got {:?}", codes(&r));
+        let leak = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "TERP-E105")
+            .unwrap();
+        assert_eq!(leak.span.function, "root");
+        assert!(
+            leak.notes.iter().any(|n| n.contains("open_leak")),
+            "note should point into the callee: {:?}",
+            leak.notes
+        );
+    }
+
+    /// Window opened in one callee, closed in another: whole-program clean.
+    #[test]
+    fn window_spanning_two_callees_verifies() {
+        let mut root = FunctionBuilder::new("root");
+        root.call(1); // opens
+        root.pmo_access(pmo(1), AccessKind::Read, 1);
+        root.call(2); // closes
+        let mut opener = FunctionBuilder::new("opener");
+        opener.attach(pmo(1), Permission::ReadWrite);
+        let mut closer = FunctionBuilder::new("closer");
+        closer.detach(pmo(1));
+        let p = Program::new(vec![root.finish(), opener.finish(), closer.finish()], 0);
+        let r = check_interprocedural(&p);
+        assert!(
+            !r.diagnostics.has_errors(),
+            "{}",
+            r.diagnostics.render_human()
+        );
+        // The summaries carry the structure.
+        assert!(r.summaries[&1].exit_open[&pmo(1)]);
+        assert_eq!(
+            r.summaries[&2].requires[&pmo(1)].req,
+            Requirement::OpenForDetach
+        );
+    }
+
+    /// A helper that accesses under the caller's window is fine whole-program.
+    #[test]
+    fn helper_access_under_caller_window_is_clean() {
+        let mut root = FunctionBuilder::new("root");
+        root.attach(pmo(1), Permission::Read);
+        root.call(1);
+        root.detach(pmo(1));
+        let mut helper = FunctionBuilder::new("helper");
+        helper.pmo_access(pmo(1), AccessKind::Read, 4);
+        let p = Program::new(vec![root.finish(), helper.finish()], 0);
+        let r = check_interprocedural(&p);
+        assert!(
+            !r.diagnostics.has_errors(),
+            "{}",
+            r.diagnostics.render_human()
+        );
+    }
+
+    /// ...but with nobody opening the window it is an E103 at the root.
+    #[test]
+    fn helper_access_with_no_window_is_e103() {
+        let mut root = FunctionBuilder::new("root");
+        root.call(1);
+        let mut helper = FunctionBuilder::new("helper");
+        helper.pmo_access(pmo(1), AccessKind::Read, 4);
+        let p = Program::new(vec![root.finish(), helper.finish()], 0);
+        let r = check_interprocedural(&p);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "TERP-E103")
+            .expect("unprotected interprocedural access");
+        // Reported at the root's call site with the chain into the helper.
+        assert_eq!(d.span.function, "root");
+        assert!(d.notes.iter().any(|n| n.contains("helper")));
+    }
+
+    #[test]
+    fn call_into_already_open_window_is_e101() {
+        let mut root = FunctionBuilder::new("root");
+        root.attach(pmo(1), Permission::Read);
+        root.call(1);
+        root.detach(pmo(1));
+        let mut opener = FunctionBuilder::new("opener");
+        opener.attach(pmo(1), Permission::Read);
+        opener.pmo_access(pmo(1), AccessKind::Read, 1);
+        opener.detach(pmo(1));
+        let p = Program::new(vec![root.finish(), opener.finish()], 0);
+        let r = check_interprocedural(&p);
+        assert!(codes(&r).contains(&"TERP-E101"), "got {:?}", codes(&r));
+    }
+
+    #[test]
+    fn double_detach_across_calls_is_e102() {
+        let mut root = FunctionBuilder::new("root");
+        root.attach(pmo(1), Permission::Read);
+        root.call(1);
+        root.detach(pmo(1)); // callee already closed it
+        let mut closer = FunctionBuilder::new("closer");
+        closer.detach(pmo(1));
+        let p = Program::new(vec![root.finish(), closer.finish()], 0);
+        let r = check_interprocedural(&p);
+        assert!(codes(&r).contains(&"TERP-E102"), "got {:?}", codes(&r));
+    }
+
+    #[test]
+    fn branch_dependent_callee_exit_is_e104() {
+        // Callee detaches the caller's pool on one arm only.
+        let mut root = FunctionBuilder::new("root");
+        root.attach(pmo(1), Permission::Read);
+        root.call(1);
+        root.detach(pmo(1));
+        let mut iffy = FunctionBuilder::new("iffy");
+        iffy.if_else(
+            0.5,
+            |t| {
+                t.detach(pmo(1));
+            },
+            |_| {},
+        );
+        let p = Program::new(vec![root.finish(), iffy.finish()], 0);
+        let r = check_interprocedural(&p);
+        assert!(codes(&r).contains(&"TERP-E104"), "got {:?}", codes(&r));
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "TERP-E104")
+            .unwrap();
+        assert_eq!(d.span.function, "iffy");
+    }
+
+    #[test]
+    fn recursion_yields_w003_not_errors() {
+        let mut root = FunctionBuilder::new("root");
+        root.call(1);
+        let mut rec = FunctionBuilder::new("rec");
+        rec.call(1);
+        let p = Program::new(vec![root.finish(), rec.finish()], 0);
+        let r = check_interprocedural(&p);
+        assert!(!r.diagnostics.has_errors());
+        assert!(codes(&r).contains(&"TERP-W003"));
+    }
+
+    #[test]
+    fn single_function_classes_map_to_e1xx_band() {
+        // Leak: attach without detach.
+        let mut f = FunctionBuilder::new("leak");
+        f.attach(pmo(1), Permission::Read);
+        let r = check_interprocedural(&Program::single(f.finish()));
+        assert!(codes(&r).contains(&"TERP-E105"));
+
+        // Unmatched detach.
+        let mut f = FunctionBuilder::new("un");
+        f.detach(pmo(1));
+        let r = check_interprocedural(&Program::single(f.finish()));
+        assert!(codes(&r).contains(&"TERP-E102"));
+
+        // Double attach.
+        let mut f = FunctionBuilder::new("dbl");
+        f.attach(pmo(1), Permission::Read);
+        f.attach(pmo(1), Permission::Read);
+        f.detach(pmo(1));
+        let r = check_interprocedural(&Program::single(f.finish()));
+        assert!(codes(&r).contains(&"TERP-E101"));
+
+        // Access after detach.
+        let mut f = FunctionBuilder::new("after");
+        f.attach(pmo(1), Permission::Read);
+        f.detach(pmo(1));
+        f.pmo_access(pmo(1), AccessKind::Read, 1);
+        let r = check_interprocedural(&Program::single(f.finish()));
+        assert!(codes(&r).contains(&"TERP-E103"));
+
+        // One-armed attach: join disagreement.
+        let mut f = FunctionBuilder::new("join");
+        f.if_else(
+            0.5,
+            |t| {
+                t.attach(pmo(1), Permission::Read);
+            },
+            |_| {},
+        );
+        let r = check_interprocedural(&Program::single(f.finish()));
+        assert!(
+            codes(&r).contains(&"TERP-E104") || codes(&r).contains(&"TERP-E105"),
+            "got {:?}",
+            codes(&r)
+        );
+    }
+
+    #[test]
+    fn balanced_single_function_is_clean() {
+        let mut f = FunctionBuilder::new("ok");
+        f.attach(pmo(1), Permission::ReadWrite);
+        f.loop_(Some(10), |body| {
+            body.pmo_access(pmo(1), AccessKind::Write, 2);
+        });
+        f.detach(pmo(1));
+        let r = check_interprocedural(&Program::single(f.finish()));
+        assert!(r.diagnostics.is_empty(), "{}", r.diagnostics.render_human());
+    }
+}

@@ -1,0 +1,395 @@
+//! Static LET-budget verification (`TERP-W001`).
+//!
+//! The insertion pass sizes each window region so its longest execution
+//! time stays under the exposure budget (Algorithm 1 line 2); manual
+//! MERR-style constructs make no such promise. This checker recomputes, for
+//! every window the program can hold, a loop-scaled LET upper bound using
+//! the same [`LetModel`] the compiler used — at *instruction* granularity
+//! (only cycles spent while the window is actually open count, mirroring
+//! the insertion pass's single-block tightening) and *interprocedurally*
+//! (the whole body of a function called while the window is open counts,
+//! which the per-function estimator cannot see). Windows over budget get a
+//! warning.
+//!
+//! Findings are warnings, not errors: an over-budget window is a quality
+//! regression the hardware timer backstop will truncate, not a
+//! well-formedness violation.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use terp_compiler::ir::{BasicBlock, BlockId, FuncId, Instr};
+use terp_compiler::let_est::{LetEstimator, LetModel};
+use terp_pmo::PmoId;
+
+use crate::diag::{Diagnostic, DiagnosticBag, Severity, Span};
+use crate::flow::block_open_sets;
+use crate::interproc::Summary;
+use crate::program::Program;
+
+/// Budget and cost model for the check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LetCheckConfig {
+    /// Region LET budget, cycles (the insertion pass default is 4400 —
+    /// 2 µs at 2.2 GHz).
+    pub let_threshold: u64,
+    /// The cost model; must match the insertion configuration to reproduce
+    /// its sizing decisions.
+    pub let_model: LetModel,
+}
+
+impl Default for LetCheckConfig {
+    fn default() -> Self {
+        let insertion = terp_compiler::insertion::InsertionConfig::default();
+        LetCheckConfig {
+            let_threshold: insertion.let_threshold,
+            let_model: insertion.let_model,
+        }
+    }
+}
+
+/// Checks every window of every reachable function against the budget.
+/// `summaries` comes from
+/// [`check_interprocedural`](crate::interproc::check_interprocedural).
+pub fn check_let_budget(
+    program: &Program,
+    summaries: &BTreeMap<FuncId, Summary>,
+    config: &LetCheckConfig,
+) -> DiagnosticBag {
+    let mut bag = DiagnosticBag::new();
+    let (order, cyclic) = program.analysis_order();
+
+    // Whole-body LET per function, callees inlined bottom-up (cycle members
+    // fall back to their own body — TERP-W003 already flags the imprecision).
+    let mut total_let: BTreeMap<FuncId, u64> = BTreeMap::new();
+    for &f in &order {
+        let func = &program.functions[f];
+        let est = LetEstimator::new(func, config.let_model);
+        let mut total = est.function_let();
+        for site in program.call_sites(f) {
+            let callee_let = total_let.get(&site.callee).copied().unwrap_or(0);
+            total = total
+                .saturating_add(callee_let.saturating_mul(est.forest().trip_product(site.block)));
+        }
+        total_let.insert(f, total);
+    }
+
+    for &f in &order {
+        if cyclic.contains(&f) {
+            continue;
+        }
+        let func = &program.functions[f];
+        let Some(summary) = summaries.get(&f) else {
+            continue;
+        };
+        let est = LetEstimator::new(func, config.let_model);
+        let entry_open: BTreeSet<_> = summary
+            .requires
+            .iter()
+            .filter(|(_, r)| r.req.entry_open())
+            .map(|(p, _)| *p)
+            .collect();
+        let open_sets = block_open_sets(func, &entry_open, summaries);
+
+        for pmo in summary.requires.keys() {
+            // Blocks where a window on `pmo` may be live at some point.
+            let live: BTreeSet<BlockId> = func
+                .blocks
+                .iter()
+                .enumerate()
+                .filter(|(b, block)| {
+                    open_sets[*b].contains(pmo)
+                        || block
+                            .instrs
+                            .iter()
+                            .any(|i| matches!(i, Instr::Attach { pmo: p, .. } if p == pmo))
+                })
+                .map(|(b, _)| b)
+                .collect();
+            // Each CFG-connected component of the live set is one window
+            // region; disjoint windows on the same pool are budgeted
+            // separately.
+            for region in connected_components(func, &live) {
+                let mut cycles = 0u64;
+                for &b in &region {
+                    let in_window = block_window_cycles(
+                        &func.blocks[b],
+                        *pmo,
+                        open_sets[b].contains(pmo),
+                        &config.let_model,
+                        summaries,
+                        &total_let,
+                    );
+                    let mult = region_trip_mult(&est, &region, b, |h| open_sets[h].contains(pmo));
+                    cycles = cycles.saturating_add(in_window.saturating_mul(mult));
+                }
+                if cycles > config.let_threshold {
+                    let anchor = anchor_block(func, &region, *pmo);
+                    bag.push(
+                        Diagnostic::new(
+                            "TERP-W001",
+                            Severity::Warning,
+                            Span::block(&func.name, anchor),
+                            format!(
+                                "window on {pmo} spans {} block(s) with estimated LET \
+                                 {cycles} cycles, over the {}-cycle budget",
+                                region.len(),
+                                config.let_threshold
+                            ),
+                        )
+                        .with_note(
+                            "loops with unknown bounds assume 1000 trips; the runtime \
+                             timer backstop bounds the realized exposure window",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    bag
+}
+
+/// Cycles one execution of `block` spends with a window on `pmo` open.
+///
+/// The attach/detach constructs of `pmo` itself are window boundaries, not
+/// window contents; everything between them is charged, including other
+/// pools' constructs and the full (interprocedural) body of any function
+/// called while the window is open.
+fn block_window_cycles(
+    block: &BasicBlock,
+    pmo: PmoId,
+    open_at_entry: bool,
+    model: &LetModel,
+    summaries: &BTreeMap<FuncId, Summary>,
+    total_let: &BTreeMap<FuncId, u64>,
+) -> u64 {
+    let mut open = open_at_entry;
+    let mut cycles = 0u64;
+    for instr in &block.instrs {
+        match instr {
+            Instr::Attach { pmo: p, .. } if *p == pmo => open = true,
+            Instr::Detach { pmo: p } if *p == pmo => open = false,
+            Instr::Call { callee } => {
+                let open_before = open;
+                if let Some(x) = summaries.get(callee).and_then(|s| s.exit_open.get(&pmo)) {
+                    open = *x;
+                }
+                // Charge the callee if the window is open around the call
+                // on either side (a window opened or closed mid-callee is
+                // conservatively charged in full).
+                if open_before || open {
+                    cycles = cycles
+                        .saturating_add(model.instr_cycles(instr))
+                        .saturating_add(total_let.get(callee).copied().unwrap_or(0));
+                }
+            }
+            _ => {
+                if open {
+                    cycles = cycles.saturating_add(model.instr_cycles(instr));
+                }
+            }
+        }
+    }
+    cycles
+}
+
+/// Trip multiplier for `b` inside `region`: the product of trip counts of
+/// loops whose body lies entirely within the region AND whose header the
+/// window is open at. A window that opens and closes within one iteration
+/// is a fresh window each trip — its per-instance LET does not multiply;
+/// only a window held across the back edge accumulates over iterations.
+fn region_trip_mult(
+    est: &LetEstimator<'_>,
+    region: &[BlockId],
+    b: BlockId,
+    open_at: impl Fn(BlockId) -> bool,
+) -> u64 {
+    est.forest()
+        .containing(b)
+        .iter()
+        .filter(|l| l.body.iter().all(|x| region.contains(x)) && open_at(l.header))
+        .fold(1u64, |acc, l| acc.saturating_mul(l.trips))
+}
+
+/// Splits `live` into weakly-connected components of the CFG restricted to
+/// those blocks, each returned ascending.
+fn connected_components(
+    func: &terp_compiler::ir::Function,
+    live: &BTreeSet<BlockId>,
+) -> Vec<Vec<BlockId>> {
+    let cfg = terp_compiler::cfg::Cfg::new(func);
+    let mut unvisited: BTreeSet<BlockId> = live.clone();
+    let mut components = Vec::new();
+    while let Some(&start) = unvisited.iter().next() {
+        let mut component = Vec::new();
+        let mut stack = vec![start];
+        unvisited.remove(&start);
+        while let Some(b) = stack.pop() {
+            component.push(b);
+            for &n in cfg.succs[b].iter().chain(cfg.preds[b].iter()) {
+                if unvisited.remove(&n) {
+                    stack.push(n);
+                }
+            }
+        }
+        component.sort_unstable();
+        components.push(component);
+    }
+    components
+}
+
+/// The block to anchor the diagnostic at: the first region block containing
+/// an attach of the pool, else the lowest-numbered region block.
+fn anchor_block(func: &terp_compiler::ir::Function, region: &[BlockId], pmo: PmoId) -> BlockId {
+    region
+        .iter()
+        .copied()
+        .find(|&b| {
+            func.blocks[b]
+                .instrs
+                .iter()
+                .any(|i| matches!(i, Instr::Attach { pmo: p, .. } if *p == pmo))
+        })
+        .or_else(|| region.first().copied())
+        .unwrap_or(func.entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interproc::check_interprocedural;
+    use terp_compiler::builder::FunctionBuilder;
+    use terp_pmo::{AccessKind, Permission};
+
+    fn pmo(n: u16) -> PmoId {
+        PmoId::new(n).unwrap()
+    }
+
+    fn run(program: &Program, threshold: u64) -> DiagnosticBag {
+        let r = check_interprocedural(program);
+        assert!(
+            !r.diagnostics.has_errors(),
+            "{}",
+            r.diagnostics.render_human()
+        );
+        check_let_budget(
+            program,
+            &r.summaries,
+            &LetCheckConfig {
+                let_threshold: threshold,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// The seeded LET violation: a window held across an unknown-bound loop
+    /// of heavy compute blows any 2 µs-class budget.
+    #[test]
+    fn window_across_heavy_loop_is_w001() {
+        let mut f = FunctionBuilder::new("hot");
+        f.attach(pmo(1), Permission::ReadWrite);
+        f.loop_(None, |body| {
+            body.pmo_access(pmo(1), AccessKind::Write, 1);
+            body.compute(10_000);
+        });
+        f.detach(pmo(1));
+        let bag = run(&Program::single(f.finish()), 4400);
+        let w = bag.iter().find(|d| d.code == "TERP-W001").expect("W001");
+        assert_eq!(w.severity, Severity::Warning);
+        assert!(w.message.contains("over the 4400-cycle budget"));
+        assert!(!bag.has_errors());
+    }
+
+    #[test]
+    fn cycles_outside_the_window_are_free() {
+        let mut f = FunctionBuilder::new("cool");
+        f.compute(1_000_000); // heavy code before the window opens
+        f.attach(pmo(1), Permission::Read);
+        f.pmo_access(pmo(1), AccessKind::Read, 2);
+        f.detach(pmo(1));
+        f.compute(1_000_000); // and after it closes, same block
+        let bag = run(&Program::single(f.finish()), 4400);
+        assert!(bag.is_empty(), "{}", bag.render_human());
+    }
+
+    #[test]
+    fn callee_body_counts_toward_the_window() {
+        // Caller's window looks cheap per-function, but the call inside it
+        // hides a huge callee body.
+        let mut root = FunctionBuilder::new("root");
+        root.attach(pmo(1), Permission::Read);
+        root.pmo_access(pmo(1), AccessKind::Read, 1);
+        root.call(1);
+        root.detach(pmo(1));
+        let mut heavy = FunctionBuilder::new("heavy");
+        heavy.compute(1_000_000);
+        let p = Program::new(vec![root.finish(), heavy.finish()], 0);
+        let bag = run(&p, 4400);
+        assert!(
+            bag.iter().any(|d| d.code == "TERP-W001"),
+            "{}",
+            bag.render_human()
+        );
+
+        // Same call AFTER the window closes: quiet.
+        let mut root = FunctionBuilder::new("root");
+        root.attach(pmo(1), Permission::Read);
+        root.pmo_access(pmo(1), AccessKind::Read, 1);
+        root.detach(pmo(1));
+        root.call(1);
+        let mut heavy = FunctionBuilder::new("heavy");
+        heavy.compute(1_000_000);
+        let p = Program::new(vec![root.finish(), heavy.finish()], 0);
+        let bag = run(&p, 4400);
+        assert!(bag.is_empty(), "{}", bag.render_human());
+    }
+
+    #[test]
+    fn disjoint_windows_are_budgeted_separately() {
+        // Two windows of ~1600 cycles each, separated by a diamond: neither
+        // violates a 1700-cycle budget even though their sum would.
+        let mut f = FunctionBuilder::new("two");
+        f.attach(pmo(1), Permission::Read);
+        f.pmo_access(pmo(1), AccessKind::Read, 4);
+        f.detach(pmo(1));
+        f.if_else(
+            0.5,
+            |t| {
+                t.compute(9);
+            },
+            |e| {
+                e.compute(9);
+            },
+        );
+        f.attach(pmo(1), Permission::Read);
+        f.pmo_access(pmo(1), AccessKind::Read, 4);
+        f.detach(pmo(1));
+        let program = Program::single(f.finish());
+        let bag = run(&program, 1700);
+        assert!(bag.is_empty(), "{}", bag.render_human());
+        // A budget below a single window's cost does fire — twice.
+        let bag = run(&program, 1500);
+        assert_eq!(
+            bag.iter().filter(|d| d.code == "TERP-W001").count(),
+            2,
+            "{}",
+            bag.render_human()
+        );
+    }
+
+    #[test]
+    fn compiler_inserted_protection_meets_its_own_budget() {
+        use terp_compiler::insertion::{insert_protection, InsertionConfig};
+        let mut b = FunctionBuilder::new("w");
+        b.loop_(Some(200), |body| {
+            body.pmo_access(pmo(1), AccessKind::Write, 2);
+            body.compute(2000);
+        });
+        let inserted = insert_protection(&b.finish(), &InsertionConfig::default());
+        let bag = run(&Program::single(inserted.function), 4400);
+        assert!(
+            !bag.iter().any(|d| d.code == "TERP-W001"),
+            "{}",
+            bag.render_human()
+        );
+    }
+}

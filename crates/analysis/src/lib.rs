@@ -1,0 +1,204 @@
+//! # terp-analysis — whole-program static analysis for TERP protection
+//!
+//! The compiler crate verifies Algorithm 1's well-formedness contract one
+//! function at a time and sizes windows with a per-function LET estimate.
+//! This crate lifts protection verification to whole programs and packages
+//! every finding behind one diagnostics engine:
+//!
+//! * [`interproc`] — call-graph summary analysis propagating window state
+//!   across [`Call`](terp_compiler::ir::Instr::Call) boundaries. Each
+//!   per-function error class gets an interprocedural counterpart
+//!   (`TERP-E101..E105` mirroring the verifier's `TERP-E001..E005`).
+//! * [`let_check`] — static LET-budget verification: flags windows whose
+//!   loop-scaled, call-inclusive exposure exceeds the insertion budget
+//!   (`TERP-W001`).
+//! * [`races`] — cross-thread window-race detection over multi-thread
+//!   workload IR (`TERP-W002`).
+//! * [`gadgets`] — a static port of the Table VI gadget census, no
+//!   simulation required (`TERP-N001`).
+//! * [`diag`] — severities, stable lint codes, IR spans, rustc-style human
+//!   rendering, and JSON serialization (via the in-tree [`json`] codec).
+//!
+//! The `terp-analyze` binary in `terp-bench` drives all of this over the
+//! built-in WHISPER/SPEC workloads.
+//!
+//! ```
+//! use terp_analysis::{analyze_program, AnalysisConfig, Program};
+//! use terp_compiler::FunctionBuilder;
+//! use terp_pmo::{AccessKind, Permission, PmoId};
+//!
+//! let pmo = PmoId::new(1).unwrap();
+//! let mut root = FunctionBuilder::new("root");
+//! root.call(1); // callee opens a window and never closes it
+//! let mut leaf = FunctionBuilder::new("leaf");
+//! leaf.attach(pmo, Permission::ReadWrite);
+//! leaf.pmo_access(pmo, AccessKind::Write, 1);
+//! let program = Program::new(vec![root.finish(), leaf.finish()], 0);
+//!
+//! let report = analyze_program(&program, &AnalysisConfig::default());
+//! assert!(report.diagnostics.iter().any(|d| d.code == "TERP-E105"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod diag;
+mod flow;
+pub mod gadgets;
+pub mod interproc;
+pub mod json;
+pub mod let_check;
+pub mod program;
+pub mod races;
+
+use std::collections::BTreeMap;
+
+use terp_compiler::ir::FuncId;
+use terp_workloads::{Variant, Workload};
+
+pub use diag::{Diagnostic, DiagnosticBag, Severity, Span, LINTS};
+pub use gadgets::{gadget_census, StaticGadgetCensus};
+pub use interproc::{check_interprocedural, InterprocResult, Requirement, Summary};
+pub use json::Json;
+pub use let_check::{check_let_budget, LetCheckConfig};
+pub use program::Program;
+pub use races::{check_thread_races, check_workload_races};
+
+/// Configuration for the combined analysis pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalysisConfig {
+    /// LET budget and cost model for the `TERP-W001` check.
+    pub let_check: LetCheckConfig,
+    /// Whether to include the `TERP-N001` gadget-census note.
+    pub census: bool,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            let_check: LetCheckConfig::default(),
+            census: true,
+        }
+    }
+}
+
+/// Everything the pipeline produces.
+#[derive(Debug, Default)]
+pub struct AnalysisReport {
+    /// All findings, sorted errors-first.
+    pub diagnostics: DiagnosticBag,
+    /// Per-function window summaries (empty when structural validation
+    /// failed).
+    pub summaries: BTreeMap<FuncId, Summary>,
+    /// The gadget census, when enabled and the program was structurally
+    /// valid.
+    pub census: Option<StaticGadgetCensus>,
+}
+
+/// Runs the full single-thread pipeline: structural validation, the
+/// interprocedural window analysis, the LET-budget check, and the gadget
+/// census.
+pub fn analyze_program(program: &Program, config: &AnalysisConfig) -> AnalysisReport {
+    let mut report = AnalysisReport::default();
+    let interproc = check_interprocedural(program);
+    report.diagnostics.extend(interproc.diagnostics);
+    report.summaries = interproc.summaries;
+    if report.summaries.is_empty() && report.diagnostics.has_errors() {
+        // Structural (TERP-E106) failure: nothing else is analyzable.
+        report.diagnostics.sort();
+        return report;
+    }
+    report.diagnostics.extend(check_let_budget(
+        program,
+        &report.summaries,
+        &config.let_check,
+    ));
+    if config.census {
+        let (census, notes) = gadget_census(program, &report.summaries);
+        report.census = Some(census);
+        report.diagnostics.extend(notes);
+    }
+    report.diagnostics.sort();
+    report
+}
+
+/// Runs [`analyze_program`] on a workload's chosen protection variant, plus
+/// the cross-thread race check when the workload is multi-threaded.
+///
+/// # Panics
+///
+/// Panics if `variant` is [`Variant::Auto`] and the insertion pass produces
+/// a program that fails its own verifier — a compiler bug, which
+/// [`Workload::program_variant`] also treats as fatal.
+pub fn analyze_workload(
+    workload: &Workload,
+    variant: Variant,
+    config: &AnalysisConfig,
+) -> AnalysisReport {
+    let program = Program::single(workload.program_variant(variant));
+    let mut report = analyze_program(&program, config);
+    report
+        .diagnostics
+        .extend(check_workload_races(workload, variant));
+    report.diagnostics.sort();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use terp_compiler::builder::FunctionBuilder;
+    use terp_pmo::{AccessKind, Permission, PmoId};
+
+    fn pmo(n: u16) -> PmoId {
+        PmoId::new(n).unwrap()
+    }
+
+    #[test]
+    fn pipeline_collects_all_finding_kinds() {
+        // Leak (E105) + over-budget window (W001) + census note (N001).
+        let mut root = FunctionBuilder::new("root");
+        root.attach(pmo(2), Permission::Read);
+        root.loop_(None, |body| {
+            body.pmo_access(pmo(2), AccessKind::Read, 4);
+            body.compute(10_000);
+        });
+        root.detach(pmo(2));
+        root.call(1);
+        let mut leak = FunctionBuilder::new("leak");
+        leak.attach(pmo(1), Permission::ReadWrite);
+        let program = Program::new(vec![root.finish(), leak.finish()], 0);
+
+        let report = analyze_program(&program, &AnalysisConfig::default());
+        let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"TERP-E105"), "{codes:?}");
+        assert!(codes.contains(&"TERP-W001"), "{codes:?}");
+        assert!(codes.contains(&"TERP-N001"), "{codes:?}");
+        // Sorted errors-first.
+        assert_eq!(
+            report.diagnostics.iter().next().unwrap().severity,
+            Severity::Error
+        );
+        assert!(report.census.is_some());
+    }
+
+    #[test]
+    fn structurally_broken_program_stops_at_validation() {
+        let mut f = FunctionBuilder::new("dangling");
+        f.call(9);
+        let report = analyze_program(&Program::single(f.finish()), &AnalysisConfig::default());
+        assert!(report.diagnostics.has_errors());
+        assert!(report.diagnostics.iter().all(|d| d.code == "TERP-E106"));
+        assert!(report.census.is_none());
+    }
+
+    #[test]
+    fn report_round_trips_through_json_text() {
+        let mut f = FunctionBuilder::new("leak");
+        f.attach(pmo(1), Permission::Read);
+        let report = analyze_program(&Program::single(f.finish()), &AnalysisConfig::default());
+        let text = report.diagnostics.to_json().render();
+        let back = DiagnosticBag::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report.diagnostics);
+    }
+}

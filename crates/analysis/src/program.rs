@@ -1,0 +1,285 @@
+//! Whole-program container: a table of functions, a designated root, and
+//! the call graph derived from [`Instr::Call`] sites.
+//!
+//! Interprocedural passes need callee summaries before caller analysis, so
+//! the central service here is [`Program::analysis_order`]: a bottom-up
+//! (callees-first) ordering of the reachable functions plus the set of
+//! functions involved in recursive cycles, for which summary analysis must
+//! degrade gracefully ([`TERP-W003`](crate::diag::LINTS)).
+
+use std::collections::BTreeSet;
+
+use terp_compiler::ir::{BlockId, FuncId, Function, Instr};
+
+use crate::diag::{Diagnostic, DiagnosticBag, Severity, Span};
+
+/// A multi-function module under analysis.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Function table; [`Instr::Call::callee`] indexes into this.
+    pub functions: Vec<Function>,
+    /// The entry function (thread body / `main`).
+    pub root: FuncId,
+}
+
+/// One call site: caller block, instruction index, and callee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallSite {
+    /// Block holding the call instruction.
+    pub block: BlockId,
+    /// Index of the call within the block.
+    pub instr: usize,
+    /// Called function.
+    pub callee: FuncId,
+}
+
+impl Program {
+    /// A program with an explicit root.
+    pub fn new(functions: Vec<Function>, root: FuncId) -> Program {
+        Program { functions, root }
+    }
+
+    /// Wraps a single function (the shape every built-in workload has).
+    pub fn single(function: Function) -> Program {
+        Program {
+            functions: vec![function],
+            root: 0,
+        }
+    }
+
+    /// The root function.
+    pub fn root_fn(&self) -> &Function {
+        &self.functions[self.root]
+    }
+
+    /// All call sites in `caller`, in block/instruction order. Dangling
+    /// callee indices are included — [`Self::validate`] reports them.
+    pub fn call_sites(&self, caller: FuncId) -> Vec<CallSite> {
+        let mut out = Vec::new();
+        for (b, block) in self.functions[caller].blocks.iter().enumerate() {
+            for (i, instr) in block.instrs.iter().enumerate() {
+                if let Instr::Call { callee } = instr {
+                    out.push(CallSite {
+                        block: b,
+                        instr: i,
+                        callee: *callee,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Distinct valid callees of `caller`.
+    pub fn callees(&self, caller: FuncId) -> BTreeSet<FuncId> {
+        self.call_sites(caller)
+            .into_iter()
+            .map(|s| s.callee)
+            .filter(|&c| c < self.functions.len())
+            .collect()
+    }
+
+    /// Structural checks: root in range, per-function CFG validity, and no
+    /// dangling callee index (`TERP-E106`).
+    pub fn validate(&self) -> DiagnosticBag {
+        let mut bag = DiagnosticBag::new();
+        if self.root >= self.functions.len() {
+            bag.push(Diagnostic::new(
+                "TERP-E106",
+                Severity::Error,
+                Span::function("<module>"),
+                format!("root function index {} out of range", self.root),
+            ));
+            return bag;
+        }
+        for (f, func) in self.functions.iter().enumerate() {
+            if let Err(msg) = func.validate() {
+                bag.push(Diagnostic::new(
+                    "TERP-E106",
+                    Severity::Error,
+                    Span::function(&func.name),
+                    format!("malformed CFG: {msg}"),
+                ));
+            }
+            for site in self.call_sites(f) {
+                if site.callee >= self.functions.len() {
+                    bag.push(Diagnostic::new(
+                        "TERP-E106",
+                        Severity::Error,
+                        Span::instr(&func.name, site.block, site.instr),
+                        format!(
+                            "call to function index {} but the program has only {}",
+                            site.callee,
+                            self.functions.len()
+                        ),
+                    ));
+                }
+            }
+        }
+        bag
+    }
+
+    /// Functions reachable from the root via call edges, root included.
+    pub fn reachable(&self) -> BTreeSet<FuncId> {
+        let mut seen = BTreeSet::new();
+        if self.root >= self.functions.len() {
+            return seen;
+        }
+        let mut stack = vec![self.root];
+        while let Some(f) = stack.pop() {
+            if seen.insert(f) {
+                stack.extend(self.callees(f));
+            }
+        }
+        seen
+    }
+
+    /// Bottom-up analysis order over the reachable functions: every callee
+    /// precedes its callers, except inside recursive cycles. The second
+    /// component is the set of functions on some call cycle (members of a
+    /// multi-node strongly connected component, or self-callers).
+    pub fn analysis_order(&self) -> (Vec<FuncId>, BTreeSet<FuncId>) {
+        // Tarjan's SCC over the reachable subgraph. SCCs are emitted
+        // callees-first, which is exactly the summary-analysis order.
+        let mut st = Tarjan {
+            program: self,
+            index: vec![None; self.functions.len()],
+            lowlink: vec![0; self.functions.len()],
+            on_stack: vec![false; self.functions.len()],
+            stack: Vec::new(),
+            next_index: 0,
+            order: Vec::new(),
+            cyclic: BTreeSet::new(),
+        };
+        if self.root < self.functions.len() {
+            st.visit(self.root);
+        }
+        (st.order, st.cyclic)
+    }
+}
+
+struct Tarjan<'a> {
+    program: &'a Program,
+    index: Vec<Option<usize>>,
+    lowlink: Vec<usize>,
+    on_stack: Vec<bool>,
+    stack: Vec<FuncId>,
+    next_index: usize,
+    order: Vec<FuncId>,
+    cyclic: BTreeSet<FuncId>,
+}
+
+impl Tarjan<'_> {
+    fn visit(&mut self, f: FuncId) {
+        self.index[f] = Some(self.next_index);
+        self.lowlink[f] = self.next_index;
+        self.next_index += 1;
+        self.stack.push(f);
+        self.on_stack[f] = true;
+
+        for callee in self.program.callees(f) {
+            if self.index[callee].is_none() {
+                self.visit(callee);
+                self.lowlink[f] = self.lowlink[f].min(self.lowlink[callee]);
+            } else if self.on_stack[callee] {
+                self.lowlink[f] = self.lowlink[f].min(self.index[callee].unwrap());
+            }
+        }
+
+        if self.lowlink[f] == self.index[f].unwrap() {
+            let mut component = Vec::new();
+            loop {
+                let v = self.stack.pop().expect("scc stack");
+                self.on_stack[v] = false;
+                component.push(v);
+                if v == f {
+                    break;
+                }
+            }
+            let self_loop = component.len() == 1 && self.program.callees(f).contains(&f);
+            if component.len() > 1 || self_loop {
+                self.cyclic.extend(component.iter().copied());
+            }
+            // Tarjan pops SCCs in reverse topological order of the
+            // condensation — i.e. callees before callers.
+            component.sort_unstable();
+            self.order.extend(component);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use terp_compiler::builder::FunctionBuilder;
+
+    fn leaf(name: &str) -> Function {
+        FunctionBuilder::new(name).finish()
+    }
+
+    fn caller(name: &str, callees: &[FuncId]) -> Function {
+        let mut b = FunctionBuilder::new(name);
+        for &c in callees {
+            b.call(c);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn order_is_bottom_up() {
+        // 0 -> 1 -> 2, 0 -> 2
+        let p = Program::new(
+            vec![caller("root", &[1, 2]), caller("mid", &[2]), leaf("leaf")],
+            0,
+        );
+        let (order, cyclic) = p.analysis_order();
+        assert!(cyclic.is_empty());
+        let pos = |f: FuncId| order.iter().position(|&x| x == f).unwrap();
+        assert!(pos(2) < pos(1));
+        assert!(pos(1) < pos(0));
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn recursion_is_flagged() {
+        // 0 -> 1 <-> 2 (mutual recursion), plus 3 -> 3 unreachable.
+        let p = Program::new(
+            vec![
+                caller("root", &[1]),
+                caller("a", &[2]),
+                caller("b", &[1]),
+                caller("self", &[3]),
+            ],
+            0,
+        );
+        let (order, cyclic) = p.analysis_order();
+        assert_eq!(cyclic, BTreeSet::from([1, 2]));
+        // Unreachable self-caller is not visited.
+        assert!(!order.contains(&3));
+        assert_eq!(p.reachable(), BTreeSet::from([0, 1, 2]));
+    }
+
+    #[test]
+    fn self_call_is_a_cycle() {
+        let p = Program::new(vec![caller("root", &[0])], 0);
+        let (_, cyclic) = p.analysis_order();
+        assert_eq!(cyclic, BTreeSet::from([0]));
+    }
+
+    #[test]
+    fn dangling_callee_is_reported() {
+        let p = Program::new(vec![caller("root", &[7])], 0);
+        let bag = p.validate();
+        assert!(bag.has_errors());
+        assert_eq!(bag.iter().next().unwrap().code, "TERP-E106");
+        // And excluded from the call graph rather than panicking.
+        assert!(p.callees(0).is_empty());
+    }
+
+    #[test]
+    fn single_wraps_one_function() {
+        let p = Program::single(leaf("only"));
+        assert!(p.validate().is_empty());
+        assert_eq!(p.analysis_order().0, vec![0]);
+    }
+}

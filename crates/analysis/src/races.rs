@@ -1,0 +1,209 @@
+//! Static cross-thread window-race detection (`TERP-W002`).
+//!
+//! TERP permissions are *per-thread*: a thread's attach opens a window only
+//! for itself, and the paper's well-formedness contract constrains each
+//! thread independently. Nothing stops two threads from holding windows on
+//! the same pool at the same time — and when at least one of those windows
+//! is writable, the overlap is exactly the exposure the temporal protection
+//! tries to minimize: a corrupting thread can reach the pool while a victim
+//! thread's window (or its own) is open.
+//!
+//! With no synchronization modeled in the IR, any two windows from
+//! different threads may overlap in time, so the check is purely spatial:
+//! collect each thread's *window profile* (which pools it ever attaches,
+//! and with what permission, anywhere in its reachable call graph) and
+//! report every pool with a writable window in one thread and any window in
+//! another. One warning is emitted per contended pool, naming all the
+//! threads involved.
+
+use std::collections::BTreeMap;
+
+use terp_compiler::ir::Instr;
+use terp_pmo::{Permission, PmoId};
+
+use crate::diag::{Diagnostic, DiagnosticBag, Severity, Span};
+use crate::program::Program;
+
+/// How one thread uses windows on one pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowUse {
+    /// Whether any attach requests `ReadWrite`.
+    pub writable: bool,
+    /// A representative attach site (a writable one when present).
+    pub span: Span,
+}
+
+/// Per-pool window profile of one thread's program.
+pub fn window_profile(program: &Program) -> BTreeMap<PmoId, WindowUse> {
+    let mut profile: BTreeMap<PmoId, WindowUse> = BTreeMap::new();
+    for f in program.reachable() {
+        let func = &program.functions[f];
+        for (b, block) in func.blocks.iter().enumerate() {
+            for (i, instr) in block.instrs.iter().enumerate() {
+                let Instr::Attach { pmo, perm } = instr else {
+                    continue;
+                };
+                let writable = *perm == Permission::ReadWrite;
+                let span = Span::instr(&func.name, b, i);
+                profile
+                    .entry(*pmo)
+                    .and_modify(|u| {
+                        if writable && !u.writable {
+                            u.writable = true;
+                            u.span = span.clone();
+                        }
+                    })
+                    .or_insert(WindowUse { writable, span });
+            }
+        }
+    }
+    profile
+}
+
+/// Reports every pool on which one thread can hold a writable window while
+/// another thread holds any window. `threads[i]` is thread *i*'s program.
+pub fn check_thread_races(threads: &[Program]) -> DiagnosticBag {
+    let mut bag = DiagnosticBag::new();
+    if threads.len() < 2 {
+        return bag;
+    }
+    let profiles: Vec<BTreeMap<PmoId, WindowUse>> = threads.iter().map(window_profile).collect();
+
+    // Pools any thread windows at all, in deterministic order.
+    let mut pools: Vec<PmoId> = profiles.iter().flat_map(|p| p.keys().copied()).collect();
+    pools.sort_unstable();
+    pools.dedup();
+
+    for pmo in pools {
+        let holders: Vec<usize> = (0..threads.len())
+            .filter(|&t| profiles[t].contains_key(&pmo))
+            .collect();
+        let Some(&writer) = holders.iter().find(|&&t| profiles[t][&pmo].writable) else {
+            continue; // read-only contention cannot corrupt
+        };
+        if holders.len() < 2 {
+            continue;
+        }
+        let others: Vec<String> = holders
+            .iter()
+            .filter(|&&t| t != writer)
+            .map(|t| t.to_string())
+            .collect();
+        let use_ = &profiles[writer][&pmo];
+        bag.push(
+            Diagnostic::new(
+                "TERP-W002",
+                Severity::Warning,
+                use_.span.clone(),
+                format!(
+                    "thread {writer} can hold a writable window on {pmo} while \
+                     thread(s) {} also hold windows on it",
+                    others.join(", ")
+                ),
+            )
+            .with_note(
+                "windows are per-thread permissions: overlapping windows re-expose \
+                 the pool to cross-thread corruption for their full overlap",
+            ),
+        );
+    }
+    bag
+}
+
+/// Convenience for the built-in workloads: every thread runs the same
+/// program, so any writable window is contended as soon as the workload is
+/// multi-threaded.
+pub fn check_workload_races(
+    workload: &terp_workloads::Workload,
+    variant: terp_workloads::Variant,
+) -> DiagnosticBag {
+    if workload.threads < 2 {
+        return DiagnosticBag::new();
+    }
+    let program = Program::single(workload.program_variant(variant));
+    let threads: Vec<Program> = (0..workload.threads).map(|_| program.clone()).collect();
+    check_thread_races(&threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use terp_compiler::builder::FunctionBuilder;
+    use terp_pmo::AccessKind;
+
+    fn pmo(n: u16) -> PmoId {
+        PmoId::new(n).unwrap()
+    }
+
+    fn writer_thread(p: PmoId) -> Program {
+        let mut b = FunctionBuilder::new("writer");
+        b.attach(p, Permission::ReadWrite);
+        b.pmo_access(p, AccessKind::Write, 4);
+        b.detach(p);
+        Program::single(b.finish())
+    }
+
+    fn reader_thread(p: PmoId) -> Program {
+        let mut b = FunctionBuilder::new("reader");
+        b.attach(p, Permission::Read);
+        b.pmo_access(p, AccessKind::Read, 4);
+        b.detach(p);
+        Program::single(b.finish())
+    }
+
+    /// The seeded cross-thread race: writer and reader window the same pool.
+    #[test]
+    fn writer_reader_same_pool_is_w002() {
+        let bag = check_thread_races(&[writer_thread(pmo(1)), reader_thread(pmo(1))]);
+        let d = bag.iter().find(|d| d.code == "TERP-W002").expect("W002");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("thread 0"));
+        assert!(!bag.has_errors());
+    }
+
+    #[test]
+    fn readers_only_do_not_race() {
+        let bag = check_thread_races(&[reader_thread(pmo(1)), reader_thread(pmo(1))]);
+        assert!(bag.is_empty(), "{}", bag.render_human());
+    }
+
+    #[test]
+    fn disjoint_pools_do_not_race() {
+        let bag = check_thread_races(&[writer_thread(pmo(1)), reader_thread(pmo(2))]);
+        assert!(bag.is_empty(), "{}", bag.render_human());
+    }
+
+    #[test]
+    fn single_thread_never_races() {
+        let bag = check_thread_races(&[writer_thread(pmo(1))]);
+        assert!(bag.is_empty());
+    }
+
+    #[test]
+    fn window_in_a_callee_still_counts() {
+        // Thread 0's writable window is opened inside a helper function.
+        let mut root = FunctionBuilder::new("root");
+        root.call(1);
+        let mut helper = FunctionBuilder::new("helper");
+        helper.attach(pmo(1), Permission::ReadWrite);
+        helper.pmo_access(pmo(1), AccessKind::Write, 1);
+        helper.detach(pmo(1));
+        let t0 = Program::new(vec![root.finish(), helper.finish()], 0);
+        let bag = check_thread_races(&[t0, reader_thread(pmo(1))]);
+        assert!(bag.iter().any(|d| d.code == "TERP-W002"));
+        let d = bag.iter().next().unwrap();
+        assert_eq!(d.span.function, "helper");
+    }
+
+    #[test]
+    fn one_warning_per_pool_lists_all_threads() {
+        let bag = check_thread_races(&[
+            writer_thread(pmo(1)),
+            reader_thread(pmo(1)),
+            reader_thread(pmo(1)),
+        ]);
+        assert_eq!(bag.len(), 1);
+        let d = bag.iter().next().unwrap();
+        assert!(d.message.contains("1, 2"), "{}", d.message);
+    }
+}

@@ -1,0 +1,171 @@
+//! End-to-end acceptance tests for the whole-program analyzer: the seeded
+//! defect scenarios each surface with their stable lint code, correctly
+//! inserted workload programs analyze clean, and diagnostics survive a JSON
+//! round-trip.
+
+use terp_analysis::{
+    analyze_program, analyze_workload, AnalysisConfig, DiagnosticBag, Json, Program, Severity,
+};
+use terp_compiler::builder::FunctionBuilder;
+use terp_pmo::{AccessKind, Permission, PmoId};
+use terp_workloads::{spec, whisper, Variant};
+
+fn pmo(n: u16) -> PmoId {
+    PmoId::new(n).unwrap()
+}
+
+/// Seeded defect 1: an interprocedural leaked window — opened in a callee,
+/// never closed anywhere — must surface as `TERP-E105`.
+#[test]
+fn seeded_interprocedural_leak_is_detected() {
+    let mut root = FunctionBuilder::new("root");
+    root.compute(100);
+    root.call(1);
+    root.compute(100);
+    let mut helper = FunctionBuilder::new("helper");
+    helper.attach(pmo(1), Permission::ReadWrite);
+    helper.pmo_access(pmo(1), AccessKind::Write, 8);
+    // Missing detach: the window survives helper's return and the program's
+    // exit. No single function sees the whole defect.
+    let program = Program::new(vec![root.finish(), helper.finish()], 0);
+
+    let report = analyze_program(&program, &AnalysisConfig::default());
+    let leak = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "TERP-E105")
+        .expect("interprocedural leak must be found");
+    assert_eq!(leak.severity, Severity::Error);
+    assert_eq!(leak.span.function, "root", "leak reported at program exit");
+    assert!(
+        leak.notes.iter().any(|n| n.contains("helper")),
+        "note should trace the window to the callee: {:?}",
+        leak.notes
+    );
+}
+
+/// Seeded defect 2: a window held across a heavy unknown-bound loop blows
+/// the 2 µs-class budget — `TERP-W001`.
+#[test]
+fn seeded_let_budget_violation_is_detected() {
+    let mut f = FunctionBuilder::new("hot");
+    f.attach(pmo(1), Permission::ReadWrite);
+    f.loop_(None, |body| {
+        body.pmo_access(pmo(1), AccessKind::Write, 2);
+        body.compute(50_000);
+    });
+    f.detach(pmo(1));
+    let program = Program::single(f.finish());
+
+    let report = analyze_program(&program, &AnalysisConfig::default());
+    let w = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "TERP-W001")
+        .expect("budget violation must be found");
+    assert_eq!(w.severity, Severity::Warning);
+    assert!(!report.diagnostics.has_errors(), "well-formed, just slow");
+}
+
+/// Seeded defect 3: two threads with concurrent writable windows on one
+/// pool — `TERP-W002`.
+#[test]
+fn seeded_cross_thread_race_is_detected() {
+    // A 4-thread SPEC-style workload: every thread runs the same program
+    // with RW windows, so the pools are contended.
+    let mcf = spec::mcf(spec::SpecScale::test()).with_threads(4);
+    let report = analyze_workload(
+        &mcf,
+        Variant::Auto {
+            let_threshold: 4400,
+        },
+        &AnalysisConfig::default(),
+    );
+    let race = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "TERP-W002")
+        .expect("multi-thread RW workload must race");
+    assert_eq!(race.severity, Severity::Warning);
+    assert!(!report.diagnostics.has_errors());
+}
+
+/// Correctly-inserted programs must produce zero errors across the whole
+/// WHISPER and SPEC suites (warnings and notes allowed).
+#[test]
+fn auto_variant_workloads_analyze_error_free() {
+    let mut workloads = whisper::all(whisper::WhisperScale::test());
+    workloads.extend(spec::all(spec::SpecScale::test()));
+    assert!(workloads.len() >= 11, "both suites present");
+    for w in workloads {
+        let report = analyze_workload(
+            &w,
+            Variant::Auto {
+                let_threshold: 4400,
+            },
+            &AnalysisConfig::default(),
+        );
+        assert_eq!(
+            report.diagnostics.error_count(),
+            0,
+            "{}:\n{}",
+            w.name,
+            report.diagnostics.render_human()
+        );
+        // The census sees the program's accesses, all spatially covered.
+        let census = report.census.expect("census enabled");
+        assert!(census.pmo_sites > 0, "{}", w.name);
+        assert_eq!(census.spatial_armed_fraction(), 1.0, "{}", w.name);
+    }
+}
+
+/// Manual (MERR-style) variants are well-formed too — their windows are just
+/// bigger, which may cost warnings but never errors.
+#[test]
+fn manual_variant_workloads_analyze_error_free() {
+    for w in whisper::all(whisper::WhisperScale::test()) {
+        let report = analyze_workload(&w, Variant::Manual, &AnalysisConfig::default());
+        assert_eq!(
+            report.diagnostics.error_count(),
+            0,
+            "{}:\n{}",
+            w.name,
+            report.diagnostics.render_human()
+        );
+    }
+}
+
+/// The full diagnostics document of a realistic defective program survives
+/// render → parse → rebuild without loss.
+#[test]
+fn diagnostics_round_trip_through_json() {
+    let mut root = FunctionBuilder::new("root");
+    root.attach(pmo(1), Permission::ReadWrite);
+    root.call(1);
+    root.loop_(None, |body| {
+        body.pmo_access(pmo(1), AccessKind::Write, 1);
+        body.compute(100_000);
+    });
+    // Leak pool 1, plus callee trouble below.
+    let mut helper = FunctionBuilder::new("helper");
+    helper.detach(pmo(2)); // nobody opened pool 2
+    let program = Program::new(vec![root.finish(), helper.finish()], 0);
+
+    let report = analyze_program(&program, &AnalysisConfig::default());
+    assert!(report.diagnostics.has_errors());
+    assert!(report.diagnostics.warning_count() > 0);
+
+    let text = report.diagnostics.to_json().render();
+    let parsed = Json::parse(&text).expect("self-produced JSON parses");
+    let rebuilt = DiagnosticBag::from_json(&parsed).expect("document shape is ours");
+    assert_eq!(rebuilt, report.diagnostics);
+
+    // And a second render is byte-identical (canonical form).
+    assert_eq!(rebuilt.to_json().render(), text);
+
+    // The document carries machine-readable counts.
+    assert_eq!(
+        parsed.get("errors").and_then(Json::as_num).unwrap() as usize,
+        report.diagnostics.error_count()
+    );
+}

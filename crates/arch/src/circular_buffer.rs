@@ -242,7 +242,12 @@ mod tests {
         // Figure 7a: entries (pmo, ts, ctr, dd) = (1,3,0,1) (2,5,3,0)
         // (3,12,1,0) (4,15,2,0); now = 15, max EW = 10.
         let mut cb = CircularBuffer::new();
-        for (id, ts, ctr, dd) in [(1u16, 3u64, 0u32, true), (2, 5, 3, false), (3, 12, 1, false), (4, 15, 2, false)] {
+        for (id, ts, ctr, dd) in [
+            (1u16, 3u64, 0u32, true),
+            (2, 5, 3, false),
+            (3, 12, 1, false),
+            (4, 15, 2, false),
+        ] {
             cb.insert(pmo(id), ts).unwrap();
             let e = cb.find_mut(pmo(id)).unwrap();
             e.ctr = ctr;

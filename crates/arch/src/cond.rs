@@ -54,7 +54,10 @@ pub enum AttachOutcome {
 impl AttachOutcome {
     /// Whether this outcome requires a full attach system call.
     pub fn needs_syscall(self) -> bool {
-        matches!(self, AttachOutcome::FirstAttach | AttachOutcome::UntrackedAttach)
+        matches!(
+            self,
+            AttachOutcome::FirstAttach | AttachOutcome::UntrackedAttach
+        )
     }
 }
 
@@ -78,7 +81,10 @@ pub enum DetachOutcome {
 impl DetachOutcome {
     /// Whether this outcome requires a full detach system call.
     pub fn needs_syscall(self) -> bool {
-        matches!(self, DetachOutcome::FullDetach | DetachOutcome::UntrackedDetach)
+        matches!(
+            self,
+            DetachOutcome::FullDetach | DetachOutcome::UntrackedDetach
+        )
     }
 }
 
@@ -278,7 +284,10 @@ impl CondEngine {
                 self.stats.sweep_detach += 1;
                 actions.push(SweepAction::Detach(entry.pmo));
             } else {
-                let e = self.buffer.find_mut(entry.pmo).expect("expired entry vanished");
+                let e = self
+                    .buffer
+                    .find_mut(entry.pmo)
+                    .expect("expired entry vanished");
                 e.ts = now;
                 self.stats.sweep_randomize += 1;
                 actions.push(SweepAction::Randomize(entry.pmo));

@@ -120,9 +120,7 @@ fn bench_sweep_period(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{period_us}us")),
             &params,
-            |b, params| {
-                b.iter(|| black_box(run(&workload, Scheme::terp_full(), 40.0, params)))
-            },
+            |b, params| b.iter(|| black_box(run(&workload, Scheme::terp_full(), 40.0, params))),
         );
     }
     group.finish();

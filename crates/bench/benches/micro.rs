@@ -49,7 +49,12 @@ fn bench_permission_hardware(c: &mut Criterion) {
     c.bench_function("permission_matrix_check", |b| {
         let mut m = PermissionMatrix::new();
         for i in 1..=6u16 {
-            m.insert(pmo(i), (0x1000 * u64::from(i)) << 16, 1 << 16, Permission::ReadWrite);
+            m.insert(
+                pmo(i),
+                (0x1000 * u64::from(i)) << 16,
+                1 << 16,
+                Permission::ReadWrite,
+            );
         }
         b.iter(|| black_box(m.check(black_box(0x3000 << 16), terp_pmo::AccessKind::Read)));
     });
@@ -99,7 +104,9 @@ fn bench_address_space(c: &mut Criterion) {
         let id = reg.create("bench", 1 << 30, OpenMode::ReadWrite).unwrap();
         let mut space = ProcessAddressSpace::with_seed(1);
         b.iter(|| {
-            let h = space.attach(reg.pool_mut(id).unwrap(), Permission::ReadWrite).unwrap();
+            let h = space
+                .attach(reg.pool_mut(id).unwrap(), Permission::ReadWrite)
+                .unwrap();
             black_box(h.base_va());
             space.detach(reg.pool_mut(id).unwrap()).unwrap();
         });

@@ -44,7 +44,9 @@ fn sweep_period(scale: Scale) {
             42,
         );
         let config = ProtectionConfig::terp_default();
-        let r = Executor::new(params, config).run(&mut reg, traces).expect("run");
+        let r = Executor::new(params, config)
+            .run(&mut reg, traces)
+            .expect("run");
         println!(
             "   period {:>5.1} µs: EW avg/max {:>5.1}/{:>5.1} µs, overhead {:>5.2} %, randomizations {}",
             period_us,
@@ -137,7 +139,8 @@ fn tew_budget() {
         );
         let trace = lower(&inserted.function, &LowerConfig::default()).expect("lowering");
         let mut reg = PmoRegistry::new();
-        reg.create("budget", 1 << 20, OpenMode::ReadWrite).expect("pool");
+        reg.create("budget", 1 << 20, OpenMode::ReadWrite)
+            .expect("pool");
         let mut config = ProtectionConfig::terp_default();
         config.tew_target_us = tew_us;
         let r = Executor::new(params.clone(), config)
@@ -194,7 +197,8 @@ fn loop_bound_backstop() {
     )
     .expect("lowering");
     let mut reg = PmoRegistry::new();
-    reg.create("backstop", 1 << 20, OpenMode::ReadWrite).expect("pool");
+    reg.create("backstop", 1 << 20, OpenMode::ReadWrite)
+        .expect("pool");
     let r = Executor::new(SimParams::default(), ProtectionConfig::terp_default())
         .run(&mut reg, vec![trace])
         .expect("run");

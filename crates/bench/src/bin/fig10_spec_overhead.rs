@@ -39,8 +39,10 @@ fn main() {
         ("TT (160us)", Scheme::terp_full(), 160.0),
     ];
 
-    let mut averages: Vec<(String, Vec<f64>)> =
-        configs.iter().map(|(l, _, _)| (l.to_string(), vec![])).collect();
+    let mut averages: Vec<(String, Vec<f64>)> = configs
+        .iter()
+        .map(|(l, _, _)| (l.to_string(), vec![]))
+        .collect();
     let mut worst = ("", 0.0f64);
 
     for workload in spec::all(scale.spec()) {

@@ -36,14 +36,22 @@ fn main() {
 
     let configs: [(&str, Scheme, f64); 5] = [
         ("basic (40us)", Scheme::BasicSemantics, 40.0),
-        ("+Cond (40us)", Scheme::TerpFull { window_combining: false }, 40.0),
+        (
+            "+Cond (40us)",
+            Scheme::TerpFull {
+                window_combining: false,
+            },
+            40.0,
+        ),
         ("+CB (40us)", Scheme::terp_full(), 40.0),
         ("+CB (80us)", Scheme::terp_full(), 80.0),
         ("+CB (160us)", Scheme::terp_full(), 160.0),
     ];
 
-    let mut averages: Vec<(String, Vec<f64>)> =
-        configs.iter().map(|(l, _, _)| (l.to_string(), vec![])).collect();
+    let mut averages: Vec<(String, Vec<f64>)> = configs
+        .iter()
+        .map(|(l, _, _)| (l.to_string(), vec![]))
+        .collect();
 
     for workload in spec::all(scale.spec()) {
         let workload = workload.with_threads(4);

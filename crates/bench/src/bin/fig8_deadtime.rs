@@ -27,7 +27,11 @@ fn main() {
     for (i, workload) in all().iter().enumerate() {
         let mut reg = PmoRegistry::new();
         let pmo = reg
-            .create(&format!("churn-{}", workload.name), 1 << 30, OpenMode::ReadWrite)
+            .create(
+                &format!("churn-{}", workload.name),
+                1 << 30,
+                OpenMode::ReadWrite,
+            )
             .expect("churn pool");
         let trace = workload.trace(pmo, churn, 1000 + i as u64);
         let config = ProtectionConfig::new(Scheme::Unprotected, 40.0, 2.0);

@@ -41,8 +41,10 @@ fn main() {
         ("TT (160us)", Scheme::terp_full(), 160.0),
     ];
 
-    let mut averages: Vec<(String, Vec<f64>)> =
-        configs.iter().map(|(l, _, _)| (l.to_string(), vec![])).collect();
+    let mut averages: Vec<(String, Vec<f64>)> = configs
+        .iter()
+        .map(|(l, _, _)| (l.to_string(), vec![]))
+        .collect();
 
     for workload in whisper::all(scale.whisper()) {
         for (i, (label, scheme, ew)) in configs.iter().enumerate() {

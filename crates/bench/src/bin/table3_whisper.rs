@@ -86,9 +86,7 @@ impl Acc {
             self.tew / n,
             pct(self.ter / n),
         );
-        println!(
-            "\npaper:   | 14.5/34.3   24.5 |    88.8 39.4/40.0   53.2   1.20    3.4"
-        );
+        println!("\npaper:   | 14.5/34.3   24.5 |    88.8 39.4/40.0   53.2   1.20    3.4");
         let reduction_ew = 1.0 - (self.tew / n) / (self.mm_ew / n);
         let reduction_er = 1.0 - (self.ter / n) / (self.mm_er / n);
         println!(

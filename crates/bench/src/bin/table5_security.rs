@@ -64,7 +64,11 @@ fn main() {
             "  EW {:>4} µs: {:.4} % {}",
             ew,
             m.merr_percent(1.0),
-            if m.merr_percent(1.0) < 0.1 { "(< 0.1 %, acceptable)" } else { "(too large)" }
+            if m.merr_percent(1.0) < 0.1 {
+                "(< 0.1 %, acceptable)"
+            } else {
+                "(too large)"
+            }
         );
     }
 }

@@ -13,8 +13,8 @@
 //! SPEC; MERR keeps 24.5 % / 27.2 % armed.
 
 use terp_bench::{mean, run_scheme, Scale, TEW_TARGET_US};
-use terp_security::dop::{run_campaign, DopCampaign, DopProtection};
 use terp_core::config::Scheme;
+use terp_security::dop::{run_campaign, DopCampaign, DopProtection};
 use terp_security::gadgets::{scenarios, GadgetCensus};
 use terp_sim::SimParams;
 use terp_workloads::{spec, whisper, Variant};
@@ -85,7 +85,10 @@ fn main() {
 
     // Figure 12 gadget-chain campaigns with the measured exposure rates.
     println!("\nFigure 12 data-only attack campaigns (linked-list corruption, 2000 attempts):");
-    for (label, round_us) in [("interactive (1 ms/round)", 1000.0), ("local chain (1 µs/round)", 1.0)] {
+    for (label, round_us) in [
+        ("interactive (1 ms/round)", 1000.0),
+        ("local chain (1 µs/round)", 1.0),
+    ] {
         let campaign = DopCampaign {
             round_us,
             ..Default::default()

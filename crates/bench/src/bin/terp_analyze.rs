@@ -1,0 +1,195 @@
+//! `terp-analyze` — static protection analysis over the built-in workloads.
+//!
+//! Runs the full `terp-analysis` pipeline (interprocedural window
+//! verification, LET-budget check, cross-thread race detection, gadget
+//! census) on every selected WHISPER/SPEC workload and prints the findings
+//! in rustc-style human form or as one JSON document.
+//!
+//! ```text
+//! terp-analyze [--suite whisper|spec|all] [--variant auto|manual|unprotected]
+//!              [--format human|json] [--let-threshold CYCLES]
+//!              [--threads N] [--deny-warnings]
+//! ```
+//!
+//! Exit status: 0 when no workload has errors (or, with `--deny-warnings`,
+//! warnings); 1 when findings cross that bar; 2 on bad usage.
+
+use std::process::ExitCode;
+
+use terp_analysis::{analyze_workload, AnalysisConfig, Json, LetCheckConfig};
+use terp_workloads::{spec, whisper, Variant, Workload};
+
+const USAGE: &str = "\
+usage: terp-analyze [options]
+  --suite whisper|spec|all      workload suite to analyze (default: all)
+  --variant auto|manual|unprotected
+                                protection variant (default: auto)
+  --format human|json           output format (default: human)
+  --let-threshold CYCLES        LET budget for insertion and the W001 check
+                                (default: the compiler's insertion default)
+  --threads N                   override every workload's thread count
+  --deny-warnings               exit nonzero on warnings too
+  --help                        print this help";
+
+struct Options {
+    suite: String,
+    variant: String,
+    format: String,
+    let_threshold: Option<u64>,
+    threads: Option<usize>,
+    deny_warnings: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        suite: "all".into(),
+        variant: "auto".into(),
+        format: "human".into(),
+        let_threshold: None,
+        threads: None,
+        deny_warnings: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--suite" => {
+                opts.suite = value("--suite")?;
+                if !["whisper", "spec", "all"].contains(&opts.suite.as_str()) {
+                    return Err(format!("unknown suite `{}`", opts.suite));
+                }
+            }
+            "--variant" => {
+                opts.variant = value("--variant")?;
+                if !["auto", "manual", "unprotected"].contains(&opts.variant.as_str()) {
+                    return Err(format!("unknown variant `{}`", opts.variant));
+                }
+            }
+            "--format" => {
+                opts.format = value("--format")?;
+                if !["human", "json"].contains(&opts.format.as_str()) {
+                    return Err(format!("unknown format `{}`", opts.format));
+                }
+            }
+            "--let-threshold" => {
+                let v = value("--let-threshold")?;
+                opts.let_threshold = Some(v.parse().map_err(|_| format!("bad cycle count `{v}`"))?);
+            }
+            "--threads" => {
+                let v = value("--threads")?;
+                opts.threads = Some(v.parse().map_err(|_| format!("bad thread count `{v}`"))?);
+            }
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) if msg.is_empty() => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("terp-analyze: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut workloads: Vec<Workload> = Vec::new();
+    if opts.suite == "whisper" || opts.suite == "all" {
+        workloads.extend(whisper::all(whisper::WhisperScale::test()));
+    }
+    if opts.suite == "spec" || opts.suite == "all" {
+        workloads.extend(spec::all(spec::SpecScale::test()));
+    }
+    if let Some(n) = opts.threads {
+        workloads = workloads.into_iter().map(|w| w.with_threads(n)).collect();
+    }
+
+    let mut config = AnalysisConfig::default();
+    if let Some(t) = opts.let_threshold {
+        config.let_check = LetCheckConfig {
+            let_threshold: t,
+            ..LetCheckConfig::default()
+        };
+    }
+    let variant = match opts.variant.as_str() {
+        "manual" => Variant::Manual,
+        "unprotected" => Variant::Unprotected,
+        _ => Variant::Auto {
+            let_threshold: config.let_check.let_threshold,
+        },
+    };
+
+    let mut total_errors = 0usize;
+    let mut total_warnings = 0usize;
+    let mut docs: Vec<Json> = Vec::new();
+    for w in &workloads {
+        let report = analyze_workload(w, variant, &config);
+        total_errors += report.diagnostics.error_count();
+        total_warnings += report.diagnostics.warning_count();
+        match opts.format.as_str() {
+            "json" => {
+                let mut fields = vec![
+                    ("workload", Json::Str(w.name.to_string())),
+                    ("threads", Json::Num(w.threads as f64)),
+                    ("variant", Json::Str(opts.variant.clone())),
+                    ("diagnostics", report.diagnostics.to_json()),
+                ];
+                if let Some(c) = report.census {
+                    fields.push((
+                        "census",
+                        Json::obj([
+                            ("pmo_sites", Json::Num(c.pmo_sites as f64)),
+                            ("armed_sites", Json::Num(c.armed_sites as f64)),
+                            ("volatile_sites", Json::Num(c.volatile_sites as f64)),
+                            ("weighted_pmo", Json::Num(c.weighted_pmo as f64)),
+                            ("weighted_armed", Json::Num(c.weighted_armed as f64)),
+                        ]),
+                    ));
+                }
+                docs.push(Json::obj(fields));
+            }
+            _ => {
+                println!(
+                    "== {} ({} thread{}, {} variant) ==",
+                    w.name,
+                    w.threads,
+                    if w.threads == 1 { "" } else { "s" },
+                    opts.variant
+                );
+                println!("{}", report.diagnostics.render_human());
+            }
+        }
+    }
+
+    if opts.format == "json" {
+        let doc = Json::obj([
+            ("workloads", Json::Arr(docs)),
+            ("errors", Json::Num(total_errors as f64)),
+            ("warnings", Json::Num(total_warnings as f64)),
+        ]);
+        println!("{}", doc.render());
+    } else {
+        println!(
+            "analyzed {} workload(s): {total_errors} error(s), {total_warnings} warning(s)",
+            workloads.len()
+        );
+    }
+
+    if total_errors > 0 || (opts.deny_warnings && total_warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

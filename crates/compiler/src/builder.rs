@@ -124,6 +124,11 @@ impl FunctionBuilder {
         self.instr(Instr::Detach { pmo })
     }
 
+    /// Appends a direct call to function `callee` of the enclosing program.
+    pub fn call(&mut self, callee: crate::ir::FuncId) -> &mut Self {
+        self.instr(Instr::Call { callee })
+    }
+
     /// Builds a two-way branch. Each closure fills one arm; control rejoins
     /// after both. Returns the block ids of (then-arm, else-arm) bodies for
     /// test assertions.

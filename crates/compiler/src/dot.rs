@@ -17,15 +17,20 @@ pub fn function_to_dot(func: &Function) -> String {
         for instr in &block.instrs {
             let line = match instr {
                 Instr::Compute { instrs } => format!("compute {instrs}"),
-                Instr::PmoAccess { pmo, kind, count, .. } => {
+                Instr::PmoAccess {
+                    pmo, kind, count, ..
+                } => {
                     format!("{pmo} {kind:?} x{count}")
                 }
-                Instr::PmoAccessMay { a, b, kind, count, .. } => {
+                Instr::PmoAccessMay {
+                    a, b, kind, count, ..
+                } => {
                     format!("{a}|{b} {kind:?} x{count}")
                 }
                 Instr::DramAccess { count, .. } => format!("dram x{count}"),
                 Instr::Attach { pmo, perm } => format!("ATTACH {pmo} {perm}"),
                 Instr::Detach { pmo } => format!("DETACH {pmo}"),
+                Instr::Call { callee } => format!("call fn{callee}"),
             };
             let _ = write!(label, "{line}\\l");
         }
@@ -42,11 +47,19 @@ pub fn function_to_dot(func: &Function) -> String {
             Terminator::Jump(t) => {
                 let _ = writeln!(out, "  bb{i} -> bb{t};");
             }
-            Terminator::Branch { then_b, else_b, taken_prob } => {
+            Terminator::Branch {
+                then_b,
+                else_b,
+                taken_prob,
+            } => {
                 let _ = writeln!(out, "  bb{i} -> bb{then_b} [label=\"p={taken_prob:.2}\"];");
                 let _ = writeln!(out, "  bb{i} -> bb{else_b} [style=dashed];");
             }
-            Terminator::LoopLatch { header, exit, trips } => {
+            Terminator::LoopLatch {
+                header,
+                exit,
+                trips,
+            } => {
                 let t = trips.map_or("?".to_string(), |t| t.to_string());
                 let _ = writeln!(out, "  bb{i} -> bb{header} [label=\"x{t}\", color=blue];");
                 let _ = writeln!(out, "  bb{i} -> bb{exit};");

@@ -181,10 +181,18 @@ pub fn insert_protection(func: &Function, config: &InsertionConfig) -> Insertion
             .filter(|(_, i)| i.may_access_pmos().contains(pmo))
             .map(|(idx, _)| idx)
             .collect();
-        let first = *accesses.first().expect("single-block region without access");
+        let first = *accesses
+            .first()
+            .expect("single-block region without access");
         let last = *accesses.last().expect("nonempty");
         let entry = per_block.entry(*b).or_default();
-        entry.push((first, Instr::Attach { pmo: *pmo, perm: *perm }));
+        entry.push((
+            first,
+            Instr::Attach {
+                pmo: *pmo,
+                perm: *perm,
+            },
+        ));
         entry.push((last + 1, Instr::Detach { pmo: *pmo }));
     }
     for (b, inserts) in &mut per_block {
@@ -265,7 +273,13 @@ mod tests {
         // Write access inferred RW permission.
         let has_rw_attach = r.function.blocks.iter().any(|blk| {
             blk.instrs.iter().any(|i| {
-                matches!(i, Instr::Attach { perm: Permission::ReadWrite, .. })
+                matches!(
+                    i,
+                    Instr::Attach {
+                        perm: Permission::ReadWrite,
+                        ..
+                    }
+                )
             })
         });
         assert!(has_rw_attach);
@@ -312,7 +326,10 @@ mod tests {
         // No constructs inside (or on edges of) the else branch blocks.
         for &eb in &else_blocks {
             assert!(
-                r.function.blocks[eb].instrs.iter().all(|i| !i.is_protection()),
+                r.function.blocks[eb]
+                    .instrs
+                    .iter()
+                    .all(|i| !i.is_protection()),
                 "else branch must be construct-free"
             );
         }
@@ -454,7 +471,15 @@ mod alias_tests {
             .blocks
             .iter()
             .flat_map(|blk| blk.instrs.iter())
-            .filter(|i| matches!(i, Instr::Attach { perm: Permission::ReadWrite, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::Attach {
+                        perm: Permission::ReadWrite,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(rw_attaches, 2);
     }

@@ -9,6 +9,10 @@ use terp_pmo::{AccessKind, Permission, PmoId};
 /// Index of a basic block within its [`Function`].
 pub type BlockId = usize;
 
+/// Index of a function within a whole-program module (`terp-analysis`'s
+/// `Program`); callees of [`Instr::Call`] are named by this index.
+pub type FuncId = usize;
+
 /// Loop trip count assumed when a bound is statically unknown (the paper:
 /// "we follow the common practice in static analysis to assume it to be a
 /// large number (e.g., 1k)").
@@ -107,6 +111,17 @@ pub enum Instr {
     Detach {
         /// Pool to detach.
         pmo: PmoId,
+    },
+    /// A direct call to another function of the enclosing program.
+    ///
+    /// Per-function passes treat calls as opaque, window-neutral operations
+    /// (the callee must leave the caller's window state unchanged — the
+    /// paper's per-thread well-formedness contract). The interprocedural
+    /// analyzer in `terp-analysis` is what checks that assumption by
+    /// propagating window state across call edges.
+    Call {
+        /// Index of the callee in the enclosing program's function table.
+        callee: FuncId,
     },
 }
 

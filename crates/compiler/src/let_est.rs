@@ -29,6 +29,10 @@ pub struct LetModel {
     pub dram_access_cycles: u64,
     /// Cycles charged per protection construct (syscall worst case).
     pub construct_cycles: u64,
+    /// Cycles charged for the call/return overhead of a `Call` instruction
+    /// (the callee's own body is costed by the interprocedural analysis,
+    /// not by the per-function estimator).
+    pub call_cycles: u64,
 }
 
 impl Default for LetModel {
@@ -38,6 +42,7 @@ impl Default for LetModel {
             pmo_access_cycles: 400,
             dram_access_cycles: 160,
             construct_cycles: 4500,
+            call_cycles: 150,
         }
     }
 }
@@ -52,6 +57,7 @@ impl LetModel {
             }
             Instr::DramAccess { count, .. } => count * self.dram_access_cycles,
             Instr::Attach { .. } | Instr::Detach { .. } => self.construct_cycles,
+            Instr::Call { .. } => self.call_cycles,
         }
     }
 

@@ -94,7 +94,11 @@ pub fn lower(func: &Function, config: &LowerConfig) -> Result<ThreadTrace, Trace
                 then_b,
                 else_b,
             } => {
-                block = if rng.chance(taken_prob) { then_b } else { else_b };
+                block = if rng.chance(taken_prob) {
+                    then_b
+                } else {
+                    else_b
+                };
             }
             Terminator::LoopLatch {
                 header,
@@ -172,6 +176,10 @@ fn emit_instr(
         }
         Instr::Attach { pmo, perm } => trace.push(TraceOp::Attach { pmo, perm }),
         Instr::Detach { pmo } => trace.push(TraceOp::Detach { pmo }),
+        // Lowering is per-function: a call's body is not available here, so
+        // only its call/return overhead is modeled. Whole-program flattening
+        // is the interprocedural analyzer's job (`terp-analysis`).
+        Instr::Call { .. } => trace.push(TraceOp::Compute { instrs: 60 }),
     }
 }
 
@@ -321,9 +329,30 @@ mod tests {
         let mut b = FunctionBuilder::new("det");
         b.pmo_access(pmo(1), AccessKind::Read, 50);
         let f = b.finish();
-        let t1 = lower(&f, &LowerConfig { seed: 1, ..Default::default() }).unwrap();
-        let t2 = lower(&f, &LowerConfig { seed: 1, ..Default::default() }).unwrap();
-        let t3 = lower(&f, &LowerConfig { seed: 2, ..Default::default() }).unwrap();
+        let t1 = lower(
+            &f,
+            &LowerConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let t2 = lower(
+            &f,
+            &LowerConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let t3 = lower(
+            &f,
+            &LowerConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(t1, t2);
         assert_ne!(t1, t3);
     }

@@ -138,7 +138,12 @@ impl RegionHierarchy {
         });
 
         // Deduplicate identical block sets (keep the first).
-        regions.sort_by(|a, b| a.blocks.len().cmp(&b.blocks.len()).then(a.blocks.cmp(&b.blocks)));
+        regions.sort_by(|a, b| {
+            a.blocks
+                .len()
+                .cmp(&b.blocks.len())
+                .then(a.blocks.cmp(&b.blocks))
+        });
         regions.dedup_by(|a, b| a.blocks == b.blocks);
 
         RegionHierarchy { regions }

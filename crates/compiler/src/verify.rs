@@ -57,25 +57,68 @@ pub enum ProtectionError {
     },
 }
 
-impl std::fmt::Display for ProtectionError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl ProtectionError {
+    /// Stable lint code for this violation class, shared with the
+    /// `terp-analysis` diagnostics engine (its interprocedural extensions
+    /// use the `TERP-E1xx` band).
+    pub fn code(&self) -> &'static str {
         match self {
-            ProtectionError::OverlappingAttach { block, pmo } => {
-                write!(f, "block {block}: attach of already-attached {pmo}")
+            ProtectionError::OverlappingAttach { .. } => "TERP-E001",
+            ProtectionError::UnmatchedDetach { .. } => "TERP-E002",
+            ProtectionError::UnprotectedAccess { .. } => "TERP-E003",
+            ProtectionError::InconsistentJoin { .. } => "TERP-E004",
+            ProtectionError::LeakedWindow { .. } => "TERP-E005",
+        }
+    }
+
+    /// The block the violation is reported at.
+    pub fn block(&self) -> BlockId {
+        match *self {
+            ProtectionError::OverlappingAttach { block, .. }
+            | ProtectionError::UnmatchedDetach { block, .. }
+            | ProtectionError::UnprotectedAccess { block, .. }
+            | ProtectionError::InconsistentJoin { block }
+            | ProtectionError::LeakedWindow { block, .. } => block,
+        }
+    }
+
+    /// Pools involved in the violation (empty for join inconsistencies).
+    pub fn pmos(&self) -> Vec<PmoId> {
+        match self {
+            ProtectionError::OverlappingAttach { pmo, .. }
+            | ProtectionError::UnmatchedDetach { pmo, .. }
+            | ProtectionError::UnprotectedAccess { pmo, .. } => vec![*pmo],
+            ProtectionError::InconsistentJoin { .. } => Vec::new(),
+            ProtectionError::LeakedWindow { open, .. } => open.clone(),
+        }
+    }
+
+    /// Human-readable description without the block prefix (diagnostics
+    /// engines add their own location rendering).
+    pub fn message(&self) -> String {
+        match self {
+            ProtectionError::OverlappingAttach { pmo, .. } => {
+                format!("attach of already-attached {pmo}")
             }
-            ProtectionError::UnmatchedDetach { block, pmo } => {
-                write!(f, "block {block}: detach of unattached {pmo}")
+            ProtectionError::UnmatchedDetach { pmo, .. } => {
+                format!("detach of unattached {pmo}")
             }
-            ProtectionError::UnprotectedAccess { block, pmo } => {
-                write!(f, "block {block}: access to {pmo} outside any window")
+            ProtectionError::UnprotectedAccess { pmo, .. } => {
+                format!("access to {pmo} outside any window")
             }
-            ProtectionError::InconsistentJoin { block } => {
-                write!(f, "block {block}: paths join with different window states")
+            ProtectionError::InconsistentJoin { .. } => {
+                "paths join with different window states".to_string()
             }
-            ProtectionError::LeakedWindow { block, open } => {
-                write!(f, "block {block}: return with open windows {open:?}")
+            ProtectionError::LeakedWindow { open, .. } => {
+                format!("return with open windows {open:?}")
             }
         }
+    }
+}
+
+impl std::fmt::Display for ProtectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "block {}: {}", self.block(), self.message())
     }
 }
 
@@ -117,17 +160,26 @@ pub fn verify_protection(func: &Function) -> Result<VerifiedProtection, Protecti
             match instr {
                 Instr::Attach { pmo, .. } => {
                     if !state.insert(*pmo) {
-                        return Err(ProtectionError::OverlappingAttach { block: b, pmo: *pmo });
+                        return Err(ProtectionError::OverlappingAttach {
+                            block: b,
+                            pmo: *pmo,
+                        });
                     }
                 }
                 Instr::Detach { pmo } => {
                     if !state.remove(pmo) {
-                        return Err(ProtectionError::UnmatchedDetach { block: b, pmo: *pmo });
+                        return Err(ProtectionError::UnmatchedDetach {
+                            block: b,
+                            pmo: *pmo,
+                        });
                     }
                 }
                 Instr::PmoAccess { pmo, .. } => {
                     if !state.contains(pmo) {
-                        return Err(ProtectionError::UnprotectedAccess { block: b, pmo: *pmo });
+                        return Err(ProtectionError::UnprotectedAccess {
+                            block: b,
+                            pmo: *pmo,
+                        });
                     }
                 }
                 Instr::PmoAccessMay { a, b: bb, .. } => {
@@ -141,7 +193,9 @@ pub fn verify_protection(func: &Function) -> Result<VerifiedProtection, Protecti
                         }
                     }
                 }
-                Instr::Compute { .. } | Instr::DramAccess { .. } => {}
+                // Calls are window-neutral by contract within a function;
+                // `terp-analysis` verifies that contract interprocedurally.
+                Instr::Compute { .. } | Instr::DramAccess { .. } | Instr::Call { .. } => {}
             }
         }
         let succs = &cfg.succs[b];
@@ -227,7 +281,10 @@ mod tests {
         let err = verify_protection(&b.finish()).unwrap_err();
         assert_eq!(
             err,
-            ProtectionError::UnprotectedAccess { block: 0, pmo: pmo(1) }
+            ProtectionError::UnprotectedAccess {
+                block: 0,
+                pmo: pmo(1)
+            }
         );
     }
 

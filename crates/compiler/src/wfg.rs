@@ -100,7 +100,10 @@ pub fn build_wfg(
         });
     }
 
-    debug_assert!(unvisited.is_empty(), "uncovered accessing blocks: {unvisited:?}");
+    debug_assert!(
+        unvisited.is_empty(),
+        "uncovered accessing blocks: {unvisited:?}"
+    );
     wfg
 }
 
@@ -205,10 +208,7 @@ mod tests {
             name: "big".into(),
             entry: 0,
             blocks: vec![BasicBlock {
-                instrs: vec![
-                    access(pmo(1)),
-                    Instr::Compute { instrs: 10_000_000 },
-                ],
+                instrs: vec![access(pmo(1)), Instr::Compute { instrs: 10_000_000 }],
                 terminator: Terminator::Return,
             }],
         };

@@ -59,8 +59,8 @@ pub mod permission;
 pub mod poset;
 pub mod report;
 pub mod runtime;
-pub mod session;
 pub mod semantics;
+pub mod session;
 pub mod window;
 
 pub use config::{ProtectionConfig, Scheme};

@@ -86,9 +86,9 @@ impl PermissionSet {
     /// Set-containment: every right in `self` is also in `other`
     /// (`P ⊆ p(g)` from Definition 2).
     pub fn is_subset_of(&self, other: &PermissionSet) -> bool {
-        self.rights.iter().all(|(pmo, rights)| {
-            rights.iter().all(|r| other.has(*pmo, *r))
-        })
+        self.rights
+            .iter()
+            .all(|(pmo, rights)| rights.iter().all(|r| other.has(*pmo, *r)))
     }
 
     /// Intersection of two permission sets.
@@ -129,7 +129,11 @@ pub struct PermissionGroup {
 impl PermissionGroup {
     /// Creates a group; validity against per-agent permissions is checked by
     /// [`Self::is_valid_for`].
-    pub fn new(name: &str, members: impl IntoIterator<Item = Agent>, shared: PermissionSet) -> Self {
+    pub fn new(
+        name: &str,
+        members: impl IntoIterator<Item = Agent>,
+        shared: PermissionSet,
+    ) -> Self {
         PermissionGroup {
             name: name.to_string(),
             members: members.into_iter().collect(),
@@ -217,11 +221,7 @@ mod tests {
     fn group_containment_is_by_members() {
         let shared = PermissionSet::new();
         let small = PermissionGroup::new("one", [Agent::Thread(0)], shared.clone());
-        let big = PermissionGroup::new(
-            "both",
-            [Agent::Thread(0), Agent::Thread(1)],
-            shared,
-        );
+        let big = PermissionGroup::new("both", [Agent::Thread(0), Agent::Thread(1)], shared);
         assert!(big.contains_group(&small));
         assert!(!small.contains_group(&big));
     }

@@ -130,9 +130,7 @@ impl<T: PartialEq> Poset<T> {
                 if i == j || !self.le[i][j] {
                     continue;
                 }
-                let covered = (0..n).any(|k| {
-                    k != i && k != j && self.le[i][k] && self.le[k][j]
-                });
+                let covered = (0..n).any(|k| k != i && k != j && self.le[i][k] && self.le[k][j]);
                 if !covered {
                     edges.push((&self.elements[i], &self.elements[j]));
                 }

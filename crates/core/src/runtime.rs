@@ -198,7 +198,10 @@ impl<'r> RunState<'r> {
         let n = traces.len();
         let machine = Machine::new(params.clone());
         let mut space = ProcessAddressSpace::with_seed(config.seed);
-        let engine = if matches!(config.scheme, Scheme::TerpSoftware | Scheme::TerpFull { .. }) {
+        let engine = if matches!(
+            config.scheme,
+            Scheme::TerpSoftware | Scheme::TerpFull { .. }
+        ) {
             Some(CondEngine::with_capacity(
                 config.ew_target_cycles(&params),
                 config.cb_capacity,
@@ -320,7 +323,12 @@ impl<'r> RunState<'r> {
         }
     }
 
-    fn pmo_access(&mut self, thread: usize, oid: ObjectId, kind: AccessKind) -> Result<(), RunError> {
+    fn pmo_access(
+        &mut self,
+        thread: usize,
+        oid: ObjectId,
+        kind: AccessKind,
+    ) -> Result<(), RunError> {
         let va = self
             .space
             .oid_direct(oid)
@@ -336,13 +344,8 @@ impl<'r> RunState<'r> {
                 return Err(RunError::AccessDenied { thread, oid });
             }
         }
-        self.machine.mem_access(
-            thread,
-            va,
-            kind,
-            MemoryRegion::Nvm,
-            OverheadCategory::Base,
-        );
+        self.machine
+            .mem_access(thread, va, kind, MemoryRegion::Nvm, OverheadCategory::Base);
         Ok(())
     }
 
@@ -358,7 +361,12 @@ impl<'r> RunState<'r> {
     }
 
     /// Process-wide Basic-semantics attach (MM and the Figure 11 ablation).
-    fn attach_basic(&mut self, thread: usize, pmo: PmoId, perm: Permission) -> Result<bool, RunError> {
+    fn attach_basic(
+        &mut self,
+        thread: usize,
+        pmo: PmoId,
+        perm: Permission,
+    ) -> Result<bool, RunError> {
         if self.merr.attach(pmo).is_ok() {
             self.blocked[thread] = false;
             self.machine.charge_attach_syscall(thread);
@@ -372,7 +380,8 @@ impl<'r> RunState<'r> {
             );
             self.attach_syscalls += 1;
             let handle = self.space.attach(self.registry.pool_mut(pmo)?, perm)?;
-            self.matrix.insert(pmo, handle.base_va(), handle.size(), perm);
+            self.matrix
+                .insert(pmo, handle.base_va(), handle.size(), perm);
             self.windows.open_ew(pmo, self.machine.now(thread));
             return Ok(true);
         }
@@ -394,7 +403,8 @@ impl<'r> RunState<'r> {
             Some(clock) => {
                 let now = self.machine.now(thread);
                 let delta = clock.saturating_sub(now) + 1;
-                self.machine.advance(thread, delta, OverheadCategory::Attach);
+                self.machine
+                    .advance(thread, delta, OverheadCategory::Attach);
                 self.blocked_cycles += delta;
                 self.blocked[thread] = true;
                 Ok(false) // retry the attach
@@ -436,7 +446,10 @@ impl<'r> RunState<'r> {
                     .insert(pmo, handle.base_va(), handle.size(), Permission::ReadWrite);
                 self.windows.open_ew(pmo, self.machine.now(thread));
             }
-            if matches!(outcome, AttachOutcome::FirstAttach | AttachOutcome::UntrackedAttach) {
+            if matches!(
+                outcome,
+                AttachOutcome::FirstAttach | AttachOutcome::UntrackedAttach
+            ) {
                 self.attach_syscalls += 1;
             }
         }
@@ -498,7 +511,8 @@ impl<'r> RunState<'r> {
 
         // The calling thread's permission closes in every case.
         self.thread_perms.revoke(thread, pmo);
-        self.windows.close_tew(thread, pmo, self.machine.now(thread));
+        self.windows
+            .close_tew(thread, pmo, self.machine.now(thread));
 
         if outcome.needs_syscall() && self.space.is_attached(pmo) {
             if !self.config.scheme.cond_is_syscall() {
@@ -519,11 +533,7 @@ impl<'r> RunState<'r> {
         }
         while self.next_sweep <= now {
             let ts = self.next_sweep;
-            let actions = self
-                .engine
-                .as_mut()
-                .expect("checked above")
-                .sweep(ts);
+            let actions = self.engine.as_mut().expect("checked above").sweep(ts);
             for action in actions {
                 match action {
                     SweepAction::Detach(pmo) => {
@@ -629,7 +639,11 @@ mod tests {
     #[test]
     fn unprotected_run_has_zero_protection_overhead() {
         let (mut reg, ids) = setup(1);
-        let r = run(Scheme::Unprotected, &mut reg, vec![simple_trace(ids[0], 10, 20)]);
+        let r = run(
+            Scheme::Unprotected,
+            &mut reg,
+            vec![simple_trace(ids[0], 10, 20)],
+        );
         assert_eq!(r.overhead_fraction(), 0.0);
         assert_eq!(r.attach_syscalls, 0);
         assert!(r.total_cycles > 0);
@@ -804,7 +818,13 @@ mod tests {
         let err = Executor::new(SimParams::default(), config)
             .run(&mut reg, traces)
             .unwrap_err();
-        assert!(matches!(err, RunError::TooManyThreads { threads: 5, cores: 4 }));
+        assert!(matches!(
+            err,
+            RunError::TooManyThreads {
+                threads: 5,
+                cores: 4
+            }
+        ));
     }
 
     #[test]

@@ -109,7 +109,7 @@ mod figure3_tests {
         assert_eq!(s.attach(), CallOutcome::Silent); // 7: inner → silent
         assert_eq!(s.access(), AccessOutcome::Valid); // 8
         assert_eq!(s.detach(), CallOutcome::Silent); // 9: inner detach silent
-        // The outer window is STILL open — the unbounded-window problem.
+                                                     // The outer window is STILL open — the unbounded-window problem.
         assert_eq!(s.access(), AccessOutcome::Valid);
     }
 
@@ -119,16 +119,16 @@ mod figure3_tests {
         assert_eq!(s.attach(), CallOutcome::Performed); // 1
         assert_eq!(s.access(), AccessOutcome::Valid); // 2
         assert_eq!(s.detach(), CallOutcome::Performed); // 3: first detach performed
-        // 4: access while detached auto-reattaches — "valid (trigger
-        // reattach)" in Figure 3, and exactly why FCFS cannot tell a benign
-        // access from an attacker-triggered one.
+                                                        // 4: access while detached auto-reattaches — "valid (trigger
+                                                        // reattach)" in Figure 3, and exactly why FCFS cannot tell a benign
+                                                        // access from an attacker-triggered one.
         assert_eq!(s.access(), AccessOutcome::TriggersReattach);
         assert_eq!(s.attach(), CallOutcome::Silent); // 5: already (re)attached
         assert_eq!(s.access(), AccessOutcome::Valid); // 6
         assert_eq!(s.attach(), CallOutcome::Silent); // 7: inner → silent
         assert_eq!(s.access(), AccessOutcome::Valid); // 8
         assert_eq!(s.detach(), CallOutcome::Performed); // 9: first detach after attach
-        // And again: the next access would silently re-expose the PMO.
+                                                        // And again: the next access would silently re-expose the PMO.
         assert_eq!(s.access(), AccessOutcome::TriggersReattach);
     }
 }

@@ -54,7 +54,11 @@ impl std::fmt::Display for SessionError {
             SessionError::OverlappingAttach(p) => write!(f, "overlapping attach of {p}"),
             SessionError::UnmatchedDetach(p) => write!(f, "unmatched detach of {p}"),
             SessionError::Unmapped(p) => write!(f, "{p} is not mapped (segfault)"),
-            SessionError::PermissionDenied { thread, pmo, access } => {
+            SessionError::PermissionDenied {
+                thread,
+                pmo,
+                access,
+            } => {
                 write!(f, "thread {thread}: {access} to {pmo} denied")
             }
             SessionError::Substrate(e) => write!(f, "substrate: {e}"),
@@ -193,9 +197,16 @@ impl PmoSession {
     ///
     /// [`SessionError::Unmapped`] in the detached state,
     /// [`SessionError::PermissionDenied`] without a sufficient grant.
-    pub fn read(&mut self, thread: usize, oid: ObjectId, buf: &mut [u8]) -> Result<(), SessionError> {
+    pub fn read(
+        &mut self,
+        thread: usize,
+        oid: ObjectId,
+        buf: &mut [u8],
+    ) -> Result<(), SessionError> {
         self.check(thread, oid.pmo(), AccessKind::Read)?;
-        self.registry.pool(oid.pmo())?.read_bytes(oid.offset(), buf)?;
+        self.registry
+            .pool(oid.pmo())?
+            .read_bytes(oid.offset(), buf)?;
         Ok(())
     }
 
@@ -229,7 +240,11 @@ impl PmoSession {
         match sem.access(thread, access) {
             AccessOutcome::Valid => Ok(()),
             _ if !sem.is_mapped() => Err(SessionError::Unmapped(pmo)),
-            _ => Err(SessionError::PermissionDenied { thread, pmo, access }),
+            _ => Err(SessionError::PermissionDenied {
+                thread,
+                pmo,
+                access,
+            }),
         }
     }
 }

@@ -144,10 +144,7 @@ impl WindowTracker {
         for &(pmo, d) in closed {
             *per_pool.entry(pmo).or_insert(0) += d;
         }
-        let sum: f64 = per_pool
-            .values()
-            .map(|&t| t as f64 / total as f64)
-            .sum();
+        let sum: f64 = per_pool.values().map(|&t| t as f64 / total as f64).sum();
         sum / per_pool.len() as f64
     }
 
@@ -162,7 +159,11 @@ impl WindowTracker {
         }
         WindowStats {
             count,
-            avg_cycles: if count == 0 { 0.0 } else { total as f64 / count as f64 },
+            avg_cycles: if count == 0 {
+                0.0
+            } else {
+                total as f64 / count as f64
+            },
             max_cycles: max,
             total_cycles: total,
         }

@@ -170,7 +170,10 @@ mod tests {
     #[test]
     fn owner_has_full_access() {
         let acl = PoolAcl::new(7);
-        assert_eq!(acl.effective_mode(7, &no_groups()), Some(OpenMode::ReadWrite));
+        assert_eq!(
+            acl.effective_mode(7, &no_groups()),
+            Some(OpenMode::ReadWrite)
+        );
         assert_eq!(acl.effective_mode(8, &no_groups()), None);
     }
 
@@ -178,7 +181,10 @@ mod tests {
     fn user_grant_and_revoke() {
         let mut acl = PoolAcl::new(1);
         acl.grant_user(2, OpenMode::ReadOnly);
-        assert_eq!(acl.effective_mode(2, &no_groups()), Some(OpenMode::ReadOnly));
+        assert_eq!(
+            acl.effective_mode(2, &no_groups()),
+            Some(OpenMode::ReadOnly)
+        );
         assert!(acl.revoke_user(2));
         assert_eq!(acl.effective_mode(2, &no_groups()), None);
         assert!(!acl.revoke_user(2));
@@ -207,7 +213,9 @@ mod tests {
     fn registry_check_open_enforces_modes() {
         let mut reg = AclRegistry::new();
         reg.set(pmo(1), PoolAcl::new(100));
-        reg.acl_mut(pmo(1)).unwrap().grant_user(200, OpenMode::ReadOnly);
+        reg.acl_mut(pmo(1))
+            .unwrap()
+            .grant_user(200, OpenMode::ReadOnly);
 
         assert!(reg
             .check_open(pmo(1), 200, &no_groups(), OpenMode::ReadOnly)
@@ -231,7 +239,9 @@ mod tests {
         // regardless of any process- or thread-level state.
         let mut reg = AclRegistry::new();
         reg.set(pmo(1), PoolAcl::new(1));
-        reg.acl_mut(pmo(1)).unwrap().grant_user(2, OpenMode::ReadWrite);
+        reg.acl_mut(pmo(1))
+            .unwrap()
+            .grant_user(2, OpenMode::ReadWrite);
         assert!(reg
             .check_open(pmo(1), 2, &no_groups(), OpenMode::ReadWrite)
             .is_ok());

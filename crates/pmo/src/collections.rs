@@ -288,9 +288,8 @@ impl PList {
             let mut buf = [0u8; 16];
             pool.read_bytes(node.offset(), &mut buf)?;
             out.push(u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")));
-            cursor = ObjectId::from_packed(u64::from_le_bytes(
-                buf[0..8].try_into().expect("8 bytes"),
-            ));
+            cursor =
+                ObjectId::from_packed(u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes")));
         }
         Ok(out)
     }
@@ -374,7 +373,10 @@ mod tests {
         for i in 1..=5u64 {
             l.push_front(reg.pool_mut(id).unwrap(), i).unwrap();
         }
-        assert_eq!(l.to_vec(reg.pool(id).unwrap()).unwrap(), vec![5, 4, 3, 2, 1]);
+        assert_eq!(
+            l.to_vec(reg.pool(id).unwrap()).unwrap(),
+            vec![5, 4, 3, 2, 1]
+        );
         assert_eq!(l.pop_front(reg.pool_mut(id).unwrap()).unwrap(), Some(5));
         assert_eq!(l.len(reg.pool(id).unwrap()).unwrap(), 4);
         // Nodes are freed: live count shrinks back as we drain.

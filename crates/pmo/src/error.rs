@@ -89,7 +89,10 @@ impl fmt::Display for PmoError {
                 "{access} access to pmo {pmo} denied (granted permission: {granted})"
             ),
             PmoError::ModeMismatch(id) => {
-                write!(f, "open mode of pmo {id} does not allow the requested permission")
+                write!(
+                    f,
+                    "open mode of pmo {id} does not allow the requested permission"
+                )
             }
             PmoError::PoolIdsExhausted => write!(f, "pool id space exhausted"),
         }
@@ -120,7 +123,9 @@ mod tests {
         for err in samples {
             let text = err.to_string();
             assert!(!text.is_empty());
-            assert!(text.chars().next().unwrap().is_lowercase() || text.starts_with(char::is_numeric));
+            assert!(
+                text.chars().next().unwrap().is_lowercase() || text.starts_with(char::is_numeric)
+            );
             assert!(!text.ends_with('.'));
         }
     }

@@ -101,7 +101,10 @@ impl ObjectId {
     ///
     /// Panics if `offset` does not fit in the 54-bit offset field.
     pub fn new(pmo: PmoId, offset: u64) -> Self {
-        assert!(offset < MAX_OFFSET, "offset {offset:#x} exceeds 54-bit field");
+        assert!(
+            offset < MAX_OFFSET,
+            "offset {offset:#x} exceeds 54-bit field"
+        );
         ObjectId { pmo, offset }
     }
 

@@ -73,7 +73,12 @@ impl fmt::Debug for Pmo {
 impl Pmo {
     /// Creates a pool. Use [`crate::PmoRegistry::create`] instead of calling
     /// this directly; the registry assigns ids and enforces unique names.
-    pub(crate) fn new(id: PmoId, name: String, size: u64, mode: OpenMode) -> Result<Self, PmoError> {
+    pub(crate) fn new(
+        id: PmoId,
+        name: String,
+        size: u64,
+        mode: OpenMode,
+    ) -> Result<Self, PmoError> {
         if size == 0 || size >= crate::id::MAX_OFFSET {
             return Err(PmoError::InvalidSize(size));
         }
@@ -154,13 +159,10 @@ impl Pmo {
         if size == 0 {
             return Err(PmoError::InvalidSize(0));
         }
-        let offset = self
-            .allocator
-            .alloc(size)
-            .ok_or(PmoError::OutOfMemory {
-                pmo: self.id,
-                requested: size,
-            })?;
+        let offset = self.allocator.alloc(size).ok_or(PmoError::OutOfMemory {
+            pmo: self.id,
+            requested: size,
+        })?;
         Ok(ObjectId::new(self.id, offset))
     }
 
@@ -198,7 +200,9 @@ impl Pmo {
             let in_page = (addr % PAGE_SIZE) as usize;
             let chunk = (PAGE_SIZE as usize - in_page).min(buf.len() - pos);
             match self.pages.get(&page_idx) {
-                Some(page) => buf[pos..pos + chunk].copy_from_slice(&page[in_page..in_page + chunk]),
+                Some(page) => {
+                    buf[pos..pos + chunk].copy_from_slice(&page[in_page..in_page + chunk])
+                }
                 None => buf[pos..pos + chunk].fill(0),
             }
             pos += chunk;
@@ -259,7 +263,13 @@ mod tests {
     use super::*;
 
     fn pool() -> Pmo {
-        Pmo::new(PmoId::new(1).unwrap(), "t".into(), 1 << 20, OpenMode::ReadWrite).unwrap()
+        Pmo::new(
+            PmoId::new(1).unwrap(),
+            "t".into(),
+            1 << 20,
+            OpenMode::ReadWrite,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -283,7 +293,10 @@ mod tests {
     fn pfree_rejects_foreign_pool_oid() {
         let mut p = pool();
         let foreign = ObjectId::new(PmoId::new(2).unwrap(), 0);
-        assert_eq!(p.pfree(foreign).unwrap_err(), PmoError::InvalidFree(foreign));
+        assert_eq!(
+            p.pfree(foreign).unwrap_err(),
+            PmoError::InvalidFree(foreign)
+        );
     }
 
     #[test]

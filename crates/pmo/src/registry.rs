@@ -194,7 +194,10 @@ mod tests {
         let reopened = reg.open("persist", OpenMode::ReadOnly).unwrap();
         assert_eq!(reopened, id);
         let mut buf = [0u8; 8];
-        reg.pool(id).unwrap().read_bytes(oid.offset(), &mut buf).unwrap();
+        reg.pool(id)
+            .unwrap()
+            .read_bytes(oid.offset(), &mut buf)
+            .unwrap();
         assert_eq!(&buf, b"durable!");
         assert_eq!(reg.pool(id).unwrap().mode(), OpenMode::ReadOnly);
     }

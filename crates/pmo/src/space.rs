@@ -148,7 +148,11 @@ impl ProcessAddressSpace {
     /// * [`PmoError::ModeMismatch`] — requested permission exceeds the open
     ///   mode.
     /// * [`PmoError::AddressSpaceExhausted`] — no free slot found.
-    pub fn attach(&mut self, pool: &mut Pmo, permission: Permission) -> Result<AttachHandle, PmoError> {
+    pub fn attach(
+        &mut self,
+        pool: &mut Pmo,
+        permission: Permission,
+    ) -> Result<AttachHandle, PmoError> {
         if !pool.is_open() {
             return Err(PmoError::Closed(pool.id()));
         }
@@ -211,7 +215,10 @@ impl ProcessAddressSpace {
             .get(&pool.id())
             .copied()
             .ok_or(PmoError::NotAttached(pool.id()))?;
-        let mapping = self.mappings.remove(&old_base).expect("mapping table out of sync");
+        let mapping = self
+            .mappings
+            .remove(&old_base)
+            .expect("mapping table out of sync");
         self.by_pmo.remove(&pool.id());
         let new_base = self.pick_random_base(mapping.size)?;
         self.mappings.insert(
@@ -390,7 +397,10 @@ mod tests {
     fn setup(n: usize, size: u64) -> (PmoRegistry, Vec<PmoId>, ProcessAddressSpace) {
         let mut reg = PmoRegistry::new();
         let ids = (0..n)
-            .map(|i| reg.create(&format!("p{i}"), size, OpenMode::ReadWrite).unwrap())
+            .map(|i| {
+                reg.create(&format!("p{i}"), size, OpenMode::ReadWrite)
+                    .unwrap()
+            })
             .collect();
         (reg, ids, ProcessAddressSpace::with_seed(42))
     }
@@ -398,7 +408,9 @@ mod tests {
     #[test]
     fn attach_maps_at_page_aligned_base_in_region() {
         let (mut reg, ids, mut space) = setup(1, 1 << 20);
-        let h = space.attach(reg.pool_mut(ids[0]).unwrap(), Permission::Read).unwrap();
+        let h = space
+            .attach(reg.pool_mut(ids[0]).unwrap(), Permission::Read)
+            .unwrap();
         assert_eq!(h.base_va() % PAGE_SIZE, 0);
         assert!(h.base_va() >= PMO_REGION_BASE);
         assert!(h.base_va() + h.size() <= PMO_REGION_END);
@@ -407,9 +419,13 @@ mod tests {
     #[test]
     fn double_attach_is_rejected_at_this_layer() {
         let (mut reg, ids, mut space) = setup(1, 1 << 20);
-        space.attach(reg.pool_mut(ids[0]).unwrap(), Permission::Read).unwrap();
+        space
+            .attach(reg.pool_mut(ids[0]).unwrap(), Permission::Read)
+            .unwrap();
         assert_eq!(
-            space.attach(reg.pool_mut(ids[0]).unwrap(), Permission::Read).unwrap_err(),
+            space
+                .attach(reg.pool_mut(ids[0]).unwrap(), Permission::Read)
+                .unwrap_err(),
             PmoError::AlreadyAttached(ids[0])
         );
     }
@@ -418,10 +434,15 @@ mod tests {
     fn detach_unmaps_and_oid_direct_faults() {
         let (mut reg, ids, mut space) = setup(1, 1 << 20);
         let oid = reg.pool_mut(ids[0]).unwrap().pmalloc(64).unwrap();
-        space.attach(reg.pool_mut(ids[0]).unwrap(), Permission::ReadWrite).unwrap();
+        space
+            .attach(reg.pool_mut(ids[0]).unwrap(), Permission::ReadWrite)
+            .unwrap();
         assert!(space.oid_direct(oid).is_ok());
         space.detach(reg.pool_mut(ids[0]).unwrap()).unwrap();
-        assert_eq!(space.oid_direct(oid).unwrap_err(), PmoError::NotAttached(ids[0]));
+        assert_eq!(
+            space.oid_direct(oid).unwrap_err(),
+            PmoError::NotAttached(ids[0])
+        );
         assert_eq!(
             space.detach(reg.pool_mut(ids[0]).unwrap()).unwrap_err(),
             PmoError::NotAttached(ids[0])
@@ -431,9 +452,13 @@ mod tests {
     #[test]
     fn reattach_lands_at_a_new_random_base() {
         let (mut reg, ids, mut space) = setup(1, 1 << 20);
-        let h1 = space.attach(reg.pool_mut(ids[0]).unwrap(), Permission::Read).unwrap();
+        let h1 = space
+            .attach(reg.pool_mut(ids[0]).unwrap(), Permission::Read)
+            .unwrap();
         space.detach(reg.pool_mut(ids[0]).unwrap()).unwrap();
-        let h2 = space.attach(reg.pool_mut(ids[0]).unwrap(), Permission::Read).unwrap();
+        let h2 = space
+            .attach(reg.pool_mut(ids[0]).unwrap(), Permission::Read)
+            .unwrap();
         // With 28 bits of slot entropy a collision is vanishingly unlikely.
         assert_ne!(h1.base_va(), h2.base_va());
         assert!(h2.generation() > h1.generation());
@@ -443,7 +468,9 @@ mod tests {
     fn randomize_moves_mapping_without_detach() {
         let (mut reg, ids, mut space) = setup(1, 1 << 20);
         let oid = reg.pool_mut(ids[0]).unwrap().pmalloc(64).unwrap();
-        let h1 = space.attach(reg.pool_mut(ids[0]).unwrap(), Permission::ReadWrite).unwrap();
+        let h1 = space
+            .attach(reg.pool_mut(ids[0]).unwrap(), Permission::ReadWrite)
+            .unwrap();
         let va1 = space.oid_direct(oid).unwrap();
         let h2 = space.randomize(reg.pool_mut(ids[0]).unwrap()).unwrap();
         let va2 = space.oid_direct(oid).unwrap();
@@ -461,7 +488,9 @@ mod tests {
         let (mut reg, ids, mut space) = setup(64, 1 << 24);
         let mut ranges: Vec<(u64, u64)> = Vec::new();
         for &id in &ids {
-            let h = space.attach(reg.pool_mut(id).unwrap(), Permission::Read).unwrap();
+            let h = space
+                .attach(reg.pool_mut(id).unwrap(), Permission::Read)
+                .unwrap();
             for &(b, s) in &ranges {
                 assert!(h.base_va() + h.size() <= b || b + s <= h.base_va());
             }
@@ -473,7 +502,9 @@ mod tests {
     fn resolve_is_inverse_of_oid_direct() {
         let (mut reg, ids, mut space) = setup(3, 1 << 20);
         for &id in &ids {
-            space.attach(reg.pool_mut(id).unwrap(), Permission::ReadWrite).unwrap();
+            space
+                .attach(reg.pool_mut(id).unwrap(), Permission::ReadWrite)
+                .unwrap();
         }
         let oid = ObjectId::new(ids[1], 0x1234);
         let va = space.oid_direct(oid).unwrap();
@@ -488,10 +519,14 @@ mod tests {
         let id = reg.create("ro", 1 << 20, OpenMode::ReadOnly).unwrap();
         let mut space = ProcessAddressSpace::with_seed(1);
         assert_eq!(
-            space.attach(reg.pool_mut(id).unwrap(), Permission::ReadWrite).unwrap_err(),
+            space
+                .attach(reg.pool_mut(id).unwrap(), Permission::ReadWrite)
+                .unwrap_err(),
             PmoError::ModeMismatch(id)
         );
-        assert!(space.attach(reg.pool_mut(id).unwrap(), Permission::Read).is_ok());
+        assert!(space
+            .attach(reg.pool_mut(id).unwrap(), Permission::Read)
+            .is_ok());
     }
 
     #[test]
@@ -508,8 +543,12 @@ mod tests {
         let (mut reg_a, ids_a, mut sa) = setup(4, 1 << 20);
         let (mut reg_b, ids_b, mut sb) = setup(4, 1 << 20);
         for (&a, &b) in ids_a.iter().zip(&ids_b) {
-            let ha = sa.attach(reg_a.pool_mut(a).unwrap(), Permission::Read).unwrap();
-            let hb = sb.attach(reg_b.pool_mut(b).unwrap(), Permission::Read).unwrap();
+            let ha = sa
+                .attach(reg_a.pool_mut(a).unwrap(), Permission::Read)
+                .unwrap();
+            let hb = sb
+                .attach(reg_b.pool_mut(b).unwrap(), Permission::Read)
+                .unwrap();
             assert_eq!(ha.base_va(), hb.base_va());
         }
     }

@@ -63,11 +63,7 @@ pub fn ensure_log_area(pool: &mut Pmo) -> Result<u64, PmoError> {
     // allocate fresh. (Simple linear scan: pools have few allocations when
     // transactions start being used, and the result can be cached.)
     const MAGIC: &[u8; 8] = b"TERPTXN1";
-    let candidates: Vec<u64> = pool
-        .allocator()
-        .live_blocks()
-        .map(|(off, _)| off)
-        .collect();
+    let candidates: Vec<u64> = pool.allocator().live_blocks().map(|(off, _)| off).collect();
     for off in candidates {
         let mut head = [0u8; 8];
         pool.read_bytes(off, &mut head)?;
@@ -148,7 +144,8 @@ impl<'p> Transaction<'p> {
             .write_bytes(pos + 8, &(before.len() as u32).to_le_bytes())?;
         self.pool.write_bytes(pos + 12, before)?;
         let count = (self.records.len() + 1) as u32;
-        self.pool.write_bytes(self.log_base + 9, &count.to_le_bytes())?;
+        self.pool
+            .write_bytes(self.log_base + 9, &count.to_le_bytes())?;
         Ok(())
     }
 
@@ -160,7 +157,8 @@ impl<'p> Transaction<'p> {
     pub fn commit(mut self) -> Result<(), PmoError> {
         // Clearing the state byte is the commit point (single atomic byte).
         self.pool.write_bytes(self.log_base + 8, &[0])?;
-        self.pool.write_bytes(self.log_base + 9, &0u32.to_le_bytes())?;
+        self.pool
+            .write_bytes(self.log_base + 9, &0u32.to_le_bytes())?;
         self.committed = true;
         Ok(())
     }
@@ -182,7 +180,8 @@ impl<'p> Transaction<'p> {
             self.pool.write_bytes(r.offset, &r.before)?;
         }
         self.pool.write_bytes(self.log_base + 8, &[0])?;
-        self.pool.write_bytes(self.log_base + 9, &0u32.to_le_bytes())?;
+        self.pool
+            .write_bytes(self.log_base + 9, &0u32.to_le_bytes())?;
         self.committed = true;
         Ok(())
     }
@@ -197,7 +196,9 @@ impl Drop for Transaction<'_> {
                 let _ = self.pool.write_bytes(r.offset, &r.before);
             }
             let _ = self.pool.write_bytes(self.log_base + 8, &[0]);
-            let _ = self.pool.write_bytes(self.log_base + 9, &0u32.to_le_bytes());
+            let _ = self
+                .pool
+                .write_bytes(self.log_base + 9, &0u32.to_le_bytes());
         }
     }
 }
@@ -266,7 +267,10 @@ mod tests {
             tx.commit().unwrap();
         }
         let mut buf = [0u8; 10];
-        reg.pool(id).unwrap().read_bytes(data.offset(), &mut buf).unwrap();
+        reg.pool(id)
+            .unwrap()
+            .read_bytes(data.offset(), &mut buf)
+            .unwrap();
         assert_eq!(&buf, b"committed!");
         // Recovery after a clean commit is a no-op.
         assert_eq!(recover(reg.pool_mut(id).unwrap()).unwrap(), 0);
@@ -287,11 +291,17 @@ mod tests {
         }
         // The torn write is visible pre-recovery...
         let mut buf = [0u8; 8];
-        reg.pool(id).unwrap().read_bytes(data.offset(), &mut buf).unwrap();
+        reg.pool(id)
+            .unwrap()
+            .read_bytes(data.offset(), &mut buf)
+            .unwrap();
         assert_eq!(&buf, b"mutated!");
         // ...and rolled back by recovery.
         assert_eq!(recover(reg.pool_mut(id).unwrap()).unwrap(), 1);
-        reg.pool(id).unwrap().read_bytes(data.offset(), &mut buf).unwrap();
+        reg.pool(id)
+            .unwrap()
+            .read_bytes(data.offset(), &mut buf)
+            .unwrap();
         assert_eq!(&buf, b"original");
     }
 
@@ -309,7 +319,10 @@ mod tests {
             // tx dropped here without commit.
         }
         let mut buf = [0u8; 8];
-        reg.pool(id).unwrap().read_bytes(data.offset(), &mut buf).unwrap();
+        reg.pool(id)
+            .unwrap()
+            .read_bytes(data.offset(), &mut buf)
+            .unwrap();
         assert_eq!(&buf, b"keepme__");
     }
 
@@ -332,8 +345,14 @@ mod tests {
         let (mut reg, id) = pool();
         let a = reg.pool_mut(id).unwrap().pmalloc(32).unwrap();
         let b = reg.pool_mut(id).unwrap().pmalloc(32).unwrap();
-        reg.pool_mut(id).unwrap().write_bytes(a.offset(), b"AAAA").unwrap();
-        reg.pool_mut(id).unwrap().write_bytes(b.offset(), b"BBBB").unwrap();
+        reg.pool_mut(id)
+            .unwrap()
+            .write_bytes(a.offset(), b"AAAA")
+            .unwrap();
+        reg.pool_mut(id)
+            .unwrap()
+            .write_bytes(b.offset(), b"BBBB")
+            .unwrap();
         {
             let mut tx = Transaction::begin(reg.pool_mut(id).unwrap()).unwrap();
             tx.write(a.offset(), b"1111").unwrap();
@@ -343,9 +362,15 @@ mod tests {
         }
         assert_eq!(recover(reg.pool_mut(id).unwrap()).unwrap(), 3);
         let mut buf = [0u8; 4];
-        reg.pool(id).unwrap().read_bytes(a.offset(), &mut buf).unwrap();
+        reg.pool(id)
+            .unwrap()
+            .read_bytes(a.offset(), &mut buf)
+            .unwrap();
         assert_eq!(&buf, b"AAAA");
-        reg.pool(id).unwrap().read_bytes(b.offset(), &mut buf).unwrap();
+        reg.pool(id)
+            .unwrap()
+            .read_bytes(b.offset(), &mut buf)
+            .unwrap();
         assert_eq!(&buf, b"BBBB");
     }
 
@@ -354,10 +379,7 @@ mod tests {
         let (mut reg, id) = pool();
         let mut tx = Transaction::begin(reg.pool_mut(id).unwrap()).unwrap();
         let big = vec![0u8; MAX_RANGE + 1];
-        assert!(matches!(
-            tx.write(0, &big),
-            Err(PmoError::InvalidSize(_))
-        ));
+        assert!(matches!(tx.write(0, &big), Err(PmoError::InvalidSize(_))));
         tx.commit().unwrap();
     }
 

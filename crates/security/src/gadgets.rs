@@ -52,9 +52,8 @@ impl GadgetCensus {
         };
         for (b, block) in func.blocks.iter().enumerate() {
             // Track window state through the block, as the verifier did.
-            let mut open: std::collections::BTreeSet<terp_pmo::PmoId> = proof.entry_state[b]
-                .clone()
-                .unwrap_or_default();
+            let mut open: std::collections::BTreeSet<terp_pmo::PmoId> =
+                proof.entry_state[b].clone().unwrap_or_default();
             for instr in &block.instrs {
                 match instr {
                     Instr::PmoAccess { pmo, .. } => {
@@ -76,7 +75,7 @@ impl GadgetCensus {
                     Instr::Detach { pmo } => {
                         open.remove(pmo);
                     }
-                    Instr::Compute { .. } => {}
+                    Instr::Compute { .. } | Instr::Call { .. } => {}
                 }
             }
         }
@@ -170,7 +169,9 @@ mod tests {
     fn census_over_whisper_programs() {
         use terp_workloads::{whisper, Variant};
         for w in whisper::all(whisper::WhisperScale::test()) {
-            let f = w.program_variant(Variant::Auto { let_threshold: 4400 });
+            let f = w.program_variant(Variant::Auto {
+                let_threshold: 4400,
+            });
             let census = GadgetCensus::analyze(&f).unwrap();
             assert!(census.pmo_gadgets > 0);
             // Compiler insertion covers every access.

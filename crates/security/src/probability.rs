@@ -156,7 +156,10 @@ mod tests {
         let m = ProbabilityModel::default();
         let p1 = m.merr_percent(1.0);
         let p1000 = m.accumulated(p1, 1000);
-        assert!(p1000 > p1 * 500.0 / 100.0 * 100.0 * 0.0 + p1, "grows with windows");
+        assert!(
+            p1000 > p1 * 500.0 / 100.0 * 100.0 * 0.0 + p1,
+            "grows with windows"
+        );
         assert!(p1000 <= 100.0);
         // Millions of windows → certainty, showing why window count matters.
         assert!(m.accumulated(p1, 10_000_000) > 99.0);
@@ -174,7 +177,11 @@ mod tests {
         // below 0.01 % per-window break probability at x = 1 µs.
         for ew in [40.0, 80.0, 160.0] {
             let m = ProbabilityModel { ew_us: ew, ..base };
-            assert!(m.merr_percent(1.0) < 0.1, "EW {ew}: {}", m.merr_percent(1.0));
+            assert!(
+                m.merr_percent(1.0) < 0.1,
+                "EW {ew}: {}",
+                m.merr_percent(1.0)
+            );
         }
     }
 

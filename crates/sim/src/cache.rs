@@ -39,7 +39,10 @@ impl SetAssocCache {
     pub fn new(sets: usize, ways: usize, line_bytes: u64) -> Self {
         assert!(sets > 0 && ways > 0 && line_bytes > 0, "degenerate cache");
         assert!(sets.is_power_of_two(), "sets must be a power of two");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         SetAssocCache {
             sets,
             ways,

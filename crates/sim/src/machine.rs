@@ -158,12 +158,20 @@ impl Machine {
 
     /// Charges the fixed permission-matrix check cost (1 cycle) on a core.
     pub fn charge_permission_check(&mut self, core: CoreId) {
-        self.advance(core, self.params.permission_matrix_cycles, OverheadCategory::Other);
+        self.advance(
+            core,
+            self.params.permission_matrix_cycles,
+            OverheadCategory::Other,
+        );
     }
 
     /// Charges a full attach system call on a core.
     pub fn charge_attach_syscall(&mut self, core: CoreId) {
-        self.advance(core, self.params.attach_syscall_cycles, OverheadCategory::Attach);
+        self.advance(
+            core,
+            self.params.attach_syscall_cycles,
+            OverheadCategory::Attach,
+        );
     }
 
     /// Charges a full detach system call on a core, including the TLB
@@ -253,7 +261,13 @@ mod tests {
         let mut m = machine();
         let p = m.params().clone();
         let va = 0x6000_0000_0000u64;
-        let cold = m.mem_access(0, va, AccessKind::Read, MemoryRegion::Nvm, OverheadCategory::Base);
+        let cold = m.mem_access(
+            0,
+            va,
+            AccessKind::Read,
+            MemoryRegion::Nvm,
+            OverheadCategory::Base,
+        );
         // Cold: TLB full miss + L1 miss + L2 miss + NVM.
         let expected = (p.l1_tlb_latency + p.l2_tlb_latency + p.tlb_miss_penalty)
             + p.l1d_latency
@@ -261,15 +275,33 @@ mod tests {
             + p.nvm_latency;
         assert_eq!(cold, expected);
         // Warm: TLB L1 hit + L1D hit.
-        let warm = m.mem_access(0, va, AccessKind::Read, MemoryRegion::Nvm, OverheadCategory::Base);
+        let warm = m.mem_access(
+            0,
+            va,
+            AccessKind::Read,
+            MemoryRegion::Nvm,
+            OverheadCategory::Base,
+        );
         assert_eq!(warm, p.l1_tlb_latency + p.l1d_latency);
     }
 
     #[test]
     fn dram_is_cheaper_than_nvm_on_miss() {
         let mut m = machine();
-        let d = m.mem_access(0, 0x1000, AccessKind::Read, MemoryRegion::Dram, OverheadCategory::Base);
-        let n = m.mem_access(0, 0x9000_0000, AccessKind::Read, MemoryRegion::Nvm, OverheadCategory::Base);
+        let d = m.mem_access(
+            0,
+            0x1000,
+            AccessKind::Read,
+            MemoryRegion::Dram,
+            OverheadCategory::Base,
+        );
+        let n = m.mem_access(
+            0,
+            0x9000_0000,
+            AccessKind::Read,
+            MemoryRegion::Nvm,
+            OverheadCategory::Base,
+        );
         assert_eq!(n - d, 360 - 120);
     }
 
@@ -289,10 +321,28 @@ mod tests {
     fn detach_shoots_down_all_tlbs() {
         let mut m = machine();
         // Warm core 1's TLB.
-        m.mem_access(1, 0x5000, AccessKind::Read, MemoryRegion::Dram, OverheadCategory::Base);
-        let warm = m.mem_access(1, 0x5000, AccessKind::Read, MemoryRegion::Dram, OverheadCategory::Base);
+        m.mem_access(
+            1,
+            0x5000,
+            AccessKind::Read,
+            MemoryRegion::Dram,
+            OverheadCategory::Base,
+        );
+        let warm = m.mem_access(
+            1,
+            0x5000,
+            AccessKind::Read,
+            MemoryRegion::Dram,
+            OverheadCategory::Base,
+        );
         m.charge_detach_syscall(0);
-        let after = m.mem_access(1, 0x5000, AccessKind::Read, MemoryRegion::Dram, OverheadCategory::Base);
+        let after = m.mem_access(
+            1,
+            0x5000,
+            AccessKind::Read,
+            MemoryRegion::Dram,
+            OverheadCategory::Base,
+        );
         assert!(after > warm, "shootdown must cold the TLB on every core");
         assert_eq!(m.tlb_shootdown_count(), 1);
     }

@@ -174,12 +174,17 @@ impl ThreadPermissionTable {
 
     /// Closes `thread`'s permission to `pmo`. Returns the previous level.
     pub fn revoke(&mut self, thread: usize, pmo: PmoId) -> Permission {
-        self.grants.remove(&(thread, pmo)).unwrap_or(Permission::None)
+        self.grants
+            .remove(&(thread, pmo))
+            .unwrap_or(Permission::None)
     }
 
     /// Permission `thread` currently holds over `pmo`.
     pub fn permission(&self, thread: usize, pmo: PmoId) -> Permission {
-        self.grants.get(&(thread, pmo)).copied().unwrap_or(Permission::None)
+        self.grants
+            .get(&(thread, pmo))
+            .copied()
+            .unwrap_or(Permission::None)
     }
 
     /// Checks an access, recording statistics.

@@ -217,7 +217,10 @@ mod tests {
     fn extend_appends() {
         let mut t = ThreadTrace::new();
         assert!(t.is_empty());
-        t.extend([TraceOp::Compute { instrs: 1 }, TraceOp::Compute { instrs: 2 }]);
+        t.extend([
+            TraceOp::Compute { instrs: 1 },
+            TraceOp::Compute { instrs: 2 },
+        ]);
         t.push(TraceOp::Compute { instrs: 3 });
         assert_eq!(t.len(), 3);
     }

@@ -1,7 +1,7 @@
 use terp_core::config::{ProtectionConfig, Scheme};
 use terp_core::runtime::Executor;
 use terp_sim::SimParams;
-use terp_workloads::{whisper, spec, Variant};
+use terp_workloads::{spec, whisper, Variant};
 
 fn main() {
     let tew = 4400;
@@ -38,11 +38,18 @@ fn main() {
             let traces = w.traces(variant, 42);
             let config = ProtectionConfig::new(scheme, 40.0, 2.0);
             match Executor::new(SimParams::default(), config).run(&mut reg, traces) {
-                Ok(r) => line += &format!(
-                    " | {} ov {:6.1}% EW {:5.1}/{:5.1} ER {:4.1}% TER {:4.1}% sil {:4.1}%",
-                    scheme, r.overhead_fraction()*100.0, r.ew_avg_us(), r.ew_max_us(),
-                    r.exposure_rate*100.0, r.thread_exposure_rate*100.0,
-                    r.silent_fraction()*100.0),
+                Ok(r) => {
+                    line += &format!(
+                        " | {} ov {:6.1}% EW {:5.1}/{:5.1} ER {:4.1}% TER {:4.1}% sil {:4.1}%",
+                        scheme,
+                        r.overhead_fraction() * 100.0,
+                        r.ew_avg_us(),
+                        r.ew_max_us(),
+                        r.exposure_rate * 100.0,
+                        r.thread_exposure_rate * 100.0,
+                        r.silent_fraction() * 100.0
+                    )
+                }
                 Err(e) => line += &format!(" | {scheme} ERROR {e}"),
             }
         }

@@ -164,7 +164,14 @@ fn default_classes(ephemeral_weight: f64, long_weight: f64) -> Vec<AllocClass> {
 /// benchmarks churn more ephemeral objects).
 pub fn all() -> Vec<ChurnWorkload> {
     let spec_names = [
-        "perlbench", "gcc", "mcf", "omnetpp", "xalancbmk", "x264", "deepsjeng", "leela",
+        "perlbench",
+        "gcc",
+        "mcf",
+        "omnetpp",
+        "xalancbmk",
+        "x264",
+        "deepsjeng",
+        "leela",
     ];
     let heap_names = ["cfrac", "espresso", "lindsay", "roboop", "shbench"];
     let mut out = Vec::new();
@@ -223,7 +230,11 @@ mod tests {
         for op in &t.ops {
             match op {
                 TraceOp::Alloc { tag, .. } => last = Some(*tag),
-                TraceOp::PmoAccess { tag: Some(tag), kind, .. } => {
+                TraceOp::PmoAccess {
+                    tag: Some(tag),
+                    kind,
+                    ..
+                } => {
                     assert_eq!(Some(*tag), last);
                     assert_eq!(*kind, AccessKind::Write);
                 }

@@ -170,7 +170,9 @@ mod tests {
         let w = whisper::echo(whisper::WhisperScale::test());
         let un = w.program_variant(Variant::Unprotected);
         let manual = w.program_variant(Variant::Manual);
-        let auto = w.program_variant(Variant::Auto { let_threshold: 4400 });
+        let auto = w.program_variant(Variant::Auto {
+            let_threshold: 4400,
+        });
         let count = |f: &Function| {
             f.blocks
                 .iter()
@@ -215,7 +217,12 @@ mod tests {
     #[test]
     fn auto_traces_carry_conditional_constructs() {
         let w = whisper::tpcc(whisper::WhisperScale::test());
-        for t in w.traces(Variant::Auto { let_threshold: 4400 }, 3) {
+        for t in w.traces(
+            Variant::Auto {
+                let_threshold: 4400,
+            },
+            3,
+        ) {
             let attaches = t
                 .ops
                 .iter()

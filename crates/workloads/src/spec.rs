@@ -226,7 +226,13 @@ pub fn xz(scale: SpecScale) -> Workload {
 
 /// All five SPEC-like kernels in the paper's table order.
 pub fn all(scale: SpecScale) -> Vec<Workload> {
-    vec![mcf(scale), lbm(scale), imagick(scale), nab(scale), xz(scale)]
+    vec![
+        mcf(scale),
+        lbm(scale),
+        imagick(scale),
+        nab(scale),
+        xz(scale),
+    ]
 }
 
 #[cfg(test)]
@@ -250,7 +256,9 @@ mod tests {
         for w in all(SpecScale::test()) {
             verify_protection(&w.program)
                 .unwrap_or_else(|e| panic!("{}: manual invalid: {e}", w.name));
-            let _ = w.program_variant(Variant::Auto { let_threshold: 4400 });
+            let _ = w.program_variant(Variant::Auto {
+                let_threshold: 4400,
+            });
         }
     }
 
@@ -270,7 +278,12 @@ mod tests {
     #[test]
     fn four_thread_variant_builds() {
         let w = mcf(SpecScale::test()).with_threads(4);
-        let traces = w.traces(Variant::Auto { let_threshold: 4400 }, 11);
+        let traces = w.traces(
+            Variant::Auto {
+                let_threshold: 4400,
+            },
+            11,
+        );
         assert_eq!(traces.len(), 4);
         // Distinct seeds → distinct access streams.
         assert_ne!(traces[0], traces[1]);
@@ -281,8 +294,8 @@ mod tests {
         // The key structural contrast the paper draws: PMO accesses make up
         // a much larger fraction of SPEC ops than WHISPER ops.
         let spec_trace = &lbm(SpecScale::test()).traces(Variant::Unprotected, 1)[0];
-        let whisper_trace =
-            &crate::whisper::echo(crate::whisper::WhisperScale::test()).traces(Variant::Unprotected, 1)[0];
+        let whisper_trace = &crate::whisper::echo(crate::whisper::WhisperScale::test())
+            .traces(Variant::Unprotected, 1)[0];
         let density = |t: &terp_sim::ThreadTrace| {
             let accesses = t.pmo_access_count() as f64;
             let compute: u64 = t

@@ -252,8 +252,13 @@ mod tests {
     fn automatic_insertion_is_well_formed() {
         for w in all(WhisperScale::test()) {
             // program_variant internally verifies; reaching here is the test.
-            let f = w.program_variant(Variant::Auto { let_threshold: 4400 });
-            assert!(f.blocks.iter().any(|b| b.instrs.iter().any(|i| i.is_protection())));
+            let f = w.program_variant(Variant::Auto {
+                let_threshold: 4400,
+            });
+            assert!(f
+                .blocks
+                .iter()
+                .any(|b| b.instrs.iter().any(|i| i.is_protection())));
         }
     }
 

@@ -66,6 +66,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         hist.total,
         hist.fraction_at_least(2.0) * 100.0
     );
-    println!("so a 2 µs TEW covers ~95 % of the persistent-corruption attack surface (paper Figure 8).");
+    println!(
+        "so a 2 µs TEW covers ~95 % of the persistent-corruption attack surface (paper Figure 8)."
+    );
     Ok(())
 }

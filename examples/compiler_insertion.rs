@@ -75,9 +75,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Instr::DramAccess { count, .. } => format!("dram x{count}"),
                 Instr::Attach { perm, .. } => format!("ATTACH({perm})"),
                 Instr::Detach { .. } => "DETACH".to_string(),
+                Instr::Call { callee } => format!("call(fn{callee})"),
             })
             .collect();
-        println!("  bb{i}: [{}] -> {:?}", ops.join(", "), block.terminator.successors());
+        println!(
+            "  bb{i}: [{}] -> {:?}",
+            ops.join(", "),
+            block.terminator.successors()
+        );
     }
 
     // Lower to a trace and execute under TERP.

@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tx.write(to_slot, &(to_bal + 50).to_le_bytes())?;
         tx.commit()?;
     }
-    println!("after committed transfer: {:?}", balances(&reg, pmo, &accounts));
+    println!(
+        "after committed transfer: {:?}",
+        balances(&reg, pmo, &accounts)
+    );
 
     // A transfer interrupted by power failure mid-update: the debit is
     // applied, the credit never happens — without the log, money would
@@ -77,7 +80,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for i in 0..4 {
             trace.push(TraceOp::PmoAccess {
                 oid: ObjectId::new(pmo, 64 * ((round + i) % 16)),
-                kind: if i % 2 == 0 { AccessKind::Read } else { AccessKind::Write },
+                kind: if i % 2 == 0 {
+                    AccessKind::Read
+                } else {
+                    AccessKind::Write
+                },
                 tag: None,
             });
         }

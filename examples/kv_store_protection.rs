@@ -37,12 +37,7 @@ impl PersistentKv {
         self.table.offset() + (key % BUCKETS) * 8
     }
 
-    fn put(
-        &self,
-        reg: &mut PmoRegistry,
-        key: u64,
-        value: &[u8],
-    ) -> Result<(), terp_pmo::PmoError> {
+    fn put(&self, reg: &mut PmoRegistry, key: u64, value: &[u8]) -> Result<(), terp_pmo::PmoError> {
         assert!(value.len() <= 40, "demo values are small");
         let pool = reg.pool_mut(self.pmo)?;
         // Read the bucket head (packed ObjectID or 0 = null).
@@ -90,7 +85,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..200u64 {
         kv.put(&mut reg, i, format!("value-{i}").as_bytes())?;
     }
-    println!("stored 200 keys; get(42) = {:?}", String::from_utf8(kv.get(&reg, 42)?.expect("key 42 present"))?);
+    println!(
+        "stored 200 keys; get(42) = {:?}",
+        String::from_utf8(kv.get(&reg, 42)?.expect("key 42 present"))?
+    );
 
     // --- 2. Relocation: attach at two different randomized addresses; the
     //        ObjectID-based structure is oblivious to the move. ---
@@ -139,7 +137,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = whisper::echo(whisper::WhisperScale::test());
     for (scheme, variant) in [
         (Scheme::Merr, Variant::Manual),
-        (Scheme::terp_full(), Variant::Auto { let_threshold: 4400 }),
+        (
+            Scheme::terp_full(),
+            Variant::Auto {
+                let_threshold: 4400,
+            },
+        ),
     ] {
         let mut wreg = workload.build_registry();
         let traces = workload.traces(variant, 42);

@@ -76,7 +76,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("+CB (full TERP)", Scheme::terp_full()),
     ] {
         let mut reg = workload.build_registry();
-        let traces = workload.traces(Variant::Auto { let_threshold: 4400 }, 42);
+        let traces = workload.traces(
+            Variant::Auto {
+                let_threshold: 4400,
+            },
+            42,
+        );
         let config = ProtectionConfig::new(scheme, 40.0, 2.0);
         let report = Executor::new(SimParams::default(), config).run(&mut reg, traces)?;
         println!(

@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for i in 0..8 {
             trace.push(TraceOp::PmoAccess {
                 oid: ObjectId::new(pmo, (round * 512 + i * 64) % (1 << 18)),
-                kind: if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read },
+                kind: if i % 3 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
                 tag: None,
             });
         }
@@ -45,7 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let id = reg.create("quickstart-pool", 1 << 20, OpenMode::ReadWrite)?;
         assert_eq!(id, pmo, "fresh registry reproduces the id");
         let config = ProtectionConfig::new(scheme, 40.0, 2.0);
-        let report = Executor::new(SimParams::default(), config).run(&mut reg, vec![trace.clone()])?;
+        let report =
+            Executor::new(SimParams::default(), config).run(&mut reg, vec![trace.clone()])?;
         println!("{report}\n");
     }
 

@@ -1,0 +1,78 @@
+//! Offline shim for `crossbeam`: only the scoped-thread entry point the
+//! workspace uses, implemented over `std::thread::scope` (stable since Rust
+//! 1.63). Panics in spawned closures surface through `join`, matching the
+//! crossbeam contract the tests rely on.
+
+use std::thread;
+
+/// Scope handle passed to [`scope`]'s closure (subset of
+/// `crossbeam::thread::Scope`).
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Join handle for a scoped thread (subset of
+/// `crossbeam::thread::ScopedJoinHandle`).
+#[derive(Debug)]
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope (crossbeam
+    /// passes it for nested spawning; the shim does the same).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner_scope = self.inner;
+        ScopedJoinHandle {
+            inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })),
+        }
+    }
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish, returning its result (or the panic
+    /// payload as `Err`).
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-data threads can be spawned;
+/// every spawned thread is joined before `scope` returns. Mirrors
+/// `crossbeam::scope`'s `Result` wrapper: `Err` carries the payload of a
+/// panicking child that was never joined by the caller.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let doubled: Vec<u64> = super::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn child_panic_surfaces_through_scope() {
+        let r = super::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline shim for `serde`: the build environment has no network access to
+//! crates.io, so the workspace vendors the minimal surface it consumes. The
+//! real crate can be swapped back in by repointing `[workspace.dependencies]`
+//! at a registry version — call sites are source-compatible.
+//!
+//! Types in this workspace derive `Serialize`/`Deserialize` as a
+//! forward-compatible annotation; nothing serializes through serde at run
+//! time (structured output goes through `terp-analysis`'s JSON codec), so
+//! the traits are markers with blanket impls and the derives are no-ops.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}

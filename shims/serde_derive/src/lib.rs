@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`: the derive macros accept the same
+//! surface syntax (including `#[serde(...)]` helper attributes) but expand
+//! to nothing. The workspace uses derives only as forward-compatible
+//! annotations; no code path serializes through serde itself (the
+//! diagnostics engine carries its own JSON codec).
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -14,8 +14,11 @@ fn run(
     reg: &mut PmoRegistry,
     traces: Vec<ThreadTrace>,
 ) -> Result<RunReport, RunError> {
-    Executor::new(SimParams::default(), ProtectionConfig::new(scheme, 40.0, 2.0))
-        .run(reg, traces)
+    Executor::new(
+        SimParams::default(),
+        ProtectionConfig::new(scheme, 40.0, 2.0),
+    )
+    .run(reg, traces)
 }
 
 #[test]
@@ -131,8 +134,16 @@ fn cb_overflow_degrades_to_untracked_syscalls() {
     for &pmo in &pools {
         ops.push(TraceOp::Detach { pmo });
     }
-    let report = run(Scheme::terp_full(), &mut reg, vec![ThreadTrace::from_ops(ops)]).unwrap();
-    assert!(report.cond.untracked_attach > 0, "buffer pressure must show");
+    let report = run(
+        Scheme::terp_full(),
+        &mut reg,
+        vec![ThreadTrace::from_ops(ops)],
+    )
+    .unwrap();
+    assert!(
+        report.cond.untracked_attach > 0,
+        "buffer pressure must show"
+    );
     assert_eq!(report.pmo_count, 40);
 }
 
@@ -201,8 +212,15 @@ fn parallel_independent_runs_agree_with_serial() {
         .iter()
         .map(|w| {
             let mut reg = w.build_registry();
-            let traces = w.traces(Variant::Auto { let_threshold: 4400 }, 42);
-            run(Scheme::terp_full(), &mut reg, traces).unwrap().total_cycles
+            let traces = w.traces(
+                Variant::Auto {
+                    let_threshold: 4400,
+                },
+                42,
+            );
+            run(Scheme::terp_full(), &mut reg, traces)
+                .unwrap()
+                .total_cycles
         })
         .collect();
 
@@ -212,8 +230,15 @@ fn parallel_independent_runs_agree_with_serial() {
             .map(|w| {
                 scope.spawn(move |_| {
                     let mut reg = w.build_registry();
-                    let traces = w.traces(Variant::Auto { let_threshold: 4400 }, 42);
-                    run(Scheme::terp_full(), &mut reg, traces).unwrap().total_cycles
+                    let traces = w.traces(
+                        Variant::Auto {
+                            let_threshold: 4400,
+                        },
+                        42,
+                    );
+                    run(Scheme::terp_full(), &mut reg, traces)
+                        .unwrap()
+                        .total_cycles
                 })
             })
             .collect();

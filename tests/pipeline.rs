@@ -124,7 +124,11 @@ fn silent_fraction_matches_paper_range() {
         total += tt.silent_fraction();
         n += 1.0;
     }
-    assert!(total / n > 0.85, "suite average silent fraction {}", total / n);
+    assert!(
+        total / n > 0.85,
+        "suite average silent fraction {}",
+        total / n
+    );
 }
 
 #[test]
@@ -152,15 +156,14 @@ fn spec_pool_counts_and_exposure_correlation() {
             (w.name.clone(), w.pools.len(), r.exposure_rate)
         })
         .collect();
-    let xz = reports.iter().find(|(n, _, _)| n == "xz").expect("xz present");
+    let xz = reports
+        .iter()
+        .find(|(n, _, _)| n == "xz")
+        .expect("xz present");
     assert_eq!(xz.1, 6);
     for (name, _, er) in &reports {
         if name != "xz" {
-            assert!(
-                *er > xz.2,
-                "{name} ER {er} should exceed xz's {}",
-                xz.2
-            );
+            assert!(*er > xz.2, "{name} ER {er} should exceed xz's {}", xz.2);
         }
     }
 }
@@ -181,7 +184,10 @@ fn four_thread_ablation_ordering() {
     let full = run(&w, Scheme::terp_full(), auto(), 40.0);
     assert!(basic.overhead_fraction() > 2.0 * cond.overhead_fraction());
     assert!(cond.overhead_fraction() > full.overhead_fraction());
-    assert!(basic.blocked_cycles > 0, "threads must serialize under basic");
+    assert!(
+        basic.blocked_cycles > 0,
+        "threads must serialize under basic"
+    );
     assert_eq!(full.blocked_cycles, 0, "EW-conscious never blocks");
 }
 

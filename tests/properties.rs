@@ -14,9 +14,21 @@ use terp_suite::terp_compiler::FunctionBuilder;
 #[derive(Debug, Clone)]
 enum Piece {
     Compute(u64),
-    Access { pool: u16, write: bool, count: u64 },
-    Branch { prob: u8, then_access: Option<u16>, else_access: Option<u16> },
-    Loop { trips: u64, access: u16, heavy: bool },
+    Access {
+        pool: u16,
+        write: bool,
+        count: u64,
+    },
+    Branch {
+        prob: u8,
+        then_access: Option<u16>,
+        else_access: Option<u16>,
+    },
+    Loop {
+        trips: u64,
+        access: u16,
+        heavy: bool,
+    },
 }
 
 fn piece_strategy() -> impl Strategy<Value = Piece> {
@@ -27,13 +39,16 @@ fn piece_strategy() -> impl Strategy<Value = Piece> {
             write,
             count
         }),
-        (0u8..=100, proptest::option::of(1u16..4), proptest::option::of(1u16..4)).prop_map(
-            |(prob, then_access, else_access)| Piece::Branch {
+        (
+            0u8..=100,
+            proptest::option::of(1u16..4),
+            proptest::option::of(1u16..4)
+        )
+            .prop_map(|(prob, then_access, else_access)| Piece::Branch {
                 prob,
                 then_access,
                 else_access
-            }
-        ),
+            }),
         (1u64..20, 1u16..4, any::<bool>()).prop_map(|(trips, access, heavy)| Piece::Loop {
             trips,
             access,
@@ -52,7 +67,11 @@ fn build_program(pieces: &[Piece]) -> terp_suite::terp_compiler::Function {
             }
             Piece::Access { pool, write, count } => {
                 let pmo = PmoId::new(*pool).expect("small id");
-                let kind = if *write { AccessKind::Write } else { AccessKind::Read };
+                let kind = if *write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
                 b.pmo_access(pmo, kind, *count);
             }
             Piece::Branch {
@@ -79,7 +98,11 @@ fn build_program(pieces: &[Piece]) -> terp_suite::terp_compiler::Function {
                     },
                 );
             }
-            Piece::Loop { trips, access, heavy } => {
+            Piece::Loop {
+                trips,
+                access,
+                heavy,
+            } => {
                 let pmo = PmoId::new(*access).expect("id");
                 let extra = if *heavy { 50_000 } else { 200 };
                 b.loop_(Some(*trips), |body| {

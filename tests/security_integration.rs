@@ -49,7 +49,10 @@ fn figure_8_attack_surface_headline() {
         "≈95 % of dead times should be ≥ 2 µs, got {frac}"
     );
     // The 2 µs TEW target is exactly the attack-surface cut point.
-    assert!(hist.fraction_at_least(1024.0) < 0.2, "tail stays a minority");
+    assert!(
+        hist.fraction_at_least(1024.0) < 0.2,
+        "tail stays a minority"
+    );
 }
 
 #[test]
@@ -57,7 +60,9 @@ fn table_vi_disarm_rates_follow_measured_exposure() {
     // Run one WHISPER benchmark under TT and MM; the scenario table must be
     // consistent with the measured rates.
     let w = whisper::tpcc(whisper::WhisperScale::test());
-    let auto = Variant::Auto { let_threshold: 4400 };
+    let auto = Variant::Auto {
+        let_threshold: 4400,
+    };
 
     let mut reg = w.build_registry();
     let tt = Executor::new(
@@ -76,7 +81,10 @@ fn table_vi_disarm_rates_follow_measured_exposure() {
     .unwrap();
 
     let rows = scenarios(tt.thread_exposure_rate, mm.exposure_rate);
-    assert_eq!(rows[0].terp_disarmed, 1.0, "non-overlapping gadgets fully prevented");
+    assert_eq!(
+        rows[0].terp_disarmed, 1.0,
+        "non-overlapping gadgets fully prevented"
+    );
     assert!(
         rows[1].terp_disarmed > rows[1].merr_disarmed,
         "TERP must disarm more than MERR"

@@ -53,7 +53,10 @@ fn ew_conscious_preserves_function_composability() {
     // lowers to a thread grant, nothing breaks, the caller's window
     // continues.
     let mut sem = EwConsciousSemantics::new(L);
-    assert_eq!(sem.attach(0, Permission::ReadWrite, 0), CallOutcome::Performed);
+    assert_eq!(
+        sem.attach(0, Permission::ReadWrite, 0),
+        CallOutcome::Performed
+    );
     let lib = library_call_ew(&mut sem, 1, 10);
     assert_eq!(lib, CallOutcome::Lowered);
     assert!(sem.is_mapped());

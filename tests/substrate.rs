@@ -78,22 +78,32 @@ fn acl_gates_the_namespace_before_any_window_exists() {
     // The Figure 2 poset top level: a user without an ACL grant cannot even
     // open the pool, regardless of attach/thread state below.
     let mut reg = PmoRegistry::new();
-    let pmo = reg.create("classified", 1 << 16, OpenMode::ReadWrite).unwrap();
+    let pmo = reg
+        .create("classified", 1 << 16, OpenMode::ReadWrite)
+        .unwrap();
 
     let mut acls = AclRegistry::new();
     acls.set(pmo, PoolAcl::new(1000));
-    acls.acl_mut(pmo).unwrap().grant_group(77, OpenMode::ReadOnly);
+    acls.acl_mut(pmo)
+        .unwrap()
+        .grant_group(77, OpenMode::ReadOnly);
 
     let analysts: BTreeSet<u32> = [77].into_iter().collect();
     let nobody: BTreeSet<u32> = BTreeSet::new();
 
     // Owner: read-write. Group member: read-only. Stranger: nothing.
-    assert!(acls.check_open(pmo, 1000, &nobody, OpenMode::ReadWrite).is_ok());
-    assert!(acls.check_open(pmo, 2000, &analysts, OpenMode::ReadOnly).is_ok());
+    assert!(acls
+        .check_open(pmo, 1000, &nobody, OpenMode::ReadWrite)
+        .is_ok());
+    assert!(acls
+        .check_open(pmo, 2000, &analysts, OpenMode::ReadOnly)
+        .is_ok());
     assert!(acls
         .check_open(pmo, 2000, &analysts, OpenMode::ReadWrite)
         .is_err());
-    assert!(acls.check_open(pmo, 3000, &nobody, OpenMode::ReadOnly).is_err());
+    assert!(acls
+        .check_open(pmo, 3000, &nobody, OpenMode::ReadOnly)
+        .is_err());
 
     // Revoking the group is the coarsest depriving construct.
     acls.acl_mut(pmo).unwrap().revoke_group(77);
@@ -108,7 +118,9 @@ fn session_protected_kv_round_trip_with_expiring_windows() {
     // updated across many short windows, with a long-lived reader thread
     // forcing in-place randomizations.
     let mut reg = PmoRegistry::new();
-    let pmo = reg.create("counters", 1 << 20, OpenMode::ReadWrite).unwrap();
+    let pmo = reg
+        .create("counters", 1 << 20, OpenMode::ReadWrite)
+        .unwrap();
     let counters = PVec::create(reg.pool_mut(pmo).unwrap()).unwrap();
     for _ in 0..4 {
         counters.push(reg.pool_mut(pmo).unwrap(), 0).unwrap();
@@ -152,7 +164,9 @@ fn session_protected_kv_round_trip_with_expiring_windows() {
 
     // All windows closed: the data is now unreachable (three-state model).
     assert!(matches!(
-        session.read(1, ObjectId::new(pmo, 0), &mut buf).unwrap_err(),
+        session
+            .read(1, ObjectId::new(pmo, 0), &mut buf)
+            .unwrap_err(),
         SessionError::Unmapped(_)
     ));
 }
