@@ -301,6 +301,22 @@ impl CondEngine {
     pub fn evict(&mut self, pmo: PmoId) -> bool {
         self.buffer.remove(pmo).is_some()
     }
+
+    /// Retires *every* tracked entry and returns the PMOs that still had an
+    /// open process-level window (all of them: a tracked entry implies the
+    /// pool is mapped). The caller must issue the real detach for each.
+    ///
+    /// This is the shutdown path of a long-running service: unlike
+    /// [`Self::sweep`], which randomizes entries with live holders, drain
+    /// force-closes everything so no window survives the engine.
+    pub fn drain(&mut self) -> Vec<PmoId> {
+        let pmos: Vec<PmoId> = self.buffer.iter().map(|e| e.pmo).collect();
+        for &pmo in &pmos {
+            self.buffer.remove(pmo);
+            self.stats.sweep_detach += 1;
+        }
+        pmos
+    }
 }
 
 #[cfg(test)]
@@ -418,6 +434,22 @@ mod tests {
         let out = e.conddt(pmo(100), 2);
         assert_eq!(out, DetachOutcome::UntrackedDetach);
         assert!(out.needs_syscall());
+    }
+
+    #[test]
+    fn drain_retires_every_entry_even_with_live_holders() {
+        let mut e = CondEngine::new(EW);
+        e.condat(pmo(1), 0);
+        e.conddt(pmo(1), 10); // idle, delayed detach
+        e.condat(pmo(2), 20);
+        e.condat(pmo(2), 30); // two live holders
+        let mut pmos = e.drain();
+        pmos.sort();
+        assert_eq!(pmos, vec![pmo(1), pmo(2)]);
+        assert!(e.buffer().is_empty());
+        assert_eq!(e.stats().sweep_detach, 2);
+        // A second drain is a no-op.
+        assert!(e.drain().is_empty());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! 4. **Loop-bound assumption** — a wrong static trip-count guess must not
 //!    break the EW guarantee (the hardware timer backstop catches it).
 
+use terp_bench::cli::Cli;
 use terp_bench::{Scale, TEW_TARGET_US};
 use terp_compiler::insertion::{insert_protection, InsertionConfig};
 use terp_compiler::lower::{lower, LowerConfig};
@@ -20,7 +21,12 @@ use terp_sim::SimParams;
 use terp_workloads::{whisper, Variant};
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Cli::standard(
+        "ablations",
+        "design-choice ablations beyond the paper's figures",
+    )
+    .parse_env()
+    .scale();
     println!("Design ablations ({scale:?} scale)\n");
 
     sweep_period(scale);

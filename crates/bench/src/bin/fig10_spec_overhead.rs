@@ -7,7 +7,8 @@
 //! "more than an order of magnitude reduction". lbm (both pools always
 //! live) is the most expensive benchmark.
 
-use terp_bench::{mean, rule, run_scheme, Scale};
+use terp_bench::cli::Cli;
+use terp_bench::{mean, rule, run_scheme};
 use terp_core::config::Scheme;
 use terp_core::RunReport;
 use terp_sim::OverheadCategory;
@@ -28,7 +29,12 @@ fn breakdown_row(label: &str, name: &str, r: &RunReport) {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Cli::standard(
+        "fig10_spec_overhead",
+        "Figure 10 — single-thread SPEC overheads",
+    )
+    .parse_env()
+    .scale();
     println!("Figure 10 — SPEC single-thread overhead breakdown ({scale:?} scale)\n");
 
     let configs: [(&str, Scheme, f64); 5] = [

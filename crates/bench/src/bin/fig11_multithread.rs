@@ -9,7 +9,8 @@
 //! combining; randomization cost is higher than single-thread because all
 //! threads suspend during a relocation.
 
-use terp_bench::{mean, rule, run_scheme, Scale};
+use terp_bench::cli::Cli;
+use terp_bench::{mean, rule, run_scheme};
 use terp_core::config::Scheme;
 use terp_core::RunReport;
 use terp_sim::OverheadCategory;
@@ -31,7 +32,9 @@ fn breakdown_row(label: &str, name: &str, r: &RunReport) {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Cli::standard("fig11_multithread", "Figure 11 — four-thread ablation")
+        .parse_env()
+        .scale();
     println!("Figure 11 — 4-thread SPEC benefits breakdown ({scale:?} scale)\n");
 
     let configs: [(&str, Scheme, f64); 5] = [

@@ -6,6 +6,7 @@
 //! So if we choose a target TEW of 2 µs, the attack surface would be
 //! reduced by 95 %."
 
+use terp_bench::cli::Cli;
 use terp_bench::Scale;
 use terp_core::config::{ProtectionConfig, Scheme};
 use terp_core::runtime::Executor;
@@ -15,7 +16,12 @@ use terp_sim::SimParams;
 use terp_workloads::heaplayers::{all, ChurnScale};
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Cli::standard(
+        "fig8_deadtime",
+        "Figure 8 — heap-object dead-time distribution",
+    )
+    .parse_env()
+    .scale();
     let churn = match scale {
         Scale::Test => ChurnScale::test(),
         Scale::Paper => ChurnScale::paper(),

@@ -9,7 +9,8 @@
 //! wider windows — TERP cuts overhead ≈ 70 % versus MERR.
 
 use terp_arch::cost::HardwareCost;
-use terp_bench::{mean, rule, run_scheme, Scale};
+use terp_bench::cli::Cli;
+use terp_bench::{mean, rule, run_scheme};
 use terp_core::config::Scheme;
 use terp_core::RunReport;
 use terp_sim::OverheadCategory;
@@ -30,7 +31,12 @@ fn breakdown_row(label: &str, name: &str, r: &RunReport) {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Cli::standard(
+        "fig9_whisper_overhead",
+        "Figure 9 — WHISPER overhead breakdown",
+    )
+    .parse_env()
+    .scale();
     println!("Figure 9 — WHISPER overhead breakdown ({scale:?} scale)\n");
 
     let configs: [(&str, Scheme, f64); 5] = [

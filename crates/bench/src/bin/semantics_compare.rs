@@ -13,7 +13,7 @@
 //! * **EW-conscious** performs or lowers every call and keeps windows near
 //!   the target.
 
-use terp_bench::Scale;
+use terp_bench::cli::Cli;
 use terp_core::semantics::{
     AccessOutcome, BasicSemantics, CallOutcome, EwConsciousSemantics, FcfsSemantics,
     OutermostSemantics,
@@ -175,7 +175,9 @@ fn interleave(a: &ThreadTrace, b: &ThreadTrace) -> Vec<(usize, TraceOp)> {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Cli::standard("semantics_compare", "Basic vs TERP semantics comparison")
+        .parse_env()
+        .scale();
     let params = SimParams::default();
     let l = params.us_to_cycles(40.0);
     let workload = whisper::ycsb(scale.whisper());

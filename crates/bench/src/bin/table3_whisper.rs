@@ -7,12 +7,15 @@
 //! EXPERIMENTS.md): MM EW avg/max 14.5/34.3 µs, ER 24.5 %; TT silent
 //! 88.8 %, EW 39.4/40.0 µs, ER 53.2 %, TEW 1.2 µs, TER 3.4 %.
 
-use terp_bench::{pct, rule, run_scheme, Scale};
+use terp_bench::cli::Cli;
+use terp_bench::{pct, rule, run_scheme};
 use terp_core::config::Scheme;
 use terp_workloads::whisper;
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Cli::standard("table3_whisper", "Table III — WHISPER exposure statistics")
+        .parse_env()
+        .scale();
     println!("Table III — WHISPER results, target EW 40 µs, TEW 2 µs ({scale:?} scale)\n");
     println!(
         "{:8} | {:>9} {:>6} | {:>7} {:>9} {:>6} {:>6} {:>6}",

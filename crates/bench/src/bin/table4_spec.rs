@@ -5,12 +5,15 @@
 //! TT silent 96.8 %, EW 39.7/40.0 µs, ER 38.1 %, TEW ≈ 1.0 µs, TER 10.0 %;
 //! xz (most pools) shows the lowest exposure rate.
 
-use terp_bench::{pct, rule, run_scheme, Scale};
+use terp_bench::cli::Cli;
+use terp_bench::{pct, rule, run_scheme};
 use terp_core::config::Scheme;
 use terp_workloads::spec;
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Cli::standard("table4_spec", "Table IV — SPEC exposure statistics")
+        .parse_env()
+        .scale();
     println!("Table IV — SPEC results, target EW 40 µs, TEW 2 µs ({scale:?} scale)\n");
     println!(
         "{:8} {:>5} | {:>9} {:>6} | {:>7} {:>9} {:>6} {:>6} {:>6}",

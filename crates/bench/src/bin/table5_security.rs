@@ -7,12 +7,15 @@
 //! 0.0005/x % — a ~30× reduction; probes longer than the TEW cannot succeed
 //! at all.
 
+use terp_bench::cli::Cli;
 use terp_bench::Scale;
 use terp_security::attack::{run_merr, run_terp, AttackConfig};
 use terp_security::probability::ProbabilityModel;
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Cli::standard("table5_security", "Table V — attack-success probabilities")
+        .parse_env()
+        .scale();
     let windows = match scale {
         Scale::Test => 200_000,
         Scale::Paper => 5_000_000,

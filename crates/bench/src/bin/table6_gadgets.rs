@@ -12,7 +12,8 @@
 //! Paper values: TERP disarms 96.6 % of gadgets in WHISPER and 89.98 % in
 //! SPEC; MERR keeps 24.5 % / 27.2 % armed.
 
-use terp_bench::{mean, run_scheme, Scale, TEW_TARGET_US};
+use terp_bench::cli::Cli;
+use terp_bench::{mean, run_scheme, TEW_TARGET_US};
 use terp_core::config::Scheme;
 use terp_security::dop::{run_campaign, DopCampaign, DopProtection};
 use terp_security::gadgets::{scenarios, GadgetCensus};
@@ -43,7 +44,9 @@ fn suite_rates(workloads: &[terp_workloads::Workload]) -> (f64, f64, usize) {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Cli::standard("table6_gadgets", "Table VI — gadget scenarios")
+        .parse_env()
+        .scale();
     println!("Table VI — data-only gadget analysis ({scale:?} scale)\n");
 
     let (whisper_ter, whisper_er, whisper_gadgets) = suite_rates(&whisper::all(scale.whisper()));

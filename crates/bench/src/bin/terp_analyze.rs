@@ -17,113 +17,64 @@
 use std::process::ExitCode;
 
 use terp_analysis::{analyze_workload, AnalysisConfig, Json, LetCheckConfig};
+use terp_bench::cli::Cli;
 use terp_workloads::{spec, whisper, Variant, Workload};
 
-const USAGE: &str = "\
-usage: terp-analyze [options]
-  --suite whisper|spec|all      workload suite to analyze (default: all)
-  --variant auto|manual|unprotected
-                                protection variant (default: auto)
-  --format human|json           output format (default: human)
-  --let-threshold CYCLES        LET budget for insertion and the W001 check
-                                (default: the compiler's insertion default)
-  --threads N                   override every workload's thread count
-  --deny-warnings               exit nonzero on warnings too
-  --help                        print this help";
-
-struct Options {
-    suite: String,
-    variant: String,
-    format: String,
-    let_threshold: Option<u64>,
-    threads: Option<usize>,
-    deny_warnings: bool,
-}
-
-fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut opts = Options {
-        suite: "all".into(),
-        variant: "auto".into(),
-        format: "human".into(),
-        let_threshold: None,
-        threads: None,
-        deny_warnings: false,
-    };
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("{name} requires a value"))
-        };
-        match arg.as_str() {
-            "--suite" => {
-                opts.suite = value("--suite")?;
-                if !["whisper", "spec", "all"].contains(&opts.suite.as_str()) {
-                    return Err(format!("unknown suite `{}`", opts.suite));
-                }
-            }
-            "--variant" => {
-                opts.variant = value("--variant")?;
-                if !["auto", "manual", "unprotected"].contains(&opts.variant.as_str()) {
-                    return Err(format!("unknown variant `{}`", opts.variant));
-                }
-            }
-            "--format" => {
-                opts.format = value("--format")?;
-                if !["human", "json"].contains(&opts.format.as_str()) {
-                    return Err(format!("unknown format `{}`", opts.format));
-                }
-            }
-            "--let-threshold" => {
-                let v = value("--let-threshold")?;
-                opts.let_threshold = Some(v.parse().map_err(|_| format!("bad cycle count `{v}`"))?);
-            }
-            "--threads" => {
-                let v = value("--threads")?;
-                opts.threads = Some(v.parse().map_err(|_| format!("bad thread count `{v}`"))?);
-            }
-            "--deny-warnings" => opts.deny_warnings = true,
-            "--help" | "-h" => return Err(String::new()),
-            other => return Err(format!("unknown argument `{other}`")),
-        }
-    }
-    Ok(opts)
-}
-
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match parse_args(&args) {
-        Ok(o) => o,
-        Err(msg) if msg.is_empty() => {
-            println!("{USAGE}");
-            return ExitCode::SUCCESS;
-        }
-        Err(msg) => {
-            eprintln!("terp-analyze: {msg}\n{USAGE}");
-            return ExitCode::from(2);
-        }
-    };
+    let cli = Cli::new(
+        "terp-analyze",
+        "static protection analysis over the built-in workloads",
+    )
+    .opt_choice(
+        "--suite",
+        &["whisper", "spec", "all"],
+        "workload suite to analyze (default: all)",
+    )
+    .opt_choice(
+        "--variant",
+        &["auto", "manual", "unprotected"],
+        "protection variant (default: auto)",
+    )
+    .opt_choice(
+        "--format",
+        &["human", "json"],
+        "output format (default: human)",
+    )
+    .opt_uint(
+        "--let-threshold",
+        "CYCLES",
+        "LET budget for insertion and the W001 check",
+    )
+    .opt_uint("--threads", "N", "override every workload's thread count")
+    .opt_switch("--deny-warnings", "exit nonzero on warnings too")
+    .parse_env();
+
+    let suite = cli.choice("--suite", "all");
+    let variant_name = cli.choice("--variant", "auto");
+    let format = cli.choice("--format", "human");
 
     let mut workloads: Vec<Workload> = Vec::new();
-    if opts.suite == "whisper" || opts.suite == "all" {
+    if suite == "whisper" || suite == "all" {
         workloads.extend(whisper::all(whisper::WhisperScale::test()));
     }
-    if opts.suite == "spec" || opts.suite == "all" {
+    if suite == "spec" || suite == "all" {
         workloads.extend(spec::all(spec::SpecScale::test()));
     }
-    if let Some(n) = opts.threads {
-        workloads = workloads.into_iter().map(|w| w.with_threads(n)).collect();
+    if let Some(n) = cli.uint("--threads") {
+        workloads = workloads
+            .into_iter()
+            .map(|w| w.with_threads(n as usize))
+            .collect();
     }
 
     let mut config = AnalysisConfig::default();
-    if let Some(t) = opts.let_threshold {
+    if let Some(t) = cli.uint("--let-threshold") {
         config.let_check = LetCheckConfig {
             let_threshold: t,
             ..LetCheckConfig::default()
         };
     }
-    let variant = match opts.variant.as_str() {
+    let variant = match variant_name {
         "manual" => Variant::Manual,
         "unprotected" => Variant::Unprotected,
         _ => Variant::Auto {
@@ -138,12 +89,12 @@ fn main() -> ExitCode {
         let report = analyze_workload(w, variant, &config);
         total_errors += report.diagnostics.error_count();
         total_warnings += report.diagnostics.warning_count();
-        match opts.format.as_str() {
+        match format {
             "json" => {
                 let mut fields = vec![
                     ("workload", Json::Str(w.name.to_string())),
                     ("threads", Json::Num(w.threads as f64)),
-                    ("variant", Json::Str(opts.variant.clone())),
+                    ("variant", Json::Str(variant_name.to_string())),
                     ("diagnostics", report.diagnostics.to_json()),
                 ];
                 if let Some(c) = report.census {
@@ -166,14 +117,14 @@ fn main() -> ExitCode {
                     w.name,
                     w.threads,
                     if w.threads == 1 { "" } else { "s" },
-                    opts.variant
+                    variant_name
                 );
                 println!("{}", report.diagnostics.render_human());
             }
         }
     }
 
-    if opts.format == "json" {
+    if format == "json" {
         let doc = Json::obj([
             ("workloads", Json::Arr(docs)),
             ("errors", Json::Num(total_errors as f64)),
@@ -187,7 +138,7 @@ fn main() -> ExitCode {
         );
     }
 
-    if total_errors > 0 || (opts.deny_warnings && total_warnings > 0) {
+    if total_errors > 0 || (cli.is_set("--deny-warnings") && total_warnings > 0) {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -1,0 +1,346 @@
+//! `terp-serve` — closed-loop load generator for the `terp-service`
+//! concurrent PMO service (DESIGN.md §9).
+//!
+//! Spawns N worker threads that hammer an in-process [`PmoService`] with an
+//! attach → data-ops → detach loop for a fixed wall-clock duration, once per
+//! protection scheme, and reports throughput plus p50/p95/p99 operation
+//! latencies. The requested scheme set is always widened to include MM and
+//! TT so every run yields the baseline-vs-TERP comparison; results land in
+//! `results/BENCH_service.json`.
+//!
+//! ```text
+//! terp-serve --threads 8 --scheme tt --duration-ms 2000
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use terp_analysis::Json;
+use terp_bench::cli::Cli;
+use terp_core::config::Scheme;
+use terp_pmo::{OpenMode, Permission, PmoId};
+use terp_service::{
+    CostModel, LatencyHistogram, PmoServer, PmoService, ServiceConfig, ServiceReport,
+};
+use terp_sim::SimParams;
+
+/// Per-worker tallies merged after the run.
+#[derive(Debug, Default)]
+struct WorkerStats {
+    ops: u64,
+    iterations: u64,
+    overall: LatencyHistogram,
+    attach: LatencyHistogram,
+    detach: LatencyHistogram,
+    data: LatencyHistogram,
+}
+
+impl WorkerStats {
+    fn merge(&mut self, other: &WorkerStats) {
+        self.ops += other.ops;
+        self.iterations += other.iterations;
+        self.overall.merge(&other.overall);
+        self.attach.merge(&other.attach);
+        self.detach.merge(&other.detach);
+        self.data.merge(&other.data);
+    }
+}
+
+/// Number of alloc/write/read/free rounds between attach and detach.
+fn data_rounds(mix: &str) -> usize {
+    match mix {
+        "attach-heavy" => 1,
+        "data-heavy" => 16,
+        _ => 4, // balanced
+    }
+}
+
+fn scheme_key(scheme: Scheme) -> &'static str {
+    match scheme {
+        Scheme::Unprotected => "unprotected",
+        Scheme::Merr => "mm",
+        Scheme::TerpSoftware => "tm",
+        Scheme::TerpFull { .. } => "tt",
+        Scheme::BasicSemantics => "basic",
+    }
+}
+
+fn parse_schemes(requested: &str) -> Vec<Scheme> {
+    let mut schemes = match requested {
+        "unprotected" => vec![Scheme::Unprotected],
+        "mm" => vec![Scheme::Merr],
+        "tm" => vec![Scheme::TerpSoftware],
+        "tt" => vec![Scheme::terp_full()],
+        "basic" => vec![Scheme::BasicSemantics],
+        _ => vec![
+            Scheme::Unprotected,
+            Scheme::Merr,
+            Scheme::TerpSoftware,
+            Scheme::terp_full(),
+            Scheme::BasicSemantics,
+        ],
+    };
+    // The acceptance contract: the output always carries the MERR baseline
+    // and the full TERP design, whatever was asked for.
+    for required in [Scheme::Merr, Scheme::terp_full()] {
+        if !schemes.contains(&required) {
+            schemes.push(required);
+        }
+    }
+    schemes
+}
+
+struct RunSettings {
+    threads: usize,
+    duration: Duration,
+    pools: usize,
+    shards: u64,
+    ew_us: u64,
+    sweep_us: u64,
+    seed: u64,
+    rounds: usize,
+}
+
+fn worker(
+    svc: &PmoService,
+    tid: usize,
+    pools: &[PmoId],
+    deadline: Instant,
+    rounds: usize,
+) -> WorkerStats {
+    let mut stats = WorkerStats::default();
+    let mut i = 0usize;
+    while Instant::now() < deadline {
+        let pmo = pools[(tid * 31 + i * 7) % pools.len()];
+        i += 1;
+
+        let t0 = Instant::now();
+        if svc.attach(tid, pmo, Permission::ReadWrite).is_err() {
+            break; // shutting down
+        }
+        let attach_ns = t0.elapsed().as_nanos() as u64;
+        stats.attach.record(attach_ns);
+        stats.overall.record(attach_ns);
+        stats.ops += 1;
+
+        for _ in 0..rounds {
+            let t0 = Instant::now();
+            let Ok(oid) = svc.alloc(tid, pmo, 64) else {
+                break;
+            };
+            let payload = [tid as u8; 48];
+            let ok = svc.write(tid, oid, &payload).is_ok() && svc.read(tid, oid, 48).is_ok();
+            let _ = svc.free(tid, oid);
+            let ns = t0.elapsed().as_nanos() as u64;
+            stats.data.record(ns);
+            stats.overall.record(ns);
+            stats.ops += 4;
+            if !ok {
+                break;
+            }
+        }
+
+        let t0 = Instant::now();
+        let detached = svc.detach(tid, pmo).is_ok();
+        let detach_ns = t0.elapsed().as_nanos() as u64;
+        stats.detach.record(detach_ns);
+        stats.overall.record(detach_ns);
+        stats.ops += 1;
+        stats.iterations += 1;
+        if !detached {
+            break;
+        }
+    }
+    stats
+}
+
+fn run_scheme(scheme: Scheme, s: &RunSettings) -> (WorkerStats, ServiceReport, f64) {
+    let config = ServiceConfig::new(scheme)
+        .with_shards(s.shards as usize)
+        .with_ew_target_us(s.ew_us)
+        .with_sweep_period_us(s.sweep_us)
+        .with_seed(s.seed)
+        .with_cost(CostModel::from_sim(&SimParams::default()));
+    let server = PmoServer::start(config);
+    let svc = server.service();
+    let pools: Vec<PmoId> = (0..s.pools)
+        .map(|i| {
+            svc.create_pool(&format!("serve-{i}"), 1 << 20, OpenMode::ReadWrite)
+                .expect("pool creation")
+        })
+        .collect();
+
+    let started = Instant::now();
+    let deadline = started + s.duration;
+    let mut merged = WorkerStats::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..s.threads)
+            .map(|tid| {
+                let svc = Arc::clone(&svc);
+                let pools = &pools;
+                scope.spawn(move || worker(&svc, tid, pools, deadline, s.rounds))
+            })
+            .collect();
+        for h in handles {
+            merged.merge(&h.join().expect("worker panicked"));
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let report = server.shutdown();
+    (merged, report, elapsed)
+}
+
+fn hist_json(h: &LatencyHistogram) -> Json {
+    Json::obj([
+        ("count", Json::Num(h.count() as f64)),
+        ("mean_ns", Json::Num(h.mean())),
+        ("p50_ns", Json::Num(h.quantile(0.50) as f64)),
+        ("p95_ns", Json::Num(h.quantile(0.95) as f64)),
+        ("p99_ns", Json::Num(h.quantile(0.99) as f64)),
+        ("max_ns", Json::Num(h.max() as f64)),
+    ])
+}
+
+fn scheme_json(scheme: Scheme, stats: &WorkerStats, report: &ServiceReport, secs: f64) -> Json {
+    let throughput = if secs > 0.0 {
+        stats.ops as f64 / secs
+    } else {
+        0.0
+    };
+    Json::obj([
+        ("scheme", Json::Str(scheme_key(scheme).to_string())),
+        ("elapsed_s", Json::Num(secs)),
+        ("ops", Json::Num(stats.ops as f64)),
+        ("iterations", Json::Num(stats.iterations as f64)),
+        ("throughput_ops_per_s", Json::Num(throughput)),
+        (
+            "latency",
+            Json::obj([
+                ("overall", hist_json(&stats.overall)),
+                ("attach", hist_json(&stats.attach)),
+                ("detach", hist_json(&stats.detach)),
+                ("data", hist_json(&stats.data)),
+            ]),
+        ),
+        (
+            "service",
+            Json::obj([
+                ("attaches", Json::Num(report.ops.attaches as f64)),
+                ("detaches", Json::Num(report.ops.detaches as f64)),
+                ("denials", Json::Num(report.ops.denials as f64)),
+                (
+                    "attach_conflicts",
+                    Json::Num(report.ops.attach_conflicts as f64),
+                ),
+                ("attach_syscalls", Json::Num(report.attach_syscalls as f64)),
+                ("detach_syscalls", Json::Num(report.detach_syscalls as f64)),
+                ("randomizations", Json::Num(report.randomizations as f64)),
+                ("sweep_passes", Json::Num(report.sweep_passes as f64)),
+                ("blocked_ns", Json::Num(report.blocked_ns as f64)),
+                ("silent_attach", Json::Num(report.cond.silent_attach as f64)),
+                (
+                    "delayed_detach",
+                    Json::Num(report.cond.delayed_detach as f64),
+                ),
+                ("ew_count", Json::Num(report.ew.count as f64)),
+                ("tew_count", Json::Num(report.tew.count as f64)),
+            ]),
+        ),
+    ])
+}
+
+fn main() {
+    let cli = Cli::new(
+        "terp-serve",
+        "closed-loop load generator for the concurrent PMO service",
+    )
+    .opt_uint("--threads", "N", "worker threads (default: 4)")
+    .opt_uint(
+        "--duration-ms",
+        "MS",
+        "run length per scheme (default: 1000)",
+    )
+    .opt_choice(
+        "--scheme",
+        &["unprotected", "mm", "tm", "tt", "basic", "all"],
+        "scheme to benchmark; MM and TT always run too (default: all)",
+    )
+    .opt_choice(
+        "--mix",
+        &["attach-heavy", "balanced", "data-heavy"],
+        "data ops per attach/detach pair: 1, 4, or 16 (default: balanced)",
+    )
+    .opt_uint("--pools", "N", "distinct PMO pools (default: 64)")
+    .opt_uint("--shards", "N", "service shards (default: 16)")
+    .opt_uint("--ew-us", "US", "exposure-window target, µs (default: 40)")
+    .opt_uint(
+        "--sweep-us",
+        "US",
+        "sweeper period, µs; 0 disables (default: 10)",
+    )
+    .opt_uint("--seed", "SEED", "placement RNG seed (default: 0x7e2f)")
+    .opt_str(
+        "--out",
+        "PATH",
+        "output path (default: results/BENCH_service.json)",
+    )
+    .parse_env();
+
+    let settings = RunSettings {
+        threads: cli.uint("--threads").unwrap_or(4) as usize,
+        duration: Duration::from_millis(cli.uint("--duration-ms").unwrap_or(1000)),
+        pools: cli.uint("--pools").unwrap_or(64) as usize,
+        shards: cli.uint("--shards").unwrap_or(16),
+        ew_us: cli.uint("--ew-us").unwrap_or(40),
+        sweep_us: cli.uint("--sweep-us").unwrap_or(10),
+        seed: cli.uint("--seed").unwrap_or(0x7e2f),
+        rounds: data_rounds(cli.choice("--mix", "balanced")),
+    };
+    let schemes = parse_schemes(cli.choice("--scheme", "all"));
+    let out_path = cli.choice("--out", "results/BENCH_service.json");
+
+    println!(
+        "terp-serve: {} thread(s), {} pool(s), {} ms per scheme, mix {}",
+        settings.threads,
+        settings.pools,
+        settings.duration.as_millis(),
+        cli.choice("--mix", "balanced"),
+    );
+
+    let mut docs = Vec::new();
+    for scheme in schemes {
+        let (stats, report, secs) = run_scheme(scheme, &settings);
+        let throughput = stats.ops as f64 / secs.max(f64::MIN_POSITIVE);
+        println!(
+            "  {:<12} {:>12.0} ops/s   p50 {:>7} ns   p95 {:>7} ns   p99 {:>7} ns",
+            scheme_key(scheme),
+            throughput,
+            stats.overall.quantile(0.50),
+            stats.overall.quantile(0.95),
+            stats.overall.quantile(0.99),
+        );
+        docs.push(scheme_json(scheme, &stats, &report, secs));
+    }
+
+    let doc = Json::obj([
+        ("benchmark", Json::Str("terp-serve".to_string())),
+        ("threads", Json::Num(settings.threads as f64)),
+        ("pools", Json::Num(settings.pools as f64)),
+        ("shards", Json::Num(settings.shards as f64)),
+        (
+            "duration_ms",
+            Json::Num(settings.duration.as_millis() as f64),
+        ),
+        ("ew_target_us", Json::Num(settings.ew_us as f64)),
+        ("sweep_period_us", Json::Num(settings.sweep_us as f64)),
+        ("data_rounds", Json::Num(settings.rounds as f64)),
+        ("schemes", Json::Arr(docs)),
+    ]);
+    if let Some(dir) = std::path::Path::new(out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    std::fs::write(out_path, format!("{}\n", doc.render())).expect("write results");
+    println!("wrote {out_path}");
+}

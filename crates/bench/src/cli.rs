@@ -1,0 +1,336 @@
+//! Shared command-line parsing for every `terp-bench` binary.
+//!
+//! All eleven binaries used to hand-roll (or skip) argument handling; this
+//! module centralizes the tiny GNU-style parser they share: long options
+//! with values (`--flag VALUE`), boolean switches, enumerated choices,
+//! validated unsigned integers, a generated usage screen, and the common
+//! exit protocol (`--help` exits 0, bad usage prints the usage screen and
+//! exits 2).
+//!
+//! Figure/table binaries opt into the standard `--scale test|paper` option
+//! via [`Cli::standard`]; on the command line it overrides the `TERP_SCALE`
+//! environment variable read by [`Scale::from_env`].
+//!
+//! ```
+//! use terp_bench::cli::Cli;
+//!
+//! let mut cli = Cli::new("demo", "example binary")
+//!     .opt_uint("--threads", "N", "worker thread count")
+//!     .opt_switch("--verbose", "chatty output");
+//! cli.parse_from(&["--threads".into(), "4".into()]).unwrap();
+//! assert_eq!(cli.uint("--threads"), Some(4));
+//! assert!(!cli.is_set("--verbose"));
+//! ```
+
+use std::collections::HashMap;
+
+use crate::Scale;
+
+/// How an option consumes the argument stream and validates its value.
+#[derive(Debug, Clone)]
+enum Kind {
+    /// Boolean presence flag; takes no value.
+    Switch,
+    /// Free-form string value.
+    Str { metavar: &'static str },
+    /// Value restricted to a fixed vocabulary.
+    Choice { choices: &'static [&'static str] },
+    /// Unsigned integer, validated at parse time.
+    Uint { metavar: &'static str },
+}
+
+#[derive(Debug, Clone)]
+struct Opt {
+    flag: &'static str,
+    kind: Kind,
+    help: &'static str,
+}
+
+/// Declarative command-line parser shared by the bench binaries.
+///
+/// Declare options with the `opt_*` builders, then call [`Cli::parse_env`]
+/// (process entry point: handles `--help` and usage errors by exiting) or
+/// [`Cli::parse_from`] (library/tests: returns `Result`). Parsed values are
+/// read back through [`Cli::value`], [`Cli::choice`], [`Cli::uint`], and
+/// [`Cli::is_set`].
+#[derive(Debug)]
+pub struct Cli {
+    name: &'static str,
+    about: &'static str,
+    opts: Vec<Opt>,
+    values: HashMap<&'static str, String>,
+    switches: Vec<&'static str>,
+}
+
+impl Cli {
+    /// New parser with only the implicit `--help` option.
+    pub fn new(name: &'static str, about: &'static str) -> Self {
+        Self {
+            name,
+            about,
+            opts: Vec::new(),
+            values: HashMap::new(),
+            switches: Vec::new(),
+        }
+    }
+
+    /// New parser pre-loaded with the standard figure/table options —
+    /// currently `--scale test|paper`, which overrides the `TERP_SCALE`
+    /// environment variable.
+    pub fn standard(name: &'static str, about: &'static str) -> Self {
+        Self::new(name, about).opt_choice(
+            "--scale",
+            &["test", "paper"],
+            "run scale (default: TERP_SCALE, else paper)",
+        )
+    }
+
+    /// Declares a boolean switch.
+    pub fn opt_switch(mut self, flag: &'static str, help: &'static str) -> Self {
+        self.opts.push(Opt {
+            flag,
+            kind: Kind::Switch,
+            help,
+        });
+        self
+    }
+
+    /// Declares a free-form string option.
+    pub fn opt_str(
+        mut self,
+        flag: &'static str,
+        metavar: &'static str,
+        help: &'static str,
+    ) -> Self {
+        self.opts.push(Opt {
+            flag,
+            kind: Kind::Str { metavar },
+            help,
+        });
+        self
+    }
+
+    /// Declares an enumerated option; values outside `choices` are usage
+    /// errors.
+    pub fn opt_choice(
+        mut self,
+        flag: &'static str,
+        choices: &'static [&'static str],
+        help: &'static str,
+    ) -> Self {
+        self.opts.push(Opt {
+            flag,
+            kind: Kind::Choice { choices },
+            help,
+        });
+        self
+    }
+
+    /// Declares an unsigned-integer option, validated while parsing.
+    pub fn opt_uint(
+        mut self,
+        flag: &'static str,
+        metavar: &'static str,
+        help: &'static str,
+    ) -> Self {
+        self.opts.push(Opt {
+            flag,
+            kind: Kind::Uint { metavar },
+            help,
+        });
+        self
+    }
+
+    /// Parses the process arguments. Prints usage and exits 0 on `--help`;
+    /// prints the error plus usage and exits 2 on bad usage. Returns `self`
+    /// for chaining into the accessors.
+    pub fn parse_env(mut self) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match self.parse_from(&args) {
+            Ok(()) => self,
+            Err(CliError::Help) => {
+                println!("{}", self.usage());
+                std::process::exit(0);
+            }
+            Err(CliError::Usage(msg)) => {
+                eprintln!("{}: {msg}\n{}", self.name, self.usage());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit argument slice (testable entry point).
+    pub fn parse_from(&mut self, args: &[String]) -> Result<(), CliError> {
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if arg == "--help" || arg == "-h" {
+                return Err(CliError::Help);
+            }
+            let opt = self
+                .opts
+                .iter()
+                .find(|o| o.flag == arg.as_str())
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("unknown argument `{arg}`")))?;
+            match opt.kind {
+                Kind::Switch => {
+                    if !self.switches.contains(&opt.flag) {
+                        self.switches.push(opt.flag);
+                    }
+                }
+                Kind::Str { .. } | Kind::Choice { .. } | Kind::Uint { .. } => {
+                    let v = it
+                        .next()
+                        .cloned()
+                        .ok_or_else(|| CliError::Usage(format!("{} requires a value", opt.flag)))?;
+                    if let Kind::Choice { choices } = opt.kind {
+                        if !choices.contains(&v.as_str()) {
+                            return Err(CliError::Usage(format!(
+                                "invalid value `{v}` for {} (expected {})",
+                                opt.flag,
+                                choices.join("|")
+                            )));
+                        }
+                    }
+                    if let Kind::Uint { .. } = opt.kind {
+                        v.parse::<u64>().map_err(|_| {
+                            CliError::Usage(format!("invalid number `{v}` for {}", opt.flag))
+                        })?;
+                    }
+                    self.values.insert(opt.flag, v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Raw string value of an option, if it was supplied.
+    pub fn value(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+
+    /// Value of a string/choice option with a default.
+    pub fn choice<'a>(&'a self, flag: &str, default: &'a str) -> &'a str {
+        self.value(flag).unwrap_or(default)
+    }
+
+    /// Value of a `opt_uint` option (already validated during parsing).
+    pub fn uint(&self, flag: &str) -> Option<u64> {
+        self.value(flag)
+            .map(|v| v.parse().expect("validated at parse"))
+    }
+
+    /// Whether a switch was supplied.
+    pub fn is_set(&self, flag: &str) -> bool {
+        self.switches.contains(&flag)
+    }
+
+    /// The selected run scale: `--scale` if given, else [`Scale::from_env`].
+    pub fn scale(&self) -> Scale {
+        match self.value("--scale") {
+            Some("test") => Scale::Test,
+            Some(_) => Scale::Paper,
+            None => Scale::from_env(),
+        }
+    }
+
+    /// Renders the usage screen.
+    pub fn usage(&self) -> String {
+        let mut lines = vec![
+            format!("usage: {} [options]", self.name),
+            format!("  {}", self.about),
+            String::new(),
+            "options:".to_string(),
+        ];
+        let mut rows: Vec<(String, &'static str)> = self
+            .opts
+            .iter()
+            .map(|o| {
+                let left = match &o.kind {
+                    Kind::Switch => o.flag.to_string(),
+                    Kind::Str { metavar } | Kind::Uint { metavar } => {
+                        format!("{} {metavar}", o.flag)
+                    }
+                    Kind::Choice { choices } => format!("{} {}", o.flag, choices.join("|")),
+                };
+                (left, o.help)
+            })
+            .collect();
+        rows.push(("--help".to_string(), "print this help"));
+        let width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        for (left, help) in rows {
+            lines.push(format!("  {left:width$}  {help}"));
+        }
+        lines.join("\n")
+    }
+}
+
+/// Outcome of a failed [`Cli::parse_from`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// `--help`/`-h` was given: caller should print usage and exit 0.
+    Help,
+    /// Malformed invocation: caller should print the message and exit 2.
+    Usage(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_switches_and_defaults() {
+        let mut cli = Cli::new("t", "test")
+            .opt_uint("--threads", "N", "threads")
+            .opt_str("--out", "PATH", "output")
+            .opt_switch("--json", "json output");
+        cli.parse_from(&args(&["--threads", "8", "--json"]))
+            .unwrap();
+        assert_eq!(cli.uint("--threads"), Some(8));
+        assert_eq!(cli.value("--out"), None);
+        assert_eq!(cli.choice("--out", "results/x.json"), "results/x.json");
+        assert!(cli.is_set("--json"));
+    }
+
+    #[test]
+    fn choice_validation_and_scale_override() {
+        let mut cli = Cli::standard("t", "test");
+        assert!(matches!(
+            cli.parse_from(&args(&["--scale", "tiny"])),
+            Err(CliError::Usage(_))
+        ));
+        cli.parse_from(&args(&["--scale", "test"])).unwrap();
+        assert_eq!(cli.scale(), Scale::Test);
+    }
+
+    #[test]
+    fn usage_errors() {
+        let mut cli = Cli::new("t", "test").opt_uint("--n", "N", "count");
+        assert!(matches!(
+            cli.parse_from(&args(&["--bogus"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cli.parse_from(&args(&["--n"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cli.parse_from(&args(&["--n", "x"])),
+            Err(CliError::Usage(_))
+        ));
+        assert_eq!(cli.parse_from(&args(&["-h"])), Err(CliError::Help));
+    }
+
+    #[test]
+    fn usage_screen_lists_every_option() {
+        let cli = Cli::standard("fig8-deadtime", "Figure 8").opt_switch("--json", "json output");
+        let usage = cli.usage();
+        assert!(usage.contains("--scale test|paper"));
+        assert!(usage.contains("--json"));
+        assert!(usage.contains("--help"));
+    }
+}

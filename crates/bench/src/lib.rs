@@ -20,6 +20,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cli;
+
 use terp_core::config::{ProtectionConfig, Scheme};
 use terp_core::report::RunReport;
 use terp_core::runtime::Executor;

@@ -60,6 +60,10 @@ pub struct RunReport {
     pub randomizations: u64,
     /// Cycles threads spent blocked on Basic-semantics attach serialization.
     pub blocked_cycles: Cycles,
+    /// Basic-semantics deadlocks broken by letting the youngest waiter
+    /// proceed without ownership — counted even when the waiter set has
+    /// exactly one member, so no conflict resolution is silent.
+    pub deadlock_resolutions: u64,
     /// Number of distinct pools the run touched.
     pub pmo_count: usize,
     /// Lifetimes of tagged objects (empty unless the workload emits
@@ -183,6 +187,7 @@ mod tests {
             detach_syscalls: 10,
             randomizations: 2,
             blocked_cycles: 0,
+            deadlock_resolutions: 0,
             pmo_count: 1,
             lifetimes: Vec::new(),
         }

@@ -182,6 +182,7 @@ struct RunState<'r> {
     detach_syscalls: u64,
     randomizations: u64,
     blocked_cycles: Cycles,
+    deadlock_resolutions: u64,
     pmos_touched: HashSet<PmoId>,
     /// tag → (alloc time, last write time) for live tagged objects.
     live_objects: HashMap<u32, (Cycles, Cycles)>,
@@ -240,6 +241,7 @@ impl<'r> RunState<'r> {
             detach_syscalls: 0,
             randomizations: 0,
             blocked_cycles: 0,
+            deadlock_resolutions: 0,
             pmos_touched: HashSet::new(),
             live_objects: HashMap::new(),
             lifetimes: Vec::new(),
@@ -394,10 +396,13 @@ impl<'r> RunState<'r> {
             None => Err(RunError::DoubleAttach { thread, pmo }),
             Some(_) if self.all_runnable_blocked_except(thread) => {
                 // Deadlock: every other runnable thread is also waiting.
-                // Resolve by proceeding without ownership.
+                // Resolve by letting the youngest waiter proceed without
+                // ownership. Recorded unconditionally — a waiter set of one
+                // is still a resolved conflict, not a silent pass.
                 self.blocked[thread] = false;
                 self.borrowed.insert((thread, pmo));
                 self.machine.charge_attach_syscall(thread);
+                self.deadlock_resolutions += 1;
                 Ok(true)
             }
             Some(clock) => {
@@ -582,6 +587,7 @@ impl<'r> RunState<'r> {
             detach_syscalls: self.detach_syscalls,
             randomizations: self.randomizations,
             blocked_cycles: self.blocked_cycles,
+            deadlock_resolutions: self.deadlock_resolutions,
             pmo_count: self.pmos_touched.len(),
             lifetimes: self.lifetimes,
         }
@@ -769,6 +775,40 @@ mod tests {
         let tt = run(Scheme::terp_full(), &mut reg2, traces);
         assert_eq!(tt.blocked_cycles, 0);
         assert!(tt.overhead_fraction() < r.overhead_fraction());
+    }
+
+    #[test]
+    fn deadlock_resolution_with_single_waiter_is_recorded() {
+        // Two threads acquire two pools in opposite orders under Basic
+        // semantics: a classic deadlock. When the executor breaks it, the
+        // waiter set seen by the resolving thread has exactly one member —
+        // the case that used to go unrecorded.
+        let (mut reg, ids) = setup(2);
+        let nested = |first: PmoId, second: PmoId| {
+            let mut t = ThreadTrace::new();
+            t.push(TraceOp::Attach {
+                pmo: first,
+                perm: Permission::ReadWrite,
+            });
+            t.push(TraceOp::Compute { instrs: 1000 });
+            t.push(TraceOp::Attach {
+                pmo: second,
+                perm: Permission::ReadWrite,
+            });
+            t.push(TraceOp::Detach { pmo: second });
+            t.push(TraceOp::Detach { pmo: first });
+            t
+        };
+        let r = run(
+            Scheme::BasicSemantics,
+            &mut reg,
+            vec![nested(ids[0], ids[1]), nested(ids[1], ids[0])],
+        );
+        assert!(
+            r.deadlock_resolutions > 0,
+            "resolved deadlock must show up in conflict stats: {r:?}"
+        );
+        assert!(r.blocked_cycles > 0, "the loser waited before resolving");
     }
 
     #[test]

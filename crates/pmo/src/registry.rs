@@ -92,6 +92,28 @@ impl PmoRegistry {
         Ok(())
     }
 
+    /// Removes a pool from the registry and transfers ownership to the
+    /// caller. The id slot stays reserved (ids are never reused) and the
+    /// name is freed, exactly as [`Self::destroy`] — except the pool's data
+    /// survives in the caller's hands.
+    ///
+    /// This is how a sharded store (e.g. `terp-service`) uses the registry
+    /// as its id/name authority while keeping each pool behind its own
+    /// shard lock.
+    ///
+    /// # Errors
+    ///
+    /// [`PmoError::UnknownPmo`] if the id is not a live pool.
+    pub fn take(&mut self, id: PmoId) -> Result<Pmo, PmoError> {
+        let slot = self
+            .pools
+            .get_mut(id.index())
+            .ok_or(PmoError::UnknownPmo(id))?;
+        let pool = slot.take().ok_or(PmoError::UnknownPmo(id))?;
+        self.names.remove(pool.name());
+        Ok(pool)
+    }
+
     /// Permanently destroys a pool and frees its name and id slot.
     ///
     /// # Errors
@@ -224,6 +246,32 @@ mod tests {
         assert!(reg.lookup("gone").is_none());
         // Name can be reused.
         reg.create("gone", 4096, OpenMode::ReadWrite).unwrap();
+    }
+
+    #[test]
+    fn take_transfers_ownership_and_keeps_ids_unique() {
+        let mut reg = PmoRegistry::new();
+        let id = reg
+            .create("shard-me", 1 << 16, OpenMode::ReadWrite)
+            .unwrap();
+        let oid = reg.pool_mut(id).unwrap().pmalloc(16).unwrap();
+        reg.pool_mut(id)
+            .unwrap()
+            .write_bytes(oid.offset(), b"taken")
+            .unwrap();
+
+        let pool = reg.take(id).unwrap();
+        assert_eq!(pool.id(), id);
+        let mut buf = [0u8; 5];
+        pool.read_bytes(oid.offset(), &mut buf).unwrap();
+        assert_eq!(&buf, b"taken");
+
+        // The registry forgot the pool but not the id slot.
+        assert_eq!(reg.pool(id).unwrap_err(), PmoError::UnknownPmo(id));
+        assert_eq!(reg.take(id).unwrap_err(), PmoError::UnknownPmo(id));
+        assert!(reg.lookup("shard-me").is_none());
+        let next = reg.create("next", 4096, OpenMode::ReadWrite).unwrap();
+        assert_ne!(next, id, "taken ids are never reassigned");
     }
 
     #[test]

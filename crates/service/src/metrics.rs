@@ -1,0 +1,315 @@
+//! Latency histograms and the merged service report.
+
+use terp_arch::{CondStats, MerrStats};
+use terp_core::config::Scheme;
+use terp_core::window::WindowStats;
+
+const SUB: usize = 16; // sub-buckets per power of two
+const BUCKETS: usize = 61 * SUB; // covers the full u64 nanosecond range
+
+/// A fixed-size log-bucketed latency histogram (HDR-style: power-of-two
+/// major buckets, 16 linear sub-buckets each, ~3% relative error).
+///
+/// Values are nanoseconds. Recording is O(1) with no allocation, so worker
+/// threads can keep one per thread and merge at the end of a run.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket(v: u64) -> usize {
+        if v < SUB as u64 {
+            v as usize
+        } else {
+            let exp = 63 - v.leading_zeros() as usize; // ≥ 4
+            let sub = ((v >> (exp - 4)) & 0xF) as usize;
+            ((exp - 3) * SUB + sub).min(BUCKETS - 1)
+        }
+    }
+
+    fn bucket_value(idx: usize) -> u64 {
+        if idx < SUB {
+            idx as u64
+        } else {
+            let exp = idx / SUB + 3;
+            let sub = (idx % SUB) as u64;
+            let width = 1u64 << (exp - 4);
+            (1u64 << exp) + sub * width + width / 2
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[Self::bucket(ns)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(ns);
+        self.max = self.max.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (bucket midpoint; exact max for
+    /// `q = 1`). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_value(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Operation counters accumulated by the service (successful ops unless
+/// noted).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Sessions opened (service-level attaches).
+    pub attaches: u64,
+    /// Sessions closed (service-level detaches).
+    pub detaches: u64,
+    /// Read operations.
+    pub reads: u64,
+    /// Write operations.
+    pub writes: u64,
+    /// `pmalloc` operations.
+    pub allocs: u64,
+    /// Operations rejected by a permission check.
+    pub denials: u64,
+    /// Basic-semantics attach conflicts that put a client to sleep.
+    pub attach_conflicts: u64,
+}
+
+impl OpCounters {
+    /// Total successful operations.
+    pub fn total(&self) -> u64 {
+        self.attaches + self.detaches + self.reads + self.writes + self.allocs
+    }
+
+    pub(crate) fn merge(&mut self, o: &OpCounters) {
+        self.attaches += o.attaches;
+        self.detaches += o.detaches;
+        self.reads += o.reads;
+        self.writes += o.writes;
+        self.allocs += o.allocs;
+        self.denials += o.denials;
+        self.attach_conflicts += o.attach_conflicts;
+    }
+}
+
+pub(crate) fn merge_window_stats(a: WindowStats, b: WindowStats) -> WindowStats {
+    let count = a.count + b.count;
+    let total_cycles = a.total_cycles + b.total_cycles;
+    WindowStats {
+        count,
+        avg_cycles: if count == 0 {
+            0.0
+        } else {
+            total_cycles as f64 / count as f64
+        },
+        max_cycles: a.max_cycles.max(b.max_cycles),
+        total_cycles,
+    }
+}
+
+pub(crate) fn merge_cond_stats(a: &mut CondStats, b: CondStats) {
+    a.first_attach += b.first_attach;
+    a.subsequent_attach += b.subsequent_attach;
+    a.silent_attach += b.silent_attach;
+    a.untracked_attach += b.untracked_attach;
+    a.partial_detach += b.partial_detach;
+    a.full_detach += b.full_detach;
+    a.delayed_detach += b.delayed_detach;
+    a.untracked_detach += b.untracked_detach;
+    a.sweep_detach += b.sweep_detach;
+    a.sweep_randomize += b.sweep_randomize;
+}
+
+/// End-of-run summary merged over every shard at shutdown.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// The scheme the service ran under.
+    pub scheme: Scheme,
+    /// Operation counters.
+    pub ops: OpCounters,
+    /// Conditional-instruction statistics (all shards; zero for non-TERP
+    /// schemes).
+    pub cond: CondStats,
+    /// MERR attach-state statistics (all shards).
+    pub merr: MerrStats,
+    /// Real attach system calls performed.
+    pub attach_syscalls: u64,
+    /// Real detach system calls performed.
+    pub detach_syscalls: u64,
+    /// In-place randomizations performed by the sweeper.
+    pub randomizations: u64,
+    /// Nanoseconds clients spent blocked on Basic-semantics attach
+    /// serialization.
+    pub blocked_ns: u64,
+    /// Sweeper passes executed.
+    pub sweep_passes: u64,
+    /// Process exposure-window statistics (ns).
+    pub ew: WindowStats,
+    /// Thread (client) exposure-window statistics (ns).
+    pub tew: WindowStats,
+}
+
+impl std::fmt::Display for ServiceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "[{}] {} ops ({} at / {} dt / {} rd / {} wr / {} al), {} denials",
+            self.scheme,
+            self.ops.total(),
+            self.ops.attaches,
+            self.ops.detaches,
+            self.ops.reads,
+            self.ops.writes,
+            self.ops.allocs,
+            self.ops.denials,
+        )?;
+        write!(
+            f,
+            "  syscalls {}/{} (attach/detach), {} randomizations, silent {:.1}%, \
+             EW avg {:.1} µs (n={}), TEW avg {:.1} µs (n={})",
+            self.attach_syscalls,
+            self.detach_syscalls,
+            self.randomizations,
+            self.cond.silent_fraction() * 100.0,
+            self.ew.avg_cycles / 1_000.0,
+            self.ew.count,
+            self.tew.avg_cycles / 1_000.0,
+            self.tew.count,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_accurate() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.quantile(0.50);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= h.quantile(1.0));
+        // Log-bucketed: ≤ ~6% relative error at these magnitudes.
+        assert!((p50 as f64 - 500.0).abs() / 500.0 < 0.07, "p50={p50}");
+        assert!((p99 as f64 - 990.0).abs() / 990.0 < 0.07, "p99={p99}");
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(0.01), 0);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert!(h.mean() > 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut c = LatencyHistogram::new();
+        for v in [5u64, 70, 900, 12_345, 1_000_000] {
+            a.record(v);
+            c.record(v);
+        }
+        for v in [17u64, 250, 4_000] {
+            b.record(v);
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.max(), c.max());
+        for q in [0.25, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), c.quantile(q));
+        }
+    }
+
+    #[test]
+    fn window_stats_merge_recomputes_mean() {
+        let a = WindowStats {
+            count: 2,
+            avg_cycles: 100.0,
+            max_cycles: 150,
+            total_cycles: 200,
+        };
+        let b = WindowStats {
+            count: 2,
+            avg_cycles: 300.0,
+            max_cycles: 400,
+            total_cycles: 600,
+        };
+        let m = merge_window_stats(a, b);
+        assert_eq!(m.count, 4);
+        assert_eq!(m.total_cycles, 800);
+        assert_eq!(m.max_cycles, 400);
+        assert!((m.avg_cycles - 200.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,906 @@
+//! The service proper: scheme semantics enforced at the shard boundary.
+//!
+//! * **Basic semantics** (MM / basic-semantics ablation): a pool has at most
+//!   one owning client; a conflicting attach *blocks* on the shard condvar
+//!   until the owner detaches or the service shuts down.
+//! * **EW-conscious semantics** (TM / TT): attach/detach run through the
+//!   shard's [`CondEngine`]; lowered operations update only the client's
+//!   thread-permission set (a *silent* conditional op), and only
+//!   first-attach / full-detach outcomes touch the address space.
+//! * **Unprotected**: constructs are bookkeeping only — pools stay mapped
+//!   once touched, nothing is checked.
+//!
+//! Every operation computes its cost charge (see [`crate::CostModel`])
+//! under the shard lock but *spins it off after the lock is released*, so
+//! modeled syscall latency does not serialize unrelated clients of the same
+//! shard.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use terp_arch::{CondStats, DetachOutcome, MerrStats, SweepAction};
+use terp_core::config::Scheme;
+use terp_core::permission::Right;
+use terp_pmo::{AccessKind, ObjectId, OpenMode, Permission, PmoId, PmoRegistry};
+
+use crate::clock::ServiceClock;
+use crate::config::ServiceConfig;
+use crate::error::ServiceError;
+use crate::metrics::{merge_cond_stats, merge_window_stats, OpCounters, ServiceReport};
+use crate::shard::{Shard, ShardState};
+use crate::ClientId;
+
+fn right_for(kind: AccessKind) -> Right {
+    match kind {
+        AccessKind::Read => Right::Read,
+        AccessKind::Write => Right::Write,
+    }
+}
+
+/// The in-process PMO service. Shareable across worker threads via `Arc`;
+/// every method takes `&self`.
+#[derive(Debug)]
+pub struct PmoService {
+    config: ServiceConfig,
+    clock: ServiceClock,
+    registry: Mutex<PmoRegistry>,
+    shards: Vec<Shard>,
+    shard_mask: usize,
+    shutting_down: AtomicBool,
+    sweep_passes: AtomicU64,
+}
+
+impl PmoService {
+    /// Builds a service with `config.effective_shards()` shards. Each shard
+    /// gets its own randomization seed (`config.seed + shard index`).
+    pub fn new(config: ServiceConfig) -> Self {
+        let n = config.effective_shards();
+        let shards = (0..n)
+            .map(|i| {
+                Shard::new(
+                    config.seed.wrapping_add(i as u64),
+                    config.ew_target_ns(),
+                    config.cb_capacity,
+                )
+            })
+            .collect();
+        PmoService {
+            clock: ServiceClock::start(),
+            registry: Mutex::new(PmoRegistry::new()),
+            shards,
+            shard_mask: n - 1,
+            shutting_down: AtomicBool::new(false),
+            sweep_passes: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The scheme in force.
+    pub fn scheme(&self) -> Scheme {
+        self.config.scheme
+    }
+
+    /// The service clock (nanoseconds since start).
+    pub fn clock(&self) -> &ServiceClock {
+        &self.clock
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, pmo: PmoId) -> &Shard {
+        &self.shards[(pmo.raw() as usize) & self.shard_mask]
+    }
+
+    fn lock<'a>(&self, shard: &'a Shard) -> MutexGuard<'a, ShardState> {
+        shard.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn is_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Acquire)
+    }
+
+    /// Creates a pool and hands it to its shard. The registry stays the
+    /// id/name authority (ids are globally unique and never reused), but the
+    /// pool itself lives behind the shard lock.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::ShuttingDown`] after shutdown began, or a substrate
+    /// error for duplicate names / invalid sizes / id exhaustion.
+    pub fn create_pool(
+        &self,
+        name: &str,
+        size: u64,
+        mode: OpenMode,
+    ) -> Result<PmoId, ServiceError> {
+        if self.is_down() {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let mut registry = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+        let id = registry.create(name, size, mode)?;
+        let pool = registry.take(id)?;
+        drop(registry);
+        self.lock(self.shard(id)).pools.insert(id, pool);
+        Ok(id)
+    }
+
+    /// Opens a session: the client attaches to the pool with the requested
+    /// permission, under the scheme's contention semantics. Under Basic
+    /// semantics this call *blocks* while another client owns the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownPmo`], [`ServiceError::AlreadyAttached`],
+    /// [`ServiceError::ShuttingDown`], or a substrate error (e.g. mode
+    /// mismatch).
+    pub fn attach(
+        &self,
+        client: ClientId,
+        pmo: PmoId,
+        perm: Permission,
+    ) -> Result<(), ServiceError> {
+        let cost = match self.config.scheme {
+            Scheme::Unprotected => self.attach_unprotected(client, pmo, perm)?,
+            Scheme::Merr | Scheme::BasicSemantics => self.attach_basic(client, pmo, perm)?,
+            Scheme::TerpSoftware | Scheme::TerpFull { .. } => {
+                self.attach_terp(client, pmo, perm)?
+            }
+        };
+        self.clock.charge(cost);
+        Ok(())
+    }
+
+    fn attach_unprotected(
+        &self,
+        client: ClientId,
+        pmo: PmoId,
+        perm: Permission,
+    ) -> Result<u64, ServiceError> {
+        let mut state = self.lock(self.shard(pmo));
+        if self.is_down() {
+            return Err(ServiceError::ShuttingDown);
+        }
+        if !state.pools.contains_key(&pmo) {
+            return Err(ServiceError::UnknownPmo(pmo));
+        }
+        if state.is_holder(client, pmo) {
+            return Err(ServiceError::AlreadyAttached { client, pmo });
+        }
+        let mut cost = 0;
+        if !state.space.is_attached(pmo) {
+            state.map_pool(pmo, perm, self.clock.now_ns())?;
+            cost = self.config.cost.attach_ns;
+        }
+        state.add_holder(client, pmo);
+        state.ops.attaches += 1;
+        Ok(cost)
+    }
+
+    fn attach_basic(
+        &self,
+        client: ClientId,
+        pmo: PmoId,
+        perm: Permission,
+    ) -> Result<u64, ServiceError> {
+        let shard = self.shard(pmo);
+        let mut state = self.lock(shard);
+        if !state.pools.contains_key(&pmo) {
+            return Err(ServiceError::UnknownPmo(pmo));
+        }
+        let mut waited_from = None;
+        loop {
+            if self.is_down() {
+                return Err(ServiceError::ShuttingDown);
+            }
+            if state.owner.get(&pmo) == Some(&client) {
+                return Err(ServiceError::AlreadyAttached { client, pmo });
+            }
+            if !state.merr.is_attached(pmo) {
+                break;
+            }
+            // Basic semantics: serialize on the owner's window. Sleep on the
+            // shard condvar; the timeout bounds shutdown latency.
+            if waited_from.is_none() {
+                waited_from = Some(self.clock.now_ns());
+                state.ops.attach_conflicts += 1;
+            }
+            let (s, _) = shard
+                .cvar
+                .wait_timeout(state, Duration::from_millis(1))
+                .unwrap_or_else(|e| e.into_inner());
+            state = s;
+        }
+        if let Some(from) = waited_from {
+            state.blocked_ns += self.clock.now_ns().saturating_sub(from);
+        }
+        state
+            .merr
+            .attach(pmo)
+            .expect("pool with no owner must be MERR-attachable");
+        if let Err(e) = state.map_pool(pmo, perm, self.clock.now_ns()) {
+            let _ = state.merr.detach(pmo);
+            return Err(e.into());
+        }
+        state.owner.insert(pmo, client);
+        state.add_holder(client, pmo);
+        state.ops.attaches += 1;
+        Ok(self.config.cost.attach_ns)
+    }
+
+    fn attach_terp(
+        &self,
+        client: ClientId,
+        pmo: PmoId,
+        perm: Permission,
+    ) -> Result<u64, ServiceError> {
+        let mut state = self.lock(self.shard(pmo));
+        if self.is_down() {
+            return Err(ServiceError::ShuttingDown);
+        }
+        if !state.pools.contains_key(&pmo) {
+            return Err(ServiceError::UnknownPmo(pmo));
+        }
+        if state.is_holder(client, pmo) {
+            return Err(ServiceError::AlreadyAttached { client, pmo });
+        }
+        let now = self.clock.now_ns();
+        let outcome = state.engine.condat(pmo, now);
+        if outcome.needs_syscall() && !state.space.is_attached(pmo) {
+            if let Err(e) = state.map_pool(pmo, perm, now) {
+                // Undo the speculative buffer entry: the attach never
+                // happened.
+                state.engine.evict(pmo);
+                return Err(e.into());
+            }
+        }
+        state.grant_client(client, pmo, perm, now);
+        state.add_holder(client, pmo);
+        state.ops.attaches += 1;
+        let syscall = outcome.needs_syscall() || self.config.scheme.cond_is_syscall();
+        Ok(if syscall {
+            self.config.cost.attach_ns
+        } else {
+            self.config.cost.cond_ns
+        })
+    }
+
+    /// Closes a session. Under EW-conscious semantics the detach may be
+    /// *delayed* (the pool stays mapped for window combining; the sweeper
+    /// finishes the job), but the client's own permission is always revoked
+    /// before this call returns.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownPmo`] or [`ServiceError::NotAttached`].
+    pub fn detach(&self, client: ClientId, pmo: PmoId) -> Result<(), ServiceError> {
+        let cost = match self.config.scheme {
+            Scheme::Unprotected => self.detach_unprotected(client, pmo)?,
+            Scheme::Merr | Scheme::BasicSemantics => self.detach_basic(client, pmo)?,
+            Scheme::TerpSoftware | Scheme::TerpFull { .. } => self.detach_terp(client, pmo)?,
+        };
+        self.clock.charge(cost);
+        Ok(())
+    }
+
+    fn detach_unprotected(&self, client: ClientId, pmo: PmoId) -> Result<u64, ServiceError> {
+        let mut state = self.lock(self.shard(pmo));
+        if !state.pools.contains_key(&pmo) {
+            return Err(ServiceError::UnknownPmo(pmo));
+        }
+        if !state.is_holder(client, pmo) {
+            return Err(ServiceError::NotAttached { client, pmo });
+        }
+        // Unprotected never unmaps: the pool stays exposed (that is the
+        // point of the baseline).
+        state.remove_holder(client, pmo);
+        state.ops.detaches += 1;
+        Ok(0)
+    }
+
+    fn detach_basic(&self, client: ClientId, pmo: PmoId) -> Result<u64, ServiceError> {
+        let shard = self.shard(pmo);
+        let mut state = self.lock(shard);
+        if !state.pools.contains_key(&pmo) {
+            return Err(ServiceError::UnknownPmo(pmo));
+        }
+        if state.owner.get(&pmo) != Some(&client) {
+            return Err(ServiceError::NotAttached { client, pmo });
+        }
+        state
+            .merr
+            .detach(pmo)
+            .expect("owned pool must be MERR-attached");
+        state.unmap_pool(pmo, self.clock.now_ns())?;
+        state.owner.remove(&pmo);
+        state.remove_holder(client, pmo);
+        state.ops.detaches += 1;
+        drop(state);
+        shard.cvar.notify_all();
+        Ok(self.config.cost.detach_ns)
+    }
+
+    fn detach_terp(&self, client: ClientId, pmo: PmoId) -> Result<u64, ServiceError> {
+        let mut state = self.lock(self.shard(pmo));
+        if !state.pools.contains_key(&pmo) {
+            return Err(ServiceError::UnknownPmo(pmo));
+        }
+        if !state.is_holder(client, pmo) {
+            return Err(ServiceError::NotAttached { client, pmo });
+        }
+        let now = self.clock.now_ns();
+        let mut outcome = state.engine.conddt(pmo, now);
+        if matches!(
+            self.config.scheme,
+            Scheme::TerpFull {
+                window_combining: false
+            }
+        ) && outcome == DetachOutcome::DelayedDetach
+        {
+            // The +Cond ablation has no delayed-detach hardware: retire the
+            // entry and detach for real.
+            state.engine.evict(pmo);
+            outcome = DetachOutcome::FullDetach;
+        }
+        state.revoke_client(client, pmo, now);
+        state.remove_holder(client, pmo);
+        if outcome.needs_syscall() && state.space.is_attached(pmo) {
+            state.unmap_pool(pmo, now)?;
+        }
+        state.ops.detaches += 1;
+        let syscall = outcome.needs_syscall() || self.config.scheme.cond_is_syscall();
+        Ok(if syscall {
+            self.config.cost.detach_ns
+        } else {
+            self.config.cost.cond_ns
+        })
+    }
+
+    fn check_access(
+        state: &mut ShardState,
+        scheme: Scheme,
+        client: ClientId,
+        oid: ObjectId,
+        kind: AccessKind,
+    ) -> Result<(), ServiceError> {
+        let pmo = oid.pmo();
+        let va = state.space.oid_direct(oid)?;
+        let allowed = match scheme {
+            Scheme::Unprotected => true,
+            Scheme::Merr | Scheme::BasicSemantics => {
+                state.owner.get(&pmo) == Some(&client) && state.matrix.check(va, kind)
+            }
+            Scheme::TerpSoftware | Scheme::TerpFull { .. } => {
+                state
+                    .perms
+                    .get(&client)
+                    .is_some_and(|p| p.has(pmo, right_for(kind)))
+                    && state.matrix.check(va, kind)
+            }
+        };
+        if allowed {
+            Ok(())
+        } else {
+            state.ops.denials += 1;
+            Err(ServiceError::PermissionDenied { client, pmo, kind })
+        }
+    }
+
+    /// Reads `len` bytes at `oid` on behalf of `client`, subject to the
+    /// scheme's permission checks.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::PermissionDenied`], [`ServiceError::UnknownPmo`], or
+    /// a substrate error (unmapped pool, out-of-bounds offset).
+    pub fn read(
+        &self,
+        client: ClientId,
+        oid: ObjectId,
+        len: usize,
+    ) -> Result<Vec<u8>, ServiceError> {
+        let pmo = oid.pmo();
+        let mut state = self.lock(self.shard(pmo));
+        if !state.pools.contains_key(&pmo) {
+            return Err(ServiceError::UnknownPmo(pmo));
+        }
+        Self::check_access(
+            &mut state,
+            self.config.scheme,
+            client,
+            oid,
+            AccessKind::Read,
+        )?;
+        let mut buf = vec![0u8; len];
+        state.pools[&pmo].read_bytes(oid.offset(), &mut buf)?;
+        state.ops.reads += 1;
+        Ok(buf)
+    }
+
+    /// Writes `data` at `oid` on behalf of `client`, subject to the
+    /// scheme's permission checks.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::read`], with [`AccessKind::Write`] required.
+    pub fn write(&self, client: ClientId, oid: ObjectId, data: &[u8]) -> Result<(), ServiceError> {
+        let pmo = oid.pmo();
+        let mut state = self.lock(self.shard(pmo));
+        if !state.pools.contains_key(&pmo) {
+            return Err(ServiceError::UnknownPmo(pmo));
+        }
+        Self::check_access(
+            &mut state,
+            self.config.scheme,
+            client,
+            oid,
+            AccessKind::Write,
+        )?;
+        let pool = state.pools.get_mut(&pmo).expect("checked above");
+        pool.write_bytes(oid.offset(), data)?;
+        state.ops.writes += 1;
+        Ok(())
+    }
+
+    /// Allocates `size` bytes in the pool (`pmalloc`). Requires the rights
+    /// a write would.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::PermissionDenied`] without write rights, or a
+    /// substrate error (pool full).
+    pub fn alloc(&self, client: ClientId, pmo: PmoId, size: u64) -> Result<ObjectId, ServiceError> {
+        let mut state = self.lock(self.shard(pmo));
+        if !state.pools.contains_key(&pmo) {
+            return Err(ServiceError::UnknownPmo(pmo));
+        }
+        Self::check_alloc_rights(&mut state, self.config.scheme, client, pmo)?;
+        let pool = state.pools.get_mut(&pmo).expect("checked above");
+        let oid = pool.pmalloc(size)?;
+        state.ops.allocs += 1;
+        Ok(oid)
+    }
+
+    /// Frees an object (`pfree`). Requires the rights a write would.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::alloc`].
+    pub fn free(&self, client: ClientId, oid: ObjectId) -> Result<(), ServiceError> {
+        let pmo = oid.pmo();
+        let mut state = self.lock(self.shard(pmo));
+        if !state.pools.contains_key(&pmo) {
+            return Err(ServiceError::UnknownPmo(pmo));
+        }
+        Self::check_alloc_rights(&mut state, self.config.scheme, client, pmo)?;
+        let pool = state.pools.get_mut(&pmo).expect("checked above");
+        pool.pfree(oid)?;
+        Ok(())
+    }
+
+    fn check_alloc_rights(
+        state: &mut ShardState,
+        scheme: Scheme,
+        client: ClientId,
+        pmo: PmoId,
+    ) -> Result<(), ServiceError> {
+        let allowed = match scheme {
+            Scheme::Unprotected => true,
+            Scheme::Merr | Scheme::BasicSemantics => state.owner.get(&pmo) == Some(&client),
+            Scheme::TerpSoftware | Scheme::TerpFull { .. } => state
+                .perms
+                .get(&client)
+                .is_some_and(|p| p.has(pmo, Right::Write)),
+        };
+        if allowed {
+            Ok(())
+        } else {
+            state.ops.denials += 1;
+            Err(ServiceError::PermissionDenied {
+                client,
+                pmo,
+                kind: AccessKind::Write,
+            })
+        }
+    }
+
+    /// Whether the *process* currently holds `kind` access to the pool —
+    /// i.e. the permission matrix has a live entry allowing it. This is the
+    /// probe the soak test uses: after a full detach or sweep expiry it must
+    /// be `false`.
+    pub fn process_can(&self, pmo: PmoId, kind: AccessKind) -> bool {
+        let state = self.lock(self.shard(pmo));
+        state
+            .matrix
+            .entry(pmo)
+            .is_some_and(|e| e.permission.allows(kind))
+    }
+
+    /// Whether `client` can currently perform `kind` on the pool: the
+    /// permission-matrix entry must allow it *and* the scheme's
+    /// client-level state (ownership / thread permission) must agree.
+    pub fn client_can(&self, client: ClientId, pmo: PmoId, kind: AccessKind) -> bool {
+        let state = self.lock(self.shard(pmo));
+        let process = state
+            .matrix
+            .entry(pmo)
+            .is_some_and(|e| e.permission.allows(kind));
+        match self.config.scheme {
+            Scheme::Unprotected => state.space.is_attached(pmo),
+            Scheme::Merr | Scheme::BasicSemantics => {
+                process && state.owner.get(&pmo) == Some(&client)
+            }
+            Scheme::TerpSoftware | Scheme::TerpFull { .. } => {
+                process
+                    && state
+                        .perms
+                        .get(&client)
+                        .is_some_and(|p| p.has(pmo, right_for(kind)))
+            }
+        }
+    }
+
+    /// Total pools currently mapped across all shards.
+    pub fn attached_total(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| self.lock(s).space.attached_count())
+            .sum()
+    }
+
+    /// Total live permission-matrix entries across all shards.
+    pub fn matrix_total(&self) -> usize {
+        self.shards.iter().map(|s| self.lock(s).matrix.len()).sum()
+    }
+
+    /// Runs one circular-buffer expiry walk over every shard (the sweeper
+    /// thread calls this periodically; tests with `sweep_period_us == 0`
+    /// call it directly). Returns the number of actions performed.
+    pub fn sweep_all(&self) -> usize {
+        let mut total = 0;
+        if self.config.scheme.has_thread_permissions() {
+            for shard in &self.shards {
+                let mut state = self.lock(shard);
+                let now = self.clock.now_ns();
+                let actions = state.engine.sweep(now);
+                total += actions.len();
+                for action in actions {
+                    match action {
+                        SweepAction::Detach(pmo) => {
+                            let _ = state.unmap_pool(pmo, now);
+                            self.clock.charge(self.config.cost.detach_ns);
+                        }
+                        SweepAction::Randomize(pmo) => {
+                            let _ = state.randomize_pool(pmo, now);
+                            // The charge runs under the shard lock: every
+                            // client of the pool stalls during a relocation,
+                            // as in the paper's multithreaded model.
+                            self.clock.charge(self.config.cost.randomize_ns);
+                        }
+                    }
+                }
+            }
+        }
+        self.sweep_passes.fetch_add(1, Ordering::Relaxed);
+        total
+    }
+
+    /// Flags the service as shutting down: new sessions are refused and
+    /// Basic-semantics waiters wake with [`ServiceError::ShuttingDown`].
+    pub fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Release);
+        for shard in &self.shards {
+            shard.cvar.notify_all();
+        }
+    }
+
+    /// Whether shutdown has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.is_down()
+    }
+
+    /// Force-closes every window: drains the circular buffers, detaches
+    /// every mapped pool, revokes every client grant, and finalizes window
+    /// statistics. Call after [`Self::begin_shutdown`] and after the
+    /// sweeper has stopped.
+    pub fn drain(&self) {
+        for shard in &self.shards {
+            let mut state = self.lock(shard);
+            let now = self.clock.now_ns();
+            // TERP: retire every tracked entry, live holders included.
+            for pmo in state.engine.drain() {
+                let _ = state.unmap_pool(pmo, now);
+            }
+            // Basic semantics: force-detach owned pools.
+            let owned: Vec<PmoId> = state.owner.keys().copied().collect();
+            for pmo in owned {
+                let _ = state.merr.detach(pmo);
+                let _ = state.unmap_pool(pmo, now);
+            }
+            state.owner.clear();
+            // Anything still mapped (unprotected pools, untracked attaches).
+            let mapped: Vec<PmoId> = state
+                .pools
+                .keys()
+                .copied()
+                .filter(|&p| state.space.is_attached(p))
+                .collect();
+            for pmo in mapped {
+                let _ = state.unmap_pool(pmo, now);
+            }
+            // Close every remaining client session.
+            let sessions: Vec<(PmoId, Vec<ClientId>)> = state
+                .holders
+                .iter()
+                .map(|(&pmo, clients)| (pmo, clients.iter().copied().collect()))
+                .collect();
+            for (pmo, clients) in sessions {
+                for client in clients {
+                    state.revoke_client(client, pmo, now);
+                }
+            }
+            state.holders.clear();
+            state.windows.finalize(now);
+            shard.cvar.notify_all();
+        }
+    }
+
+    /// Merges every shard's statistics into one report.
+    pub fn report(&self) -> ServiceReport {
+        let mut ops = OpCounters::default();
+        let mut cond = CondStats::default();
+        let mut merr = MerrStats::default();
+        let mut attach_syscalls = 0;
+        let mut detach_syscalls = 0;
+        let mut randomizations = 0;
+        let mut blocked_ns = 0;
+        let mut ew = Default::default();
+        let mut tew = Default::default();
+        for shard in &self.shards {
+            let state = self.lock(shard);
+            ops.merge(&state.ops);
+            merge_cond_stats(&mut cond, state.engine.stats());
+            let m = state.merr.stats();
+            merr.attaches += m.attaches;
+            merr.detaches += m.detaches;
+            merr.attach_conflicts += m.attach_conflicts;
+            attach_syscalls += state.attach_syscalls;
+            detach_syscalls += state.detach_syscalls;
+            randomizations += state.randomizations;
+            blocked_ns += state.blocked_ns;
+            ew = merge_window_stats(ew, state.windows.ew_stats());
+            tew = merge_window_stats(tew, state.windows.tew_stats());
+        }
+        ServiceReport {
+            scheme: self.config.scheme,
+            ops,
+            cond,
+            merr,
+            attach_syscalls,
+            detach_syscalls,
+            randomizations,
+            blocked_ns,
+            sweep_passes: self.sweep_passes.load(Ordering::Relaxed),
+            ew,
+            tew,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn service(scheme: Scheme) -> PmoService {
+        PmoService::new(ServiceConfig::for_tests(scheme))
+    }
+
+    /// A service whose EW target is far in the future, so conditional
+    /// detaches are reliably *delayed* regardless of scheduler noise.
+    fn service_long_ew(scheme: Scheme) -> PmoService {
+        PmoService::new(ServiceConfig::for_tests(scheme).with_ew_target_us(10_000_000))
+    }
+
+    /// A service with a 2 ms EW: long against back-to-back calls, short
+    /// against an explicit 5 ms sleep — the expiry-path configuration.
+    fn service_expiring(scheme: Scheme) -> PmoService {
+        PmoService::new(ServiceConfig::for_tests(scheme).with_ew_target_us(2_000))
+    }
+
+    #[test]
+    fn tt_attach_lowering_and_delayed_detach() {
+        let svc = service_long_ew(Scheme::terp_full());
+        let p = svc.create_pool("a", 1 << 16, OpenMode::ReadWrite).unwrap();
+
+        svc.attach(0, p, Permission::ReadWrite).unwrap();
+        svc.attach(1, p, Permission::ReadWrite).unwrap();
+        let oid = svc.alloc(0, p, 64).unwrap();
+        svc.write(0, oid, b"hello").unwrap();
+        assert_eq!(svc.read(1, oid, 5).unwrap(), b"hello");
+
+        // Client 1 detaches: partial — pool stays mapped, client 1 loses
+        // access immediately.
+        svc.detach(1, p).unwrap();
+        assert!(svc.process_can(p, AccessKind::Read));
+        assert!(!svc.client_can(1, p, AccessKind::Read));
+        assert!(svc.client_can(0, p, AccessKind::Read));
+        assert!(
+            svc.read(1, oid, 5).is_err(),
+            "revoked client must be denied"
+        );
+
+        // Client 0 detaches early: delayed — mapped, but nobody can access.
+        svc.detach(0, p).unwrap();
+        assert!(svc.process_can(p, AccessKind::Read));
+        assert!(!svc.client_can(0, p, AccessKind::Read));
+
+        let r = svc.report();
+        assert_eq!(r.attach_syscalls, 1, "one real map for two attaches");
+        assert_eq!(r.cond.subsequent_attach, 1);
+        assert_eq!(r.cond.delayed_detach, 1);
+    }
+
+    #[test]
+    fn tt_sweep_closes_expired_windows() {
+        let svc = service_expiring(Scheme::terp_full());
+        let p = svc.create_pool("a", 1 << 16, OpenMode::ReadWrite).unwrap();
+        svc.attach(0, p, Permission::ReadWrite).unwrap();
+        svc.detach(0, p).unwrap(); // delayed
+        assert!(svc.process_can(p, AccessKind::Read));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(svc.sweep_all() >= 1);
+        assert!(!svc.process_can(p, AccessKind::Read), "expired idle window");
+        assert_eq!(svc.attached_total(), 0);
+        assert_eq!(svc.report().cond.sweep_detach, 1);
+    }
+
+    #[test]
+    fn tt_sweep_randomizes_live_windows() {
+        let svc = service_expiring(Scheme::terp_full());
+        let p = svc.create_pool("a", 1 << 16, OpenMode::ReadWrite).unwrap();
+        svc.attach(0, p, Permission::ReadWrite).unwrap();
+        let oid = svc.alloc(0, p, 32).unwrap();
+        svc.write(0, oid, b"sticky").unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(svc.sweep_all(), 1);
+        let r = svc.report();
+        assert_eq!(r.randomizations, 1, "live holder → randomize, not detach");
+        // The holder can still read through the relocated mapping.
+        assert_eq!(svc.read(0, oid, 6).unwrap(), b"sticky");
+        assert!(r.ew.count >= 1, "randomization split the window");
+    }
+
+    #[test]
+    fn no_combining_ablation_detaches_eagerly() {
+        let svc = service_long_ew(Scheme::TerpFull {
+            window_combining: false,
+        });
+        let p = svc.create_pool("a", 1 << 16, OpenMode::ReadWrite).unwrap();
+        svc.attach(0, p, Permission::ReadWrite).unwrap();
+        svc.detach(0, p).unwrap();
+        assert!(!svc.process_can(p, AccessKind::Read), "no delayed detach");
+        assert_eq!(svc.attached_total(), 0);
+    }
+
+    #[test]
+    fn mm_blocks_conflicting_attach_until_owner_detaches() {
+        let svc = Arc::new(service(Scheme::Merr));
+        let p = svc.create_pool("a", 1 << 16, OpenMode::ReadWrite).unwrap();
+        svc.attach(0, p, Permission::ReadWrite).unwrap();
+        assert!(svc.client_can(0, p, AccessKind::Write));
+
+        let svc2 = Arc::clone(&svc);
+        let waiter = std::thread::spawn(move || {
+            svc2.attach(1, p, Permission::ReadWrite).unwrap();
+            svc2.detach(1, p).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        svc.detach(0, p).unwrap();
+        waiter.join().unwrap();
+
+        let r = svc.report();
+        assert_eq!(r.ops.attaches, 2);
+        assert_eq!(r.ops.attach_conflicts, 1);
+        assert!(r.blocked_ns > 0, "the waiter's block time is accounted");
+        assert!(!svc.process_can(p, AccessKind::Read));
+    }
+
+    #[test]
+    fn mm_second_client_is_denied_access_while_owner_holds() {
+        let svc = service(Scheme::Merr);
+        let p = svc.create_pool("a", 1 << 16, OpenMode::ReadWrite).unwrap();
+        svc.attach(0, p, Permission::ReadWrite).unwrap();
+        let oid = svc.alloc(0, p, 16).unwrap();
+        assert!(matches!(
+            svc.read(9, oid, 8).unwrap_err(),
+            ServiceError::PermissionDenied { client: 9, .. }
+        ));
+        assert_eq!(svc.report().ops.denials, 1);
+    }
+
+    #[test]
+    fn unprotected_keeps_pools_mapped() {
+        let svc = service(Scheme::Unprotected);
+        let p = svc.create_pool("a", 1 << 16, OpenMode::ReadWrite).unwrap();
+        svc.attach(0, p, Permission::ReadWrite).unwrap();
+        svc.detach(0, p).unwrap();
+        assert_eq!(svc.attached_total(), 1, "unprotected never unmaps");
+        svc.begin_shutdown();
+        svc.drain();
+        assert_eq!(svc.attached_total(), 0, "drain unmaps even unprotected");
+    }
+
+    #[test]
+    fn drain_closes_everything_and_refuses_new_work() {
+        let svc = service(Scheme::terp_full());
+        let a = svc.create_pool("a", 1 << 16, OpenMode::ReadWrite).unwrap();
+        let b = svc.create_pool("b", 1 << 16, OpenMode::ReadWrite).unwrap();
+        svc.attach(0, a, Permission::ReadWrite).unwrap();
+        svc.attach(1, b, Permission::Read).unwrap();
+        svc.begin_shutdown();
+        assert_eq!(
+            svc.attach(2, a, Permission::Read).unwrap_err(),
+            ServiceError::ShuttingDown
+        );
+        svc.drain();
+        assert_eq!(svc.attached_total(), 0);
+        assert_eq!(svc.matrix_total(), 0);
+        assert!(!svc.client_can(0, a, AccessKind::Read));
+        assert!(!svc.client_can(1, b, AccessKind::Read));
+        let r = svc.report();
+        assert_eq!(r.ew.count, 2, "both windows closed and accounted");
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        let svc = service(Scheme::terp_full());
+        let p = svc.create_pool("a", 1 << 16, OpenMode::ReadWrite).unwrap();
+        let ghost = PmoId::new(999).unwrap();
+        assert_eq!(
+            svc.attach(0, ghost, Permission::Read).unwrap_err(),
+            ServiceError::UnknownPmo(ghost)
+        );
+        assert_eq!(
+            svc.detach(0, p).unwrap_err(),
+            ServiceError::NotAttached { client: 0, pmo: p }
+        );
+        svc.attach(0, p, Permission::Read).unwrap();
+        assert_eq!(
+            svc.attach(0, p, Permission::Read).unwrap_err(),
+            ServiceError::AlreadyAttached { client: 0, pmo: p }
+        );
+        // Read-only session: writes are denied at the thread-permission
+        // layer.
+        let oid = ObjectId::new(p, 0);
+        assert!(matches!(
+            svc.write(0, oid, b"x").unwrap_err(),
+            ServiceError::PermissionDenied { .. }
+        ));
+    }
+
+    #[test]
+    fn distinct_pools_land_in_distinct_shards() {
+        let svc = service(Scheme::terp_full()); // 4 shards
+        let ids: Vec<PmoId> = (0..8)
+            .map(|i| {
+                svc.create_pool(&format!("p{i}"), 1 << 12, OpenMode::ReadWrite)
+                    .unwrap()
+            })
+            .collect();
+        // Sequential ids round-robin across the shard mask.
+        let shards: std::collections::BTreeSet<usize> = ids
+            .iter()
+            .map(|id| (id.raw() as usize) & (svc.shard_count() - 1))
+            .collect();
+        assert_eq!(shards.len(), svc.shard_count());
+    }
+}

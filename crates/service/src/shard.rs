@@ -1,0 +1,175 @@
+//! One session shard: the pools it owns plus every piece of per-shard
+//! protection state, all behind a single mutex.
+//!
+//! The service routes each pool id to exactly one shard
+//! (`raw_id & (shards - 1)`), so operations on PMOs in different shards
+//! take different locks and never contend — the sharding requirement of the
+//! service design (DESIGN.md §9). Everything keyed by pool therefore lives
+//! *inside* the shard: the address-space slice, the permission matrix, the
+//! MERR attach state, the conditional engine with its circular buffer, and
+//! the window tracker.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Condvar, Mutex};
+
+use terp_arch::{CondEngine, MerrArch};
+use terp_core::permission::{PermissionSet, Right};
+use terp_core::window::WindowTracker;
+use terp_pmo::{Permission, Pmo, PmoError, PmoId, ProcessAddressSpace};
+use terp_sim::PermissionMatrix;
+
+use crate::metrics::OpCounters;
+use crate::ClientId;
+
+/// A shard: its state mutex plus the condvar Basic-semantics attach waiters
+/// sleep on.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    pub(crate) state: Mutex<ShardState>,
+    pub(crate) cvar: Condvar,
+}
+
+impl Shard {
+    pub(crate) fn new(seed: u64, max_ew_ns: u64, cb_capacity: usize) -> Self {
+        Shard {
+            state: Mutex::new(ShardState {
+                pools: HashMap::new(),
+                space: ProcessAddressSpace::with_seed(seed),
+                matrix: PermissionMatrix::new(),
+                merr: MerrArch::new(),
+                engine: CondEngine::with_capacity(max_ew_ns, cb_capacity),
+                windows: WindowTracker::new(),
+                owner: HashMap::new(),
+                perms: HashMap::new(),
+                holders: HashMap::new(),
+                ops: OpCounters::default(),
+                attach_syscalls: 0,
+                detach_syscalls: 0,
+                randomizations: 0,
+                blocked_ns: 0,
+            }),
+            cvar: Condvar::new(),
+        }
+    }
+}
+
+/// Everything a shard protects with its mutex.
+#[derive(Debug)]
+pub(crate) struct ShardState {
+    /// Pools owned by this shard (taken out of the registry at creation).
+    pub pools: HashMap<PmoId, Pmo>,
+    /// This shard's slice of the process address space.
+    pub space: ProcessAddressSpace,
+    /// MERR process-wide permission matrix for this shard's mappings.
+    pub matrix: PermissionMatrix,
+    /// MERR attach state (Basic semantics schemes).
+    pub merr: MerrArch,
+    /// CONDAT/CONDDT engine with the circular buffer (TERP schemes).
+    pub engine: CondEngine,
+    /// EW/TEW tracker; times are nanoseconds since the service epoch.
+    pub windows: WindowTracker,
+    /// Basic semantics: which client currently owns each attached pool.
+    pub owner: HashMap<PmoId, ClientId>,
+    /// TERP semantics: per-client thread-permission sets (Definition 1).
+    pub perms: HashMap<ClientId, PermissionSet>,
+    /// Clients holding an open session per pool (all schemes).
+    pub holders: HashMap<PmoId, BTreeSet<ClientId>>,
+    /// Service-level operation counters.
+    pub ops: OpCounters,
+    /// Real attach syscalls performed by this shard.
+    pub attach_syscalls: u64,
+    /// Real detach syscalls performed by this shard.
+    pub detach_syscalls: u64,
+    /// In-place randomizations performed by this shard.
+    pub randomizations: u64,
+    /// Nanoseconds clients spent blocked on Basic-semantics serialization.
+    pub blocked_ns: u64,
+}
+
+impl ShardState {
+    /// Performs the real `attach()`: maps the pool at a random base, adds
+    /// the permission-matrix entry, and opens the process EW.
+    pub(crate) fn map_pool(
+        &mut self,
+        pmo: PmoId,
+        perm: Permission,
+        now: u64,
+    ) -> Result<(), PmoError> {
+        let pool = self.pools.get_mut(&pmo).ok_or(PmoError::UnknownPmo(pmo))?;
+        let handle = self.space.attach(pool, perm)?;
+        self.matrix
+            .insert(pmo, handle.base_va(), handle.size(), perm);
+        self.windows.open_ew(pmo, now);
+        self.attach_syscalls += 1;
+        Ok(())
+    }
+
+    /// Performs the real `detach()`: unmaps the pool, removes the matrix
+    /// entry, and closes the process EW.
+    pub(crate) fn unmap_pool(&mut self, pmo: PmoId, now: u64) -> Result<(), PmoError> {
+        let pool = self.pools.get_mut(&pmo).ok_or(PmoError::UnknownPmo(pmo))?;
+        self.space.detach(pool)?;
+        self.matrix.remove(pmo);
+        self.windows.close_ew(pmo, now);
+        self.detach_syscalls += 1;
+        Ok(())
+    }
+
+    /// Re-randomizes an attached pool in place: new base, relocated matrix
+    /// entry, split EW (the attacker's location knowledge resets).
+    pub(crate) fn randomize_pool(&mut self, pmo: PmoId, now: u64) -> Result<(), PmoError> {
+        let pool = self.pools.get_mut(&pmo).ok_or(PmoError::UnknownPmo(pmo))?;
+        let handle = self.space.randomize(pool)?;
+        self.matrix.relocate(pmo, handle.base_va());
+        self.windows.split_ew(pmo, now);
+        self.randomizations += 1;
+        Ok(())
+    }
+
+    /// Grants `client` the thread rights implied by `perm` and opens its
+    /// TEW.
+    pub(crate) fn grant_client(
+        &mut self,
+        client: ClientId,
+        pmo: PmoId,
+        perm: Permission,
+        now: u64,
+    ) {
+        let set = self.perms.entry(client).or_default();
+        set.grant(pmo, Right::Read);
+        if perm == Permission::ReadWrite {
+            set.grant(pmo, Right::Write);
+        }
+        self.windows.open_tew(client, pmo, now);
+    }
+
+    /// Revokes every thread right `client` holds on `pmo` and closes its
+    /// TEW.
+    pub(crate) fn revoke_client(&mut self, client: ClientId, pmo: PmoId, now: u64) {
+        if let Some(set) = self.perms.get_mut(&client) {
+            set.revoke(pmo, Right::Read);
+            set.revoke(pmo, Right::Write);
+        }
+        self.windows.close_tew(client, pmo, now);
+    }
+
+    /// Whether `client` currently holds an open session on `pmo`.
+    pub(crate) fn is_holder(&self, client: ClientId, pmo: PmoId) -> bool {
+        self.holders.get(&pmo).is_some_and(|h| h.contains(&client))
+    }
+
+    /// Records a session open.
+    pub(crate) fn add_holder(&mut self, client: ClientId, pmo: PmoId) {
+        self.holders.entry(pmo).or_default().insert(client);
+    }
+
+    /// Records a session close.
+    pub(crate) fn remove_holder(&mut self, client: ClientId, pmo: PmoId) {
+        if let Some(h) = self.holders.get_mut(&pmo) {
+            h.remove(&client);
+            if h.is_empty() {
+                self.holders.remove(&pmo);
+            }
+        }
+    }
+}

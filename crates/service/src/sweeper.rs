@@ -1,0 +1,95 @@
+//! The background sweeper thread.
+//!
+//! TERP's hardware walks the circular buffer on a timer (Figure 7a); the
+//! service models that with one OS thread that periodically calls
+//! [`PmoService::sweep_all`]: expired idle entries are detached for real,
+//! expired live entries are randomized in place. The thread supports clean
+//! shutdown: flag, wake, join — no detached threads survive the server.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::service::PmoService;
+
+/// Handle to the running sweeper thread.
+#[derive(Debug)]
+pub struct Sweeper {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<u64>,
+}
+
+impl Sweeper {
+    /// Spawns the sweeper over `service`, waking every `period_us`
+    /// microseconds.
+    pub fn spawn(service: Arc<PmoService>, period_us: u64) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let period = Duration::from_micros(period_us.max(1));
+        let handle = std::thread::Builder::new()
+            .name("terp-sweeper".into())
+            .spawn(move || {
+                let mut passes = 0u64;
+                while !stop_flag.load(Ordering::Acquire) {
+                    service.sweep_all();
+                    passes += 1;
+                    std::thread::park_timeout(period);
+                }
+                passes
+            })
+            .expect("failed to spawn sweeper thread");
+        Sweeper { stop, handle }
+    }
+
+    /// Stops the thread and joins it, returning how many sweep passes it
+    /// ran.
+    pub fn stop(self) -> u64 {
+        self.stop.store(true, Ordering::Release);
+        self.handle.thread().unpark();
+        self.handle.join().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServiceConfig;
+    use terp_core::config::Scheme;
+    use terp_pmo::{AccessKind, OpenMode, Permission};
+
+    #[test]
+    fn sweeper_expires_windows_without_manual_sweeps() {
+        let config = ServiceConfig::for_tests(Scheme::terp_full()).with_sweep_period_us(200);
+        let svc = Arc::new(PmoService::new(config));
+        let sweeper = Sweeper::spawn(Arc::clone(&svc), 200);
+
+        let p = svc.create_pool("a", 1 << 16, OpenMode::ReadWrite).unwrap();
+        svc.attach(0, p, Permission::ReadWrite).unwrap();
+        svc.detach(0, p).unwrap(); // delayed: EW still open
+
+        // Poll (bounded) until the background sweep closes the window.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while svc.process_can(p, AccessKind::Read) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "sweeper never closed the expired window"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let passes = sweeper.stop();
+        assert!(passes > 0);
+        assert_eq!(svc.attached_total(), 0);
+    }
+
+    #[test]
+    fn stop_joins_cleanly_even_when_idle() {
+        let svc = Arc::new(PmoService::new(ServiceConfig::for_tests(
+            Scheme::terp_full(),
+        )));
+        let sweeper = Sweeper::spawn(Arc::clone(&svc), 50_000);
+        std::thread::sleep(Duration::from_millis(2));
+        let passes = sweeper.stop();
+        assert!(passes >= 1, "at least the initial pass ran");
+    }
+}
