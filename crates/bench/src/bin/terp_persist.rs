@@ -1,0 +1,329 @@
+//! `terp-persist` — durability benchmark for the file-backed PMO store
+//! (DESIGN.md §10).
+//!
+//! Three experiments, all landing in `results/BENCH_persist.json`:
+//!
+//! 1. **Durable vs in-memory service throughput** — the same closed-loop
+//!    attach/data/detach workload as `terp-serve`, run against a purely
+//!    in-memory TERP-full service and against durable services under each
+//!    fsync policy (`os`, `group`, `always`), so the journaling overhead is
+//!    directly comparable.
+//! 2. **Group-commit batch sweep** — durable throughput as the group-commit
+//!    batch grows (1 ≈ fsync-per-record, up to 256), the paper-style
+//!    latency/durability trade.
+//! 3. **Recovery time vs log length** — un-checkpointed WALs of increasing
+//!    record counts are re-opened through full recovery (replay, rollback,
+//!    window resealing), reporting wall-clock recovery latency per length.
+//!
+//! ```text
+//! terp-persist --threads 4 --duration-ms 400 --recovery-scale 2
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use terp_analysis::Json;
+use terp_bench::cli::Cli;
+use terp_core::config::Scheme;
+use terp_persist::{DurableStore, FsyncPolicy, WalRecord};
+use terp_pmo::{OpenMode, Permission, PmoId};
+use terp_service::{CostModel, DurableConfig, PmoServer, PmoService, ServiceConfig};
+
+struct RunSettings {
+    threads: usize,
+    duration: Duration,
+    pools: usize,
+    shards: usize,
+    seed: u64,
+    rounds: usize,
+}
+
+/// Closed loop: attach → `rounds` × (alloc/write/read/free) → detach.
+fn worker(svc: &PmoService, tid: usize, pools: &[PmoId], deadline: Instant, rounds: usize) -> u64 {
+    let mut ops = 0u64;
+    let mut i = 0usize;
+    while Instant::now() < deadline {
+        let pmo = pools[(tid * 31 + i * 7) % pools.len()];
+        i += 1;
+        if svc.attach(tid, pmo, Permission::ReadWrite).is_err() {
+            break; // shutting down
+        }
+        ops += 1;
+        for _ in 0..rounds {
+            let Ok(oid) = svc.alloc(tid, pmo, 64) else {
+                break;
+            };
+            let payload = [tid as u8; 48];
+            let ok = svc.write(tid, oid, &payload).is_ok() && svc.read(tid, oid, 48).is_ok();
+            let _ = svc.free(tid, oid);
+            ops += 4;
+            if !ok {
+                break;
+            }
+        }
+        if svc.detach(tid, pmo).is_err() {
+            break;
+        }
+        ops += 1;
+    }
+    ops
+}
+
+/// Runs the closed-loop workload against one service configuration and
+/// returns `(total ops, elapsed seconds)`.
+fn run_mode(durable: Option<DurableConfig>, s: &RunSettings) -> (u64, f64) {
+    if let Some(d) = &durable {
+        let _ = std::fs::remove_dir_all(&d.dir);
+    }
+    let mut config = ServiceConfig::new(Scheme::terp_full())
+        .with_shards(s.shards)
+        .with_sweep_period_us(0)
+        .with_seed(s.seed)
+        .with_cost(CostModel::zero());
+    if let Some(d) = durable.clone() {
+        config = config.with_durable_config(d);
+    }
+    let server = PmoServer::try_start(config).expect("service start");
+    let svc = server.service();
+    let pools: Vec<PmoId> = (0..s.pools)
+        .map(|i| {
+            svc.create_pool(&format!("persist-{i}"), 1 << 20, OpenMode::ReadWrite)
+                .expect("pool creation")
+        })
+        .collect();
+
+    let started = Instant::now();
+    let deadline = started + s.duration;
+    let mut total = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..s.threads)
+            .map(|tid| {
+                let svc = Arc::clone(&svc);
+                let pools = &pools;
+                scope.spawn(move || worker(&svc, tid, pools, deadline, s.rounds))
+            })
+            .collect();
+        for h in handles {
+            total += h.join().expect("worker panicked");
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    server.shutdown();
+    if let Some(d) = &durable {
+        let _ = std::fs::remove_dir_all(&d.dir);
+    }
+    (total, elapsed)
+}
+
+fn fsync_key(policy: FsyncPolicy) -> &'static str {
+    match policy {
+        FsyncPolicy::Always => "always",
+        FsyncPolicy::Group => "group",
+        FsyncPolicy::Os => "os",
+    }
+}
+
+fn throughput_json(label: &str, fsync: &str, batch: u64, ops: u64, secs: f64) -> Json {
+    Json::obj([
+        ("mode", Json::Str(label.to_string())),
+        ("fsync", Json::Str(fsync.to_string())),
+        ("group_batch", Json::Num(batch as f64)),
+        ("ops", Json::Num(ops as f64)),
+        ("elapsed_s", Json::Num(secs)),
+        (
+            "throughput_ops_per_s",
+            Json::Num(ops as f64 / secs.max(f64::MIN_POSITIVE)),
+        ),
+    ])
+}
+
+/// Writes an un-checkpointed WAL of `records` total records into `dir`:
+/// a pool creation, an open exposure window, periodic in-place
+/// randomizations, and data writes cycling through the pool.
+fn build_recovery_log(dir: &Path, records: usize) {
+    let _ = std::fs::remove_dir_all(dir);
+    let (mut store, _, _) = DurableStore::open(dir, FsyncPolicy::Os, 1).expect("store open");
+    let pmo = PmoId::new(1).expect("pmo id");
+    store
+        .log(&WalRecord::PoolCreate {
+            id: pmo,
+            name: "recovery".into(),
+            size: 1 << 21,
+            mode: OpenMode::ReadWrite,
+        })
+        .expect("log");
+    store
+        .log(&WalRecord::SessionOpen {
+            client: 1,
+            pmo,
+            perm: Permission::ReadWrite,
+        })
+        .expect("log");
+    store.log(&WalRecord::WindowOpen { pmo }).expect("log");
+    let payload = vec![0xA5u8; 64];
+    for i in 3..records {
+        let record = if i % 64 == 0 {
+            WalRecord::Randomize { pmo }
+        } else {
+            WalRecord::DataWrite {
+                pmo,
+                offset: ((i * 64) % ((1 << 21) - 64)) as u64,
+                data: payload.clone(),
+            }
+        };
+        store.log(&record).expect("log");
+    }
+    store.sync().expect("sync");
+    // Dropped without a checkpoint: recovery must replay the whole log.
+}
+
+fn recovery_json(dir: &Path, records: usize) -> Json {
+    build_recovery_log(dir, records);
+    let wal_bytes = std::fs::metadata(dir.join("wal.log"))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    let (_, recovered, report) = DurableStore::open(dir, FsyncPolicy::Os, 1).expect("recovery");
+    assert_eq!(recovered.resealed.len(), 1, "crash-open window resealed");
+    let ms = report.recovery_ns as f64 / 1e6;
+    println!(
+        "  recovery  {:>8} records  {:>10} B wal   {:>9.3} ms   ({} resealed)",
+        records, wal_bytes, ms, report.windows_resealed
+    );
+    let _ = std::fs::remove_dir_all(dir);
+    Json::obj([
+        ("records", Json::Num(records as f64)),
+        ("wal_bytes", Json::Num(wal_bytes as f64)),
+        (
+            "records_replayed",
+            Json::Num(report.records_replayed as f64),
+        ),
+        (
+            "windows_resealed",
+            Json::Num(report.windows_resealed as f64),
+        ),
+        ("recovery_ms", Json::Num(ms)),
+    ])
+}
+
+fn main() {
+    let cli = Cli::new(
+        "terp-persist",
+        "durability benchmark: durable vs in-memory throughput, group-commit sweep, recovery latency",
+    )
+    .opt_uint("--threads", "N", "worker threads (default: 4)")
+    .opt_uint("--duration-ms", "MS", "run length per mode (default: 400)")
+    .opt_uint("--pools", "N", "distinct PMO pools (default: 32)")
+    .opt_uint("--shards", "N", "service shards (default: 8)")
+    .opt_uint("--rounds", "N", "data rounds per attach (default: 4)")
+    .opt_uint("--seed", "SEED", "placement RNG seed (default: 0x7e2f)")
+    .opt_choice(
+        "--fsync",
+        &["always", "group", "os", "all"],
+        "durable fsync policies to compare against memory (default: all)",
+    )
+    .opt_uint(
+        "--recovery-scale",
+        "K",
+        "multiplier on the recovery log lengths (default: 1)",
+    )
+    .opt_str(
+        "--out",
+        "PATH",
+        "output path (default: results/BENCH_persist.json)",
+    )
+    .parse_env();
+
+    let settings = RunSettings {
+        threads: cli.uint("--threads").unwrap_or(4) as usize,
+        duration: Duration::from_millis(cli.uint("--duration-ms").unwrap_or(400)),
+        pools: cli.uint("--pools").unwrap_or(32) as usize,
+        shards: cli.uint("--shards").unwrap_or(8) as usize,
+        seed: cli.uint("--seed").unwrap_or(0x7e2f),
+        rounds: cli.uint("--rounds").unwrap_or(4) as usize,
+    };
+    let scale = cli.uint("--recovery-scale").unwrap_or(1).max(1) as usize;
+    let out_path = cli.choice("--out", "results/BENCH_persist.json");
+    let scratch: PathBuf =
+        std::env::temp_dir().join(format!("terp-persist-bench-{}", std::process::id()));
+
+    println!(
+        "terp-persist: {} thread(s), {} pool(s), {} ms per mode",
+        settings.threads,
+        settings.pools,
+        settings.duration.as_millis(),
+    );
+
+    // Experiment 1: in-memory baseline vs each durable fsync policy.
+    let mut modes = Vec::new();
+    let (ops, secs) = run_mode(None, &settings);
+    let memory_tput = ops as f64 / secs.max(f64::MIN_POSITIVE);
+    println!("  memory       {:>12.0} ops/s", memory_tput);
+    modes.push(throughput_json("memory", "none", 0, ops, secs));
+    let requested = cli.choice("--fsync", "all");
+    let policies: Vec<FsyncPolicy> = match FsyncPolicy::parse(requested) {
+        Some(policy) => vec![policy],
+        None => vec![FsyncPolicy::Os, FsyncPolicy::Group, FsyncPolicy::Always],
+    };
+    for policy in policies {
+        let durable = DurableConfig::new(scratch.join(format!("mode-{}", fsync_key(policy))))
+            .with_fsync(policy);
+        let batch = durable.group as u64;
+        let (ops, secs) = run_mode(Some(durable), &settings);
+        let tput = ops as f64 / secs.max(f64::MIN_POSITIVE);
+        println!(
+            "  durable-{:<6} {:>11.0} ops/s   ({:.1}% of memory)",
+            fsync_key(policy),
+            tput,
+            100.0 * tput / memory_tput.max(f64::MIN_POSITIVE),
+        );
+        modes.push(throughput_json(
+            "durable",
+            fsync_key(policy),
+            batch,
+            ops,
+            secs,
+        ));
+    }
+
+    // Experiment 2: group-commit batch sweep.
+    let mut sweep = Vec::new();
+    for batch in [1u64, 4, 16, 64, 256] {
+        let durable = DurableConfig::new(scratch.join(format!("group-{batch}")))
+            .with_fsync(FsyncPolicy::Group)
+            .with_group(batch as usize);
+        let (ops, secs) = run_mode(Some(durable), &settings);
+        let tput = ops as f64 / secs.max(f64::MIN_POSITIVE);
+        println!("  group-commit batch {:>3}  {:>12.0} ops/s", batch, tput);
+        sweep.push(throughput_json("group-sweep", "group", batch, ops, secs));
+    }
+
+    // Experiment 3: recovery latency vs log length.
+    let recovery: Vec<Json> = [1_000usize, 8_000, 32_000]
+        .iter()
+        .map(|n| recovery_json(&scratch.join(format!("rec-{n}")), n * scale))
+        .collect();
+
+    let doc = Json::obj([
+        ("benchmark", Json::Str("terp-persist".to_string())),
+        ("threads", Json::Num(settings.threads as f64)),
+        ("pools", Json::Num(settings.pools as f64)),
+        ("shards", Json::Num(settings.shards as f64)),
+        (
+            "duration_ms",
+            Json::Num(settings.duration.as_millis() as f64),
+        ),
+        ("data_rounds", Json::Num(settings.rounds as f64)),
+        ("modes", Json::Arr(modes)),
+        ("group_commit", Json::Arr(sweep)),
+        ("recovery", Json::Arr(recovery)),
+    ]);
+    if let Some(dir) = Path::new(out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    std::fs::write(out_path, format!("{}\n", doc.render())).expect("write results");
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,62 @@
+//! Error type for the persist layer.
+
+use std::fmt;
+use std::io;
+
+use terp_pmo::{PmoError, PmoId};
+
+/// Errors produced by WAL, snapshot, and recovery operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PersistError {
+    /// The underlying file system failed.
+    Io(io::Error),
+    /// A snapshot file is malformed or fails its checksums.
+    SnapshotCorrupt(String),
+    /// Replaying the log diverged from the logged outcome (e.g. an `Alloc`
+    /// record whose replayed offset differs) — the log and the pool state it
+    /// describes are inconsistent.
+    ReplayDivergence {
+        /// Pool being replayed.
+        pmo: PmoId,
+        /// What diverged.
+        detail: String,
+    },
+    /// The PMO substrate rejected a replayed operation.
+    Substrate(PmoError),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "persist: io error: {e}"),
+            PersistError::SnapshotCorrupt(why) => write!(f, "persist: corrupt snapshot: {why}"),
+            PersistError::ReplayDivergence { pmo, detail } => {
+                write!(f, "persist: replay diverged on pool {pmo}: {detail}")
+            }
+            PersistError::Substrate(e) => write!(f, "persist: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Substrate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<PmoError> for PersistError {
+    fn from(e: PmoError) -> Self {
+        PersistError::Substrate(e)
+    }
+}

@@ -1,0 +1,313 @@
+//! The durable store: one directory holding a WAL plus pool snapshots.
+//!
+//! [`DurableStore::open`] is the single entry point: it loads whatever the
+//! directory contains (possibly nothing, possibly the debris of a crash),
+//! runs full [`crate::recovery::recover`], and hands back both the
+//! recovered state and a live writer positioned after the last durable
+//! record. From then on the owner logs every mutation through
+//! [`DurableStore::log`] and periodically calls [`DurableStore::checkpoint`]
+//! to bound log length (and therefore recovery time).
+//!
+//! Checkpoint protocol, crash-safe at every step:
+//!
+//! 1. append a `Checkpoint` record and sync — this seq is the watermark;
+//! 2. snapshot every pool (temp file + atomic rename, per pool);
+//! 3. truncate the WAL.
+//!
+//! A crash before step 3 leaves old *and* new snapshots valid: each
+//! snapshot's embedded watermark tells replay which log records it already
+//! reflects, so nothing double-applies.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use terp_pmo::Pmo;
+
+use crate::error::PersistError;
+use crate::record::WalRecord;
+use crate::recovery::{recover, RecoveredState, RecoveryReport};
+use crate::snapshot::{load_snapshots, PoolSnapshot};
+use crate::wal::{FsyncPolicy, WalStats, WalWriter};
+
+/// File name of the write-ahead log inside a store directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// A directory-backed durable store for a set of pools.
+#[derive(Debug)]
+pub struct DurableStore {
+    dir: PathBuf,
+    wal: WalWriter,
+}
+
+impl DurableStore {
+    /// Opens (creating if needed) the store at `dir`, recovering whatever
+    /// state its snapshots and log describe. The returned
+    /// [`RecoveredState`] holds the rebuilt registry — with every
+    /// crash-open exposure window force-closed and resealed — and the
+    /// [`RecoveryReport`] the metrics of the run.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, snapshot corruption, or snapshot/log inconsistency
+    /// (see [`crate::recovery::recover`]). A torn log tail is *not* an
+    /// error: it is truncated away and reported.
+    pub fn open(
+        dir: &Path,
+        policy: FsyncPolicy,
+        group: usize,
+    ) -> Result<(Self, RecoveredState, RecoveryReport), PersistError> {
+        fs::create_dir_all(dir)?;
+        let snapshots = load_snapshots(dir)?;
+        let wal_path = dir.join(WAL_FILE);
+        let log_bytes = match fs::read(&wal_path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let (state, report) = recover(&snapshots, &log_bytes)?;
+        // Reopening truncates the torn tail physically and positions the
+        // writer after the last valid record.
+        let (mut wal, _contents) = WalWriter::open(&wal_path, policy, group)?;
+        // Snapshot watermarks may exceed every surviving record's seq (the
+        // log is truncated at checkpoints); keep seq strictly increasing
+        // past both.
+        let floor = snapshots.iter().map(|s| s.wal_seq + 1).max().unwrap_or(0);
+        if floor > wal.next_seq() {
+            wal.set_next_seq(floor);
+        }
+        Ok((
+            DurableStore {
+                dir: dir.to_path_buf(),
+                wal,
+            },
+            state,
+            report,
+        ))
+    }
+
+    /// Appends one record; durability is governed by the fsync policy the
+    /// store was opened with. Returns the record's sequence number.
+    pub fn log(&mut self, record: &WalRecord) -> Result<u64, PersistError> {
+        self.wal.append(record)
+    }
+
+    /// Forces everything appended so far to durable media.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        self.wal.sync()
+    }
+
+    /// Checkpoints the given pools: snapshots them and truncates the log.
+    /// Returns the number of snapshots written.
+    ///
+    /// The caller must pass the *current* state of every pool whose
+    /// mutations were logged through this store — a pool left out keeps
+    /// replaying from its last snapshot (or from scratch), which stays
+    /// correct only while its old records are still in the log.
+    ///
+    /// Truncation also discards protection-state records, so a checkpoint
+    /// must be taken at a protection-quiescent point (no exposure window or
+    /// session open — e.g. a service drain); if any window is still open,
+    /// re-log its `WindowOpen` immediately after this returns, or a later
+    /// crash will not know to reseal it.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; the store stays usable and the log intact if a
+    /// snapshot fails to write.
+    pub fn checkpoint<'a>(
+        &mut self,
+        pools: impl IntoIterator<Item = &'a Pmo>,
+    ) -> Result<usize, PersistError> {
+        let watermark = self.wal.append(&WalRecord::Checkpoint)?;
+        self.wal.sync()?;
+        let mut written = 0usize;
+        for pool in pools {
+            PoolSnapshot::capture(pool, watermark).write_to(&self.dir)?;
+            written += 1;
+        }
+        self.wal.truncate()?;
+        Ok(written)
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the write-ahead log file.
+    pub fn wal_path(&self) -> PathBuf {
+        self.dir.join(WAL_FILE)
+    }
+
+    /// Writer activity counters.
+    pub fn stats(&self) -> WalStats {
+        self.wal.stats()
+    }
+
+    /// Sequence number the next logged record will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.wal.next_seq()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs::OpenOptions;
+    use terp_pmo::{OpenMode, PmoId, PmoRegistry};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("terp-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn id(raw: u16) -> PmoId {
+        PmoId::new(raw).unwrap()
+    }
+
+    /// Drives a live registry + store pair through a small workload.
+    fn workload(store: &mut DurableStore, reg: &mut PmoRegistry) {
+        let pid = reg.create("wk", 1 << 18, OpenMode::ReadWrite).unwrap();
+        store
+            .log(&WalRecord::PoolCreate {
+                id: pid,
+                name: "wk".into(),
+                size: 1 << 18,
+                mode: OpenMode::ReadWrite,
+            })
+            .unwrap();
+        let oid = reg.pool_mut(pid).unwrap().pmalloc(128).unwrap();
+        store
+            .log(&WalRecord::Alloc {
+                pmo: pid,
+                size: 128,
+                offset: oid.offset(),
+            })
+            .unwrap();
+        reg.pool_mut(pid)
+            .unwrap()
+            .write_bytes(oid.offset(), b"durable bytes")
+            .unwrap();
+        store
+            .log(&WalRecord::DataWrite {
+                pmo: pid,
+                offset: oid.offset(),
+                data: b"durable bytes".to_vec(),
+            })
+            .unwrap();
+        store.log(&WalRecord::WindowOpen { pmo: pid }).unwrap();
+        store.sync().unwrap();
+    }
+
+    fn assert_recovered(state: &RecoveredState) {
+        let pool = state.registry.pool(id(1)).unwrap();
+        let (off, _) = pool.allocator().live_blocks().next().unwrap();
+        let mut buf = [0u8; 13];
+        pool.read_bytes(off, &mut buf).unwrap();
+        assert_eq!(&buf, b"durable bytes");
+        assert_eq!(state.resealed, vec![id(1)], "crash-open window resealed");
+    }
+
+    #[test]
+    fn reopen_after_crash_recovers_logged_state() {
+        let dir = tmp_dir("reopen");
+        {
+            let (mut store, _, _) = DurableStore::open(&dir, FsyncPolicy::Always, 1).unwrap();
+            let mut reg = PmoRegistry::new();
+            workload(&mut store, &mut reg);
+            // Store dropped without checkpoint = crash.
+        }
+        let (store, state, report) = DurableStore::open(&dir, FsyncPolicy::Always, 1).unwrap();
+        assert_recovered(&state);
+        assert_eq!(report.pools_recovered, 1);
+        assert_eq!(report.windows_resealed, 1);
+        assert!(report.recovery_ns > 0);
+        assert!(store.next_seq() >= 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncates_log_and_survives_reopen() {
+        let dir = tmp_dir("ckpt");
+        {
+            let (mut store, _, _) = DurableStore::open(&dir, FsyncPolicy::Always, 1).unwrap();
+            let mut reg = PmoRegistry::new();
+            workload(&mut store, &mut reg);
+            assert_eq!(store.checkpoint(reg.iter()).unwrap(), 1);
+            assert_eq!(fs::metadata(store.wal_path()).unwrap().len(), 0);
+        }
+        let (_, state, report) = DurableStore::open(&dir, FsyncPolicy::Always, 1).unwrap();
+        assert_eq!(report.snapshots_installed, 1);
+        assert_eq!(report.records_replayed, 0, "log was truncated");
+        // The window state lived only in the truncated log — the checkpoint
+        // is a quiescent point, so nothing needs resealing...
+        assert_eq!(report.windows_resealed, 0);
+        // ...but the data is all there.
+        let pool = state.registry.pool(id(1)).unwrap();
+        let (off, _) = pool.allocator().live_blocks().next().unwrap();
+        let mut buf = [0u8; 13];
+        pool.read_bytes(off, &mut buf).unwrap();
+        assert_eq!(&buf, b"durable bytes");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn records_after_checkpoint_replay_on_top_of_snapshot() {
+        let dir = tmp_dir("post-ckpt");
+        {
+            let (mut store, _, _) = DurableStore::open(&dir, FsyncPolicy::Always, 1).unwrap();
+            let mut reg = PmoRegistry::new();
+            workload(&mut store, &mut reg);
+            store.checkpoint(reg.iter()).unwrap();
+            // More work after the checkpoint.
+            let pid = id(1);
+            let oid2 = reg.pool_mut(pid).unwrap().pmalloc(32).unwrap();
+            store
+                .log(&WalRecord::Alloc {
+                    pmo: pid,
+                    size: 32,
+                    offset: oid2.offset(),
+                })
+                .unwrap();
+            store.sync().unwrap();
+        }
+        let (_, state, report) = DurableStore::open(&dir, FsyncPolicy::Always, 1).unwrap();
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(
+            report.records_skipped, 0,
+            "truncated log holds no stale records"
+        );
+        assert_eq!(
+            state.registry.pool(id(1)).unwrap().allocator().live_count(),
+            2
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_reported_and_physically_truncated() {
+        let dir = tmp_dir("torn");
+        {
+            let (mut store, _, _) = DurableStore::open(&dir, FsyncPolicy::Always, 1).unwrap();
+            let mut reg = PmoRegistry::new();
+            workload(&mut store, &mut reg);
+        }
+        let wal_path = dir.join(WAL_FILE);
+        let len = fs::metadata(&wal_path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&wal_path).unwrap();
+        f.set_len(len - 2).unwrap();
+        drop(f);
+
+        let (store, state, report) = DurableStore::open(&dir, FsyncPolicy::Always, 1).unwrap();
+        assert!(report.torn_tail);
+        assert!(report.bytes_dropped > 0);
+        // The torn record was the WindowOpen → nothing to reseal, data intact.
+        assert!(state.resealed.is_empty());
+        assert_eq!(
+            fs::metadata(store.wal_path()).unwrap().len(),
+            (len - 2) - report.bytes_dropped as u64
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

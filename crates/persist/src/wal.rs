@@ -1,0 +1,330 @@
+//! Group-commit write-ahead log writer.
+//!
+//! A [`WalWriter`] appends [`WalRecord`]s to a sink — a file on disk or an
+//! in-memory buffer (used by tests and the crash-injection harness). Records
+//! become *durable* only when they reach the sink; the [`FsyncPolicy`]
+//! decides how eagerly that happens:
+//!
+//! * [`FsyncPolicy::Always`] — write + fsync after every record. Slowest,
+//!   loses nothing.
+//! * [`FsyncPolicy::Group`] — buffer up to `group` records, then write +
+//!   fsync the batch (classic group commit). A crash loses at most the
+//!   unflushed tail, which the frame format is designed to detect.
+//! * [`FsyncPolicy::Os`] — write records through but never fsync; the OS
+//!   decides when bytes hit media. Fastest, weakest.
+//!
+//! Sequence numbers are assigned at append time and keep increasing across
+//! checkpoint truncation, so snapshot `wal_seq` watermarks stay comparable
+//! to every later record.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::error::PersistError;
+use crate::record::{read_log, LogContents, WalRecord};
+
+/// When appended records are flushed and fsynced to the sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Write and fsync after every record.
+    Always,
+    /// Write and fsync after every `group`-record batch.
+    Group,
+    /// Write records through immediately but never fsync.
+    Os,
+}
+
+impl FsyncPolicy {
+    /// Parses a policy name (`always` / `group` / `os`), as used by CLI
+    /// flags and config files.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "always" => Some(FsyncPolicy::Always),
+            "group" => Some(FsyncPolicy::Group),
+            "os" => Some(FsyncPolicy::Os),
+            _ => None,
+        }
+    }
+}
+
+/// Counters describing writer activity since creation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WalStats {
+    /// Records appended.
+    pub appended: u64,
+    /// Batches written to the sink.
+    pub flushes: u64,
+    /// fsync calls issued.
+    pub syncs: u64,
+    /// Bytes written to the sink.
+    pub bytes: u64,
+}
+
+#[derive(Debug)]
+enum Sink {
+    File(File),
+    Mem(Vec<u8>),
+}
+
+impl Sink {
+    fn write_all(&mut self, buf: &[u8]) -> Result<(), PersistError> {
+        match self {
+            Sink::File(f) => f.write_all(buf)?,
+            Sink::Mem(v) => v.extend_from_slice(buf),
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), PersistError> {
+        if let Sink::File(f) = self {
+            f.sync_data()?;
+        }
+        Ok(())
+    }
+
+    fn truncate(&mut self) -> Result<(), PersistError> {
+        match self {
+            Sink::File(f) => {
+                f.set_len(0)?;
+                f.seek(SeekFrom::Start(0))?;
+            }
+            Sink::Mem(v) => v.clear(),
+        }
+        Ok(())
+    }
+}
+
+/// Append-only writer over one log sink.
+#[derive(Debug)]
+pub struct WalWriter {
+    sink: Sink,
+    policy: FsyncPolicy,
+    group: usize,
+    /// Encoded frames appended but not yet written to the sink — the bytes
+    /// a crash right now would lose.
+    pending: Vec<u8>,
+    pending_records: usize,
+    next_seq: u64,
+    stats: WalStats,
+}
+
+impl WalWriter {
+    /// Opens (creating if absent) a file-backed log at `path`, reads and
+    /// validates its existing contents, and positions the writer after the
+    /// last valid record. Returns the writer and the decoded contents;
+    /// a torn tail is physically truncated away so the file ends on a
+    /// record boundary.
+    pub fn open(
+        path: &Path,
+        policy: FsyncPolicy,
+        group: usize,
+    ) -> Result<(Self, LogContents), PersistError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let contents = read_log(&bytes);
+        if contents.dropped > 0 {
+            file.set_len(contents.consumed as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(contents.consumed as u64))?;
+        let next_seq = contents.last_seq().map_or(0, |s| s + 1);
+        Ok((
+            Self::with_sink(Sink::File(file), policy, group, next_seq),
+            contents,
+        ))
+    }
+
+    /// Creates an in-memory log (tests and the crash-injection harness).
+    pub fn in_memory(policy: FsyncPolicy, group: usize) -> Self {
+        Self::with_sink(Sink::Mem(Vec::new()), policy, group, 0)
+    }
+
+    fn with_sink(sink: Sink, policy: FsyncPolicy, group: usize, next_seq: u64) -> Self {
+        WalWriter {
+            sink,
+            policy,
+            group: group.max(1),
+            pending: Vec::new(),
+            pending_records: 0,
+            next_seq,
+            stats: WalStats::default(),
+        }
+    }
+
+    /// Appends one record, returning its sequence number. Depending on the
+    /// policy the record may still be buffered (not yet durable) when this
+    /// returns; call [`Self::sync`] to force it down.
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64, PersistError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.extend_from_slice(&record.encode(seq));
+        self.pending_records += 1;
+        self.stats.appended += 1;
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::Group => {
+                if self.pending_records >= self.group {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Os => self.flush()?,
+        }
+        Ok(seq)
+    }
+
+    /// Writes buffered records to the sink without forcing them to media.
+    pub fn flush(&mut self) -> Result<(), PersistError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        self.sink.write_all(&self.pending)?;
+        self.stats.flushes += 1;
+        self.stats.bytes += self.pending.len() as u64;
+        self.pending.clear();
+        self.pending_records = 0;
+        Ok(())
+    }
+
+    /// Flushes buffered records and fsyncs the sink — everything appended so
+    /// far is durable when this returns.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        self.flush()?;
+        self.sink.sync()?;
+        self.stats.syncs += 1;
+        Ok(())
+    }
+
+    /// Truncates the log after a checkpoint: the sink is emptied but
+    /// sequence numbers keep increasing, so snapshot watermarks remain
+    /// comparable to post-checkpoint records. Buffered records are dropped
+    /// too — the checkpoint already made their effects durable.
+    pub fn truncate(&mut self) -> Result<(), PersistError> {
+        self.pending.clear();
+        self.pending_records = 0;
+        self.sink.truncate()?;
+        self.sink.sync()?;
+        self.stats.syncs += 1;
+        Ok(())
+    }
+
+    /// Sequence number the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Restarts sequence numbering at `seq` (recovery continuation: the new
+    /// writer picks up after the highest replayed record).
+    pub fn set_next_seq(&mut self, seq: u64) {
+        self.next_seq = seq;
+    }
+
+    /// Number of appended-but-unflushed records (would be lost by a crash).
+    pub fn pending_records(&self) -> usize {
+        self.pending_records
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// The *durable* byte image of an in-memory log: what a crash right now
+    /// would leave on "disk" (buffered records excluded). Returns `None`
+    /// for file-backed sinks — read the file instead.
+    pub fn durable_bytes(&self) -> Option<&[u8]> {
+        match &self.sink {
+            Sink::Mem(v) => Some(v),
+            Sink::File(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use terp_pmo::PmoId;
+
+    fn rec(n: u64) -> WalRecord {
+        WalRecord::DataWrite {
+            pmo: PmoId::new(1).unwrap(),
+            offset: n,
+            data: vec![n as u8; 8],
+        }
+    }
+
+    #[test]
+    fn group_commit_buffers_until_batch_is_full() {
+        let mut w = WalWriter::in_memory(FsyncPolicy::Group, 4);
+        for n in 0..3 {
+            w.append(&rec(n)).unwrap();
+        }
+        assert_eq!(w.pending_records(), 3);
+        assert_eq!(w.durable_bytes().unwrap().len(), 0, "batch not yet durable");
+        w.append(&rec(3)).unwrap();
+        assert_eq!(w.pending_records(), 0);
+        let decoded = read_log(w.durable_bytes().unwrap());
+        assert_eq!(decoded.records.len(), 4);
+        assert_eq!(w.stats().syncs, 1);
+    }
+
+    #[test]
+    fn always_policy_makes_every_record_durable() {
+        let mut w = WalWriter::in_memory(FsyncPolicy::Always, 64);
+        for n in 0..5 {
+            w.append(&rec(n)).unwrap();
+            let decoded = read_log(w.durable_bytes().unwrap());
+            assert_eq!(decoded.last_seq(), Some(n));
+        }
+        assert_eq!(w.stats().syncs, 5);
+    }
+
+    #[test]
+    fn sequence_numbers_survive_truncation() {
+        let mut w = WalWriter::in_memory(FsyncPolicy::Always, 1);
+        w.append(&rec(0)).unwrap();
+        w.append(&rec(1)).unwrap();
+        w.truncate().unwrap();
+        assert_eq!(w.durable_bytes().unwrap().len(), 0);
+        let seq = w.append(&rec(2)).unwrap();
+        assert_eq!(seq, 2, "seq continues across checkpoint truncation");
+    }
+
+    #[test]
+    fn file_log_round_trips_and_truncates_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("terp-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.wal");
+        let _ = std::fs::remove_file(&path);
+
+        let (mut w, initial) = WalWriter::open(&path, FsyncPolicy::Always, 1).unwrap();
+        assert!(initial.records.is_empty());
+        for n in 0..4 {
+            w.append(&rec(n)).unwrap();
+        }
+        drop(w);
+
+        // Tear the tail mid-record.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+
+        let (w2, contents) = WalWriter::open(&path, FsyncPolicy::Always, 1).unwrap();
+        assert_eq!(contents.records.len(), 3, "torn final record dropped");
+        assert!(contents.dropped > 0);
+        assert_eq!(w2.next_seq(), 3);
+        // The tear was physically truncated away.
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            contents.consumed as u64
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

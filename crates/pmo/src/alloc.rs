@@ -140,6 +140,41 @@ impl PoolAllocator {
         self.live.iter().map(|(&o, &l)| (o, l))
     }
 
+    /// Rebuilds an allocator from an exported live-block list (the snapshot
+    /// restore path of `terp-persist`): every listed block becomes live and
+    /// the complement becomes the coalesced free list.
+    ///
+    /// Returns `None` if the list is invalid: unsorted, overlapping,
+    /// zero-length, granule-misaligned, or out of capacity.
+    pub fn restore(capacity: u64, live: &[(u64, u64)]) -> Option<Self> {
+        let capacity = capacity - capacity % ALLOC_GRANULE;
+        let mut a = PoolAllocator {
+            capacity,
+            free: BTreeMap::new(),
+            live: BTreeMap::new(),
+            bytes_live: 0,
+        };
+        let mut cursor = 0u64;
+        for &(off, len) in live {
+            let aligned =
+                len > 0 && off % ALLOC_GRANULE == 0 && len % ALLOC_GRANULE == 0 && off >= cursor;
+            if !aligned || off.checked_add(len).is_none_or(|end| end > capacity) {
+                return None;
+            }
+            if off > cursor {
+                a.free.insert(cursor, off - cursor);
+            }
+            a.live.insert(off, len);
+            a.bytes_live += len;
+            cursor = off + len;
+        }
+        if cursor < capacity {
+            a.free.insert(cursor, capacity - cursor);
+        }
+        debug_assert!(a.check_invariants().is_ok());
+        Some(a)
+    }
+
     fn insert_free_coalescing(&mut self, mut offset: u64, mut len: u64) {
         // Merge with predecessor if adjacent.
         if let Some((&prev_off, &prev_len)) = self.free.range(..offset).next_back() {
@@ -283,6 +318,36 @@ mod tests {
         assert!(a.is_live_address(x));
         assert!(a.is_live_address(x + 63));
         assert!(!a.is_live_address(x + 64));
+    }
+
+    #[test]
+    fn restore_round_trips_exported_state() {
+        let mut a = PoolAllocator::new(4096);
+        let x = a.alloc(100).unwrap();
+        let y = a.alloc(50).unwrap();
+        let _z = a.alloc(200).unwrap();
+        a.free(y).unwrap();
+        let live: Vec<(u64, u64)> = a.live_blocks().collect();
+        let b = PoolAllocator::restore(a.capacity(), &live).unwrap();
+        assert_eq!(b.bytes_live(), a.bytes_live());
+        assert_eq!(b.bytes_free(), a.bytes_free());
+        assert!(b.check_invariants().is_ok());
+        assert!(b.is_live_address(x));
+        assert!(!b.is_live_address(y));
+        // The restored allocator behaves like the original: the hole where
+        // `y` lived is reusable.
+        let mut b = b;
+        assert_eq!(b.alloc(32), Some(y));
+    }
+
+    #[test]
+    fn restore_rejects_invalid_block_lists() {
+        assert!(PoolAllocator::restore(1024, &[(0, 32), (16, 32)]).is_none());
+        assert!(PoolAllocator::restore(1024, &[(32, 32), (0, 16)]).is_none());
+        assert!(PoolAllocator::restore(1024, &[(0, 0)]).is_none());
+        assert!(PoolAllocator::restore(1024, &[(8, 16)]).is_none());
+        assert!(PoolAllocator::restore(1024, &[(1008, 32)]).is_none());
+        assert!(PoolAllocator::restore(1024, &[]).is_some());
     }
 
     #[test]

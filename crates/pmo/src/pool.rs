@@ -238,6 +238,36 @@ impl Pmo {
         self.pages.len()
     }
 
+    /// Exports every resident data page as `(page index, bytes)` in address
+    /// order — the snapshot hook used by `terp-persist` so external layers
+    /// never reach into the sparse page store directly.
+    pub fn export_pages(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        self.pages.iter().map(|(&idx, page)| (idx, &page[..]))
+    }
+
+    /// Restores the allocator from an exported live-block list (see
+    /// [`PoolAllocator::restore`]); the snapshot-install hook of
+    /// `terp-persist`.
+    ///
+    /// # Errors
+    ///
+    /// [`PmoError::InvalidSize`] if the block list is inconsistent with the
+    /// pool's data area.
+    pub fn restore_allocator(&mut self, live: &[(u64, u64)]) -> Result<(), PmoError> {
+        self.allocator =
+            PoolAllocator::restore(self.size, live).ok_or(PmoError::InvalidSize(self.size))?;
+        Ok(())
+    }
+
+    /// Reseals the pool after crash recovery: any pre-crash knowledge of the
+    /// pool's mapped location is invalidated by bumping the attach
+    /// generation, so the next attach randomizes afresh instead of resuming
+    /// the pre-crash placement. Protection state that survives a crash must
+    /// be re-sealed, not resumed — the TERP recovery invariant.
+    pub fn reseal(&mut self) {
+        self.attach_generation += 1;
+    }
+
     fn ensure_open(&self) -> Result<(), PmoError> {
         if self.open {
             Ok(())

@@ -150,6 +150,70 @@ impl PmoRegistry {
         self.slot_mut(id)
     }
 
+    /// Recreates a pool at an *explicit* id — the recovery hook used by
+    /// `terp-persist` when replaying `PoolCreate` records or installing
+    /// snapshots, where ids must match the pre-crash run so relocatable
+    /// [`crate::ObjectId`]s stay valid. Intermediate id slots are padded (and
+    /// stay reserved, exactly as after [`Self::take`]).
+    ///
+    /// Replay-idempotent: if the id is already live under the same name the
+    /// existing pool is kept untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`PmoError::NameExists`] if the name belongs to a different id,
+    /// [`PmoError::AlreadyAttached`] if the slot holds a different pool,
+    /// plus the size validation of [`Self::create`].
+    pub fn restore_pool(
+        &mut self,
+        id: PmoId,
+        name: &str,
+        size: u64,
+        mode: OpenMode,
+    ) -> Result<&mut Pmo, PmoError> {
+        match self.names.get(name) {
+            Some(&existing) if existing == id => return self.slot_mut(id),
+            Some(_) => return Err(PmoError::NameExists(name.to_string())),
+            None => {}
+        }
+        while self.pools.len() <= id.index() {
+            self.pools.push(None);
+        }
+        if self.pools[id.index()].is_some() {
+            return Err(PmoError::AlreadyAttached(id));
+        }
+        let pool = Pmo::new(id, name.to_string(), size, mode)?;
+        self.pools[id.index()] = Some(pool);
+        self.names.insert(name.to_string(), id);
+        self.slot_mut(id)
+    }
+
+    /// Reserves an id/name pair without storing a pool — how a sharded
+    /// store (e.g. `terp-service` after durable recovery) re-registers pools
+    /// it keeps behind its own shard locks while leaving the registry the
+    /// id/name authority. The slot behaves exactly as after [`Self::take`]:
+    /// the id is never reassigned and the name stays claimed.
+    ///
+    /// # Errors
+    ///
+    /// [`PmoError::NameExists`] if the name is already claimed by another
+    /// id, [`PmoError::AlreadyAttached`] if the slot holds a live pool.
+    pub fn reserve(&mut self, id: PmoId, name: &str) -> Result<(), PmoError> {
+        match self.names.get(name) {
+            Some(&existing) if existing == id => return Ok(()),
+            Some(_) => return Err(PmoError::NameExists(name.to_string())),
+            None => {}
+        }
+        while self.pools.len() <= id.index() {
+            self.pools.push(None);
+        }
+        if self.pools[id.index()].is_some() {
+            return Err(PmoError::AlreadyAttached(id));
+        }
+        self.names.insert(name.to_string(), id);
+        Ok(())
+    }
+
     /// Looks up a pool id by name without opening it.
     pub fn lookup(&self, name: &str) -> Option<PmoId> {
         self.names.get(name).copied()
@@ -168,6 +232,12 @@ impl PmoRegistry {
     /// Iterates over live pools in id order.
     pub fn iter(&self) -> impl Iterator<Item = &Pmo> {
         self.pools.iter().filter_map(|s| s.as_ref())
+    }
+
+    /// Mutably iterates over live pools in id order (e.g. to run
+    /// `txn::recover` over every pool after a replay).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Pmo> {
+        self.pools.iter_mut().filter_map(|s| s.as_mut())
     }
 
     fn slot_mut(&mut self, id: PmoId) -> Result<&mut Pmo, PmoError> {
@@ -272,6 +342,60 @@ mod tests {
         assert!(reg.lookup("shard-me").is_none());
         let next = reg.create("next", 4096, OpenMode::ReadWrite).unwrap();
         assert_ne!(next, id, "taken ids are never reassigned");
+    }
+
+    #[test]
+    fn restore_pool_recreates_explicit_ids_idempotently() {
+        let mut reg = PmoRegistry::new();
+        let id = PmoId::new(5).unwrap();
+        reg.restore_pool(id, "recovered", 1 << 16, OpenMode::ReadWrite)
+            .unwrap();
+        assert_eq!(reg.lookup("recovered"), Some(id));
+        // Replay idempotency: a second restore keeps the existing pool.
+        let oid = reg.pool_mut(id).unwrap().pmalloc(16).unwrap();
+        reg.restore_pool(id, "recovered", 1 << 16, OpenMode::ReadWrite)
+            .unwrap();
+        assert!(reg
+            .pool(id)
+            .unwrap()
+            .allocator()
+            .is_live_address(oid.offset()));
+        // Conflicts are refused.
+        assert_eq!(
+            reg.restore_pool(
+                PmoId::new(9).unwrap(),
+                "recovered",
+                4096,
+                OpenMode::ReadWrite
+            )
+            .unwrap_err(),
+            PmoError::NameExists("recovered".into())
+        );
+        // Fresh creates never collide with restored ids.
+        let next = reg.create("fresh", 4096, OpenMode::ReadWrite).unwrap();
+        assert!(next.raw() > id.raw());
+    }
+
+    #[test]
+    fn reserve_claims_id_and_name_without_a_pool() {
+        let mut reg = PmoRegistry::new();
+        let id = PmoId::new(3).unwrap();
+        reg.reserve(id, "sharded").unwrap();
+        assert_eq!(reg.lookup("sharded"), Some(id));
+        assert_eq!(reg.pool(id).unwrap_err(), PmoError::UnknownPmo(id));
+        // Idempotent for the same pair; conflicting claims are refused.
+        reg.reserve(id, "sharded").unwrap();
+        assert_eq!(
+            reg.reserve(PmoId::new(4).unwrap(), "sharded").unwrap_err(),
+            PmoError::NameExists("sharded".into())
+        );
+        assert_eq!(
+            reg.create("sharded", 4096, OpenMode::ReadWrite)
+                .unwrap_err(),
+            PmoError::NameExists("sharded".into())
+        );
+        let fresh = reg.create("other", 4096, OpenMode::ReadWrite).unwrap();
+        assert!(fresh.raw() > id.raw(), "reserved ids are never reassigned");
     }
 
     #[test]

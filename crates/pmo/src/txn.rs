@@ -52,24 +52,35 @@ pub struct Transaction<'p> {
 /// Size reserved for the log area.
 const LOG_AREA: u64 = 64 * 1024;
 
+const MAGIC: &[u8; 8] = b"TERPTXN1";
+
+/// Finds the pool's existing log area without allocating one.
+///
+/// # Errors
+///
+/// Propagates pool read failures.
+pub fn find_log_area(pool: &Pmo) -> Result<Option<u64>, PmoError> {
+    // Convention: the log area is the allocation tagged by a magic header
+    // at its start. (Simple linear scan: pools have few allocations when
+    // transactions start being used, and the result can be cached.)
+    for (off, _) in pool.allocator().live_blocks() {
+        let mut head = [0u8; 8];
+        pool.read_bytes(off, &mut head)?;
+        if &head == MAGIC {
+            return Ok(Some(off));
+        }
+    }
+    Ok(None)
+}
+
 /// Allocates (once) the pool's log area and returns its base offset.
 ///
 /// # Errors
 ///
 /// Propagates allocation failures from the pool.
 pub fn ensure_log_area(pool: &mut Pmo) -> Result<u64, PmoError> {
-    // Convention: the log area is the allocation tagged by a magic header
-    // at its start. We search the first live block with the magic; if none,
-    // allocate fresh. (Simple linear scan: pools have few allocations when
-    // transactions start being used, and the result can be cached.)
-    const MAGIC: &[u8; 8] = b"TERPTXN1";
-    let candidates: Vec<u64> = pool.allocator().live_blocks().map(|(off, _)| off).collect();
-    for off in candidates {
-        let mut head = [0u8; 8];
-        pool.read_bytes(off, &mut head)?;
-        if &head == MAGIC {
-            return Ok(off);
-        }
+    if let Some(off) = find_log_area(pool)? {
+        return Ok(off);
     }
     let oid = pool.pmalloc(LOG_AREA)?;
     pool.write_bytes(oid.offset(), MAGIC)?;
@@ -122,6 +133,11 @@ impl<'p> Transaction<'p> {
     pub fn write(&mut self, offset: u64, data: &[u8]) -> Result<(), PmoError> {
         if data.len() > MAX_RANGE {
             return Err(PmoError::InvalidSize(data.len() as u64));
+        }
+        if data.is_empty() {
+            // No bytes change, so no undo record: zero-length log records
+            // are reserved as a torn-write signature for [`recover`].
+            return Ok(());
         }
         let mut before = vec![0u8; data.len()];
         self.pool.read_bytes(offset, &mut before)?;
@@ -207,13 +223,26 @@ impl Drop for Transaction<'_> {
 /// found, every logged range is rolled back (newest first) and the log is
 /// cleared. Returns the number of ranges rolled back.
 ///
-/// Idempotent: recovering a consistent pool is a no-op.
+/// Idempotent and lenient, so replay layers (e.g. `terp-persist`) can call
+/// it unconditionally on every pool they reconstruct:
+///
+/// * a pool with no log area (transactions never used) is a no-op — no log
+///   area is allocated as a side effect;
+/// * a partially-written final undo record — a header pointing past the log
+///   area, an oversized length, or a target range outside the pool, all
+///   states a crash mid-`append_record` can leave — *truncates* the log at
+///   the last fully-written record instead of erroring, and the valid
+///   prefix is still rolled back;
+/// * recovering an already-consistent pool is a no-op.
 ///
 /// # Errors
 ///
-/// Propagates pool read/write failures.
+/// Propagates pool read/write failures (these indicate a broken pool, not a
+/// torn log).
 pub fn recover(pool: &mut Pmo) -> Result<usize, PmoError> {
-    let log_base = ensure_log_area(pool)?;
+    let Some(log_base) = find_log_area(pool)? else {
+        return Ok(0);
+    };
     let mut state = [0u8; 1];
     pool.read_bytes(log_base + 8, &mut state)?;
     if state[0] == 0 {
@@ -222,15 +251,29 @@ pub fn recover(pool: &mut Pmo) -> Result<usize, PmoError> {
     let mut count_raw = [0u8; 4];
     pool.read_bytes(log_base + 9, &mut count_raw)?;
     let count = u32::from_le_bytes(count_raw) as usize;
+    let log_end = log_base + LOG_AREA;
 
-    // Read all records forward, then roll back in reverse order.
-    let mut records = Vec::with_capacity(count);
+    // Read records forward, stopping at the first record the crash tore:
+    // only the fully-written prefix is rolled back.
+    let mut records = Vec::new();
     let mut pos = log_base + 13;
-    for _ in 0..count {
+    for _ in 0..count.min((LOG_AREA / 12) as usize) {
+        if pos + 12 > log_end {
+            break; // header itself runs past the log area: torn
+        }
         let mut head = [0u8; 12];
         pool.read_bytes(pos, &mut head)?;
         let offset = u64::from_le_bytes(head[0..8].try_into().expect("8 bytes"));
         let len = u32::from_le_bytes(head[8..12].try_into().expect("4 bytes")) as usize;
+        let intact = len > 0
+            && len <= MAX_RANGE
+            && pos + 12 + len as u64 <= log_end
+            && offset
+                .checked_add(len as u64)
+                .is_some_and(|e| e <= pool.size());
+        if !intact {
+            break; // partially-written final record: truncate, don't error
+        }
         let mut before = vec![0u8; len];
         pool.read_bytes(pos + 12, &mut before)?;
         records.push(UndoRecord { offset, before });
@@ -372,6 +415,124 @@ mod tests {
             .read_bytes(b.offset(), &mut buf)
             .unwrap();
         assert_eq!(&buf, b"BBBB");
+    }
+
+    #[test]
+    fn recover_on_virgin_pool_is_a_no_op_without_allocating() {
+        let (mut reg, id) = pool();
+        let live_before = reg.pool(id).unwrap().allocator().live_count();
+        assert_eq!(recover(reg.pool_mut(id).unwrap()).unwrap(), 0);
+        assert_eq!(
+            reg.pool(id).unwrap().allocator().live_count(),
+            live_before,
+            "recovery must not allocate a log area as a side effect"
+        );
+    }
+
+    #[test]
+    fn recover_is_idempotent_after_rollback() {
+        let (mut reg, id) = pool();
+        let data = reg.pool_mut(id).unwrap().pmalloc(64).unwrap();
+        reg.pool_mut(id)
+            .unwrap()
+            .write_bytes(data.offset(), b"original")
+            .unwrap();
+        {
+            let mut tx = Transaction::begin(reg.pool_mut(id).unwrap()).unwrap();
+            tx.write(data.offset(), b"mutated!").unwrap();
+            tx.crash();
+        }
+        assert_eq!(recover(reg.pool_mut(id).unwrap()).unwrap(), 1);
+        // Second (and third) recovery: nothing left to do, nothing breaks.
+        assert_eq!(recover(reg.pool_mut(id).unwrap()).unwrap(), 0);
+        assert_eq!(recover(reg.pool_mut(id).unwrap()).unwrap(), 0);
+        let mut buf = [0u8; 8];
+        reg.pool(id)
+            .unwrap()
+            .read_bytes(data.offset(), &mut buf)
+            .unwrap();
+        assert_eq!(&buf, b"original");
+    }
+
+    /// Regression: a torn final undo record (count bumped past the written
+    /// records, as a persist-layer replay of a truncated WAL can produce)
+    /// must truncate, roll back the intact prefix, and leave the pool
+    /// consistent — not error out.
+    #[test]
+    fn recover_tolerates_partially_written_final_record() {
+        let (mut reg, id) = pool();
+        let data = reg.pool_mut(id).unwrap().pmalloc(64).unwrap();
+        reg.pool_mut(id)
+            .unwrap()
+            .write_bytes(data.offset(), b"original")
+            .unwrap();
+        let log_base = {
+            let pool = reg.pool_mut(id).unwrap();
+            let mut tx = Transaction::begin(pool).unwrap();
+            tx.write(data.offset(), b"mutated!").unwrap();
+            tx.crash();
+            find_log_area(reg.pool(id).unwrap()).unwrap().unwrap()
+        };
+        // Simulate the tear: claim a second record that was never written
+        // (its header reads as zeros — the torn-write signature).
+        reg.pool_mut(id)
+            .unwrap()
+            .write_bytes(log_base + 9, &2u32.to_le_bytes())
+            .unwrap();
+        assert_eq!(recover(reg.pool_mut(id).unwrap()).unwrap(), 1);
+        let mut buf = [0u8; 8];
+        reg.pool(id)
+            .unwrap()
+            .read_bytes(data.offset(), &mut buf)
+            .unwrap();
+        assert_eq!(&buf, b"original", "the intact prefix still rolls back");
+        // The log is cleared: a new transaction can begin and recovery is
+        // idempotent.
+        assert_eq!(recover(reg.pool_mut(id).unwrap()).unwrap(), 0);
+        assert!(Transaction::begin(reg.pool_mut(id).unwrap()).is_ok());
+    }
+
+    /// Regression: an undo record whose header survived but whose length or
+    /// target range is garbage (oversized length, range past the pool end)
+    /// is treated as torn, not applied.
+    #[test]
+    fn recover_rejects_garbage_record_headers() {
+        let (mut reg, id) = pool();
+        let data = reg.pool_mut(id).unwrap().pmalloc(64).unwrap();
+        reg.pool_mut(id)
+            .unwrap()
+            .write_bytes(data.offset(), b"keepsafe")
+            .unwrap();
+        let log_base = ensure_log_area(reg.pool_mut(id).unwrap()).unwrap();
+        // Forge an active log whose only record has an absurd length.
+        let pool = reg.pool_mut(id).unwrap();
+        pool.write_bytes(log_base + 8, &[1]).unwrap();
+        pool.write_bytes(log_base + 9, &1u32.to_le_bytes()).unwrap();
+        pool.write_bytes(log_base + 13, &data.offset().to_le_bytes())
+            .unwrap();
+        pool.write_bytes(log_base + 21, &(u32::MAX).to_le_bytes())
+            .unwrap();
+        assert_eq!(recover(pool).unwrap(), 0, "garbage record is truncated");
+        let mut buf = [0u8; 8];
+        reg.pool(id)
+            .unwrap()
+            .read_bytes(data.offset(), &mut buf)
+            .unwrap();
+        assert_eq!(&buf, b"keepsafe");
+    }
+
+    #[test]
+    fn empty_write_is_a_no_op() {
+        let (mut reg, id) = pool();
+        let data = reg.pool_mut(id).unwrap().pmalloc(64).unwrap();
+        {
+            let mut tx = Transaction::begin(reg.pool_mut(id).unwrap()).unwrap();
+            tx.write(data.offset(), &[]).unwrap();
+            tx.write(data.offset(), b"real").unwrap();
+            tx.crash();
+        }
+        // Only the real write produced an undo record.
+        assert_eq!(recover(reg.pool_mut(id).unwrap()).unwrap(), 1);
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! load generator observes latency distributions with the same shape the
 //! simulator charges.
 
+use std::path::PathBuf;
+
 use terp_core::config::Scheme;
+use terp_persist::FsyncPolicy;
 use terp_sim::SimParams;
 
 /// Busy-wait charges (in nanoseconds) applied by the service to model the
@@ -58,6 +61,45 @@ impl Default for CostModel {
     }
 }
 
+/// Durable-mode settings: where the per-shard stores live and how eagerly
+/// the write-ahead log reaches media.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurableConfig {
+    /// Root directory; each shard gets `dir/shard-<i>` with its own WAL and
+    /// snapshots. The directory is bound to the shard count it was first
+    /// written with — reopening it under a different `effective_shards()`
+    /// is refused at startup.
+    pub dir: PathBuf,
+    /// Fsync policy for every shard's log.
+    pub fsync: FsyncPolicy,
+    /// Group-commit batch size (records per fsync under
+    /// [`FsyncPolicy::Group`]).
+    pub group: usize,
+}
+
+impl DurableConfig {
+    /// Durable mode rooted at `dir` with group commit (batch 32).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurableConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Group,
+            group: 32,
+        }
+    }
+
+    /// Sets the fsync policy.
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Sets the group-commit batch size.
+    pub fn with_group(mut self, group: usize) -> Self {
+        self.group = group.max(1);
+        self
+    }
+}
+
 /// Configuration for a [`crate::PmoService`] / [`crate::PmoServer`] instance.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -79,6 +121,11 @@ pub struct ServiceConfig {
     pub seed: u64,
     /// Busy-wait cost charges.
     pub cost: CostModel,
+    /// Durable mode: when set, every shard journals its mutations to a
+    /// file-backed [`terp_persist::DurableStore`], recovers from it at
+    /// startup, and checkpoints at drain. `None` keeps the service purely
+    /// in-memory.
+    pub durable: Option<DurableConfig>,
 }
 
 impl ServiceConfig {
@@ -94,6 +141,7 @@ impl ServiceConfig {
             cb_capacity: 32,
             seed: 0x7e2f,
             cost: CostModel::default(),
+            durable: None,
         }
     }
 
@@ -136,6 +184,20 @@ impl ServiceConfig {
     /// Sets the cost model.
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Enables durable mode rooted at `dir` with default policy (group
+    /// commit, batch 32). Use [`Self::with_durable_config`] for full
+    /// control.
+    pub fn with_durable(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durable = Some(DurableConfig::new(dir));
+        self
+    }
+
+    /// Enables durable mode with an explicit [`DurableConfig`].
+    pub fn with_durable_config(mut self, durable: DurableConfig) -> Self {
+        self.durable = Some(durable);
         self
     }
 

@@ -39,6 +39,10 @@ pub enum ServiceError {
     /// An error surfaced by the PMO substrate (registry, pool, or address
     /// space).
     Substrate(PmoError),
+    /// A durable-store failure (WAL append, snapshot, or recovery). The
+    /// underlying [`terp_persist::PersistError`] is rendered to a string so
+    /// this enum stays `Clone + PartialEq`.
+    Persist(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -56,6 +60,7 @@ impl std::fmt::Display for ServiceError {
             }
             ServiceError::ShuttingDown => write!(f, "service: shutting down"),
             ServiceError::Substrate(e) => write!(f, "service: {e}"),
+            ServiceError::Persist(msg) => write!(f, "service: durable store: {msg}"),
         }
     }
 }
@@ -72,6 +77,12 @@ impl std::error::Error for ServiceError {
 impl From<PmoError> for ServiceError {
     fn from(e: PmoError) -> Self {
         ServiceError::Substrate(e)
+    }
+}
+
+impl From<terp_persist::PersistError> for ServiceError {
+    fn from(e: terp_persist::PersistError) -> Self {
+        ServiceError::Persist(e.to_string())
     }
 }
 

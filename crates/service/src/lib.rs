@@ -59,9 +59,9 @@ pub mod sweeper;
 pub type ClientId = usize;
 
 pub use clock::ServiceClock;
-pub use config::{CostModel, ServiceConfig};
+pub use config::{CostModel, DurableConfig, ServiceConfig};
 pub use error::ServiceError;
-pub use metrics::{LatencyHistogram, OpCounters, ServiceReport};
+pub use metrics::{LatencyHistogram, OpCounters, RecoveryStats, ServiceReport};
 pub use server::PmoServer;
 pub use service::PmoService;
 pub use sweeper::Sweeper;

@@ -181,6 +181,49 @@ pub(crate) fn merge_cond_stats(a: &mut CondStats, b: CondStats) {
     a.sweep_randomize += b.sweep_randomize;
 }
 
+/// Durable-mode recovery statistics, aggregated over every shard's store
+/// at startup. All-zero for a fresh durable directory; absent entirely
+/// (`ServiceReport::recovery == None`) for an in-memory service.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Pools rebuilt from snapshots and/or log replay.
+    pub pools_recovered: u64,
+    /// Snapshots installed before replay.
+    pub snapshots_installed: u64,
+    /// Log records replayed.
+    pub records_replayed: u64,
+    /// Stale records skipped below a snapshot watermark.
+    pub records_skipped: u64,
+    /// Bytes discarded from torn log tails.
+    pub bytes_dropped: u64,
+    /// Shards whose log ended in a torn tail.
+    pub torn_tails: u64,
+    /// In-flight transactions rolled back by undo-log recovery.
+    pub txns_rolled_back: u64,
+    /// Exposure windows open at crash time, force-closed and re-randomized.
+    pub windows_resealed: u64,
+    /// Client sessions open at crash time, discarded (never resurrected).
+    pub sessions_discarded: u64,
+    /// Wall-clock nanoseconds spent in recovery, summed over shards.
+    pub recovery_ns: u128,
+}
+
+impl RecoveryStats {
+    /// Folds one shard store's recovery report into the aggregate.
+    pub(crate) fn absorb(&mut self, r: &terp_persist::RecoveryReport) {
+        self.pools_recovered += r.pools_recovered as u64;
+        self.snapshots_installed += r.snapshots_installed as u64;
+        self.records_replayed += r.records_replayed as u64;
+        self.records_skipped += r.records_skipped as u64;
+        self.bytes_dropped += r.bytes_dropped as u64;
+        self.torn_tails += u64::from(r.torn_tail);
+        self.txns_rolled_back += r.txns_rolled_back as u64;
+        self.windows_resealed += r.windows_resealed as u64;
+        self.sessions_discarded += r.sessions_discarded as u64;
+        self.recovery_ns += r.recovery_ns;
+    }
+}
+
 /// End-of-run summary merged over every shard at shutdown.
 #[derive(Debug, Clone)]
 pub struct ServiceReport {
@@ -208,6 +251,8 @@ pub struct ServiceReport {
     pub ew: WindowStats,
     /// Thread (client) exposure-window statistics (ns).
     pub tew: WindowStats,
+    /// Durable-mode startup recovery statistics (`None` when in-memory).
+    pub recovery: Option<RecoveryStats>,
 }
 
 impl std::fmt::Display for ServiceReport {
@@ -236,7 +281,21 @@ impl std::fmt::Display for ServiceReport {
             self.ew.count,
             self.tew.avg_cycles / 1_000.0,
             self.tew.count,
-        )
+        )?;
+        if let Some(rec) = &self.recovery {
+            write!(
+                f,
+                "\n  recovery: {} pools ({} snapshots, {} records), \
+                 {} windows resealed, {} sessions discarded, {:.2} ms",
+                rec.pools_recovered,
+                rec.snapshots_installed,
+                rec.records_replayed,
+                rec.windows_resealed,
+                rec.sessions_discarded,
+                rec.recovery_ns as f64 / 1e6,
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -30,15 +30,31 @@ pub struct PmoServer {
 impl PmoServer {
     /// Starts the service and, unless `config.sweep_period_us == 0`, its
     /// sweeper thread.
+    ///
+    /// # Panics
+    ///
+    /// In durable mode, panics if a shard store fails to open or recover;
+    /// use [`Self::try_start`] to handle those errors.
     pub fn start(config: ServiceConfig) -> Self {
+        Self::try_start(config).expect("durable store open/recovery failed")
+    }
+
+    /// Fallible start: in durable mode the service recovers every shard
+    /// store before the sweeper spins up (see
+    /// [`PmoService::try_new`]).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ServiceError::Persist`] on store open/recovery failure.
+    pub fn try_start(config: ServiceConfig) -> Result<Self, crate::ServiceError> {
         let period = config.sweep_period_us;
-        let service = Arc::new(PmoService::new(config));
+        let service = Arc::new(PmoService::try_new(config)?);
         let sweeper = if period > 0 {
             Some(Sweeper::spawn(Arc::clone(&service), period))
         } else {
             None
         };
-        PmoServer { service, sweeper }
+        Ok(PmoServer { service, sweeper })
     }
 
     /// The shared service handle; clone it into worker threads.

@@ -22,12 +22,15 @@ use std::time::Duration;
 use terp_arch::{CondStats, DetachOutcome, MerrStats, SweepAction};
 use terp_core::config::Scheme;
 use terp_core::permission::Right;
+use terp_persist::{DurableStore, WalRecord};
 use terp_pmo::{AccessKind, ObjectId, OpenMode, Permission, PmoId, PmoRegistry};
 
 use crate::clock::ServiceClock;
 use crate::config::ServiceConfig;
 use crate::error::ServiceError;
-use crate::metrics::{merge_cond_stats, merge_window_stats, OpCounters, ServiceReport};
+use crate::metrics::{
+    merge_cond_stats, merge_window_stats, OpCounters, RecoveryStats, ServiceReport,
+};
 use crate::shard::{Shard, ShardState};
 use crate::ClientId;
 
@@ -49,14 +52,37 @@ pub struct PmoService {
     shard_mask: usize,
     shutting_down: AtomicBool,
     sweep_passes: AtomicU64,
+    recovery: Option<RecoveryStats>,
 }
 
 impl PmoService {
     /// Builds a service with `config.effective_shards()` shards. Each shard
     /// gets its own randomization seed (`config.seed + shard index`).
+    ///
+    /// # Panics
+    ///
+    /// In durable mode, panics if a shard store fails to open or recover;
+    /// use [`Self::try_new`] to handle those errors.
     pub fn new(config: ServiceConfig) -> Self {
+        Self::try_new(config).expect("durable store open/recovery failed")
+    }
+
+    /// Fallible constructor. In durable mode each shard opens (creating if
+    /// needed) its store at `durable.dir/shard-<i>`, recovers whatever the
+    /// directory holds — force-closing and resealing every exposure window
+    /// that was open at crash time — and adopts the recovered pools. The
+    /// aggregated recovery metrics are available via
+    /// [`Self::recovery_stats`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Persist`] for I/O or corruption in a shard store, or
+    /// when the directory was written under a different shard count (pool
+    /// ids would route to different shards than the ones that logged them).
+    pub fn try_new(config: ServiceConfig) -> Result<Self, ServiceError> {
         let n = config.effective_shards();
-        let shards = (0..n)
+        let mask = n - 1;
+        let shards: Vec<Shard> = (0..n)
             .map(|i| {
                 Shard::new(
                     config.seed.wrapping_add(i as u64),
@@ -65,15 +91,69 @@ impl PmoService {
                 )
             })
             .collect();
-        PmoService {
+        let mut registry = PmoRegistry::new();
+        let mut recovery = None;
+        if let Some(durable) = &config.durable {
+            let mut stats = RecoveryStats::default();
+            for (i, shard) in shards.iter().enumerate() {
+                let dir = durable.dir.join(format!("shard-{i}"));
+                let (store, recovered, report) =
+                    DurableStore::open(&dir, durable.fsync, durable.group)?;
+                stats.absorb(&report);
+                let mut state = shard.state.lock().unwrap_or_else(|e| e.into_inner());
+                let mut rec_reg = recovered.registry;
+                let ids: Vec<PmoId> = rec_reg.iter().map(|p| p.id()).collect();
+                for id in ids {
+                    if (id.raw() as usize) & mask != i {
+                        return Err(ServiceError::Persist(format!(
+                            "{}: recovered pool {id} does not route to shard {i} of {n}; \
+                             the directory was written under a different shard count",
+                            dir.display()
+                        )));
+                    }
+                    let pool = rec_reg.take(id)?;
+                    registry.reserve(id, pool.name())?;
+                    state.pools.insert(id, pool);
+                }
+                state.store = Some(store);
+            }
+            // Refuse directories written under a *larger* shard count: their
+            // extra shard-* stores would otherwise be silently ignored (the
+            // routing check above only catches the shrinking direction).
+            let io = |e: std::io::Error| ServiceError::Persist(e.to_string());
+            for entry in std::fs::read_dir(&durable.dir).map_err(io)? {
+                let name = entry.map_err(io)?.file_name();
+                let name = name.to_string_lossy();
+                if let Some(k) = name
+                    .strip_prefix("shard-")
+                    .and_then(|s| s.parse::<usize>().ok())
+                {
+                    if k >= n {
+                        return Err(ServiceError::Persist(format!(
+                            "{}: found {name} but this service runs {n} shards; \
+                             the directory was written under a different shard count",
+                            durable.dir.display()
+                        )));
+                    }
+                }
+            }
+            recovery = Some(stats);
+        }
+        Ok(PmoService {
             clock: ServiceClock::start(),
-            registry: Mutex::new(PmoRegistry::new()),
+            registry: Mutex::new(registry),
             shards,
-            shard_mask: n - 1,
+            shard_mask: mask,
             shutting_down: AtomicBool::new(false),
             sweep_passes: AtomicU64::new(0),
+            recovery,
             config,
-        }
+        })
+    }
+
+    /// Durable-mode startup recovery statistics (`None` when in-memory).
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        self.recovery
     }
 
     /// The service configuration.
@@ -129,7 +209,14 @@ impl PmoService {
         let id = registry.create(name, size, mode)?;
         let pool = registry.take(id)?;
         drop(registry);
-        self.lock(self.shard(id)).pools.insert(id, pool);
+        let mut state = self.lock(self.shard(id));
+        state.pools.insert(id, pool);
+        state.log(&WalRecord::PoolCreate {
+            id,
+            name: name.to_string(),
+            size,
+            mode,
+        })?;
         Ok(id)
     }
 
@@ -228,7 +315,7 @@ impl PmoService {
             .expect("pool with no owner must be MERR-attachable");
         if let Err(e) = state.map_pool(pmo, perm, self.clock.now_ns()) {
             let _ = state.merr.detach(pmo);
-            return Err(e.into());
+            return Err(e);
         }
         state.owner.insert(pmo, client);
         state.add_holder(client, pmo);
@@ -259,10 +346,10 @@ impl PmoService {
                 // Undo the speculative buffer entry: the attach never
                 // happened.
                 state.engine.evict(pmo);
-                return Err(e.into());
+                return Err(e);
             }
         }
-        state.grant_client(client, pmo, perm, now);
+        state.grant_client(client, pmo, perm, now)?;
         state.add_holder(client, pmo);
         state.ops.attaches += 1;
         let syscall = outcome.needs_syscall() || self.config.scheme.cond_is_syscall();
@@ -350,7 +437,7 @@ impl PmoService {
             state.engine.evict(pmo);
             outcome = DetachOutcome::FullDetach;
         }
-        state.revoke_client(client, pmo, now);
+        state.revoke_client(client, pmo, now)?;
         state.remove_holder(client, pmo);
         if outcome.needs_syscall() && state.space.is_attached(pmo) {
             state.unmap_pool(pmo, now)?;
@@ -447,6 +534,13 @@ impl PmoService {
         let pool = state.pools.get_mut(&pmo).expect("checked above");
         pool.write_bytes(oid.offset(), data)?;
         state.ops.writes += 1;
+        if state.store.is_some() {
+            state.log(&WalRecord::DataWrite {
+                pmo,
+                offset: oid.offset(),
+                data: data.to_vec(),
+            })?;
+        }
         Ok(())
     }
 
@@ -466,6 +560,11 @@ impl PmoService {
         let pool = state.pools.get_mut(&pmo).expect("checked above");
         let oid = pool.pmalloc(size)?;
         state.ops.allocs += 1;
+        state.log(&WalRecord::Alloc {
+            pmo,
+            size,
+            offset: oid.offset(),
+        })?;
         Ok(oid)
     }
 
@@ -483,6 +582,10 @@ impl PmoService {
         Self::check_alloc_rights(&mut state, self.config.scheme, client, pmo)?;
         let pool = state.pools.get_mut(&pmo).expect("checked above");
         pool.pfree(oid)?;
+        state.log(&WalRecord::Free {
+            pmo,
+            offset: oid.offset(),
+        })?;
         Ok(())
     }
 
@@ -644,11 +747,16 @@ impl PmoService {
                 .collect();
             for (pmo, clients) in sessions {
                 for client in clients {
-                    state.revoke_client(client, pmo, now);
+                    let _ = state.revoke_client(client, pmo, now);
                 }
             }
             state.holders.clear();
             state.windows.finalize(now);
+            // Durable mode: the drain is a protection-quiescent point (every
+            // window just closed), so checkpoint — snapshots bound the next
+            // startup's replay. Best-effort: on failure the WAL alone still
+            // recovers everything.
+            let _ = state.checkpoint();
             shard.cvar.notify_all();
         }
     }
@@ -691,6 +799,7 @@ impl PmoService {
             sweep_passes: self.sweep_passes.load(Ordering::Relaxed),
             ew,
             tew,
+            recovery: self.recovery,
         }
     }
 }

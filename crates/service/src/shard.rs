@@ -15,9 +15,11 @@ use std::sync::{Condvar, Mutex};
 use terp_arch::{CondEngine, MerrArch};
 use terp_core::permission::{PermissionSet, Right};
 use terp_core::window::WindowTracker;
+use terp_persist::{DurableStore, WalRecord};
 use terp_pmo::{Permission, Pmo, PmoError, PmoId, ProcessAddressSpace};
 use terp_sim::PermissionMatrix;
 
+use crate::error::ServiceError;
 use crate::metrics::OpCounters;
 use crate::ClientId;
 
@@ -47,6 +49,7 @@ impl Shard {
                 detach_syscalls: 0,
                 randomizations: 0,
                 blocked_ns: 0,
+                store: None,
             }),
             cvar: Condvar::new(),
         }
@@ -84,9 +87,33 @@ pub(crate) struct ShardState {
     pub randomizations: u64,
     /// Nanoseconds clients spent blocked on Basic-semantics serialization.
     pub blocked_ns: u64,
+    /// Durable mode: this shard's write-ahead log + snapshot directory.
+    /// `None` keeps the shard purely in-memory.
+    pub store: Option<DurableStore>,
 }
 
 impl ShardState {
+    /// Appends `record` to this shard's WAL when durable mode is on.
+    /// A write failure surfaces as [`ServiceError::Persist`] — the caller
+    /// must not apply the mutation it failed to journal.
+    pub(crate) fn log(&mut self, record: &WalRecord) -> Result<(), ServiceError> {
+        if let Some(store) = self.store.as_mut() {
+            store.log(record)?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoints this shard's durable store: snapshots every pool and
+    /// truncates the WAL. Must be called at a protection-quiescent point
+    /// (no open windows) — the service drains before checkpointing.
+    pub(crate) fn checkpoint(&mut self) -> Result<(), ServiceError> {
+        let ShardState { store, pools, .. } = self;
+        if let Some(store) = store.as_mut() {
+            store.checkpoint(pools.values())?;
+        }
+        Ok(())
+    }
+
     /// Performs the real `attach()`: maps the pool at a random base, adds
     /// the permission-matrix entry, and opens the process EW.
     pub(crate) fn map_pool(
@@ -94,7 +121,8 @@ impl ShardState {
         pmo: PmoId,
         perm: Permission,
         now: u64,
-    ) -> Result<(), PmoError> {
+    ) -> Result<(), ServiceError> {
+        self.log(&WalRecord::WindowOpen { pmo })?;
         let pool = self.pools.get_mut(&pmo).ok_or(PmoError::UnknownPmo(pmo))?;
         let handle = self.space.attach(pool, perm)?;
         self.matrix
@@ -106,23 +134,25 @@ impl ShardState {
 
     /// Performs the real `detach()`: unmaps the pool, removes the matrix
     /// entry, and closes the process EW.
-    pub(crate) fn unmap_pool(&mut self, pmo: PmoId, now: u64) -> Result<(), PmoError> {
+    pub(crate) fn unmap_pool(&mut self, pmo: PmoId, now: u64) -> Result<(), ServiceError> {
         let pool = self.pools.get_mut(&pmo).ok_or(PmoError::UnknownPmo(pmo))?;
         self.space.detach(pool)?;
         self.matrix.remove(pmo);
         self.windows.close_ew(pmo, now);
         self.detach_syscalls += 1;
+        self.log(&WalRecord::WindowClose { pmo })?;
         Ok(())
     }
 
     /// Re-randomizes an attached pool in place: new base, relocated matrix
     /// entry, split EW (the attacker's location knowledge resets).
-    pub(crate) fn randomize_pool(&mut self, pmo: PmoId, now: u64) -> Result<(), PmoError> {
+    pub(crate) fn randomize_pool(&mut self, pmo: PmoId, now: u64) -> Result<(), ServiceError> {
         let pool = self.pools.get_mut(&pmo).ok_or(PmoError::UnknownPmo(pmo))?;
         let handle = self.space.randomize(pool)?;
         self.matrix.relocate(pmo, handle.base_va());
         self.windows.split_ew(pmo, now);
         self.randomizations += 1;
+        self.log(&WalRecord::Randomize { pmo })?;
         Ok(())
     }
 
@@ -134,23 +164,39 @@ impl ShardState {
         pmo: PmoId,
         perm: Permission,
         now: u64,
-    ) {
+    ) -> Result<(), ServiceError> {
+        self.log(&WalRecord::SessionOpen {
+            client: client as u64,
+            pmo,
+            perm,
+        })?;
         let set = self.perms.entry(client).or_default();
         set.grant(pmo, Right::Read);
         if perm == Permission::ReadWrite {
             set.grant(pmo, Right::Write);
         }
         self.windows.open_tew(client, pmo, now);
+        Ok(())
     }
 
     /// Revokes every thread right `client` holds on `pmo` and closes its
     /// TEW.
-    pub(crate) fn revoke_client(&mut self, client: ClientId, pmo: PmoId, now: u64) {
+    pub(crate) fn revoke_client(
+        &mut self,
+        client: ClientId,
+        pmo: PmoId,
+        now: u64,
+    ) -> Result<(), ServiceError> {
         if let Some(set) = self.perms.get_mut(&client) {
             set.revoke(pmo, Right::Read);
             set.revoke(pmo, Right::Write);
         }
         self.windows.close_tew(client, pmo, now);
+        self.log(&WalRecord::SessionClose {
+            client: client as u64,
+            pmo,
+        })?;
+        Ok(())
     }
 
     /// Whether `client` currently holds an open session on `pmo`.

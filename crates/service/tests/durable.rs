@@ -1,0 +1,143 @@
+//! Durable-mode round trips: crash recovery, clean shutdown, and the
+//! shard-count binding of a store directory.
+
+use terp_core::config::Scheme;
+use terp_persist::FsyncPolicy;
+use terp_pmo::{AccessKind, OpenMode, Permission};
+use terp_service::{DurableConfig, PmoServer, PmoService, ServiceConfig, ServiceError};
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("terp-svc-durable-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn crash_recovery_reseals_windows_and_keeps_data() {
+    let dir = tmp_dir("crash");
+    let cfg = || {
+        ServiceConfig::for_tests(Scheme::terp_full())
+            .with_durable_config(DurableConfig::new(&dir).with_fsync(FsyncPolicy::Always))
+    };
+    let oid;
+    {
+        let svc = PmoService::try_new(cfg()).unwrap();
+        let p = svc
+            .create_pool("ledger", 1 << 16, OpenMode::ReadWrite)
+            .unwrap();
+        svc.attach(0, p, Permission::ReadWrite).unwrap();
+        oid = svc.alloc(0, p, 64).unwrap();
+        svc.write(0, oid, b"survives the crash").unwrap();
+        assert!(svc.process_can(p, AccessKind::Read));
+        // Dropped here with the window open and no drain: a crash.
+    }
+
+    let svc = PmoService::try_new(cfg()).unwrap();
+    let rec = svc.recovery_stats().unwrap();
+    assert_eq!(rec.pools_recovered, 1);
+    assert_eq!(rec.windows_resealed, 1, "crash-open EW is force-closed");
+    assert_eq!(rec.sessions_discarded, 1, "sessions are never resurrected");
+    assert!(
+        rec.records_replayed >= 4,
+        "create/attach/alloc/write logged"
+    );
+
+    let p = oid.pmo();
+    assert!(
+        !svc.process_can(p, AccessKind::Read),
+        "no exposure window survives recovery"
+    );
+    assert!(
+        !svc.client_can(0, p, AccessKind::Read),
+        "the crashed client's grant is gone"
+    );
+    // The data is intact once a client legitimately reattaches.
+    svc.attach(7, p, Permission::Read).unwrap();
+    assert_eq!(svc.read(7, oid, 18).unwrap(), b"survives the crash");
+    // The registry stayed the name authority across the crash.
+    assert!(matches!(
+        svc.create_pool("ledger", 1 << 16, OpenMode::ReadWrite),
+        Err(ServiceError::Substrate(_))
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clean_shutdown_checkpoints_and_recovers_from_snapshots() {
+    let dir = tmp_dir("clean");
+    let cfg = || ServiceConfig::for_tests(Scheme::terp_full()).with_durable(&dir);
+    let oid;
+    {
+        let server = PmoServer::try_start(cfg()).unwrap();
+        let svc = server.service();
+        let p = svc
+            .create_pool("books", 1 << 16, OpenMode::ReadWrite)
+            .unwrap();
+        svc.attach(1, p, Permission::ReadWrite).unwrap();
+        oid = svc.alloc(1, p, 32).unwrap();
+        svc.write(1, oid, b"checkpointed").unwrap();
+        svc.detach(1, p).unwrap();
+        let report = server.shutdown();
+        assert_eq!(report.recovery, svc.recovery_stats());
+    }
+
+    let svc = PmoService::try_new(cfg()).unwrap();
+    let rec = svc.recovery_stats().unwrap();
+    assert!(rec.snapshots_installed >= 1, "shutdown checkpointed");
+    assert_eq!(rec.records_replayed, 0, "log was truncated at checkpoint");
+    assert_eq!(rec.windows_resealed, 0, "clean shutdown left nothing open");
+    svc.attach(2, oid.pmo(), Permission::Read).unwrap();
+    assert_eq!(svc.read(2, oid, 12).unwrap(), b"checkpointed");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn directory_is_bound_to_its_shard_count() {
+    let dir = tmp_dir("mismatch");
+    let durable = || DurableConfig::new(&dir).with_fsync(FsyncPolicy::Always);
+    {
+        let svc = PmoService::try_new(
+            ServiceConfig::for_tests(Scheme::terp_full())
+                .with_shards(4)
+                .with_durable_config(durable()),
+        )
+        .unwrap();
+        for i in 0..4 {
+            svc.create_pool(&format!("p{i}"), 1 << 12, OpenMode::ReadWrite)
+                .unwrap();
+        }
+    }
+    // Fewer shards: the extra shard-* stores would be silently ignored.
+    let err = PmoService::try_new(
+        ServiceConfig::for_tests(Scheme::terp_full())
+            .with_shards(2)
+            .with_durable_config(durable()),
+    )
+    .unwrap_err();
+    assert!(matches!(err, ServiceError::Persist(_)), "{err}");
+    // More shards: recovered pools would route to shards that never logged
+    // them.
+    let err = PmoService::try_new(
+        ServiceConfig::for_tests(Scheme::terp_full())
+            .with_shards(8)
+            .with_durable_config(durable()),
+    )
+    .unwrap_err();
+    assert!(matches!(err, ServiceError::Persist(_)), "{err}");
+    // The original shard count still opens fine.
+    let svc = PmoService::try_new(
+        ServiceConfig::for_tests(Scheme::terp_full())
+            .with_shards(4)
+            .with_durable_config(durable()),
+    )
+    .unwrap();
+    assert_eq!(svc.recovery_stats().unwrap().pools_recovered, 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn in_memory_service_reports_no_recovery() {
+    let svc = PmoService::try_new(ServiceConfig::for_tests(Scheme::terp_full())).unwrap();
+    assert!(svc.recovery_stats().is_none());
+    assert!(svc.report().recovery.is_none());
+}
