@@ -10,7 +10,7 @@
 //!    break the EW guarantee (the hardware timer backstop catches it).
 
 use terp_bench::cli::Cli;
-use terp_bench::{Scale, TEW_TARGET_US};
+use terp_bench::{par_map, Scale, TEW_TARGET_US};
 use terp_compiler::insertion::{insert_protection, InsertionConfig};
 use terp_compiler::lower::{lower, LowerConfig};
 use terp_compiler::FunctionBuilder;
@@ -21,25 +21,27 @@ use terp_sim::SimParams;
 use terp_workloads::{whisper, Variant};
 
 fn main() {
-    let scale = Cli::standard(
+    let cli = Cli::standard(
         "ablations",
         "design-choice ablations beyond the paper's figures",
     )
-    .parse_env()
-    .scale();
+    .parse_env();
+    let scale = cli.scale();
+    let threads = cli.threads();
     println!("Design ablations ({scale:?} scale)\n");
 
-    sweep_period(scale);
-    cb_capacity();
-    tew_budget();
+    sweep_period(scale, threads);
+    cb_capacity(threads);
+    tew_budget(threads);
     loop_bound_backstop();
 }
 
 /// Ablation 1: sweep period vs achieved max EW.
-fn sweep_period(scale: Scale) {
+fn sweep_period(scale: Scale, threads: usize) {
     println!("1. circular-buffer sweep period (workload: redis, EW target 40 µs)");
     let workload = whisper::redis(scale.whisper());
-    for period_us in [0.5, 1.0, 4.0, 16.0] {
+    let periods = [0.5, 1.0, 4.0, 16.0];
+    let rows = par_map(threads, &periods, |_, &period_us| {
         let mut params = SimParams::default();
         params.sweep_period_cycles = params.us_to_cycles(period_us);
         let mut reg = workload.build_registry();
@@ -53,15 +55,16 @@ fn sweep_period(scale: Scale) {
         let r = Executor::new(params, config)
             .run(&mut reg, traces)
             .expect("run");
-        println!(
+        format!(
             "   period {:>5.1} µs: EW avg/max {:>5.1}/{:>5.1} µs, overhead {:>5.2} %, randomizations {}",
             period_us,
             r.ew_avg_us(),
             r.ew_max_us(),
             r.overhead_fraction() * 100.0,
             r.randomizations
-        );
-    }
+        )
+    });
+    rows.iter().for_each(|row| println!("{row}"));
     println!("   → coarser sweeps let combined windows overshoot the 40 µs target.\n");
 }
 
@@ -70,7 +73,7 @@ fn sweep_period(scale: Scale) {
 /// The workload round-robins tight windows over 8 pools within one EW, so
 /// up to 8 delayed-detach entries coexist in the buffer; capacities below
 /// that force untracked (full-syscall) fallbacks.
-fn cb_capacity() {
+fn cb_capacity(threads: usize) {
     println!("2. circular-buffer capacity (synthetic: 8 PMOs round-robin within one EW)");
     let pools = 8u16;
     let mut b = FunctionBuilder::new("cb-pressure");
@@ -86,7 +89,8 @@ fn cb_capacity() {
     let program = b.finish();
     let trace = lower(&program, &LowerConfig::default()).expect("lowering");
 
-    for capacity in [2, 4, 8, 32] {
+    let capacities = [2usize, 4, 8, 32];
+    let rows = par_map(threads, &capacities, |_, &capacity| {
         let mut reg = PmoRegistry::new();
         for p in 0..pools {
             reg.create(&format!("cb{p}"), 1 << 20, OpenMode::ReadWrite)
@@ -96,15 +100,16 @@ fn cb_capacity() {
         let r = Executor::new(SimParams::default(), config)
             .run(&mut reg, vec![trace.clone()])
             .expect("run");
-        println!(
+        format!(
             "   capacity {:>2}: overhead {:>6.2} %, untracked attaches {:>5}, attach syscalls {:>5}, silent {:>5.1} %",
             capacity,
             r.overhead_fraction() * 100.0,
             r.cond.untracked_attach,
             r.attach_syscalls,
             r.silent_fraction() * 100.0
-        );
-    }
+        )
+    });
+    rows.iter().for_each(|row| println!("{row}"));
     println!("   → below the live-PMO count the buffer degrades gracefully to untracked");
     println!("     syscalls; the paper's 32 entries leave ample headroom.\n");
 }
@@ -115,7 +120,7 @@ fn cb_capacity() {
 /// compute: a small budget brackets each burst separately; a large budget
 /// lets the region grow over several bursts, so the constructs get rarer
 /// and the thread windows longer.
-fn tew_budget() {
+fn tew_budget(threads: usize) {
     println!("3. compiler TEW budget (synthetic: burst chain, ~1 µs gaps)");
     let pmo = PmoId::new(1).expect("valid id");
     let params = SimParams::default();
@@ -135,7 +140,8 @@ fn tew_budget() {
     });
     let program = b.finish();
 
-    for tew_us in [0.5, 2.0, 8.0, 32.0] {
+    let budgets = [0.5, 2.0, 8.0, 32.0];
+    let rows = par_map(threads, &budgets, |_, &tew_us| {
         let inserted = insert_protection(
             &program,
             &InsertionConfig {
@@ -152,15 +158,16 @@ fn tew_budget() {
         let r = Executor::new(params.clone(), config)
             .run(&mut reg, vec![trace])
             .expect("run");
-        println!(
+        format!(
             "   budget {:>4.1} µs: TEW avg {:>5.2} µs, TER {:>5.1} %, cond ops {:>7}, overhead {:>5.2} %",
             tew_us,
             r.tew_avg_us(),
             r.thread_exposure_rate * 100.0,
             r.cond.total_cond(),
             r.overhead_fraction() * 100.0
-        );
-    }
+        )
+    });
+    rows.iter().for_each(|row| println!("{row}"));
     println!("   → smaller budgets shrink thread exposure at the cost of more cond ops.\n");
 }
 

@@ -8,14 +8,14 @@
 //! live) is the most expensive benchmark.
 
 use terp_bench::cli::Cli;
-use terp_bench::{mean, rule, run_scheme};
+use terp_bench::{mean, par_map, rule, run_scheme};
 use terp_core::config::Scheme;
 use terp_core::RunReport;
 use terp_sim::OverheadCategory;
 use terp_workloads::spec;
 
-fn breakdown_row(label: &str, name: &str, r: &RunReport) {
-    println!(
+fn breakdown_row(label: &str, name: &str, r: &RunReport) -> String {
+    format!(
         "{:8} {:12} | {:8.2}% = at {:6.2}% + dt {:6.2}% + rand {:5.2}% + cond {:5.2}% + other {:5.2}%",
         name,
         label,
@@ -25,16 +25,16 @@ fn breakdown_row(label: &str, name: &str, r: &RunReport) {
         r.category_fraction(OverheadCategory::Rand) * 100.0,
         r.category_fraction(OverheadCategory::Cond) * 100.0,
         r.category_fraction(OverheadCategory::Other) * 100.0,
-    );
+    )
 }
 
 fn main() {
-    let scale = Cli::standard(
+    let cli = Cli::standard(
         "fig10_spec_overhead",
         "Figure 10 — single-thread SPEC overheads",
     )
-    .parse_env()
-    .scale();
+    .parse_env();
+    let scale = cli.scale();
     println!("Figure 10 — SPEC single-thread overhead breakdown ({scale:?} scale)\n");
 
     let configs: [(&str, Scheme, f64); 5] = [
@@ -51,25 +51,39 @@ fn main() {
         .collect();
     let mut worst = ("", 0.0f64);
 
-    for workload in spec::all(scale.spec()) {
-        for (i, (label, scheme, ew)) in configs.iter().enumerate() {
-            let r = run_scheme(&workload, *scheme, *ew, 42);
-            breakdown_row(label, &workload.name, &r);
-            averages[i].1.push(r.overhead_fraction());
-            if i == 2 && r.overhead_fraction() > worst.1 {
-                worst = (
-                    match workload.name.as_str() {
-                        "mcf" => "mcf",
-                        "lbm" => "lbm",
-                        "imagick" => "imagick",
-                        "nab" => "nab",
-                        _ => "xz",
-                    },
-                    r.overhead_fraction(),
-                );
-            }
+    // Fan the (workload, config) matrix out; worst-benchmark tracking
+    // happens over the ordered results, so it matches any thread count.
+    let workloads = spec::all(scale.spec());
+    let jobs: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..configs.len()).map(move |c| (w, c)))
+        .collect();
+    let results = par_map(cli.threads(), &jobs, |_, &(w, c)| {
+        let (label, scheme, ew) = configs[c];
+        let r = run_scheme(&workloads[w], scheme, ew, 42);
+        (
+            breakdown_row(label, &workloads[w].name, &r),
+            r.overhead_fraction(),
+        )
+    });
+    for (j, (row, overhead)) in results.iter().enumerate() {
+        let (w, c) = jobs[j];
+        println!("{row}");
+        averages[c].1.push(*overhead);
+        if c == 2 && *overhead > worst.1 {
+            worst = (
+                match workloads[w].name.as_str() {
+                    "mcf" => "mcf",
+                    "lbm" => "lbm",
+                    "imagick" => "imagick",
+                    "nab" => "nab",
+                    _ => "xz",
+                },
+                *overhead,
+            );
         }
-        rule(110);
+        if c == configs.len() - 1 {
+            rule(110);
+        }
     }
 
     println!("\nAverages:");

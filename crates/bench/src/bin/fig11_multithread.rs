@@ -10,14 +10,14 @@
 //! threads suspend during a relocation.
 
 use terp_bench::cli::Cli;
-use terp_bench::{mean, rule, run_scheme};
+use terp_bench::{mean, par_map, rule, run_scheme};
 use terp_core::config::Scheme;
 use terp_core::RunReport;
 use terp_sim::OverheadCategory;
 use terp_workloads::spec;
 
-fn breakdown_row(label: &str, name: &str, r: &RunReport) {
-    println!(
+fn breakdown_row(label: &str, name: &str, r: &RunReport) -> String {
+    format!(
         "{:8} {:14} | {:8.2}% = at {:7.2}% + dt {:6.2}% + rand {:5.2}% + cond {:5.2}% + other {:5.2}% (blocked {:.1} µs)",
         name,
         label,
@@ -28,13 +28,12 @@ fn breakdown_row(label: &str, name: &str, r: &RunReport) {
         r.category_fraction(OverheadCategory::Cond) * 100.0,
         r.category_fraction(OverheadCategory::Other) * 100.0,
         r.blocked_cycles as f64 / r.cycles_per_us,
-    );
+    )
 }
 
 fn main() {
-    let scale = Cli::standard("fig11_multithread", "Figure 11 — four-thread ablation")
-        .parse_env()
-        .scale();
+    let cli = Cli::standard("fig11_multithread", "Figure 11 — four-thread ablation").parse_env();
+    let scale = cli.scale();
     println!("Figure 11 — 4-thread SPEC benefits breakdown ({scale:?} scale)\n");
 
     let configs: [(&str, Scheme, f64); 5] = [
@@ -56,14 +55,28 @@ fn main() {
         .map(|(l, _, _)| (l.to_string(), vec![]))
         .collect();
 
-    for workload in spec::all(scale.spec()) {
-        let workload = workload.with_threads(4);
-        for (i, (label, scheme, ew)) in configs.iter().enumerate() {
-            let r = run_scheme(&workload, *scheme, *ew, 42);
-            breakdown_row(label, &workload.name, &r);
-            averages[i].1.push(r.overhead_fraction());
+    let workloads: Vec<_> = spec::all(scale.spec())
+        .into_iter()
+        .map(|w| w.with_threads(4))
+        .collect();
+    let jobs: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..configs.len()).map(move |c| (w, c)))
+        .collect();
+    let results = par_map(cli.threads(), &jobs, |_, &(w, c)| {
+        let (label, scheme, ew) = configs[c];
+        let r = run_scheme(&workloads[w], scheme, ew, 42);
+        (
+            breakdown_row(label, &workloads[w].name, &r),
+            r.overhead_fraction(),
+        )
+    });
+    for (j, (row, overhead)) in results.iter().enumerate() {
+        let (_, c) = jobs[j];
+        println!("{row}");
+        averages[c].1.push(*overhead);
+        if c == configs.len() - 1 {
+            rule(128);
         }
-        rule(128);
     }
 
     println!("\nAverages:");

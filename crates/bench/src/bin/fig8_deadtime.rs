@@ -7,7 +7,7 @@
 //! reduced by 95 %."
 
 use terp_bench::cli::Cli;
-use terp_bench::Scale;
+use terp_bench::{par_map, Scale};
 use terp_core::config::{ProtectionConfig, Scheme};
 use terp_core::runtime::Executor;
 use terp_pmo::{OpenMode, PmoRegistry};
@@ -16,12 +16,12 @@ use terp_sim::SimParams;
 use terp_workloads::heaplayers::{all, ChurnScale};
 
 fn main() {
-    let scale = Cli::standard(
+    let cli = Cli::standard(
         "fig8_deadtime",
         "Figure 8 — heap-object dead-time distribution",
     )
-    .parse_env()
-    .scale();
+    .parse_env();
+    let scale = cli.scale();
     let churn = match scale {
         Scale::Test => ChurnScale::test(),
         Scale::Paper => ChurnScale::paper(),
@@ -29,8 +29,10 @@ fn main() {
     println!("Figure 8 — object dead-time distribution ({scale:?} scale)\n");
 
     let params = SimParams::default();
-    let mut hist = DeadTimeHistogram::new();
-    for (i, workload) in all().iter().enumerate() {
+    // One churn run per workload; merge the per-run histograms in input
+    // order so the aggregate is identical at any thread count.
+    let workloads = all();
+    let locals = par_map(cli.threads(), &workloads, |i, workload| {
         let mut reg = PmoRegistry::new();
         let pmo = reg
             .create(
@@ -46,13 +48,17 @@ fn main() {
             .expect("churn run");
         let mut local = DeadTimeHistogram::new();
         local.record_lifetimes(&report.lifetimes, params.cycles_per_us());
+        local
+    });
+    let mut hist = DeadTimeHistogram::new();
+    for (workload, local) in workloads.iter().zip(&locals) {
         println!(
             "{:10}: {:6} objects, {:>5.1} % of dead times >= 2 µs",
             workload.name,
             local.total,
             local.fraction_at_least(2.0) * 100.0
         );
-        hist.merge(&local);
+        hist.merge(local);
     }
 
     println!("\nBucketed distribution over all {} objects:", hist.total);

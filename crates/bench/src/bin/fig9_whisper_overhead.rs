@@ -10,14 +10,14 @@
 
 use terp_arch::cost::HardwareCost;
 use terp_bench::cli::Cli;
-use terp_bench::{mean, rule, run_scheme};
+use terp_bench::{mean, par_map, rule, run_scheme};
 use terp_core::config::Scheme;
 use terp_core::RunReport;
 use terp_sim::OverheadCategory;
 use terp_workloads::whisper;
 
-fn breakdown_row(label: &str, name: &str, r: &RunReport) {
-    println!(
+fn breakdown_row(label: &str, name: &str, r: &RunReport) -> String {
+    format!(
         "{:8} {:14} | {:7.2}% = at {:5.2}% + dt {:5.2}% + rand {:5.2}% + cond {:5.2}% + other {:5.2}%",
         name,
         label,
@@ -27,16 +27,16 @@ fn breakdown_row(label: &str, name: &str, r: &RunReport) {
         r.category_fraction(OverheadCategory::Rand) * 100.0,
         r.category_fraction(OverheadCategory::Cond) * 100.0,
         r.category_fraction(OverheadCategory::Other) * 100.0,
-    );
+    )
 }
 
 fn main() {
-    let scale = Cli::standard(
+    let cli = Cli::standard(
         "fig9_whisper_overhead",
         "Figure 9 — WHISPER overhead breakdown",
     )
-    .parse_env()
-    .scale();
+    .parse_env();
+    let scale = cli.scale();
     println!("Figure 9 — WHISPER overhead breakdown ({scale:?} scale)\n");
 
     let configs: [(&str, Scheme, f64); 5] = [
@@ -52,13 +52,27 @@ fn main() {
         .map(|(l, _, _)| (l.to_string(), vec![]))
         .collect();
 
-    for workload in whisper::all(scale.whisper()) {
-        for (i, (label, scheme, ew)) in configs.iter().enumerate() {
-            let r = run_scheme(&workload, *scheme, *ew, 42);
-            breakdown_row(label, &workload.name, &r);
-            averages[i].1.push(r.overhead_fraction());
+    // Every (workload, config) run is independent: fan the full matrix out
+    // through the driver and format from the in-order results.
+    let workloads = whisper::all(scale.whisper());
+    let jobs: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..configs.len()).map(move |c| (w, c)))
+        .collect();
+    let results = par_map(cli.threads(), &jobs, |_, &(w, c)| {
+        let (label, scheme, ew) = configs[c];
+        let r = run_scheme(&workloads[w], scheme, ew, 42);
+        (
+            breakdown_row(label, &workloads[w].name, &r),
+            r.overhead_fraction(),
+        )
+    });
+    for (j, (row, overhead)) in results.iter().enumerate() {
+        let (_, c) = jobs[j];
+        println!("{row}");
+        averages[c].1.push(*overhead);
+        if c == configs.len() - 1 {
+            rule(104);
         }
-        rule(104);
     }
 
     println!("\nAverages:");

@@ -14,6 +14,7 @@
 //!   the target.
 
 use terp_bench::cli::Cli;
+use terp_bench::par_map;
 use terp_core::semantics::{
     AccessOutcome, BasicSemantics, CallOutcome, EwConsciousSemantics, FcfsSemantics,
     OutermostSemantics,
@@ -175,9 +176,8 @@ fn interleave(a: &ThreadTrace, b: &ThreadTrace) -> Vec<(usize, TraceOp)> {
 }
 
 fn main() {
-    let scale = Cli::standard("semantics_compare", "Basic vs TERP semantics comparison")
-        .parse_env()
-        .scale();
+    let cli = Cli::standard("semantics_compare", "Basic vs TERP semantics comparison").parse_env();
+    let scale = cli.scale();
     let params = SimParams::default();
     let l = params.us_to_cycles(40.0);
     let workload = whisper::ycsb(scale.whisper());
@@ -197,15 +197,30 @@ fn main() {
     let mixed = interleave(&traces[0], &second[0]);
 
     println!("Semantics design space on a compiler-instrumented ycsb trace ({scale:?} scale)\n");
+    // Each (semantics, stream) walk is independent; fan all eight out and
+    // print from the ordered results.
+    let names = ["basic", "outermost", "fcfs", "ew-conscious"];
+    let jobs: Vec<(&str, bool)> = names
+        .iter()
+        .map(|&n| (n, false))
+        .chain(names.iter().map(|&n| (n, true)))
+        .collect();
+    let tallies = par_map(cli.threads(), &jobs, |_, &(name, use_mixed)| {
+        let stream = if use_mixed { &mixed } else { &single };
+        evaluate(name, stream, &params, || EwConsciousSemantics::new(l))
+    });
     println!("— single thread (well-formed stream) —");
-    for name in ["basic", "outermost", "fcfs", "ew-conscious"] {
-        let t = evaluate(name, &single, &params, || EwConsciousSemantics::new(l));
+    for (&(name, mixed_job), t) in jobs.iter().zip(&tallies) {
+        if mixed_job {
+            continue;
+        }
         t.print(name, params.cycles_per_us());
     }
-
     println!("\n— two threads interleaved round-robin (the composability test) —");
-    for name in ["basic", "outermost", "fcfs", "ew-conscious"] {
-        let t = evaluate(name, &mixed, &params, || EwConsciousSemantics::new(l));
+    for (&(name, mixed_job), t) in jobs.iter().zip(&tallies) {
+        if !mixed_job {
+            continue;
+        }
         t.print(name, params.cycles_per_us());
     }
     println!(

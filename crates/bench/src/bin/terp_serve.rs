@@ -31,6 +31,11 @@ struct WorkerStats {
     iterations: u64,
     overall: LatencyHistogram,
     attach: LatencyHistogram,
+    /// Attach time attributable to waiting on a conflicting holder
+    /// (recorded only for attaches that actually queued).
+    attach_queue: LatencyHistogram,
+    /// Attach time minus the queue wait: the cost of the attach itself.
+    attach_service: LatencyHistogram,
     detach: LatencyHistogram,
     data: LatencyHistogram,
 }
@@ -41,6 +46,8 @@ impl WorkerStats {
         self.iterations += other.iterations;
         self.overall.merge(&other.overall);
         self.attach.merge(&other.attach);
+        self.attach_queue.merge(&other.attach_queue);
+        self.attach_service.merge(&other.attach_service);
         self.detach.merge(&other.detach);
         self.data.merge(&other.data);
     }
@@ -115,11 +122,17 @@ fn worker(
         i += 1;
 
         let t0 = Instant::now();
-        if svc.attach(tid, pmo, Permission::ReadWrite).is_err() {
+        let Ok(waited_ns) = svc.attach_with_wait(tid, pmo, Permission::ReadWrite) else {
             break; // shutting down
-        }
+        };
         let attach_ns = t0.elapsed().as_nanos() as u64;
         stats.attach.record(attach_ns);
+        if waited_ns > 0 {
+            stats.attach_queue.record(waited_ns);
+        }
+        stats
+            .attach_service
+            .record(attach_ns.saturating_sub(waited_ns));
         stats.overall.record(attach_ns);
         stats.ops += 1;
 
@@ -218,6 +231,8 @@ fn scheme_json(scheme: Scheme, stats: &WorkerStats, report: &ServiceReport, secs
             Json::obj([
                 ("overall", hist_json(&stats.overall)),
                 ("attach", hist_json(&stats.attach)),
+                ("attach_queue", hist_json(&stats.attach_queue)),
+                ("attach_service", hist_json(&stats.attach_service)),
                 ("detach", hist_json(&stats.detach)),
                 ("data", hist_json(&stats.data)),
             ]),
@@ -318,6 +333,13 @@ fn main() {
             stats.overall.quantile(0.50),
             stats.overall.quantile(0.95),
             stats.overall.quantile(0.99),
+        );
+        println!(
+            "               attach attribution: service p99 {:>7} ns, queue p99 {:>7} ns ({} of {} attaches queued)",
+            stats.attach_service.quantile(0.99),
+            stats.attach_queue.quantile(0.99),
+            stats.attach_queue.count(),
+            stats.attach.count(),
         );
         docs.push(scheme_json(scheme, &stats, &report, secs));
     }

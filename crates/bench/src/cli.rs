@@ -75,14 +75,21 @@ impl Cli {
     }
 
     /// New parser pre-loaded with the standard figure/table options —
-    /// currently `--scale test|paper`, which overrides the `TERP_SCALE`
-    /// environment variable.
+    /// `--scale test|paper` (overrides the `TERP_SCALE` environment
+    /// variable) and `--threads N` (worker threads for the parallel run
+    /// driver, [`crate::par_map`]; output is byte-identical at any value).
     pub fn standard(name: &'static str, about: &'static str) -> Self {
-        Self::new(name, about).opt_choice(
-            "--scale",
-            &["test", "paper"],
-            "run scale (default: TERP_SCALE, else paper)",
-        )
+        Self::new(name, about)
+            .opt_choice(
+                "--scale",
+                &["test", "paper"],
+                "run scale (default: TERP_SCALE, else paper)",
+            )
+            .opt_uint(
+                "--threads",
+                "N",
+                "worker threads for independent runs (default 1; same output at any N)",
+            )
     }
 
     /// Declares a boolean switch.
@@ -223,6 +230,12 @@ impl Cli {
     /// Whether a switch was supplied.
     pub fn is_set(&self, flag: &str) -> bool {
         self.switches.contains(&flag)
+    }
+
+    /// Worker thread count for the parallel run driver: `--threads` if
+    /// given (minimum 1), else 1 — parallelism is strictly opt-in.
+    pub fn threads(&self) -> usize {
+        self.uint("--threads").unwrap_or(1).max(1) as usize
     }
 
     /// The selected run scale: `--scale` if given, else [`Scale::from_env`].

@@ -1,0 +1,90 @@
+//! Deterministic parallel fan-out for the bench binaries.
+//!
+//! Every figure/table binary is a list of independent, seeded simulator
+//! runs followed by formatting. [`par_map`] executes that list on a small
+//! worker pool but returns results **in input order**, so a binary that
+//! formats from the returned `Vec` produces byte-identical output at any
+//! `--threads` value — parallelism only changes wall-clock time, never
+//! bytes. Workers pull indices from a shared atomic counter (work
+//! stealing), so uneven job costs still balance.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item on up to `threads` workers and returns the
+/// results in input order. `f` receives `(index, &item)`; it must be
+/// deterministic per index for output stability (all bench jobs are — they
+/// run fixed-seed simulations).
+///
+/// `threads <= 1` (or a single item) runs inline with no thread overhead:
+/// the sequential baseline the parallel output is guaranteed to match.
+///
+/// # Panics
+///
+/// Propagates the first worker panic after the scope joins.
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let workers = threads.min(items.len());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..37).collect();
+        // Reverse-skewed sleeps: late items finish first under parallelism.
+        let out = par_map(8, &items, |i, &x| {
+            std::thread::sleep(std::time::Duration::from_micros(200 - 5 * i as u64));
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_output_matches_sequential_exactly() {
+        let items: Vec<usize> = (0..64).collect();
+        let f = |i: usize, x: &usize| format!("job {i} -> {}", x * x + i);
+        let sequential = par_map(1, &items, f);
+        for threads in [2, 4, 8] {
+            assert_eq!(par_map(threads, &items, f), sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_lists() {
+        let none: Vec<u8> = vec![];
+        assert!(par_map(4, &none, |_, &x| x).is_empty());
+        assert_eq!(par_map(4, &[7u8], |_, &x| x + 1), vec![8]);
+    }
+}

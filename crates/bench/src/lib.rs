@@ -21,6 +21,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cli;
+pub mod driver;
+
+pub use driver::par_map;
 
 use terp_core::config::{ProtectionConfig, Scheme};
 use terp_core::report::RunReport;

@@ -71,14 +71,11 @@ impl fmt::Debug for Pmo {
 }
 
 impl Pmo {
-    /// Creates a pool. Use [`crate::PmoRegistry::create`] instead of calling
-    /// this directly; the registry assigns ids and enforces unique names.
-    pub(crate) fn new(
-        id: PmoId,
-        name: String,
-        size: u64,
-        mode: OpenMode,
-    ) -> Result<Self, PmoError> {
+    /// Creates a pool with a caller-assigned id. Callers own id/name
+    /// uniqueness: [`crate::PmoRegistry::create`] provides both for
+    /// single-allocator setups, while the service layer brings its own
+    /// sharded name maps and atomic id allocator.
+    pub fn new(id: PmoId, name: String, size: u64, mode: OpenMode) -> Result<Self, PmoError> {
         if size == 0 || size >= crate::id::MAX_OFFSET {
             return Err(PmoError::InvalidSize(size));
         }

@@ -121,6 +121,11 @@ pub struct ServiceConfig {
     pub seed: u64,
     /// Busy-wait cost charges.
     pub cost: CostModel,
+    /// Whether data ops and permission probes may take the lock-free
+    /// seqlock fast path (DESIGN.md §11). `false` forces every operation
+    /// through the shard mutex — the PR-2 locked baseline, kept for
+    /// apples-to-apples benchmarking (`terp-hotpath`).
+    pub fastpath: bool,
     /// Durable mode: when set, every shard journals its mutations to a
     /// file-backed [`terp_persist::DurableStore`], recovers from it at
     /// startup, and checkpoints at drain. `None` keeps the service purely
@@ -141,6 +146,7 @@ impl ServiceConfig {
             cb_capacity: 32,
             seed: 0x7e2f,
             cost: CostModel::default(),
+            fastpath: true,
             durable: None,
         }
     }
@@ -184,6 +190,12 @@ impl ServiceConfig {
     /// Sets the cost model.
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Enables or disables the lock-free fast path (enabled by default).
+    pub fn with_fastpath(mut self, fastpath: bool) -> Self {
+        self.fastpath = fastpath;
         self
     }
 

@@ -47,6 +47,7 @@
 pub mod clock;
 pub mod config;
 pub mod error;
+mod fastpath;
 pub mod metrics;
 pub mod server;
 pub mod service;

@@ -10,26 +10,41 @@
 //! * **Unprotected**: constructs are bookkeeping only — pools stay mapped
 //!   once touched, nothing is checked.
 //!
+//! Hot-path layering (DESIGN.md §11): data ops and permission probes first
+//! try the lock-free fast path — a [`crate::fastpath::PoolIndex`] lookup
+//! plus a seqlock snapshot of the pool's published window state — and fall
+//! back to the locked slow path on any miss, mid-publish collision,
+//! crowded-pool overflow, or would-be failure, so every error and denial is
+//! produced by exactly the same code as before. Pool creation is sharded
+//! too: a global atomic id allocator plus hash-sharded name maps replace
+//! the old global registry mutex. Metrics go to per-thread slabs
+//! ([`crate::metrics::MetricsHub`]) merged at report time.
+//!
 //! Every operation computes its cost charge (see [`crate::CostModel`])
 //! under the shard lock but *spins it off after the lock is released*, so
 //! modeled syscall latency does not serialize unrelated clients of the same
 //! shard.
 
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
-use terp_arch::{CondStats, DetachOutcome, MerrStats, SweepAction};
+use terp_arch::{AttachOutcome, CondStats, DetachOutcome, MerrStats, SweepAction};
 use terp_core::config::Scheme;
 use terp_core::permission::Right;
 use terp_persist::{DurableStore, WalRecord};
-use terp_pmo::{AccessKind, ObjectId, OpenMode, Permission, PmoId, PmoRegistry};
+use terp_pmo::id::MAX_POOL_ID;
+use terp_pmo::{AccessKind, ObjectId, OpenMode, Permission, Pmo, PmoError, PmoId};
 
 use crate::clock::ServiceClock;
 use crate::config::ServiceConfig;
 use crate::error::ServiceError;
+use crate::fastpath::{PoolIndex, PoolSlot, WindowSnapshot};
 use crate::metrics::{
-    merge_cond_stats, merge_window_stats, OpCounters, RecoveryStats, ServiceReport,
+    merge_cond_stats, merge_window_stats, MetricsHub, RecoveryStats, ServiceReport, ThreadSlab,
 };
 use crate::shard::{Shard, ShardState};
 use crate::ClientId;
@@ -47,11 +62,22 @@ fn right_for(kind: AccessKind) -> Right {
 pub struct PmoService {
     config: ServiceConfig,
     clock: ServiceClock,
-    registry: Mutex<PmoRegistry>,
+    /// Hash-sharded name → id maps: pool creation in different name shards
+    /// never contends (the old global registry mutex is gone).
+    names: Vec<Mutex<HashMap<String, PmoId>>>,
+    /// Global id allocator; ids are unique and never reused, which is what
+    /// lets the [`PoolIndex`] publish each slot exactly once.
+    next_id: AtomicU64,
+    /// Lock-free cross-shard pool index for the fast path.
+    index: PoolIndex,
     shards: Vec<Shard>,
     shard_mask: usize,
     shutting_down: AtomicBool,
     sweep_passes: AtomicU64,
+    /// The adaptive sweeper's thread handle, registered by the sweeper
+    /// itself so first-attaches can wake it from an indefinite park.
+    sweeper_thread: Mutex<Option<std::thread::Thread>>,
+    metrics: MetricsHub,
     recovery: Option<RecoveryStats>,
 }
 
@@ -91,7 +117,10 @@ impl PmoService {
                 )
             })
             .collect();
-        let mut registry = PmoRegistry::new();
+        let names: Vec<Mutex<HashMap<String, PmoId>>> =
+            (0..n).map(|_| Mutex::new(HashMap::new())).collect();
+        let index = PoolIndex::new();
+        let mut max_raw: u16 = 0;
         let mut recovery = None;
         if let Some(durable) = &config.durable {
             let mut stats = RecoveryStats::default();
@@ -112,8 +141,15 @@ impl PmoService {
                         )));
                     }
                     let pool = rec_reg.take(id)?;
-                    registry.reserve(id, pool.name())?;
-                    state.pools.insert(id, pool);
+                    let name = pool.name().to_string();
+                    let slot = Arc::new(PoolSlot::new(pool));
+                    Self::name_shard_of(&names, &name)
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(name, id);
+                    state.pools.insert(id, Arc::clone(&slot));
+                    index.insert(id, slot);
+                    max_raw = max_raw.max(id.raw());
                 }
                 state.store = Some(store);
             }
@@ -141,11 +177,15 @@ impl PmoService {
         }
         Ok(PmoService {
             clock: ServiceClock::start(),
-            registry: Mutex::new(registry),
+            names,
+            next_id: AtomicU64::new(u64::from(max_raw) + 1),
+            index,
             shards,
             shard_mask: mask,
             shutting_down: AtomicBool::new(false),
             sweep_passes: AtomicU64::new(0),
+            sweeper_thread: Mutex::new(None),
+            metrics: MetricsHub::new(),
             recovery,
             config,
         })
@@ -180,6 +220,15 @@ impl PmoService {
         &self.shards[(pmo.raw() as usize) & self.shard_mask]
     }
 
+    fn name_shard_of<'a>(
+        names: &'a [Mutex<HashMap<String, PmoId>>],
+        name: &str,
+    ) -> &'a Mutex<HashMap<String, PmoId>> {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        &names[(h.finish() as usize) % names.len()]
+    }
+
     fn lock<'a>(&self, shard: &'a Shard) -> MutexGuard<'a, ShardState> {
         shard.state.lock().unwrap_or_else(|e| e.into_inner())
     }
@@ -188,9 +237,14 @@ impl PmoService {
         self.shutting_down.load(Ordering::Acquire)
     }
 
-    /// Creates a pool and hands it to its shard. The registry stays the
-    /// id/name authority (ids are globally unique and never reused), but the
-    /// pool itself lives behind the shard lock.
+    fn slab(&self) -> Arc<ThreadSlab> {
+        self.metrics.slab()
+    }
+
+    /// Creates a pool and hands it to its shard. Uniqueness lives in the
+    /// hash-sharded name maps; ids come from the global atomic allocator
+    /// (unique, never reused), so two creates only contend when their names
+    /// hash to the same shard.
     ///
     /// # Errors
     ///
@@ -205,18 +259,30 @@ impl PmoService {
         if self.is_down() {
             return Err(ServiceError::ShuttingDown);
         }
-        let mut registry = self.registry.lock().unwrap_or_else(|e| e.into_inner());
-        let id = registry.create(name, size, mode)?;
-        let pool = registry.take(id)?;
-        drop(registry);
+        let name_shard = Self::name_shard_of(&self.names, name);
+        let mut names = name_shard.lock().unwrap_or_else(|e| e.into_inner());
+        if names.contains_key(name) {
+            return Err(PmoError::NameExists(name.to_string()).into());
+        }
+        let raw = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if raw >= u64::from(MAX_POOL_ID) {
+            return Err(PmoError::PoolIdsExhausted.into());
+        }
+        let id = PmoId::new(raw as u16).expect("allocator stays in 1..MAX_POOL_ID");
+        let pool = Pmo::new(id, name.to_string(), size, mode)?;
+        names.insert(name.to_string(), id);
+        drop(names);
+        let slot = Arc::new(PoolSlot::new(pool));
         let mut state = self.lock(self.shard(id));
-        state.pools.insert(id, pool);
+        state.pools.insert(id, Arc::clone(&slot));
         state.log(&WalRecord::PoolCreate {
             id,
             name: name.to_string(),
             size,
             mode,
         })?;
+        drop(state);
+        self.index.insert(id, slot);
         Ok(id)
     }
 
@@ -235,15 +301,28 @@ impl PmoService {
         pmo: PmoId,
         perm: Permission,
     ) -> Result<(), ServiceError> {
-        let cost = match self.config.scheme {
-            Scheme::Unprotected => self.attach_unprotected(client, pmo, perm)?,
+        self.attach_with_wait(client, pmo, perm).map(|_| ())
+    }
+
+    /// [`Self::attach`], additionally returning the nanoseconds the client
+    /// spent *queued* on Basic-semantics serialization (always 0 for
+    /// non-blocking schemes). Load generators use this to attribute condvar
+    /// wait and service time to separate latency series.
+    pub fn attach_with_wait(
+        &self,
+        client: ClientId,
+        pmo: PmoId,
+        perm: Permission,
+    ) -> Result<u64, ServiceError> {
+        let (cost, waited) = match self.config.scheme {
+            Scheme::Unprotected => (self.attach_unprotected(client, pmo, perm)?, 0),
             Scheme::Merr | Scheme::BasicSemantics => self.attach_basic(client, pmo, perm)?,
             Scheme::TerpSoftware | Scheme::TerpFull { .. } => {
-                self.attach_terp(client, pmo, perm)?
+                (self.attach_terp(client, pmo, perm)?, 0)
             }
         };
         self.clock.charge(cost);
-        Ok(())
+        Ok(waited)
     }
 
     fn attach_unprotected(
@@ -268,7 +347,8 @@ impl PmoService {
             cost = self.config.cost.attach_ns;
         }
         state.add_holder(client, pmo);
-        state.ops.attaches += 1;
+        drop(state);
+        ThreadSlab::bump(&self.slab().attaches);
         Ok(cost)
     }
 
@@ -277,7 +357,8 @@ impl PmoService {
         client: ClientId,
         pmo: PmoId,
         perm: Permission,
-    ) -> Result<u64, ServiceError> {
+    ) -> Result<(u64, u64), ServiceError> {
+        let slab = self.slab();
         let shard = self.shard(pmo);
         let mut state = self.lock(shard);
         if !state.pools.contains_key(&pmo) {
@@ -298,7 +379,7 @@ impl PmoService {
             // shard condvar; the timeout bounds shutdown latency.
             if waited_from.is_none() {
                 waited_from = Some(self.clock.now_ns());
-                state.ops.attach_conflicts += 1;
+                ThreadSlab::bump(&slab.attach_conflicts);
             }
             let (s, _) = shard
                 .cvar
@@ -306,8 +387,14 @@ impl PmoService {
                 .unwrap_or_else(|e| e.into_inner());
             state = s;
         }
+        let mut waited = 0;
         if let Some(from) = waited_from {
-            state.blocked_ns += self.clock.now_ns().saturating_sub(from);
+            waited = self.clock.now_ns().saturating_sub(from);
+            slab.blocked_ns.fetch_add(waited, Ordering::Relaxed);
+            slab.queue_wait
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .record(waited);
         }
         state
             .merr
@@ -318,9 +405,11 @@ impl PmoService {
             return Err(e);
         }
         state.owner.insert(pmo, client);
+        state.publish_owner(pmo, Some(client));
         state.add_holder(client, pmo);
-        state.ops.attaches += 1;
-        Ok(self.config.cost.attach_ns)
+        drop(state);
+        ThreadSlab::bump(&slab.attaches);
+        Ok((self.config.cost.attach_ns, waited))
     }
 
     fn attach_terp(
@@ -351,7 +440,13 @@ impl PmoService {
         }
         state.grant_client(client, pmo, perm, now)?;
         state.add_holder(client, pmo);
-        state.ops.attaches += 1;
+        drop(state);
+        ThreadSlab::bump(&self.slab().attaches);
+        if outcome == AttachOutcome::FirstAttach {
+            // A fresh circular-buffer entry means a new earliest expiry:
+            // the adaptive sweeper may be parked indefinitely, so wake it.
+            self.wake_sweeper();
+        }
         let syscall = outcome.needs_syscall() || self.config.scheme.cond_is_syscall();
         Ok(if syscall {
             self.config.cost.attach_ns
@@ -389,7 +484,8 @@ impl PmoService {
         // Unprotected never unmaps: the pool stays exposed (that is the
         // point of the baseline).
         state.remove_holder(client, pmo);
-        state.ops.detaches += 1;
+        drop(state);
+        ThreadSlab::bump(&self.slab().detaches);
         Ok(0)
     }
 
@@ -408,9 +504,10 @@ impl PmoService {
             .expect("owned pool must be MERR-attached");
         state.unmap_pool(pmo, self.clock.now_ns())?;
         state.owner.remove(&pmo);
+        state.publish_owner(pmo, None);
         state.remove_holder(client, pmo);
-        state.ops.detaches += 1;
         drop(state);
+        ThreadSlab::bump(&self.slab().detaches);
         shard.cvar.notify_all();
         Ok(self.config.cost.detach_ns)
     }
@@ -442,7 +539,8 @@ impl PmoService {
         if outcome.needs_syscall() && state.space.is_attached(pmo) {
             state.unmap_pool(pmo, now)?;
         }
-        state.ops.detaches += 1;
+        drop(state);
+        ThreadSlab::bump(&self.slab().detaches);
         let syscall = outcome.needs_syscall() || self.config.scheme.cond_is_syscall();
         Ok(if syscall {
             self.config.cost.detach_ns
@@ -476,9 +574,124 @@ impl PmoService {
         if allowed {
             Ok(())
         } else {
-            state.ops.denials += 1;
             Err(ServiceError::PermissionDenied { client, pmo, kind })
         }
+    }
+
+    fn tally_denial(slab: &ThreadSlab, e: &ServiceError) {
+        if matches!(e, ServiceError::PermissionDenied { .. }) {
+            ThreadSlab::bump(&slab.denials);
+        }
+    }
+
+    /// The fast-path permission decision against a published snapshot.
+    /// Returns `true` only when the op may proceed lock-free; every other
+    /// case (unmapped, denied, crowded mirror) falls back to the locked
+    /// slow path, which recomputes the decision authoritatively and emits
+    /// the exact legacy error.
+    fn snapshot_allows(&self, snap: &WindowSnapshot, client: ClientId, kind: AccessKind) -> bool {
+        if !snap.mapped() {
+            return false;
+        }
+        match self.config.scheme {
+            Scheme::Unprotected => true,
+            Scheme::Merr | Scheme::BasicSemantics => {
+                snap.proc_allows(kind) && snap.owner_is(client)
+            }
+            Scheme::TerpSoftware | Scheme::TerpFull { .. } => {
+                snap.proc_allows(kind) && !snap.crowded() && snap.client_allows(client, kind)
+            }
+        }
+    }
+
+    /// Lock-free read attempt. `None` means "take the locked slow path" —
+    /// on index miss, seqlock collision, permission failure (the slow path
+    /// owns denial accounting and error shapes), or a raced epoch.
+    fn fast_read(&self, client: ClientId, oid: ObjectId, buf: &mut [u8]) -> Option<()> {
+        if !self.config.fastpath {
+            return None;
+        }
+        let slot = self.index.get(oid.pmo())?;
+        let snap = slot.snapshot()?;
+        if !self.snapshot_allows(&snap, client, AccessKind::Read) {
+            return None;
+        }
+        let pool = slot.pool();
+        // Re-validate under the data lock: if a writer published between
+        // the snapshot and the lock, the decision may be stale — retry
+        // through the slow path.
+        if !slot.still_valid(&snap) {
+            return None;
+        }
+        match pool.read_bytes(oid.offset(), buf) {
+            Ok(()) => {
+                self.metrics.with_slab(|s| ThreadSlab::bump(&s.reads));
+                Some(())
+            }
+            // Bounds errors: defer to the slow path for the exact error.
+            Err(_) => None,
+        }
+    }
+
+    /// Lock-free write attempt; additionally refuses durable mode, where
+    /// every write must be journaled under the shard store.
+    fn fast_write(&self, client: ClientId, oid: ObjectId, data: &[u8]) -> Option<()> {
+        if !self.config.fastpath || self.config.durable.is_some() {
+            return None;
+        }
+        let slot = self.index.get(oid.pmo())?;
+        let snap = slot.snapshot()?;
+        if !self.snapshot_allows(&snap, client, AccessKind::Write) {
+            return None;
+        }
+        let mut pool = slot.pool_mut();
+        if !slot.still_valid(&snap) {
+            return None;
+        }
+        match pool.write_bytes(oid.offset(), data) {
+            Ok(()) => {
+                self.metrics.with_slab(|s| ThreadSlab::bump(&s.writes));
+                Some(())
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Reads `buf.len()` bytes at `oid` into a caller-provided buffer,
+    /// subject to the scheme's permission checks — the allocation-free
+    /// data-plane primitive ([`Self::read`] wraps it).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::PermissionDenied`], [`ServiceError::UnknownPmo`], or
+    /// a substrate error (unmapped pool, out-of-bounds offset).
+    pub fn read_into(
+        &self,
+        client: ClientId,
+        oid: ObjectId,
+        buf: &mut [u8],
+    ) -> Result<(), ServiceError> {
+        if self.fast_read(client, oid, buf).is_some() {
+            return Ok(());
+        }
+        let pmo = oid.pmo();
+        let mut state = self.lock(self.shard(pmo));
+        if !state.pools.contains_key(&pmo) {
+            return Err(ServiceError::UnknownPmo(pmo));
+        }
+        if let Err(e) = Self::check_access(
+            &mut state,
+            self.config.scheme,
+            client,
+            oid,
+            AccessKind::Read,
+        ) {
+            self.metrics.with_slab(|s| Self::tally_denial(s, &e));
+            return Err(e);
+        }
+        state.pools[&pmo].pool().read_bytes(oid.offset(), buf)?;
+        self.metrics.with_slab(|s| ThreadSlab::bump(&s.reads));
+        Ok(())
     }
 
     /// Reads `len` bytes at `oid` on behalf of `client`, subject to the
@@ -486,29 +699,15 @@ impl PmoService {
     ///
     /// # Errors
     ///
-    /// [`ServiceError::PermissionDenied`], [`ServiceError::UnknownPmo`], or
-    /// a substrate error (unmapped pool, out-of-bounds offset).
+    /// Same as [`Self::read_into`].
     pub fn read(
         &self,
         client: ClientId,
         oid: ObjectId,
         len: usize,
     ) -> Result<Vec<u8>, ServiceError> {
-        let pmo = oid.pmo();
-        let mut state = self.lock(self.shard(pmo));
-        if !state.pools.contains_key(&pmo) {
-            return Err(ServiceError::UnknownPmo(pmo));
-        }
-        Self::check_access(
-            &mut state,
-            self.config.scheme,
-            client,
-            oid,
-            AccessKind::Read,
-        )?;
         let mut buf = vec![0u8; len];
-        state.pools[&pmo].read_bytes(oid.offset(), &mut buf)?;
-        state.ops.reads += 1;
+        self.read_into(client, oid, &mut buf)?;
         Ok(buf)
     }
 
@@ -519,21 +718,28 @@ impl PmoService {
     ///
     /// Same as [`Self::read`], with [`AccessKind::Write`] required.
     pub fn write(&self, client: ClientId, oid: ObjectId, data: &[u8]) -> Result<(), ServiceError> {
+        if self.fast_write(client, oid, data).is_some() {
+            return Ok(());
+        }
         let pmo = oid.pmo();
         let mut state = self.lock(self.shard(pmo));
         if !state.pools.contains_key(&pmo) {
             return Err(ServiceError::UnknownPmo(pmo));
         }
-        Self::check_access(
+        if let Err(e) = Self::check_access(
             &mut state,
             self.config.scheme,
             client,
             oid,
             AccessKind::Write,
-        )?;
-        let pool = state.pools.get_mut(&pmo).expect("checked above");
-        pool.write_bytes(oid.offset(), data)?;
-        state.ops.writes += 1;
+        ) {
+            self.metrics.with_slab(|s| Self::tally_denial(s, &e));
+            return Err(e);
+        }
+        state.pools[&pmo]
+            .pool_mut()
+            .write_bytes(oid.offset(), data)?;
+        self.metrics.with_slab(|s| ThreadSlab::bump(&s.writes));
         if state.store.is_some() {
             state.log(&WalRecord::DataWrite {
                 pmo,
@@ -556,10 +762,11 @@ impl PmoService {
         if !state.pools.contains_key(&pmo) {
             return Err(ServiceError::UnknownPmo(pmo));
         }
-        Self::check_alloc_rights(&mut state, self.config.scheme, client, pmo)?;
-        let pool = state.pools.get_mut(&pmo).expect("checked above");
-        let oid = pool.pmalloc(size)?;
-        state.ops.allocs += 1;
+        let slab = self.slab();
+        Self::check_alloc_rights(&state, self.config.scheme, client, pmo)
+            .inspect_err(|e| Self::tally_denial(&slab, e))?;
+        let oid = state.pools[&pmo].pool_mut().pmalloc(size)?;
+        ThreadSlab::bump(&slab.allocs);
         state.log(&WalRecord::Alloc {
             pmo,
             size,
@@ -579,9 +786,10 @@ impl PmoService {
         if !state.pools.contains_key(&pmo) {
             return Err(ServiceError::UnknownPmo(pmo));
         }
-        Self::check_alloc_rights(&mut state, self.config.scheme, client, pmo)?;
-        let pool = state.pools.get_mut(&pmo).expect("checked above");
-        pool.pfree(oid)?;
+        let slab = self.slab();
+        Self::check_alloc_rights(&state, self.config.scheme, client, pmo)
+            .inspect_err(|e| Self::tally_denial(&slab, e))?;
+        state.pools[&pmo].pool_mut().pfree(oid)?;
         state.log(&WalRecord::Free {
             pmo,
             offset: oid.offset(),
@@ -590,7 +798,7 @@ impl PmoService {
     }
 
     fn check_alloc_rights(
-        state: &mut ShardState,
+        state: &ShardState,
         scheme: Scheme,
         client: ClientId,
         pmo: PmoId,
@@ -606,7 +814,6 @@ impl PmoService {
         if allowed {
             Ok(())
         } else {
-            state.ops.denials += 1;
             Err(ServiceError::PermissionDenied {
                 client,
                 pmo,
@@ -618,8 +825,19 @@ impl PmoService {
     /// Whether the *process* currently holds `kind` access to the pool —
     /// i.e. the permission matrix has a live entry allowing it. This is the
     /// probe the soak test uses: after a full detach or sweep expiry it must
-    /// be `false`.
+    /// be `false`. Lock-free when the fast path is on.
     pub fn process_can(&self, pmo: PmoId, kind: AccessKind) -> bool {
+        if self.config.fastpath {
+            match self.index.get(pmo) {
+                None => return false, // never created: no matrix entry
+                Some(slot) => {
+                    if let Some(snap) = slot.snapshot() {
+                        return snap.mapped() && snap.proc_allows(kind);
+                    }
+                    // Persistent seqlock collision: fall through to the lock.
+                }
+            }
+        }
         let state = self.lock(self.shard(pmo));
         state
             .matrix
@@ -630,7 +848,31 @@ impl PmoService {
     /// Whether `client` can currently perform `kind` on the pool: the
     /// permission-matrix entry must allow it *and* the scheme's
     /// client-level state (ownership / thread permission) must agree.
+    /// Lock-free when the fast path is on and the pool's grant mirror has
+    /// not overflowed.
     pub fn client_can(&self, client: ClientId, pmo: PmoId, kind: AccessKind) -> bool {
+        if self.config.fastpath {
+            if let Some(slot) = self.index.get(pmo) {
+                if let Some(snap) = slot.snapshot() {
+                    match self.config.scheme {
+                        Scheme::Unprotected => return snap.mapped(),
+                        Scheme::Merr | Scheme::BasicSemantics => {
+                            return snap.mapped() && snap.proc_allows(kind) && snap.owner_is(client)
+                        }
+                        Scheme::TerpSoftware | Scheme::TerpFull { .. } => {
+                            if !snap.crowded() {
+                                return snap.mapped()
+                                    && snap.proc_allows(kind)
+                                    && snap.client_allows(client, kind);
+                            }
+                            // Crowded mirror: only the slow path knows.
+                        }
+                    }
+                }
+            } else {
+                return false; // never created
+            }
+        }
         let state = self.lock(self.shard(pmo));
         let process = state
             .matrix
@@ -696,6 +938,47 @@ impl PmoService {
         total
     }
 
+    /// The earliest moment (service ns) at which any tracked circular-
+    /// buffer entry can expire, or `None` when nothing is tracked. The
+    /// adaptive sweeper parks until this instant instead of polling: entry
+    /// starts only move via first-attach (which wakes the sweeper) or a
+    /// sweep itself, so the hint never becomes stale-late.
+    pub fn next_expiry_ns(&self) -> Option<u64> {
+        if !self.config.scheme.has_thread_permissions() {
+            return None;
+        }
+        let mut earliest: Option<u64> = None;
+        for shard in &self.shards {
+            let state = self.lock(shard);
+            let max_ew = state.engine.max_ew();
+            for entry in state.engine.buffer().iter() {
+                let expiry = entry.ts.saturating_add(max_ew);
+                earliest = Some(earliest.map_or(expiry, |e| e.min(expiry)));
+            }
+        }
+        earliest
+    }
+
+    /// Registers the sweeper's thread handle so attach paths can wake it
+    /// (called by the sweeper itself before its first pass).
+    pub(crate) fn register_sweeper(&self, thread: std::thread::Thread) {
+        *self
+            .sweeper_thread
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(thread);
+    }
+
+    fn wake_sweeper(&self) {
+        if let Some(t) = self
+            .sweeper_thread
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+        {
+            t.unpark();
+        }
+    }
+
     /// Flags the service as shutting down: new sessions are refused and
     /// Basic-semantics waiters wake with [`ServiceError::ShuttingDown`].
     pub fn begin_shutdown(&self) {
@@ -727,6 +1010,7 @@ impl PmoService {
             for pmo in owned {
                 let _ = state.merr.detach(pmo);
                 let _ = state.unmap_pool(pmo, now);
+                state.publish_owner(pmo, None);
             }
             state.owner.clear();
             // Anything still mapped (unprotected pools, untracked attaches).
@@ -751,6 +1035,13 @@ impl PmoService {
                 }
             }
             state.holders.clear();
+            // Scrub the published mirrors: no grant survives the drain.
+            for slot in state.pools.values() {
+                slot.publish(|w| {
+                    w.clear_grants();
+                    w.set_owner(None);
+                });
+            }
             state.windows.finalize(now);
             // Durable mode: the drain is a protection-quiescent point (every
             // window just closed), so checkpoint — snapshots bound the next
@@ -761,20 +1052,19 @@ impl PmoService {
         }
     }
 
-    /// Merges every shard's statistics into one report.
+    /// Merges every shard's statistics — and every thread's metric slab —
+    /// into one report.
     pub fn report(&self) -> ServiceReport {
-        let mut ops = OpCounters::default();
+        let (ops, blocked_ns, queue_wait) = self.metrics.merged();
         let mut cond = CondStats::default();
         let mut merr = MerrStats::default();
         let mut attach_syscalls = 0;
         let mut detach_syscalls = 0;
         let mut randomizations = 0;
-        let mut blocked_ns = 0;
         let mut ew = Default::default();
         let mut tew = Default::default();
         for shard in &self.shards {
             let state = self.lock(shard);
-            ops.merge(&state.ops);
             merge_cond_stats(&mut cond, state.engine.stats());
             let m = state.merr.stats();
             merr.attaches += m.attaches;
@@ -783,7 +1073,6 @@ impl PmoService {
             attach_syscalls += state.attach_syscalls;
             detach_syscalls += state.detach_syscalls;
             randomizations += state.randomizations;
-            blocked_ns += state.blocked_ns;
             ew = merge_window_stats(ew, state.windows.ew_stats());
             tew = merge_window_stats(tew, state.windows.tew_stats());
         }
@@ -796,6 +1085,7 @@ impl PmoService {
             detach_syscalls,
             randomizations,
             blocked_ns,
+            queue_wait,
             sweep_passes: self.sweep_passes.load(Ordering::Relaxed),
             ew,
             tew,
@@ -909,17 +1199,25 @@ mod tests {
 
         let svc2 = Arc::clone(&svc);
         let waiter = std::thread::spawn(move || {
-            svc2.attach(1, p, Permission::ReadWrite).unwrap();
+            let waited = svc2.attach_with_wait(1, p, Permission::ReadWrite).unwrap();
             svc2.detach(1, p).unwrap();
+            waited
         });
         std::thread::sleep(Duration::from_millis(5));
         svc.detach(0, p).unwrap();
-        waiter.join().unwrap();
+        let waited = waiter.join().unwrap();
+        assert!(waited > 0, "the conflicting attach reports its queue wait");
 
         let r = svc.report();
         assert_eq!(r.ops.attaches, 2);
         assert_eq!(r.ops.attach_conflicts, 1);
         assert!(r.blocked_ns > 0, "the waiter's block time is accounted");
+        assert_eq!(
+            r.queue_wait.count(),
+            1,
+            "one queue-wait sample for one conflict"
+        );
+        assert!(r.queue_wait.max() >= waited.min(r.queue_wait.max()));
         assert!(!svc.process_can(p, AccessKind::Read));
     }
 
@@ -994,6 +1292,77 @@ mod tests {
             svc.write(0, oid, b"x").unwrap_err(),
             ServiceError::PermissionDenied { .. }
         ));
+    }
+
+    #[test]
+    fn duplicate_names_and_id_allocation_stay_sharded() {
+        let svc = service(Scheme::terp_full());
+        let a = svc
+            .create_pool("dup", 1 << 12, OpenMode::ReadWrite)
+            .unwrap();
+        assert!(matches!(
+            svc.create_pool("dup", 1 << 12, OpenMode::ReadWrite),
+            Err(ServiceError::Substrate(PmoError::NameExists(_)))
+        ));
+        let b = svc
+            .create_pool("other", 1 << 12, OpenMode::ReadWrite)
+            .unwrap();
+        assert!(b.raw() > a.raw(), "ids are monotone and never reused");
+    }
+
+    #[test]
+    fn fastpath_and_locked_paths_agree() {
+        for fastpath in [true, false] {
+            let svc = PmoService::new(
+                ServiceConfig::for_tests(Scheme::terp_full())
+                    .with_ew_target_us(10_000_000)
+                    .with_fastpath(fastpath),
+            );
+            let p = svc.create_pool("a", 1 << 16, OpenMode::ReadWrite).unwrap();
+            svc.attach(3, p, Permission::ReadWrite).unwrap();
+            let oid = svc.alloc(3, p, 64).unwrap();
+            svc.write(3, oid, b"same answer").unwrap();
+            assert_eq!(svc.read(3, oid, 11).unwrap(), b"same answer");
+            assert!(svc.client_can(3, p, AccessKind::Write));
+            assert!(!svc.client_can(4, p, AccessKind::Read));
+            assert!(matches!(
+                svc.read(4, oid, 1).unwrap_err(),
+                ServiceError::PermissionDenied { client: 4, .. }
+            ));
+            svc.detach(3, p).unwrap();
+            assert!(!svc.client_can(3, p, AccessKind::Read));
+            assert!(svc.read(3, oid, 1).is_err());
+            let r = svc.report();
+            assert_eq!(r.ops.reads, 1, "fastpath={fastpath}");
+            assert_eq!(r.ops.writes, 1);
+            assert_eq!(r.ops.denials, 2, "client 4, then client 3 post-detach");
+        }
+    }
+
+    #[test]
+    fn crowded_pool_falls_back_to_the_locked_path() {
+        // More concurrent holders than published grant slots: the mirror
+        // overflows and client checks must stay correct via the slow path.
+        let svc = service_long_ew(Scheme::terp_full());
+        let p = svc.create_pool("a", 1 << 16, OpenMode::ReadWrite).unwrap();
+        let clients: Vec<ClientId> = (0..12).collect();
+        for &c in &clients {
+            svc.attach(c, p, Permission::ReadWrite).unwrap();
+        }
+        let oid = svc.alloc(0, p, 32).unwrap();
+        svc.write(11, oid, b"crowded").unwrap();
+        for &c in &clients {
+            assert!(svc.client_can(c, p, AccessKind::Write), "client {c}");
+            assert_eq!(svc.read(c, oid, 7).unwrap(), b"crowded");
+        }
+        assert!(!svc.client_can(99, p, AccessKind::Read));
+        // Detaching everyone clears the crowd; the pool stays usable.
+        for &c in &clients {
+            svc.detach(c, p).unwrap();
+            assert!(!svc.client_can(c, p, AccessKind::Read), "client {c}");
+        }
+        svc.attach(42, p, Permission::Read).unwrap();
+        assert_eq!(svc.read(42, oid, 7).unwrap(), b"crowded");
     }
 
     #[test]

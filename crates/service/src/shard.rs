@@ -8,19 +8,29 @@
 //! *inside* the shard: the address-space slice, the permission matrix, the
 //! MERR attach state, the conditional engine with its circular buffer, and
 //! the window tracker.
+//!
+//! Pools themselves are held as [`PoolSlot`]s shared with the lock-free
+//! [`crate::fastpath`] index: the shard mutex still serializes every
+//! *mutation*, but each mutator additionally publishes the new window state
+//! through the pool's seqlock (epoch bump before and after, DESIGN.md §11)
+//! so data-path readers can decide permissions without the mutex.
+//! Revocations (unmap, revoke) publish *before* the substrate teardown;
+//! grants (map, grant) publish *after* the substrate is ready — errors on
+//! either side can only leave the mirror more restrictive than the truth,
+//! never less.
 
 use std::collections::{BTreeSet, HashMap};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use terp_arch::{CondEngine, MerrArch};
 use terp_core::permission::{PermissionSet, Right};
 use terp_core::window::WindowTracker;
 use terp_persist::{DurableStore, WalRecord};
-use terp_pmo::{Permission, Pmo, PmoError, PmoId, ProcessAddressSpace};
+use terp_pmo::{Permission, PmoError, PmoId, ProcessAddressSpace};
 use terp_sim::PermissionMatrix;
 
 use crate::error::ServiceError;
-use crate::metrics::OpCounters;
+use crate::fastpath::PoolSlot;
 use crate::ClientId;
 
 /// A shard: its state mutex plus the condvar Basic-semantics attach waiters
@@ -44,11 +54,9 @@ impl Shard {
                 owner: HashMap::new(),
                 perms: HashMap::new(),
                 holders: HashMap::new(),
-                ops: OpCounters::default(),
                 attach_syscalls: 0,
                 detach_syscalls: 0,
                 randomizations: 0,
-                blocked_ns: 0,
                 store: None,
             }),
             cvar: Condvar::new(),
@@ -59,8 +67,10 @@ impl Shard {
 /// Everything a shard protects with its mutex.
 #[derive(Debug)]
 pub(crate) struct ShardState {
-    /// Pools owned by this shard (taken out of the registry at creation).
-    pub pools: HashMap<PmoId, Pmo>,
+    /// Pools owned by this shard. The same `Arc` is published in the
+    /// service's lock-free [`crate::fastpath::PoolIndex`]; the shard map is
+    /// the authoritative membership list used by the locked paths.
+    pub pools: HashMap<PmoId, Arc<PoolSlot>>,
     /// This shard's slice of the process address space.
     pub space: ProcessAddressSpace,
     /// MERR process-wide permission matrix for this shard's mappings.
@@ -77,22 +87,25 @@ pub(crate) struct ShardState {
     pub perms: HashMap<ClientId, PermissionSet>,
     /// Clients holding an open session per pool (all schemes).
     pub holders: HashMap<PmoId, BTreeSet<ClientId>>,
-    /// Service-level operation counters.
-    pub ops: OpCounters,
     /// Real attach syscalls performed by this shard.
     pub attach_syscalls: u64,
     /// Real detach syscalls performed by this shard.
     pub detach_syscalls: u64,
     /// In-place randomizations performed by this shard.
     pub randomizations: u64,
-    /// Nanoseconds clients spent blocked on Basic-semantics serialization.
-    pub blocked_ns: u64,
     /// Durable mode: this shard's write-ahead log + snapshot directory.
     /// `None` keeps the shard purely in-memory.
     pub store: Option<DurableStore>,
 }
 
 impl ShardState {
+    fn slot(&self, pmo: PmoId) -> Result<Arc<PoolSlot>, PmoError> {
+        self.pools
+            .get(&pmo)
+            .cloned()
+            .ok_or(PmoError::UnknownPmo(pmo))
+    }
+
     /// Appends `record` to this shard's WAL when durable mode is on.
     /// A write failure surfaces as [`ServiceError::Persist`] — the caller
     /// must not apply the mutation it failed to journal.
@@ -109,34 +122,46 @@ impl ShardState {
     pub(crate) fn checkpoint(&mut self) -> Result<(), ServiceError> {
         let ShardState { store, pools, .. } = self;
         if let Some(store) = store.as_mut() {
-            store.checkpoint(pools.values())?;
+            let guards: Vec<_> = pools.values().map(|s| s.pool()).collect();
+            store.checkpoint(guards.iter().map(|g| &**g))?;
         }
         Ok(())
     }
 
     /// Performs the real `attach()`: maps the pool at a random base, adds
-    /// the permission-matrix entry, and opens the process EW.
+    /// the permission-matrix entry, opens the process EW, and publishes the
+    /// mapping to the fast path (grant direction: publish last).
     pub(crate) fn map_pool(
         &mut self,
         pmo: PmoId,
         perm: Permission,
         now: u64,
     ) -> Result<(), ServiceError> {
+        let slot = self.slot(pmo)?;
         self.log(&WalRecord::WindowOpen { pmo })?;
-        let pool = self.pools.get_mut(&pmo).ok_or(PmoError::UnknownPmo(pmo))?;
-        let handle = self.space.attach(pool, perm)?;
+        let handle = {
+            let mut pool = slot.pool_mut();
+            self.space.attach(&mut pool, perm)?
+        };
         self.matrix
             .insert(pmo, handle.base_va(), handle.size(), perm);
         self.windows.open_ew(pmo, now);
         self.attach_syscalls += 1;
+        slot.publish(|w| w.set_mapped(Some(perm)));
         Ok(())
     }
 
-    /// Performs the real `detach()`: unmaps the pool, removes the matrix
-    /// entry, and closes the process EW.
+    /// Performs the real `detach()`: unpublishes the mapping first
+    /// (revocation direction: fast-path readers lose access before the
+    /// teardown starts), then unmaps, removes the matrix entry, and closes
+    /// the process EW.
     pub(crate) fn unmap_pool(&mut self, pmo: PmoId, now: u64) -> Result<(), ServiceError> {
-        let pool = self.pools.get_mut(&pmo).ok_or(PmoError::UnknownPmo(pmo))?;
-        self.space.detach(pool)?;
+        let slot = self.slot(pmo)?;
+        slot.publish(|w| w.set_mapped(None));
+        {
+            let mut pool = slot.pool_mut();
+            self.space.detach(&mut pool)?;
+        }
         self.matrix.remove(pmo);
         self.windows.close_ew(pmo, now);
         self.detach_syscalls += 1;
@@ -145,19 +170,25 @@ impl ShardState {
     }
 
     /// Re-randomizes an attached pool in place: new base, relocated matrix
-    /// entry, split EW (the attacker's location knowledge resets).
+    /// entry, split EW (the attacker's location knowledge resets). The
+    /// pool's write lock drains in-flight fast readers for the relocation;
+    /// the final epoch bump invalidates any snapshot taken before it.
     pub(crate) fn randomize_pool(&mut self, pmo: PmoId, now: u64) -> Result<(), ServiceError> {
-        let pool = self.pools.get_mut(&pmo).ok_or(PmoError::UnknownPmo(pmo))?;
-        let handle = self.space.randomize(pool)?;
+        let slot = self.slot(pmo)?;
+        let handle = {
+            let mut pool = slot.pool_mut();
+            self.space.randomize(&mut pool)?
+        };
         self.matrix.relocate(pmo, handle.base_va());
         self.windows.split_ew(pmo, now);
         self.randomizations += 1;
         self.log(&WalRecord::Randomize { pmo })?;
+        slot.publish(|_| {});
         Ok(())
     }
 
-    /// Grants `client` the thread rights implied by `perm` and opens its
-    /// TEW.
+    /// Grants `client` the thread rights implied by `perm`, opens its TEW,
+    /// and mirrors the grant to the fast path (publish last).
     pub(crate) fn grant_client(
         &mut self,
         client: ClientId,
@@ -176,17 +207,24 @@ impl ShardState {
             set.grant(pmo, Right::Write);
         }
         self.windows.open_tew(client, pmo, now);
+        if let Some(slot) = self.pools.get(&pmo) {
+            slot.publish(|w| w.grant(client, perm));
+        }
         Ok(())
     }
 
     /// Revokes every thread right `client` holds on `pmo` and closes its
-    /// TEW.
+    /// TEW. The fast-path mirror is revoked *first*: a reader racing this
+    /// call is denied as soon as the revocation begins.
     pub(crate) fn revoke_client(
         &mut self,
         client: ClientId,
         pmo: PmoId,
         now: u64,
     ) -> Result<(), ServiceError> {
+        if let Some(slot) = self.pools.get(&pmo) {
+            slot.publish(|w| w.revoke(client));
+        }
         if let Some(set) = self.perms.get_mut(&client) {
             set.revoke(pmo, Right::Read);
             set.revoke(pmo, Right::Write);
@@ -199,6 +237,13 @@ impl ShardState {
         Ok(())
     }
 
+    /// Publishes the Basic-semantics owner change.
+    pub(crate) fn publish_owner(&self, pmo: PmoId, owner: Option<ClientId>) {
+        if let Some(slot) = self.pools.get(&pmo) {
+            slot.publish(|w| w.set_owner(owner));
+        }
+    }
+
     /// Whether `client` currently holds an open session on `pmo`.
     pub(crate) fn is_holder(&self, client: ClientId, pmo: PmoId) -> bool {
         self.holders.get(&pmo).is_some_and(|h| h.contains(&client))
@@ -209,12 +254,17 @@ impl ShardState {
         self.holders.entry(pmo).or_default().insert(client);
     }
 
-    /// Records a session close.
+    /// Records a session close. When the last holder leaves, the pool's
+    /// published grant mirror (including a sticky crowded bit) is known
+    /// stale and is cleared.
     pub(crate) fn remove_holder(&mut self, client: ClientId, pmo: PmoId) {
         if let Some(h) = self.holders.get_mut(&pmo) {
             h.remove(&client);
             if h.is_empty() {
                 self.holders.remove(&pmo);
+                if let Some(slot) = self.pools.get(&pmo) {
+                    slot.publish(|w| w.clear_grants());
+                }
             }
         }
     }

@@ -1,10 +1,19 @@
 //! The background sweeper thread.
 //!
 //! TERP's hardware walks the circular buffer on a timer (Figure 7a); the
-//! service models that with one OS thread that periodically calls
+//! service models that with one OS thread that calls
 //! [`PmoService::sweep_all`]: expired idle entries are detached for real,
-//! expired live entries are randomized in place. The thread supports clean
-//! shutdown: flag, wake, join — no detached threads survive the server.
+//! expired live entries are randomized in place.
+//!
+//! The wake-up schedule is *adaptive*, not periodic: after each pass the
+//! thread asks [`PmoService::next_expiry_ns`] for the earliest moment any
+//! tracked window can expire and parks exactly until then — or indefinitely
+//! when no windows are tracked. A first attach publishes a new earliest
+//! expiry and unparks the thread, so the hint can never go stale in the
+//! dangerous direction; the configured period only acts as a floor on how
+//! tightly the thread is allowed to spin. An idle service therefore costs
+//! zero wakeups. The thread supports clean shutdown: flag, wake, join — no
+//! detached threads survive the server.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -21,20 +30,34 @@ pub struct Sweeper {
 }
 
 impl Sweeper {
-    /// Spawns the sweeper over `service`, waking every `period_us`
-    /// microseconds.
+    /// Spawns the sweeper over `service`. `period_us` floors the time
+    /// between passes; actual wake-ups track the earliest window expiry.
     pub fn spawn(service: Arc<PmoService>, period_us: u64) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
-        let period = Duration::from_micros(period_us.max(1));
+        let floor = Duration::from_micros(period_us.max(1));
         let handle = std::thread::Builder::new()
             .name("terp-sweeper".into())
             .spawn(move || {
+                // Register before the first pass: an attach that lands after
+                // this point can always wake us. `unpark` tokens make the
+                // register→park window race-free — a wake delivered while
+                // sweeping just makes the next park return immediately.
+                service.register_sweeper(std::thread::current());
                 let mut passes = 0u64;
                 while !stop_flag.load(Ordering::Acquire) {
                     service.sweep_all();
                     passes += 1;
-                    std::thread::park_timeout(period);
+                    match service.next_expiry_ns() {
+                        // Nothing tracked: sleep until an attach or shutdown
+                        // wakes us. Zero idle wakeups.
+                        None => std::thread::park(),
+                        Some(expiry) => {
+                            let now = service.clock().now_ns();
+                            let wait = Duration::from_nanos(expiry.saturating_sub(now)).max(floor);
+                            std::thread::park_timeout(wait);
+                        }
+                    }
                 }
                 passes
             })
@@ -91,5 +114,45 @@ mod tests {
         std::thread::sleep(Duration::from_millis(2));
         let passes = sweeper.stop();
         assert!(passes >= 1, "at least the initial pass ran");
+    }
+
+    #[test]
+    fn idle_sweeper_parks_instead_of_polling() {
+        // With nothing tracked the sweeper parks indefinitely: pass count
+        // must not grow with wall time the way a periodic 200 µs poll would
+        // (≈ 150 passes over 30 ms).
+        let config = ServiceConfig::for_tests(Scheme::terp_full()).with_sweep_period_us(200);
+        let svc = Arc::new(PmoService::new(config));
+        let sweeper = Sweeper::spawn(Arc::clone(&svc), 200);
+        std::thread::sleep(Duration::from_millis(30));
+        let passes = sweeper.stop();
+        assert!(
+            passes < 20,
+            "idle sweeper should park, not poll (ran {passes} passes)"
+        );
+    }
+
+    #[test]
+    fn attach_wakes_a_parked_sweeper() {
+        let config = ServiceConfig::for_tests(Scheme::terp_full())
+            .with_ew_target_us(500)
+            .with_sweep_period_us(100);
+        let svc = Arc::new(PmoService::new(config));
+        let sweeper = Sweeper::spawn(Arc::clone(&svc), 100);
+        // Let the sweeper reach its indefinite park.
+        std::thread::sleep(Duration::from_millis(5));
+        let p = svc.create_pool("a", 1 << 16, OpenMode::ReadWrite).unwrap();
+        svc.attach(0, p, Permission::ReadWrite).unwrap();
+        svc.detach(0, p).unwrap(); // delayed — only a sweep can close it
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while svc.process_can(p, AccessKind::Read) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "attach did not wake the parked sweeper"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        sweeper.stop();
+        assert_eq!(svc.attached_total(), 0);
     }
 }
