@@ -307,6 +307,22 @@ pub const LINTS: &[(&str, &str)] = &[
         "TERP-N001",
         "gadget census: armed PMO-access sites inside windows",
     ),
+    (
+        "TERP-D201",
+        "witnessed concurrent cross-thread windows on one pool (dynamic W002)",
+    ),
+    (
+        "TERP-D202",
+        "stranger operation: data access with no window ever opened for the client",
+    ),
+    (
+        "TERP-D203",
+        "use-after-close: data access ordered after the client's window closed",
+    ),
+    (
+        "TERP-D204",
+        "trace incomplete: dropped/torn events or unresolved sync edges limit coverage",
+    ),
 ];
 
 /// Description for a lint code, or `None` if unregistered.

@@ -45,6 +45,7 @@
 pub mod diag;
 mod flow;
 pub mod gadgets;
+pub mod hb;
 pub mod interproc;
 pub mod json;
 pub mod let_check;
@@ -58,11 +59,12 @@ use terp_workloads::{Variant, Workload};
 
 pub use diag::{Diagnostic, DiagnosticBag, Severity, Span, LINTS};
 pub use gadgets::{gadget_census, StaticGadgetCensus};
+pub use hb::{check_trace, cross_check, CrossCheck, HbReport, HbStats};
 pub use interproc::{check_interprocedural, InterprocResult, Requirement, Summary};
 pub use json::Json;
 pub use let_check::{check_let_budget, LetCheckConfig};
 pub use program::Program;
-pub use races::{check_thread_races, check_workload_races};
+pub use races::{check_thread_races, check_workload_races, contended_pools};
 
 /// Configuration for the combined analysis pipeline.
 #[derive(Debug, Clone, Copy, PartialEq)]

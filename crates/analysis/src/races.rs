@@ -60,6 +60,27 @@ pub fn window_profile(program: &Program) -> BTreeMap<PmoId, WindowUse> {
     profile
 }
 
+/// The pools W002 considers contended — a writable window in one thread and
+/// any window in another — given per-thread window profiles. This is the
+/// exact pool set [`check_thread_races`] warns on, exposed separately so the
+/// dynamic checker's cross-check (`hb::cross_check`) diffs against the same
+/// definition instead of re-deriving it.
+pub fn contended_pools(profiles: &[BTreeMap<PmoId, WindowUse>]) -> Vec<PmoId> {
+    if profiles.len() < 2 {
+        return Vec::new();
+    }
+    let mut pools: Vec<PmoId> = profiles.iter().flat_map(|p| p.keys().copied()).collect();
+    pools.sort_unstable();
+    pools.dedup();
+    pools.retain(|pmo| {
+        let holders: Vec<usize> = (0..profiles.len())
+            .filter(|&t| profiles[t].contains_key(pmo))
+            .collect();
+        holders.len() >= 2 && holders.iter().any(|&t| profiles[t][pmo].writable)
+    });
+    pools
+}
+
 /// Reports every pool on which one thread can hold a writable window while
 /// another thread holds any window. `threads[i]` is thread *i*'s program.
 pub fn check_thread_races(threads: &[Program]) -> DiagnosticBag {
@@ -69,12 +90,7 @@ pub fn check_thread_races(threads: &[Program]) -> DiagnosticBag {
     }
     let profiles: Vec<BTreeMap<PmoId, WindowUse>> = threads.iter().map(window_profile).collect();
 
-    // Pools any thread windows at all, in deterministic order.
-    let mut pools: Vec<PmoId> = profiles.iter().flat_map(|p| p.keys().copied()).collect();
-    pools.sort_unstable();
-    pools.dedup();
-
-    for pmo in pools {
+    for pmo in contended_pools(&profiles) {
         let holders: Vec<usize> = (0..threads.len())
             .filter(|&t| profiles[t].contains_key(&pmo))
             .collect();

@@ -1,0 +1,422 @@
+//! Happens-before checker integration tests: hand-built traces with known
+//! interleavings, including the deterministic 3-thread injected window race
+//! TERP-D201 must catch and clean counterparts that must stay silent.
+
+use terp_analysis::{check_trace, cross_check};
+use terp_trace::{Event, EventKind, ThreadTrace, TraceSet};
+
+fn thread(tid: u32, events: Vec<Event>) -> ThreadTrace {
+    ThreadTrace {
+        tid,
+        events,
+        dropped: 0,
+        torn: 0,
+    }
+}
+
+fn ev(ts_ns: u64, kind: EventKind) -> Event {
+    Event { ts_ns, kind }
+}
+
+fn attach(pmo: u16, client: u64, writable: bool) -> EventKind {
+    EventKind::Attach {
+        pmo,
+        client,
+        writable,
+    }
+}
+
+fn detach(pmo: u16, client: u64) -> EventKind {
+    EventKind::Detach { pmo, client }
+}
+
+fn write(pmo: u16, client: u64, epoch: u64) -> EventKind {
+    EventKind::Write {
+        pmo,
+        client,
+        offset: 0,
+        len: 8,
+        epoch,
+    }
+}
+
+fn read(pmo: u16, client: u64, epoch: u64) -> EventKind {
+    EventKind::Read {
+        pmo,
+        client,
+        offset: 0,
+        len: 8,
+        epoch,
+    }
+}
+
+fn la(obj: u32, seq: u64) -> EventKind {
+    EventKind::LockAcquire { obj, seq }
+}
+
+fn lr(obj: u32, seq: u64) -> EventKind {
+    EventKind::LockRelease { obj, seq }
+}
+
+/// The injected race: three threads, one shared pool. Thread 0 opens a
+/// writable window and writes; thread 1 opens a reading window on the same
+/// pool with *no* ordering edge to thread 0's window; thread 2 works a
+/// disjoint pool through the same shard lock, proving unrelated lock
+/// traffic does not serialize the racers.
+#[test]
+fn injected_three_thread_window_race_is_d201() {
+    let pool = 7;
+    let other = 9;
+    let set = TraceSet {
+        threads: vec![
+            thread(
+                0,
+                vec![
+                    ev(10, la(0, 1)),
+                    ev(11, attach(pool, 100, true)),
+                    ev(12, lr(0, 1)),
+                    ev(13, write(pool, 100, 0)),
+                    ev(40, la(0, 4)),
+                    ev(41, detach(pool, 100)),
+                    ev(42, lr(0, 4)),
+                ],
+            ),
+            thread(
+                1,
+                vec![
+                    ev(20, la(0, 2)),
+                    ev(21, attach(pool, 101, false)),
+                    ev(22, lr(0, 2)),
+                    ev(23, read(pool, 101, 0)),
+                    ev(50, la(0, 5)),
+                    ev(51, detach(pool, 101)),
+                    ev(52, lr(0, 5)),
+                ],
+            ),
+            thread(
+                2,
+                vec![
+                    ev(30, la(0, 3)),
+                    ev(31, attach(other, 102, true)),
+                    ev(32, write(other, 102, 0)),
+                    ev(33, detach(other, 102)),
+                    ev(34, lr(0, 3)),
+                ],
+            ),
+        ],
+    };
+    let report = check_trace(&set);
+    assert_eq!(report.stats.window_races, 1, "{:?}", report.diagnostics);
+    assert_eq!(report.stats.stranger_ops, 0);
+    assert_eq!(report.stats.use_after_close, 0);
+    assert!(report.racy_pools.contains(&pool));
+    assert!(!report.racy_pools.contains(&other));
+    let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec!["TERP-D201"]);
+}
+
+/// Same shape, but thread 1 attaches only after thread 0's detach reaches
+/// it through the shard-lock chain — no overlap, no finding.
+#[test]
+fn lock_ordered_windows_are_clean() {
+    let pool = 7;
+    let set = TraceSet {
+        threads: vec![
+            thread(
+                0,
+                vec![
+                    ev(10, la(0, 1)),
+                    ev(11, attach(pool, 100, true)),
+                    ev(12, write(pool, 100, 0)),
+                    ev(13, detach(pool, 100)),
+                    ev(14, lr(0, 1)),
+                ],
+            ),
+            thread(
+                1,
+                vec![
+                    ev(20, la(0, 2)),
+                    ev(21, attach(pool, 101, false)),
+                    ev(22, read(pool, 101, 0)),
+                    ev(23, detach(pool, 101)),
+                    ev(24, lr(0, 2)),
+                ],
+            ),
+        ],
+    };
+    let report = check_trace(&set);
+    assert_eq!(report.stats.races(), 0, "{:?}", report.diagnostics);
+    assert!(report.diagnostics.iter().next().is_none());
+}
+
+/// Read-only overlap is not a race: W002's rule (and therefore D201's)
+/// requires at least one writable window.
+#[test]
+fn concurrent_read_only_windows_are_clean() {
+    let pool = 3;
+    let set = TraceSet {
+        threads: vec![
+            thread(
+                0,
+                vec![ev(10, attach(pool, 1, false)), ev(30, detach(pool, 1))],
+            ),
+            thread(
+                1,
+                vec![ev(20, attach(pool, 2, false)), ev(40, detach(pool, 2))],
+            ),
+        ],
+    };
+    assert_eq!(check_trace(&set).stats.races(), 0);
+}
+
+/// A data access by a client that never attached is a stranger op (D202).
+#[test]
+fn stranger_read_is_d202() {
+    let pool = 5;
+    let set = TraceSet {
+        threads: vec![
+            thread(
+                0,
+                vec![
+                    ev(10, attach(pool, 1, true)),
+                    ev(11, write(pool, 1, 0)),
+                    ev(12, detach(pool, 1)),
+                ],
+            ),
+            thread(1, vec![ev(20, read(pool, 99, 0))]),
+        ],
+    };
+    let report = check_trace(&set);
+    assert_eq!(report.stats.stranger_ops, 1);
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == "TERP-D202" && d.severity == terp_analysis::Severity::Error));
+}
+
+/// A read ordered after the window's close via the seqlock publish edge is
+/// use-after-close (D203); the same read concurrent with the close is not.
+#[test]
+fn publish_ordered_use_after_close_is_d203() {
+    let pool = 4;
+    // Thread 0: opens and closes client 8's window, publishing epoch 6 at
+    // the close. Thread 1: issues client 8's read having validated epoch 6
+    // — the publish edge orders the close before the read.
+    let racy = TraceSet {
+        threads: vec![
+            thread(
+                0,
+                vec![
+                    ev(10, attach(pool, 8, true)),
+                    ev(20, detach(pool, 8)),
+                    ev(
+                        21,
+                        EventKind::Publish {
+                            pmo: pool,
+                            epoch: 6,
+                        },
+                    ),
+                ],
+            ),
+            thread(1, vec![ev(30, read(pool, 8, 6))]),
+        ],
+    };
+    let report = check_trace(&racy);
+    assert_eq!(report.stats.use_after_close, 1, "{:?}", report.diagnostics);
+    assert!(report.diagnostics.iter().any(|d| d.code == "TERP-D203"));
+
+    // Epoch 4 predates the close's publish: the read is concurrent with
+    // the close — the benign snapshot-validate path.
+    let benign = TraceSet {
+        threads: vec![
+            thread(
+                0,
+                vec![
+                    ev(10, attach(pool, 8, true)),
+                    ev(
+                        11,
+                        EventKind::Publish {
+                            pmo: pool,
+                            epoch: 4,
+                        },
+                    ),
+                    ev(20, detach(pool, 8)),
+                    ev(
+                        21,
+                        EventKind::Publish {
+                            pmo: pool,
+                            epoch: 6,
+                        },
+                    ),
+                ],
+            ),
+            thread(1, vec![ev(30, read(pool, 8, 4))]),
+        ],
+    };
+    assert_eq!(check_trace(&benign).stats.use_after_close, 0);
+}
+
+/// The sweeper-unpark edge: thread 0's detach reaches the sweeper through
+/// unpark → wakeup, and the sweeper's expiry reaches thread 1 through the
+/// shard lock, so the two client windows are ordered — clean. Removing the
+/// unpark edge would leave them concurrent.
+#[test]
+fn unpark_wakeup_edge_orders_sweeper_expiry() {
+    let pool = 6;
+    let set = TraceSet {
+        threads: vec![
+            thread(
+                0,
+                vec![
+                    ev(10, la(0, 1)),
+                    ev(11, attach(pool, 1, true)),
+                    ev(12, lr(0, 1)),
+                    ev(13, la(0, 2)),
+                    ev(14, detach(pool, 1)),
+                    ev(15, lr(0, 2)),
+                    ev(16, EventKind::Unpark { token: 1 }),
+                ],
+            ),
+            // The sweeper.
+            thread(
+                2,
+                vec![
+                    ev(20, EventKind::Wakeup { token: 1 }),
+                    ev(21, la(0, 3)),
+                    ev(22, EventKind::Expire { pmo: pool }),
+                    ev(23, lr(0, 3)),
+                ],
+            ),
+            thread(
+                1,
+                vec![
+                    ev(30, la(0, 4)),
+                    ev(31, attach(pool, 2, true)),
+                    ev(32, lr(0, 4)),
+                ],
+            ),
+        ],
+    };
+    let report = check_trace(&set);
+    assert_eq!(report.stats.races(), 0, "{:?}", report.diagnostics);
+}
+
+/// Dropped events degrade the run to a D204 coverage warning, disable
+/// stranger detection, and never invent races in the analyzed suffix.
+#[test]
+fn dropped_events_degrade_to_d204() {
+    let pool = 2;
+    let mut t0 = thread(
+        0,
+        vec![
+            // First retained event at ts 100: everything before the cut on
+            // other threads is discarded.
+            ev(100, attach(pool, 1, true)),
+            ev(110, detach(pool, 1)),
+        ],
+    );
+    t0.dropped = 512;
+    let t1 = thread(
+        1,
+        vec![
+            ev(50, read(pool, 99, 0)), // pre-cut: discarded, no D202
+            ev(120, la(0, 1)),
+            ev(121, lr(0, 1)),
+        ],
+    );
+    let set = TraceSet {
+        threads: vec![t0, t1],
+    };
+    let report = check_trace(&set);
+    assert_eq!(report.stats.dropped, 512);
+    assert_eq!(report.stats.discarded, 1);
+    assert_eq!(report.stats.stranger_ops, 0, "D202 must be disabled");
+    assert_eq!(report.stats.races(), 0);
+    assert!(report.diagnostics.iter().any(|d| d.code == "TERP-D204"));
+}
+
+/// A torn dump (non-quiescent snapshot) skips race analysis entirely.
+#[test]
+fn torn_dump_reports_only_d204() {
+    let mut t0 = thread(0, vec![ev(10, read(2, 99, 0))]);
+    t0.torn = 3;
+    let set = TraceSet { threads: vec![t0] };
+    let report = check_trace(&set);
+    assert_eq!(report.stats.races(), 0);
+    let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec!["TERP-D204"]);
+}
+
+/// Cross-check, soundness direction: every witnessed D201 pool must also be
+/// statically flagged when W002 sees the same window profiles.
+#[test]
+fn cross_check_witnessed_race_is_statically_predicted() {
+    let pool = 7;
+    let set = TraceSet {
+        threads: vec![
+            thread(0, vec![ev(10, attach(pool, 1, true))]),
+            thread(1, vec![ev(20, attach(pool, 2, false))]),
+        ],
+    };
+    let report = check_trace(&set);
+    assert_eq!(report.stats.window_races, 1);
+    let diff = cross_check(&report);
+    assert!(diff.is_sound(), "dynamic_only = {:?}", diff.dynamic_only);
+    assert!(diff.static_pools.contains(&pool));
+    assert!(diff.dynamic_pools.contains(&pool));
+    assert!(diff.static_only.is_empty());
+    assert!(diff.static_report.iter().any(|d| d.code == "TERP-W002"));
+}
+
+/// Cross-check, completeness direction: profiles that W002 must flag but
+/// whose windows were serialized at runtime show up as `static_only` —
+/// candidate false positives of the static analysis.
+#[test]
+fn cross_check_serialized_windows_are_candidate_false_positives() {
+    let pool = 7;
+    let set = TraceSet {
+        threads: vec![
+            thread(
+                0,
+                vec![
+                    ev(10, la(0, 1)),
+                    ev(11, attach(pool, 1, true)),
+                    ev(12, detach(pool, 1)),
+                    ev(13, lr(0, 1)),
+                ],
+            ),
+            thread(
+                1,
+                vec![
+                    ev(20, la(0, 2)),
+                    ev(21, attach(pool, 2, true)),
+                    ev(22, detach(pool, 2)),
+                    ev(23, lr(0, 2)),
+                ],
+            ),
+        ],
+    };
+    let report = check_trace(&set);
+    assert_eq!(report.stats.window_races, 0);
+    let diff = cross_check(&report);
+    assert!(diff.is_sound());
+    assert_eq!(diff.static_only, vec![pool]);
+    assert!(diff.dynamic_pools.is_empty());
+}
+
+/// Diagnostics survive the JSON round trip through the existing engine.
+#[test]
+fn d2xx_diagnostics_roundtrip_json() {
+    let pool = 7;
+    let set = TraceSet {
+        threads: vec![
+            thread(0, vec![ev(10, attach(pool, 1, true))]),
+            thread(1, vec![ev(20, attach(pool, 2, true))]),
+        ],
+    };
+    let report = check_trace(&set);
+    let json = report.diagnostics.to_json();
+    let back = terp_analysis::DiagnosticBag::from_json(&json).unwrap();
+    assert_eq!(back.len(), report.diagnostics.len());
+    assert!(back.iter().any(|d| d.code == "TERP-D201"));
+}

@@ -1,24 +1,46 @@
-//! `terp-analyze` — static protection analysis over the built-in workloads.
+//! `terp-analyze` — static protection analysis over the built-in workloads,
+//! and offline happens-before replay of flight-recorder dumps.
 //!
-//! Runs the full `terp-analysis` pipeline (interprocedural window
-//! verification, LET-budget check, cross-thread race detection, gadget
-//! census) on every selected WHISPER/SPEC workload and prints the findings
-//! in rustc-style human form or as one JSON document.
+//! **Static mode** (default) runs the full `terp-analysis` pipeline
+//! (interprocedural window verification, LET-budget check, cross-thread race
+//! detection, gadget census) on every selected WHISPER/SPEC workload and
+//! prints the findings in rustc-style human form or as one JSON document.
+//!
+//! **Trace mode** (`--trace-dir DIR`) instead ingests a `terp-trace` dump
+//! directory (written by `TraceRecorder::dump` / the `terp-trace` bench),
+//! reconstructs the happens-before partial order, and reports TERP-D201..
+//! D204. With `--diff-static` the dynamic findings are additionally diffed
+//! against the static W002 analyzer run over the same execution's window
+//! profiles: a race witnessed dynamically but missed statically is an
+//! analyzer soundness bug and fails the run.
 //!
 //! ```text
 //! terp-analyze [--suite whisper|spec|all] [--variant auto|manual|unprotected]
 //!              [--format human|json] [--let-threshold CYCLES]
 //!              [--threads N] [--deny-warnings]
+//!              [--trace-dir DIR] [--diff-static]
 //! ```
 //!
+//! JSON documents carry `"schema_version"` (currently 2.0): 2.0 added the
+//! version field itself, the trace-mode document shape, and the
+//! `cross_check` sub-object.
+//!
 //! Exit status: 0 when no workload has errors (or, with `--deny-warnings`,
-//! warnings); 1 when findings cross that bar; 2 on bad usage.
+//! warnings); 1 when findings cross that bar — in trace mode, D202/D203
+//! are errors, D201/D204 are warnings, and any `--diff-static` soundness
+//! violation fails regardless of severity; 2 on bad usage.
 
 use std::process::ExitCode;
 
+use terp_analysis::hb::{check_trace, cross_check, HbReport};
 use terp_analysis::{analyze_workload, AnalysisConfig, Json, LetCheckConfig};
 use terp_bench::cli::Cli;
+use terp_trace::TraceSet;
 use terp_workloads::{spec, whisper, Variant, Workload};
+
+/// Version of the JSON document shapes below. Bump on breaking changes;
+/// consumers should reject major versions they don't know.
+const SCHEMA_VERSION: f64 = 2.0;
 
 fn main() -> ExitCode {
     let cli = Cli::new(
@@ -47,8 +69,29 @@ fn main() -> ExitCode {
     )
     .opt_uint("--threads", "N", "override every workload's thread count")
     .opt_switch("--deny-warnings", "exit nonzero on warnings too")
+    .opt_str(
+        "--trace-dir",
+        "DIR",
+        "replay a terp-trace dump through the happens-before checker",
+    )
+    .opt_switch(
+        "--diff-static",
+        "diff dynamic races against the static W002 analyzer (trace mode)",
+    )
     .parse_env();
 
+    if let Some(dir) = cli.value("--trace-dir") {
+        return trace_mode(&cli, dir);
+    }
+    if cli.is_set("--diff-static") {
+        eprintln!("terp-analyze: --diff-static requires --trace-dir");
+        return ExitCode::from(2);
+    }
+    static_mode(&cli)
+}
+
+/// Default mode: static analysis over the built-in workload suites.
+fn static_mode(cli: &Cli) -> ExitCode {
     let suite = cli.choice("--suite", "all");
     let variant_name = cli.choice("--variant", "auto");
     let format = cli.choice("--format", "human");
@@ -126,6 +169,8 @@ fn main() -> ExitCode {
 
     if format == "json" {
         let doc = Json::obj([
+            ("schema_version", Json::Num(SCHEMA_VERSION)),
+            ("mode", Json::Str("static".into())),
             ("workloads", Json::Arr(docs)),
             ("errors", Json::Num(total_errors as f64)),
             ("warnings", Json::Num(total_warnings as f64)),
@@ -143,4 +188,119 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// `--trace-dir` mode: replay a dump through the happens-before checker.
+fn trace_mode(cli: &Cli, dir: &str) -> ExitCode {
+    let format = cli.choice("--format", "human");
+    let set = match TraceSet::load(std::path::Path::new(dir)) {
+        Ok(set) => set,
+        Err(e) => {
+            eprintln!("terp-analyze: cannot load trace dir {dir}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = check_trace(&set);
+    let diff = cli.is_set("--diff-static").then(|| cross_check(&report));
+
+    let errors = report.diagnostics.error_count();
+    let warnings = report.diagnostics.warning_count();
+    let unsound = diff.as_ref().is_some_and(|d| !d.is_sound());
+
+    if format == "json" {
+        let mut fields = vec![
+            ("schema_version", Json::Num(SCHEMA_VERSION)),
+            ("mode", Json::Str("trace".into())),
+            ("trace_dir", Json::Str(dir.to_string())),
+            ("stats", stats_json(&report)),
+            ("diagnostics", report.diagnostics.to_json()),
+            ("errors", Json::Num(errors as f64)),
+            ("warnings", Json::Num(warnings as f64)),
+        ];
+        if let Some(d) = &diff {
+            fields.push((
+                "cross_check",
+                Json::obj([
+                    ("sound", Json::Bool(d.is_sound())),
+                    ("static_pools", pools_json(d.static_pools.iter().copied())),
+                    ("dynamic_pools", pools_json(d.dynamic_pools.iter().copied())),
+                    ("dynamic_only", pools_json(d.dynamic_only.iter().copied())),
+                    ("static_only", pools_json(d.static_only.iter().copied())),
+                ]),
+            ));
+        }
+        println!("{}", Json::obj(fields).render());
+    } else {
+        let s = &report.stats;
+        println!(
+            "== trace {dir} ({} thread{}, {} event{}) ==",
+            s.threads,
+            if s.threads == 1 { "" } else { "s" },
+            s.events,
+            if s.events == 1 { "" } else { "s" },
+        );
+        println!("{}", report.diagnostics.render_human());
+        println!(
+            "races: {} ({} window / {} stranger / {} use-after-close), \
+             dropped {} torn {} sync-breaks {}",
+            s.races(),
+            s.window_races,
+            s.stranger_ops,
+            s.use_after_close,
+            s.dropped,
+            s.torn,
+            s.sync_breaks,
+        );
+        if let Some(d) = &diff {
+            if d.is_sound() {
+                println!(
+                    "cross-check: sound — every witnessed race was statically \
+                     predicted ({} static, {} dynamic)",
+                    d.static_pools.len(),
+                    d.dynamic_pools.len(),
+                );
+            } else {
+                println!(
+                    "cross-check: UNSOUND — pools {:?} raced dynamically but \
+                     were not flagged by W002",
+                    d.dynamic_only,
+                );
+            }
+            if !d.static_only.is_empty() {
+                println!(
+                    "cross-check: note — pools {:?} statically flagged but \
+                     never witnessed (candidate FPs or under-exercised \
+                     schedules)",
+                    d.static_only,
+                );
+            }
+        }
+    }
+
+    if errors > 0 || unsound || (cli.is_set("--deny-warnings") && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn stats_json(report: &HbReport) -> Json {
+    let s = &report.stats;
+    Json::obj([
+        ("threads", Json::Num(s.threads as f64)),
+        ("events", Json::Num(s.events as f64)),
+        ("dropped", Json::Num(s.dropped as f64)),
+        ("torn", Json::Num(s.torn as f64)),
+        ("discarded", Json::Num(s.discarded as f64)),
+        ("sync_breaks", Json::Num(s.sync_breaks as f64)),
+        ("window_races", Json::Num(s.window_races as f64)),
+        ("stranger_ops", Json::Num(s.stranger_ops as f64)),
+        ("use_after_close", Json::Num(s.use_after_close as f64)),
+        ("races", Json::Num(s.races() as f64)),
+        ("racy_pools", pools_json(report.racy_pools.iter().copied())),
+    ])
+}
+
+fn pools_json(pools: impl Iterator<Item = u16>) -> Json {
+    Json::Arr(pools.map(|p| Json::Num(p as f64)).collect())
 }

@@ -251,6 +251,10 @@ fn scheme_json(scheme: Scheme, stats: &WorkerStats, report: &ServiceReport, secs
                 ("detach_syscalls", Json::Num(report.detach_syscalls as f64)),
                 ("randomizations", Json::Num(report.randomizations as f64)),
                 ("sweep_passes", Json::Num(report.sweep_passes as f64)),
+                (
+                    "threads_observed",
+                    Json::Num(report.threads_observed as f64),
+                ),
                 ("blocked_ns", Json::Num(report.blocked_ns as f64)),
                 ("silent_attach", Json::Num(report.cond.silent_attach as f64)),
                 (
@@ -345,6 +349,9 @@ fn main() {
     }
 
     let doc = Json::obj([
+        // Matches terp-analyze's JSON schema version (the result documents
+        // evolve together; see that binary's docs).
+        ("schema_version", Json::Num(2.0)),
         ("benchmark", Json::Str("terp-serve".to_string())),
         ("threads", Json::Num(settings.threads as f64)),
         ("pools", Json::Num(settings.pools as f64)),

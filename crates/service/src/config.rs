@@ -13,6 +13,7 @@ use std::path::PathBuf;
 use terp_core::config::Scheme;
 use terp_persist::FsyncPolicy;
 use terp_sim::SimParams;
+use terp_trace::TraceConfig;
 
 /// Busy-wait charges (in nanoseconds) applied by the service to model the
 /// relative costs of full system calls, lowered conditional operations, and
@@ -131,6 +132,11 @@ pub struct ServiceConfig {
     /// startup, and checkpoints at drain. `None` keeps the service purely
     /// in-memory.
     pub durable: Option<DurableConfig>,
+    /// Flight recorder: when set, every service operation appends trace
+    /// events to per-thread lock-free rings (DESIGN.md §12) which can be
+    /// dumped and replayed by the offline happens-before checker. `None`
+    /// (the default) records nothing and adds no per-op cost.
+    pub trace: Option<TraceConfig>,
 }
 
 impl ServiceConfig {
@@ -148,6 +154,7 @@ impl ServiceConfig {
             cost: CostModel::default(),
             fastpath: true,
             durable: None,
+            trace: None,
         }
     }
 
@@ -210,6 +217,14 @@ impl ServiceConfig {
     /// Enables durable mode with an explicit [`DurableConfig`].
     pub fn with_durable_config(mut self, durable: DurableConfig) -> Self {
         self.durable = Some(durable);
+        self
+    }
+
+    /// Enables the flight recorder with the given ring sizing
+    /// ([`TraceConfig::flight`] for bounded always-on recording,
+    /// [`TraceConfig::full`] for exact short-run capture).
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
         self
     }
 

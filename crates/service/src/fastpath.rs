@@ -192,6 +192,14 @@ impl PoolSlot {
         fence(Ordering::Acquire);
         self.seq.load(Ordering::Relaxed) == snap.seq
     }
+
+    /// The current seqlock epoch. Only meaningful under the owning shard's
+    /// mutex (no publish in flight), where it is the even epoch installed
+    /// by the last write-side critical section — the value recorded in
+    /// `Publish` trace events.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
 }
 
 /// Write-side setters, only reachable through [`PoolSlot::publish`].
@@ -272,6 +280,13 @@ pub(crate) struct WindowSnapshot {
 }
 
 impl WindowSnapshot {
+    /// The (even) seqlock epoch this snapshot validated against: the trace
+    /// epoch of fast-path data events, pairing each lock-free access with
+    /// the `Publish` that made its permission decision visible.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.seq
+    }
+
     /// Whether the pool was mapped into the process address space.
     pub(crate) fn mapped(&self) -> bool {
         self.state & MAPPED != 0

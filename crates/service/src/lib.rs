@@ -66,3 +66,4 @@ pub use metrics::{LatencyHistogram, OpCounters, RecoveryStats, ServiceReport};
 pub use server::PmoServer;
 pub use service::PmoService;
 pub use sweeper::Sweeper;
+pub use terp_trace::{TraceConfig, TraceRecorder};

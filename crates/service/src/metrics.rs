@@ -259,17 +259,22 @@ impl MetricsHub {
     }
 
     /// Folds every registered slab into one `(ops, blocked_ns,
-    /// queue-wait histogram)` triple.
-    pub(crate) fn merged(&self) -> (OpCounters, u64, LatencyHistogram) {
+    /// queue-wait histogram, threads)` tuple. `threads` is the number of
+    /// slabs that contributed — a thread that never recorded an op has no
+    /// slab and is invisible to the merge, so the count is surfaced in
+    /// [`ServiceReport::threads_observed`] rather than silently folded
+    /// away: a load harness expecting N workers can assert it saw N.
+    pub(crate) fn merged(&self) -> (OpCounters, u64, LatencyHistogram, u64) {
         let mut ops = OpCounters::default();
         let mut blocked_ns = 0;
         let mut queue_wait = LatencyHistogram::new();
-        for slab in self.slabs.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+        let slabs = self.slabs.lock().unwrap_or_else(|e| e.into_inner());
+        for slab in slabs.iter() {
             ops.merge(&slab.counters());
             blocked_ns += slab.blocked_ns.load(Ordering::Relaxed);
             queue_wait.merge(&slab.queue_wait.lock().unwrap_or_else(|e| e.into_inner()));
         }
-        (ops, blocked_ns, queue_wait)
+        (ops, blocked_ns, queue_wait, slabs.len() as u64)
     }
 }
 
@@ -370,6 +375,10 @@ pub struct ServiceReport {
     pub queue_wait: LatencyHistogram,
     /// Sweeper passes executed.
     pub sweep_passes: u64,
+    /// Threads that recorded at least one metric (one slab each). Threads
+    /// that never issued an op register no slab; this count makes that
+    /// visible instead of silently merging fewer threads than ran.
+    pub threads_observed: u64,
     /// Process exposure-window statistics (ns).
     pub ew: WindowStats,
     /// Thread (client) exposure-window statistics (ns).
@@ -382,7 +391,8 @@ impl std::fmt::Display for ServiceReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "[{}] {} ops ({} at / {} dt / {} rd / {} wr / {} al), {} denials",
+            "[{}] {} ops ({} at / {} dt / {} rd / {} wr / {} al), {} denials, \
+             {} threads observed",
             self.scheme,
             self.ops.total(),
             self.ops.attaches,
@@ -391,6 +401,7 @@ impl std::fmt::Display for ServiceReport {
             self.ops.writes,
             self.ops.allocs,
             self.ops.denials,
+            self.threads_observed,
         )?;
         write!(
             f,
@@ -502,10 +513,11 @@ mod tests {
                 });
             }
         });
-        let (ops, blocked, _) = hub.merged();
+        let (ops, blocked, _, threads) = hub.merged();
         assert_eq!(ops.reads, 10 + 20 + 30 + 40);
         assert_eq!(ops.attaches, 4);
         assert_eq!(blocked, 6);
+        assert_eq!(threads, 4, "one slab per recording thread");
     }
 
     #[test]
@@ -517,6 +529,30 @@ mod tests {
         ThreadSlab::bump(&b.slab().writes);
         assert_eq!(a.merged().0.writes, 1);
         assert_eq!(b.merged().0.writes, 2);
+        assert_eq!(a.merged().3, 1, "both hubs saw exactly this thread");
+        assert_eq!(b.merged().3, 1);
+    }
+
+    #[test]
+    fn threads_that_never_record_are_counted_as_unobserved() {
+        let hub = std::sync::Arc::new(MetricsHub::new());
+        std::thread::scope(|s| {
+            for t in 0..3u64 {
+                let hub = std::sync::Arc::clone(&hub);
+                s.spawn(move || {
+                    if t == 0 {
+                        // This worker never touches the hub: it must not
+                        // appear in the merge, and the observed-thread
+                        // count must expose the shortfall.
+                        return;
+                    }
+                    ThreadSlab::bump(&hub.slab().writes);
+                });
+            }
+        });
+        let (ops, _, _, threads) = hub.merged();
+        assert_eq!(ops.writes, 2);
+        assert_eq!(threads, 2, "3 workers ran, 2 recorded");
     }
 
     #[test]

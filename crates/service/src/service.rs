@@ -28,8 +28,9 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 use terp_arch::{AttachOutcome, CondStats, DetachOutcome, MerrStats, SweepAction};
@@ -38,6 +39,7 @@ use terp_core::permission::Right;
 use terp_persist::{DurableStore, WalRecord};
 use terp_pmo::id::MAX_POOL_ID;
 use terp_pmo::{AccessKind, ObjectId, OpenMode, Permission, Pmo, PmoError, PmoId};
+use terp_trace::{EventKind, TraceRecorder};
 
 use crate::clock::ServiceClock;
 use crate::config::ServiceConfig;
@@ -53,6 +55,81 @@ fn right_for(kind: AccessKind) -> Right {
     match kind {
         AccessKind::Read => Right::Read,
         AccessKind::Write => Right::Write,
+    }
+}
+
+/// A shard-state guard that records `LockAcquire`/`LockRelease` trace
+/// events around the mutex critical section. When tracing is off it is a
+/// transparent wrapper adding one branch per lock transition.
+///
+/// The acquisition index (`ShardState::lock_seq`) is incremented *under*
+/// the mutex, so index order is acquisition order: the offline checker
+/// derives `release(k) happens-before acquire(k')` for every `k < k'` on
+/// the same shard.
+///
+/// Lock pairs are emitted *lazily*: the `LockAcquire` is written to the
+/// ring only when the critical section records its first event (see
+/// `ShardState::trace`), and the matching `LockRelease` only if that
+/// happened. A section that recorded nothing contributes no lock events —
+/// which is happens-before-equivalent (edges are `release(k) → acquire(k')`
+/// for every `k < k'`, so empty sections never carry an edge between
+/// recorded events) and keeps quiet sections (alloc/free, sampled-out data
+/// ops) free of ring traffic.
+struct StateGuard<'a> {
+    /// `Some` between acquisition and drop; taken by [`Self::wait_on`].
+    guard: Option<MutexGuard<'a, ShardState>>,
+}
+
+impl<'a> StateGuard<'a> {
+    fn acquire(mut guard: MutexGuard<'a, ShardState>) -> Self {
+        if guard.tracer.is_some() {
+            guard.lock_seq += 1;
+            guard.lock_pending.set(true);
+        }
+        StateGuard { guard: Some(guard) }
+    }
+
+    fn record_release(state: &ShardState) {
+        // Only close sections that actually opened (recorded an event).
+        if !state.lock_pending.replace(false) && state.tracer.is_some() {
+            state.trace_raw(EventKind::LockRelease {
+                obj: state.idx,
+                seq: state.lock_seq,
+            });
+        }
+    }
+
+    /// Sleeps on `cvar` (bounded), releasing and re-acquiring the mutex —
+    /// with the release/acquire trace events a plain
+    /// [`Condvar::wait_timeout`] would silently skip.
+    fn wait_on(mut self, cvar: &Condvar, timeout: Duration) -> Self {
+        let guard = self.guard.take().expect("guard present until drop");
+        Self::record_release(&guard);
+        let (guard, _) = cvar
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        Self::acquire(guard)
+    }
+}
+
+impl Deref for StateGuard<'_> {
+    type Target = ShardState;
+    fn deref(&self) -> &ShardState {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl DerefMut for StateGuard<'_> {
+    fn deref_mut(&mut self) -> &mut ShardState {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+impl Drop for StateGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(guard) = self.guard.take() {
+            Self::record_release(&guard);
+        }
     }
 }
 
@@ -79,6 +156,13 @@ pub struct PmoService {
     sweeper_thread: Mutex<Option<std::thread::Thread>>,
     metrics: MetricsHub,
     recovery: Option<RecoveryStats>,
+    /// Flight recorder shared with every shard (`None` = tracing off).
+    tracer: Option<Arc<TraceRecorder>>,
+    /// Monotonic sweeper wake tickets: each [`Self::wake_sweeper`] issues
+    /// the next ticket (`Unpark` event) and each sweep pass stamps the
+    /// highest ticket it observed (`Wakeup` event), giving the checker the
+    /// unpark → wakeup happens-before edge.
+    unpark_tokens: AtomicU64,
 }
 
 impl PmoService {
@@ -108,12 +192,16 @@ impl PmoService {
     pub fn try_new(config: ServiceConfig) -> Result<Self, ServiceError> {
         let n = config.effective_shards();
         let mask = n - 1;
+        let clock = ServiceClock::start();
+        let tracer = config.trace.map(|tc| Arc::new(TraceRecorder::new(tc)));
         let shards: Vec<Shard> = (0..n)
             .map(|i| {
                 Shard::new(
                     config.seed.wrapping_add(i as u64),
                     config.ew_target_ns(),
                     config.cb_capacity,
+                    i as u32,
+                    tracer.clone(),
                 )
             })
             .collect();
@@ -176,7 +264,7 @@ impl PmoService {
             recovery = Some(stats);
         }
         Ok(PmoService {
-            clock: ServiceClock::start(),
+            clock,
             names,
             next_id: AtomicU64::new(u64::from(max_raw) + 1),
             index,
@@ -187,6 +275,8 @@ impl PmoService {
             sweeper_thread: Mutex::new(None),
             metrics: MetricsHub::new(),
             recovery,
+            tracer,
+            unpark_tokens: AtomicU64::new(0),
             config,
         })
     }
@@ -229,8 +319,35 @@ impl PmoService {
         &names[(h.finish() as usize) % names.len()]
     }
 
-    fn lock<'a>(&self, shard: &'a Shard) -> MutexGuard<'a, ShardState> {
-        shard.state.lock().unwrap_or_else(|e| e.into_inner())
+    fn lock<'a>(&self, shard: &'a Shard) -> StateGuard<'a> {
+        StateGuard::acquire(shard.state.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// The flight recorder, when tracing is enabled — callers hold on to it
+    /// (clone the `Arc`) to snapshot or dump rings after shutdown.
+    pub fn tracer(&self) -> Option<&Arc<TraceRecorder>> {
+        self.tracer.as_ref()
+    }
+
+    /// Records one trace event on the calling thread's ring (no-op when
+    /// tracing is off). Lock-path events go through
+    /// [`ShardState::trace`] instead so they order inside the critical
+    /// section. The recorder stamps the timestamp itself.
+    #[inline]
+    fn trace(&self, kind: EventKind) {
+        if let Some(t) = &self.tracer {
+            t.record(kind);
+        }
+    }
+
+    /// Records a (sampled) fast-path data event (no-op when tracing is
+    /// off). Flight mode keeps 1-in-16 of these; window/sync events always
+    /// go through [`Self::trace`].
+    #[inline]
+    fn trace_data(&self, kind: EventKind) {
+        if let Some(t) = &self.tracer {
+            t.record_data(kind);
+        }
     }
 
     fn is_down(&self) -> bool {
@@ -347,6 +464,11 @@ impl PmoService {
             cost = self.config.cost.attach_ns;
         }
         state.add_holder(client, pmo);
+        state.trace(EventKind::Attach {
+            pmo: pmo.raw(),
+            client: client as u64,
+            writable: perm == Permission::ReadWrite,
+        });
         drop(state);
         ThreadSlab::bump(&self.slab().attaches);
         Ok(cost)
@@ -381,11 +503,7 @@ impl PmoService {
                 waited_from = Some(self.clock.now_ns());
                 ThreadSlab::bump(&slab.attach_conflicts);
             }
-            let (s, _) = shard
-                .cvar
-                .wait_timeout(state, Duration::from_millis(1))
-                .unwrap_or_else(|e| e.into_inner());
-            state = s;
+            state = state.wait_on(&shard.cvar, Duration::from_millis(1));
         }
         let mut waited = 0;
         if let Some(from) = waited_from {
@@ -407,6 +525,11 @@ impl PmoService {
         state.owner.insert(pmo, client);
         state.publish_owner(pmo, Some(client));
         state.add_holder(client, pmo);
+        state.trace(EventKind::Attach {
+            pmo: pmo.raw(),
+            client: client as u64,
+            writable: perm == Permission::ReadWrite,
+        });
         drop(state);
         ThreadSlab::bump(&slab.attaches);
         Ok((self.config.cost.attach_ns, waited))
@@ -440,6 +563,11 @@ impl PmoService {
         }
         state.grant_client(client, pmo, perm, now)?;
         state.add_holder(client, pmo);
+        state.trace(EventKind::Attach {
+            pmo: pmo.raw(),
+            client: client as u64,
+            writable: perm == Permission::ReadWrite,
+        });
         drop(state);
         ThreadSlab::bump(&self.slab().attaches);
         if outcome == AttachOutcome::FirstAttach {
@@ -484,6 +612,10 @@ impl PmoService {
         // Unprotected never unmaps: the pool stays exposed (that is the
         // point of the baseline).
         state.remove_holder(client, pmo);
+        state.trace(EventKind::Detach {
+            pmo: pmo.raw(),
+            client: client as u64,
+        });
         drop(state);
         ThreadSlab::bump(&self.slab().detaches);
         Ok(0)
@@ -506,6 +638,10 @@ impl PmoService {
         state.owner.remove(&pmo);
         state.publish_owner(pmo, None);
         state.remove_holder(client, pmo);
+        state.trace(EventKind::Detach {
+            pmo: pmo.raw(),
+            client: client as u64,
+        });
         drop(state);
         ThreadSlab::bump(&self.slab().detaches);
         shard.cvar.notify_all();
@@ -536,6 +672,10 @@ impl PmoService {
         }
         state.revoke_client(client, pmo, now)?;
         state.remove_holder(client, pmo);
+        state.trace(EventKind::Detach {
+            pmo: pmo.raw(),
+            client: client as u64,
+        });
         if outcome.needs_syscall() && state.space.is_attached(pmo) {
             state.unmap_pool(pmo, now)?;
         }
@@ -626,6 +766,13 @@ impl PmoService {
         match pool.read_bytes(oid.offset(), buf) {
             Ok(()) => {
                 self.metrics.with_slab(|s| ThreadSlab::bump(&s.reads));
+                self.trace_data(EventKind::Read {
+                    pmo: oid.pmo().raw(),
+                    client: client as u64,
+                    offset: oid.offset(),
+                    len: buf.len() as u32,
+                    epoch: snap.epoch(),
+                });
                 Some(())
             }
             // Bounds errors: defer to the slow path for the exact error.
@@ -651,6 +798,13 @@ impl PmoService {
         match pool.write_bytes(oid.offset(), data) {
             Ok(()) => {
                 self.metrics.with_slab(|s| ThreadSlab::bump(&s.writes));
+                self.trace_data(EventKind::Write {
+                    pmo: oid.pmo().raw(),
+                    client: client as u64,
+                    offset: oid.offset(),
+                    len: data.len() as u32,
+                    epoch: snap.epoch(),
+                });
                 Some(())
             }
             Err(_) => None,
@@ -691,6 +845,14 @@ impl PmoService {
         }
         state.pools[&pmo].pool().read_bytes(oid.offset(), buf)?;
         self.metrics.with_slab(|s| ThreadSlab::bump(&s.reads));
+        // Slow-path epoch 0: the lock events already order this access.
+        state.trace_data(EventKind::Read {
+            pmo: pmo.raw(),
+            client: client as u64,
+            offset: oid.offset(),
+            len: buf.len() as u32,
+            epoch: 0,
+        });
         Ok(())
     }
 
@@ -740,6 +902,13 @@ impl PmoService {
             .pool_mut()
             .write_bytes(oid.offset(), data)?;
         self.metrics.with_slab(|s| ThreadSlab::bump(&s.writes));
+        state.trace_data(EventKind::Write {
+            pmo: pmo.raw(),
+            client: client as u64,
+            offset: oid.offset(),
+            len: data.len() as u32,
+            epoch: 0,
+        });
         if state.store.is_some() {
             state.log(&WalRecord::DataWrite {
                 pmo,
@@ -910,6 +1079,13 @@ impl PmoService {
     /// thread calls this periodically; tests with `sweep_period_us == 0`
     /// call it directly). Returns the number of actions performed.
     pub fn sweep_all(&self) -> usize {
+        // Stamp the wake tickets observed at pass start: every Unpark with
+        // a ticket <= this one really happens-before this pass (the
+        // AcqRel fetch_add / Acquire load pair on `unpark_tokens`).
+        if self.tracer.is_some() {
+            let token = self.unpark_tokens.load(Ordering::Acquire);
+            self.trace(EventKind::Wakeup { token });
+        }
         let mut total = 0;
         if self.config.scheme.has_thread_permissions() {
             for shard in &self.shards {
@@ -921,6 +1097,7 @@ impl PmoService {
                     match action {
                         SweepAction::Detach(pmo) => {
                             let _ = state.unmap_pool(pmo, now);
+                            state.trace(EventKind::Expire { pmo: pmo.raw() });
                             self.clock.charge(self.config.cost.detach_ns);
                         }
                         SweepAction::Randomize(pmo) => {
@@ -969,6 +1146,12 @@ impl PmoService {
     }
 
     fn wake_sweeper(&self) {
+        if self.tracer.is_some() {
+            // Issue the wake ticket before the unpark so the edge exists
+            // by the time the sweeper stamps its Wakeup.
+            let token = self.unpark_tokens.fetch_add(1, Ordering::AcqRel) + 1;
+            self.trace(EventKind::Unpark { token });
+        }
         if let Some(t) = self
             .sweeper_thread
             .lock()
@@ -1055,7 +1238,7 @@ impl PmoService {
     /// Merges every shard's statistics — and every thread's metric slab —
     /// into one report.
     pub fn report(&self) -> ServiceReport {
-        let (ops, blocked_ns, queue_wait) = self.metrics.merged();
+        let (ops, blocked_ns, queue_wait, threads_observed) = self.metrics.merged();
         let mut cond = CondStats::default();
         let mut merr = MerrStats::default();
         let mut attach_syscalls = 0;
@@ -1087,6 +1270,7 @@ impl PmoService {
             blocked_ns,
             queue_wait,
             sweep_passes: self.sweep_passes.load(Ordering::Relaxed),
+            threads_observed,
             ew,
             tew,
             recovery: self.recovery,

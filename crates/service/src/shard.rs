@@ -28,6 +28,7 @@ use terp_core::window::WindowTracker;
 use terp_persist::{DurableStore, WalRecord};
 use terp_pmo::{Permission, PmoError, PmoId, ProcessAddressSpace};
 use terp_sim::PermissionMatrix;
+use terp_trace::{EventKind, TraceRecorder};
 
 use crate::error::ServiceError;
 use crate::fastpath::PoolSlot;
@@ -42,7 +43,13 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
-    pub(crate) fn new(seed: u64, max_ew_ns: u64, cb_capacity: usize) -> Self {
+    pub(crate) fn new(
+        seed: u64,
+        max_ew_ns: u64,
+        cb_capacity: usize,
+        idx: u32,
+        tracer: Option<Arc<TraceRecorder>>,
+    ) -> Self {
         Shard {
             state: Mutex::new(ShardState {
                 pools: HashMap::new(),
@@ -58,6 +65,10 @@ impl Shard {
                 detach_syscalls: 0,
                 randomizations: 0,
                 store: None,
+                idx,
+                lock_seq: 0,
+                lock_pending: std::cell::Cell::new(false),
+                tracer,
             }),
             cvar: Condvar::new(),
         }
@@ -96,6 +107,20 @@ pub(crate) struct ShardState {
     /// Durable mode: this shard's write-ahead log + snapshot directory.
     /// `None` keeps the shard purely in-memory.
     pub store: Option<DurableStore>,
+    /// This shard's index: the lock identity in trace events.
+    pub idx: u32,
+    /// Mutex acquisition counter. Protected by the mutex itself, so its
+    /// order *is* the acquisition order — the happens-before checker pairs
+    /// `LockRelease{seq: k}` with every later `LockAcquire{seq > k}`.
+    pub lock_seq: u64,
+    /// True while the current critical section has not yet emitted its
+    /// `LockAcquire` event: the pair is written lazily, on the section's
+    /// first recorded event, so quiet sections stay off the ring entirely.
+    /// Protected by the mutex (a `Cell` only because [`Self::trace`] takes
+    /// `&self`).
+    pub lock_pending: std::cell::Cell<bool>,
+    /// Flight recorder shared with the service (`None` = tracing off).
+    pub tracer: Option<Arc<TraceRecorder>>,
 }
 
 impl ShardState {
@@ -104,6 +129,57 @@ impl ShardState {
             .get(&pmo)
             .cloned()
             .ok_or(PmoError::UnknownPmo(pmo))
+    }
+
+    /// Records one trace event on the calling thread's ring (no-op when
+    /// tracing is off), flushing the critical section's lazy `LockAcquire`
+    /// first so the lock pair brackets every recorded event. The recorder
+    /// stamps the timestamp itself.
+    #[inline]
+    pub(crate) fn trace(&self, kind: EventKind) {
+        if let Some(t) = &self.tracer {
+            if self.lock_pending.replace(false) {
+                t.record(EventKind::LockAcquire {
+                    obj: self.idx,
+                    seq: self.lock_seq,
+                });
+            }
+            t.record(kind);
+        }
+    }
+
+    /// Records one trace event *without* flushing a pending `LockAcquire`
+    /// — only for the release path, which must not reopen the section it
+    /// is closing.
+    #[inline]
+    pub(crate) fn trace_raw(&self, kind: EventKind) {
+        if let Some(t) = &self.tracer {
+            t.record(kind);
+        }
+    }
+
+    /// Records a (sampled) data event — slow-path reads/writes under the
+    /// lock (no-op when tracing is off). The sampling decision runs first:
+    /// a sampled-out op emits nothing, not even the lazy lock pair.
+    #[inline]
+    pub(crate) fn trace_data(&self, kind: EventKind) {
+        if let Some(t) = &self.tracer {
+            if t.data_sample_keep() {
+                self.trace(kind);
+            }
+        }
+    }
+
+    /// Records the post-publish seqlock epoch of `slot` as a `Publish`
+    /// event. Callers hold the shard mutex, so no publish is in flight and
+    /// the loaded epoch is the even value the critical section installed.
+    fn trace_publish(&self, pmo: PmoId, slot: &PoolSlot) {
+        if self.tracer.is_some() {
+            self.trace(EventKind::Publish {
+                pmo: pmo.raw(),
+                epoch: slot.epoch(),
+            });
+        }
     }
 
     /// Appends `record` to this shard's WAL when durable mode is on.
@@ -148,6 +224,7 @@ impl ShardState {
         self.windows.open_ew(pmo, now);
         self.attach_syscalls += 1;
         slot.publish(|w| w.set_mapped(Some(perm)));
+        self.trace_publish(pmo, &slot);
         Ok(())
     }
 
@@ -158,6 +235,7 @@ impl ShardState {
     pub(crate) fn unmap_pool(&mut self, pmo: PmoId, now: u64) -> Result<(), ServiceError> {
         let slot = self.slot(pmo)?;
         slot.publish(|w| w.set_mapped(None));
+        self.trace_publish(pmo, &slot);
         {
             let mut pool = slot.pool_mut();
             self.space.detach(&mut pool)?;
@@ -184,6 +262,7 @@ impl ShardState {
         self.randomizations += 1;
         self.log(&WalRecord::Randomize { pmo })?;
         slot.publish(|_| {});
+        self.trace_publish(pmo, &slot);
         Ok(())
     }
 
@@ -209,7 +288,13 @@ impl ShardState {
         self.windows.open_tew(client, pmo, now);
         if let Some(slot) = self.pools.get(&pmo) {
             slot.publish(|w| w.grant(client, perm));
+            self.trace_publish(pmo, slot);
         }
+        self.trace(EventKind::Grant {
+            pmo: pmo.raw(),
+            client: client as u64,
+            writable: perm == Permission::ReadWrite,
+        });
         Ok(())
     }
 
@@ -224,7 +309,12 @@ impl ShardState {
     ) -> Result<(), ServiceError> {
         if let Some(slot) = self.pools.get(&pmo) {
             slot.publish(|w| w.revoke(client));
+            self.trace_publish(pmo, slot);
         }
+        self.trace(EventKind::Revoke {
+            pmo: pmo.raw(),
+            client: client as u64,
+        });
         if let Some(set) = self.perms.get_mut(&client) {
             set.revoke(pmo, Right::Read);
             set.revoke(pmo, Right::Write);
@@ -241,6 +331,7 @@ impl ShardState {
     pub(crate) fn publish_owner(&self, pmo: PmoId, owner: Option<ClientId>) {
         if let Some(slot) = self.pools.get(&pmo) {
             slot.publish(|w| w.set_owner(owner));
+            self.trace_publish(pmo, slot);
         }
     }
 

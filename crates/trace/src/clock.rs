@@ -1,0 +1,83 @@
+//! Vector clocks for the offline happens-before reconstruction.
+//!
+//! The recorder itself never maintains clocks at runtime — that would put a
+//! cross-thread cache-line dance on the hot path. Instead the checker
+//! assigns each *retained* event a logical time while replaying the dump:
+//! thread `t`'s component is its own event count, and sync edges join the
+//! source's clock into the sink's (DESIGN.md §12).
+
+/// A fixed-width vector clock over the traced threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClock {
+    c: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock over `threads` components (happens-before everything).
+    pub fn new(threads: usize) -> Self {
+        VectorClock {
+            c: vec![0; threads],
+        }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.c.len()
+    }
+
+    /// True when the clock has no components.
+    pub fn is_empty(&self) -> bool {
+        self.c.is_empty()
+    }
+
+    /// Component for thread `t`.
+    pub fn get(&self, t: usize) -> u64 {
+        self.c.get(t).copied().unwrap_or(0)
+    }
+
+    /// Advances thread `t`'s own component by one and returns the new value.
+    pub fn tick(&mut self, t: usize) -> u64 {
+        self.c[t] += 1;
+        self.c[t]
+    }
+
+    /// Pointwise maximum: merges every ordering `other` has witnessed.
+    pub fn join(&mut self, other: &VectorClock) {
+        for (a, b) in self.c.iter_mut().zip(&other.c) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// True when `self` happens-before-or-equals `other` (pointwise `<=`).
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.c.iter().zip(&other.c).all(|(a, b)| a <= b)
+    }
+
+    /// True when the single epoch `(t, k)` happens-before-or-equals this
+    /// clock — the FastTrack-style membership test.
+    pub fn covers(&self, t: usize, k: u64) -> bool {
+        k <= self.get(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_and_compare() {
+        let mut a = VectorClock::new(3);
+        let mut b = VectorClock::new(3);
+        assert!(a.le(&b) && b.le(&a));
+        a.tick(0);
+        a.tick(0);
+        b.tick(1);
+        assert!(!a.le(&b) && !b.le(&a)); // concurrent
+        b.join(&a);
+        assert!(a.le(&b));
+        assert_eq!(b.get(0), 2);
+        assert_eq!(b.get(1), 1);
+        assert!(b.covers(0, 2));
+        assert!(!b.covers(2, 1));
+    }
+}

@@ -1,0 +1,278 @@
+//! In-memory and on-disk trace sets.
+//!
+//! A [`TraceSet`] is the unit the offline checker consumes: one
+//! [`ThreadTrace`] per recording thread, each a push-ordered event sequence
+//! plus loss accounting. On disk a set is a directory of
+//! `thread-<tid>.trace` text files, one line per event, with a `#`-prefixed
+//! header carrying the drop/torn counters:
+//!
+//! ```text
+//! # terp-trace v1 tid=2 dropped=0 torn=0
+//! la 1042 3 17
+//! at 1090 7 2 1
+//! wr 1155 7 2 128 48 6
+//! ```
+
+use std::io;
+use std::path::Path;
+
+use crate::event::Event;
+use crate::recorder::write_thread_trace;
+
+/// The retained event stream of one recording thread.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadTrace {
+    /// Recorder-assigned thread id (registration order).
+    pub tid: u32,
+    /// Events oldest-first in push order. Timestamps are monotonically
+    /// non-decreasing within a thread.
+    pub events: Vec<Event>,
+    /// Events lost to ring overwrite before the dump. When nonzero, the
+    /// stream is a suffix of the thread's true history.
+    pub dropped: u64,
+    /// Slots discarded as torn during a concurrent dump (gaps may appear
+    /// anywhere in the stream, not just the front).
+    pub torn: u64,
+}
+
+/// A dumped or snapshotted execution trace: one stream per thread.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSet {
+    /// Per-thread streams, in ascending `tid` order after [`TraceSet::load`].
+    pub threads: Vec<ThreadTrace>,
+}
+
+impl TraceSet {
+    /// Total retained events across all threads.
+    pub fn total_events(&self) -> usize {
+        self.threads.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// Total events lost to ring overwrite across all threads.
+    pub fn total_dropped(&self) -> u64 {
+        self.threads.iter().map(|t| t.dropped).sum()
+    }
+
+    /// Total torn slots across all threads.
+    pub fn total_torn(&self) -> u64 {
+        self.threads.iter().map(|t| t.torn).sum()
+    }
+
+    /// Writes the set as `thread-<tid>.trace` files under `dir`, creating
+    /// the directory if needed. Any `thread-*.trace` files already present
+    /// are removed first — a dump directory holds exactly one execution, and
+    /// leftovers from a previous run would otherwise be silently merged in
+    /// by [`TraceSet::load`] (stale cross-run streams share no sync edges,
+    /// so they poison the checker with spurious coverage breaks).
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                if name.starts_with("thread-") && name.ends_with(".trace") {
+                    std::fs::remove_file(&path)?;
+                }
+            }
+        }
+        for t in &self.threads {
+            write_thread_trace(dir, t)?;
+        }
+        Ok(())
+    }
+
+    /// Loads every `thread-*.trace` file under `dir`, sorted by tid.
+    /// Malformed event lines are counted as torn rather than failing the
+    /// load; a missing header or unparsable tid fails with
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn load(dir: &Path) -> io::Result<TraceSet> {
+        let mut threads = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            let name = match path.file_name().and_then(|n| n.to_str()) {
+                Some(n) => n,
+                None => continue,
+            };
+            if !name.starts_with("thread-") || !name.ends_with(".trace") {
+                continue;
+            }
+            threads.push(Self::load_thread(&path)?);
+        }
+        threads.sort_by_key(|t| t.tid);
+        Ok(TraceSet { threads })
+    }
+
+    fn load_thread(path: &Path) -> io::Result<ThreadTrace> {
+        let text = std::fs::read_to_string(path)?;
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let mut lines = text.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| bad(format!("{}: empty trace file", path.display())))?;
+        let mut tid = None;
+        let mut dropped = 0;
+        let mut torn = 0;
+        if !header.starts_with("# terp-trace v1") {
+            return Err(bad(format!(
+                "{}: missing terp-trace v1 header",
+                path.display()
+            )));
+        }
+        for field in header.trim_start_matches('#').split_whitespace() {
+            if let Some((key, val)) = field.split_once('=') {
+                let val: u64 = val
+                    .parse()
+                    .map_err(|_| bad(format!("{}: bad header field {field}", path.display())))?;
+                match key {
+                    "tid" => tid = Some(val as u32),
+                    "dropped" => dropped = val,
+                    "torn" => torn = val,
+                    _ => {}
+                }
+            }
+        }
+        let tid = tid.ok_or_else(|| bad(format!("{}: header missing tid=", path.display())))?;
+        let mut events = Vec::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match Event::parse_line(line) {
+                Some(ev) => events.push(ev),
+                None => torn += 1,
+            }
+        }
+        Ok(ThreadTrace {
+            tid,
+            events,
+            dropped,
+            torn,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use std::path::PathBuf;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "terp-trace-{tag}-{}-{:p}",
+                std::process::id(),
+                &tag
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn sample() -> TraceSet {
+        TraceSet {
+            threads: vec![
+                ThreadTrace {
+                    tid: 0,
+                    events: vec![
+                        Event {
+                            ts_ns: 10,
+                            kind: EventKind::LockAcquire { obj: 1, seq: 1 },
+                        },
+                        Event {
+                            ts_ns: 20,
+                            kind: EventKind::Attach {
+                                pmo: 5,
+                                client: 7,
+                                writable: true,
+                            },
+                        },
+                        Event {
+                            ts_ns: 30,
+                            kind: EventKind::LockRelease { obj: 1, seq: 1 },
+                        },
+                    ],
+                    dropped: 2,
+                    torn: 0,
+                },
+                ThreadTrace {
+                    tid: 1,
+                    events: vec![Event {
+                        ts_ns: 40,
+                        kind: EventKind::Read {
+                            pmo: 5,
+                            client: 9,
+                            offset: 64,
+                            len: 16,
+                            epoch: 4,
+                        },
+                    }],
+                    dropped: 0,
+                    torn: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let tmp = TempDir::new("roundtrip");
+        let set = sample();
+        set.save(&tmp.0).unwrap();
+        let loaded = TraceSet::load(&tmp.0).unwrap();
+        assert_eq!(loaded.threads.len(), 2);
+        assert_eq!(loaded.threads[0].tid, 0);
+        assert_eq!(loaded.threads[0].dropped, 2);
+        assert_eq!(loaded.threads[1].torn, 1);
+        assert_eq!(loaded.threads[0].events, set.threads[0].events);
+        assert_eq!(loaded.threads[1].events, set.threads[1].events);
+        assert_eq!(loaded.total_events(), 4);
+        assert_eq!(loaded.total_dropped(), 2);
+        assert_eq!(loaded.total_torn(), 1);
+    }
+
+    #[test]
+    fn save_removes_stale_thread_files() {
+        let tmp = TempDir::new("stale");
+        // A leftover stream from some earlier, wider run.
+        std::fs::write(
+            tmp.0.join("thread-9.trace"),
+            "# terp-trace v1 tid=9 dropped=0 torn=0\nup 1 2\n",
+        )
+        .unwrap();
+        sample().save(&tmp.0).unwrap();
+        let loaded = TraceSet::load(&tmp.0).unwrap();
+        assert_eq!(loaded.threads.len(), 2, "stale thread-9 must be gone");
+        assert!(loaded.threads.iter().all(|t| t.tid != 9));
+    }
+
+    #[test]
+    fn malformed_lines_count_as_torn() {
+        let tmp = TempDir::new("malformed");
+        std::fs::write(
+            tmp.0.join("thread-3.trace"),
+            "# terp-trace v1 tid=3 dropped=0 torn=0\nup 1 2\nnot an event\n",
+        )
+        .unwrap();
+        let loaded = TraceSet::load(&tmp.0).unwrap();
+        assert_eq!(loaded.threads[0].tid, 3);
+        assert_eq!(loaded.threads[0].events.len(), 1);
+        assert_eq!(loaded.threads[0].torn, 1);
+    }
+
+    #[test]
+    fn missing_header_is_invalid_data() {
+        let tmp = TempDir::new("noheader");
+        std::fs::write(tmp.0.join("thread-0.trace"), "up 1 2\n").unwrap();
+        let err = TraceSet::load(&tmp.0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

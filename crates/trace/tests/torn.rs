@@ -1,0 +1,97 @@
+//! Torn-write property test for the event ring, mirroring the PR-5 seqlock
+//! torn-read test in `terp-service::fastpath`: a producer pushes
+//! internally-correlated events while readers snapshot concurrently; every
+//! event a snapshot returns must be internally consistent — never a mix of
+//! two pushes — and loss accounting must add up.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use proptest::TestRng;
+use terp_trace::{Event, EventKind, EventRing};
+
+/// Builds the k-th event with fields correlated so a torn mix of two
+/// different events is detectable: every field is a fixed function of `k`.
+fn correlated(k: u64) -> Event {
+    Event {
+        ts_ns: k,
+        kind: EventKind::Write {
+            pmo: (k % 1000) as u16,
+            client: k.wrapping_mul(7),
+            offset: k.wrapping_mul(13),
+            len: (k % 4096) as u32,
+            epoch: k.wrapping_mul(3) + 1,
+        },
+    }
+}
+
+fn assert_consistent(ev: &Event) {
+    let k = ev.ts_ns;
+    assert_eq!(
+        *ev,
+        correlated(k),
+        "torn event: fields do not all derive from k={k}"
+    );
+}
+
+#[test]
+fn torn_events_are_impossible_under_concurrent_snapshot() {
+    let iters: u64 = std::env::var("TERP_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let mut rng = TestRng::new(0x5e9_10c4 ^ 0x7ace_0001);
+    for case in 0..8 {
+        // Small rings force constant wraparound, maximizing writer/reader
+        // slot collisions.
+        let cap = 8 << rng.below(4); // 8..64
+        let ring = Arc::new(EventRing::new(0, cap as usize));
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            let writer = {
+                let ring = Arc::clone(&ring);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    for k in 0..iters * 16 {
+                        ring.push(&correlated(k));
+                    }
+                    stop.store(true, Ordering::Release);
+                })
+            };
+            for _ in 0..2 {
+                let ring = Arc::clone(&ring);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        let snap = ring.snapshot();
+                        for ev in &snap.events {
+                            assert_consistent(ev);
+                        }
+                        // Whatever survives, the books must balance: every
+                        // slot in the scanned window is either a returned
+                        // event, torn, or counted into `dropped`.
+                        assert!(
+                            snap.events.len() as u64 + snap.torn <= cap,
+                            "case {case}: window overflow"
+                        );
+                        for pair in snap.events.windows(2) {
+                            assert!(pair[0].ts_ns < pair[1].ts_ns, "case {case}: order");
+                        }
+                    }
+                });
+            }
+            writer.join().unwrap();
+        });
+        // Quiescent snapshot after the writer stops is exact: no torn
+        // slots, correct drop count, newest `cap` events in order.
+        let total = iters * 16;
+        let snap = ring.snapshot();
+        assert_eq!(snap.torn, 0, "case {case}");
+        assert_eq!(snap.dropped, total.saturating_sub(cap), "case {case}");
+        assert_eq!(snap.events.len(), total.min(cap) as usize);
+        for (i, ev) in snap.events.iter().enumerate() {
+            assert_eq!(ev.ts_ns, total.saturating_sub(cap) + i as u64);
+            assert_consistent(ev);
+        }
+    }
+}
