@@ -9,13 +9,14 @@
 //! ## Partial-order reconstruction
 //!
 //! Each thread's retained event stream is totally ordered (program order).
-//! Cross-thread order comes from three kinds of recorded sync edges:
+//! Cross-thread order comes from four kinds of recorded sync edges:
 //!
 //! | edge | source event | sink event |
 //! |------|--------------|------------|
 //! | shard mutex | `LockRelease{obj, k}` | `LockAcquire{obj, k'}` for `k < k'` |
 //! | seqlock | `Publish{pmo, e'}` | `Read`/`Write` on `pmo` validating epoch `e >= e'` |
 //! | sweeper park | `Unpark{token k}` | `Wakeup{token n}` for `k <= n` |
+//! | net dispatch | `NetRecv{conn, req}` | `NetExec{conn, req}` (same pair) |
 //!
 //! The checker performs a topological sweep: a thread's next event is
 //! processed only once every edge source it depends on has been processed,
@@ -50,7 +51,7 @@
 //! (D202) needs full history and is disabled — and reported as such via
 //! D204 — on truncated traces.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use terp_compiler::builder::FunctionBuilder;
 use terp_pmo::{AccessKind, Permission, PmoId};
@@ -141,9 +142,14 @@ struct Checker {
     pub_epochs: HashMap<PoolId, Vec<u64>>,
     /// Pre-scanned unpark tokens (sorted).
     unpark_tokens: Vec<u64>,
+    /// Pre-scanned net-dispatch sources present in the analyzed region.
+    net_recv_present: HashSet<(u32, u64)>,
     locks: HashMap<u32, LockState>,
     pubs: HashMap<PoolId, PubState>,
     unparks: BTreeMap<u64, VectorClock>,
+    /// Reader-thread clocks at each processed `NetRecv`, keyed by
+    /// `(conn, req)`; joined into the executing thread at `NetExec`.
+    net_recvs: HashMap<(u32, u64), VectorClock>,
     windows: HashMap<PoolId, Vec<Win>>,
     profiles: Vec<BTreeMap<PoolId, bool>>,
     racy_pools: BTreeSet<PoolId>,
@@ -188,6 +194,10 @@ impl Checker {
                 let needed = count_le(&self.unpark_tokens, token);
                 self.unparks.range(..=token).count() >= needed
             }
+            EventKind::NetExec { conn, req } => {
+                !self.net_recv_present.contains(&(conn, req))
+                    || self.net_recvs.contains_key(&(conn, req))
+            }
             _ => true,
         }
     }
@@ -223,6 +233,12 @@ impl Checker {
                     self.clocks[t].join(c);
                 }
             }
+            EventKind::NetExec { conn, req } => {
+                let cum = self.net_recvs.get(&(conn, req)).cloned();
+                if let Some(cum) = cum {
+                    self.clocks[t].join(&cum);
+                }
+            }
             _ => {}
         }
         self.clocks[t].tick(t);
@@ -252,6 +268,9 @@ impl Checker {
             }
             EventKind::Unpark { token } => {
                 self.unparks.insert(token, self.clocks[t].clone());
+            }
+            EventKind::NetRecv { conn, req } => {
+                self.net_recvs.insert((conn, req), self.clocks[t].clone());
             }
             EventKind::Attach {
                 pmo,
@@ -489,12 +508,16 @@ pub fn check_trace(set: &TraceSet) -> HbReport {
     let mut rel_seqs: HashMap<u32, Vec<u64>> = HashMap::new();
     let mut pub_epochs: HashMap<PoolId, Vec<u64>> = HashMap::new();
     let mut unpark_tokens: Vec<u64> = Vec::new();
+    let mut net_recv_present: HashSet<(u32, u64)> = HashSet::new();
     for stream in &evs {
         for ev in stream {
             match ev.kind {
                 EventKind::LockRelease { obj, seq } => rel_seqs.entry(obj).or_default().push(seq),
                 EventKind::Publish { pmo, epoch } => pub_epochs.entry(pmo).or_default().push(epoch),
                 EventKind::Unpark { token } => unpark_tokens.push(token),
+                EventKind::NetRecv { conn, req } => {
+                    net_recv_present.insert((conn, req));
+                }
                 _ => {}
             }
         }
@@ -514,9 +537,11 @@ pub fn check_trace(set: &TraceSet) -> HbReport {
         rel_seqs,
         pub_epochs,
         unpark_tokens,
+        net_recv_present,
         locks: HashMap::new(),
         pubs: HashMap::new(),
         unparks: BTreeMap::new(),
+        net_recvs: HashMap::new(),
         windows: HashMap::new(),
         profiles: vec![BTreeMap::new(); n],
         racy_pools: BTreeSet::new(),

@@ -394,6 +394,9 @@ fn main() {
     );
 
     let doc = Json::obj([
+        // Matches terp-analyze's JSON schema version (the result documents
+        // evolve together; see that binary's docs).
+        ("schema_version", Json::Num(2.0)),
         ("benchmark", Json::Str("terp-hotpath".to_string())),
         ("scale", Json::Str(format!("{scale:?}").to_lowercase())),
         ("max_threads", Json::Num(max_threads as f64)),

@@ -305,6 +305,9 @@ fn main() {
         .collect();
 
     let doc = Json::obj([
+        // Matches terp-analyze's JSON schema version (the result documents
+        // evolve together; see that binary's docs).
+        ("schema_version", Json::Num(2.0)),
         ("benchmark", Json::Str("terp-persist".to_string())),
         ("threads", Json::Num(settings.threads as f64)),
         ("pools", Json::Num(settings.pools as f64)),

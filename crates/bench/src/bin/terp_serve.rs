@@ -353,6 +353,11 @@ fn main() {
         // evolve together; see that binary's docs).
         ("schema_version", Json::Num(2.0)),
         ("benchmark", Json::Str("terp-serve".to_string())),
+        // Closed loop: each worker issues the next op only after the
+        // previous completes, so latencies here are subject to coordinated
+        // omission — do not compare against terp-net-bench's open-loop
+        // curves (loop_mode "open").
+        ("loop_mode", Json::Str("closed".to_string())),
         ("threads", Json::Num(settings.threads as f64)),
         ("pools", Json::Num(settings.pools as f64)),
         ("shards", Json::Num(settings.shards as f64)),

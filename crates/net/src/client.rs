@@ -1,0 +1,465 @@
+//! The client library: a sync handle over a pipelined multiplexer.
+//!
+//! One [`Client`] owns one TCP connection. Requests are written to the
+//! socket immediately ([`Client`] is `Clone`; any thread may submit) and a
+//! background demultiplexer thread routes responses — which the server may
+//! deliver **out of order** — back to their callers by request id.
+//!
+//! Two calling styles share the connection:
+//!
+//! * **Sync**: [`Client::attach`], [`Client::read`], … submit and block for
+//!   the matching response.
+//! * **Pipelined**: the `*_pipelined` variants return a [`Pending`] ticket
+//!   immediately; many tickets can be in flight at once and each
+//!   [`Pending::wait`] blocks only for its own response. A server-side
+//!   blocking attach therefore stalls just its ticket while later tickets
+//!   on the same connection complete.
+//!
+//! Connection death (peer reset, protocol violation, server shutdown racing
+//! a read) surfaces as [`ServiceError::Disconnected`] /
+//! [`ServiceError::Protocol`] on every outstanding and subsequent call —
+//! the same error enum in-process callers see, per the design's
+//! "errors cross the wire as values" rule.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use terp_pmo::{ObjectId, OpenMode, Permission, PmoId};
+
+use crate::frame::{encode_frame, FrameDecoder, MAX_FRAME};
+use crate::proto::{Request, Response, MAGIC, VERSION};
+use crate::ServiceError;
+
+/// Response routing state shared between submitters and the demux thread.
+struct Demux {
+    /// In-flight tickets by request id. The demux thread removes an entry
+    /// to complete it; a dropped map (connection death) completes every
+    /// waiter with [`Demux::dead`].
+    pending: Mutex<PendingMap>,
+}
+
+struct PendingMap {
+    map: HashMap<u64, Sender<Response>>,
+    /// Set once on connection death; every later submit/wait returns it.
+    dead: Option<ServiceError>,
+}
+
+impl Demux {
+    fn fail_all(&self, err: ServiceError) {
+        let mut p = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+        if p.dead.is_none() {
+            p.dead = Some(err);
+        }
+        // Dropping the senders wakes every waiter with RecvError; they read
+        // `dead` for the cause.
+        p.map.clear();
+    }
+
+    fn dead(&self) -> ServiceError {
+        self.pending
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .dead
+            .clone()
+            .unwrap_or_else(|| ServiceError::Disconnected("connection closed".to_string()))
+    }
+}
+
+struct Mux {
+    /// Write half; a mutex serializes whole frames from concurrent callers.
+    write: Mutex<TcpStream>,
+    /// Original stream, for shutdown on drop.
+    stream: TcpStream,
+    demux: Arc<Demux>,
+    reader: Mutex<Option<JoinHandle<()>>>,
+    next_id: AtomicU64,
+    server_version: u16,
+    server_scheme: String,
+    server_shards: u16,
+}
+
+impl Drop for Mux {
+    fn drop(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(h) = self.reader.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A pipelined in-flight request. Obtain from the `*_pipelined` methods;
+/// redeem with [`Pending::wait`] or a typed `wait_*` helper.
+pub struct Pending {
+    id: u64,
+    rx: Receiver<Response>,
+    demux: Arc<Demux>,
+}
+
+impl Pending {
+    /// The wire request id (diagnostic; ids are per-connection).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks for this request's response. A [`Response::Err`] becomes the
+    /// `Err` branch, so protocol- and service-level failures read the same.
+    pub fn wait(self) -> Result<Response, ServiceError> {
+        match self.rx.recv() {
+            Ok(Response::Err(e)) => Err(e),
+            Ok(r) => Ok(r),
+            Err(_) => Err(self.demux.dead()),
+        }
+    }
+
+    /// Waits for a bare success (detach, write, free, ping).
+    pub fn wait_unit(self) -> Result<(), ServiceError> {
+        match self.wait()? {
+            Response::Unit => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Waits for a `create_pool` response.
+    pub fn wait_pool(self) -> Result<PmoId, ServiceError> {
+        match self.wait()? {
+            Response::Pool(p) => Ok(p),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Waits for an `alloc` response.
+    pub fn wait_oid(self) -> Result<ObjectId, ServiceError> {
+        match self.wait()? {
+            Response::Oid(oid) => Ok(oid),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Waits for a `read` response.
+    pub fn wait_data(self) -> Result<Vec<u8>, ServiceError> {
+        match self.wait()? {
+            Response::Data(d) => Ok(d),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Waits for an `attach` response, yielding the server-side queue wait
+    /// in nanoseconds (0 under non-blocking schemes).
+    pub fn wait_attached(self) -> Result<u64, ServiceError> {
+        match self.wait()? {
+            Response::Attached { waited_ns } => Ok(waited_ns),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> ServiceError {
+    ServiceError::Protocol(format!("unexpected response kind: {resp:?}"))
+}
+
+fn io_err(what: &str, e: std::io::Error) -> ServiceError {
+    ServiceError::Disconnected(format!("{what}: {e}"))
+}
+
+/// A connection to a [`crate::server::NetServer`], cheap to clone across
+/// threads (clones share the socket and multiplexer).
+#[derive(Clone)]
+pub struct Client {
+    mux: Arc<Mux>,
+}
+
+impl Client {
+    /// Connects, handshakes (magic + version + `client` identity), and
+    /// starts the demux thread.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Disconnected`] on socket failure,
+    /// [`ServiceError::Protocol`] on a handshake the server refused.
+    pub fn connect(addr: impl ToSocketAddrs, client: u64) -> Result<Client, ServiceError> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+        let _ = stream.set_nodelay(true);
+        let mut write = stream.try_clone().map_err(|e| io_err("clone socket", e))?;
+        let mut handshake = stream.try_clone().map_err(|e| io_err("clone socket", e))?;
+
+        // Synchronous handshake: id 1, nothing else is in flight, so read
+        // directly off the socket (bounded by a temporary timeout).
+        let hello = Request::Hello {
+            magic: MAGIC,
+            version: VERSION,
+            client,
+        };
+        write
+            .write_all(&encode_frame(&hello.encode(1)))
+            .map_err(|e| io_err("handshake send", e))?;
+        let _ = handshake.set_read_timeout(Some(Duration::from_secs(10)));
+        let mut dec = FrameDecoder::new();
+        let mut buf = [0u8; 4096];
+        let payload = loop {
+            if let Some(p) = dec
+                .next_frame()
+                .map_err(|e| ServiceError::Protocol(e.to_string()))?
+            {
+                break p;
+            }
+            let n = handshake
+                .read(&mut buf)
+                .map_err(|e| io_err("handshake recv", e))?;
+            if n == 0 {
+                return Err(ServiceError::Disconnected(
+                    "server closed during handshake".to_string(),
+                ));
+            }
+            dec.push(&buf[..n]);
+        };
+        let _ = handshake.set_read_timeout(None);
+        let (id, resp) = Response::decode(&payload)?;
+        if id != 1 {
+            return Err(ServiceError::Protocol(format!(
+                "handshake response for id {id}, want 1"
+            )));
+        }
+        let (server_version, server_scheme, server_shards) = match resp {
+            Response::Hello {
+                version,
+                scheme,
+                shards,
+            } => (version, scheme, shards),
+            Response::Err(e) => return Err(e),
+            other => return Err(unexpected(&other)),
+        };
+
+        let demux = Arc::new(Demux {
+            pending: Mutex::new(PendingMap {
+                map: HashMap::new(),
+                dead: None,
+            }),
+        });
+        let demux_for_reader = Arc::clone(&demux);
+        let reader = std::thread::Builder::new()
+            .name("terp-net-client-demux".to_string())
+            .spawn(move || demux_loop(handshake, dec, demux_for_reader))
+            .map_err(|e| ServiceError::Disconnected(format!("spawn demux: {e}")))?;
+
+        Ok(Client {
+            mux: Arc::new(Mux {
+                write: Mutex::new(write),
+                stream,
+                demux,
+                reader: Mutex::new(Some(reader)),
+                next_id: AtomicU64::new(2),
+                server_version,
+                server_scheme,
+                server_shards,
+            }),
+        })
+    }
+
+    /// The server's protocol version from the handshake.
+    pub fn server_version(&self) -> u16 {
+        self.mux.server_version
+    }
+
+    /// The server's scheme tag from the handshake (e.g. `"TT"`, `"MM"`).
+    pub fn server_scheme(&self) -> &str {
+        &self.mux.server_scheme
+    }
+
+    /// The server's shard count from the handshake.
+    pub fn server_shards(&self) -> u16 {
+        self.mux.server_shards
+    }
+
+    /// Submits a raw request without waiting. Prefer the typed wrappers.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Disconnected`] when the connection is already dead or
+    /// the send fails; [`ServiceError::Protocol`] for an oversized request.
+    pub fn submit(&self, req: Request) -> Result<Pending, ServiceError> {
+        let id = self.mux.next_id.fetch_add(1, Ordering::Relaxed);
+        let payload = req.encode(id);
+        if payload.len() > MAX_FRAME {
+            return Err(ServiceError::Protocol(format!(
+                "request payload {} exceeds the {MAX_FRAME}-byte frame cap",
+                payload.len()
+            )));
+        }
+        let (tx, rx) = channel();
+        {
+            let mut p = self
+                .mux
+                .demux
+                .pending
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if let Some(e) = &p.dead {
+                return Err(e.clone());
+            }
+            p.map.insert(id, tx);
+        }
+        let frame = encode_frame(&payload);
+        let send = {
+            let mut w = self.mux.write.lock().unwrap_or_else(|e| e.into_inner());
+            w.write_all(&frame)
+        };
+        if let Err(e) = send {
+            self.mux
+                .demux
+                .pending
+                .lock()
+                .unwrap_or_else(|e2| e2.into_inner())
+                .map
+                .remove(&id);
+            return Err(io_err("send", e));
+        }
+        Ok(Pending {
+            id,
+            rx,
+            demux: Arc::clone(&self.mux.demux),
+        })
+    }
+
+    /// `create_pool` over the wire.
+    pub fn create_pool(
+        &self,
+        name: &str,
+        size: u64,
+        mode: OpenMode,
+    ) -> Result<PmoId, ServiceError> {
+        self.submit(Request::CreatePool {
+            name: name.to_string(),
+            size,
+            mode,
+        })?
+        .wait_pool()
+    }
+
+    /// Blocking attach; returns the server-side queue wait in nanoseconds.
+    pub fn attach(&self, pmo: PmoId, perm: Permission) -> Result<u64, ServiceError> {
+        self.attach_pipelined(pmo, perm)?.wait_attached()
+    }
+
+    /// Pipelined attach: returns immediately; under MM/Basic semantics the
+    /// *ticket* blocks while the server parks, not the connection.
+    pub fn attach_pipelined(&self, pmo: PmoId, perm: Permission) -> Result<Pending, ServiceError> {
+        self.submit(Request::Attach { pmo, perm })
+    }
+
+    /// `detach` over the wire.
+    pub fn detach(&self, pmo: PmoId) -> Result<(), ServiceError> {
+        self.submit(Request::Detach { pmo })?.wait_unit()
+    }
+
+    /// `read` over the wire.
+    pub fn read(&self, oid: ObjectId, len: u32) -> Result<Vec<u8>, ServiceError> {
+        self.read_pipelined(oid, len)?.wait_data()
+    }
+
+    /// Pipelined read.
+    pub fn read_pipelined(&self, oid: ObjectId, len: u32) -> Result<Pending, ServiceError> {
+        self.submit(Request::Read { oid, len })
+    }
+
+    /// `write` over the wire.
+    pub fn write(&self, oid: ObjectId, data: &[u8]) -> Result<(), ServiceError> {
+        self.write_pipelined(oid, data)?.wait_unit()
+    }
+
+    /// Pipelined write.
+    pub fn write_pipelined(&self, oid: ObjectId, data: &[u8]) -> Result<Pending, ServiceError> {
+        self.submit(Request::Write {
+            oid,
+            data: data.to_vec(),
+        })
+    }
+
+    /// `alloc` over the wire.
+    pub fn alloc(&self, pmo: PmoId, size: u64) -> Result<ObjectId, ServiceError> {
+        self.submit(Request::Alloc { pmo, size })?.wait_oid()
+    }
+
+    /// `free` over the wire.
+    pub fn free(&self, oid: ObjectId) -> Result<(), ServiceError> {
+        self.submit(Request::Free { oid })?.wait_unit()
+    }
+
+    /// Round-trip liveness probe.
+    pub fn ping(&self) -> Result<(), ServiceError> {
+        self.ping_pipelined()?.wait_unit()
+    }
+
+    /// Pipelined liveness probe.
+    pub fn ping_pipelined(&self) -> Result<Pending, ServiceError> {
+        self.submit(Request::Ping)
+    }
+}
+
+fn demux_loop(mut sock: TcpStream, mut dec: FrameDecoder, demux: Arc<Demux>) {
+    let mut buf = vec![0u8; 16 * 1024];
+    loop {
+        // Drain complete frames before reading more.
+        loop {
+            let payload = match dec.next_frame() {
+                Ok(Some(p)) => p,
+                Ok(None) => break,
+                Err(e) => {
+                    demux.fail_all(ServiceError::Protocol(e.to_string()));
+                    return;
+                }
+            };
+            let (id, resp) = match Response::decode(&payload) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    demux.fail_all(e);
+                    return;
+                }
+            };
+            // Id 0 is the server's connection-level error channel: fatal.
+            if id == 0 {
+                let err = match resp {
+                    Response::Err(e) => e,
+                    other => unexpected(&other),
+                };
+                demux.fail_all(err);
+                return;
+            }
+            let tx = demux
+                .pending
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .map
+                .remove(&id);
+            match tx {
+                // A dropped Pending is fine; the response is discarded.
+                Some(tx) => drop(tx.send(resp)),
+                None => {
+                    demux.fail_all(ServiceError::Protocol(format!(
+                        "response for unknown request id {id}"
+                    )));
+                    return;
+                }
+            }
+        }
+        match sock.read(&mut buf) {
+            Ok(0) => {
+                demux.fail_all(ServiceError::Disconnected(
+                    "server closed the connection".to_string(),
+                ));
+                return;
+            }
+            Ok(n) => dec.push(&buf[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                demux.fail_all(io_err("recv", e));
+                return;
+            }
+        }
+    }
+}

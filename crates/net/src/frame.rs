@@ -1,0 +1,217 @@
+//! The frame layer: CRC-framed, length-prefixed byte envelopes.
+//!
+//! Every protocol message travels in one frame:
+//!
+//! ```text
+//! [len: u32 LE] [payload: len bytes] [crc: u32 LE]
+//! ```
+//!
+//! `len` covers the payload only; `crc` is the zlib-compatible CRC-32 of the
+//! payload (the same codec that frames the WAL, [`terp_persist::crc`]), so a
+//! flipped bit anywhere in the payload is detected before the message layer
+//! ever parses it. Frames larger than [`MAX_FRAME`] are refused outright —
+//! a garbage length prefix must not turn into a giant allocation.
+//!
+//! Decoding is *incremental*: [`FrameDecoder`] consumes arbitrary byte
+//! chunks ([`FrameDecoder::push`]) exactly as a socket delivers them —
+//! partial length prefixes, payloads split across reads, many frames per
+//! read — and yields complete payloads via [`FrameDecoder::next_frame`].
+//! Corruption (CRC mismatch, oversized length) is a clean [`FrameError`],
+//! never a panic; the connection layer treats it as fatal for the stream.
+
+use terp_persist::crc::crc32;
+
+/// Hard cap on one frame's payload size (1 MiB). Bounds per-connection
+/// memory and converts a torn/garbage length prefix into a protocol error
+/// instead of an allocation attempt.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Bytes of envelope around one payload (length prefix + CRC trailer).
+pub const FRAME_OVERHEAD: usize = 8;
+
+/// A framing violation: the byte stream cannot be parsed into frames.
+/// Always connection-fatal — after a framing error the stream offset is
+/// unreliable and resynchronization is impossible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds [`MAX_FRAME`].
+    TooLarge {
+        /// The advertised payload length.
+        len: u32,
+    },
+    /// The payload failed its CRC check.
+    Crc {
+        /// CRC recorded in the frame trailer.
+        stored: u32,
+        /// CRC computed over the received payload.
+        computed: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooLarge { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME}-byte cap")
+            }
+            FrameError::Crc { stored, computed } => {
+                write!(
+                    f,
+                    "frame CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes one payload into a complete frame (`len ∥ payload ∥ crc`).
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME`] — callers build payloads and
+/// control their size; an oversized one is a logic error, not input.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= MAX_FRAME, "payload exceeds MAX_FRAME");
+    let mut out = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+/// Incremental frame parser over an arbitrary chunking of the byte stream.
+///
+/// ```
+/// use terp_net::frame::{encode_frame, FrameDecoder};
+///
+/// let wire = encode_frame(b"hello");
+/// let mut dec = FrameDecoder::new();
+/// dec.push(&wire[..3]); // torn mid-length-prefix
+/// assert_eq!(dec.next_frame().unwrap(), None);
+/// dec.push(&wire[3..]);
+/// assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&b"hello"[..]));
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted once it outgrows the remainder.
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes as received from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as part of a complete frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Extracts the next complete payload, `Ok(None)` while more bytes are
+    /// needed, or a [`FrameError`] on corruption (fatal: the decoder must
+    /// be discarded with its connection).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME {
+            return Err(FrameError::TooLarge { len: len as u32 });
+        }
+        if avail.len() < len + FRAME_OVERHEAD {
+            return Ok(None);
+        }
+        let payload = &avail[4..4 + len];
+        let stored = u32::from_le_bytes(avail[4 + len..4 + len + 4].try_into().expect("4 bytes"));
+        let computed = crc32(payload);
+        if stored != computed {
+            return Err(FrameError::Crc { stored, computed });
+        }
+        let out = payload.to_vec();
+        self.pos += len + FRAME_OVERHEAD;
+        // Compact once the dead prefix dominates, keeping push() amortized
+        // O(1) without unbounded growth.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(Some(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_and_back_to_back() {
+        let mut dec = FrameDecoder::new();
+        let mut wire = encode_frame(b"first");
+        wire.extend_from_slice(&encode_frame(b""));
+        wire.extend_from_slice(&encode_frame(&[0xAB; 1000]));
+        dec.push(&wire);
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&b"first"[..]));
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(
+            dec.next_frame().unwrap().as_deref(),
+            Some(&[0xAB; 1000][..])
+        );
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery() {
+        let wire = encode_frame(b"drip");
+        let mut dec = FrameDecoder::new();
+        for &b in &wire[..wire.len() - 1] {
+            dec.push(&[b]);
+            assert_eq!(dec.next_frame().unwrap(), None);
+        }
+        dec.push(&wire[wire.len() - 1..]);
+        assert_eq!(dec.next_frame().unwrap().as_deref(), Some(&b"drip"[..]));
+    }
+
+    #[test]
+    fn crc_corruption_is_a_clean_error() {
+        let mut wire = encode_frame(b"payload");
+        wire[6] ^= 0x40; // flip one payload bit
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        assert!(matches!(dec.next_frame(), Err(FrameError::Crc { .. })));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameError::TooLarge {
+                len: MAX_FRAME as u32 + 1
+            })
+        );
+    }
+
+    #[test]
+    fn compaction_preserves_stream_position() {
+        let mut dec = FrameDecoder::new();
+        // Enough traffic to trigger compaction several times.
+        for i in 0..100u32 {
+            let payload = vec![i as u8; 200];
+            dec.push(&encode_frame(&payload));
+            assert_eq!(dec.next_frame().unwrap(), Some(payload));
+        }
+        assert_eq!(dec.pending(), 0);
+    }
+}

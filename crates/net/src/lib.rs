@@ -1,0 +1,34 @@
+//! terp-net: the TCP front-end and client library for the PMO service.
+//!
+//! The in-process [`terp_service::PmoService`] enforces the paper's
+//! temporal-exposure semantics for threads inside one address space; this
+//! crate puts those semantics on a socket without weakening them. The load
+//! that matters — an MM/Basic-semantics attach parking on another holder's
+//! exposure window — blocks the *request*, never the connection or a shard:
+//! the protocol pipelines by request id and completes out of order
+//! (DESIGN.md §13).
+//!
+//! Layers, bottom-up:
+//!
+//! * [`frame`] — length-prefixed, CRC-32-framed byte envelopes with an
+//!   incremental decoder (same CRC codec as the WAL).
+//! * [`proto`] — versioned request/response messages and the
+//!   [`ServiceError`] wire mapping.
+//! * [`server`] — [`server::NetServer`]: accept loop, per-connection
+//!   reader/writer threads, per-shard batched executor, dedicated threads
+//!   for blocking attaches, drain-before-close shutdown.
+//! * [`client`] — [`client::Client`]: sync calls and pipelined
+//!   [`client::Pending`] tickets over one multiplexed connection.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, Pending};
+pub use frame::{encode_frame, FrameDecoder, FrameError, MAX_FRAME};
+pub use proto::{Request, Response, MAGIC, VERSION};
+pub use server::NetServer;
+pub use terp_service::ServiceError;

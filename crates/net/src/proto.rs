@@ -1,0 +1,695 @@
+//! The message layer: requests, responses, and the error code space.
+//!
+//! A message is one frame payload:
+//!
+//! ```text
+//! [kind: u8] [req_id: u64 LE] [body...]
+//! ```
+//!
+//! Request ids are assigned by the client, strictly increasing per
+//! connection, and echoed verbatim in the matching response — that is the
+//! whole pipelining contract. The server may complete requests *out of
+//! order* (a Basic-semantics attach that blocks on an exposure window must
+//! not head-of-line-block later ops on the same connection), so clients
+//! match responses by id, never by position.
+//!
+//! A connection opens with a [`Request::Hello`] carrying the protocol magic,
+//! version, and the client id every subsequent op on the connection acts
+//! as. Any other first message — or a magic/version mismatch — is a
+//! protocol error and the server closes the stream.
+//!
+//! Every decode is bounds-checked and total: malformed bodies produce
+//! [`ServiceError::Protocol`], never a panic, and trailing bytes after a
+//! well-formed body are rejected (they would mean a framing bug).
+
+use terp_pmo::{AccessKind, ObjectId, OpenMode, Permission, PmoId};
+use terp_service::{ClientId, ServiceError};
+
+/// Protocol magic, first field of the hello body (`"TERP"` little-endian).
+pub const MAGIC: u32 = 0x5052_4554;
+
+/// Wire protocol version. Bumped on any incompatible layout change; the
+/// server refuses hellos carrying a different version.
+pub const VERSION: u16 = 1;
+
+/// Cap on one read's requested length: the response data must fit a frame
+/// alongside its header.
+pub const MAX_READ: u32 = (crate::frame::MAX_FRAME - 64) as u32;
+
+// Request kinds.
+const K_HELLO: u8 = 0x01;
+const K_CREATE: u8 = 0x10;
+const K_ATTACH: u8 = 0x11;
+const K_DETACH: u8 = 0x12;
+const K_READ: u8 = 0x13;
+const K_WRITE: u8 = 0x14;
+const K_ALLOC: u8 = 0x15;
+const K_FREE: u8 = 0x16;
+const K_PING: u8 = 0x17;
+
+// Response kinds.
+const K_OK_UNIT: u8 = 0x80;
+const K_OK_POOL: u8 = 0x81;
+const K_OK_OID: u8 = 0x82;
+const K_OK_DATA: u8 = 0x83;
+const K_OK_ATTACHED: u8 = 0x84;
+const K_OK_HELLO: u8 = 0x85;
+const K_ERR: u8 = 0xEE;
+
+// Error codes inside a `K_ERR` body.
+const E_UNKNOWN_PMO: u16 = 1;
+const E_ALREADY_ATTACHED: u16 = 2;
+const E_NOT_ATTACHED: u16 = 3;
+const E_PERMISSION: u16 = 4;
+const E_SHUTTING_DOWN: u16 = 5;
+const E_SUBSTRATE: u16 = 6;
+const E_PERSIST: u16 = 7;
+const E_PROTOCOL: u16 = 8;
+const E_DISCONNECTED: u16 = 9;
+
+/// One client → server operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Connection handshake: magic, version, and the client id this
+    /// connection speaks for.
+    Hello {
+        /// Must equal [`MAGIC`].
+        magic: u32,
+        /// Must equal [`VERSION`].
+        version: u16,
+        /// Client id for every op on this connection.
+        client: u64,
+    },
+    /// `create_pool(name, size, mode)`.
+    CreatePool {
+        /// Pool name (uniqueness enforced by the service registry).
+        name: String,
+        /// Pool size in bytes.
+        size: u64,
+        /// Open mode.
+        mode: OpenMode,
+    },
+    /// `attach(pmo, perm)` — may block server-side under Basic semantics.
+    Attach {
+        /// Pool to attach.
+        pmo: PmoId,
+        /// Requested permission.
+        perm: Permission,
+    },
+    /// `detach(pmo)`.
+    Detach {
+        /// Pool to detach.
+        pmo: PmoId,
+    },
+    /// `read(oid, len)`.
+    Read {
+        /// Object to read.
+        oid: ObjectId,
+        /// Bytes to read (≤ [`MAX_READ`]).
+        len: u32,
+    },
+    /// `write(oid, data)`.
+    Write {
+        /// Object to write.
+        oid: ObjectId,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+    /// `alloc(pmo, size)`.
+    Alloc {
+        /// Pool to allocate in.
+        pmo: PmoId,
+        /// Allocation size in bytes.
+        size: u64,
+    },
+    /// `free(oid)`.
+    Free {
+        /// Object to free.
+        oid: ObjectId,
+    },
+    /// Liveness probe; completes with [`Response::Unit`].
+    Ping,
+}
+
+/// One server → client completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Success with no payload (detach, write, free, ping).
+    Unit,
+    /// `create_pool` succeeded.
+    Pool(PmoId),
+    /// `alloc` succeeded.
+    Oid(ObjectId),
+    /// `read` succeeded.
+    Data(Vec<u8>),
+    /// `attach` succeeded; carries the nanoseconds the request spent queued
+    /// on Basic-semantics serialization (0 for non-blocking schemes).
+    Attached {
+        /// Queue wait attributable to a conflicting holder.
+        waited_ns: u64,
+    },
+    /// Handshake accepted.
+    Hello {
+        /// Server's protocol version (equals [`VERSION`] on success).
+        version: u16,
+        /// Scheme tag (display only).
+        scheme: String,
+        /// Server shard count.
+        shards: u16,
+    },
+    /// The operation failed; see [`ServiceError`].
+    Err(ServiceError),
+}
+
+fn perr(msg: impl Into<String>) -> ServiceError {
+    ServiceError::Protocol(msg.into())
+}
+
+/// Bounds-checked little-endian cursor over a message body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ServiceError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| perr("truncated message body"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ServiceError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ServiceError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ServiceError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ServiceError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+
+    fn finish(self) -> Result<(), ServiceError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(perr(format!(
+                "{} trailing bytes after message body",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+
+    fn pmo(&mut self) -> Result<PmoId, ServiceError> {
+        let raw = self.u16()?;
+        PmoId::new(raw).ok_or_else(|| perr(format!("invalid pool id {raw} on the wire")))
+    }
+
+    fn oid(&mut self) -> Result<ObjectId, ServiceError> {
+        let packed = self.u64()?;
+        ObjectId::from_packed(packed)
+            .ok_or_else(|| perr(format!("invalid packed object id {packed:#x} on the wire")))
+    }
+
+    fn string(&mut self) -> Result<String, ServiceError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| perr("non-UTF-8 string on the wire"))
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    out.extend_from_slice(&bytes[..len]);
+}
+
+fn mode_byte(mode: OpenMode) -> u8 {
+    match mode {
+        OpenMode::ReadOnly => 0,
+        OpenMode::ReadWrite => 1,
+    }
+}
+
+fn mode_from(b: u8) -> Result<OpenMode, ServiceError> {
+    match b {
+        0 => Ok(OpenMode::ReadOnly),
+        1 => Ok(OpenMode::ReadWrite),
+        _ => Err(perr(format!("invalid open mode {b}"))),
+    }
+}
+
+fn perm_byte(perm: Permission) -> u8 {
+    match perm {
+        Permission::None => 0,
+        Permission::Read => 1,
+        Permission::ReadWrite => 2,
+    }
+}
+
+fn perm_from(b: u8) -> Result<Permission, ServiceError> {
+    match b {
+        0 => Ok(Permission::None),
+        1 => Ok(Permission::Read),
+        2 => Ok(Permission::ReadWrite),
+        _ => Err(perr(format!("invalid permission {b}"))),
+    }
+}
+
+fn kind_byte(kind: AccessKind) -> u8 {
+    match kind {
+        AccessKind::Read => 0,
+        AccessKind::Write => 1,
+    }
+}
+
+fn kind_from(b: u8) -> Result<AccessKind, ServiceError> {
+    match b {
+        0 => Ok(AccessKind::Read),
+        1 => Ok(AccessKind::Write),
+        _ => Err(perr(format!("invalid access kind {b}"))),
+    }
+}
+
+impl Request {
+    /// Serializes the request as one frame payload.
+    pub fn encode(&self, req_id: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        let kind = match self {
+            Request::Hello { .. } => K_HELLO,
+            Request::CreatePool { .. } => K_CREATE,
+            Request::Attach { .. } => K_ATTACH,
+            Request::Detach { .. } => K_DETACH,
+            Request::Read { .. } => K_READ,
+            Request::Write { .. } => K_WRITE,
+            Request::Alloc { .. } => K_ALLOC,
+            Request::Free { .. } => K_FREE,
+            Request::Ping => K_PING,
+        };
+        out.push(kind);
+        out.extend_from_slice(&req_id.to_le_bytes());
+        match self {
+            Request::Hello {
+                magic,
+                version,
+                client,
+            } => {
+                out.extend_from_slice(&magic.to_le_bytes());
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&client.to_le_bytes());
+            }
+            Request::CreatePool { name, size, mode } => {
+                out.extend_from_slice(&size.to_le_bytes());
+                out.push(mode_byte(*mode));
+                put_string(&mut out, name);
+            }
+            Request::Attach { pmo, perm } => {
+                out.extend_from_slice(&pmo.raw().to_le_bytes());
+                out.push(perm_byte(*perm));
+            }
+            Request::Detach { pmo } => out.extend_from_slice(&pmo.raw().to_le_bytes()),
+            Request::Read { oid, len } => {
+                out.extend_from_slice(&oid.to_packed().to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+            Request::Write { oid, data } => {
+                out.extend_from_slice(&oid.to_packed().to_le_bytes());
+                out.extend_from_slice(data);
+            }
+            Request::Alloc { pmo, size } => {
+                out.extend_from_slice(&pmo.raw().to_le_bytes());
+                out.extend_from_slice(&size.to_le_bytes());
+            }
+            Request::Free { oid } => out.extend_from_slice(&oid.to_packed().to_le_bytes()),
+            Request::Ping => {}
+        }
+        out
+    }
+
+    /// Parses one frame payload into `(req_id, request)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Protocol`] on truncation, unknown kinds, invalid
+    /// enum bytes, or trailing garbage.
+    pub fn decode(payload: &[u8]) -> Result<(u64, Request), ServiceError> {
+        let mut c = Cursor::new(payload);
+        let kind = c.u8()?;
+        let req_id = c.u64()?;
+        let req = match kind {
+            K_HELLO => Request::Hello {
+                magic: c.u32()?,
+                version: c.u16()?,
+                client: c.u64()?,
+            },
+            K_CREATE => {
+                let size = c.u64()?;
+                let mode = mode_from(c.u8()?)?;
+                let name = c.string()?;
+                Request::CreatePool { name, size, mode }
+            }
+            K_ATTACH => Request::Attach {
+                pmo: c.pmo()?,
+                perm: perm_from(c.u8()?)?,
+            },
+            K_DETACH => Request::Detach { pmo: c.pmo()? },
+            K_READ => {
+                let oid = c.oid()?;
+                let len = c.u32()?;
+                if len > MAX_READ {
+                    return Err(perr(format!("read length {len} exceeds {MAX_READ}")));
+                }
+                Request::Read { oid, len }
+            }
+            K_WRITE => {
+                let oid = c.oid()?;
+                let data = c.rest().to_vec();
+                Request::Write { oid, data }
+            }
+            K_ALLOC => Request::Alloc {
+                pmo: c.pmo()?,
+                size: c.u64()?,
+            },
+            K_FREE => Request::Free { oid: c.oid()? },
+            K_PING => Request::Ping,
+            other => return Err(perr(format!("unknown request kind {other:#04x}"))),
+        };
+        c.finish()?;
+        Ok((req_id, req))
+    }
+}
+
+fn encode_err(out: &mut Vec<u8>, e: &ServiceError) {
+    let (code, a, b, msg) = match e {
+        ServiceError::UnknownPmo(p) => (E_UNKNOWN_PMO, u64::from(p.raw()), 0, String::new()),
+        ServiceError::AlreadyAttached { client, pmo } => (
+            E_ALREADY_ATTACHED,
+            *client as u64,
+            u64::from(pmo.raw()),
+            String::new(),
+        ),
+        ServiceError::NotAttached { client, pmo } => (
+            E_NOT_ATTACHED,
+            *client as u64,
+            u64::from(pmo.raw()),
+            String::new(),
+        ),
+        ServiceError::PermissionDenied { client, pmo, kind } => (
+            E_PERMISSION,
+            *client as u64,
+            u64::from(pmo.raw()) | (u64::from(kind_byte(*kind)) << 32),
+            String::new(),
+        ),
+        ServiceError::ShuttingDown => (E_SHUTTING_DOWN, 0, 0, String::new()),
+        ServiceError::Substrate(e) => (E_SUBSTRATE, 0, 0, e.to_string()),
+        ServiceError::RemoteSubstrate(msg) => (E_SUBSTRATE, 0, 0, msg.clone()),
+        ServiceError::Persist(msg) => (E_PERSIST, 0, 0, msg.clone()),
+        ServiceError::Protocol(msg) => (E_PROTOCOL, 0, 0, msg.clone()),
+        ServiceError::Disconnected(msg) => (E_DISCONNECTED, 0, 0, msg.clone()),
+    };
+    out.extend_from_slice(&code.to_le_bytes());
+    out.extend_from_slice(&a.to_le_bytes());
+    out.extend_from_slice(&b.to_le_bytes());
+    put_string(out, &msg);
+}
+
+fn decode_err(c: &mut Cursor<'_>) -> Result<ServiceError, ServiceError> {
+    let code = c.u16()?;
+    let a = c.u64()?;
+    let b = c.u64()?;
+    let msg = c.string()?;
+    let wire_pmo = |raw: u64| {
+        PmoId::new(raw as u16).ok_or_else(|| perr(format!("invalid pool id {raw} in error body")))
+    };
+    Ok(match code {
+        E_UNKNOWN_PMO => ServiceError::UnknownPmo(wire_pmo(a)?),
+        E_ALREADY_ATTACHED => ServiceError::AlreadyAttached {
+            client: a as ClientId,
+            pmo: wire_pmo(b)?,
+        },
+        E_NOT_ATTACHED => ServiceError::NotAttached {
+            client: a as ClientId,
+            pmo: wire_pmo(b)?,
+        },
+        E_PERMISSION => ServiceError::PermissionDenied {
+            client: a as ClientId,
+            pmo: wire_pmo(b & 0xFFFF_FFFF)?,
+            kind: kind_from((b >> 32) as u8)?,
+        },
+        E_SHUTTING_DOWN => ServiceError::ShuttingDown,
+        E_SUBSTRATE => ServiceError::RemoteSubstrate(msg),
+        E_PERSIST => ServiceError::Persist(msg),
+        E_PROTOCOL => ServiceError::Protocol(msg),
+        E_DISCONNECTED => ServiceError::Disconnected(msg),
+        other => return Err(perr(format!("unknown error code {other}"))),
+    })
+}
+
+impl Response {
+    /// Serializes the response as one frame payload.
+    pub fn encode(&self, req_id: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        let kind = match self {
+            Response::Unit => K_OK_UNIT,
+            Response::Pool(_) => K_OK_POOL,
+            Response::Oid(_) => K_OK_OID,
+            Response::Data(_) => K_OK_DATA,
+            Response::Attached { .. } => K_OK_ATTACHED,
+            Response::Hello { .. } => K_OK_HELLO,
+            Response::Err(_) => K_ERR,
+        };
+        out.push(kind);
+        out.extend_from_slice(&req_id.to_le_bytes());
+        match self {
+            Response::Unit => {}
+            Response::Pool(p) => out.extend_from_slice(&p.raw().to_le_bytes()),
+            Response::Oid(oid) => out.extend_from_slice(&oid.to_packed().to_le_bytes()),
+            Response::Data(data) => out.extend_from_slice(data),
+            Response::Attached { waited_ns } => out.extend_from_slice(&waited_ns.to_le_bytes()),
+            Response::Hello {
+                version,
+                scheme,
+                shards,
+            } => {
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&shards.to_le_bytes());
+                put_string(&mut out, scheme);
+            }
+            Response::Err(e) => encode_err(&mut out, e),
+        }
+        out
+    }
+
+    /// Parses one frame payload into `(req_id, response)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Protocol`] on truncation, unknown kinds, or trailing
+    /// garbage.
+    pub fn decode(payload: &[u8]) -> Result<(u64, Response), ServiceError> {
+        let mut c = Cursor::new(payload);
+        let kind = c.u8()?;
+        let req_id = c.u64()?;
+        let resp = match kind {
+            K_OK_UNIT => Response::Unit,
+            K_OK_POOL => Response::Pool(c.pmo()?),
+            K_OK_OID => Response::Oid(c.oid()?),
+            K_OK_DATA => Response::Data(c.rest().to_vec()),
+            K_OK_ATTACHED => Response::Attached {
+                waited_ns: c.u64()?,
+            },
+            K_OK_HELLO => {
+                let version = c.u16()?;
+                let shards = c.u16()?;
+                let scheme = c.string()?;
+                Response::Hello {
+                    version,
+                    scheme,
+                    shards,
+                }
+            }
+            K_ERR => Response::Err(decode_err(&mut c)?),
+            other => return Err(perr(format!("unknown response kind {other:#04x}"))),
+        };
+        c.finish()?;
+        Ok((req_id, resp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use terp_pmo::PmoError;
+
+    fn pmo(raw: u16) -> PmoId {
+        PmoId::new(raw).unwrap()
+    }
+
+    #[test]
+    fn request_roundtrip_all_kinds() {
+        let reqs = vec![
+            Request::Hello {
+                magic: MAGIC,
+                version: VERSION,
+                client: 42,
+            },
+            Request::CreatePool {
+                name: "ledger".into(),
+                size: 1 << 20,
+                mode: OpenMode::ReadWrite,
+            },
+            Request::Attach {
+                pmo: pmo(7),
+                perm: Permission::ReadWrite,
+            },
+            Request::Detach { pmo: pmo(1023) },
+            Request::Read {
+                oid: ObjectId::new(pmo(3), 0x40),
+                len: 128,
+            },
+            Request::Write {
+                oid: ObjectId::new(pmo(3), 0),
+                data: vec![1, 2, 3],
+            },
+            Request::Alloc {
+                pmo: pmo(9),
+                size: 64,
+            },
+            Request::Free {
+                oid: ObjectId::new(pmo(9), 0x80),
+            },
+            Request::Ping,
+        ];
+        for (i, req) in reqs.into_iter().enumerate() {
+            let id = i as u64 * 13 + 1;
+            let wire = req.encode(id);
+            assert_eq!(Request::decode(&wire).unwrap(), (id, req));
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_all_kinds() {
+        let resps = vec![
+            Response::Unit,
+            Response::Pool(pmo(12)),
+            Response::Oid(ObjectId::new(pmo(1), 0x1234)),
+            Response::Data(vec![9; 300]),
+            Response::Attached { waited_ns: 12345 },
+            Response::Hello {
+                version: VERSION,
+                scheme: "tt".into(),
+                shards: 16,
+            },
+            Response::Err(ServiceError::UnknownPmo(pmo(99))),
+            Response::Err(ServiceError::AlreadyAttached {
+                client: 3,
+                pmo: pmo(4),
+            }),
+            Response::Err(ServiceError::NotAttached {
+                client: 5,
+                pmo: pmo(6),
+            }),
+            Response::Err(ServiceError::PermissionDenied {
+                client: 7,
+                pmo: pmo(8),
+                kind: AccessKind::Write,
+            }),
+            Response::Err(ServiceError::ShuttingDown),
+            Response::Err(ServiceError::Persist("wal: torn record".into())),
+            Response::Err(ServiceError::Protocol("bad frame".into())),
+            Response::Err(ServiceError::Disconnected("peer reset".into())),
+        ];
+        for (i, resp) in resps.into_iter().enumerate() {
+            let id = i as u64;
+            let wire = resp.encode(id);
+            assert_eq!(Response::decode(&wire).unwrap(), (id, resp));
+        }
+    }
+
+    #[test]
+    fn substrate_errors_lose_structure_but_keep_the_message() {
+        let e = ServiceError::Substrate(PmoError::NameExists("dup".into()));
+        let wire = Response::Err(e.clone()).encode(1);
+        let (_, decoded) = Response::decode(&wire).unwrap();
+        match decoded {
+            Response::Err(ServiceError::RemoteSubstrate(msg)) => {
+                assert_eq!(msg, PmoError::NameExists("dup".into()).to_string());
+            }
+            other => panic!("expected RemoteSubstrate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_are_clean_protocol_errors() {
+        // Truncated everywhere.
+        for req in [
+            Request::Attach {
+                pmo: pmo(7),
+                perm: Permission::Read,
+            },
+            Request::CreatePool {
+                name: "x".into(),
+                size: 4096,
+                mode: OpenMode::ReadWrite,
+            },
+        ] {
+            let wire = req.encode(5);
+            for cut in 0..wire.len() {
+                let r = Request::decode(&wire[..cut]);
+                assert!(
+                    matches!(r, Err(ServiceError::Protocol(_))),
+                    "cut at {cut} must be a protocol error, got {r:?}"
+                );
+            }
+        }
+        // Unknown kind, trailing garbage, bad enum bytes, zero pool id.
+        assert!(matches!(
+            Request::decode(&[0x7F, 0, 0, 0, 0, 0, 0, 0, 0]),
+            Err(ServiceError::Protocol(_))
+        ));
+        let mut wire = Request::Ping.encode(1);
+        wire.push(0xAA);
+        assert!(matches!(
+            Request::decode(&wire),
+            Err(ServiceError::Protocol(_))
+        ));
+        let mut wire = Request::Attach {
+            pmo: pmo(7),
+            perm: Permission::Read,
+        }
+        .encode(1);
+        *wire.last_mut().unwrap() = 9; // invalid permission byte
+        assert!(matches!(
+            Request::decode(&wire),
+            Err(ServiceError::Protocol(_))
+        ));
+        let mut wire = Request::Detach { pmo: pmo(7) }.encode(1);
+        wire[9] = 0;
+        wire[10] = 0; // pool id 0 is the reserved null id
+        assert!(matches!(
+            Request::decode(&wire),
+            Err(ServiceError::Protocol(_))
+        ));
+    }
+}

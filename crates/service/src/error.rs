@@ -43,6 +43,17 @@ pub enum ServiceError {
     /// underlying [`terp_persist::PersistError`] is rendered to a string so
     /// this enum stays `Clone + PartialEq`.
     Persist(String),
+    /// A substrate error relayed over the network boundary (terp-net): the
+    /// structured [`PmoError`] was rendered to a string at the protocol
+    /// layer, so only its message survives the wire.
+    RemoteSubstrate(String),
+    /// A wire-protocol violation on a network connection (terp-net): bad
+    /// framing, CRC mismatch, unknown opcode, or a version/handshake
+    /// failure. Always connection-fatal.
+    Protocol(String),
+    /// The network transport failed (terp-net): the peer closed the
+    /// connection or a socket I/O error interrupted a request in flight.
+    Disconnected(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -61,6 +72,9 @@ impl std::fmt::Display for ServiceError {
             ServiceError::ShuttingDown => write!(f, "service: shutting down"),
             ServiceError::Substrate(e) => write!(f, "service: {e}"),
             ServiceError::Persist(msg) => write!(f, "service: durable store: {msg}"),
+            ServiceError::RemoteSubstrate(msg) => write!(f, "service (remote): {msg}"),
+            ServiceError::Protocol(msg) => write!(f, "net: protocol violation: {msg}"),
+            ServiceError::Disconnected(msg) => write!(f, "net: disconnected: {msg}"),
         }
     }
 }

@@ -128,6 +128,26 @@ pub enum EventKind {
         /// Highest wake ticket observed at pass start.
         token: u64,
     },
+    /// A network reader thread decoded request `req` from connection `conn`
+    /// (terp-net). The decode happens-before the request's execution
+    /// ([`EventKind::NetExec`] with the same `conn`/`req`), wherever that
+    /// execution lands — inline, on an executor worker, or on a dedicated
+    /// blocking-attach thread.
+    NetRecv {
+        /// Server-side connection id.
+        conn: u32,
+        /// Client-assigned request id (unique per connection).
+        req: u64,
+    },
+    /// Execution of request `req` from connection `conn` began (terp-net).
+    /// Recorded on the executing thread, which may differ from the reader's;
+    /// the matching [`EventKind::NetRecv`] happens-before this.
+    NetExec {
+        /// Server-side connection id.
+        conn: u32,
+        /// Client-assigned request id (unique per connection).
+        req: u64,
+    },
 }
 
 /// One recorded event: a service-clock timestamp plus the operation.
@@ -155,6 +175,8 @@ impl EventKind {
             EventKind::Publish { .. } => 10,
             EventKind::Unpark { .. } => 11,
             EventKind::Wakeup { .. } => 12,
+            EventKind::NetRecv { .. } => 13,
+            EventKind::NetExec { .. } => 14,
         }
     }
 
@@ -173,6 +195,8 @@ impl EventKind {
             EventKind::Publish { .. } => "pb",
             EventKind::Unpark { .. } => "up",
             EventKind::Wakeup { .. } => "wk",
+            EventKind::NetRecv { .. } => "nr",
+            EventKind::NetExec { .. } => "nx",
         }
     }
 }
@@ -215,6 +239,8 @@ impl Event {
             EventKind::Publish { pmo, epoch } => (pmo, 0, 0, 0, epoch, 0),
             EventKind::Unpark { token } => (0, 0, 0, token, 0, 0),
             EventKind::Wakeup { token } => (0, 0, 0, token, 0, 0),
+            EventKind::NetRecv { conn, req } => (0, 0, 0, conn as u64, req, 0),
+            EventKind::NetExec { conn, req } => (0, 0, 0, conn as u64, req, 0),
         };
         let packed = tag | ((pmo as u64) << 8) | (flag << 24) | ((len as u64) << 32);
         [self.ts_ns, packed, a, b, c]
@@ -269,6 +295,14 @@ impl Event {
             10 => EventKind::Publish { pmo, epoch: b },
             11 => EventKind::Unpark { token: a },
             12 => EventKind::Wakeup { token: a },
+            13 => EventKind::NetRecv {
+                conn: a as u32,
+                req: b,
+            },
+            14 => EventKind::NetExec {
+                conn: a as u32,
+                req: b,
+            },
             _ => return None,
         };
         Some(Event { ts_ns, kind })
@@ -314,6 +348,9 @@ impl Event {
             EventKind::Publish { pmo, epoch } => format!("{m} {ts} {pmo} {epoch}"),
             EventKind::Unpark { token } | EventKind::Wakeup { token } => {
                 format!("{m} {ts} {token}")
+            }
+            EventKind::NetRecv { conn, req } | EventKind::NetExec { conn, req } => {
+                format!("{m} {ts} {conn} {req}")
             }
         }
     }
@@ -396,6 +433,15 @@ impl Event {
             }
             "up" => EventKind::Unpark { token: next()? },
             "wk" => EventKind::Wakeup { token: next()? },
+            "nr" | "nx" => {
+                let conn = next()? as u32;
+                let req = next()?;
+                if m == "nr" {
+                    EventKind::NetRecv { conn, req }
+                } else {
+                    EventKind::NetExec { conn, req }
+                }
+            }
             _ => return None,
         };
         Some(Event { ts_ns, kind })
@@ -446,6 +492,14 @@ mod tests {
             },
             EventKind::Unpark { token: 5 },
             EventKind::Wakeup { token: u64::MAX },
+            EventKind::NetRecv {
+                conn: 3,
+                req: 1 << 45,
+            },
+            EventKind::NetExec {
+                conn: u32::MAX,
+                req: 0,
+            },
         ]
     }
 
