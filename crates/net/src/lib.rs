@@ -18,17 +18,23 @@
 //!   reader/writer threads, per-shard batched executor, dedicated threads
 //!   for blocking attaches, drain-before-close shutdown.
 //! * [`client`] — [`client::Client`]: sync calls and pipelined
-//!   [`client::Pending`] tickets over one multiplexed connection.
+//!   [`client::Pending`] tickets over one multiplexed connection, plus
+//!   [`client::Backoff`]-paced reconnects.
+//! * [`repl`] — the log-shipping message set used by the `terp-repl`
+//!   leader/follower stream (shares the frame codec, not the proto
+//!   request/response machinery).
 
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod frame;
 pub mod proto;
+pub mod repl;
 pub mod server;
 
-pub use client::{Client, Pending};
+pub use client::{Backoff, Client, Pending};
 pub use frame::{encode_frame, FrameDecoder, FrameError, MAX_FRAME};
 pub use proto::{Request, Response, MAGIC, VERSION};
+pub use repl::{ReplMsg, SNAP_CHUNK};
 pub use server::NetServer;
 pub use terp_service::ServiceError;

@@ -66,6 +66,7 @@ const E_SUBSTRATE: u16 = 6;
 const E_PERSIST: u16 = 7;
 const E_PROTOCOL: u16 = 8;
 const E_DISCONNECTED: u16 = 9;
+const E_READ_ONLY: u16 = 10;
 
 /// One client → server operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -427,6 +428,7 @@ fn encode_err(out: &mut Vec<u8>, e: &ServiceError) {
         ServiceError::Persist(msg) => (E_PERSIST, 0, 0, msg.clone()),
         ServiceError::Protocol(msg) => (E_PROTOCOL, 0, 0, msg.clone()),
         ServiceError::Disconnected(msg) => (E_DISCONNECTED, 0, 0, msg.clone()),
+        ServiceError::ReadOnly => (E_READ_ONLY, 0, 0, String::new()),
     };
     out.extend_from_slice(&code.to_le_bytes());
     out.extend_from_slice(&a.to_le_bytes());
@@ -462,6 +464,7 @@ fn decode_err(c: &mut Cursor<'_>) -> Result<ServiceError, ServiceError> {
         E_PERSIST => ServiceError::Persist(msg),
         E_PROTOCOL => ServiceError::Protocol(msg),
         E_DISCONNECTED => ServiceError::Disconnected(msg),
+        E_READ_ONLY => ServiceError::ReadOnly,
         other => return Err(perr(format!("unknown error code {other}"))),
     })
 }
@@ -619,6 +622,7 @@ mod tests {
             Response::Err(ServiceError::Persist("wal: torn record".into())),
             Response::Err(ServiceError::Protocol("bad frame".into())),
             Response::Err(ServiceError::Disconnected("peer reset".into())),
+            Response::Err(ServiceError::ReadOnly),
         ];
         for (i, resp) in resps.into_iter().enumerate() {
             let id = i as u64;

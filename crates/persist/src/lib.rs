@@ -27,6 +27,9 @@
 //!   reattach. Windows are re-sealed, never resumed.
 //! * [`store`] — [`DurableStore`]: one directory (WAL + snapshots) with
 //!   open-time recovery and the crash-safe checkpoint protocol.
+//! * [`tail`] — [`TailReader`]: stable tail reads over a *live* WAL for log
+//!   shipping; a torn tail under a racing group-commit append reads as
+//!   [`TailStatus::NeedMore`], never as corruption.
 //!
 //! # Quick start
 //!
@@ -67,6 +70,7 @@ pub mod record;
 pub mod recovery;
 pub mod snapshot;
 pub mod store;
+pub mod tail;
 pub mod wal;
 
 pub use crash::{enumerate_crash_points, inject, CrashMode, CrashPoint};
@@ -75,4 +79,5 @@ pub use record::{read_log, LogContents, WalRecord};
 pub use recovery::{recover, RecoveredState, RecoveryReport};
 pub use snapshot::{load_snapshots, PoolSnapshot};
 pub use store::DurableStore;
+pub use tail::{TailChunk, TailReader, TailStatus};
 pub use wal::{FsyncPolicy, WalStats, WalWriter};

@@ -1,0 +1,299 @@
+//! Stable WAL tail reads for log shipping.
+//!
+//! A replication leader tails each shard's live WAL file while the service
+//! keeps appending to it under group commit. That concurrency is exactly
+//! what makes a naive "read the file, decode, error on bad CRC" reader
+//! wrong: the reader can observe a *torn tail* — the prefix of a frame the
+//! writer is mid-`write(2)` on — which is indistinguishable, byte for byte,
+//! from the torn tail a crash leaves. Both must mean "not yet", never
+//! "corrupt": [`TailReader::poll`] returns the valid frame prefix it could
+//! decode plus [`TailStatus::NeedMore`], and the next poll re-examines the
+//! same offset once the writer has finished the frame.
+//!
+//! The other thing a live file can do that a crashed one cannot is *shrink*:
+//! a checkpoint truncates the WAL after snapshotting. A reader whose offset
+//! is past end-of-file is not torn, it is obsolete — [`TailStatus::Truncated`]
+//! tells the shipper to restart that shard from a fresh snapshot.
+//!
+//! Chunks carry both decoded records (for watermark accounting) and the raw
+//! validated frame bytes (so a follower can append them verbatim and end up
+//! with a byte-identical log prefix).
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+use crate::error::PersistError;
+use crate::record::{read_log, WalRecord};
+
+/// What [`TailReader::poll`] observed past the returned records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailStatus {
+    /// Every byte up to end-of-file decoded into valid frames; the reader
+    /// is caught up with the writer's durable prefix.
+    CaughtUp,
+    /// Trailing bytes did not (yet) form a complete valid frame — a torn
+    /// tail, which under a live group-commit writer simply means the frame
+    /// is still being written. Poll again; never treat as corruption.
+    NeedMore,
+    /// The file shrank below the reader's offset (checkpoint truncation).
+    /// The offset has been reset to zero, but log shipping must restart
+    /// from a fresh snapshot — intervening records are gone.
+    Truncated,
+}
+
+/// One batch of tailed records: the decoded prefix of the bytes between the
+/// reader's previous offset and end-of-file.
+#[derive(Debug)]
+pub struct TailChunk {
+    /// Newly decoded records in log order, with sequence numbers.
+    pub records: Vec<(u64, WalRecord)>,
+    /// The raw bytes of exactly those frames, verbatim from the file —
+    /// appending them to another log reproduces the prefix byte for byte.
+    pub bytes: Vec<u8>,
+    /// What the reader saw past the last valid frame.
+    pub status: TailStatus,
+}
+
+/// Incremental reader over a live WAL file.
+///
+/// ```
+/// use terp_persist::{FsyncPolicy, TailReader, TailStatus, WalRecord, WalWriter};
+/// # fn main() -> Result<(), terp_persist::PersistError> {
+/// let dir = std::env::temp_dir().join(format!("terp-tail-doc-{}", std::process::id()));
+/// std::fs::create_dir_all(&dir)?;
+/// let path = dir.join("wal.log");
+/// let (mut w, _) = WalWriter::open(&path, FsyncPolicy::Always, 1)?;
+/// w.append(&WalRecord::Checkpoint)?;
+///
+/// let mut tail = TailReader::new(&path);
+/// let chunk = tail.poll()?;
+/// assert_eq!(chunk.records.len(), 1);
+/// assert_eq!(chunk.status, TailStatus::CaughtUp);
+/// assert!(tail.poll()?.records.is_empty()); // nothing new
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TailReader {
+    path: PathBuf,
+    offset: u64,
+}
+
+impl TailReader {
+    /// A reader positioned at the start of `path` (which may not exist yet —
+    /// a missing file reads as empty).
+    pub fn new(path: &Path) -> Self {
+        TailReader {
+            path: path.to_path_buf(),
+            offset: 0,
+        }
+    }
+
+    /// A reader positioned at `offset` (bytes of log already shipped).
+    pub fn at_offset(path: &Path, offset: u64) -> Self {
+        TailReader {
+            path: path.to_path_buf(),
+            offset,
+        }
+    }
+
+    /// Byte offset of the next unread frame.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Reads and validates everything appended since the last poll.
+    ///
+    /// Returns the decoded records and their raw frame bytes; the offset
+    /// advances past exactly the valid frames, so a frame that is torn in
+    /// this poll is retried whole in the next. Only real I/O failures are
+    /// errors — an undecodable tail is [`TailStatus::NeedMore`] by design.
+    pub fn poll(&mut self) -> Result<TailChunk, PersistError> {
+        let mut file = match File::open(&self.path) {
+            Ok(f) => f,
+            // A shard that has never logged has no file yet: empty, not an
+            // error — the writer creates it on first append.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(TailChunk {
+                    records: Vec::new(),
+                    bytes: Vec::new(),
+                    status: TailStatus::CaughtUp,
+                })
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let len = file.metadata()?.len();
+        if len < self.offset {
+            // Checkpoint truncated the log out from under us.
+            self.offset = 0;
+            return Ok(TailChunk {
+                records: Vec::new(),
+                bytes: Vec::new(),
+                status: TailStatus::Truncated,
+            });
+        }
+        file.seek(SeekFrom::Start(self.offset))?;
+        let mut raw = Vec::with_capacity((len - self.offset) as usize);
+        file.read_to_end(&mut raw)?;
+
+        let decoded = read_log(&raw);
+        let bytes = raw[..decoded.consumed].to_vec();
+        self.offset += decoded.consumed as u64;
+        Ok(TailChunk {
+            records: decoded.records,
+            bytes,
+            status: if decoded.dropped == 0 {
+                TailStatus::CaughtUp
+            } else {
+                TailStatus::NeedMore
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::{FsyncPolicy, WalWriter};
+    use terp_pmo::PmoId;
+
+    fn rec(n: u64) -> WalRecord {
+        WalRecord::DataWrite {
+            pmo: PmoId::new(1).unwrap(),
+            offset: n,
+            data: vec![n as u8; 16],
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("terp-tail-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn missing_file_reads_as_empty() {
+        let dir = temp_dir("missing");
+        let mut tail = TailReader::new(&dir.join("nope.log"));
+        let chunk = tail.poll().unwrap();
+        assert!(chunk.records.is_empty());
+        assert_eq!(chunk.status, TailStatus::CaughtUp);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn incremental_polls_return_only_new_frames() {
+        let dir = temp_dir("incr");
+        let path = dir.join("wal.log");
+        let (mut w, _) = WalWriter::open(&path, FsyncPolicy::Always, 1).unwrap();
+        w.append(&rec(0)).unwrap();
+        w.append(&rec(1)).unwrap();
+
+        let mut tail = TailReader::new(&path);
+        let c1 = tail.poll().unwrap();
+        assert_eq!(c1.records.len(), 2);
+        assert_eq!(c1.status, TailStatus::CaughtUp);
+
+        w.append(&rec(2)).unwrap();
+        let c2 = tail.poll().unwrap();
+        assert_eq!(c2.records.len(), 1);
+        assert_eq!(c2.records[0].0, 2);
+        // Raw bytes match the file slice exactly.
+        let all = std::fs::read(&path).unwrap();
+        assert_eq!(c2.bytes, all[c1.bytes.len()..]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_need_more_then_completes() {
+        let dir = temp_dir("torn");
+        let path = dir.join("wal.log");
+        let frame = rec(0).encode(0);
+        // Simulate the writer mid-append: only half the frame is visible.
+        std::fs::write(&path, &frame[..frame.len() / 2]).unwrap();
+
+        let mut tail = TailReader::new(&path);
+        let c1 = tail.poll().unwrap();
+        assert!(c1.records.is_empty());
+        assert_eq!(c1.status, TailStatus::NeedMore, "torn tail is not an error");
+        assert_eq!(tail.offset(), 0, "offset holds at the torn frame");
+
+        // Writer finishes the frame; the retry decodes it whole.
+        std::fs::write(&path, &frame).unwrap();
+        let c2 = tail.poll().unwrap();
+        assert_eq!(c2.records.len(), 1);
+        assert_eq!(c2.status, TailStatus::CaughtUp);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncation_is_reported_and_resets() {
+        let dir = temp_dir("trunc");
+        let path = dir.join("wal.log");
+        let (mut w, _) = WalWriter::open(&path, FsyncPolicy::Always, 1).unwrap();
+        for n in 0..4 {
+            w.append(&rec(n)).unwrap();
+        }
+        let mut tail = TailReader::new(&path);
+        assert_eq!(tail.poll().unwrap().records.len(), 4);
+
+        w.truncate().unwrap();
+        let chunk = tail.poll().unwrap();
+        assert_eq!(chunk.status, TailStatus::Truncated);
+        assert!(chunk.records.is_empty());
+        assert_eq!(tail.offset(), 0);
+
+        // Post-checkpoint appends read from the top.
+        w.append(&rec(9)).unwrap();
+        let chunk = tail.poll().unwrap();
+        assert_eq!(chunk.records.len(), 1);
+        assert_eq!(chunk.status, TailStatus::CaughtUp);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The satellite regression: a reader polling a WAL under concurrent
+    /// group-commit appends must never see an error — torn observations are
+    /// `NeedMore` — and must eventually observe every record, in order,
+    /// exactly once.
+    #[test]
+    fn concurrent_appender_never_yields_an_error() {
+        let dir = temp_dir("race");
+        let path = dir.join("wal.log");
+        let total: u64 = 600;
+
+        std::thread::scope(|scope| {
+            let writer_path = path.clone();
+            scope.spawn(move || {
+                // Group commit so multi-frame batches hit the file in single
+                // writes the reader can race against.
+                let (mut w, _) = WalWriter::open(&writer_path, FsyncPolicy::Group, 7).unwrap();
+                for n in 0..total {
+                    w.append(&rec(n)).unwrap();
+                    if n % 13 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                w.sync().unwrap();
+            });
+
+            let mut tail = TailReader::new(&path);
+            let mut seen: Vec<u64> = Vec::new();
+            while seen.len() < total as usize {
+                let chunk = tail.poll().expect("tail poll must never error");
+                assert_ne!(chunk.status, TailStatus::Truncated);
+                for (seq, _) in &chunk.records {
+                    seen.push(*seq);
+                }
+                if chunk.records.is_empty() {
+                    std::thread::yield_now();
+                }
+            }
+            let expected: Vec<u64> = (0..total).collect();
+            assert_eq!(seen, expected, "in order, exactly once");
+        });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -137,6 +137,11 @@ pub struct ServiceConfig {
     /// dumped and replayed by the offline happens-before checker. `None`
     /// (the default) records nothing and adds no per-op cost.
     pub trace: Option<TraceConfig>,
+    /// Warm-standby mode (terp-repl, DESIGN.md §14): the service starts
+    /// read-only — every client mutation is refused with
+    /// [`crate::ServiceError::ReadOnly`] — until
+    /// [`crate::PmoService::promote`] flips it to leader.
+    pub standby: bool,
 }
 
 impl ServiceConfig {
@@ -155,6 +160,7 @@ impl ServiceConfig {
             fastpath: true,
             durable: None,
             trace: None,
+            standby: false,
         }
     }
 
@@ -217,6 +223,13 @@ impl ServiceConfig {
     /// Enables durable mode with an explicit [`DurableConfig`].
     pub fn with_durable_config(mut self, durable: DurableConfig) -> Self {
         self.durable = Some(durable);
+        self
+    }
+
+    /// Starts the service as a read-only warm standby (see
+    /// [`ServiceConfig::standby`]).
+    pub fn with_standby(mut self, standby: bool) -> Self {
+        self.standby = standby;
         self
     }
 

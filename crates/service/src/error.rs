@@ -54,6 +54,9 @@ pub enum ServiceError {
     /// The network transport failed (terp-net): the peer closed the
     /// connection or a socket I/O error interrupted a request in flight.
     Disconnected(String),
+    /// The service is a warm standby (terp-repl): it applies replicated
+    /// state but refuses every client mutation until promoted to leader.
+    ReadOnly,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -75,6 +78,9 @@ impl std::fmt::Display for ServiceError {
             ServiceError::RemoteSubstrate(msg) => write!(f, "service (remote): {msg}"),
             ServiceError::Protocol(msg) => write!(f, "net: protocol violation: {msg}"),
             ServiceError::Disconnected(msg) => write!(f, "net: disconnected: {msg}"),
+            ServiceError::ReadOnly => {
+                write!(f, "service: standby is read-only until promoted")
+            }
         }
     }
 }

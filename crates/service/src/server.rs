@@ -62,6 +62,12 @@ impl PmoServer {
         Arc::clone(&self.service)
     }
 
+    /// Promotes a warm standby to leader (terp-repl failover): mutations
+    /// are accepted from here on. See [`PmoService::promote`].
+    pub fn promote(&self) {
+        self.service.promote();
+    }
+
     /// Runs the shutdown protocol and returns the final merged report.
     pub fn shutdown(self) -> ServiceReport {
         self.service.begin_shutdown();

@@ -150,6 +150,9 @@ pub struct PmoService {
     shards: Vec<Shard>,
     shard_mask: usize,
     shutting_down: AtomicBool,
+    /// Warm-standby gate (terp-repl): while set, every client mutation is
+    /// refused with [`ServiceError::ReadOnly`]; [`Self::promote`] clears it.
+    read_only: AtomicBool,
     sweep_passes: AtomicU64,
     /// The adaptive sweeper's thread handle, registered by the sweeper
     /// itself so first-attaches can wake it from an indefinite park.
@@ -271,6 +274,7 @@ impl PmoService {
             shards,
             shard_mask: mask,
             shutting_down: AtomicBool::new(false),
+            read_only: AtomicBool::new(config.standby),
             sweep_passes: AtomicU64::new(0),
             sweeper_thread: Mutex::new(None),
             metrics: MetricsHub::new(),
@@ -354,6 +358,29 @@ impl PmoService {
         self.shutting_down.load(Ordering::Acquire)
     }
 
+    /// Whether the service is a warm standby still refusing mutations.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.load(Ordering::Acquire)
+    }
+
+    /// Rejects mutations while the service is a standby.
+    fn check_writable(&self) -> Result<(), ServiceError> {
+        if self.is_read_only() {
+            Err(ServiceError::ReadOnly)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Promotes a standby to leader: the read-only gate opens and every
+    /// mutating entry point starts accepting traffic. Idempotent; a no-op
+    /// on a service that never was a standby. The durable-mode open-time
+    /// recovery (which force-reseals crash-open exposure windows) has
+    /// already run by construction — promotion only flips the gate.
+    pub fn promote(&self) {
+        self.read_only.store(false, Ordering::Release);
+    }
+
     fn slab(&self) -> Arc<ThreadSlab> {
         self.metrics.slab()
     }
@@ -376,6 +403,7 @@ impl PmoService {
         if self.is_down() {
             return Err(ServiceError::ShuttingDown);
         }
+        self.check_writable()?;
         let name_shard = Self::name_shard_of(&self.names, name);
         let mut names = name_shard.lock().unwrap_or_else(|e| e.into_inner());
         if names.contains_key(name) {
@@ -431,6 +459,7 @@ impl PmoService {
         pmo: PmoId,
         perm: Permission,
     ) -> Result<u64, ServiceError> {
+        self.check_writable()?;
         let (cost, waited) = match self.config.scheme {
             Scheme::Unprotected => (self.attach_unprotected(client, pmo, perm)?, 0),
             Scheme::Merr | Scheme::BasicSemantics => self.attach_basic(client, pmo, perm)?,
@@ -880,6 +909,7 @@ impl PmoService {
     ///
     /// Same as [`Self::read`], with [`AccessKind::Write`] required.
     pub fn write(&self, client: ClientId, oid: ObjectId, data: &[u8]) -> Result<(), ServiceError> {
+        self.check_writable()?;
         if self.fast_write(client, oid, data).is_some() {
             return Ok(());
         }
@@ -927,6 +957,7 @@ impl PmoService {
     /// [`ServiceError::PermissionDenied`] without write rights, or a
     /// substrate error (pool full).
     pub fn alloc(&self, client: ClientId, pmo: PmoId, size: u64) -> Result<ObjectId, ServiceError> {
+        self.check_writable()?;
         let mut state = self.lock(self.shard(pmo));
         if !state.pools.contains_key(&pmo) {
             return Err(ServiceError::UnknownPmo(pmo));
@@ -950,6 +981,7 @@ impl PmoService {
     ///
     /// Same as [`Self::alloc`].
     pub fn free(&self, client: ClientId, oid: ObjectId) -> Result<(), ServiceError> {
+        self.check_writable()?;
         let pmo = oid.pmo();
         let mut state = self.lock(self.shard(pmo));
         if !state.pools.contains_key(&pmo) {

@@ -148,6 +148,24 @@ pub enum EventKind {
         /// Client-assigned request id (unique per connection).
         req: u64,
     },
+    /// The replication leader shipped WAL record `seq` of shard `shard` to
+    /// a follower (terp-repl). The ship happens-before the follower's
+    /// application of the same record ([`EventKind::ReplApply`]).
+    ReplShip {
+        /// Shard whose WAL the record came from.
+        shard: u32,
+        /// WAL sequence number of the shipped record.
+        seq: u64,
+    },
+    /// A follower applied WAL record `seq` of shard `shard` to its warm
+    /// standby state (terp-repl). The matching [`EventKind::ReplShip`]
+    /// happens-before this.
+    ReplApply {
+        /// Shard whose WAL the record came from.
+        shard: u32,
+        /// WAL sequence number of the applied record.
+        seq: u64,
+    },
 }
 
 /// One recorded event: a service-clock timestamp plus the operation.
@@ -177,6 +195,8 @@ impl EventKind {
             EventKind::Wakeup { .. } => 12,
             EventKind::NetRecv { .. } => 13,
             EventKind::NetExec { .. } => 14,
+            EventKind::ReplShip { .. } => 15,
+            EventKind::ReplApply { .. } => 16,
         }
     }
 
@@ -197,6 +217,8 @@ impl EventKind {
             EventKind::Wakeup { .. } => "wk",
             EventKind::NetRecv { .. } => "nr",
             EventKind::NetExec { .. } => "nx",
+            EventKind::ReplShip { .. } => "rs",
+            EventKind::ReplApply { .. } => "ra",
         }
     }
 }
@@ -241,6 +263,8 @@ impl Event {
             EventKind::Wakeup { token } => (0, 0, 0, token, 0, 0),
             EventKind::NetRecv { conn, req } => (0, 0, 0, conn as u64, req, 0),
             EventKind::NetExec { conn, req } => (0, 0, 0, conn as u64, req, 0),
+            EventKind::ReplShip { shard, seq } => (0, 0, 0, shard as u64, seq, 0),
+            EventKind::ReplApply { shard, seq } => (0, 0, 0, shard as u64, seq, 0),
         };
         let packed = tag | ((pmo as u64) << 8) | (flag << 24) | ((len as u64) << 32);
         [self.ts_ns, packed, a, b, c]
@@ -303,6 +327,14 @@ impl Event {
                 conn: a as u32,
                 req: b,
             },
+            15 => EventKind::ReplShip {
+                shard: a as u32,
+                seq: b,
+            },
+            16 => EventKind::ReplApply {
+                shard: a as u32,
+                seq: b,
+            },
             _ => return None,
         };
         Some(Event { ts_ns, kind })
@@ -351,6 +383,9 @@ impl Event {
             }
             EventKind::NetRecv { conn, req } | EventKind::NetExec { conn, req } => {
                 format!("{m} {ts} {conn} {req}")
+            }
+            EventKind::ReplShip { shard, seq } | EventKind::ReplApply { shard, seq } => {
+                format!("{m} {ts} {shard} {seq}")
             }
         }
     }
@@ -442,6 +477,15 @@ impl Event {
                     EventKind::NetExec { conn, req }
                 }
             }
+            "rs" | "ra" => {
+                let shard = next()? as u32;
+                let seq = next()?;
+                if m == "rs" {
+                    EventKind::ReplShip { shard, seq }
+                } else {
+                    EventKind::ReplApply { shard, seq }
+                }
+            }
             _ => return None,
         };
         Some(Event { ts_ns, kind })
@@ -499,6 +543,14 @@ mod tests {
             EventKind::NetExec {
                 conn: u32::MAX,
                 req: 0,
+            },
+            EventKind::ReplShip {
+                shard: 5,
+                seq: 1 << 47,
+            },
+            EventKind::ReplApply {
+                shard: u32::MAX,
+                seq: u64::MAX,
             },
         ]
     }
