@@ -111,6 +111,21 @@ pub enum WalRecord {
     /// A checkpoint completed: every snapshot on disk includes all records
     /// up to this one.
     Checkpoint,
+    /// A typed root-directory entry: data-structure root `key` in pool
+    /// `pmo` now points at the object with packed id `oid` (0 clears the
+    /// entry). Snapshots capture pool *bytes* only, so without this record
+    /// a recovered registry has no way to find a persistent structure's
+    /// root again — the root directory is replayed last-writer-wins and
+    /// re-logged after every checkpoint truncation.
+    RootSet {
+        /// Pool the root lives in.
+        pmo: PmoId,
+        /// Application-chosen root slot (e.g. one per data structure).
+        key: u32,
+        /// Packed [`terp_pmo::ObjectId`] (`ObjectId::to_packed`), or 0 to
+        /// clear the slot.
+        oid: u64,
+    },
 }
 
 fn put_bytes(out: &mut Vec<u8>, data: &[u8]) {
@@ -146,6 +161,7 @@ impl WalRecord {
             WalRecord::WindowClose { .. } => 8,
             WalRecord::Randomize { .. } => 9,
             WalRecord::Checkpoint => 10,
+            WalRecord::RootSet { .. } => 11,
         }
     }
 
@@ -160,7 +176,8 @@ impl WalRecord {
             | WalRecord::SessionClose { pmo, .. }
             | WalRecord::WindowOpen { pmo }
             | WalRecord::WindowClose { pmo }
-            | WalRecord::Randomize { pmo } => Some(*pmo),
+            | WalRecord::Randomize { pmo }
+            | WalRecord::RootSet { pmo, .. } => Some(*pmo),
             WalRecord::Checkpoint => None,
         }
     }
@@ -211,6 +228,11 @@ impl WalRecord {
                 payload.extend_from_slice(&pmo.raw().to_le_bytes());
             }
             WalRecord::Checkpoint => {}
+            WalRecord::RootSet { pmo, key, oid } => {
+                payload.extend_from_slice(&pmo.raw().to_le_bytes());
+                payload.extend_from_slice(&key.to_le_bytes());
+                payload.extend_from_slice(&oid.to_le_bytes());
+            }
         }
         let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -243,6 +265,11 @@ impl<'a> Cursor<'a> {
     fn u16(&mut self) -> Option<u16> {
         self.take(2)
             .map(|s| u16::from_le_bytes(s.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().expect("4")))
     }
 
     fn u64(&mut self) -> Option<u64> {
@@ -318,6 +345,11 @@ fn decode_payload(payload: &[u8]) -> Option<(u64, WalRecord)> {
         8 => WalRecord::WindowClose { pmo: c.pmo()? },
         9 => WalRecord::Randomize { pmo: c.pmo()? },
         10 => WalRecord::Checkpoint,
+        11 => WalRecord::RootSet {
+            pmo: c.pmo()?,
+            key: c.u32()?,
+            oid: c.u64()?,
+        },
         _ => return None,
     };
     if c.pos != payload.len() {
@@ -409,6 +441,11 @@ mod tests {
             WalRecord::SessionClose { client: 3, pmo: p },
             WalRecord::WindowClose { pmo: p },
             WalRecord::Free { pmo: p, offset: 0 },
+            WalRecord::RootSet {
+                pmo: p,
+                key: 2,
+                oid: 0x001C_0000_0000_0040,
+            },
             WalRecord::Checkpoint,
         ]
     }

@@ -25,7 +25,7 @@
 //!    discarded, never resurrected: clients must re-attach through the
 //!    permission path.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
 use terp_pmo::{txn, ObjectId, PmoId, PmoRegistry};
@@ -43,6 +43,10 @@ pub struct RecoveredState {
     /// Pools whose exposure window was open at crash time (force-closed and
     /// re-randomized).
     pub resealed: Vec<PmoId>,
+    /// The recovered root directory: `(pool, key) → packed ObjectId`,
+    /// rebuilt last-writer-wins from [`WalRecord::RootSet`] records.
+    /// Persistent data structures re-find their roots here after a crash.
+    pub roots: BTreeMap<(PmoId, u32), u64>,
 }
 
 /// Metrics describing one recovery run.
@@ -68,6 +72,8 @@ pub struct RecoveryReport {
     pub sessions_discarded: usize,
     /// Wall-clock nanoseconds the recovery took.
     pub recovery_ns: u128,
+    /// Root-directory entries live after replay (cleared slots excluded).
+    pub roots_recovered: usize,
 }
 
 /// Rebuilds state from `snapshots` and a durable log image.
@@ -103,6 +109,7 @@ pub fn recover(
     report.torn_tail = !contents.is_clean();
     let mut open_windows: BTreeSet<PmoId> = BTreeSet::new();
     let mut sessions: BTreeSet<(u64, PmoId)> = BTreeSet::new();
+    let mut roots: BTreeMap<(PmoId, u32), u64> = BTreeMap::new();
     for (seq, record) in &contents.records {
         let below_watermark = record
             .pmo()
@@ -189,6 +196,18 @@ pub fn recover(
             WalRecord::Checkpoint => {
                 report.records_replayed += 1;
             }
+            // Root-directory records are watermark-exempt like the other
+            // protection-adjacent state: a snapshot captures pool bytes,
+            // not the directory, so every surviving RootSet replays
+            // (last-writer-wins; oid 0 clears the slot).
+            WalRecord::RootSet { pmo, key, oid } => {
+                if *oid == 0 {
+                    roots.remove(&(*pmo, *key));
+                } else {
+                    roots.insert((*pmo, *key), *oid);
+                }
+                report.records_replayed += 1;
+            }
         }
     }
 
@@ -210,9 +229,17 @@ pub fn recover(
     }
     report.sessions_discarded = sessions.len();
     report.pools_recovered = registry.len();
+    report.roots_recovered = roots.len();
     report.recovery_ns = start.elapsed().as_nanos();
 
-    Ok((RecoveredState { registry, resealed }, report))
+    Ok((
+        RecoveredState {
+            registry,
+            resealed,
+            roots,
+        },
+        report,
+    ))
 }
 
 #[cfg(test)]
@@ -322,6 +349,88 @@ mod tests {
         assert_eq!(report.windows_resealed, 1);
         let pool = state.registry.pool(pid).unwrap();
         assert_eq!(pool.allocator().live_count(), 1, "alloc not double-applied");
+    }
+
+    #[test]
+    fn root_directory_replays_last_writer_wins_and_survives_torn_tails() {
+        let (_, mut log) = logged_workload();
+        let pid = id(1);
+        let mut wal = WalWriter::in_memory(FsyncPolicy::Always, 1);
+        wal.set_next_seq(6);
+        // Two sets on key 1 (second wins), a set+clear on key 2, and a set
+        // on key 3 whose frame we then tear mid-payload.
+        for rec in [
+            WalRecord::RootSet {
+                pmo: pid,
+                key: 1,
+                oid: 0x0040_0000_0000_0100,
+            },
+            WalRecord::RootSet {
+                pmo: pid,
+                key: 1,
+                oid: 0x0040_0000_0000_0200,
+            },
+            WalRecord::RootSet {
+                pmo: pid,
+                key: 2,
+                oid: 0x0040_0000_0000_0300,
+            },
+            WalRecord::RootSet {
+                pmo: pid,
+                key: 2,
+                oid: 0,
+            },
+        ] {
+            wal.append(&rec).unwrap();
+        }
+        log.extend_from_slice(wal.durable_bytes().unwrap());
+        let torn_frame = WalRecord::RootSet {
+            pmo: pid,
+            key: 3,
+            oid: 0x0040_0000_0000_0400,
+        }
+        .encode(10);
+        log.extend_from_slice(&torn_frame[..torn_frame.len() - 3]);
+
+        let (state, report) = recover(&[], &log).unwrap();
+        assert!(report.torn_tail, "tail must register as torn");
+        assert_eq!(report.roots_recovered, 1);
+        assert_eq!(
+            state.roots.get(&(pid, 1)),
+            Some(&0x0040_0000_0000_0200),
+            "later RootSet must win"
+        );
+        assert!(
+            !state.roots.contains_key(&(pid, 2)),
+            "oid 0 must clear the slot"
+        );
+        assert!(
+            !state.roots.contains_key(&(pid, 3)),
+            "a torn RootSet frame must not resurrect a root"
+        );
+    }
+
+    #[test]
+    fn root_directory_is_watermark_exempt() {
+        let (live, mut log) = logged_workload();
+        let pid = id(1);
+        let mut wal = WalWriter::in_memory(FsyncPolicy::Always, 1);
+        wal.set_next_seq(6);
+        wal.append(&WalRecord::RootSet {
+            pmo: pid,
+            key: 0,
+            oid: 0x0040_0000_0000_0500,
+        })
+        .unwrap();
+        log.extend_from_slice(wal.durable_bytes().unwrap());
+        // Snapshot watermark covers the whole log, including the RootSet.
+        let snap = PoolSnapshot::capture(live.pool(pid).unwrap(), 6);
+        let (state, _) = recover(&[snap], &log).unwrap();
+        assert_eq!(
+            state.roots.get(&(pid, 0)),
+            Some(&0x0040_0000_0000_0500),
+            "roots below the snapshot watermark must still replay"
+        );
     }
 
     #[test]

@@ -18,10 +18,11 @@
 //! snapshot's embedded watermark tells replay which log records it already
 //! reflects, so nothing double-applies.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use terp_pmo::Pmo;
+use terp_pmo::{Pmo, PmoId};
 
 use crate::error::PersistError;
 use crate::record::WalRecord;
@@ -37,6 +38,12 @@ pub const WAL_FILE: &str = "wal.log";
 pub struct DurableStore {
     dir: PathBuf,
     wal: WalWriter,
+    /// Live image of the root directory (`RootSet` records seen so far).
+    /// Checkpoint truncation discards the log, and snapshots capture pool
+    /// bytes only — so the store re-logs this map right after truncating,
+    /// keeping data-structure roots findable across any number of
+    /// checkpoints.
+    roots: BTreeMap<(PmoId, u32), u64>,
 }
 
 impl DurableStore {
@@ -79,6 +86,7 @@ impl DurableStore {
             DurableStore {
                 dir: dir.to_path_buf(),
                 wal,
+                roots: state.roots.clone(),
             },
             state,
             report,
@@ -88,6 +96,13 @@ impl DurableStore {
     /// Appends one record; durability is governed by the fsync policy the
     /// store was opened with. Returns the record's sequence number.
     pub fn log(&mut self, record: &WalRecord) -> Result<u64, PersistError> {
+        if let WalRecord::RootSet { pmo, key, oid } = record {
+            if *oid == 0 {
+                self.roots.remove(&(*pmo, *key));
+            } else {
+                self.roots.insert((*pmo, *key), *oid);
+            }
+        }
         self.wal.append(record)
     }
 
@@ -126,7 +141,22 @@ impl DurableStore {
             written += 1;
         }
         self.wal.truncate()?;
+        // Re-seed the fresh log with the root directory: RootSet records
+        // are watermark-exempt (snapshots never carry them), so without
+        // this a recovery after the next crash would find no roots at all.
+        if !self.roots.is_empty() {
+            for ((pmo, key), oid) in self.roots.clone() {
+                self.wal.append(&WalRecord::RootSet { pmo, key, oid })?;
+            }
+            self.wal.sync()?;
+        }
         Ok(written)
+    }
+
+    /// The live root directory (every `RootSet` logged or recovered,
+    /// last-writer-wins, cleared slots removed).
+    pub fn roots(&self) -> &BTreeMap<(PmoId, u32), u64> {
+        &self.roots
     }
 
     /// The store directory.
@@ -282,6 +312,53 @@ mod tests {
             state.registry.pool(id(1)).unwrap().allocator().live_count(),
             2
         );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn roots_survive_checkpoint_truncation_and_reopen() {
+        let dir = tmp_dir("roots");
+        let packed = 0x0040_0000_0000_0080u64;
+        {
+            let (mut store, _, _) = DurableStore::open(&dir, FsyncPolicy::Always, 1).unwrap();
+            let mut reg = PmoRegistry::new();
+            workload(&mut store, &mut reg);
+            store.log(&WalRecord::WindowClose { pmo: id(1) }).unwrap();
+            store
+                .log(&WalRecord::RootSet {
+                    pmo: id(1),
+                    key: 7,
+                    oid: packed,
+                })
+                .unwrap();
+            store
+                .log(&WalRecord::RootSet {
+                    pmo: id(1),
+                    key: 8,
+                    oid: 0x0040_0000_0000_00C0,
+                })
+                .unwrap();
+            store
+                .log(&WalRecord::RootSet {
+                    pmo: id(1),
+                    key: 8,
+                    oid: 0,
+                })
+                .unwrap();
+            // Checkpoint truncates the WAL; only the live root must be
+            // re-seeded into the fresh log.
+            store.checkpoint(reg.iter()).unwrap();
+            assert!(
+                fs::metadata(store.wal_path()).unwrap().len() > 0,
+                "checkpoint must re-log live roots after truncation"
+            );
+            assert_eq!(store.roots().len(), 1);
+        }
+        let (store, state, report) = DurableStore::open(&dir, FsyncPolicy::Always, 1).unwrap();
+        assert_eq!(report.roots_recovered, 1);
+        assert_eq!(state.roots.get(&(id(1), 7)), Some(&packed));
+        assert!(!state.roots.contains_key(&(id(1), 8)), "cleared slot gone");
+        assert_eq!(store.roots().get(&(id(1), 7)), Some(&packed));
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -545,11 +545,15 @@ fn apply_record(m: &mut ShardMirror, seq: u64, record: &WalRecord) -> Result<(),
         }
         // Sessions and randomizations carry no standby-visible state beyond
         // what the open-window set already tracks; checkpoints are
-        // watermarks, not mutations.
+        // watermarks, not mutations. Root-directory entries live in the
+        // shipped WAL itself, and promotion re-runs full durable recovery,
+        // which rebuilds the root map from those records — the warm mirror
+        // has no reader for them in the meantime.
         WalRecord::SessionOpen { .. }
         | WalRecord::SessionClose { .. }
         | WalRecord::Randomize { .. }
-        | WalRecord::Checkpoint => {}
+        | WalRecord::Checkpoint
+        | WalRecord::RootSet { .. } => {}
     }
     Ok(())
 }

@@ -243,6 +243,9 @@ impl PmoService {
                     max_raw = max_raw.max(id.raw());
                 }
                 state.store = Some(store);
+                // Adopt the recovered root directory: structures re-find
+                // their roots through `Self::root` after a crash.
+                state.roots.extend(recovered.roots);
             }
             // Refuse directories written under a *larger* shard count: their
             // extra shard-* stores would otherwise be silently ignored (the
@@ -947,6 +950,132 @@ impl PmoService {
             })?;
         }
         Ok(())
+    }
+
+    /// Atomically compares-and-swaps the little-endian `u64` at `oid`:
+    /// when the stored value equals `expected`, `new` is written (and
+    /// journaled in durable mode); either way the *observed* prior value is
+    /// returned, so `Ok(v) where v == expected` means the swap happened.
+    /// Requires the rights a write would. Always takes the locked path —
+    /// the shard mutex is what makes the read-compare-write sequence
+    /// atomic against every other mutator; the seqlock fast path cannot
+    /// provide that.
+    ///
+    /// This is the linchpin primitive for the persistent lock-free
+    /// structures (`terp-structures`): every commit point is a single CAS
+    /// on a root, link, or owner word inside an exposure window.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::write`].
+    pub fn cas_u64(
+        &self,
+        client: ClientId,
+        oid: ObjectId,
+        expected: u64,
+        new: u64,
+    ) -> Result<u64, ServiceError> {
+        self.check_writable()?;
+        let pmo = oid.pmo();
+        let mut state = self.lock(self.shard(pmo));
+        if !state.pools.contains_key(&pmo) {
+            return Err(ServiceError::UnknownPmo(pmo));
+        }
+        if let Err(e) = Self::check_access(
+            &mut state,
+            self.config.scheme,
+            client,
+            oid,
+            AccessKind::Write,
+        ) {
+            self.metrics.with_slab(|s| Self::tally_denial(s, &e));
+            return Err(e);
+        }
+        let mut buf = [0u8; 8];
+        state.pools[&pmo]
+            .pool()
+            .read_bytes(oid.offset(), &mut buf)?;
+        let observed = u64::from_le_bytes(buf);
+        if observed != expected {
+            return Ok(observed);
+        }
+        state.pools[&pmo]
+            .pool_mut()
+            .write_bytes(oid.offset(), &new.to_le_bytes())?;
+        self.metrics.with_slab(|s| ThreadSlab::bump(&s.writes));
+        state.trace_data(EventKind::Write {
+            pmo: pmo.raw(),
+            client: client as u64,
+            offset: oid.offset(),
+            len: 8,
+            epoch: 0,
+        });
+        if state.store.is_some() {
+            state.log(&WalRecord::DataWrite {
+                pmo,
+                offset: oid.offset(),
+                data: new.to_le_bytes().to_vec(),
+            })?;
+        }
+        Ok(observed)
+    }
+
+    /// Registers (or clears, with `None`) root slot `key` of `pmo` in the
+    /// service's root directory. In durable mode the entry is journaled as
+    /// a [`WalRecord::RootSet`] and survives crashes and checkpoints, so a
+    /// persistent structure's root ObjectID can be re-found after
+    /// recovery. Requires the rights a write would.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::alloc`].
+    pub fn set_root(
+        &self,
+        client: ClientId,
+        pmo: PmoId,
+        key: u32,
+        oid: Option<ObjectId>,
+    ) -> Result<(), ServiceError> {
+        self.check_writable()?;
+        let mut state = self.lock(self.shard(pmo));
+        if !state.pools.contains_key(&pmo) {
+            return Err(ServiceError::UnknownPmo(pmo));
+        }
+        let slab = self.slab();
+        Self::check_alloc_rights(&state, self.config.scheme, client, pmo)
+            .inspect_err(|e| Self::tally_denial(&slab, e))?;
+        let packed = oid.map_or(0, |o| o.to_packed());
+        state.log(&WalRecord::RootSet {
+            pmo,
+            key,
+            oid: packed,
+        })?;
+        if packed == 0 {
+            state.roots.remove(&(pmo, key));
+        } else {
+            state.roots.insert((pmo, key), packed);
+        }
+        Ok(())
+    }
+
+    /// Looks up root slot `key` of `pmo` in the root directory. `None` for
+    /// an unset (or cleared) slot. Any client may read the directory — the
+    /// ObjectID it returns is still subject to the scheme's checks on
+    /// every dereference.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownPmo`] when the pool is not served here.
+    pub fn root(&self, pmo: PmoId, key: u32) -> Result<Option<ObjectId>, ServiceError> {
+        let state = self.lock(self.shard(pmo));
+        if !state.pools.contains_key(&pmo) {
+            return Err(ServiceError::UnknownPmo(pmo));
+        }
+        Ok(state
+            .roots
+            .get(&(pmo, key))
+            .copied()
+            .and_then(ObjectId::from_packed))
     }
 
     /// Allocates `size` bytes in the pool (`pmalloc`). Requires the rights

@@ -61,6 +61,7 @@ impl Shard {
                 owner: HashMap::new(),
                 perms: HashMap::new(),
                 holders: HashMap::new(),
+                roots: HashMap::new(),
                 attach_syscalls: 0,
                 detach_syscalls: 0,
                 randomizations: 0,
@@ -98,6 +99,11 @@ pub(crate) struct ShardState {
     pub perms: HashMap<ClientId, PermissionSet>,
     /// Clients holding an open session per pool (all schemes).
     pub holders: HashMap<PmoId, BTreeSet<ClientId>>,
+    /// Root directory for this shard's pools: `(pool, key) → packed
+    /// ObjectId` of a persistent data structure's root. Journaled as
+    /// [`WalRecord::RootSet`] in durable mode and rebuilt by recovery, so
+    /// structures can re-find their roots after a crash.
+    pub roots: HashMap<(PmoId, u32), u64>,
     /// Real attach syscalls performed by this shard.
     pub attach_syscalls: u64,
     /// Real detach syscalls performed by this shard.

@@ -1,0 +1,161 @@
+//! Per-client persistent operation descriptors.
+//!
+//! Detectable recovery hinges on one rule: *before* an operation's commit
+//! CAS, the client persists a descriptor naming the operation and its
+//! target node; *after* the commit (and its cleanup) the descriptor is
+//! sealed `DONE`. A post-crash pass that finds a `PENDING` descriptor
+//! therefore knows exactly which single operation was in flight for that
+//! client and can decide — by reachability or by an owner stamp — whether
+//! its commit landed.
+//!
+//! A descriptor slot is [`DESC_SLOT`] bytes and every transition is one
+//! [`crate::mem::DsMem::write`] call, i.e. one WAL record: a torn log can
+//! lose the whole transition but never half of it.
+
+use terp_pmo::ObjectId;
+
+use crate::mem::DsMem;
+use crate::DsError;
+
+/// Descriptor slot size in bytes (one per client, contiguous array).
+pub const DESC_SLOT: u64 = 48;
+
+/// Descriptor state: no operation recorded (or the last one rolled back).
+pub const OP_STATE_IDLE: u64 = 0;
+/// Descriptor state: an operation is in flight; recovery must decide it.
+pub const OP_STATE_PENDING: u64 = 1;
+/// Descriptor state: the recorded operation completed.
+pub const OP_STATE_DONE: u64 = 2;
+
+/// Which operation a descriptor records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum OpKind {
+    /// Stack push of `value` via node `target`.
+    Push = 1,
+    /// Stack pop of node `target` (expected `value`).
+    Pop = 2,
+    /// Queue enqueue of `value` via node `target`.
+    Enqueue = 3,
+    /// Queue dequeue claiming node `target` with stamp in `aux`.
+    Dequeue = 4,
+    /// Map insert of key `value` via node `target` (map value in `aux`).
+    Insert = 5,
+    /// Map remove of node `target` with stamp in `aux`.
+    Remove = 6,
+}
+
+impl OpKind {
+    fn from_u64(v: u64) -> Option<OpKind> {
+        Some(match v {
+            1 => OpKind::Push,
+            2 => OpKind::Pop,
+            3 => OpKind::Enqueue,
+            4 => OpKind::Dequeue,
+            5 => OpKind::Insert,
+            6 => OpKind::Remove,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded descriptor slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Descriptor {
+    /// Client-local operation sequence number (monotone per slot).
+    pub seq: u64,
+    /// `OP_STATE_*`.
+    pub state: u64,
+    /// Recorded operation, when `state != IDLE` (encoded 0 when idle).
+    pub op: Option<OpKind>,
+    /// Packed ObjectID of the operation's node (0 for none).
+    pub target: u64,
+    /// Operation payload (pushed value / key).
+    pub value: u64,
+    /// Secondary payload (map value, owner stamp, or result).
+    pub aux: u64,
+}
+
+impl Descriptor {
+    /// The all-idle slot.
+    pub fn idle() -> Self {
+        Descriptor {
+            seq: 0,
+            state: OP_STATE_IDLE,
+            op: None,
+            target: 0,
+            value: 0,
+            aux: 0,
+        }
+    }
+
+    /// Serializes to the on-pool slot image.
+    pub fn encode(&self) -> [u8; DESC_SLOT as usize] {
+        let mut out = [0u8; DESC_SLOT as usize];
+        out[0..8].copy_from_slice(&self.seq.to_le_bytes());
+        out[8..16].copy_from_slice(&self.state.to_le_bytes());
+        out[16..24].copy_from_slice(&self.op.map_or(0, |o| o as u64).to_le_bytes());
+        out[24..32].copy_from_slice(&self.target.to_le_bytes());
+        out[32..40].copy_from_slice(&self.value.to_le_bytes());
+        out[40..48].copy_from_slice(&self.aux.to_le_bytes());
+        out
+    }
+
+    /// Deserializes a slot image.
+    pub fn decode(buf: &[u8; DESC_SLOT as usize]) -> Descriptor {
+        let word = |i: usize| u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().expect("8"));
+        Descriptor {
+            seq: word(0),
+            state: word(1),
+            op: OpKind::from_u64(word(2)),
+            target: word(3),
+            value: word(4),
+            aux: word(5),
+        }
+    }
+
+    /// Reads client `c`'s slot from the descriptor area at `base`.
+    pub fn load(mem: &impl DsMem, base: ObjectId, c: u32) -> Result<Descriptor, DsError> {
+        let mut buf = [0u8; DESC_SLOT as usize];
+        mem.read(base.wrapping_add(u64::from(c) * DESC_SLOT), &mut buf)?;
+        Ok(Descriptor::decode(&buf))
+    }
+
+    /// Writes client `c`'s slot — one call, one WAL record, crash-atomic.
+    pub fn store(&self, mem: &impl DsMem, base: ObjectId, c: u32) -> Result<(), DsError> {
+        mem.write(base.wrapping_add(u64::from(c) * DESC_SLOT), &self.encode())
+    }
+}
+
+/// The owner stamp client `c` uses for operation `seq`: never 0, unique
+/// per (client, seq) pair within a run — what dequeue/remove CAS into a
+/// node's owner/state word to claim it detectably.
+pub fn stamp(c: u32, seq: u64) -> u64 {
+    (u64::from(c) + 1) << 32 | (seq & 0xFFFF_FFFF)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_round_trips() {
+        let d = Descriptor {
+            seq: 41,
+            state: OP_STATE_PENDING,
+            op: Some(OpKind::Dequeue),
+            target: 0xABCD,
+            value: 7,
+            aux: stamp(3, 41),
+        };
+        assert_eq!(Descriptor::decode(&d.encode()), d);
+        assert_eq!(Descriptor::decode(&Descriptor::idle().encode()).op, None);
+    }
+
+    #[test]
+    fn stamps_are_nonzero_and_distinct() {
+        assert_ne!(stamp(0, 0), 0);
+        assert_ne!(stamp(0, 1), stamp(1, 0));
+        assert_ne!(stamp(2, 9), stamp(3, 9));
+    }
+}

@@ -1,0 +1,315 @@
+//! Concurrent driver: structures through real service sessions.
+//!
+//! The harness is how the structures meet the paper's protection schemes.
+//! Each worker thread is one service client; it repeatedly *attaches* to
+//! the pool (opening an MM or TT exposure window, per the configured
+//! scheme), performs a batch of structure operations through a
+//! [`ServiceMem`], and *detaches* (closing the window). Under
+//! `BasicSemantics` (MM) the blocking attach serializes windows; under
+//! `TerpFull` (TT) windows overlap and operations genuinely race through
+//! the shard-locked CAS path.
+//!
+//! Every operation is recorded as a [`HistOp`] with wall-clock invoke and
+//! return timestamps from a shared epoch — exactly the history shape the
+//! [`crate::linearize`] checker consumes.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use terp_core::config::Scheme;
+use terp_pmo::Permission;
+use terp_service::{PmoServer, ServiceConfig, ServiceReport};
+
+use crate::hashmap::HashMap;
+use crate::mem::{DsMem, ServiceMem};
+use crate::queue::Queue;
+use crate::stack::Stack;
+use crate::DsError;
+
+/// Root-directory slot the harness registers its structure under.
+pub const HARNESS_ROOT_KEY: u32 = 1;
+
+/// Which structure a harness run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DsKind {
+    /// Treiber stack.
+    Stack,
+    /// Michael-Scott queue.
+    Queue,
+    /// Fixed-bucket hash map.
+    Map,
+}
+
+/// One structure operation, as issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DsOp {
+    /// Stack push.
+    Push(u64),
+    /// Stack pop.
+    Pop,
+    /// Queue enqueue.
+    Enq(u64),
+    /// Queue dequeue.
+    Deq,
+    /// Map insert (key, value).
+    Ins(u64, u64),
+    /// Map remove (key).
+    Rem(u64),
+    /// Map lookup (key).
+    Get(u64),
+}
+
+/// An operation's observed response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DsResp {
+    /// Completed with no value (push/enqueue/insert).
+    Unit,
+    /// Completed with an optional value (pop/dequeue/remove/get).
+    Val(Option<u64>),
+}
+
+/// One completed operation in a recorded history.
+#[derive(Debug, Clone, Copy)]
+pub struct HistOp {
+    /// Issuing client (= worker thread index).
+    pub client: u32,
+    /// The operation.
+    pub op: DsOp,
+    /// Its response.
+    pub resp: DsResp,
+    /// Invocation time, nanoseconds since the run epoch.
+    pub invoke_ns: u64,
+    /// Return time, nanoseconds since the run epoch.
+    pub ret_ns: u64,
+}
+
+/// Configuration for one harness run.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// Structure under test.
+    pub kind: DsKind,
+    /// Protection scheme the service enforces around every batch.
+    pub scheme: Scheme,
+    /// Worker threads (= service clients = descriptor slots).
+    pub threads: u32,
+    /// Operations each thread issues in total.
+    pub ops_per_thread: u32,
+    /// Operations per attach/detach window (batch size).
+    pub ops_per_window: u32,
+    /// Seed for the per-thread operation mix.
+    pub seed: u64,
+}
+
+impl HarnessConfig {
+    /// A small TT-scheme smoke configuration.
+    pub fn smoke(kind: DsKind) -> Self {
+        HarnessConfig {
+            kind,
+            scheme: Scheme::terp_full(),
+            threads: 3,
+            ops_per_thread: 40,
+            ops_per_window: 8,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A handle to whichever structure the run created.
+#[derive(Debug, Clone, Copy)]
+enum DsHandle {
+    Stack(Stack),
+    Queue(Queue),
+    Map(HashMap),
+}
+
+impl DsHandle {
+    fn apply(&self, mem: &impl DsMem, c: u32, op: DsOp) -> Result<DsResp, DsError> {
+        Ok(match (self, op) {
+            (DsHandle::Stack(s), DsOp::Push(v)) => {
+                s.push(mem, c, v)?;
+                DsResp::Unit
+            }
+            (DsHandle::Stack(s), DsOp::Pop) => DsResp::Val(s.pop(mem, c)?.value),
+            (DsHandle::Queue(q), DsOp::Enq(v)) => {
+                q.enqueue(mem, c, v)?;
+                DsResp::Unit
+            }
+            (DsHandle::Queue(q), DsOp::Deq) => DsResp::Val(q.dequeue(mem, c)?.value),
+            (DsHandle::Map(m), DsOp::Ins(k, v)) => {
+                m.insert(mem, c, k, v)?;
+                DsResp::Unit
+            }
+            (DsHandle::Map(m), DsOp::Rem(k)) => DsResp::Val(m.remove(mem, c, k)?.value),
+            (DsHandle::Map(m), DsOp::Get(k)) => DsResp::Val(m.get(mem, k)?),
+            (handle, op) => {
+                return Err(DsError::Corrupt(format!(
+                    "op {op:?} does not apply to {handle:?}"
+                )))
+            }
+        })
+    }
+}
+
+/// Splitmix-style step for the per-thread op mix.
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The value thread `t` pushes as its `i`-th insertion: globally unique,
+/// so the linearizability checker can match removals to insertions.
+pub fn unique_value(t: u32, i: u32) -> u64 {
+    (u64::from(t) + 1) << 32 | u64::from(i)
+}
+
+/// Keys the map workload contends on (small space forces chain sharing).
+const MAP_KEYS: u64 = 8;
+
+fn gen_op(kind: DsKind, t: u32, i: u32, rng: &mut u64) -> DsOp {
+    let r = next_rand(rng);
+    match kind {
+        DsKind::Stack => {
+            if r.is_multiple_of(2) {
+                DsOp::Push(unique_value(t, i))
+            } else {
+                DsOp::Pop
+            }
+        }
+        DsKind::Queue => {
+            if r.is_multiple_of(2) {
+                DsOp::Enq(unique_value(t, i))
+            } else {
+                DsOp::Deq
+            }
+        }
+        DsKind::Map => {
+            let key = (r >> 8) % MAP_KEYS;
+            match r % 3 {
+                0 => DsOp::Ins(key, unique_value(t, i)),
+                1 => DsOp::Rem(key),
+                _ => DsOp::Get(key),
+            }
+        }
+    }
+}
+
+/// Outcome of a harness run: the recorded concurrent history plus the
+/// service's own shutdown report (window accounting, denials, …).
+pub struct HarnessRun {
+    /// All completed operations, in no particular global order; the
+    /// timestamps carry the real-time partial order.
+    pub history: Vec<HistOp>,
+    /// The service report from shutdown.
+    pub report: ServiceReport,
+}
+
+/// Drives one structure concurrently through real service sessions and
+/// records the operation history.
+///
+/// # Panics
+///
+/// Panics if a worker hits a service or structure error — the harness is
+/// a test driver, and any failure is a bug worth the backtrace.
+pub fn run(config: HarnessConfig) -> HarnessRun {
+    let server = PmoServer::start(ServiceConfig::for_tests(config.scheme).with_shards(4));
+    let svc = server.service();
+
+    // Client `threads` (one past the workers) bootstraps the structure.
+    let boot = config.threads as usize;
+    let pmo = svc
+        .create_pool("harness", 1 << 22, terp_pmo::OpenMode::ReadWrite)
+        .expect("create harness pool");
+    svc.attach(boot, pmo, Permission::ReadWrite)
+        .expect("bootstrap attach");
+    let mem = ServiceMem::new(&svc, boot);
+    // One extra descriptor slot for the bootstrap client keeps slot
+    // indices == worker thread ids.
+    let handle = match config.kind {
+        DsKind::Stack => DsHandle::Stack(
+            Stack::create(&mem, pmo, config.threads + 1, HARNESS_ROOT_KEY).expect("create stack"),
+        ),
+        DsKind::Queue => DsHandle::Queue(
+            Queue::create(&mem, pmo, config.threads + 1, HARNESS_ROOT_KEY).expect("create queue"),
+        ),
+        DsKind::Map => DsHandle::Map(
+            HashMap::create(&mem, pmo, config.threads + 1, 8, HARNESS_ROOT_KEY)
+                .expect("create map"),
+        ),
+    };
+    svc.detach(boot, pmo).expect("bootstrap detach");
+
+    let epoch = Instant::now();
+    let history = Mutex::new(Vec::new());
+
+    std::thread::scope(|s| {
+        for t in 0..config.threads {
+            let svc = &svc;
+            let history = &history;
+            s.spawn(move || {
+                let client = t as usize;
+                let mut rng = config.seed ^ (u64::from(t) << 17);
+                let mut local = Vec::with_capacity(config.ops_per_thread as usize);
+                let mut issued = 0u32;
+                while issued < config.ops_per_thread {
+                    svc.attach(client, pmo, Permission::ReadWrite)
+                        .expect("worker attach");
+                    let mem = ServiceMem::new(svc, client);
+                    let batch = config.ops_per_window.min(config.ops_per_thread - issued);
+                    for _ in 0..batch {
+                        let op = gen_op(config.kind, t, issued, &mut rng);
+                        let invoke_ns = epoch.elapsed().as_nanos() as u64;
+                        let resp = handle.apply(&mem, t, op).expect("structure op");
+                        let ret_ns = epoch.elapsed().as_nanos() as u64;
+                        local.push(HistOp {
+                            client: t,
+                            op,
+                            resp,
+                            invoke_ns,
+                            ret_ns,
+                        });
+                        issued += 1;
+                    }
+                    svc.detach(client, pmo).expect("worker detach");
+                }
+                history
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .extend(local);
+            });
+        }
+    });
+
+    let mut history = history.into_inner().unwrap_or_else(|e| e.into_inner());
+    history.sort_by_key(|h| (h.invoke_ns, h.client));
+    HarnessRun {
+        history,
+        report: server.shutdown(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_records_a_full_history() {
+        let run = run(HarnessConfig::smoke(DsKind::Stack));
+        assert_eq!(run.history.len(), 3 * 40);
+        assert!(run.history.iter().all(|h| h.ret_ns >= h.invoke_ns));
+        // Each batch of 8 ops opened one window: 3 threads * 5 windows.
+        assert_eq!(run.report.ops.attaches, 15 + 1, "workers plus bootstrap");
+    }
+
+    #[test]
+    fn mm_scheme_serializes_windows() {
+        let run = run(HarnessConfig {
+            scheme: Scheme::BasicSemantics,
+            ..HarnessConfig::smoke(DsKind::Queue)
+        });
+        assert_eq!(run.history.len(), 3 * 40);
+        assert_eq!(run.report.ops.denials, 0);
+    }
+}

@@ -1,0 +1,369 @@
+//! Wing–Gong linearizability checking over recorded histories.
+//!
+//! [`check_history`] searches for a *sequential witness*: a total order of
+//! the recorded operations that (a) respects real time — an operation
+//! that returned before another was invoked must precede it — and (b)
+//! replays correctly against the structure's sequential [`Model`]. If a
+//! witness exists the history is linearizable and the witness order is
+//! returned; if the search space is exhausted without one, the history is
+//! a genuine linearizability violation.
+//!
+//! The search is the classic Wing–Gong DFS: at each step the candidates
+//! are the not-yet-chosen operations whose invocation precedes every
+//! not-yet-chosen return (the "minimal" ops); each candidate that the
+//! model accepts opens a branch. Visited `(chosen-set, model-state)`
+//! pairs are memoized, which collapses the exponential blowup on real
+//! histories. A node budget bounds the worst case; exceeding it yields
+//! [`LinearizeError::Inconclusive`] rather than a wrong verdict.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+use crate::harness::{DsKind, DsOp, DsResp, HistOp};
+
+/// Default DFS node budget before the checker gives up.
+pub const DEFAULT_NODE_BUDGET: usize = 2_000_000;
+
+/// Sequential reference semantics for each structure.
+///
+/// The map model is a *per-key LIFO*: duplicate inserts shadow, remove
+/// and get hit the most recent live entry — matching the bucket-chain
+/// semantics of [`crate::hashmap::HashMap`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Model {
+    /// LIFO stack contents, bottom first.
+    Stack(Vec<u64>),
+    /// FIFO queue contents, front first.
+    Queue(VecDeque<u64>),
+    /// Per-key insertion stacks.
+    Map(BTreeMap<u64, Vec<u64>>),
+}
+
+impl Model {
+    /// The empty model for `kind`.
+    pub fn for_kind(kind: DsKind) -> Model {
+        match kind {
+            DsKind::Stack => Model::Stack(Vec::new()),
+            DsKind::Queue => Model::Queue(VecDeque::new()),
+            DsKind::Map => Model::Map(BTreeMap::new()),
+        }
+    }
+
+    /// Applies `op` sequentially, returning the response the model gives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` does not belong to this model's structure.
+    pub fn apply(&mut self, op: DsOp) -> DsResp {
+        match (self, op) {
+            (Model::Stack(items), DsOp::Push(v)) => {
+                items.push(v);
+                DsResp::Unit
+            }
+            (Model::Stack(items), DsOp::Pop) => DsResp::Val(items.pop()),
+            (Model::Queue(items), DsOp::Enq(v)) => {
+                items.push_back(v);
+                DsResp::Unit
+            }
+            (Model::Queue(items), DsOp::Deq) => DsResp::Val(items.pop_front()),
+            (Model::Map(slots), DsOp::Ins(k, v)) => {
+                slots.entry(k).or_default().push(v);
+                DsResp::Unit
+            }
+            (Model::Map(slots), DsOp::Rem(k)) => {
+                let popped = slots.get_mut(&k).and_then(Vec::pop);
+                if slots.get(&k).is_some_and(Vec::is_empty) {
+                    slots.remove(&k);
+                }
+                DsResp::Val(popped)
+            }
+            (Model::Map(slots), DsOp::Get(k)) => {
+                DsResp::Val(slots.get(&k).and_then(|s| s.last().copied()))
+            }
+            (model, op) => panic!("op {op:?} does not apply to model {model:?}"),
+        }
+    }
+
+    /// Canonical byte encoding for memoization.
+    fn canonical(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Model::Stack(items) => {
+                out.push(1);
+                for v in items {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Model::Queue(items) => {
+                out.push(2);
+                for v in items {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Model::Map(slots) => {
+                out.push(3);
+                for (k, stack) in slots {
+                    out.extend_from_slice(&k.to_le_bytes());
+                    out.extend_from_slice(&(stack.len() as u64).to_le_bytes());
+                    for v in stack {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Why a history failed the check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinearizeError {
+    /// No sequential witness exists: the history is not linearizable.
+    /// `frontier` names the history indices that were candidates at the
+    /// deepest stuck point — the operations implicated in the violation.
+    Violation {
+        /// Candidate indices at the deepest explored prefix.
+        frontier: Vec<usize>,
+        /// How many operations the best witness prefix linearized.
+        best_prefix: usize,
+    },
+    /// The node budget ran out before the search concluded.
+    Inconclusive {
+        /// DFS nodes explored before giving up.
+        explored: usize,
+    },
+}
+
+impl std::fmt::Display for LinearizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinearizeError::Violation {
+                frontier,
+                best_prefix,
+            } => write!(
+                f,
+                "history is not linearizable: stuck after {best_prefix} ops, \
+                 no candidate in {frontier:?} replays correctly"
+            ),
+            LinearizeError::Inconclusive { explored } => {
+                write!(f, "search inconclusive after {explored} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinearizeError {}
+
+struct Search<'a> {
+    history: &'a [HistOp],
+    chosen: Vec<bool>,
+    witness: Vec<usize>,
+    memo: HashSet<(Vec<u64>, Vec<u8>)>,
+    explored: usize,
+    budget: usize,
+    best_prefix: usize,
+    best_frontier: Vec<usize>,
+}
+
+impl Search<'_> {
+    fn mask(&self) -> Vec<u64> {
+        let mut words = vec![0u64; self.chosen.len().div_ceil(64)];
+        for (i, &c) in self.chosen.iter().enumerate() {
+            if c {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        words
+    }
+
+    /// Unchosen ops whose invocation precedes every unchosen return.
+    fn candidates(&self) -> Vec<usize> {
+        let min_ret = self
+            .history
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.chosen[*i])
+            .map(|(_, h)| h.ret_ns)
+            .min();
+        let Some(min_ret) = min_ret else {
+            return Vec::new();
+        };
+        (0..self.history.len())
+            .filter(|&i| !self.chosen[i] && self.history[i].invoke_ns <= min_ret)
+            .collect()
+    }
+
+    fn dfs(&mut self, model: &mut Model) -> Result<bool, LinearizeError> {
+        if self.witness.len() == self.history.len() {
+            return Ok(true);
+        }
+        self.explored += 1;
+        if self.explored > self.budget {
+            return Err(LinearizeError::Inconclusive {
+                explored: self.explored,
+            });
+        }
+        let candidates = self.candidates();
+        if self.witness.len() >= self.best_prefix {
+            self.best_prefix = self.witness.len();
+            self.best_frontier = candidates.clone();
+        }
+        for i in candidates {
+            let mut next = model.clone();
+            if next.apply(self.history[i].op) != self.history[i].resp {
+                continue;
+            }
+            self.chosen[i] = true;
+            self.witness.push(i);
+            let fresh = self.memo.insert((self.mask(), next.canonical()));
+            if fresh && self.dfs(&mut next)? {
+                return Ok(true);
+            }
+            self.witness.pop();
+            self.chosen[i] = false;
+        }
+        Ok(false)
+    }
+}
+
+/// Checks `history` for linearizability against `kind`'s sequential
+/// model, returning a witness order (indices into `history`) on success.
+///
+/// # Errors
+///
+/// [`LinearizeError::Violation`] when no witness exists;
+/// [`LinearizeError::Inconclusive`] when the node budget runs out first.
+pub fn check_history(kind: DsKind, history: &[HistOp]) -> Result<Vec<usize>, LinearizeError> {
+    check_history_with_budget(kind, history, DEFAULT_NODE_BUDGET)
+}
+
+/// [`check_history`] with an explicit DFS node budget.
+///
+/// # Errors
+///
+/// As [`check_history`].
+pub fn check_history_with_budget(
+    kind: DsKind,
+    history: &[HistOp],
+    budget: usize,
+) -> Result<Vec<usize>, LinearizeError> {
+    let mut search = Search {
+        history,
+        chosen: vec![false; history.len()],
+        witness: Vec::new(),
+        memo: HashSet::new(),
+        explored: 0,
+        budget,
+        best_prefix: 0,
+        best_frontier: Vec::new(),
+    };
+    let mut model = Model::for_kind(kind);
+    if search.dfs(&mut model)? {
+        Ok(search.witness)
+    } else {
+        Err(LinearizeError::Violation {
+            frontier: search.best_frontier,
+            best_prefix: search.best_prefix,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(client: u32, op: DsOp, resp: DsResp, invoke_ns: u64, ret_ns: u64) -> HistOp {
+        HistOp {
+            client,
+            op,
+            resp,
+            invoke_ns,
+            ret_ns,
+        }
+    }
+
+    #[test]
+    fn accepts_a_valid_overlapping_stack_history() {
+        // Push(1) overlaps Pop → Some(1): only the order push;pop works,
+        // and real time allows it.
+        let history = [
+            op(0, DsOp::Push(1), DsResp::Unit, 0, 10),
+            op(1, DsOp::Pop, DsResp::Val(Some(1)), 5, 15),
+            op(0, DsOp::Pop, DsResp::Val(None), 20, 25),
+        ];
+        let witness = check_history(DsKind::Stack, &history).unwrap();
+        assert_eq!(witness, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rejects_a_pop_of_a_never_pushed_value() {
+        let history = [
+            op(0, DsOp::Push(1), DsResp::Unit, 0, 10),
+            op(1, DsOp::Pop, DsResp::Val(Some(99)), 5, 15),
+        ];
+        match check_history(DsKind::Stack, &history) {
+            Err(LinearizeError::Violation { .. }) => {}
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_a_real_time_order_inversion() {
+        // Pop returns Some(7) strictly before Push(7) is invoked.
+        let history = [
+            op(0, DsOp::Pop, DsResp::Val(Some(7)), 0, 5),
+            op(1, DsOp::Push(7), DsResp::Unit, 10, 20),
+        ];
+        assert!(matches!(
+            check_history(DsKind::Stack, &history),
+            Err(LinearizeError::Violation { .. })
+        ));
+    }
+
+    #[test]
+    fn queue_model_is_fifo() {
+        let history = [
+            op(0, DsOp::Enq(1), DsResp::Unit, 0, 10),
+            op(0, DsOp::Enq(2), DsResp::Unit, 11, 20),
+            op(1, DsOp::Deq, DsResp::Val(Some(1)), 21, 30),
+            op(1, DsOp::Deq, DsResp::Val(Some(2)), 31, 40),
+        ];
+        assert!(check_history(DsKind::Queue, &history).is_ok());
+
+        // LIFO service order is NOT a linearizable queue history.
+        let wrong = [
+            op(0, DsOp::Enq(1), DsResp::Unit, 0, 10),
+            op(0, DsOp::Enq(2), DsResp::Unit, 11, 20),
+            op(1, DsOp::Deq, DsResp::Val(Some(2)), 21, 30),
+        ];
+        assert!(matches!(
+            check_history(DsKind::Queue, &wrong),
+            Err(LinearizeError::Violation { .. })
+        ));
+    }
+
+    #[test]
+    fn map_model_is_a_per_key_lifo() {
+        let history = [
+            op(0, DsOp::Ins(5, 100), DsResp::Unit, 0, 10),
+            op(0, DsOp::Ins(5, 200), DsResp::Unit, 11, 20),
+            op(1, DsOp::Get(5), DsResp::Val(Some(200)), 21, 30),
+            op(1, DsOp::Rem(5), DsResp::Val(Some(200)), 31, 40),
+            op(1, DsOp::Get(5), DsResp::Val(Some(100)), 41, 50),
+            op(1, DsOp::Rem(5), DsResp::Val(Some(100)), 51, 60),
+            op(1, DsOp::Get(5), DsResp::Val(None), 61, 70),
+        ];
+        assert!(check_history(DsKind::Map, &history).is_ok());
+    }
+
+    #[test]
+    fn tiny_budget_reports_inconclusive() {
+        let history: Vec<HistOp> = (0..12)
+            .map(|i| op(i, DsOp::Push(u64::from(i)), DsResp::Unit, 0, 100))
+            .collect();
+        // Twelve fully-overlapping pushes: huge branching, budget of 3.
+        assert!(matches!(
+            check_history_with_budget(DsKind::Stack, &history, 3),
+            Err(LinearizeError::Inconclusive { .. })
+        ));
+    }
+}

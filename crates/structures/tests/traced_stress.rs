@@ -1,0 +1,175 @@
+//! Flight-recorded structure stress, replayed through the offline
+//! happens-before checker.
+//!
+//! * **Clean direction** — each worker drives its *own* stack in its own
+//!   pool under TT windows. No window ever overlaps across threads on
+//!   the same pool, so the checker must report zero races and no
+//!   TERP-D201 diagnostic: structure traffic (allocs, node writes,
+//!   commit CASes) must not confuse the race detector.
+//! * **Injected direction** — a stranger client holds a writable window
+//!   on the *same* pool and reads the stack while the owner is pushing,
+//!   with a barrier pinning the overlap. TERP-D201 must fire.
+
+use std::sync::{Arc, Barrier};
+
+use terp_analysis::hb::check_trace;
+use terp_core::config::Scheme;
+use terp_pmo::{OpenMode, Permission};
+use terp_service::{PmoServer, ServiceConfig, TraceConfig, TraceRecorder};
+use terp_structures::{ServiceMem, Stack};
+use terp_trace::TraceSet;
+
+const ROOT_KEY: u32 = 1;
+
+fn traced_config() -> ServiceConfig {
+    ServiceConfig::for_tests(Scheme::terp_full())
+        .with_shards(4)
+        .with_trace(TraceConfig::full())
+}
+
+fn run_and_snapshot(
+    config: ServiceConfig,
+    workload: impl FnOnce(&PmoServer),
+) -> (TraceSet, terp_service::ServiceReport) {
+    let server = PmoServer::start(config);
+    let tracer: Arc<TraceRecorder> = Arc::clone(
+        server
+            .service()
+            .tracer()
+            .expect("config enabled the flight recorder"),
+    );
+    workload(&server);
+    let report = server.shutdown();
+    (tracer.snapshot(), report)
+}
+
+#[test]
+fn partitioned_stack_stress_is_race_free() {
+    const THREADS: usize = 3;
+    const BATCHES: usize = 8;
+    const OPS_PER_BATCH: u32 = 10;
+
+    let (set, report) = run_and_snapshot(traced_config(), |server| {
+        let svc = server.service();
+        let pools: Vec<_> = (0..THREADS)
+            .map(|i| {
+                svc.create_pool(&format!("ds-own-{i}"), 1 << 18, OpenMode::ReadWrite)
+                    .unwrap()
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for (tid, &pmo) in pools.iter().enumerate() {
+                let svc = Arc::clone(&svc);
+                s.spawn(move || {
+                    svc.attach(tid, pmo, Permission::ReadWrite).unwrap();
+                    let mem = ServiceMem::new(&svc, tid);
+                    let stack = Stack::create(&mem, pmo, 1, ROOT_KEY).unwrap();
+                    svc.detach(tid, pmo).unwrap();
+                    for batch in 0..BATCHES {
+                        svc.attach(tid, pmo, Permission::ReadWrite).unwrap();
+                        let mem = ServiceMem::new(&svc, tid);
+                        for i in 0..OPS_PER_BATCH {
+                            if (u32::try_from(batch).unwrap() + i) % 3 == 0 {
+                                stack.pop(&mem, 0).unwrap();
+                            } else {
+                                stack.push(&mem, 0, u64::from(i) + 1).unwrap();
+                            }
+                        }
+                        svc.detach(tid, pmo).unwrap();
+                    }
+                });
+            }
+        });
+    });
+
+    assert_eq!(set.total_torn(), 0, "quiesced dump must not tear");
+    assert!(report.threads_observed >= THREADS as u64);
+
+    let hb = check_trace(&set);
+    assert_eq!(
+        hb.stats.races(),
+        0,
+        "partitioned structure traffic must be race-free; diagnostics: {:?}",
+        hb.diagnostics
+    );
+    assert!(
+        !hb.diagnostics.iter().any(|d| d.code == "TERP-D201"),
+        "no TERP-D201 on disjoint pools: {:?}",
+        hb.diagnostics
+    );
+}
+
+#[test]
+fn stranger_reading_a_live_stack_fires_d201() {
+    let mut shared_raw = 0u16;
+    let (set, _report) = {
+        let shared_raw = &mut shared_raw;
+        run_and_snapshot(traced_config(), move |server| {
+            let svc = server.service();
+            let shared = svc
+                .create_pool("ds-shared", 1 << 18, OpenMode::ReadWrite)
+                .unwrap();
+            *shared_raw = shared.raw();
+
+            // Client 2 bootstraps the stack (2 worker descriptor slots).
+            svc.attach(2, shared, Permission::ReadWrite).unwrap();
+            let mem = ServiceMem::new(&svc, 2);
+            let stack = Stack::create(&mem, shared, 2, ROOT_KEY).unwrap();
+            stack.push(&mem, 0, 7).unwrap();
+            svc.detach(2, shared).unwrap();
+
+            let barrier = Barrier::new(2);
+            std::thread::scope(|s| {
+                // The owner: pushes inside its window.
+                {
+                    let svc = Arc::clone(&svc);
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        svc.attach(0, shared, Permission::ReadWrite).unwrap();
+                        let mem = ServiceMem::new(&svc, 0);
+                        barrier.wait();
+                        for v in 10..20 {
+                            stack.push(&mem, 0, v).unwrap();
+                        }
+                        barrier.wait();
+                        svc.detach(0, shared).unwrap();
+                    });
+                }
+                // The stranger: holds an overlapping writable window and
+                // *reads* the structure the owner is mutating.
+                {
+                    let svc = Arc::clone(&svc);
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        svc.attach(1, shared, Permission::ReadWrite).unwrap();
+                        let mem = ServiceMem::new(&svc, 1);
+                        barrier.wait();
+                        for _ in 0..10 {
+                            let items = stack.items(&mem).unwrap();
+                            assert!(!items.is_empty(), "the seed element is always there");
+                        }
+                        barrier.wait();
+                        svc.detach(1, shared).unwrap();
+                    });
+                }
+            });
+        })
+    };
+
+    let hb = check_trace(&set);
+    assert!(
+        hb.stats.window_races >= 1,
+        "overlapping owner/stranger windows must race; stats: {:?}",
+        hb.stats
+    );
+    assert!(
+        hb.racy_pools.contains(&shared_raw),
+        "the shared pool must be the one flagged: {:?}",
+        hb.racy_pools
+    );
+    assert!(
+        hb.diagnostics.iter().any(|d| d.code == "TERP-D201"),
+        "a TERP-D201 diagnostic must be rendered; got {:?}",
+        hb.diagnostics
+    );
+}
