@@ -1,17 +1,20 @@
 //! `terp-persist` — durability benchmark for the file-backed PMO store
 //! (DESIGN.md §10).
 //!
-//! Three experiments, all landing in `results/BENCH_persist.json`:
+//! Four experiments, all landing in `results/BENCH_persist.json`:
 //!
 //! 1. **Durable vs in-memory service throughput** — the same closed-loop
 //!    attach/data/detach workload as `terp-serve`, run against a purely
 //!    in-memory TERP-full service and against durable services under each
-//!    fsync policy (`os`, `group`, `always`), so the journaling overhead is
-//!    directly comparable.
-//! 2. **Group-commit batch sweep** — durable throughput as the group-commit
+//!    fsync policy (`os`, `group`, `always`) plus the pipelined `async`
+//!    writer, so the journaling overhead is directly comparable.
+//! 2. **Commit latency** — per-write submit→durable latency percentiles
+//!    (p50/p95/p99) under `visibility = durable`, per durable mode: what a
+//!    caller actually waits when it demands durability before the ack.
+//! 3. **Group-commit batch sweep** — durable throughput as the group-commit
 //!    batch grows (1 ≈ fsync-per-record, up to 256), the paper-style
 //!    latency/durability trade.
-//! 3. **Recovery time vs log length** — un-checkpointed WALs of increasing
+//! 4. **Recovery time vs log length** — un-checkpointed WALs of increasing
 //!    record counts are re-opened through full recovery (replay, rollback,
 //!    window resealing), reporting wall-clock recovery latency per length.
 //!
@@ -26,9 +29,11 @@ use std::time::{Duration, Instant};
 use terp_analysis::Json;
 use terp_bench::cli::Cli;
 use terp_core::config::Scheme;
-use terp_persist::{DurableStore, FsyncPolicy, WalRecord};
+use terp_persist::{DurableStore, FsyncPolicy, WalMode, WalRecord};
 use terp_pmo::{OpenMode, Permission, PmoId};
-use terp_service::{CostModel, DurableConfig, PmoServer, PmoService, ServiceConfig};
+use terp_service::{
+    CostModel, DurableConfig, LatencyHistogram, PmoServer, PmoService, ServiceConfig, Visibility,
+};
 
 struct RunSettings {
     threads: usize,
@@ -124,10 +129,47 @@ fn fsync_key(policy: FsyncPolicy) -> &'static str {
     }
 }
 
-fn throughput_json(label: &str, fsync: &str, batch: u64, ops: u64, secs: f64) -> Json {
+/// One durable write-path configuration under test: a synchronous fsync
+/// policy, or the pipelined asynchronous writer (which group-batches and
+/// fsyncs on its background thread).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DurableMode {
+    Sync(FsyncPolicy),
+    Async,
+}
+
+impl DurableMode {
+    fn key(self) -> &'static str {
+        match self {
+            DurableMode::Sync(p) => fsync_key(p),
+            DurableMode::Async => "async",
+        }
+    }
+
+    fn wal_mode(self) -> &'static str {
+        match self {
+            DurableMode::Sync(_) => "sync",
+            DurableMode::Async => "async",
+        }
+    }
+
+    fn config(self, dir: PathBuf) -> DurableConfig {
+        match self {
+            DurableMode::Sync(p) => DurableConfig::new(dir).with_fsync(p),
+            // The async writer fsyncs once per adaptive batch regardless of
+            // policy; Group keeps the underlying WalWriter honest.
+            DurableMode::Async => DurableConfig::new(dir)
+                .with_fsync(FsyncPolicy::Group)
+                .with_wal_mode(WalMode::Async),
+        }
+    }
+}
+
+fn throughput_json(label: &str, mode: &str, wal: &str, batch: u64, ops: u64, secs: f64) -> Json {
     Json::obj([
         ("mode", Json::Str(label.to_string())),
-        ("fsync", Json::Str(fsync.to_string())),
+        ("fsync", Json::Str(mode.to_string())),
+        ("wal_mode", Json::Str(wal.to_string())),
         ("group_batch", Json::Num(batch as f64)),
         ("ops", Json::Num(ops as f64)),
         ("elapsed_s", Json::Num(secs)),
@@ -135,6 +177,79 @@ fn throughput_json(label: &str, fsync: &str, batch: u64, ops: u64, secs: f64) ->
             "throughput_ops_per_s",
             Json::Num(ops as f64 / secs.max(f64::MIN_POSITIVE)),
         ),
+    ])
+}
+
+/// Experiment 2: per-write commit latency (submit → durable ack) under
+/// `visibility = durable`. Each thread hammers its own pre-allocated object
+/// with timed `write()` calls; the service only acks once the record is
+/// past the durability watermark, so the timed call *is* the commit.
+fn run_commit_latency(mode: DurableMode, s: &RunSettings, scratch: &Path) -> Json {
+    let dir = scratch.join(format!("lat-{}", mode.key()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServiceConfig::new(Scheme::terp_full())
+        .with_shards(s.shards)
+        .with_sweep_period_us(0)
+        .with_seed(s.seed)
+        .with_cost(CostModel::zero())
+        .with_visibility(Visibility::Durable)
+        .with_durable_config(mode.config(dir.clone()));
+    let server = PmoServer::try_start(config).expect("service start");
+    let svc = server.service();
+    let pools: Vec<PmoId> = (0..s.threads)
+        .map(|i| {
+            svc.create_pool(&format!("lat-{i}"), 1 << 20, OpenMode::ReadWrite)
+                .expect("pool creation")
+        })
+        .collect();
+    let deadline = Instant::now() + s.duration;
+    let mut hist = LatencyHistogram::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..s.threads)
+            .map(|tid| {
+                let svc = Arc::clone(&svc);
+                let pmo = pools[tid];
+                scope.spawn(move || {
+                    let mut h = LatencyHistogram::new();
+                    svc.attach(tid, pmo, Permission::ReadWrite).expect("attach");
+                    let oid = svc.alloc(tid, pmo, 64).expect("alloc");
+                    let payload = [tid as u8; 48];
+                    while Instant::now() < deadline {
+                        let t0 = Instant::now();
+                        if svc.write(tid, oid, &payload).is_err() {
+                            break;
+                        }
+                        h.record(t0.elapsed().as_nanos() as u64);
+                    }
+                    let _ = svc.detach(tid, pmo);
+                    h
+                })
+            })
+            .collect();
+        for h in handles {
+            hist.merge(&h.join().expect("worker panicked"));
+        }
+    });
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    let us = |ns: u64| ns as f64 / 1e3;
+    println!(
+        "  commit-{:<6} p50 {:>8.1} us   p95 {:>8.1} us   p99 {:>8.1} us   ({} commits)",
+        mode.key(),
+        us(hist.quantile(0.50)),
+        us(hist.quantile(0.95)),
+        us(hist.quantile(0.99)),
+        hist.count(),
+    );
+    Json::obj([
+        ("mode", Json::Str(mode.key().to_string())),
+        ("wal_mode", Json::Str(mode.wal_mode().to_string())),
+        ("commits", Json::Num(hist.count() as f64)),
+        ("p50_us", Json::Num(us(hist.quantile(0.50)))),
+        ("p95_us", Json::Num(us(hist.quantile(0.95)))),
+        ("p99_us", Json::Num(us(hist.quantile(0.99)))),
+        ("mean_us", Json::Num(hist.mean() / 1e3)),
+        ("max_us", Json::Num(us(hist.max()))),
     ])
 }
 
@@ -219,8 +334,8 @@ fn main() {
     .opt_uint("--seed", "SEED", "placement RNG seed (default: 0x7e2f)")
     .opt_choice(
         "--fsync",
-        &["always", "group", "os", "all"],
-        "durable fsync policies to compare against memory (default: all)",
+        &["always", "group", "os", "async", "all"],
+        "durable write paths to compare against memory (default: all)",
     )
     .opt_uint(
         "--recovery-scale",
@@ -254,39 +369,54 @@ fn main() {
         settings.duration.as_millis(),
     );
 
-    // Experiment 1: in-memory baseline vs each durable fsync policy.
+    // Experiment 1: in-memory baseline vs each durable write path.
     let mut modes = Vec::new();
     let (ops, secs) = run_mode(None, &settings);
     let memory_tput = ops as f64 / secs.max(f64::MIN_POSITIVE);
     println!("  memory       {:>12.0} ops/s", memory_tput);
-    modes.push(throughput_json("memory", "none", 0, ops, secs));
+    modes.push(throughput_json("memory", "none", "none", 0, ops, secs));
     let requested = cli.choice("--fsync", "all");
-    let policies: Vec<FsyncPolicy> = match FsyncPolicy::parse(requested) {
-        Some(policy) => vec![policy],
-        None => vec![FsyncPolicy::Os, FsyncPolicy::Group, FsyncPolicy::Always],
+    let durable_modes: Vec<DurableMode> = match requested {
+        "async" => vec![DurableMode::Async],
+        "all" => vec![
+            DurableMode::Sync(FsyncPolicy::Os),
+            DurableMode::Sync(FsyncPolicy::Group),
+            DurableMode::Sync(FsyncPolicy::Always),
+            DurableMode::Async,
+        ],
+        other => vec![DurableMode::Sync(
+            FsyncPolicy::parse(other).expect("choice list matches parse"),
+        )],
     };
-    for policy in policies {
-        let durable = DurableConfig::new(scratch.join(format!("mode-{}", fsync_key(policy))))
-            .with_fsync(policy);
+    for mode in &durable_modes {
+        let durable = mode.config(scratch.join(format!("mode-{}", mode.key())));
         let batch = durable.group as u64;
         let (ops, secs) = run_mode(Some(durable), &settings);
         let tput = ops as f64 / secs.max(f64::MIN_POSITIVE);
         println!(
             "  durable-{:<6} {:>11.0} ops/s   ({:.1}% of memory)",
-            fsync_key(policy),
+            mode.key(),
             tput,
             100.0 * tput / memory_tput.max(f64::MIN_POSITIVE),
         );
         modes.push(throughput_json(
             "durable",
-            fsync_key(policy),
+            mode.key(),
+            mode.wal_mode(),
             batch,
             ops,
             secs,
         ));
     }
 
-    // Experiment 2: group-commit batch sweep.
+    // Experiment 2: commit latency (submit → durable) under
+    // `visibility = durable`, per durable mode.
+    let commit_latency: Vec<Json> = durable_modes
+        .iter()
+        .map(|mode| run_commit_latency(*mode, &settings, &scratch))
+        .collect();
+
+    // Experiment 3: group-commit batch sweep.
     let mut sweep = Vec::new();
     for batch in [1u64, 4, 16, 64, 256] {
         let durable = DurableConfig::new(scratch.join(format!("group-{batch}")))
@@ -295,10 +425,17 @@ fn main() {
         let (ops, secs) = run_mode(Some(durable), &settings);
         let tput = ops as f64 / secs.max(f64::MIN_POSITIVE);
         println!("  group-commit batch {:>3}  {:>12.0} ops/s", batch, tput);
-        sweep.push(throughput_json("group-sweep", "group", batch, ops, secs));
+        sweep.push(throughput_json(
+            "group-sweep",
+            "group",
+            "sync",
+            batch,
+            ops,
+            secs,
+        ));
     }
 
-    // Experiment 3: recovery latency vs log length.
+    // Experiment 4: recovery latency vs log length.
     let recovery: Vec<Json> = [1_000usize, 8_000, 32_000]
         .iter()
         .map(|n| recovery_json(&scratch.join(format!("rec-{n}")), n * scale))
@@ -307,7 +444,7 @@ fn main() {
     let doc = Json::obj([
         // Matches terp-analyze's JSON schema version (the result documents
         // evolve together; see that binary's docs).
-        ("schema_version", Json::Num(2.0)),
+        ("schema_version", Json::Num(3.0)),
         ("benchmark", Json::Str("terp-persist".to_string())),
         ("threads", Json::Num(settings.threads as f64)),
         ("pools", Json::Num(settings.pools as f64)),
@@ -318,6 +455,7 @@ fn main() {
         ),
         ("data_rounds", Json::Num(settings.rounds as f64)),
         ("modes", Json::Arr(modes)),
+        ("commit_latency", Json::Arr(commit_latency)),
         ("group_commit", Json::Arr(sweep)),
         ("recovery", Json::Arr(recovery)),
     ]);

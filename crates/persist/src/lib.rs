@@ -25,8 +25,16 @@
 //!   open at crash time is force-closed and its pool's MERR placement
 //!   re-randomized ([`terp_pmo::Pmo::reseal`]) before any session can
 //!   reattach. Windows are re-sealed, never resumed.
-//! * [`store`] — [`DurableStore`]: one directory (WAL + snapshots) with
-//!   open-time recovery and the crash-safe checkpoint protocol.
+//! * [`writer`] — the pipelined asynchronous log path:
+//!   [`AsyncWalWriter`] accepts appends at *submit* through a bounded
+//!   queue, batches adaptively on a background thread, and publishes a
+//!   monotonic durability watermark ([`DurabilityGate`]) that callers (or
+//!   per-append [`DurableTicket`]s) wait on only when they need
+//!   durability.
+//! * [`store`] — [`DurableStore`]: one directory (WAL + snapshots +
+//!   incremental-checkpoint delta log) with open-time recovery, sync or
+//!   async ([`WalMode`]) write paths, and the crash-safe full and
+//!   incremental checkpoint protocols.
 //! * [`tail`] — [`TailReader`]: stable tail reads over a *live* WAL for log
 //!   shipping; a torn tail under a racing group-commit append reads as
 //!   [`TailStatus::NeedMore`], never as corruption.
@@ -72,12 +80,14 @@ pub mod snapshot;
 pub mod store;
 pub mod tail;
 pub mod wal;
+pub mod writer;
 
 pub use crash::{enumerate_crash_points, inject, CrashMode, CrashPoint};
 pub use error::PersistError;
 pub use record::{read_log, LogContents, WalRecord};
-pub use recovery::{recover, RecoveredState, RecoveryReport};
+pub use recovery::{recover, recover_segments, RecoveredState, RecoveryReport};
 pub use snapshot::{load_snapshots, PoolSnapshot};
-pub use store::DurableStore;
+pub use store::{DurableStore, CKPT_FILE, PROT_FILE, WAL_FILE};
 pub use tail::{TailChunk, TailReader, TailStatus};
 pub use wal::{FsyncPolicy, WalStats, WalWriter};
+pub use writer::{AsyncWalWriter, DurabilityGate, DurableTicket, WalMode};

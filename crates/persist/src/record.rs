@@ -126,6 +126,31 @@ pub enum WalRecord {
         /// clear the slot.
         oid: u64,
     },
+    /// Incremental-checkpoint record: the full current contents of one data
+    /// page. Unlike [`WalRecord::DataWrite`] (a byte-range delta in operation
+    /// order), a `PageDelta` is absolute and page-aligned — replay simply
+    /// writes the bytes at `page * PAGE_SIZE`. Incremental checkpoints emit
+    /// one per dirty page into the checkpoint log (`ckpt.log`), which
+    /// recovery replays before the WAL proper.
+    PageDelta {
+        /// Pool the page belongs to.
+        pmo: PmoId,
+        /// Page index (byte offset is `page * terp_pmo::PAGE_SIZE`).
+        page: u64,
+        /// The page's bytes at checkpoint time.
+        data: Vec<u8>,
+    },
+    /// Incremental-checkpoint record: the pool's complete allocator
+    /// live-block list at checkpoint time. Replay restores the allocator
+    /// absolutely (idempotent) and raises the pool's replay watermark to
+    /// this record's sequence number, so data records the checkpoint
+    /// already reflects are skipped instead of double-applied.
+    AllocTable {
+        /// Pool whose allocator is captured.
+        pmo: PmoId,
+        /// Live blocks, `(offset, len)` in address order.
+        live: Vec<(u64, u64)>,
+    },
 }
 
 fn put_bytes(out: &mut Vec<u8>, data: &[u8]) {
@@ -162,6 +187,8 @@ impl WalRecord {
             WalRecord::Randomize { .. } => 9,
             WalRecord::Checkpoint => 10,
             WalRecord::RootSet { .. } => 11,
+            WalRecord::PageDelta { .. } => 12,
+            WalRecord::AllocTable { .. } => 13,
         }
     }
 
@@ -177,14 +204,29 @@ impl WalRecord {
             | WalRecord::WindowOpen { pmo }
             | WalRecord::WindowClose { pmo }
             | WalRecord::Randomize { pmo }
-            | WalRecord::RootSet { pmo, .. } => Some(*pmo),
+            | WalRecord::RootSet { pmo, .. }
+            | WalRecord::PageDelta { pmo, .. }
+            | WalRecord::AllocTable { pmo, .. } => Some(*pmo),
             WalRecord::Checkpoint => None,
         }
     }
 
     /// Encodes one CRC-framed record with sequence number `seq`.
     pub fn encode(&self, seq: u64) -> Vec<u8> {
-        let mut payload = Vec::with_capacity(32);
+        let mut frame = Vec::with_capacity(FRAME_HEADER + 32);
+        self.encode_into(seq, &mut frame);
+        frame
+    }
+
+    /// Encodes one CRC-framed record directly onto the end of `out` —
+    /// the allocation-free variant of [`Self::encode`] that group-commit
+    /// submitters use to coalesce frames into a shared batch buffer. The
+    /// frame header (length + CRC) is back-filled once the payload length
+    /// is known.
+    pub fn encode_into(&self, seq: u64, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(&[0u8; FRAME_HEADER]);
+        let payload = out;
         payload.extend_from_slice(&seq.to_le_bytes());
         payload.push(self.tag());
         match self {
@@ -195,7 +237,7 @@ impl WalRecord {
                 mode,
             } => {
                 payload.extend_from_slice(&id.raw().to_le_bytes());
-                put_bytes(&mut payload, name.as_bytes());
+                put_bytes(payload, name.as_bytes());
                 payload.extend_from_slice(&size.to_le_bytes());
                 payload.push(mode_byte(*mode));
             }
@@ -211,7 +253,7 @@ impl WalRecord {
             WalRecord::DataWrite { pmo, offset, data } => {
                 payload.extend_from_slice(&pmo.raw().to_le_bytes());
                 payload.extend_from_slice(&offset.to_le_bytes());
-                put_bytes(&mut payload, data);
+                put_bytes(payload, data);
             }
             WalRecord::SessionOpen { client, pmo, perm } => {
                 payload.extend_from_slice(&client.to_le_bytes());
@@ -233,12 +275,24 @@ impl WalRecord {
                 payload.extend_from_slice(&key.to_le_bytes());
                 payload.extend_from_slice(&oid.to_le_bytes());
             }
+            WalRecord::PageDelta { pmo, page, data } => {
+                payload.extend_from_slice(&pmo.raw().to_le_bytes());
+                payload.extend_from_slice(&page.to_le_bytes());
+                put_bytes(payload, data);
+            }
+            WalRecord::AllocTable { pmo, live } => {
+                payload.extend_from_slice(&pmo.raw().to_le_bytes());
+                payload.extend_from_slice(&(live.len() as u32).to_le_bytes());
+                for (off, len) in live {
+                    payload.extend_from_slice(&off.to_le_bytes());
+                    payload.extend_from_slice(&len.to_le_bytes());
+                }
+            }
         }
-        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
-        frame
+        let len = payload.len() - start - FRAME_HEADER;
+        let crc = crc32(&payload[start + FRAME_HEADER..]);
+        payload[start..start + 4].copy_from_slice(&(len as u32).to_le_bytes());
+        payload[start + 4..start + FRAME_HEADER].copy_from_slice(&crc.to_le_bytes());
     }
 }
 
@@ -350,6 +404,24 @@ fn decode_payload(payload: &[u8]) -> Option<(u64, WalRecord)> {
             key: c.u32()?,
             oid: c.u64()?,
         },
+        12 => WalRecord::PageDelta {
+            pmo: c.pmo()?,
+            page: c.u64()?,
+            data: c.bytes()?.to_vec(),
+        },
+        13 => {
+            let pmo = c.pmo()?;
+            let count = c.u32()? as usize;
+            // Bound the allocation by what the payload can actually hold.
+            if payload.len() - c.pos < count.checked_mul(16)? {
+                return None;
+            }
+            let mut live = Vec::with_capacity(count);
+            for _ in 0..count {
+                live.push((c.u64()?, c.u64()?));
+            }
+            WalRecord::AllocTable { pmo, live }
+        }
         _ => return None,
     };
     if c.pos != payload.len() {
@@ -445,6 +517,15 @@ mod tests {
                 pmo: p,
                 key: 2,
                 oid: 0x001C_0000_0000_0040,
+            },
+            WalRecord::PageDelta {
+                pmo: p,
+                page: 3,
+                data: vec![0x5A; 4096],
+            },
+            WalRecord::AllocTable {
+                pmo: p,
+                live: vec![(0, 64), (4096, 512)],
             },
             WalRecord::Checkpoint,
         ]

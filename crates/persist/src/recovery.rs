@@ -76,7 +76,32 @@ pub struct RecoveryReport {
     pub roots_recovered: usize,
 }
 
-/// Rebuilds state from `snapshots` and a durable log image.
+/// Rebuilds state from `snapshots` and a single durable log image.
+///
+/// Shorthand for [`recover_segments`] with one segment; see there for the
+/// full contract.
+pub fn recover(
+    snapshots: &[PoolSnapshot],
+    log_bytes: &[u8],
+) -> Result<(RecoveredState, RecoveryReport), PersistError> {
+    recover_segments(snapshots, &[log_bytes])
+}
+
+/// Rebuilds state from `snapshots` and an ordered sequence of durable log
+/// segments.
+///
+/// Segments are replayed oldest-first in the order given: for a store with
+/// incremental checkpoints that is the delta log (`ckpt.log`), then the
+/// protection snapshot (`prot.log`), then the live WAL (`wal.log`). Each
+/// segment is decoded **independently** — a torn tail in one segment stops
+/// that segment's replay at the tear but does not discard later segments,
+/// which were written by different (and possibly earlier, already-fsynced)
+/// protocol steps.
+///
+/// [`WalRecord::AllocTable`] records raise the pool's replay watermark:
+/// they mark a checkpoint boundary, so data records at or below their
+/// sequence number are already reflected in the delta state and must not
+/// double-apply.
 ///
 /// # Errors
 ///
@@ -84,9 +109,9 @@ pub struct RecoveryReport {
 /// different offset than logged, [`PersistError::Substrate`] if the PMO
 /// layer rejects a replayed operation — both mean the snapshot/log pair is
 /// inconsistent, not merely torn (torn tails are handled by truncation).
-pub fn recover(
+pub fn recover_segments(
     snapshots: &[PoolSnapshot],
-    log_bytes: &[u8],
+    segments: &[&[u8]],
 ) -> Result<(RecoveredState, RecoveryReport), PersistError> {
     let start = Instant::now();
     let mut report = RecoveryReport::default();
@@ -94,23 +119,30 @@ pub fn recover(
 
     // Step 1: snapshots, with per-pool replay watermarks.
     let mut watermark: Vec<Option<u64>> = Vec::new();
+    let raise = |watermark: &mut Vec<Option<u64>>, idx: usize, seq: u64| {
+        if watermark.len() <= idx {
+            watermark.resize(idx + 1, None);
+        }
+        watermark[idx] = Some(watermark[idx].map_or(seq, |old| old.max(seq)));
+    };
     for snap in snapshots {
         snap.install_into(&mut registry)?;
-        if watermark.len() <= snap.id.index() {
-            watermark.resize(snap.id.index() + 1, None);
-        }
-        watermark[snap.id.index()] = Some(snap.wal_seq);
+        raise(&mut watermark, snap.id.index(), snap.wal_seq);
         report.snapshots_installed += 1;
     }
 
-    // Step 2: log replay.
-    let contents = read_log(log_bytes);
-    report.bytes_dropped = contents.dropped;
-    report.torn_tail = !contents.is_clean();
+    // Step 2: log replay. Decode every segment up front so torn-tail
+    // accounting covers all of them before any record executes.
+    let decoded: Vec<_> = segments.iter().map(|bytes| read_log(bytes)).collect();
+    for contents in &decoded {
+        report.bytes_dropped += contents.dropped;
+        report.torn_tail |= !contents.is_clean();
+    }
+    let torn_any = report.torn_tail;
     let mut open_windows: BTreeSet<PmoId> = BTreeSet::new();
     let mut sessions: BTreeSet<(u64, PmoId)> = BTreeSet::new();
     let mut roots: BTreeMap<(PmoId, u32), u64> = BTreeMap::new();
-    for (seq, record) in &contents.records {
+    for (seq, record) in decoded.iter().flat_map(|c| c.records.iter()) {
         let below_watermark = record
             .pmo()
             .and_then(|id| watermark.get(id.index()).copied().flatten())
@@ -167,6 +199,34 @@ pub fn recover(
                 registry.pool_mut(*pmo)?.write_bytes(*offset, data)?;
                 report.records_replayed += 1;
             }
+            WalRecord::PageDelta { pmo, page, data } => {
+                // Incremental-checkpoint page image: an absolute overwrite,
+                // so replay is idempotent; watermark-skippable exactly like
+                // DataWrite (a later AllocTable/full snapshot supersedes it).
+                if below_watermark {
+                    report.records_skipped += 1;
+                    continue;
+                }
+                registry
+                    .pool_mut(*pmo)?
+                    .write_bytes(*page * terp_pmo::PAGE_SIZE, data)?;
+                report.records_replayed += 1;
+            }
+            WalRecord::AllocTable { pmo, live } => {
+                // Checkpoint boundary for this pool: install the absolute
+                // allocator image and raise the replay watermark so the live
+                // WAL's surviving records at or below this seq (a crash can
+                // land between the delta fsync and the WAL truncation) do
+                // not double-apply — replaying their Allocs against the
+                // restored allocator would diverge.
+                if below_watermark {
+                    report.records_skipped += 1;
+                    continue;
+                }
+                registry.pool_mut(*pmo)?.restore_allocator(live)?;
+                raise(&mut watermark, pmo.index(), *seq);
+                report.records_replayed += 1;
+            }
             // Protection-state records: pure set mutations, idempotent and
             // watermark-exempt (window state is never part of a snapshot —
             // a snapshot is a checkpoint of *data*, exposure is runtime
@@ -190,7 +250,7 @@ pub fn recover(
             WalRecord::Randomize { pmo } => {
                 // The window splits but stays open; nothing to re-derive
                 // beyond what WindowOpen already recorded.
-                debug_assert!(open_windows.contains(pmo) || !contents.is_clean());
+                debug_assert!(open_windows.contains(pmo) || torn_any);
                 report.records_replayed += 1;
             }
             WalRecord::Checkpoint => {

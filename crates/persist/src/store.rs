@@ -1,57 +1,120 @@
-//! The durable store: one directory holding a WAL plus pool snapshots.
+//! The durable store: one directory holding a WAL, pool snapshots, and
+//! (with incremental checkpoints) a delta log + protection snapshot.
 //!
 //! [`DurableStore::open`] is the single entry point: it loads whatever the
 //! directory contains (possibly nothing, possibly the debris of a crash),
-//! runs full [`crate::recovery::recover`], and hands back both the
+//! runs full [`crate::recovery::recover_segments`], and hands back both the
 //! recovered state and a live writer positioned after the last durable
 //! record. From then on the owner logs every mutation through
-//! [`DurableStore::log`] and periodically calls [`DurableStore::checkpoint`]
-//! to bound log length (and therefore recovery time).
+//! [`DurableStore::log`] and periodically checkpoints to bound log length
+//! (and therefore recovery time).
 //!
-//! Checkpoint protocol, crash-safe at every step:
+//! **Write modes.** Opened with [`WalMode::Sync`], appends write (and, per
+//! the fsync policy, fsync) inline on the caller's thread. With
+//! [`WalMode::Async`], appends return at *submit* and a per-store
+//! background thread ([`crate::writer::AsyncWalWriter`]) batches, writes
+//! and fsyncs, publishing a [`DurabilityGate`] watermark. Either way,
+//! [`DurableStore::sync_to`] blocks until a given record is durable and
+//! [`DurableStore::ticket`] hands out a waitable [`DurableTicket`] — the
+//! submit/durable split callers build visibility gating on.
+//!
+//! **Full checkpoint** protocol, crash-safe at every step:
 //!
 //! 1. append a `Checkpoint` record and sync — this seq is the watermark;
 //! 2. snapshot every pool (temp file + atomic rename, per pool);
-//! 3. truncate the WAL.
+//! 3. truncate the WAL and delete any incremental-checkpoint files.
 //!
 //! A crash before step 3 leaves old *and* new snapshots valid: each
 //! snapshot's embedded watermark tells replay which log records it already
 //! reflects, so nothing double-applies.
+//!
+//! **Incremental checkpoint** ([`DurableStore::checkpoint_incremental`])
+//! replaces the full-pool snapshot pass with a delta append, bounding the
+//! stall by the number of pages dirtied since the last checkpoint:
+//!
+//! 1. append a `Checkpoint` record and sync — this seq is the watermark;
+//! 2. for each dirty pool, append `PoolCreate` + one [`WalRecord::PageDelta`]
+//!    per dirty page + a final [`WalRecord::AllocTable`] (all at the
+//!    watermark seq) to `ckpt.log`, one fsync for the batch;
+//! 3. atomically rewrite `prot.log` (temp + rename) with the caller's
+//!    current protection records and the live root directory;
+//! 4. truncate the WAL.
+//!
+//! Recovery replays snapshots, then `ckpt.log`, then `prot.log`, then
+//! `wal.log` — each decoded independently, so a torn tail in one never
+//! discards another. `AllocTable` replay raises the pool's watermark, which
+//! is what keeps a crash between steps 2 and 4 safe: the WAL's surviving
+//! records at or below the watermark are recognized as already-checkpointed
+//! and skipped.
 
 use std::collections::BTreeMap;
-use std::fs;
+use std::fs::{self, OpenOptions};
+use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use terp_pmo::{Pmo, PmoId};
 
 use crate::error::PersistError;
-use crate::record::WalRecord;
-use crate::recovery::{recover, RecoveredState, RecoveryReport};
+use crate::record::{read_log, WalRecord};
+use crate::recovery::{recover_segments, RecoveredState, RecoveryReport};
 use crate::snapshot::{load_snapshots, PoolSnapshot};
 use crate::wal::{FsyncPolicy, WalStats, WalWriter};
+use crate::writer::{AsyncWalWriter, DurabilityGate, DurableTicket, WalMode};
 
 /// File name of the write-ahead log inside a store directory.
 pub const WAL_FILE: &str = "wal.log";
+/// File name of the incremental-checkpoint delta log: an append-only,
+/// WAL-framed stream of `PoolCreate`/`PageDelta`/`AllocTable` batches.
+pub const CKPT_FILE: &str = "ckpt.log";
+/// File name of the protection/roots snapshot atomically rewritten by each
+/// incremental checkpoint (current `WindowOpen`/`SessionOpen`/`RootSet`
+/// records — the state the truncated WAL would otherwise forget).
+pub const PROT_FILE: &str = "prot.log";
+
+/// How the store drives its log file: inline, or through the pipelined
+/// background writer.
+#[derive(Debug)]
+enum Backend {
+    Sync(WalWriter),
+    Async(AsyncWalWriter),
+}
 
 /// A directory-backed durable store for a set of pools.
 #[derive(Debug)]
 pub struct DurableStore {
     dir: PathBuf,
-    wal: WalWriter,
+    backend: Backend,
+    /// Durability watermark shared with waiters. In async mode this is the
+    /// writer thread's gate; in sync mode the store advances it itself
+    /// whenever the inline writer's buffer drains (for `FsyncPolicy::Os`
+    /// that means "handed to the OS" — the same contract the policy gives).
+    gate: Arc<DurabilityGate>,
     /// Live image of the root directory (`RootSet` records seen so far).
     /// Checkpoint truncation discards the log, and snapshots capture pool
     /// bytes only — so the store re-logs this map right after truncating,
     /// keeping data-structure roots findable across any number of
     /// checkpoints.
     roots: BTreeMap<(PmoId, u32), u64>,
+    /// Records appended since the last checkpoint of either kind — the
+    /// owner's trigger signal for incremental checkpoints.
+    records_since_ckpt: u64,
+}
+
+fn read_file_opt(path: &Path) -> Result<Vec<u8>, PersistError> {
+    match fs::read(path) {
+        Ok(bytes) => Ok(bytes),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(e.into()),
+    }
 }
 
 impl DurableStore {
-    /// Opens (creating if needed) the store at `dir`, recovering whatever
-    /// state its snapshots and log describe. The returned
-    /// [`RecoveredState`] holds the rebuilt registry — with every
-    /// crash-open exposure window force-closed and resealed — and the
-    /// [`RecoveryReport`] the metrics of the run.
+    /// Opens (creating if needed) the store at `dir` with the synchronous
+    /// inline writer, recovering whatever state its snapshots and logs
+    /// describe. The returned [`RecoveredState`] holds the rebuilt registry
+    /// — with every crash-open exposure window force-closed and resealed —
+    /// and the [`RecoveryReport`] the metrics of the run.
     ///
     /// # Errors
     ///
@@ -63,38 +126,77 @@ impl DurableStore {
         policy: FsyncPolicy,
         group: usize,
     ) -> Result<(Self, RecoveredState, RecoveryReport), PersistError> {
+        Self::open_with_mode(dir, policy, group, WalMode::Sync)
+    }
+
+    /// Opens the store like [`DurableStore::open`], selecting the write
+    /// mode: [`WalMode::Async`] spawns the pipelined background writer
+    /// (appends return at submit, durability via the watermark).
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableStore::open`].
+    pub fn open_with_mode(
+        dir: &Path,
+        policy: FsyncPolicy,
+        group: usize,
+        mode: WalMode,
+    ) -> Result<(Self, RecoveredState, RecoveryReport), PersistError> {
         fs::create_dir_all(dir)?;
         let snapshots = load_snapshots(dir)?;
+        let ckpt_bytes = read_file_opt(&dir.join(CKPT_FILE))?;
+        let prot_bytes = read_file_opt(&dir.join(PROT_FILE))?;
         let wal_path = dir.join(WAL_FILE);
-        let log_bytes = match fs::read(&wal_path) {
-            Ok(bytes) => bytes,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
-            Err(e) => return Err(e.into()),
-        };
-        let (state, report) = recover(&snapshots, &log_bytes)?;
+        let log_bytes = read_file_opt(&wal_path)?;
+        let (state, report) =
+            recover_segments(&snapshots, &[&ckpt_bytes, &prot_bytes, &log_bytes])?;
         // Reopening truncates the torn tail physically and positions the
         // writer after the last valid record.
         let (mut wal, _contents) = WalWriter::open(&wal_path, policy, group)?;
-        // Snapshot watermarks may exceed every surviving record's seq (the
-        // log is truncated at checkpoints); keep seq strictly increasing
-        // past both.
-        let floor = snapshots.iter().map(|s| s.wal_seq + 1).max().unwrap_or(0);
+        // Snapshot and checkpoint watermarks may exceed every surviving
+        // record's seq (the WAL is truncated at checkpoints); keep seq
+        // strictly increasing past all durable sources.
+        let mut floor = snapshots.iter().map(|s| s.wal_seq + 1).max().unwrap_or(0);
+        for seg in [&ckpt_bytes, &prot_bytes] {
+            if let Some(last) = read_log(seg).last_seq() {
+                floor = floor.max(last + 1);
+            }
+        }
         if floor > wal.next_seq() {
             wal.set_next_seq(floor);
         }
+        let (backend, gate) = match mode {
+            WalMode::Sync => {
+                // Everything currently on disk is durable.
+                let gate = DurabilityGate::at(wal.next_seq());
+                (Backend::Sync(wal), gate)
+            }
+            WalMode::Async => {
+                let writer = AsyncWalWriter::spawn(wal);
+                let gate = writer.gate();
+                (Backend::Async(writer), gate)
+            }
+        };
         Ok((
             DurableStore {
                 dir: dir.to_path_buf(),
-                wal,
+                backend,
+                gate,
                 roots: state.roots.clone(),
+                records_since_ckpt: 0,
             },
             state,
             report,
         ))
     }
 
-    /// Appends one record; durability is governed by the fsync policy the
-    /// store was opened with. Returns the record's sequence number.
+    /// Appends one record and returns its sequence number.
+    ///
+    /// In sync mode durability is governed by the fsync policy the store
+    /// was opened with; in async mode this returns at *submit* and the
+    /// record is durable once [`DurableStore::watermark`] passes its seq
+    /// (wait with [`DurableStore::sync_to`] or a
+    /// [`DurableStore::ticket`]).
     pub fn log(&mut self, record: &WalRecord) -> Result<u64, PersistError> {
         if let WalRecord::RootSet { pmo, key, oid } = record {
             if *oid == 0 {
@@ -103,16 +205,87 @@ impl DurableStore {
                 self.roots.insert((*pmo, *key), *oid);
             }
         }
-        self.wal.append(record)
+        let seq = match &mut self.backend {
+            Backend::Sync(wal) => {
+                let seq = wal.append(record)?;
+                if wal.pending_records() == 0 {
+                    // The policy flushed this batch inline (Always: every
+                    // record; Group: batch boundary; Os: write-through).
+                    self.gate.advance(wal.next_seq());
+                }
+                seq
+            }
+            Backend::Async(writer) => writer.append(record)?,
+        };
+        self.records_since_ckpt += 1;
+        Ok(seq)
     }
 
-    /// Forces everything appended so far to durable media.
+    /// Forces everything appended so far to durable media (in async mode:
+    /// blocks until the watermark catches up with the last submission).
     pub fn sync(&mut self) -> Result<(), PersistError> {
-        self.wal.sync()
+        match &mut self.backend {
+            Backend::Sync(wal) => {
+                wal.sync()?;
+                self.gate.advance(wal.next_seq());
+                Ok(())
+            }
+            Backend::Async(writer) => writer.sync(),
+        }
     }
 
-    /// Checkpoints the given pools: snapshots them and truncates the log.
-    /// Returns the number of snapshots written.
+    /// Blocks until the record with sequence number `seq` is durable.
+    /// Returns immediately if the watermark already passed it.
+    pub fn sync_to(&mut self, seq: u64) -> Result<(), PersistError> {
+        if self.gate.is_durable(seq) {
+            return Ok(());
+        }
+        match &mut self.backend {
+            Backend::Sync(_) => self.sync(),
+            Backend::Async(_) => self.gate.wait_for(seq),
+        }
+    }
+
+    /// A waitable completion handle for the record with sequence number
+    /// `seq` — wait on it *after* releasing whatever lock guarded the
+    /// submission. Only meaningful in async mode (in sync mode a buffered
+    /// group-commit record's ticket completes at the next sync, which may
+    /// never come without further traffic — use [`DurableStore::sync_to`]).
+    pub fn ticket(&self, seq: u64) -> DurableTicket {
+        self.gate.ticket(seq)
+    }
+
+    /// The shared durability gate (watermark + completion notification).
+    pub fn gate(&self) -> Arc<DurabilityGate> {
+        Arc::clone(&self.gate)
+    }
+
+    /// The durability watermark: every record with `seq < watermark()` is
+    /// durable.
+    pub fn watermark(&self) -> u64 {
+        self.gate.watermark()
+    }
+
+    /// Whether the store runs the pipelined background writer.
+    pub fn is_async(&self) -> bool {
+        matches!(self.backend, Backend::Async(_))
+    }
+
+    /// Records appended since the last checkpoint of either kind.
+    pub fn records_since_checkpoint(&self) -> u64 {
+        self.records_since_ckpt
+    }
+
+    fn truncate_backend(&mut self) -> Result<(), PersistError> {
+        match &mut self.backend {
+            Backend::Sync(wal) => wal.truncate(),
+            Backend::Async(writer) => writer.truncate(),
+        }
+    }
+
+    /// Checkpoints the given pools in full: snapshots them and truncates
+    /// the log (and any incremental-checkpoint files, which the snapshots
+    /// supersede). Returns the number of snapshots written.
     ///
     /// The caller must pass the *current* state of every pool whose
     /// mutations were logged through this store — a pool left out keeps
@@ -123,7 +296,9 @@ impl DurableStore {
     /// must be taken at a protection-quiescent point (no exposure window or
     /// session open — e.g. a service drain); if any window is still open,
     /// re-log its `WindowOpen` immediately after this returns, or a later
-    /// crash will not know to reseal it.
+    /// crash will not know to reseal it. (Non-quiescent checkpoints belong
+    /// to [`DurableStore::checkpoint_incremental`], which carries the
+    /// protection state explicitly.)
     ///
     /// # Errors
     ///
@@ -131,26 +306,150 @@ impl DurableStore {
     /// snapshot fails to write.
     pub fn checkpoint<'a>(
         &mut self,
-        pools: impl IntoIterator<Item = &'a Pmo>,
+        pools: impl IntoIterator<Item = &'a mut Pmo>,
     ) -> Result<usize, PersistError> {
-        let watermark = self.wal.append(&WalRecord::Checkpoint)?;
-        self.wal.sync()?;
+        let watermark = self.log(&WalRecord::Checkpoint)?;
+        self.sync_to(watermark)?;
         let mut written = 0usize;
+        let mut seen: Vec<&'a mut Pmo> = Vec::new();
         for pool in pools {
             PoolSnapshot::capture(pool, watermark).write_to(&self.dir)?;
             written += 1;
+            seen.push(pool);
         }
-        self.wal.truncate()?;
+        self.truncate_backend()?;
+        for name in [CKPT_FILE, PROT_FILE] {
+            match fs::remove_file(self.dir.join(name)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
         // Re-seed the fresh log with the root directory: RootSet records
         // are watermark-exempt (snapshots never carry them), so without
         // this a recovery after the next crash would find no roots at all.
         if !self.roots.is_empty() {
             for ((pmo, key), oid) in self.roots.clone() {
-                self.wal.append(&WalRecord::RootSet { pmo, key, oid })?;
+                self.log(&WalRecord::RootSet { pmo, key, oid })?;
             }
-            self.wal.sync()?;
+            self.sync()?;
         }
+        for pool in seen {
+            pool.clear_dirty();
+        }
+        self.records_since_ckpt = 0;
         Ok(written)
+    }
+
+    /// Incremental checkpoint: appends only state dirtied since the last
+    /// checkpoint to the delta log, rewrites the protection snapshot, and
+    /// truncates the WAL. Returns the number of page deltas written.
+    ///
+    /// Unlike [`DurableStore::checkpoint`] this does *not* require a
+    /// protection-quiescent point: pass the current protection state
+    /// (`WindowOpen`/`SessionOpen` records for every open window/session)
+    /// in `protection` — it is preserved in `prot.log` so a later crash
+    /// still knows exactly what to reseal. The live root directory is
+    /// carried automatically.
+    ///
+    /// As with the full checkpoint, every pool whose mutations were logged
+    /// through this store must be passed; clean pools cost nothing.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; the store stays usable and the WAL intact if a delta
+    /// write fails.
+    pub fn checkpoint_incremental<'a>(
+        &mut self,
+        pools: impl IntoIterator<Item = &'a mut Pmo>,
+        protection: &[WalRecord],
+    ) -> Result<usize, PersistError> {
+        let watermark = self.log(&WalRecord::Checkpoint)?;
+        self.sync_to(watermark)?;
+
+        // Step 1: dirty state → delta log, one fsync for the whole batch.
+        let mut delta: Vec<u8> = Vec::new();
+        let mut pages = 0usize;
+        let mut seen: Vec<&'a mut Pmo> = Vec::new();
+        for pool in pools {
+            if pool.is_checkpoint_dirty() {
+                delta.extend_from_slice(
+                    &WalRecord::PoolCreate {
+                        id: pool.id(),
+                        name: pool.name().to_string(),
+                        size: pool.size(),
+                        mode: pool.mode(),
+                    }
+                    .encode(watermark),
+                );
+                for (page, bytes) in pool.export_dirty_pages() {
+                    delta.extend_from_slice(
+                        &WalRecord::PageDelta {
+                            pmo: pool.id(),
+                            page,
+                            data: bytes.to_vec(),
+                        }
+                        .encode(watermark),
+                    );
+                    pages += 1;
+                }
+                // AllocTable LAST within the pool's batch: its replay
+                // raises the pool's watermark to this seq, which would
+                // self-skip the PageDeltas above if it came first.
+                let live: Vec<(u64, u64)> = pool.allocator().live_blocks().collect();
+                delta.extend_from_slice(
+                    &WalRecord::AllocTable {
+                        pmo: pool.id(),
+                        live,
+                    }
+                    .encode(watermark),
+                );
+            }
+            seen.push(pool);
+        }
+        if !delta.is_empty() {
+            let mut f = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.dir.join(CKPT_FILE))?;
+            f.write_all(&delta)?;
+            f.sync_data()?;
+        }
+
+        // Step 2: protection + roots snapshot, atomic rewrite. Always
+        // rewritten — even to empty — so windows closed since the last
+        // incremental checkpoint stop being re-resealed. (A stale prot.log
+        // after a crash mid-step only over-reseals, which is safe.)
+        let mut prot: Vec<u8> = Vec::new();
+        for rec in protection {
+            prot.extend_from_slice(&rec.encode(watermark));
+        }
+        for ((pmo, key), oid) in &self.roots {
+            prot.extend_from_slice(
+                &WalRecord::RootSet {
+                    pmo: *pmo,
+                    key: *key,
+                    oid: *oid,
+                }
+                .encode(watermark),
+            );
+        }
+        let tmp = self.dir.join(format!("{PROT_FILE}.tmp"));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&prot)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, self.dir.join(PROT_FILE))?;
+
+        // Step 3: the WAL's records are superseded (data by the deltas +
+        // AllocTable watermark, protection by prot.log).
+        self.truncate_backend()?;
+        for pool in seen {
+            pool.clear_dirty();
+        }
+        self.records_since_ckpt = 0;
+        Ok(pages)
     }
 
     /// The live root directory (every `RootSet` logged or recovered,
@@ -171,12 +470,18 @@ impl DurableStore {
 
     /// Writer activity counters.
     pub fn stats(&self) -> WalStats {
-        self.wal.stats()
+        match &self.backend {
+            Backend::Sync(wal) => wal.stats(),
+            Backend::Async(writer) => writer.stats(),
+        }
     }
 
     /// Sequence number the next logged record will receive.
     pub fn next_seq(&self) -> u64 {
-        self.wal.next_seq()
+        match &self.backend {
+            Backend::Sync(wal) => wal.next_seq(),
+            Backend::Async(writer) => writer.next_seq(),
+        }
     }
 }
 
@@ -264,7 +569,7 @@ mod tests {
             let (mut store, _, _) = DurableStore::open(&dir, FsyncPolicy::Always, 1).unwrap();
             let mut reg = PmoRegistry::new();
             workload(&mut store, &mut reg);
-            assert_eq!(store.checkpoint(reg.iter()).unwrap(), 1);
+            assert_eq!(store.checkpoint(reg.iter_mut()).unwrap(), 1);
             assert_eq!(fs::metadata(store.wal_path()).unwrap().len(), 0);
         }
         let (_, state, report) = DurableStore::open(&dir, FsyncPolicy::Always, 1).unwrap();
@@ -289,7 +594,7 @@ mod tests {
             let (mut store, _, _) = DurableStore::open(&dir, FsyncPolicy::Always, 1).unwrap();
             let mut reg = PmoRegistry::new();
             workload(&mut store, &mut reg);
-            store.checkpoint(reg.iter()).unwrap();
+            store.checkpoint(reg.iter_mut()).unwrap();
             // More work after the checkpoint.
             let pid = id(1);
             let oid2 = reg.pool_mut(pid).unwrap().pmalloc(32).unwrap();
@@ -347,7 +652,7 @@ mod tests {
                 .unwrap();
             // Checkpoint truncates the WAL; only the live root must be
             // re-seeded into the fresh log.
-            store.checkpoint(reg.iter()).unwrap();
+            store.checkpoint(reg.iter_mut()).unwrap();
             assert!(
                 fs::metadata(store.wal_path()).unwrap().len() > 0,
                 "checkpoint must re-log live roots after truncation"
@@ -385,6 +690,162 @@ mod tests {
             fs::metadata(store.wal_path()).unwrap().len(),
             (len - 2) - report.bytes_dropped as u64
         );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn incremental_checkpoint_truncates_wal_and_preserves_protection() {
+        let dir = tmp_dir("inc-ckpt");
+        {
+            let (mut store, _, _) = DurableStore::open(&dir, FsyncPolicy::Always, 1).unwrap();
+            let mut reg = PmoRegistry::new();
+            workload(&mut store, &mut reg);
+            // The window from the workload is still open — carry it.
+            let pages = store
+                .checkpoint_incremental(reg.iter_mut(), &[WalRecord::WindowOpen { pmo: id(1) }])
+                .unwrap();
+            assert!(pages >= 1, "the dirtied data page must be delta-logged");
+            assert_eq!(fs::metadata(store.wal_path()).unwrap().len(), 0);
+            assert!(fs::metadata(dir.join(CKPT_FILE)).unwrap().len() > 0);
+            assert!(fs::metadata(dir.join(PROT_FILE)).unwrap().len() > 0);
+            // Crash here (drop without further checkpoint).
+        }
+        let (_, state, report) = DurableStore::open(&dir, FsyncPolicy::Always, 1).unwrap();
+        // Data comes back from the delta log, the open window from
+        // prot.log — and is resealed, the TERP invariant.
+        assert_recovered(&state);
+        assert_eq!(report.windows_resealed, 1);
+        assert_eq!(report.snapshots_installed, 0, "no full snapshot written");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn incremental_checkpoint_only_writes_dirty_pages() {
+        let dir = tmp_dir("inc-dirty");
+        let (mut store, _, _) = DurableStore::open(&dir, FsyncPolicy::Always, 1).unwrap();
+        let mut reg = PmoRegistry::new();
+        workload(&mut store, &mut reg);
+        store.log(&WalRecord::WindowClose { pmo: id(1) }).unwrap();
+        assert!(store.checkpoint_incremental(reg.iter_mut(), &[]).unwrap() >= 1);
+        let first_len = fs::metadata(dir.join(CKPT_FILE)).unwrap().len();
+
+        // Nothing dirtied since: the next incremental checkpoint appends no
+        // page deltas at all.
+        assert_eq!(
+            store.checkpoint_incremental(reg.iter_mut(), &[]).unwrap(),
+            0
+        );
+        assert_eq!(fs::metadata(dir.join(CKPT_FILE)).unwrap().len(), first_len);
+
+        // One small write dirties exactly one page.
+        reg.pool_mut(id(1)).unwrap().write_bytes(64, b"x").unwrap();
+        store
+            .log(&WalRecord::DataWrite {
+                pmo: id(1),
+                offset: 64,
+                data: b"x".to_vec(),
+            })
+            .unwrap();
+        assert_eq!(
+            store.checkpoint_incremental(reg.iter_mut(), &[]).unwrap(),
+            1
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn records_after_incremental_checkpoint_replay_on_top_of_deltas() {
+        let dir = tmp_dir("inc-post");
+        {
+            let (mut store, _, _) = DurableStore::open(&dir, FsyncPolicy::Always, 1).unwrap();
+            let mut reg = PmoRegistry::new();
+            workload(&mut store, &mut reg);
+            store
+                .checkpoint_incremental(reg.iter_mut(), &[WalRecord::WindowOpen { pmo: id(1) }])
+                .unwrap();
+            // More work after the checkpoint: must replay on top of the
+            // delta-restored allocator without divergence.
+            let oid2 = reg.pool_mut(id(1)).unwrap().pmalloc(32).unwrap();
+            store
+                .log(&WalRecord::Alloc {
+                    pmo: id(1),
+                    size: 32,
+                    offset: oid2.offset(),
+                })
+                .unwrap();
+            store.sync().unwrap();
+        }
+        let (_, state, _) = DurableStore::open(&dir, FsyncPolicy::Always, 1).unwrap();
+        assert_eq!(
+            state.registry.pool(id(1)).unwrap().allocator().live_count(),
+            2
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn full_checkpoint_supersedes_incremental_files() {
+        let dir = tmp_dir("inc-full");
+        let (mut store, _, _) = DurableStore::open(&dir, FsyncPolicy::Always, 1).unwrap();
+        let mut reg = PmoRegistry::new();
+        workload(&mut store, &mut reg);
+        store.log(&WalRecord::WindowClose { pmo: id(1) }).unwrap();
+        store.checkpoint_incremental(reg.iter_mut(), &[]).unwrap();
+        assert!(dir.join(CKPT_FILE).exists());
+        store.checkpoint(reg.iter_mut()).unwrap();
+        assert!(!dir.join(CKPT_FILE).exists(), "delta log deleted");
+        assert!(!dir.join(PROT_FILE).exists(), "protection snapshot deleted");
+        drop(store);
+        let (_, state, report) = DurableStore::open(&dir, FsyncPolicy::Always, 1).unwrap();
+        assert_eq!(report.snapshots_installed, 1);
+        let pool = state.registry.pool(id(1)).unwrap();
+        assert_eq!(pool.allocator().live_count(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn async_store_gates_visibility_on_the_watermark() {
+        let dir = tmp_dir("async");
+        {
+            let (mut store, _, _) =
+                DurableStore::open_with_mode(&dir, FsyncPolicy::Group, 64, WalMode::Async).unwrap();
+            assert!(store.is_async());
+            let mut reg = PmoRegistry::new();
+            workload(&mut store, &mut reg);
+            // workload ends with sync(): everything submitted is durable.
+            assert_eq!(store.watermark(), store.next_seq());
+            let seq = store.log(&WalRecord::WindowClose { pmo: id(1) }).unwrap();
+            let ticket = store.ticket(seq);
+            ticket.wait().unwrap();
+            assert!(store.watermark() > seq);
+        }
+        let (_, state, report) = DurableStore::open(&dir, FsyncPolicy::Always, 1).unwrap();
+        assert_eq!(report.windows_resealed, 0, "window closed before crash");
+        let pool = state.registry.pool(id(1)).unwrap();
+        let (off, _) = pool.allocator().live_blocks().next().unwrap();
+        let mut buf = [0u8; 13];
+        pool.read_bytes(off, &mut buf).unwrap();
+        assert_eq!(&buf, b"durable bytes");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn async_store_incremental_checkpoint_roundtrip() {
+        let dir = tmp_dir("async-inc");
+        {
+            let (mut store, _, _) =
+                DurableStore::open_with_mode(&dir, FsyncPolicy::Group, 64, WalMode::Async).unwrap();
+            let mut reg = PmoRegistry::new();
+            workload(&mut store, &mut reg);
+            store
+                .checkpoint_incremental(reg.iter_mut(), &[WalRecord::WindowOpen { pmo: id(1) }])
+                .unwrap();
+            assert_eq!(fs::metadata(store.wal_path()).unwrap().len(), 0);
+        }
+        let (_, state, report) =
+            DurableStore::open_with_mode(&dir, FsyncPolicy::Group, 64, WalMode::Async).unwrap();
+        assert_recovered(&state);
+        assert_eq!(report.windows_resealed, 1);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

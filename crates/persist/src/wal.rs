@@ -179,6 +179,18 @@ impl WalWriter {
         Ok(seq)
     }
 
+    /// Appends `count` pre-encoded frames (already CRC-framed, sequence
+    /// numbers assigned by the caller) and forces them to media. This is the
+    /// background-writer entry point: the async pipeline encodes and
+    /// sequences records on the submission side and hands the writer thread
+    /// opaque batches to write + fsync in one go.
+    pub fn append_frames(&mut self, frames: &[u8], count: u64) -> Result<(), PersistError> {
+        self.pending.extend_from_slice(frames);
+        self.pending_records += count as usize;
+        self.stats.appended += count;
+        self.sync()
+    }
+
     /// Writes buffered records to the sink without forcing them to media.
     pub fn flush(&mut self) -> Result<(), PersistError> {
         if self.pending.is_empty() {
@@ -246,6 +258,19 @@ impl WalWriter {
     }
 }
 
+impl Drop for WalWriter {
+    /// Best-effort flush of buffered group-commit records. Without this,
+    /// dropping a writer mid-batch silently lost every record appended since
+    /// the last sync — records whose `append` already returned `Ok`. Clean
+    /// shutdown paths still must call [`Self::sync`] (or checkpoint)
+    /// explicitly: a `Drop` cannot report an I/O failure, it can only try.
+    fn drop(&mut self) {
+        if self.pending_records > 0 {
+            let _ = self.sync();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +319,54 @@ mod tests {
         assert_eq!(w.durable_bytes().unwrap().len(), 0);
         let seq = w.append(&rec(2)).unwrap();
         assert_eq!(seq, 2, "seq continues across checkpoint truncation");
+    }
+
+    #[test]
+    fn drop_flushes_buffered_group_commit_records() {
+        let dir = std::env::temp_dir().join(format!("terp-wal-drop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("drop.wal");
+        let _ = std::fs::remove_file(&path);
+
+        {
+            let (mut w, _) = WalWriter::open(&path, FsyncPolicy::Group, 64).unwrap();
+            for n in 0..5 {
+                w.append(&rec(n)).unwrap();
+            }
+            assert_eq!(w.pending_records(), 5, "batch still buffered");
+            // Dropped mid-batch without an explicit flush: the Drop impl
+            // must not silently lose the 5 acknowledged appends.
+        }
+        let (_, contents) = WalWriter::open(&path, FsyncPolicy::Group, 64).unwrap();
+        assert_eq!(contents.records.len(), 5, "flush-on-drop preserved them");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn explicit_sync_leaves_nothing_for_drop() {
+        // The clean-shutdown contract: sync() empties the buffer, so the
+        // best-effort Drop has nothing left to rescue.
+        let mut w = WalWriter::in_memory(FsyncPolicy::Group, 8);
+        for n in 0..3 {
+            w.append(&rec(n)).unwrap();
+        }
+        w.sync().unwrap();
+        assert_eq!(w.pending_records(), 0);
+    }
+
+    #[test]
+    fn append_frames_writes_and_syncs_preencoded_batches() {
+        let mut w = WalWriter::in_memory(FsyncPolicy::Group, 1024);
+        let mut batch = Vec::new();
+        for n in 0..4u64 {
+            batch.extend_from_slice(&rec(n).encode(n));
+        }
+        w.append_frames(&batch, 4).unwrap();
+        assert_eq!(w.pending_records(), 0, "append_frames is write+fsync");
+        let decoded = read_log(w.durable_bytes().unwrap());
+        assert_eq!(decoded.records.len(), 4);
+        assert_eq!(w.stats().appended, 4);
+        assert_eq!(w.stats().syncs, 1);
     }
 
     #[test]

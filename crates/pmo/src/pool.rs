@@ -10,7 +10,7 @@
 //! * bookkeeping used by upper layers: attach generation (bumped at every
 //!   real attach or randomization) and open/closed state.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use crate::alloc::PoolAllocator;
@@ -50,6 +50,13 @@ pub struct Pmo {
     page_table: EmbeddedPageTable,
     /// Sparse data pages, index → 4 KiB page. Materialized on first write.
     pages: BTreeMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    /// Pages written since the last checkpoint ([`Self::clear_dirty`]) —
+    /// the incremental-checkpoint hook of `terp-persist`. Tracking is
+    /// conservative: a page is dirty if it *may* differ from its last
+    /// checkpointed image.
+    dirty_pages: BTreeSet<u64>,
+    /// Whether the allocator state changed since the last checkpoint.
+    alloc_dirty: bool,
     /// Monotonic count of real attaches/randomizations; lets cached
     /// translations detect staleness.
     attach_generation: u64,
@@ -88,6 +95,10 @@ impl Pmo {
             allocator: PoolAllocator::new(size),
             page_table: EmbeddedPageTable::for_size(size),
             pages: BTreeMap::new(),
+            dirty_pages: BTreeSet::new(),
+            // A fresh pool has never been checkpointed: its (empty)
+            // allocator state is itself un-checkpointed information.
+            alloc_dirty: true,
             attach_generation: 0,
         })
     }
@@ -160,6 +171,7 @@ impl Pmo {
             pmo: self.id,
             requested: size,
         })?;
+        self.alloc_dirty = true;
         Ok(ObjectId::new(self.id, offset))
     }
 
@@ -177,7 +189,7 @@ impl Pmo {
         }
         self.allocator
             .free(oid.offset())
-            .map(|_| ())
+            .map(|_| self.alloc_dirty = true)
             .map_err(|_| PmoError::InvalidFree(oid))
     }
 
@@ -225,6 +237,7 @@ impl Pmo {
                 .entry(page_idx)
                 .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
             page[in_page..in_page + chunk].copy_from_slice(&data[pos..pos + chunk]);
+            self.dirty_pages.insert(page_idx);
             pos += chunk;
         }
         Ok(())
@@ -253,7 +266,37 @@ impl Pmo {
     pub fn restore_allocator(&mut self, live: &[(u64, u64)]) -> Result<(), PmoError> {
         self.allocator =
             PoolAllocator::restore(self.size, live).ok_or(PmoError::InvalidSize(self.size))?;
+        self.alloc_dirty = true;
         Ok(())
+    }
+
+    /// Exports the resident pages written since the last
+    /// [`Self::clear_dirty`], as `(page index, bytes)` in address order —
+    /// the incremental-checkpoint hook: only these pages need
+    /// re-snapshotting.
+    pub fn export_dirty_pages(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        self.dirty_pages
+            .iter()
+            .filter_map(|&idx| self.pages.get(&idx).map(|page| (idx, &page[..])))
+    }
+
+    /// Number of pages currently marked dirty.
+    pub fn dirty_page_count(&self) -> usize {
+        self.dirty_pages.len()
+    }
+
+    /// Whether the pool carries any un-checkpointed state (dirty pages or
+    /// allocator changes). A clean pool can be skipped by an incremental
+    /// checkpoint entirely.
+    pub fn is_checkpoint_dirty(&self) -> bool {
+        self.alloc_dirty || !self.dirty_pages.is_empty()
+    }
+
+    /// Marks every page and the allocator clean — called by the persist
+    /// layer once a checkpoint durably captured the pool's current state.
+    pub fn clear_dirty(&mut self) {
+        self.dirty_pages.clear();
+        self.alloc_dirty = false;
     }
 
     /// Reseals the pool after crash recovery: any pre-crash knowledge of the
@@ -379,6 +422,36 @@ mod tests {
         let g0 = p.attach_generation();
         p.bump_attach_generation();
         assert_eq!(p.attach_generation(), g0 + 1);
+    }
+
+    #[test]
+    fn dirty_tracking_follows_writes_and_clears() {
+        let mut p = pool();
+        assert!(p.is_checkpoint_dirty(), "fresh pool is un-checkpointed");
+        p.clear_dirty();
+        assert!(!p.is_checkpoint_dirty());
+        assert_eq!(p.dirty_page_count(), 0);
+
+        // A write spanning two pages dirties both.
+        p.write_bytes(PAGE_SIZE - 8, &[1u8; 16]).unwrap();
+        assert_eq!(p.dirty_page_count(), 2);
+        let dirty: Vec<u64> = p.export_dirty_pages().map(|(i, _)| i).collect();
+        assert_eq!(dirty, vec![0, 1]);
+
+        // Allocator changes dirty the pool without touching pages.
+        p.clear_dirty();
+        let oid = p.pmalloc(64).unwrap();
+        assert!(p.is_checkpoint_dirty());
+        assert_eq!(p.dirty_page_count(), 0);
+        p.clear_dirty();
+        p.pfree(oid).unwrap();
+        assert!(p.is_checkpoint_dirty());
+
+        // Rewriting an already-dirty page does not double-count.
+        p.clear_dirty();
+        p.write_bytes(0, b"a").unwrap();
+        p.write_bytes(1, b"b").unwrap();
+        assert_eq!(p.dirty_page_count(), 1);
     }
 
     #[test]

@@ -543,6 +543,27 @@ fn apply_record(m: &mut ShardMirror, seq: u64, record: &WalRecord) -> Result<(),
         WalRecord::WindowClose { pmo } => {
             m.open_windows.remove(pmo);
         }
+        // Incremental-checkpoint deltas only appear in the leader's
+        // `ckpt.log`, never in the shipped WAL stream — but apply them
+        // anyway (same replay rules as recovery) so a mirror stays correct
+        // if a future shipping path forwards checkpoint segments.
+        WalRecord::PageDelta { pmo, page, data } => {
+            if !below_watermark {
+                m.registry
+                    .pool_mut(*pmo)?
+                    .write_bytes(*page * terp_pmo::PAGE_SIZE, data)?;
+            }
+        }
+        WalRecord::AllocTable { pmo, live } => {
+            if !below_watermark {
+                m.registry.pool_mut(*pmo)?.restore_allocator(live)?;
+                let idx = pmo.index();
+                if m.watermark.len() <= idx {
+                    m.watermark.resize(idx + 1, None);
+                }
+                m.watermark[idx] = Some(m.watermark[idx].map_or(seq, |old| old.max(seq)));
+            }
+        }
         // Sessions and randomizations carry no standby-visible state beyond
         // what the open-window set already tracks; checkpoints are
         // watermarks, not mutations. Root-directory entries live in the

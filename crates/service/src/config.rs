@@ -11,9 +11,41 @@
 use std::path::PathBuf;
 
 use terp_core::config::Scheme;
-use terp_persist::FsyncPolicy;
+use terp_persist::{FsyncPolicy, WalMode};
 use terp_sim::SimParams;
 use terp_trace::TraceConfig;
+
+/// When a durable-mode operation's effects become externally visible —
+/// i.e. when the mutating call returns to its caller (and therefore when a
+/// net response or repl ack may be sent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Visibility {
+    /// Return at *submit*: the mutation is journaled (and will become
+    /// durable per the WAL mode / fsync policy) but the call does not wait
+    /// for the fsync. Highest throughput; a crash can lose the tail of
+    /// acknowledged-but-unfsynced operations. Recovery still reseals every
+    /// crash-open window — the TERP invariant never depends on this knob.
+    #[default]
+    Submit,
+    /// Return only once the operation's log record is *durable* (its seq is
+    /// below the durability watermark): grant acks, detach/expiry resealing
+    /// acks, and writes all wait on the watermark, giving
+    /// read-your-durable-writes and no acknowledged effect ever preceding
+    /// its record's fsync.
+    Durable,
+}
+
+impl Visibility {
+    /// Parses a visibility name (`submit` / `durable`), as used by CLI
+    /// flags.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "submit" => Some(Visibility::Submit),
+            "durable" => Some(Visibility::Durable),
+            _ => None,
+        }
+    }
+}
 
 /// Busy-wait charges (in nanoseconds) applied by the service to model the
 /// relative costs of full system calls, lowered conditional operations, and
@@ -76,15 +108,29 @@ pub struct DurableConfig {
     /// Group-commit batch size (records per fsync under
     /// [`FsyncPolicy::Group`]).
     pub group: usize,
+    /// How the WAL is driven: [`WalMode::Sync`] writes inline on the
+    /// caller's thread; [`WalMode::Async`] pipelines appends through a
+    /// per-shard background writer and publishes a durability watermark
+    /// (the fsync policy is then moot — every drained batch fsyncs).
+    pub wal_mode: WalMode,
+    /// Incremental-checkpoint trigger: after this many WAL records a shard
+    /// takes a log-structured incremental checkpoint (dirty pages + alloc
+    /// table to `ckpt.log`, protection state to `prot.log`, WAL truncated),
+    /// bounding recovery replay without a quiescent point. `0` disables
+    /// automatic checkpoints (the drain-time full checkpoint remains).
+    pub ckpt_interval: u64,
 }
 
 impl DurableConfig {
-    /// Durable mode rooted at `dir` with group commit (batch 32).
+    /// Durable mode rooted at `dir` with group commit (batch 32), the
+    /// synchronous inline writer, and automatic checkpoints disabled.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         DurableConfig {
             dir: dir.into(),
             fsync: FsyncPolicy::Group,
             group: 32,
+            wal_mode: WalMode::Sync,
+            ckpt_interval: 0,
         }
     }
 
@@ -97,6 +143,18 @@ impl DurableConfig {
     /// Sets the group-commit batch size.
     pub fn with_group(mut self, group: usize) -> Self {
         self.group = group.max(1);
+        self
+    }
+
+    /// Sets the WAL write mode (sync inline vs async pipelined).
+    pub fn with_wal_mode(mut self, mode: WalMode) -> Self {
+        self.wal_mode = mode;
+        self
+    }
+
+    /// Sets the incremental-checkpoint interval in records (0 disables).
+    pub fn with_ckpt_interval(mut self, records: u64) -> Self {
+        self.ckpt_interval = records;
         self
     }
 }
@@ -142,6 +200,10 @@ pub struct ServiceConfig {
     /// [`crate::ServiceError::ReadOnly`] — until
     /// [`crate::PmoService::promote`] flips it to leader.
     pub standby: bool,
+    /// Durable-mode visibility rule: whether mutating calls return at
+    /// submit or only once their log record is durable (DESIGN.md §16).
+    /// Ignored when `durable` is `None`.
+    pub visibility: Visibility,
 }
 
 impl ServiceConfig {
@@ -161,6 +223,7 @@ impl ServiceConfig {
             durable: None,
             trace: None,
             standby: false,
+            visibility: Visibility::Submit,
         }
     }
 
@@ -230,6 +293,12 @@ impl ServiceConfig {
     /// [`ServiceConfig::standby`]).
     pub fn with_standby(mut self, standby: bool) -> Self {
         self.standby = standby;
+        self
+    }
+
+    /// Sets the durable-mode visibility rule (see [`Visibility`]).
+    pub fn with_visibility(mut self, visibility: Visibility) -> Self {
+        self.visibility = visibility;
         self
     }
 

@@ -217,8 +217,12 @@ impl PmoService {
             let mut stats = RecoveryStats::default();
             for (i, shard) in shards.iter().enumerate() {
                 let dir = durable.dir.join(format!("shard-{i}"));
-                let (store, recovered, report) =
-                    DurableStore::open(&dir, durable.fsync, durable.group)?;
+                let (store, recovered, report) = DurableStore::open_with_mode(
+                    &dir,
+                    durable.fsync,
+                    durable.group,
+                    durable.wal_mode,
+                )?;
                 stats.absorb(&report);
                 let mut state = shard.state.lock().unwrap_or_else(|e| e.into_inner());
                 let mut rec_reg = recovered.registry;
@@ -243,6 +247,8 @@ impl PmoService {
                     max_raw = max_raw.max(id.raw());
                 }
                 state.store = Some(store);
+                state.visibility = config.visibility;
+                state.ckpt_interval = durable.ckpt_interval;
                 // Adopt the recovered root directory: structures re-find
                 // their roots through `Self::root` after a crash.
                 state.roots.extend(recovered.roots);
@@ -328,6 +334,22 @@ impl PmoService {
 
     fn lock<'a>(&self, shard: &'a Shard) -> StateGuard<'a> {
         StateGuard::acquire(shard.state.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Ends a mutating critical section under the durable-visibility rule:
+    /// runs the shard's end-of-op hook (incremental-checkpoint trigger +
+    /// durability obligation), *releases the shard lock*, and only then
+    /// waits for the operation's journal records to reach the durability
+    /// watermark. With `visibility = submit` (or in-memory mode) this is
+    /// just a lock drop — the fsync pipeline runs entirely behind the
+    /// caller's back.
+    fn finish_visible(&self, mut state: StateGuard<'_>) -> Result<(), ServiceError> {
+        let ticket = state.finish_op()?;
+        drop(state);
+        if let Some(t) = ticket {
+            t.wait()?;
+        }
+        Ok(())
     }
 
     /// The flight recorder, when tracing is enabled — callers hold on to it
@@ -429,7 +451,7 @@ impl PmoService {
             size,
             mode,
         })?;
-        drop(state);
+        self.finish_visible(state)?;
         self.index.insert(id, slot);
         Ok(id)
     }
@@ -501,7 +523,7 @@ impl PmoService {
             client: client as u64,
             writable: perm == Permission::ReadWrite,
         });
-        drop(state);
+        self.finish_visible(state)?;
         ThreadSlab::bump(&self.slab().attaches);
         Ok(cost)
     }
@@ -562,7 +584,7 @@ impl PmoService {
             client: client as u64,
             writable: perm == Permission::ReadWrite,
         });
-        drop(state);
+        self.finish_visible(state)?;
         ThreadSlab::bump(&slab.attaches);
         Ok((self.config.cost.attach_ns, waited))
     }
@@ -600,7 +622,7 @@ impl PmoService {
             client: client as u64,
             writable: perm == Permission::ReadWrite,
         });
-        drop(state);
+        self.finish_visible(state)?;
         ThreadSlab::bump(&self.slab().attaches);
         if outcome == AttachOutcome::FirstAttach {
             // A fresh circular-buffer entry means a new earliest expiry:
@@ -674,7 +696,7 @@ impl PmoService {
             pmo: pmo.raw(),
             client: client as u64,
         });
-        drop(state);
+        self.finish_visible(state)?;
         ThreadSlab::bump(&self.slab().detaches);
         shard.cvar.notify_all();
         Ok(self.config.cost.detach_ns)
@@ -711,7 +733,7 @@ impl PmoService {
         if outcome.needs_syscall() && state.space.is_attached(pmo) {
             state.unmap_pool(pmo, now)?;
         }
-        drop(state);
+        self.finish_visible(state)?;
         ThreadSlab::bump(&self.slab().detaches);
         let syscall = outcome.needs_syscall() || self.config.scheme.cond_is_syscall();
         Ok(if syscall {
@@ -949,6 +971,7 @@ impl PmoService {
                 data: data.to_vec(),
             })?;
         }
+        self.finish_visible(state)?;
         Ok(())
     }
 
@@ -1017,6 +1040,7 @@ impl PmoService {
                 data: new.to_le_bytes().to_vec(),
             })?;
         }
+        self.finish_visible(state)?;
         Ok(observed)
     }
 
@@ -1055,6 +1079,7 @@ impl PmoService {
         } else {
             state.roots.insert((pmo, key), packed);
         }
+        self.finish_visible(state)?;
         Ok(())
     }
 
@@ -1101,6 +1126,7 @@ impl PmoService {
             size,
             offset: oid.offset(),
         })?;
+        self.finish_visible(state)?;
         Ok(oid)
     }
 
@@ -1124,6 +1150,7 @@ impl PmoService {
             pmo,
             offset: oid.offset(),
         })?;
+        self.finish_visible(state)?;
         Ok(())
     }
 
@@ -1269,6 +1296,14 @@ impl PmoService {
                             self.clock.charge(self.config.cost.randomize_ns);
                         }
                     }
+                }
+                // Expiry closes and relocations are externally visible
+                // protection transitions: under `visibility = durable` the
+                // sweep waits for their records too (off the shard lock).
+                let ticket = state.finish_op();
+                drop(state);
+                if let Ok(Some(t)) = ticket {
+                    let _ = t.wait();
                 }
             }
         }

@@ -25,11 +25,12 @@ use std::sync::{Arc, Condvar, Mutex};
 use terp_arch::{CondEngine, MerrArch};
 use terp_core::permission::{PermissionSet, Right};
 use terp_core::window::WindowTracker;
-use terp_persist::{DurableStore, WalRecord};
+use terp_persist::{DurableStore, DurableTicket, WalRecord};
 use terp_pmo::{Permission, PmoError, PmoId, ProcessAddressSpace};
 use terp_sim::PermissionMatrix;
 use terp_trace::{EventKind, TraceRecorder};
 
+use crate::config::Visibility;
 use crate::error::ServiceError;
 use crate::fastpath::PoolSlot;
 use crate::ClientId;
@@ -66,6 +67,9 @@ impl Shard {
                 detach_syscalls: 0,
                 randomizations: 0,
                 store: None,
+                visibility: Visibility::Submit,
+                ckpt_interval: 0,
+                visible_seq: None,
                 idx,
                 lock_seq: 0,
                 lock_pending: std::cell::Cell::new(false),
@@ -113,6 +117,18 @@ pub(crate) struct ShardState {
     /// Durable mode: this shard's write-ahead log + snapshot directory.
     /// `None` keeps the shard purely in-memory.
     pub store: Option<DurableStore>,
+    /// Durable-mode visibility rule (copied from the service config):
+    /// whether mutating operations may return at submit or must wait for
+    /// their journal records to fsync first.
+    pub visibility: Visibility,
+    /// Incremental-checkpoint trigger in records (0 = disabled), copied
+    /// from [`crate::DurableConfig::ckpt_interval`].
+    pub ckpt_interval: u64,
+    /// Highest sequence number journaled during the current critical
+    /// section when the visibility rule is [`Visibility::Durable`] — the
+    /// durability obligation [`Self::finish_op`] turns into a ticket (or an
+    /// inline sync) before the operation acknowledges.
+    pub visible_seq: Option<u64>,
     /// This shard's index: the lock identity in trace events.
     pub idx: u32,
     /// Mutex acquisition counter. Protected by the mutex itself, so its
@@ -193,8 +209,94 @@ impl ShardState {
     /// must not apply the mutation it failed to journal.
     pub(crate) fn log(&mut self, record: &WalRecord) -> Result<(), ServiceError> {
         if let Some(store) = self.store.as_mut() {
-            store.log(record)?;
+            let seq = store.log(record)?;
+            if self.visibility == Visibility::Durable {
+                self.visible_seq = Some(self.visible_seq.map_or(seq, |s| s.max(seq)));
+            }
         }
+        Ok(())
+    }
+
+    /// Closes out one mutating operation's durability obligations while the
+    /// shard lock is still held: runs the incremental-checkpoint trigger,
+    /// then converts any accumulated `visible_seq` into what the caller
+    /// needs before acknowledging. Async stores return a
+    /// [`DurableTicket`] the caller waits on *after* dropping the shard
+    /// lock; sync stores fsync inline here (a ticket could wait forever on
+    /// an unflushed group-commit batch — see [`DurableStore::ticket`]).
+    pub(crate) fn finish_op(&mut self) -> Result<Option<DurableTicket>, ServiceError> {
+        if self.store.is_some() {
+            self.maybe_checkpoint()?;
+        }
+        let Some(seq) = self.visible_seq.take() else {
+            return Ok(None);
+        };
+        let store = self.store.as_mut().expect("visible_seq implies store");
+        if store.is_async() {
+            Ok(Some(store.ticket(seq)))
+        } else {
+            store.sync_to(seq)?;
+            Ok(None)
+        }
+    }
+
+    /// Incremental-checkpoint trigger: when `ckpt_interval` is set and the
+    /// store has journaled at least that many records since the last
+    /// checkpoint, write dirty-page deltas to the checkpoint log, rewrite
+    /// the protection snapshot from live shard state, and truncate the WAL.
+    /// Runs at *operation end* — never mid-operation, where a journaled
+    /// protection record (e.g. the `WindowOpen` written before mapping)
+    /// could be truncated before the shard state it describes exists.
+    pub(crate) fn maybe_checkpoint(&mut self) -> Result<(), ServiceError> {
+        let ShardState {
+            store,
+            pools,
+            space,
+            holders,
+            perms,
+            roots: _,
+            ckpt_interval,
+            ..
+        } = self;
+        let Some(store) = store.as_mut() else {
+            return Ok(());
+        };
+        if *ckpt_interval == 0 || store.records_since_checkpoint() < *ckpt_interval {
+            return Ok(());
+        }
+        // Reconstruct the live protection state: open windows and open
+        // sessions, exactly what recovery needs to reseal and re-grant.
+        let mut protection: Vec<WalRecord> = Vec::new();
+        for &pmo in pools.keys() {
+            if space.is_attached(pmo) {
+                protection.push(WalRecord::WindowOpen { pmo });
+            }
+        }
+        for (&pmo, clients) in holders.iter() {
+            for &client in clients {
+                let perm = perms
+                    .get(&client)
+                    .map(|set| {
+                        if set.has(pmo, Right::Write) {
+                            Permission::ReadWrite
+                        } else if set.has(pmo, Right::Read) {
+                            Permission::Read
+                        } else {
+                            Permission::None
+                        }
+                    })
+                    .unwrap_or(Permission::None);
+                if perm != Permission::None {
+                    protection.push(WalRecord::SessionOpen {
+                        client: client as u64,
+                        pmo,
+                        perm,
+                    });
+                }
+            }
+        }
+        let mut guards: Vec<_> = pools.values().map(|s| s.pool_mut()).collect();
+        store.checkpoint_incremental(guards.iter_mut().map(|g| &mut **g), &protection)?;
         Ok(())
     }
 
@@ -204,8 +306,8 @@ impl ShardState {
     pub(crate) fn checkpoint(&mut self) -> Result<(), ServiceError> {
         let ShardState { store, pools, .. } = self;
         if let Some(store) = store.as_mut() {
-            let guards: Vec<_> = pools.values().map(|s| s.pool()).collect();
-            store.checkpoint(guards.iter().map(|g| &**g))?;
+            let mut guards: Vec<_> = pools.values().map(|s| s.pool_mut()).collect();
+            store.checkpoint(guards.iter_mut().map(|g| &mut **g))?;
         }
         Ok(())
     }
